@@ -1,0 +1,68 @@
+// Ablation: elevator (SCAN) vs FCFS disk scheduling ([TP72], which the
+// paper cites for its disk model). Runs the low-low mix under both
+// policies; the elevator's seek-ordering advantage grows with queue depth
+// (high MPL), but the strategy ordering is policy-independent.
+#include <iomanip>
+#include <iostream>
+
+#include "src/engine/system.h"
+#include "src/exp/experiment.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+
+int Run() {
+  exp::ExperimentConfig base = exp::ApplyQuickMode(exp::ExperimentConfig{});
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = base.cardinality;
+  wopts.seed = 7;
+  const auto rel = workload::MakeWisconsin(wopts);
+  const auto wl = workload::MakeMix(workload::ResourceClass::kLow,
+                                    workload::ResourceClass::kLow);
+
+  std::cout << "Disk-scheduling ablation: low-low mix, "
+            << rel.cardinality()
+            << " tuples, 8 processors (deep disk queues)\n";
+  std::cout << std::left << std::setw(10) << "MPL" << std::setw(12)
+            << "policy" << std::setw(12) << "range q/s" << std::setw(12)
+            << "BERD q/s" << std::setw(12) << "MAGIC q/s" << "\n";
+
+  for (int mpl : {8, 64}) {
+    for (auto policy :
+         {hw::DiskSchedPolicy::kElevator, hw::DiskSchedPolicy::kFcfs}) {
+      std::cout << std::left << std::setw(10) << mpl << std::setw(12)
+                << (policy == hw::DiskSchedPolicy::kElevator ? "elevator"
+                                                             : "FCFS");
+      for (const char* strat : {"range", "BERD", "MAGIC"}) {
+        auto part = exp::MakePartitioning(strat, rel, wl, 8);
+        if (!part.ok()) {
+          std::cerr << part.status().ToString() << "\n";
+          return 1;
+        }
+        sim::Simulation sim;
+        engine::SystemConfig cfg;
+        cfg.hw.num_processors = 8;
+        cfg.hw.disk_policy = policy;
+        cfg.multiprogramming_level = mpl;
+        engine::System sys(&sim, cfg, &rel, part->get(), &wl);
+        if (Status st = sys.Init(); !st.ok()) {
+          std::cerr << st.ToString() << "\n";
+          return 1;
+        }
+        sys.Start();
+        sim.RunUntil(base.warmup_ms);
+        sys.metrics().StartMeasurement(sim.now());
+        sim.RunUntil(base.warmup_ms + base.measure_ms / 2);
+        std::cout << std::setw(12) << std::fixed << std::setprecision(1)
+                  << sys.metrics().ThroughputQps(sim.now());
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

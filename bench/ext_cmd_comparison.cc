@@ -1,0 +1,17 @@
+// Extension: Coordinate Modulo Declustering (CMD) against the paper's
+// strategies on the low-low mix. CMD spreads every single-attribute
+// predicate across all processors (its strength is multi-attribute box
+// queries), so on this workload it should land near range partitioning —
+// demonstrating that the paper's conclusions are about LOCALIZATION, not
+// about multi-attribute awareness per se.
+#include "bench/figure_common.h"
+
+int main() {
+  declust::bench::FigureSpec spec;
+  spec.name = "Extension: CMD vs range/BERD/MAGIC (low-low mix)";
+  spec.qa = declust::workload::ResourceClass::kLow;
+  spec.qb = declust::workload::ResourceClass::kLow;
+  spec.strategies = {"range", "CMD", "BERD", "MAGIC"};
+  spec.correlations = {0.0};
+  return declust::bench::RunFigure(spec);
+}

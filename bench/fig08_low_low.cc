@@ -1,0 +1,15 @@
+// Figure 8: throughput of range / BERD / MAGIC for the LOW-LOW query mix
+// (QA: single-tuple non-clustered exact match on A; QB: 10-tuple clustered
+// range on B), under low (8a) and high (8b) attribute correlation.
+//
+// Paper shapes to reproduce: MAGIC > BERD (~7%) > range under low
+// correlation; MAGIC ~45% over BERD at high MPL under high correlation.
+#include "bench/figure_common.h"
+
+int main() {
+  declust::bench::FigureSpec spec;
+  spec.name = "Figure 8: low-low query mix";
+  spec.qa = declust::workload::ResourceClass::kLow;
+  spec.qb = declust::workload::ResourceClass::kLow;
+  return declust::bench::RunFigure(spec);
+}

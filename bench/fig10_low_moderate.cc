@@ -1,0 +1,16 @@
+// Figure 10: the LOW-MODERATE query mix (QA: single-tuple exact match on A;
+// QB: 300-tuple clustered range on B).
+//
+// Paper shapes: under low correlation MAGIC > range > BERD (BERD pays the
+// auxiliary-relation overhead while its data phase degenerates to all 32
+// processors); under high correlation MAGIC and BERD localize both query
+// types and beat range at high MPL, while range wins at MPL 1.
+#include "bench/figure_common.h"
+
+int main() {
+  declust::bench::FigureSpec spec;
+  spec.name = "Figure 10: low-moderate query mix";
+  spec.qa = declust::workload::ResourceClass::kLow;
+  spec.qb = declust::workload::ResourceClass::kModerate;
+  return declust::bench::RunFigure(spec);
+}

@@ -1,0 +1,15 @@
+// Figure 11: the MODERATE-LOW query mix (QA: 30-tuple non-clustered range
+// on A; QB: 10-tuple clustered range on B).
+//
+// Paper shapes: like figure 10 with the roles mirrored, except BERD now
+// beats range under low correlation (its two-phase protocol caps QB at 11
+// processors while range uses all 32).
+#include "bench/figure_common.h"
+
+int main() {
+  declust::bench::FigureSpec spec;
+  spec.name = "Figure 11: moderate-low query mix";
+  spec.qa = declust::workload::ResourceClass::kModerate;
+  spec.qb = declust::workload::ResourceClass::kLow;
+  return declust::bench::RunFigure(spec);
+}

@@ -1,0 +1,15 @@
+// Figure 12: the MODERATE-MODERATE query mix (QA: 30-tuple non-clustered
+// range on A; QB: 300-tuple clustered range on B).
+//
+// Paper shapes: low correlation — MAGIC (6.5 processors per query on
+// average) beats both range and BERD (16.5 processors); high correlation —
+// range wins at MPL 1 but MAGIC leads BERD by ~25% at MPL 64.
+#include "bench/figure_common.h"
+
+int main() {
+  declust::bench::FigureSpec spec;
+  spec.name = "Figure 12: moderate-moderate query mix";
+  spec.qa = declust::workload::ResourceClass::kModerate;
+  spec.qb = declust::workload::ResourceClass::kModerate;
+  return declust::bench::RunFigure(spec);
+}

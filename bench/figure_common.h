@@ -1,0 +1,52 @@
+// Shared driver for the figure benchmarks: runs the low- and
+// high-correlation variants of one query mix and prints the paper-style
+// throughput tables.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+namespace declust::bench {
+
+struct FigureSpec {
+  std::string name;
+  workload::ResourceClass qa;
+  workload::ResourceClass qb;
+  workload::MixOptions mix;
+  std::vector<std::string> strategies = {"range", "BERD", "MAGIC"};
+  /// Correlations to run (paper sub-figures a and b).
+  std::vector<double> correlations = {0.0, 1.0};
+};
+
+inline int RunFigure(const FigureSpec& spec) {
+  for (double corr : spec.correlations) {
+    exp::ExperimentConfig cfg;
+    cfg.name = spec.name + (corr >= 0.5 ? " (b: high correlation)"
+                                        : " (a: low correlation)");
+    cfg.qa = spec.qa;
+    cfg.qb = spec.qb;
+    cfg.mix = spec.mix;
+    cfg.correlation = corr;
+    cfg.strategies = spec.strategies;
+    auto result = exp::RunThroughputSweep(cfg);
+    if (!result.ok()) {
+      std::cerr << "experiment failed: " << result.status().ToString()
+                << "\n";
+      return 1;
+    }
+    exp::PrintThroughputTable(std::cout, *result);
+    for (size_t i = 0; i + 1 < spec.strategies.size(); ++i) {
+      std::cout << exp::RatioSummary(*result, spec.strategies.back(),
+                                     spec.strategies[i])
+                << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace declust::bench

@@ -1,0 +1,79 @@
+// Micro-benchmarks of the B+-tree substrate: fanout sensitivity (the index
+// height drives the simulator's random-I/O counts), bulk load vs repeated
+// insertion, and range-scan throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/storage/btree.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+
+void BM_InsertRandom(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int n = 100000;
+  for (auto _ : state) {
+    RandomStream rng(1);
+    storage::BPlusTree t(fanout);
+    for (int i = 0; i < n; ++i) {
+      t.Insert(rng.UniformInt(0, 1 << 20),
+               static_cast<storage::RecordId>(i));
+    }
+    benchmark::DoNotOptimize(t.height());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InsertRandom)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_BulkLoad(benchmark::State& state) {
+  const int n = 100000;
+  std::vector<storage::BTreeEntry> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, static_cast<storage::RecordId>(i)});
+  }
+  for (auto _ : state) {
+    auto t = storage::BPlusTree::BulkLoad(entries, 256);
+    benchmark::DoNotOptimize(t.leaf_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BulkLoad);
+
+void BM_PointSearch(benchmark::State& state) {
+  const int n = 100000;
+  std::vector<storage::BTreeEntry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, static_cast<storage::RecordId>(i)});
+  }
+  auto t = storage::BPlusTree::BulkLoad(entries,
+                                        static_cast<int>(state.range(0)));
+  RandomStream rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Search(rng.UniformInt(0, n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointSearch)->Arg(16)->Arg(256);
+
+void BM_RangeScan(benchmark::State& state) {
+  const int n = 100000;
+  std::vector<storage::BTreeEntry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, static_cast<storage::RecordId>(i)});
+  }
+  auto t = storage::BPlusTree::BulkLoad(entries, 256);
+  const int64_t width = state.range(0);
+  RandomStream rng(3);
+  for (auto _ : state) {
+    const int64_t lo = rng.UniformInt(0, n - width - 1);
+    benchmark::DoNotOptimize(t.RangeSearch(lo, lo + width - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_RangeScan)->Arg(10)->Arg(300)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Micro-benchmarks of the grid-file substrate: bulk insertion under
+// different bucket capacities and split-weight policies, plus the cost of
+// the directory operations MAGIC's optimizer performs per query.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/grid/grid_file.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+
+grid::GridFile Build(int n, int capacity, std::vector<double> weights,
+                     double correlation) {
+  grid::GridFileOptions opts;
+  opts.bucket_capacity = capacity;
+  opts.split_weights = std::move(weights);
+  grid::GridFile g(2, opts);
+  RandomStream rng(5);
+  for (int i = 0; i < n; ++i) {
+    const auto a = rng.UniformInt(0, n - 1);
+    const auto b = correlation >= 1.0 ? a : rng.UniformInt(0, n - 1);
+    (void)g.Insert({a, b}, static_cast<storage::RecordId>(i));
+  }
+  return g;
+}
+
+void BM_GridInsert(benchmark::State& state) {
+  const int capacity = static_cast<int>(state.range(0));
+  const int n = 50000;
+  for (auto _ : state) {
+    auto g = Build(n, capacity, {}, 0.0);
+    benchmark::DoNotOptimize(g.num_buckets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GridInsert)->Arg(8)->Arg(26)->Arg(128);
+
+void BM_GridInsertWeighted(benchmark::State& state) {
+  // 9:1 split policy (the low-moderate mix's directory shape).
+  const int n = 50000;
+  for (auto _ : state) {
+    auto g = Build(n, 26, {0.45, 0.05}, 0.0);
+    benchmark::DoNotOptimize(g.num_buckets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GridInsertWeighted);
+
+void BM_GridInsertCorrelated(benchmark::State& state) {
+  // Worst case of section 4: identical attribute values (diagonal data).
+  const int n = 50000;
+  for (auto _ : state) {
+    auto g = Build(n, 26, {}, 1.0);
+    benchmark::DoNotOptimize(g.num_buckets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GridInsertCorrelated);
+
+void BM_CellsOverlapping(benchmark::State& state) {
+  auto g = Build(100000, 26, {}, 0.0);
+  RandomStream rng(6);
+  for (auto _ : state) {
+    const auto lo = rng.UniformInt(0, 99000);
+    benchmark::DoNotOptimize(
+        g.CellsOverlapping({lo, INT64_MIN}, {lo + 300, INT64_MAX}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellsOverlapping);
+
+void BM_PointSearch(benchmark::State& state) {
+  auto g = Build(100000, 26, {}, 0.0);
+  RandomStream rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g.PointSearch({rng.UniformInt(0, 99999), rng.UniformInt(0, 99999)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

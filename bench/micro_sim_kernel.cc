@@ -1,0 +1,88 @@
+// Micro-benchmarks of the discrete-event kernel: event calendar throughput,
+// coroutine process overhead, resource contention. These quantify the cost
+// basis of every figure simulation (ablation: calendar under different
+// event-population sizes).
+#include <benchmark/benchmark.h>
+
+#include "src/sim/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+
+void BM_ScheduleCallback(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    // Keep `population` events pending; each handler re-arms itself once.
+    int fired = 0;
+    for (int i = 0; i < population; ++i) {
+      s.ScheduleAt(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    s.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * population);
+}
+BENCHMARK(BM_ScheduleCallback)->Arg(1000)->Arg(10000)->Arg(100000);
+
+sim::Task<> Hopper(sim::Simulation* s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s->WaitFor(1.0);
+}
+
+void BM_CoroutineDelays(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (int i = 0; i < procs; ++i) s.Spawn(Hopper(&s, 100));
+    s.Run();
+    benchmark::DoNotOptimize(s.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 100);
+}
+BENCHMARK(BM_CoroutineDelays)->Arg(10)->Arg(100)->Arg(1000);
+
+sim::Task<> Contender(sim::Simulation* s, sim::Resource* r, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await r->Acquire();
+    co_await s->WaitFor(0.1);
+  }
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::Resource r(&s, 1);
+    for (int i = 0; i < procs; ++i) s.Spawn(Contender(&s, &r, 20));
+    s.Run();
+    benchmark::DoNotOptimize(r.grants());
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 20);
+}
+BENCHMARK(BM_ResourceContention)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  // Cancellation via lazy deletion: half the scheduled events are cancelled.
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10000);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(
+          s.ScheduleAt(static_cast<double>(i % 53), [&fired] { ++fired; }));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) s.Cancel(ids[i]);
+    s.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CancelHeavy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

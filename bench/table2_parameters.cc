@@ -1,0 +1,27 @@
+// Table 2: the simulation parameters, printed from the live configuration
+// (the defaults are exactly the paper's values) together with the derived
+// quantities the models actually use.
+#include <iostream>
+
+#include "src/hw/params.h"
+
+int main() {
+  declust::hw::HwParams params;
+  std::cout << "Table 2: Important Simulation Parameters\n";
+  std::cout << "========================================\n";
+  std::cout << params.ToTableString();
+  std::cout << "\nDerived quantities\n";
+  std::cout << "  8K page disk transfer time              "
+            << params.PageTransferMs() << " msec\n";
+  std::cout << "  Read-page CPU time                      "
+            << params.InstrMs(params.read_page_instructions) << " msec\n";
+  std::cout << "  SCSI DMA CPU time                       "
+            << params.InstrMs(params.scsi_transfer_instructions)
+            << " msec\n";
+  std::cout << "  Control message (100 B) interface time  "
+            << params.PacketSendMs(100) << " msec\n";
+  std::cout << "  Full tuple packet (36 x 208 B) time     "
+            << params.PacketSendMs(36 * params.tuple_size_bytes)
+            << " msec\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// MAGIC on THREE partitioning attributes. The paper's machinery is defined
+// for K dimensions but evaluated at K = 2; this example declusters a
+// telemetry relation on (sensor_id, timestamp, severity) and shows how
+// queries on each attribute localize, plus the K = 3 grid geometry.
+#include <iostream>
+
+#include "src/common/random.h"
+#include "src/decluster/magic.h"
+#include "src/decluster/range.h"
+#include "src/workload/mixes.h"
+
+int main() {
+  using namespace declust;  // NOLINT(build/namespaces)
+
+  // Telemetry: readings from 1000 sensors over a day, with severity codes.
+  storage::Schema schema(
+      {{"sensor_id"}, {"timestamp"}, {"severity"}, {"value"}});
+  storage::Relation readings("telemetry", schema);
+  RandomStream rng(314);
+  const int64_t kReadings = 60'000;
+  for (int64_t i = 0; i < kReadings; ++i) {
+    (void)readings.Append({rng.UniformInt(0, 999),       // sensor
+                           rng.UniformInt(0, 86'399),    // second of day
+                           rng.UniformInt(0, 9'999),     // severity score
+                           rng.UniformInt(-50, 150)});
+  }
+
+  // Three query classes, one per partitioning attribute.
+  workload::Workload wl;
+  wl.name = "telemetry";
+  const struct {
+    const char* name;
+    int attr;
+    int64_t tuples;
+    double freq;
+    double declared_ms;  // planner estimate: Mi = sqrt(R / 2ms)
+  } classes[] = {
+      {"by-sensor", 0, 60, 0.4, 18.0},     // Mi = 3
+      {"by-time", 1, 300, 0.4, 50.0},      // Mi = 5
+      {"by-severity", 2, 30, 0.2, 8.0},    // Mi = 2
+  };
+  for (const auto& c : classes) {
+    workload::QueryClassSpec q;
+    q.name = c.name;
+    q.attr = c.attr;
+    q.tuples = c.tuples;
+    q.frequency = c.freq;
+    q.declared_cpu_ms = c.declared_ms;
+    wl.classes.push_back(q);
+  }
+
+  const int kProcessors = 64;
+  auto magic = decluster::MagicPartitioning::Create(
+      readings, {0, 1, 2}, wl, kProcessors);
+  if (!magic.ok()) {
+    std::cerr << magic.status().ToString() << "\n";
+    return 1;
+  }
+
+  const auto& plan = (*magic)->plan();
+  std::cout << "MAGIC on telemetry(sensor_id, timestamp, severity), "
+            << kProcessors << " processors\n";
+  std::cout << "  Mi = {" << plan.mi[0] << ", " << plan.mi[1] << ", "
+            << plan.mi[2] << "}, FC = " << plan.fragment_cardinality << "\n";
+  std::cout << "  grid directory: " << (*magic)->grid().ShapeString()
+            << " (" << (*magic)->grid().directory().num_cells()
+            << " cells)\n";
+  auto [mx, mn] = (*magic)->LoadExtremes();
+  std::cout << "  tuples per processor: max " << mx << ", min " << mn
+            << "\n\n";
+
+  const struct {
+    const char* text;
+    decluster::Predicate pred;
+  } queries[] = {
+      {"readings from sensor #417", {0, 417, 417}},
+      {"readings in a 5-minute window", {1, 43'200, 43'499}},
+      {"the 30 most severe readings", {2, 9'970, 9'999}},
+  };
+  for (const auto& q : queries) {
+    const auto sites = (*magic)->SitesFor(q.pred);
+    std::cout << q.text << " -> " << sites.data_nodes.size()
+              << " of " << kProcessors << " processors\n";
+  }
+
+  // One-dimensional contrast: range on timestamp only.
+  auto range = decluster::RangePartitioning::Create(readings, {1},
+                                                    kProcessors);
+  if (!range.ok()) {
+    std::cerr << range.status().ToString() << "\n";
+    return 1;
+  }
+  // For RangePartitioning, Predicate::attr indexes its partitioning list:
+  // attribute 0 = timestamp; anything else has no partitioning information.
+  std::cout << "\nrange partitioning on timestamp, same queries:\n";
+  std::cout << "  by sensor   -> "
+            << (*range)->SitesFor({1, 417, 417}).data_nodes.size()
+            << " processors\n";
+  std::cout << "  by time     -> "
+            << (*range)->SitesFor({0, 43'200, 43'499}).data_nodes.size()
+            << " processor(s) (partitioning attribute)\n";
+  std::cout << "  by severity -> "
+            << (*range)->SitesFor({1, 9'970, 9'999}).data_nodes.size()
+            << " processors\n";
+  std::cout << "\nWith three partitioning attributes MAGIC localizes all "
+               "three query classes;\nsingle-attribute range helps only "
+               "queries on its one attribute.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Streaming statistics helpers used by the simulator's measurement layer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace declust {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return n_ > 0 ? min_ : 0.0;
+  }
+  double max() const {
+    return n_ > 0 ? max_ : 0.0;
+  }
+
+  /// Half-width of an approximate 95% confidence interval on the mean.
+  double ConfidenceHalfWidth95() const;
+
+  void Reset() { *this = Accumulator(); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Time-weighted average of a piecewise-constant signal
+/// (e.g. queue length, number of busy servers).
+class TimeWeighted {
+ public:
+  /// Records that the signal had `value` from the last update until `now`.
+  void Update(double now, double value) {
+    if (has_last_) {
+      const double dt = now - last_time_;
+      area_ += last_value_ * dt;
+      total_time_ += dt;
+    }
+    last_time_ = now;
+    last_value_ = value;
+    has_last_ = true;
+  }
+
+  /// Closes the window at `now` without changing the current value.
+  void Finish(double now) { Update(now, last_value_); }
+
+  double average() const { return total_time_ > 0 ? area_ / total_time_ : 0.0; }
+  double observed_time() const { return total_time_; }
+
+ private:
+  bool has_last_ = false;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double area_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// \brief Fixed-bucket histogram over [lo, hi) with out-of-range buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated
+  /// within buckets. Out-of-range mass is clamped to the bounds.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+};
+
+/// Pearson correlation coefficient of two equal-length sequences.
+/// Returns 0 for sequences shorter than 2 or with zero variance.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace declust

@@ -1,0 +1,87 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// RocksDB/Arrow. Functions that can fail return Status (or Result<T>, see
+// result.h); callers must inspect the returned object.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace declust {
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// human-readable message. Status is cheap to move and to test for success.
+class [[nodiscard]] Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+    kNotSupported,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  /// Message associated with a non-OK status; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DECLUST_RETURN_NOT_OK(expr)               \
+  do {                                            \
+    ::declust::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace declust

@@ -1,0 +1,53 @@
+// Umbrella header: the public API of the declust library.
+//
+//   #include "src/declust.h"
+//
+//   using namespace declust;
+//   auto relation = workload::MakeWisconsin({.cardinality = 100'000});
+//   auto mix = workload::MakeMix(workload::ResourceClass::kLow,
+//                                workload::ResourceClass::kLow);
+//   auto magic = decluster::MagicPartitioning::Create(relation, {0, 1},
+//                                                     mix, 32);
+//   sim::Simulation sim;
+//   engine::System system(&sim, {}, &relation, magic->get(), &mix);
+//
+// Layering (each header is also usable on its own):
+//   common    -> Status/Result, RandomStream, statistics
+//   sim       -> discrete-event kernel (Task, Simulation, Resource, ...)
+//   hw        -> CPU / disk / network models (paper Table 2)
+//   storage   -> relation, B+-tree, page & disk layout
+//   grid      -> the grid file [NHS84]
+//   decluster -> range, hash, CMD, BERD, MAGIC partitionings
+//   engine    -> the simulated parallel DBMS
+//   workload  -> Wisconsin generator and the paper's query mixes
+//   exp       -> experiment harness and reporting
+#pragma once
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/decluster/berd.h"
+#include "src/decluster/cmd.h"
+#include "src/decluster/hash.h"
+#include "src/decluster/magic.h"
+#include "src/decluster/range.h"
+#include "src/decluster/strategy.h"
+#include "src/engine/buffer_pool.h"
+#include "src/engine/metrics.h"
+#include "src/engine/system.h"
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+#include "src/grid/grid_file.h"
+#include "src/hw/node.h"
+#include "src/hw/params.h"
+#include "src/sim/channel.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+#include "src/sim/trigger.h"
+#include "src/storage/btree.h"
+#include "src/storage/relation.h"
+#include "src/workload/mixes.h"
+#include "src/workload/querygen.h"
+#include "src/workload/wisconsin.h"

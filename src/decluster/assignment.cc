@@ -1,0 +1,195 @@
+#include "src/decluster/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace declust::decluster {
+
+namespace {
+
+int64_t CellCount(const std::vector<int>& dims) {
+  int64_t n = 1;
+  for (int d : dims) n *= d;
+  return n;
+}
+
+}  // namespace
+
+std::vector<int> RoundRobinAssignment(const std::vector<int>& dims,
+                                      int num_nodes) {
+  const int64_t n = CellCount(dims);
+  std::vector<int> assignment(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    assignment[static_cast<size_t>(i)] =
+        static_cast<int>(i % num_nodes);
+  }
+  return assignment;
+}
+
+Result<std::vector<int>> TiledAssignment(const std::vector<int>& dims,
+                                         int num_nodes,
+                                         const std::vector<double>& mi) {
+  const int k = static_cast<int>(dims.size());
+  if (k < 1) return Status::InvalidArgument("no dimensions");
+  if (num_nodes < 1) return Status::InvalidArgument("num_nodes < 1");
+  if (mi.size() != dims.size()) {
+    return Status::InvalidArgument("mi arity != dims arity");
+  }
+  for (int d : dims) {
+    if (d < 1) return Status::InvalidArgument("empty dimension");
+  }
+  if (k == 1) {
+    // Paper: for K = 1, round robin satisfies both constraints.
+    return RoundRobinAssignment(dims, num_nodes);
+  }
+
+  // Clamp Mi and compute real-valued tile targets G_d = alpha / M_d.
+  std::vector<double> m(mi);
+  double prod_m = 1.0;
+  for (auto& v : m) {
+    v = std::clamp(v, 1.0, static_cast<double>(num_nodes));
+    prod_m *= v;
+  }
+  const double alpha =
+      std::pow(static_cast<double>(num_nodes) * prod_m, 1.0 / k);
+  std::vector<double> target(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    const auto du = static_cast<size_t>(d);
+    target[du] = std::clamp(alpha / m[du], 1.0, static_cast<double>(dims[du]));
+  }
+
+  // Choose integer tile counts whose product is EXACTLY num_nodes when
+  // possible (tile -> processor becomes a bijection, so every processor
+  // owns the same number of directory entries; a wrapped mapping would give
+  // some processors twice the query load). Recursive divisor search
+  // minimizing the log-space distance to the targets.
+  std::vector<int> tiles;
+  {
+    std::vector<int> current(static_cast<size_t>(k), 1);
+    std::vector<int> best_exact;
+    double best_score = 0.0;
+    auto search = [&](auto&& self, int d, int remaining, double score) -> void {
+      if (!best_exact.empty() && score >= best_score) return;
+      const auto du = static_cast<size_t>(d);
+      if (d == k - 1) {
+        if (remaining > dims[du]) return;
+        const double s =
+            score + std::abs(std::log(remaining / target[du]));
+        if (best_exact.empty() || s < best_score) {
+          current[du] = remaining;
+          best_exact = current;
+          best_score = s;
+        }
+        return;
+      }
+      for (int g = 1; g <= std::min(remaining, dims[du]); ++g) {
+        if (remaining % g != 0) continue;
+        current[du] = g;
+        self(self, d + 1, remaining / g,
+             score + std::abs(std::log(g / target[du])));
+      }
+    };
+    search(search, 0, num_nodes, 0.0);
+    if (!best_exact.empty()) {
+      tiles = best_exact;
+    } else {
+      // No exact factorization fits the directory: fall back to rounded
+      // targets grown until every processor can own a tile.
+      tiles.resize(static_cast<size_t>(k));
+      for (int d = 0; d < k; ++d) {
+        const auto du = static_cast<size_t>(d);
+        tiles[du] = std::clamp(static_cast<int>(std::llround(target[du])), 1,
+                               dims[du]);
+      }
+      auto tile_total = [&] {
+        int64_t t = 1;
+        for (int g : tiles) t *= g;
+        return t;
+      };
+      while (tile_total() < num_nodes) {
+        int best = -1;
+        double best_ratio = 0.0;
+        for (int d = 0; d < k; ++d) {
+          const auto du = static_cast<size_t>(d);
+          if (tiles[du] >= dims[du]) continue;
+          const double ratio = target[du] / tiles[du];
+          if (best == -1 || ratio > best_ratio) {
+            best = d;
+            best_ratio = ratio;
+          }
+        }
+        if (best == -1) break;  // directory too small to host all processors
+        ++tiles[static_cast<size_t>(best)];
+      }
+    }
+  }
+
+  // Map cells to tiles to processors (mixed-radix tile id mod P).
+  const int64_t n = CellCount(dims);
+  std::vector<int> assignment(static_cast<size_t>(n));
+  std::vector<int> coords(static_cast<size_t>(k), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t tile = 0;
+    for (int d = 0; d < k; ++d) {
+      const auto du = static_cast<size_t>(d);
+      const int band = static_cast<int>(
+          static_cast<int64_t>(coords[du]) * tiles[du] / dims[du]);
+      tile = tile * tiles[du] + band;
+    }
+    assignment[static_cast<size_t>(i)] =
+        static_cast<int>(tile % num_nodes);
+    for (int d = k - 1; d >= 0; --d) {
+      const auto du = static_cast<size_t>(d);
+      if (++coords[du] < dims[du]) break;
+      coords[du] = 0;
+    }
+  }
+  return assignment;
+}
+
+int DistinctNodesInSlice(const std::vector<int>& dims,
+                         const std::vector<int>& assignment, int dim,
+                         int slice) {
+  const int k = static_cast<int>(dims.size());
+  std::set<int> nodes;
+  std::vector<int> coords(static_cast<size_t>(k), 0);
+  coords[static_cast<size_t>(dim)] = slice;
+  for (;;) {
+    int64_t idx = 0;
+    for (int d = 0; d < k; ++d) {
+      idx = idx * dims[static_cast<size_t>(d)] +
+            coords[static_cast<size_t>(d)];
+    }
+    nodes.insert(assignment[static_cast<size_t>(idx)]);
+    int d = k - 1;
+    for (; d >= 0; --d) {
+      if (d == dim) continue;
+      const auto du = static_cast<size_t>(d);
+      if (++coords[du] < dims[du]) break;
+      coords[du] = 0;
+    }
+    if (d < 0) break;
+  }
+  return static_cast<int>(nodes.size());
+}
+
+AssignmentStats AnalyzeAssignment(const std::vector<int>& dims,
+                                  const std::vector<int>& assignment,
+                                  int num_nodes) {
+  (void)num_nodes;
+  AssignmentStats stats;
+  const int k = static_cast<int>(dims.size());
+  stats.avg_distinct_nodes_per_slice.resize(static_cast<size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    double sum = 0;
+    for (int s = 0; s < dims[static_cast<size_t>(d)]; ++s) {
+      sum += DistinctNodesInSlice(dims, assignment, d, s);
+    }
+    stats.avg_distinct_nodes_per_slice[static_cast<size_t>(d)] =
+        sum / dims[static_cast<size_t>(d)];
+  }
+  return stats;
+}
+
+}  // namespace declust::decluster

@@ -1,0 +1,54 @@
+// Assignment of grid-directory entries to processors (paper section 3.4).
+//
+// The optimal assignment is an integer program [GMSY90]; the paper uses the
+// heuristic of [Gha90] (unavailable thesis). We implement a tiled
+// latin-square heuristic that satisfies the two stated constraints:
+//  1. each slice of dimension i should contain about Mi distinct processors
+//     (scaled up so all P processors are used), and
+//  2. directory entries are spread evenly across the processors.
+//
+// The directory is divided into G_1 x ... x G_K rectangular tiles with
+// G_d = alpha / M_d, alpha = (P * prod(M))^(1/K), so a slice of dimension d
+// crosses prod_{d' != d} G_d' ~ f * M_d tiles (f = sqrt scaling). Tiles are
+// mapped to processors by a mixed-radix stride so neighbouring tiles in any
+// direction land on distinct processors.
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace declust::decluster {
+
+/// \brief Diagnostics about one tiled assignment.
+struct AssignmentStats {
+  std::vector<int> tiles_per_dim;  // G_d
+  /// Average number of distinct processors over all slices of each
+  /// dimension.
+  std::vector<double> avg_distinct_nodes_per_slice;
+};
+
+/// Assigns each cell of a directory with shape `dims` to one of
+/// `num_nodes` processors, honouring the per-dimension ideal processor
+/// counts `mi` (clamped to >= 1).
+Result<std::vector<int>> TiledAssignment(const std::vector<int>& dims,
+                                         int num_nodes,
+                                         const std::vector<double>& mi);
+
+/// Number of distinct processors appearing in slice `slice` of dimension
+/// `dim` under `assignment`.
+int DistinctNodesInSlice(const std::vector<int>& dims,
+                         const std::vector<int>& assignment, int dim,
+                         int slice);
+
+/// Computes diagnostics for an assignment.
+AssignmentStats AnalyzeAssignment(const std::vector<int>& dims,
+                                  const std::vector<int>& assignment,
+                                  int num_nodes);
+
+/// Round-robin assignment (the paper's K = 1 special case and the naive
+/// baseline for the ablation bench).
+std::vector<int> RoundRobinAssignment(const std::vector<int>& dims,
+                                      int num_nodes);
+
+}  // namespace declust::decluster

@@ -1,0 +1,103 @@
+#include "src/decluster/magic_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace declust::decluster {
+
+double ResponseTimeModel(double m, double resource_ave_ms,
+                         double tuples_per_qave, int64_t relation_cardinality,
+                         const CostModel& cost) {
+  // RT(M) = (CPU+Disk+Net)/M + M*CP + (M-1)*Card*CS / (2*TuplesPerQAve)
+  const double dir = (m - 1.0) * static_cast<double>(relation_cardinality) *
+                     cost.dir_entry_search_ms / (2.0 * tuples_per_qave);
+  return resource_ave_ms / m + m * cost.cost_of_participation_ms + dir;
+}
+
+Result<MagicPlan> ComputeMagicPlan(const workload::Workload& workload,
+                                   int64_t relation_cardinality,
+                                   const CostModel& cost, int num_attrs) {
+  if (workload.classes.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  if (num_attrs < 1) return Status::InvalidArgument("num_attrs < 1");
+  if (relation_cardinality < 1) {
+    return Status::InvalidArgument("empty relation");
+  }
+  for (const auto& q : workload.classes) {
+    if (q.attr < 0 || q.attr >= num_attrs) {
+      return Status::OutOfRange("query class attribute out of range");
+    }
+    if (q.frequency < 0) return Status::InvalidArgument("negative frequency");
+    if (q.tuples < 1) return Status::InvalidArgument("query tuples < 1");
+  }
+
+  MagicPlan plan;
+  // Weighted averages over the whole workload.
+  for (const auto& q : workload.classes) {
+    plan.tuples_per_qave += static_cast<double>(q.tuples) * q.frequency;
+    plan.resource_ave_ms += q.declared_total_ms() * q.frequency;
+  }
+  if (plan.tuples_per_qave <= 0 || plan.resource_ave_ms <= 0) {
+    return Status::InvalidArgument("workload has zero total frequency");
+  }
+
+  // Equation 1 optimum: M = sqrt(R / (CP + Card*CS / (2*TuplesPerQAve))).
+  const double denom =
+      cost.cost_of_participation_ms +
+      static_cast<double>(relation_cardinality) * cost.dir_entry_search_ms /
+          (2.0 * plan.tuples_per_qave);
+  plan.m = std::sqrt(plan.resource_ave_ms / denom);
+
+  // FC (footnote 4: when M < 1 the fragment grows to TuplesPerQAve / M).
+  double fc;
+  if (plan.m <= 1.0) {
+    fc = plan.tuples_per_qave / plan.m;
+  } else if (plan.m < 2.0) {
+    // Between 1 and 2 the 1/(M-1) form degenerates; a query should cover
+    // about one fragment.
+    fc = plan.tuples_per_qave;
+  } else {
+    fc = plan.tuples_per_qave / (plan.m - 1.0);
+  }
+  plan.fragment_cardinality = std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(fc)), 1, relation_cardinality);
+
+  // Equations 2-3: Mi per attribute over the classes referencing it.
+  plan.mi.assign(static_cast<size_t>(num_attrs), 1.0);
+  std::vector<double> attr_freq(static_cast<size_t>(num_attrs), 0.0);
+  for (int a = 0; a < num_attrs; ++a) {
+    double freq_sum = 0.0;
+    for (const auto& q : workload.classes) {
+      if (q.attr == a) freq_sum += q.frequency;
+    }
+    attr_freq[static_cast<size_t>(a)] = freq_sum;
+    if (freq_sum <= 0) continue;  // attribute never queried: Mi stays 1
+    double weighted_resource = 0.0;
+    for (const auto& q : workload.classes) {
+      if (q.attr != a) continue;
+      const double rel_freq = q.frequency / freq_sum;  // equation 2
+      weighted_resource += q.declared_total_ms() * rel_freq;
+    }
+    plan.mi[static_cast<size_t>(a)] = std::max(
+        1.0, std::sqrt(weighted_resource / cost.cost_of_participation_ms));
+  }
+
+  // Equation 4: Fraction_Splits_i = FreqQi * (sum(Mj) - Mi) / sum(Mj).
+  double mi_sum = 0.0;
+  for (double mi : plan.mi) mi_sum += mi;
+  plan.fraction_splits.assign(static_cast<size_t>(num_attrs), 0.0);
+  for (int a = 0; a < num_attrs; ++a) {
+    const auto au = static_cast<size_t>(a);
+    plan.fraction_splits[au] =
+        attr_freq[au] * (mi_sum - plan.mi[au]) / mi_sum;
+    // A queried attribute must remain splittable even if equation 4
+    // degenerates (single-attribute case).
+    if (attr_freq[au] > 0 && plan.fraction_splits[au] <= 0) {
+      plan.fraction_splits[au] = 1e-3;
+    }
+  }
+  return plan;
+}
+
+}  // namespace declust::decluster

@@ -1,0 +1,52 @@
+// MAGIC's planning equations (paper section 3.2 and 3.3).
+//
+// Given the declared resource requirements and frequencies of the workload's
+// selection operations, the planner derives:
+//   * M   — the ideal number of processors for the average query QAve
+//           (equation 1, minimized in closed form),
+//   * FC  — the fragment cardinality (with footnote 4's M < 1 case),
+//   * Mi  — the ideal processors for queries referencing attribute i
+//           (equations 2-3),
+//   * Fraction_Splits_i — the per-dimension split frequencies (equation 4).
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/workload/mixes.h"
+
+namespace declust::decluster {
+
+/// \brief System cost constants of the MAGIC equations.
+struct CostModel {
+  /// CP: overhead of employing one additional processor for a query
+  /// (scheduling + commit control messages), in ms.
+  double cost_of_participation_ms = 2.0;
+  /// CS: cost of examining one grid-directory entry, in ms
+  /// (~10 instructions at 3 MIPS).
+  double dir_entry_search_ms = 10.0 / 3000.0;
+};
+
+/// \brief Output of the planning phase.
+struct MagicPlan {
+  double tuples_per_qave = 0;
+  double resource_ave_ms = 0;  // CPUAve + DiskAve + NetAve
+  double m = 0;                // optimum of equation 1
+  int64_t fragment_cardinality = 0;  // FC
+  std::vector<double> mi;              // per partitioning attribute
+  std::vector<double> fraction_splits; // per partitioning attribute
+};
+
+/// Predicted response time RT(M) of the average query when executed on `m`
+/// processors (equation 1). Exposed for tests and the ablation bench.
+double ResponseTimeModel(double m, double resource_ave_ms,
+                         double tuples_per_qave, int64_t relation_cardinality,
+                         const CostModel& cost);
+
+/// Runs equations 1-4 for a K-attribute workload. Each query class's `attr`
+/// must lie in [0, num_attrs).
+Result<MagicPlan> ComputeMagicPlan(const workload::Workload& workload,
+                                   int64_t relation_cardinality,
+                                   const CostModel& cost, int num_attrs);
+
+}  // namespace declust::decluster

@@ -1,0 +1,84 @@
+#include "src/decluster/range.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace declust::decluster {
+
+Result<std::unique_ptr<RangePartitioning>> RangePartitioning::Create(
+    const storage::Relation& relation,
+    const std::vector<storage::AttrId>& schema_attrs, int num_nodes) {
+  if (num_nodes < 1) return Status::InvalidArgument("num_nodes < 1");
+  if (schema_attrs.empty()) {
+    return Status::InvalidArgument("no partitioning attribute");
+  }
+  if (relation.cardinality() == 0) {
+    return Status::FailedPrecondition("empty relation");
+  }
+  const storage::AttrId attr = schema_attrs[0];
+  if (attr < 0 || attr >= relation.schema().num_attributes()) {
+    return Status::OutOfRange("partitioning attribute out of range");
+  }
+
+  const int64_t n = relation.cardinality();
+  // Sort records by the partitioning attribute and deal equal-cardinality
+  // chunks to the nodes, recording each chunk's upper bound.
+  std::vector<RecordId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](RecordId a, RecordId b) {
+    return relation.value(a, attr) < relation.value(b, attr);
+  });
+
+  auto part = std::unique_ptr<RangePartitioning>(new RangePartitioning());
+  std::vector<int> home(static_cast<size_t>(n), 0);
+  part->upper_bounds_.resize(static_cast<size_t>(num_nodes));
+  for (int node = 0; node < num_nodes; ++node) {
+    const int64_t begin = n * node / num_nodes;
+    const int64_t end = n * (node + 1) / num_nodes;
+    for (int64_t i = begin; i < end; ++i) {
+      home[order[static_cast<size_t>(i)]] = node;
+    }
+    const int64_t last = std::max(begin, end - 1);
+    part->upper_bounds_[static_cast<size_t>(node)] =
+        relation.value(order[static_cast<size_t>(last)], attr);
+  }
+  // Ensure the last bound covers the whole domain.
+  part->upper_bounds_.back() = std::numeric_limits<Value>::max();
+  part->SetAssignment(num_nodes, std::move(home));
+  return part;
+}
+
+std::vector<int> RangePartitioning::NodesForRange(Value lo, Value hi) const {
+  std::vector<int> nodes;
+  if (lo > hi) return nodes;
+  // First node whose upper bound >= lo.
+  const auto first = std::lower_bound(upper_bounds_.begin(),
+                                      upper_bounds_.end(), lo) -
+                     upper_bounds_.begin();
+  for (size_t i = static_cast<size_t>(first); i < upper_bounds_.size(); ++i) {
+    nodes.push_back(static_cast<int>(i));
+    if (upper_bounds_[i] >= hi) break;
+  }
+  return nodes;
+}
+
+PlanSites RangePartitioning::SitesFor(const Predicate& q) const {
+  PlanSites sites;
+  if (q.attr == 0) {
+    sites.data_nodes = NodesForRange(q.lo, q.hi);
+  } else {
+    // Any other attribute: no partitioning information; all processors.
+    sites.data_nodes.resize(static_cast<size_t>(num_nodes()));
+    std::iota(sites.data_nodes.begin(), sites.data_nodes.end(), 0);
+  }
+  return sites;
+}
+
+std::vector<int> RangePartitioning::InsertSites(
+    const std::vector<Value>& attr_values) const {
+  // Only the new tuple's home fragment is touched.
+  return NodesForRange(attr_values[0], attr_values[0]);
+}
+
+}  // namespace declust::decluster

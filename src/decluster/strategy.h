@@ -1,0 +1,87 @@
+// Common interface of the declustering strategies (range, hash, BERD,
+// MAGIC): each strategy maps every tuple of a relation to a home processor
+// and tells the optimizer which processors a selection predicate must visit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/relation.h"
+#include "src/storage/types.h"
+
+namespace declust::decluster {
+
+using storage::RecordId;
+using storage::Value;
+
+/// \brief A selection predicate: `attr` in [lo, hi] (inclusive).
+/// `attr` indexes the *partitioning attribute list* (0 = first partitioning
+/// attribute), not the schema.
+struct Predicate {
+  int attr = 0;
+  Value lo = 0;
+  Value hi = 0;
+};
+
+/// \brief The processors a query must visit.
+///
+/// For most strategies only `data_nodes` is populated. For BERD queries on a
+/// secondary partitioning attribute, `aux_nodes` lists the processors whose
+/// auxiliary-relation fragments must be searched first (phase 1); the data
+/// nodes are visited afterwards (phase 2).
+struct PlanSites {
+  std::vector<int> aux_nodes;
+  std::vector<int> data_nodes;
+};
+
+/// \brief A completed declustering of one relation across P processors.
+class Partitioning {
+ public:
+  virtual ~Partitioning() = default;
+
+  /// Strategy name for reports ("range", "BERD", "MAGIC", ...).
+  virtual const std::string& name() const = 0;
+
+  int num_nodes() const { return static_cast<int>(node_records_.size()); }
+
+  /// Record ids stored at each node.
+  const std::vector<std::vector<RecordId>>& node_records() const {
+    return node_records_;
+  }
+
+  /// Home node of one record.
+  int NodeOf(RecordId rid) const { return record_home_[rid]; }
+
+  /// Processors a query with this predicate must visit.
+  virtual PlanSites SitesFor(const Predicate& q) const = 0;
+
+  /// CPU milliseconds the scheduler spends consulting partitioning
+  /// metadata before dispatch (MAGIC's grid-directory search).
+  virtual double PlanningCpuMs(const Predicate& q) const {
+    (void)q;
+    return 0.0;
+  }
+
+  /// Processors that must participate in inserting one new tuple whose
+  /// partitioning-attribute values are `attr_values` (the data home plus
+  /// any auxiliary structures that need maintenance). Used by the
+  /// maintenance-cost extension bench: BERD touches its auxiliary
+  /// relation's processor for every secondary attribute, the others touch
+  /// only the tuple's home.
+  virtual std::vector<int> InsertSites(
+      const std::vector<Value>& attr_values) const = 0;
+
+  /// Max/min tuples per node (load-skew diagnostics).
+  std::pair<int64_t, int64_t> LoadExtremes() const;
+
+ protected:
+  /// Populates node_records_ and record_home_ from a per-record node map.
+  void SetAssignment(int num_nodes, std::vector<int> record_home);
+
+  std::vector<std::vector<RecordId>> node_records_;
+  std::vector<int> record_home_;
+};
+
+}  // namespace declust::decluster

@@ -1,0 +1,76 @@
+// Per-node LRU buffer pool (extension).
+//
+// The paper's simulator reads every page from disk; Gamma itself had a
+// buffer manager. This optional model lets an experiment quantify how much
+// of the declustering comparison survives caching: a page found in the pool
+// skips the disk read and the DMA transfer entirely.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/hw/disk.h"
+
+namespace declust::engine {
+
+/// \brief LRU cache of disk pages for one node.
+class BufferPool {
+ public:
+  /// \param capacity_pages maximum resident pages (0 disables the pool:
+  ///        every access misses).
+  explicit BufferPool(int64_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Accesses a page: returns true on a hit (page promoted to MRU); on a
+  /// miss the page is inserted, evicting the LRU page if full.
+  bool Touch(hw::PageAddress page) {
+    if (capacity_ <= 0) {
+      ++misses_;
+      return false;
+    }
+    const Key key = KeyOf(page);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    ++misses_;
+    lru_.push_front(key);
+    index_[key] = lru_.begin();
+    if (static_cast<int64_t>(lru_.size()) > capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return false;
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t resident() const { return static_cast<int64_t>(lru_.size()); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  using Key = int64_t;
+  static Key KeyOf(hw::PageAddress page) {
+    return static_cast<int64_t>(page.cylinder) * 1'000'000 + page.slot;
+  }
+
+  int64_t capacity_;
+  std::list<Key> lru_;
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace declust::engine

@@ -1,0 +1,222 @@
+#include "src/engine/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace declust::engine {
+
+namespace {
+
+// Places the `height` pages of a B-tree descent within an index extent:
+// the root first, then one page per level, the last being the leaf that
+// contains `leaf_index`. Intermediate levels are spread deterministically.
+void DescentPages(const storage::Extent& extent, int height,
+                  int64_t leaf_index, const storage::DiskLayout& layout,
+                  std::vector<hw::PageAddress>* out) {
+  if (extent.num_pages == 0) return;
+  for (int level = 0; level < height; ++level) {
+    int64_t page;
+    if (level == 0) {
+      page = 0;  // root
+    } else if (level == height - 1) {
+      page = std::min(extent.num_pages - 1, 1 + leaf_index);
+    } else {
+      // Spread interior levels across the extent.
+      page = std::min(extent.num_pages - 1,
+                      1 + (leaf_index / (level + 1)) % extent.num_pages);
+    }
+    auto addr = layout.Resolve(extent, page);
+    assert(addr.ok());
+    out->push_back(*addr);
+  }
+}
+
+}  // namespace
+
+FragmentStore::FragmentStore(const storage::Relation* relation,
+                             std::vector<RecordId> records,
+                             storage::AttrId attr_a, storage::AttrId attr_b,
+                             const CatalogOptions& opts,
+                             const hw::HwParams& hw,
+                             storage::DiskLayout* layout)
+    : relation_(relation),
+      by_b_(std::move(records)),
+      clustered_b_(opts.index_fanout),
+      nonclustered_a_(opts.index_fanout),
+      page_layout_(hw.tuples_per_page) {
+  // Clustered order on B.
+  std::sort(by_b_.begin(), by_b_.end(), [&](RecordId x, RecordId y) {
+    return relation_->value(x, attr_b) < relation_->value(y, attr_b);
+  });
+
+  // Build both indexes over positions in clustered order.
+  std::vector<storage::BTreeEntry> b_entries(by_b_.size());
+  std::vector<storage::BTreeEntry> a_entries(by_b_.size());
+  for (size_t pos = 0; pos < by_b_.size(); ++pos) {
+    b_entries[pos] = {relation_->value(by_b_[pos], attr_b),
+                      static_cast<RecordId>(pos)};
+    a_entries[pos] = {relation_->value(by_b_[pos], attr_a),
+                      static_cast<RecordId>(pos)};
+  }
+  std::sort(a_entries.begin(), a_entries.end(),
+            [](const storage::BTreeEntry& x, const storage::BTreeEntry& y) {
+              return x.key < y.key;
+            });
+  clustered_b_ = storage::BPlusTree::BulkLoad(std::move(b_entries),
+                                              opts.index_fanout);
+  nonclustered_a_ = storage::BPlusTree::BulkLoad(std::move(a_entries),
+                                                 opts.index_fanout);
+
+  // Allocate physical extents: data, then the two indexes.
+  auto data = layout->Allocate(
+      page_layout_.PagesFor(static_cast<int64_t>(by_b_.size())));
+  auto idx_b = layout->Allocate(clustered_b_.node_count());
+  auto idx_a = layout->Allocate(nonclustered_a_.node_count());
+  assert(data.ok() && idx_b.ok() && idx_a.ok());
+  data_extent_ = *data;
+  index_b_extent_ = *idx_b;
+  index_a_extent_ = *idx_a;
+}
+
+AccessPlan FragmentStore::ClusteredAccess(
+    Value lo, Value hi, const storage::DiskLayout& layout) const {
+  AccessPlan plan;
+  // B-tree descent: root to the leaf holding the first qualifying key.
+  const auto entries = clustered_b_.RangeSearch(lo, hi);
+  plan.tuples = static_cast<int64_t>(entries.size());
+  const int64_t first_pos = entries.empty() ? 0 : entries.front().rid;
+  DescentPages(index_b_extent_, clustered_b_.height(),
+               first_pos / std::max(1, static_cast<int>(clustered_b_.size() /
+                                           std::max(1, clustered_b_.leaf_count()))),
+               layout, &plan.index_pages);
+  if (!entries.empty()) {
+    // Qualifying tuples are contiguous in clustered order: sequential pages.
+    const int64_t last_pos = entries.back().rid;
+    const int64_t first_page = page_layout_.PageOfPosition(first_pos);
+    const int64_t last_page = page_layout_.PageOfPosition(last_pos);
+    for (int64_t p = first_page; p <= last_page; ++p) {
+      auto addr = layout.Resolve(data_extent_, p);
+      assert(addr.ok());
+      plan.data_pages.push_back(*addr);
+    }
+  }
+  return plan;
+}
+
+AccessPlan FragmentStore::NonClusteredAccess(
+    Value lo, Value hi, const storage::DiskLayout& layout) const {
+  AccessPlan plan;
+  const auto entries = nonclustered_a_.RangeSearch(lo, hi);
+  plan.tuples = static_cast<int64_t>(entries.size());
+
+  // Descent plus any extra leaves the range spans.
+  const int64_t avg_per_leaf =
+      std::max<int64_t>(1, nonclustered_a_.size() /
+                               std::max(1, nonclustered_a_.leaf_count()));
+  DescentPages(index_a_extent_, nonclustered_a_.height(),
+               (entries.empty() ? 0 : entries.front().key) / avg_per_leaf,
+               layout, &plan.index_pages);
+  const int extra_leaves = nonclustered_a_.LeafPagesTouched(lo, hi) - 1;
+  for (int l = 0; l < extra_leaves; ++l) {
+    auto addr = layout.Resolve(
+        index_a_extent_,
+        std::min<int64_t>(index_a_extent_.num_pages - 1, 1 + l));
+    assert(addr.ok());
+    plan.index_pages.push_back(*addr);
+  }
+
+  // One random data page per distinct page of a qualifying tuple, read in
+  // ascending page order.
+  std::vector<int64_t> pages;
+  pages.reserve(entries.size());
+  for (const auto& e : entries) {
+    pages.push_back(page_layout_.PageOfPosition(e.rid));
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  for (int64_t p : pages) {
+    auto addr = layout.Resolve(data_extent_, p);
+    assert(addr.ok());
+    plan.data_pages.push_back(*addr);
+  }
+  return plan;
+}
+
+AccessPlan FragmentStore::ScanAccess(
+    int attr, Value lo, Value hi, const storage::DiskLayout& layout) const {
+  AccessPlan plan;
+  // Every data page, physically sequential; no index pages.
+  for (int64_t p = 0; p < data_extent_.num_pages; ++p) {
+    auto addr = layout.Resolve(data_extent_, p);
+    assert(addr.ok());
+    plan.data_pages.push_back(*addr);
+  }
+  const auto& tree = (attr == 1) ? clustered_b_ : nonclustered_a_;
+  plan.tuples = static_cast<int64_t>(tree.RangeSearch(lo, hi).size());
+  return plan;
+}
+
+Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
+    const storage::Relation* relation,
+    const decluster::Partitioning* partitioning, storage::AttrId attr_a,
+    storage::AttrId attr_b, const hw::HwParams& hw, CatalogOptions opts) {
+  if (relation == nullptr || partitioning == nullptr) {
+    return Status::InvalidArgument("null relation or partitioning");
+  }
+  auto catalog = std::unique_ptr<SystemCatalog>(new SystemCatalog());
+  catalog->relation_ = relation;
+  catalog->partitioning_ = partitioning;
+  catalog->berd_ =
+      dynamic_cast<const decluster::BerdPartitioning*>(partitioning);
+  catalog->opts_ = opts;
+
+  const int nodes = partitioning->num_nodes();
+  for (int node = 0; node < nodes; ++node) {
+    catalog->layouts_.push_back(std::make_unique<storage::DiskLayout>(
+        hw.disk_pages_per_cylinder, hw.disk_cylinders));
+    catalog->stores_.push_back(std::make_unique<FragmentStore>(
+        relation, partitioning->node_records()[static_cast<size_t>(node)],
+        attr_a, attr_b, opts, hw, catalog->layouts_.back().get()));
+    if (catalog->berd_ != nullptr) {
+      // Auxiliary-relation pages for this node's aux fragment.
+      const auto full = catalog->berd_->AuxCost(
+          node, std::numeric_limits<Value>::min(),
+          std::numeric_limits<Value>::max());
+      const int64_t aux_pages =
+          std::max<int64_t>(1, full.index_pages + full.leaf_pages);
+      DECLUST_ASSIGN_OR_RETURN(auto extent,
+                               catalog->layouts_.back()->Allocate(aux_pages));
+      catalog->aux_extents_.push_back(extent);
+    }
+  }
+  return catalog;
+}
+
+AccessPlan SystemCatalog::PlanAccess(int node, const Predicate& q,
+                                     bool sequential_scan) const {
+  const auto& layout = *layouts_[static_cast<size_t>(node)];
+  const auto& store = *stores_[static_cast<size_t>(node)];
+  if (sequential_scan) return store.ScanAccess(q.attr, q.lo, q.hi, layout);
+  // Attribute 0 = A (non-clustered index), 1 = B (clustered index).
+  if (q.attr == 1) return store.ClusteredAccess(q.lo, q.hi, layout);
+  return store.NonClusteredAccess(q.lo, q.hi, layout);
+}
+
+AccessPlan SystemCatalog::PlanAuxAccess(int node, const Predicate& q) const {
+  AccessPlan plan;
+  if (berd_ == nullptr) return plan;
+  const auto cost = berd_->AuxCost(node, q.lo, q.hi);
+  const auto& layout = *layouts_[static_cast<size_t>(node)];
+  const auto& extent = aux_extents_[static_cast<size_t>(node)];
+  DescentPages(extent, cost.index_pages, 0, layout, &plan.index_pages);
+  for (int l = 1; l < cost.leaf_pages; ++l) {
+    auto addr = layout.Resolve(
+        extent, std::min<int64_t>(extent.num_pages - 1, l));
+    assert(addr.ok());
+    plan.index_pages.push_back(*addr);
+  }
+  plan.tuples = cost.entries;
+  return plan;
+}
+
+}  // namespace declust::engine

@@ -1,0 +1,120 @@
+// System catalog: per-node physical storage of the declustered relation.
+//
+// Paper: "the System Catalog manager keeps track of how many relations are
+// defined, what disk each relation is declustered across, which partitioning
+// strategy is used ... and the number of pages of each relation on each
+// disk. For each relation, a mapping from logical page numbers to physical
+// disk addresses is also maintained."
+//
+// Each node stores its fragment clustered on attribute B (clustered B+-tree)
+// with a non-clustered B+-tree on attribute A, laid out in contiguous
+// extents on the node's disk. BERD additionally stores an auxiliary-relation
+// extent per node.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/decluster/berd.h"
+#include "src/decluster/strategy.h"
+#include "src/hw/params.h"
+#include "src/storage/btree.h"
+#include "src/storage/disk_layout.h"
+#include "src/storage/page_layout.h"
+#include "src/storage/relation.h"
+
+namespace declust::engine {
+
+using decluster::Predicate;
+using storage::RecordId;
+using storage::Value;
+
+/// \brief Pages one operator must read at one node, in read order.
+struct AccessPlan {
+  /// Physical index pages (random reads: B-tree descent, then leaves).
+  std::vector<hw::PageAddress> index_pages;
+  /// Physical data pages; contiguous ascending for clustered scans.
+  std::vector<hw::PageAddress> data_pages;
+  /// Qualifying tuples found at this node.
+  int64_t tuples = 0;
+};
+
+/// \brief Catalog configuration.
+struct CatalogOptions {
+  /// Fanout of the clustered and non-clustered B+-trees (entries per 8 KB
+  /// index page: ~16-byte entries plus page overhead).
+  int index_fanout = 340;
+  /// Fanout of BERD auxiliary-relation B-trees.
+  int aux_fanout = 512;
+};
+
+/// \brief One node's fragment: clustered storage + both indexes + extents.
+class FragmentStore {
+ public:
+  FragmentStore(const storage::Relation* relation,
+                std::vector<RecordId> records, storage::AttrId attr_a,
+                storage::AttrId attr_b, const CatalogOptions& opts,
+                const hw::HwParams& hw, storage::DiskLayout* layout);
+
+  int64_t tuple_count() const { return static_cast<int64_t>(by_b_.size()); }
+  int64_t data_pages() const { return data_extent_.num_pages; }
+
+  /// Access plan for a clustered range on attribute B.
+  AccessPlan ClusteredAccess(Value lo, Value hi,
+                             const storage::DiskLayout& layout) const;
+
+  /// Access plan for a (non-clustered) predicate on attribute A.
+  AccessPlan NonClusteredAccess(Value lo, Value hi,
+                                const storage::DiskLayout& layout) const;
+
+  /// Access plan for a full sequential scan of the fragment, counting the
+  /// tuples matching [lo, hi] on `attr` (0 = A, 1 = B).
+  AccessPlan ScanAccess(int attr, Value lo, Value hi,
+                        const storage::DiskLayout& layout) const;
+
+ private:
+  const storage::Relation* relation_;
+  std::vector<RecordId> by_b_;  // clustered order
+  storage::BPlusTree clustered_b_;
+  storage::BPlusTree nonclustered_a_;
+  storage::PageLayout page_layout_;
+  storage::Extent data_extent_;
+  storage::Extent index_b_extent_;
+  storage::Extent index_a_extent_;
+};
+
+/// \brief The catalog for one declustered relation.
+class SystemCatalog {
+ public:
+  /// Builds per-node fragment stores (and BERD auxiliary extents) for
+  /// `partitioning` of `relation`.
+  static Result<std::unique_ptr<SystemCatalog>> Build(
+      const storage::Relation* relation,
+      const decluster::Partitioning* partitioning, storage::AttrId attr_a,
+      storage::AttrId attr_b, const hw::HwParams& hw,
+      CatalogOptions opts = CatalogOptions());
+
+  int num_nodes() const { return static_cast<int>(stores_.size()); }
+  const FragmentStore& store(int node) const { return *stores_[node]; }
+
+  /// Access plan for `q` at `node` (selects the index by attribute, or a
+  /// full sequential scan when `sequential_scan` is set).
+  AccessPlan PlanAccess(int node, const Predicate& q,
+                        bool sequential_scan = false) const;
+
+  /// Access plan for a BERD auxiliary lookup at `node` (empty plan for
+  /// non-BERD partitionings).
+  AccessPlan PlanAuxAccess(int node, const Predicate& q) const;
+
+ private:
+  const storage::Relation* relation_ = nullptr;
+  const decluster::Partitioning* partitioning_ = nullptr;
+  const decluster::BerdPartitioning* berd_ = nullptr;  // null unless BERD
+  std::vector<std::unique_ptr<FragmentStore>> stores_;
+  std::vector<std::unique_ptr<storage::DiskLayout>> layouts_;
+  std::vector<storage::Extent> aux_extents_;  // BERD only
+  CatalogOptions opts_;
+};
+
+}  // namespace declust::engine

@@ -1,0 +1,3 @@
+#include "src/engine/metrics.h"
+
+// Header-only; translation unit for future out-of-line reporting.

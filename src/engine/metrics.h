@@ -1,0 +1,75 @@
+// Run metrics: throughput and response times with a warm-up window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/sim/simulation.h"
+
+namespace declust::engine {
+
+/// \brief Collects query completions; throughput is measured over the
+/// window after StartMeasurement().
+class Metrics {
+ public:
+  explicit Metrics(int num_classes)
+      : class_response_ms_(static_cast<size_t>(num_classes)),
+        response_hist_(0.0, 10'000.0, 500) {}
+
+  /// Begins the measurement window (call after warm-up).
+  void StartMeasurement(sim::SimTime now) {
+    window_start_ = now;
+    measuring_ = true;
+    completed_in_window_ = 0;
+    response_ms_.Reset();
+    response_hist_ = Histogram(0.0, 10'000.0, 500);
+    for (auto& acc : class_response_ms_) acc.Reset();
+  }
+
+  void RecordCompletion(int class_index, double response_ms) {
+    ++completed_total_;
+    if (!measuring_) return;
+    ++completed_in_window_;
+    response_ms_.Add(response_ms);
+    response_hist_.Add(response_ms);
+    class_response_ms_[static_cast<size_t>(class_index)].Add(response_ms);
+  }
+
+  /// Response-time quantile over the window (interpolated, 20 ms buckets).
+  double ResponseQuantileMs(double q) const {
+    return response_hist_.Quantile(q);
+  }
+
+  /// Queries per second over the measurement window ending at `now`.
+  double ThroughputQps(sim::SimTime now) const {
+    const double window_ms = now - window_start_;
+    if (window_ms <= 0) return 0.0;
+    return static_cast<double>(completed_in_window_) / (window_ms / 1000.0);
+  }
+
+  int64_t completed_total() const { return completed_total_; }
+  int64_t completed_in_window() const { return completed_in_window_; }
+  const Accumulator& response_ms() const { return response_ms_; }
+  const Accumulator& class_response_ms(int c) const {
+    return class_response_ms_[static_cast<size_t>(c)];
+  }
+
+  /// Mean number of data processors used per query (over the window).
+  void RecordProcessorsUsed(int n) {
+    if (measuring_) processors_used_.Add(n);
+  }
+  const Accumulator& processors_used() const { return processors_used_; }
+
+ private:
+  bool measuring_ = false;
+  sim::SimTime window_start_ = 0;
+  int64_t completed_total_ = 0;
+  int64_t completed_in_window_ = 0;
+  Accumulator response_ms_;
+  Accumulator processors_used_;
+  std::vector<Accumulator> class_response_ms_;
+  Histogram response_hist_;
+};
+
+}  // namespace declust::engine

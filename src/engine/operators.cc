@@ -1,0 +1,65 @@
+#include "src/engine/operators.h"
+
+#include <algorithm>
+
+namespace declust::engine {
+
+namespace {
+
+// Reads one page through the pool (if any), the disk, the DMA interrupt,
+// and the per-page CPU processing.
+sim::Task<> AccessPage(hw::Node* node, hw::PageAddress page,
+                       const OperatorCosts& costs, BufferPool* pool) {
+  const hw::HwParams& hw = node->params();
+  if (pool != nullptr) {
+    co_await node->cpu().Run(costs.buffer_lookup_instructions);
+    if (pool->Touch(page)) {
+      // Buffer hit: the page is already in memory; only the processing
+      // cost applies.
+      co_await node->cpu().Run(hw.read_page_instructions);
+      co_return;
+    }
+  }
+  co_await node->disk().Read(page);
+  co_await node->cpu().RunDma(hw.scsi_transfer_instructions);
+  co_await node->cpu().Run(hw.read_page_instructions);
+}
+
+}  // namespace
+
+sim::Task<> RunSelect(hw::Node* node, const AccessPlan& plan, int result_node,
+                      const OperatorCosts& costs, BufferPool* pool) {
+  const hw::HwParams& hw = node->params();
+
+  // Operator activation.
+  co_await node->cpu().Run(costs.startup_instructions);
+
+  // Index pages: random reads, each moved from the SCSI FIFO by a DMA
+  // interrupt, then processed.
+  for (const auto& page : plan.index_pages) {
+    co_await AccessPage(node, page, costs, pool);
+  }
+
+  // Data pages (sequential for clustered scans, random otherwise: the
+  // addresses in the plan and the elevator model decide).
+  for (const auto& page : plan.data_pages) {
+    co_await AccessPage(node, page, costs, pool);
+  }
+
+  // Predicate evaluation / tuple extraction.
+  if (plan.tuples > 0) {
+    co_await node->cpu().Run(plan.tuples * costs.per_tuple_instructions);
+  }
+
+  // Ship qualifying tuples to the result site in tuple packets.
+  int64_t remaining = plan.tuples;
+  while (remaining > 0) {
+    const int64_t batch =
+        std::min<int64_t>(remaining, hw.tuples_per_packet);
+    const int bytes = static_cast<int>(batch * hw.tuple_size_bytes);
+    co_await node->network().Send(node->id(), result_node, bytes, [] {});
+    remaining -= batch;
+  }
+}
+
+}  // namespace declust::engine

@@ -1,0 +1,38 @@
+// The select operator executed at an operator node (paper: "An Operator
+// manager is responsible for modeling the relational operators (e.g.
+// select). This manager repeatedly issues requests to the CPU, Disk and
+// Network Interface managers to perform its particular operation.").
+#pragma once
+
+#include "src/engine/buffer_pool.h"
+#include "src/engine/catalog.h"
+#include "src/hw/node.h"
+#include "src/sim/task.h"
+
+namespace declust::engine {
+
+/// Per-operator engine cost knobs (instruction counts at 3 MIPS).
+struct OperatorCosts {
+  /// Operator activation/teardown CPU at the operator node.
+  int64_t startup_instructions = 1'000;
+  /// Per-qualifying-tuple CPU (predicate evaluation + copy).
+  int64_t per_tuple_instructions = 300;
+  /// Scheduler CPU per participating site (part of CP).
+  int64_t per_site_sched_instructions = 1'000;
+  /// Scheduler CPU to parse/plan a query.
+  int64_t plan_instructions = 3'000;
+  /// CPU cost of a buffer-pool lookup (hash probe + pin).
+  int64_t buffer_lookup_instructions = 300;
+};
+
+/// \brief Executes a select at `node`: reads the plan's index pages and data
+/// pages through the disk (DMA + page CPU per page), spends per-tuple CPU,
+/// and ships the qualifying tuples to `result_node` in tuple packets.
+///
+/// `pool` (optional) is the node's buffer pool: hits skip the disk read and
+/// DMA transfer. Completes when the last result packet has left this node's
+/// interface.
+sim::Task<> RunSelect(hw::Node* node, const AccessPlan& plan, int result_node,
+                      const OperatorCosts& costs, BufferPool* pool = nullptr);
+
+}  // namespace declust::engine

@@ -1,0 +1,12 @@
+#include "src/engine/scheduler.h"
+
+namespace declust::engine {
+
+sim::Task<> DeliverMessage(sim::Simulation* sim, hw::Network* net, int src,
+                           int dst, int bytes) {
+  sim::Trigger delivered(sim);
+  co_await net->Send(src, dst, bytes, [&delivered] { delivered.Fire(); });
+  co_await delivered.Wait();
+}
+
+}  // namespace declust::engine

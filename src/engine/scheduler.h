@@ -1,0 +1,16 @@
+// Control-message primitives used by the query scheduler.
+#pragma once
+
+#include "src/hw/network.h"
+#include "src/sim/task.h"
+#include "src/sim/trigger.h"
+
+namespace declust::engine {
+
+/// \brief Sends a message of `bytes` from `src` to `dst` and completes when
+/// it has been DELIVERED (occupied both interfaces), unlike
+/// Network::Send which completes when the packet leaves the sender.
+sim::Task<> DeliverMessage(sim::Simulation* sim, hw::Network* net, int src,
+                           int dst, int bytes);
+
+}  // namespace declust::engine

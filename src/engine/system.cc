@@ -1,0 +1,171 @@
+#include "src/engine/system.h"
+
+#include <algorithm>
+
+namespace declust::engine {
+
+System::System(sim::Simulation* sim, SystemConfig config,
+               const storage::Relation* relation,
+               const decluster::Partitioning* partitioning,
+               const workload::Workload* workload)
+    : sim_(sim),
+      config_(config),
+      relation_(relation),
+      partitioning_(partitioning),
+      workload_(workload),
+      metrics_(static_cast<int>(workload->classes.size())) {}
+
+Status System::Init() {
+  // One extra node hosts the query manager (the entry point of figure 7);
+  // per-query scheduler processes are placed round-robin on the operator
+  // nodes, as in Gamma, so coordination work scales with the machine.
+  hw::HwParams machine_params = config_.hw;
+  machine_params.num_processors = config_.hw.num_processors + 1;
+  machine_ = std::make_unique<hw::Machine>(sim_, machine_params,
+                                           RandomStream(config_.seed));
+
+  auto catalog = SystemCatalog::Build(relation_, partitioning_,
+                                      config_.attr_a, config_.attr_b,
+                                      config_.hw, config_.catalog);
+  DECLUST_RETURN_NOT_OK(catalog.status());
+  catalog_ = std::move(catalog).ValueOrDie();
+
+  querygen_ = std::make_unique<workload::QueryGenerator>(
+      workload_, relation_->cardinality(),
+      RandomStream(config_.seed).Fork(0xABCD));
+
+  if (config_.buffer_pool_pages > 0) {
+    pools_.reserve(static_cast<size_t>(config_.hw.num_processors));
+    for (int n = 0; n < config_.hw.num_processors; ++n) {
+      pools_.push_back(
+          std::make_unique<BufferPool>(config_.buffer_pool_pages));
+    }
+  }
+  return Status::OK();
+}
+
+void System::Start() {
+  RandomStream rng = RandomStream(config_.seed).Fork(0x7157);
+  for (int t = 0; t < config_.multiprogramming_level; ++t) {
+    sim_->Spawn(TerminalLoop(rng.Fork(static_cast<uint64_t>(t))));
+  }
+}
+
+sim::Task<> System::TerminalLoop(RandomStream rng) {
+  // Closed system: each terminal has at most one query outstanding. The
+  // paper uses zero think time; a mean think time can be configured.
+  for (;;) {
+    if (config_.think_time_ms > 0) {
+      co_await sim_->WaitFor(rng.Exponential(config_.think_time_ms));
+    }
+    const workload::QueryInstance q = querygen_->Next();
+    const sim::SimTime start = sim_->now();
+    co_await ExecuteQuery(q);
+    metrics_.RecordCompletion(q.class_index, sim_->now() - start);
+  }
+}
+
+sim::Task<> System::ExecuteQuery(workload::QueryInstance q) {
+  const Predicate pred{q.attr, q.lo, q.hi};
+  const bool scan =
+      workload_->classes[static_cast<size_t>(q.class_index)].sequential_scan;
+
+  // The query manager (host node) dispatches the query to its scheduler
+  // process, allocated round-robin over the operator nodes.
+  const int coord = next_coordinator_++ % config_.hw.num_processors;
+  co_await DeliverMessage(sim_, &machine_->network(), host_node(), coord,
+                          config_.hw.control_message_bytes);
+
+  // Scheduler: build the plan; MAGIC pays the grid-directory search.
+  hw::Cpu& coord_cpu = machine_->node(coord).cpu();
+  const double plan_ms = config_.hw.InstrMs(config_.costs.plan_instructions) +
+                         partitioning_->PlanningCpuMs(pred);
+  co_await coord_cpu.RunMs(plan_ms);
+
+  const decluster::PlanSites sites = partitioning_->SitesFor(pred);
+
+  // Phase 1 (BERD secondary-attribute queries): auxiliary lookups, strictly
+  // before the data phase.
+  if (!sites.aux_nodes.empty()) {
+    sim::JoinCounter aux_join(sim_, static_cast<int>(sites.aux_nodes.size()));
+    for (int node : sites.aux_nodes) {
+      sim_->Spawn(RunAuxSite(coord, node, pred, &aux_join));
+    }
+    co_await aux_join.Wait();
+  }
+
+  // Data phase.
+  metrics_.RecordProcessorsUsed(static_cast<int>(sites.data_nodes.size()));
+  if (!sites.data_nodes.empty()) {
+    sim::JoinCounter join(sim_, static_cast<int>(sites.data_nodes.size()));
+    for (int node : sites.data_nodes) {
+      sim_->Spawn(RunDataSite(coord, node, pred, scan, &join));
+    }
+    co_await join.Wait();
+
+    // Commit: one control message per participant, serialized at the
+    // scheduler's interface (the linear component of CP).
+    for (int node : sites.data_nodes) {
+      co_await machine_->network().Send(coord, node,
+                                        config_.hw.control_message_bytes,
+                                        [] {});
+    }
+  }
+
+  // Completion notice back to the query manager / terminal.
+  co_await DeliverMessage(sim_, &machine_->network(), coord, host_node(),
+                          config_.hw.control_message_bytes);
+}
+
+sim::Task<> System::RunDataSite(int coord, int node, Predicate pred,
+                                bool sequential_scan,
+                                sim::JoinCounter* join) {
+  // Scheduler-side work to activate this site.
+  co_await machine_->node(coord).cpu().Run(
+      config_.costs.per_site_sched_instructions);
+  co_await DeliverMessage(sim_, &machine_->network(), coord, node,
+                          config_.hw.control_message_bytes);
+
+  // The operator runs with the node's resources; results flow back to the
+  // query's scheduler.
+  const AccessPlan plan = catalog_->PlanAccess(node, pred, sequential_scan);
+  BufferPool* pool =
+      pools_.empty() ? nullptr : pools_[static_cast<size_t>(node)].get();
+  co_await RunSelect(&machine_->node(node), plan, coord, config_.costs,
+                     pool);
+
+  // Done message back to the scheduler.
+  co_await DeliverMessage(sim_, &machine_->network(), node, coord,
+                          config_.hw.control_message_bytes);
+  join->CountDown();
+}
+
+sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
+                               sim::JoinCounter* join) {
+  co_await machine_->node(coord).cpu().Run(
+      config_.costs.per_site_sched_instructions);
+  co_await DeliverMessage(sim_, &machine_->network(), coord, node,
+                          config_.hw.control_message_bytes);
+
+  hw::Node& n = machine_->node(node);
+  const AccessPlan plan = catalog_->PlanAuxAccess(node, pred);
+  co_await n.cpu().Run(config_.costs.startup_instructions);
+  for (const auto& page : plan.index_pages) {
+    co_await n.disk().Read(page);
+    co_await n.cpu().RunDma(config_.hw.scsi_transfer_instructions);
+    co_await n.cpu().Run(config_.hw.read_page_instructions);
+  }
+  if (plan.tuples > 0) {
+    // Extract (tuple id, processor) pairs for the qualifying entries.
+    co_await n.cpu().Run(plan.tuples * config_.costs.per_tuple_instructions /
+                         4);
+  }
+  // Reply with the processor list (8 bytes per qualifying entry).
+  const int bytes = static_cast<int>(
+      std::min<int64_t>(config_.hw.max_packet_bytes,
+                        config_.hw.control_message_bytes + 8 * plan.tuples));
+  co_await DeliverMessage(sim_, &machine_->network(), node, coord, bytes);
+  join->CountDown();
+}
+
+}  // namespace declust::engine

@@ -1,0 +1,92 @@
+// The simulated parallel database machine: P operator nodes + a scheduler
+// node, terminals driving a closed multiprogramming workload, the query
+// manager/scheduler protocol, and the select operators.
+//
+// Execution of one query (paper figure 7 model):
+//   terminal -> query manager (plan CPU, MAGIC directory search)
+//            -> scheduler activates each participating operator node with a
+//               control message (the per-processor cost of participation)
+//            -> operator: index + data page I/O, per-tuple CPU, result
+//               packets to the scheduler
+//            -> done message per site; commit message per site
+//   BERD queries on the secondary attribute first run the auxiliary-lookup
+//   phase on the aux nodes, then the data phase (two sequential steps).
+#pragma once
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/engine/catalog.h"
+#include "src/engine/metrics.h"
+#include "src/engine/operators.h"
+#include "src/engine/scheduler.h"
+#include "src/hw/node.h"
+#include "src/workload/querygen.h"
+
+namespace declust::engine {
+
+/// \brief Everything configurable about a run.
+struct SystemConfig {
+  hw::HwParams hw;
+  CatalogOptions catalog;
+  OperatorCosts costs;
+  /// Number of terminals continuously issuing queries (the paper's
+  /// multiprogramming level).
+  int multiprogramming_level = 1;
+  uint64_t seed = 1;
+  /// Schema attribute ids of the two partitioning attributes (A has the
+  /// non-clustered index, B the clustered one).
+  storage::AttrId attr_a = 0;
+  storage::AttrId attr_b = 1;
+  /// Per-node buffer-pool capacity in pages (0 = no caching, the paper's
+  /// model). Extension; see bench/ablation_buffer.
+  int64_t buffer_pool_pages = 0;
+  /// Mean exponential think time between a terminal's queries (0 = the
+  /// paper's zero-think-time closed system).
+  double think_time_ms = 0.0;
+};
+
+/// \brief One simulated system instance bound to a Simulation.
+class System {
+ public:
+  /// The relation, partitioning and workload must outlive the System.
+  System(sim::Simulation* sim, SystemConfig config,
+         const storage::Relation* relation,
+         const decluster::Partitioning* partitioning,
+         const workload::Workload* workload);
+
+  /// Builds the catalog and the machine. Must be called before Start().
+  Status Init();
+
+  /// Spawns the terminal processes.
+  void Start();
+
+  Metrics& metrics() { return metrics_; }
+  hw::Machine& machine() { return *machine_; }
+  /// Node id of the query-manager host (one past the operator nodes).
+  /// Per-query schedulers run round-robin on the operator nodes.
+  int host_node() const { return config_.hw.num_processors; }
+
+ private:
+  sim::Task<> TerminalLoop(RandomStream rng);
+  sim::Task<> ExecuteQuery(workload::QueryInstance q);
+  sim::Task<> RunDataSite(int coord, int node, Predicate pred,
+                          bool sequential_scan, sim::JoinCounter* join);
+  sim::Task<> RunAuxSite(int coord, int node, Predicate pred,
+                         sim::JoinCounter* join);
+
+  sim::Simulation* sim_;
+  int next_coordinator_ = 0;
+  SystemConfig config_;
+  const storage::Relation* relation_;
+  const decluster::Partitioning* partitioning_;
+  const workload::Workload* workload_;
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<SystemCatalog> catalog_;
+  std::unique_ptr<workload::QueryGenerator> querygen_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;  // empty when disabled
+  Metrics metrics_;
+};
+
+}  // namespace declust::engine

@@ -1,0 +1,84 @@
+// Experiment harness: reproduces the paper's throughput-vs-multiprogramming
+// sweeps (figures 8-12) and the grid-shape diagnostics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/decluster/strategy.h"
+#include "src/engine/system.h"
+#include "src/workload/mixes.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::exp {
+
+/// \brief Configuration of one figure's experiment.
+struct ExperimentConfig {
+  std::string name;
+  workload::ResourceClass qa = workload::ResourceClass::kLow;
+  workload::ResourceClass qb = workload::ResourceClass::kLow;
+  workload::MixOptions mix;
+  /// Correlation of the partitioning attribute values (0 = low, 1 = high).
+  double correlation = 0.0;
+  std::vector<int> mpls = {1, 8, 16, 24, 32, 40, 48, 56, 64};
+  std::vector<std::string> strategies = {"range", "BERD", "MAGIC"};
+  int64_t cardinality = 100'000;
+  int num_processors = 32;
+  uint64_t seed = 7;
+  /// Simulated warm-up before measurement starts (ms).
+  double warmup_ms = 4'000;
+  /// Simulated measurement window (ms).
+  double measure_ms = 24'000;
+  /// Independent replications per (strategy, MPL) point; throughput is
+  /// averaged and a 95% confidence half-width reported when > 1.
+  int repeats = 1;
+};
+
+/// \brief One measured sweep point.
+struct SweepPoint {
+  int mpl = 0;
+  double throughput_qps = 0;
+  /// 95% confidence half-width of the throughput across repeats
+  /// (0 when repeats == 1).
+  double throughput_ci95 = 0;
+  double mean_response_ms = 0;
+  double p95_response_ms = 0;
+  double avg_processors_used = 0;
+  /// Mean busy fraction of the operator nodes' disks over the window.
+  double disk_utilization = 0;
+  /// Mean busy fraction of the operator nodes' CPUs over the window.
+  double cpu_utilization = 0;
+  int64_t completed = 0;
+};
+
+/// \brief One strategy's curve across the MPL sweep.
+struct StrategyCurve {
+  std::string strategy;
+  std::vector<SweepPoint> points;
+  /// Extra per-strategy diagnostics (grid shape for MAGIC, etc.).
+  std::string note;
+};
+
+/// \brief A complete figure result.
+struct SweepResult {
+  ExperimentConfig config;
+  std::vector<StrategyCurve> curves;
+};
+
+/// Builds a partitioning by strategy name ("range", "hash", "BERD",
+/// "MAGIC") for the given relation and workload.
+Result<std::unique_ptr<decluster::Partitioning>> MakePartitioning(
+    const std::string& strategy, const storage::Relation& relation,
+    const workload::Workload& workload, int num_processors);
+
+/// Runs the full sweep: one relation build, one partitioning per strategy,
+/// one simulation per (strategy, MPL) point.
+Result<SweepResult> RunThroughputSweep(const ExperimentConfig& config);
+
+/// Shrinks a config for fast runs when the environment variable
+/// DECLUST_QUICK is set (used by tests and smoke runs).
+ExperimentConfig ApplyQuickMode(ExperimentConfig config);
+
+}  // namespace declust::exp

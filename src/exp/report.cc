@@ -1,0 +1,103 @@
+#include "src/exp/report.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace declust::exp {
+
+void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
+  os << "== " << result.config.name << " ==\n";
+  os << "workload: QA/QB mix over " << result.config.cardinality
+     << " tuples, " << result.config.num_processors << " processors, "
+     << (result.config.correlation >= 0.5 ? "HIGH" : "LOW")
+     << " attribute correlation\n";
+  for (const auto& curve : result.curves) {
+    if (!curve.note.empty()) {
+      os << "  " << curve.strategy << ": " << curve.note;
+      if (!curve.points.empty()) {
+        os << ", avg processors/query "
+           << std::fixed << std::setprecision(2)
+           << curve.points.back().avg_processors_used;
+      }
+      os << "\n";
+    }
+  }
+
+  os << std::setw(6) << "MPL";
+  for (const auto& curve : result.curves) {
+    os << std::setw(12) << (curve.strategy + " q/s");
+  }
+  for (const auto& curve : result.curves) {
+    os << std::setw(14) << (curve.strategy + " ms");
+  }
+  os << "\n";
+
+  const size_t rows =
+      result.curves.empty() ? 0 : result.curves[0].points.size();
+  for (size_t r = 0; r < rows; ++r) {
+    os << std::setw(6) << result.curves[0].points[r].mpl;
+    os << std::fixed << std::setprecision(1);
+    for (const auto& curve : result.curves) {
+      os << std::setw(12) << curve.points[r].throughput_qps;
+    }
+    for (const auto& curve : result.curves) {
+      os << std::setw(14) << curve.points[r].mean_response_ms;
+    }
+    os << "\n";
+  }
+}
+
+void PrintCsv(std::ostream& os, const SweepResult& result) {
+  os << "figure,strategy,correlation,mpl,throughput_qps,throughput_ci95,"
+        "mean_response_ms,p95_response_ms,avg_processors,disk_utilization,"
+        "cpu_utilization,completed\n";
+  for (const auto& curve : result.curves) {
+    for (const auto& p : curve.points) {
+      os << result.config.name << "," << curve.strategy << ","
+         << result.config.correlation << "," << p.mpl << ","
+         << p.throughput_qps << "," << p.throughput_ci95 << ","
+         << p.mean_response_ms << "," << p.p95_response_ms << ","
+         << p.avg_processors_used << ","
+         << p.disk_utilization << "," << p.cpu_utilization << ","
+         << p.completed << "\n";
+    }
+  }
+}
+
+void PrintGnuplotData(std::ostream& os, const SweepResult& result) {
+  os << "# " << result.config.name << " (correlation "
+     << result.config.correlation << ")\n";
+  os << "# columns: mpl throughput_qps ci95 mean_response_ms p95_ms\n";
+  for (const auto& curve : result.curves) {
+    os << "# strategy: " << curve.strategy << "\n";
+    for (const auto& p : curve.points) {
+      os << p.mpl << " " << p.throughput_qps << " " << p.throughput_ci95
+         << " " << p.mean_response_ms << " " << p.p95_response_ms << "\n";
+    }
+    os << "\n\n";
+  }
+}
+
+std::string RatioSummary(const SweepResult& result, const std::string& a,
+                         const std::string& b) {
+  const StrategyCurve* ca = nullptr;
+  const StrategyCurve* cb = nullptr;
+  for (const auto& curve : result.curves) {
+    if (curve.strategy == a) ca = &curve;
+    if (curve.strategy == b) cb = &curve;
+  }
+  std::ostringstream os;
+  if (ca == nullptr || cb == nullptr || ca->points.empty() ||
+      cb->points.empty() || cb->points.back().throughput_qps <= 0) {
+    os << a << "/" << b << " ratio unavailable";
+    return os.str();
+  }
+  os << std::fixed << std::setprecision(2);
+  os << a << "/" << b << " throughput ratio at MPL "
+     << ca->points.back().mpl << ": "
+     << ca->points.back().throughput_qps / cb->points.back().throughput_qps;
+  return os.str();
+}
+
+}  // namespace declust::exp

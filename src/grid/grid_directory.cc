@@ -1,0 +1,37 @@
+#include "src/grid/grid_directory.h"
+
+#include <cassert>
+
+namespace declust::grid {
+
+void GridDirectory::DuplicateSlice(int dim, int slice) {
+  assert(dim >= 0 && dim < num_dims());
+  assert(slice >= 0 && slice < size(dim));
+
+  const size_t d = static_cast<size_t>(dim);
+  // Strides in the old array.
+  int64_t inner = 1;  // product of sizes of dims after `dim`
+  for (size_t j = d + 1; j < dims_.size(); ++j) inner *= dims_[j];
+  int64_t outer = 1;  // product of sizes of dims before `dim`
+  for (size_t j = 0; j < d; ++j) outer *= dims_[j];
+
+  const int old_size = dims_[d];
+  const int new_size = old_size + 1;
+  std::vector<int> next(static_cast<size_t>(outer * new_size * inner));
+
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int s_new = 0; s_new < new_size; ++s_new) {
+      const int s_old = (s_new <= slice) ? s_new : s_new - 1;
+      const int64_t src = (o * old_size + s_old) * inner;
+      const int64_t dst = (o * new_size + s_new) * inner;
+      for (int64_t i = 0; i < inner; ++i) {
+        next[static_cast<size_t>(dst + i)] =
+            cells_[static_cast<size_t>(src + i)];
+      }
+    }
+  }
+  dims_[d] = new_size;
+  cells_ = std::move(next);
+}
+
+}  // namespace declust::grid

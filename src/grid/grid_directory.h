@@ -1,0 +1,68 @@
+// K-dimensional grid directory: a dense array of bucket ids indexed by
+// slice coordinates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+
+
+namespace declust::grid {
+
+/// \brief Dense K-dim array mapping cell coordinates to bucket ids, with
+/// support for duplicating a slice when a scale gains a cut.
+class GridDirectory {
+ public:
+  /// Starts as a single cell (one slice per dimension).
+  explicit GridDirectory(int num_dims)
+      : dims_(static_cast<std::size_t>(num_dims), 1), cells_(1, 0) {}
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  int size(int dim) const { return dims_[static_cast<std::size_t>(dim)]; }
+  int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Linear index of a cell.
+  int64_t CellIndex(const std::vector<int>& coords) const {
+    int64_t idx = 0;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+      idx = idx * dims_[d] + coords[d];
+    }
+    return idx;
+  }
+
+  /// Coordinates of a linear cell index.
+  std::vector<int> CellCoords(int64_t index) const {
+    std::vector<int> coords(dims_.size());
+    for (std::size_t d = dims_.size(); d-- > 0;) {
+      coords[d] = static_cast<int>(index % dims_[d]);
+      index /= dims_[d];
+    }
+    return coords;
+  }
+
+  int bucket_at(const std::vector<int>& coords) const {
+    return cells_[static_cast<std::size_t>(CellIndex(coords))];
+  }
+  int bucket_at_index(int64_t index) const {
+    return cells_[static_cast<std::size_t>(index)];
+  }
+  void set_bucket(const std::vector<int>& coords, int bucket) {
+    cells_[static_cast<std::size_t>(CellIndex(coords))] = bucket;
+  }
+  void set_bucket_at_index(int64_t index, int bucket) {
+    cells_[static_cast<std::size_t>(index)] = bucket;
+  }
+
+  /// Splits slice `slice` of dimension `dim` in two: the new slice slice+1
+  /// starts as a copy of slice's bucket ids (the grid-file convention: both
+  /// halves initially share the same buckets).
+  void DuplicateSlice(int dim, int slice);
+
+ private:
+  std::vector<int> dims_;
+  std::vector<int> cells_;  // row-major, dimension 0 slowest
+};
+
+}  // namespace declust::grid

@@ -1,0 +1,32 @@
+#include "src/grid/linear_scale.h"
+
+#include <algorithm>
+
+namespace declust::grid {
+
+int LinearScale::SliceOf(Value v) const {
+  // Number of cuts <= v.
+  return static_cast<int>(
+      std::upper_bound(cuts_.begin(), cuts_.end(), v) - cuts_.begin());
+}
+
+Result<int> LinearScale::AddCut(Value cut) {
+  const auto it = std::lower_bound(cuts_.begin(), cuts_.end(), cut);
+  if (it != cuts_.end() && *it == cut) {
+    return Status::AlreadyExists("cut already present");
+  }
+  const int slice = static_cast<int>(it - cuts_.begin());
+  cuts_.insert(it, cut);
+  return slice;
+}
+
+std::pair<Value, Value> LinearScale::SliceBounds(int slice) const {
+  const Value lo = (slice == 0) ? std::numeric_limits<Value>::min()
+                                : cuts_[static_cast<size_t>(slice - 1)];
+  const Value hi = (slice == static_cast<int>(cuts_.size()))
+                       ? std::numeric_limits<Value>::max()
+                       : cuts_[static_cast<size_t>(slice)];
+  return {lo, hi};
+}
+
+}  // namespace declust::grid

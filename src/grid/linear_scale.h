@@ -1,0 +1,45 @@
+// Linear scale of a grid-file dimension: an ordered list of cut points
+// partitioning the attribute domain into slices.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/types.h"
+
+namespace declust::grid {
+
+using storage::Value;
+
+/// \brief Slices of one dimension. With cuts c0 < c1 < ... the slices are
+/// (-inf, c0), [c0, c1), ..., [c_last, +inf). An empty scale is one slice.
+class LinearScale {
+ public:
+  LinearScale() = default;
+
+  int num_slices() const { return static_cast<int>(cuts_.size()) + 1; }
+  const std::vector<Value>& cuts() const { return cuts_; }
+
+  /// Slice index containing `v`.
+  int SliceOf(Value v) const;
+
+  /// Inserts a new cut; returns the index of the slice that was split
+  /// (the old slice s becomes slices s and s+1; values >= cut go to s+1).
+  /// Fails if the cut already exists.
+  Result<int> AddCut(Value cut);
+
+  /// Inclusive-exclusive bounds [lo, hi) of a slice;
+  /// uses min/max of Value at the extremes.
+  std::pair<Value, Value> SliceBounds(int slice) const;
+
+  /// First slice overlapping [lo, hi] and last slice overlapping it.
+  std::pair<int, int> SlicesOverlapping(Value lo, Value hi) const {
+    return {SliceOf(lo), SliceOf(hi)};
+  }
+
+ private:
+  std::vector<Value> cuts_;
+};
+
+}  // namespace declust::grid

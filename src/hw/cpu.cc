@@ -1,0 +1,96 @@
+#include "src/hw/cpu.h"
+
+#include <cassert>
+
+namespace declust::hw {
+
+Cpu::Cpu(sim::Simulation* sim, const HwParams* params)
+    : sim_(sim), params_(params), util_(sim) {}
+
+void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma) {
+  Job job{h, ms};
+  if (dma) {
+    dma_queue_.push_back(job);
+    if (state_ == State::kRunningNormal) {
+      // Preempt the regular request in service: bank its progress and
+      // cancel its pending completion.
+      const double consumed = sim_->now() - service_start_;
+      busy_ms_ += consumed;
+      current_.remaining_ms -= consumed;
+      if (current_.remaining_ms < 0) current_.remaining_ms = 0;
+      sim_->Cancel(completion_event_);
+      assert(!has_paused_normal_);
+      paused_normal_ = current_;
+      has_paused_normal_ = true;
+      state_ = State::kIdle;
+      Dispatch();
+    } else if (state_ == State::kIdle) {
+      Dispatch();
+    }
+    // If a DMA request is already in service, this one waits FCFS behind it.
+  } else {
+    normal_queue_.push_back(job);
+    if (state_ == State::kIdle) Dispatch();
+  }
+}
+
+void Cpu::Dispatch() {
+  assert(state_ == State::kIdle);
+  if (!dma_queue_.empty()) {
+    Job job = dma_queue_.front();
+    dma_queue_.pop_front();
+    StartDma(job);
+    return;
+  }
+  if (has_paused_normal_) {
+    Job job = paused_normal_;
+    has_paused_normal_ = false;
+    StartNormal(job);
+    return;
+  }
+  if (!normal_queue_.empty()) {
+    Job job = normal_queue_.front();
+    normal_queue_.pop_front();
+    StartNormal(job);
+    return;
+  }
+  util_.SetBusy(0.0);
+}
+
+void Cpu::StartNormal(Job job) {
+  state_ = State::kRunningNormal;
+  current_ = job;
+  service_start_ = sim_->now();
+  util_.SetBusy(1.0);
+  completion_event_ =
+      sim_->ScheduleAfter(job.remaining_ms, [this] { OnNormalComplete(); });
+}
+
+void Cpu::StartDma(Job job) {
+  state_ = State::kRunningDma;
+  current_ = job;
+  service_start_ = sim_->now();
+  util_.SetBusy(1.0);
+  completion_event_ =
+      sim_->ScheduleAfter(job.remaining_ms, [this] { OnDmaComplete(); });
+}
+
+void Cpu::OnNormalComplete() {
+  busy_ms_ += sim_->now() - service_start_;
+  ++completed_;
+  auto h = current_.handle;
+  state_ = State::kIdle;
+  sim_->ScheduleResume(sim_->now(), h);
+  Dispatch();
+}
+
+void Cpu::OnDmaComplete() {
+  busy_ms_ += sim_->now() - service_start_;
+  ++completed_;
+  auto h = current_.handle;
+  state_ = State::kIdle;
+  sim_->ScheduleResume(sim_->now(), h);
+  Dispatch();
+}
+
+}  // namespace declust::hw

@@ -1,0 +1,95 @@
+#include "src/hw/disk.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace declust::hw {
+
+Disk::Disk(sim::Simulation* sim, const HwParams* params, RandomStream rng,
+           DiskSchedPolicy policy)
+    : sim_(sim), params_(params), rng_(rng), policy_(policy), util_(sim) {}
+
+void Disk::Submit(std::coroutine_handle<> h, PageAddress page, bool write) {
+  if (policy_ == DiskSchedPolicy::kFcfs) {
+    fcfs_queue_.push_back(Request{h, page, write});
+  } else {
+    pending_[page.cylinder].push_back(Request{h, page, write});
+  }
+  ++queued_;
+  if (!busy_) StartNext();
+}
+
+void Disk::StartNext() {
+  assert(!busy_);
+  if (queued_ == 0) {
+    util_.SetBusy(0.0);
+    return;
+  }
+
+  Request req;
+  if (policy_ == DiskSchedPolicy::kFcfs) {
+    req = fcfs_queue_.front();
+    fcfs_queue_.pop_front();
+  } else {
+    // Elevator: continue the sweep; reverse at the end.
+    std::map<int, std::deque<Request>>::iterator it;
+    if (sweeping_up_) {
+      it = pending_.lower_bound(head_cylinder_);
+      if (it == pending_.end()) {
+        sweeping_up_ = false;
+        it = std::prev(pending_.end());
+      }
+    } else {
+      // Largest cylinder <= head.
+      it = pending_.upper_bound(head_cylinder_);
+      if (it == pending_.begin()) {
+        sweeping_up_ = true;
+        // it already points at the smallest pending cylinder.
+      } else {
+        it = std::prev(it);
+      }
+    }
+    req = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) pending_.erase(it);
+  }
+  --queued_;
+
+  busy_ = true;
+  util_.SetBusy(1.0);
+  const double service = ServiceTime(req);
+  busy_ms_ += service;
+  head_cylinder_ = req.page.cylinder;
+  sim_->ScheduleAfter(service, [this, req] { OnComplete(req); });
+}
+
+double Disk::ServiceTime(const Request& req) {
+  double t = 0.0;
+  const int delta = std::abs(req.page.cylinder - head_cylinder_);
+  const bool sequential = has_last_served_ && !req.write &&
+                          req.page.cylinder == last_served_.cylinder &&
+                          req.page.slot == last_served_.slot + 1;
+  if (sequential) {
+    ++sequential_hits_;
+    // Head is in position and the page passes under it next: transfer only.
+  } else {
+    if (delta > 0) {
+      t += params_->disk_settle_ms +
+           params_->disk_seek_factor_ms * std::sqrt(static_cast<double>(delta));
+    }
+    t += rng_.UniformDouble(0.0, params_->disk_max_latency_ms);
+  }
+  t += params_->PageTransferMs();
+  return t;
+}
+
+void Disk::OnComplete(Request req) {
+  busy_ = false;
+  last_served_ = req.page;
+  has_last_served_ = true;
+  ++completed_;
+  sim_->ScheduleResume(sim_->now(), req.handle);
+  StartNext();
+}
+
+}  // namespace declust::hw

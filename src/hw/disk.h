@@ -1,0 +1,104 @@
+// Disk model with elevator (SCAN) scheduling, per the paper: "The Disk
+// Manager schedules disk requests to an attached disk according to the
+// elevator algorithm [TP72]".
+//
+// Service time of a request for page (cylinder, slot):
+//   seek     = 0 if the head is already on the cylinder,
+//              settle + seek_factor * sqrt(|cylinder delta|) otherwise
+//   latency  = Uniform(0, max_latency), skipped when the request is the
+//              physically next page after the previously served one
+//              (sequential access)
+//   transfer = page_size / transfer_rate
+//
+// The 4000-instruction SCSI FIFO -> memory copy is *not* charged here; the
+// requesting process issues it to the Cpu as a DMA request afterwards
+// (Cpu::RunDma), which matches the paper's interrupt-driven accounting.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/common/random.h"
+#include "src/hw/params.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats_collector.h"
+
+namespace declust::hw {
+
+/// \brief Physical address of a disk page.
+struct PageAddress {
+  int cylinder = 0;
+  int slot = 0;  // position within the cylinder
+
+  friend bool operator==(const PageAddress&, const PageAddress&) = default;
+};
+
+/// \brief One disk drive with a scheduled request queue.
+class Disk {
+ public:
+  Disk(sim::Simulation* sim, const HwParams* params, RandomStream rng,
+       DiskSchedPolicy policy = DiskSchedPolicy::kElevator);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  struct [[nodiscard]] Awaiter {
+    Disk* disk;
+    PageAddress page;
+    bool write;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      disk->Submit(h, page, write);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Reads one page; resumes the caller when the page is in the SCSI FIFO.
+  Awaiter Read(PageAddress page) { return Awaiter{this, page, false}; }
+
+  /// Writes one page.
+  Awaiter Write(PageAddress page) { return Awaiter{this, page, true}; }
+
+  double busy_ms() const { return busy_ms_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t sequential_hits() const { return sequential_hits_; }
+  size_t queue_length() const { return queued_; }
+  double Utilization() { return util_.Average(); }
+
+ private:
+  struct Request {
+    std::coroutine_handle<> handle;
+    PageAddress page;
+    bool write;
+  };
+
+  void Submit(std::coroutine_handle<> h, PageAddress page, bool write);
+  void StartNext();
+  void OnComplete(Request req);
+  double ServiceTime(const Request& req);
+
+  sim::Simulation* sim_;
+  const HwParams* params_;
+  RandomStream rng_;
+
+  DiskSchedPolicy policy_;
+  // Elevator state: pending requests grouped by cylinder, current head
+  // position and sweep direction. FCFS keeps arrival order instead.
+  std::map<int, std::deque<Request>> pending_;
+  std::deque<Request> fcfs_queue_;
+  size_t queued_ = 0;
+  bool busy_ = false;
+  int head_cylinder_ = 0;
+  bool sweeping_up_ = true;
+  PageAddress last_served_{-1, -1};
+  bool has_last_served_ = false;
+
+  double busy_ms_ = 0.0;
+  uint64_t completed_ = 0;
+  uint64_t sequential_hits_ = 0;
+  sim::UtilizationMonitor util_;
+};
+
+}  // namespace declust::hw

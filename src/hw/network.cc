@@ -1,0 +1,71 @@
+#include "src/hw/network.h"
+
+#include <cassert>
+#include <memory>
+
+namespace declust::hw {
+
+NetworkInterface::NetworkInterface(sim::Simulation* sim,
+                                   const HwParams* params)
+    : sim_(sim), params_(params), util_(sim) {}
+
+void NetworkInterface::Enqueue(Work w) {
+  queue_.push_back(std::move(w));
+  if (!busy_) StartNext();
+}
+
+void NetworkInterface::StartNext() {
+  assert(!busy_);
+  if (queue_.empty()) {
+    util_.SetBusy(0.0);
+    return;
+  }
+  Work w = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  util_.SetBusy(1.0);
+  busy_ms_ += w.ms;
+  sim_->ScheduleAfter(w.ms, [this, w = std::move(w)] {
+    busy_ = false;
+    ++completed_;
+    if (w.handle) {
+      sim_->ScheduleResume(sim_->now(), w.handle);
+    } else if (w.fn) {
+      w.fn();
+    }
+    StartNext();
+  });
+}
+
+Network::Network(sim::Simulation* sim, const HwParams* params, int nodes)
+    : sim_(sim), params_(params) {
+  interfaces_.reserve(static_cast<size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    interfaces_.push_back(std::make_unique<NetworkInterface>(sim, params));
+  }
+}
+
+void Network::TransferAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Network* n = net;
+  sim::Simulation* sim = n->sim_;
+  const int to = dst;
+  const int b = bytes;
+  auto on_delivered = std::move(deliver);
+  ++n->packets_sent_;
+  // Local send (src == dst) still pays one interface pass, modelling the
+  // loopback copy, then delivers.
+  n->interface(src).OccupyThen(
+      b, [n, sim, h, to, b, fn = std::move(on_delivered),
+          local = (src == dst)]() mutable {
+        // The packet has left the sender: resume the sending process and
+        // start the receiver-side occupancy.
+        sim->ScheduleResume(sim->now(), h);
+        if (local) {
+          fn();
+        } else {
+          n->interface(to).OccupyThen(b, std::move(fn));
+        }
+      });
+}
+
+}  // namespace declust::hw

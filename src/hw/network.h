@@ -1,0 +1,121 @@
+// Network interface and fully-connected interconnect model.
+//
+// Per the paper: "The Network Interface manager enforces a FCFS protocol for
+// access to the global communications network. The Network module currently
+// models a fully connected network."
+//
+// A packet of b bytes occupies the sender's interface for PacketSendMs(b),
+// then occupies the receiver's interface for the same duration before being
+// delivered. The interconnect itself adds no contention (fully connected).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hw/params.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats_collector.h"
+
+namespace declust::hw {
+
+/// \brief One node's FCFS network interface (both directions share it).
+class NetworkInterface {
+ public:
+  NetworkInterface(sim::Simulation* sim, const HwParams* params);
+
+  NetworkInterface(const NetworkInterface&) = delete;
+  NetworkInterface& operator=(const NetworkInterface&) = delete;
+
+  struct [[nodiscard]] SendAwaiter {
+    NetworkInterface* ni;
+    int bytes;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ni->Enqueue(Work{h, nullptr, ni->params_->PacketSendMs(bytes)});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable: occupy this interface for the send time of `bytes`.
+  SendAwaiter Occupy(int bytes) { return SendAwaiter{this, bytes}; }
+
+  /// Fire-and-forget: occupy the interface for the receive time of `bytes`
+  /// and then invoke `on_done` (used for the receiving side of a transfer).
+  void OccupyThen(int bytes, std::function<void()> on_done) {
+    Enqueue(Work{nullptr, std::move(on_done), params_->PacketSendMs(bytes)});
+  }
+
+  double busy_ms() const { return busy_ms_; }
+  uint64_t completed() const { return completed_; }
+  size_t queue_length() const { return queue_.size(); }
+  double Utilization() { return util_.Average(); }
+
+ private:
+  struct Work {
+    std::coroutine_handle<> handle;   // exactly one of handle/fn set
+    std::function<void()> fn;
+    double ms;
+  };
+
+  void Enqueue(Work w);
+  void StartNext();
+
+  sim::Simulation* sim_;
+  const HwParams* params_;
+  std::deque<Work> queue_;
+  bool busy_ = false;
+  double busy_ms_ = 0.0;
+  uint64_t completed_ = 0;
+  sim::UtilizationMonitor util_;
+};
+
+/// \brief The fully-connected interconnect: a collection of interfaces plus
+/// a convenience transfer primitive.
+class Network {
+ public:
+  Network(sim::Simulation* sim, const HwParams* params, int nodes);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NetworkInterface& interface(int node) { return *interfaces_[node]; }
+  int nodes() const { return static_cast<int>(interfaces_.size()); }
+
+  /// \brief Full transfer: occupies the sender interface (awaited), then the
+  /// receiver interface, then runs `deliver`. The caller resumes as soon as
+  /// the packet leaves the sender (asynchronous delivery).
+  ///
+  /// Usage: `co_await net.Send(src, dst, bytes, [&]{ mailbox.Send(msg); });`
+  struct [[nodiscard]] TransferAwaiter {
+    Network* net;
+    int src;
+    int dst;
+    int bytes;
+    std::function<void()> deliver;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  TransferAwaiter Send(int src, int dst, int bytes,
+                       std::function<void()> deliver) {
+    return TransferAwaiter{this, src, dst, bytes, std::move(deliver)};
+  }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  friend struct TransferAwaiter;
+
+  sim::Simulation* sim_;
+  const HwParams* params_;
+  std::vector<std::unique_ptr<NetworkInterface>> interfaces_;
+  uint64_t packets_sent_ = 0;
+};
+
+}  // namespace declust::hw

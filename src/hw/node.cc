@@ -1,0 +1,40 @@
+#include "src/hw/node.h"
+
+namespace declust::hw {
+
+Node::Node(sim::Simulation* sim, const HwParams* params, Network* network,
+           int node_id, RandomStream rng)
+    : sim_(sim),
+      params_(params),
+      network_(network),
+      id_(node_id),
+      cpu_(sim, params),
+      disk_(sim, params, rng, params->disk_policy) {}
+
+sim::Task<> Node::ReadPage(PageAddress page) {
+  co_await disk_.Read(page);
+  // Move the page from the SCSI FIFO into memory: preempting DMA work.
+  co_await cpu_.RunDma(params_->scsi_transfer_instructions);
+  // Process the page (predicate evaluation setup etc.).
+  co_await cpu_.Run(params_->read_page_instructions);
+}
+
+sim::Task<> Node::WritePage(PageAddress page) {
+  co_await cpu_.Run(params_->write_page_instructions);
+  co_await cpu_.RunDma(params_->scsi_transfer_instructions);
+  co_await disk_.Write(page);
+}
+
+Machine::Machine(sim::Simulation* sim, const HwParams& params,
+                 RandomStream rng)
+    : sim_(sim),
+      params_(params),
+      network_(sim, &params_, params.num_processors) {
+  nodes_.reserve(static_cast<size_t>(params_.num_processors));
+  for (int i = 0; i < params_.num_processors; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        sim, &params_, &network_, i, rng.Fork(static_cast<uint64_t>(i) + 1)));
+  }
+}
+
+}  // namespace declust::hw

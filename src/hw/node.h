@@ -1,0 +1,62 @@
+// A processor node of the simulated machine: CPU + disk (+ a view of its
+// network interface, which is owned by the Network).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/hw/cpu.h"
+#include "src/hw/disk.h"
+#include "src/hw/network.h"
+
+namespace declust::hw {
+
+/// \brief One shared-nothing node: CPU, one disk, one network interface.
+class Node {
+ public:
+  Node(sim::Simulation* sim, const HwParams* params, Network* network,
+       int node_id, RandomStream rng);
+
+  int id() const { return id_; }
+  const HwParams& params() const { return *params_; }
+  Cpu& cpu() { return cpu_; }
+  Disk& disk() { return disk_; }
+  NetworkInterface& net() { return network_->interface(id_); }
+  Network& network() { return *network_; }
+
+  /// \brief Convenience: full page read including the DMA copy to memory and
+  /// the per-page CPU processing cost.
+  sim::Task<> ReadPage(PageAddress page);
+
+  /// \brief Full page write (CPU cost then disk write).
+  sim::Task<> WritePage(PageAddress page);
+
+ private:
+  sim::Simulation* sim_;
+  const HwParams* params_;
+  Network* network_;
+  int id_;
+  Cpu cpu_;
+  Disk disk_;
+};
+
+/// \brief The whole machine: P nodes plus the interconnect.
+class Machine {
+ public:
+  Machine(sim::Simulation* sim, const HwParams& params, RandomStream rng);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_[i]; }
+  Network& network() { return network_; }
+  const HwParams& params() const { return params_; }
+  sim::Simulation* simulation() { return sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  HwParams params_;
+  Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace declust::hw

@@ -1,0 +1,45 @@
+#include "src/hw/params.h"
+
+#include <sstream>
+
+namespace declust::hw {
+
+std::string HwParams::ToTableString() const {
+  std::ostringstream os;
+  os << "Disk Parameters\n"
+     << "  Average Settle Time                   " << disk_settle_ms
+     << " msec\n"
+     << "  Average Latency                       0-" << disk_max_latency_ms
+     << " msec (Unif)\n"
+     << "  Transfer Rate                         " << disk_transfer_mb_per_sec
+     << " MBytes/sec\n"
+     << "  Seek Factor                           " << disk_seek_factor_ms
+     << " msec\n"
+     << "  Disk Page Size                        " << disk_page_size_bytes / 1024
+     << " Kbytes\n"
+     << "  Xfer Disk page from SCSI to memory    " << scsi_transfer_instructions
+     << " instructions\n"
+     << "Network Parameters\n"
+     << "  Maximum Packet Size                   " << max_packet_bytes / 1024
+     << " Kbytes\n"
+     << "  Send 100 bytes                        " << net_send_100b_ms
+     << " msec\n"
+     << "  Send 8192 bytes                       " << net_send_8k_ms
+     << " msec\n"
+     << "CPU Parameters\n"
+     << "  Instructions/Second                   "
+     << static_cast<int64_t>(instructions_per_second) << "\n"
+     << "  Read 8K Disk Page                     " << read_page_instructions
+     << " instructions\n"
+     << "  Write 8K Disk Page                    " << write_page_instructions
+     << " instructions\n"
+     << "Miscellaneous\n"
+     << "  Tuple Size                            " << tuple_size_bytes
+     << " bytes\n"
+     << "  Tuples/Network Packet                 " << tuples_per_packet << "\n"
+     << "  Tuples/Disk Page                      " << tuples_per_page << "\n"
+     << "  Number of Processors                  " << num_processors << "\n";
+  return os.str();
+}
+
+}  // namespace declust::hw

@@ -1,0 +1,89 @@
+// Hardware parameters of the simulated Gamma configuration.
+//
+// Defaults are exactly Table 2 of the paper ("Important Simulation
+// Parameters"). All times are in milliseconds of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace declust::hw {
+
+/// \brief Disk request scheduling policy ([TP72] compares these).
+enum class DiskSchedPolicy {
+  kElevator,  // SCAN: serve in sweep order (the paper's model)
+  kFcfs,      // arrival order (the ablation baseline)
+};
+
+/// \brief Tunable hardware model parameters (paper Table 2 defaults).
+struct HwParams {
+  // --- Processor configuration -------------------------------------------
+  int num_processors = 32;
+
+  // --- CPU parameters -----------------------------------------------------
+  /// Instructions per second (3 MIPS in the paper).
+  double instructions_per_second = 3'000'000.0;
+  /// CPU cost of reading an 8 KB disk page (predicate setup etc.).
+  int64_t read_page_instructions = 14'600;
+  /// CPU cost of writing an 8 KB disk page.
+  int64_t write_page_instructions = 28'000;
+  /// CPU cost of moving one disk page between the SCSI FIFO and memory
+  /// (charged as a preempting DMA interrupt).
+  int64_t scsi_transfer_instructions = 4'000;
+
+  // --- Disk parameters -----------------------------------------------------
+  double disk_settle_ms = 2.0;
+  /// Rotational latency is Uniform(0, disk_max_latency_ms).
+  double disk_max_latency_ms = 16.68;
+  /// Sustained transfer rate in megabytes (1e6 bytes) per second.
+  double disk_transfer_mb_per_sec = 1.8;
+  /// Seek time model: settle + seek_factor * sqrt(cylinder distance).
+  double disk_seek_factor_ms = 0.78;
+  int disk_page_size_bytes = 8192;
+  /// Number of cylinders of the modeled drive (layout granularity).
+  int disk_cylinders = 1000;
+  /// Pages per cylinder for the logical->physical mapping.
+  int disk_pages_per_cylinder = 48;
+  /// Request scheduling policy (the paper uses the elevator algorithm).
+  DiskSchedPolicy disk_policy = DiskSchedPolicy::kElevator;
+
+  // --- Network parameters ---------------------------------------------------
+  int max_packet_bytes = 8192;
+  /// Time for a network interface to push a 100-byte packet.
+  double net_send_100b_ms = 0.6;
+  /// Time for a network interface to push an 8192-byte packet.
+  double net_send_8k_ms = 5.6;
+  /// Size of a control (scheduling/commit) message.
+  int control_message_bytes = 100;
+
+  // --- Miscellaneous ---------------------------------------------------------
+  int tuple_size_bytes = 208;
+  int tuples_per_page = 36;
+  int tuples_per_packet = 36;
+
+  /// Milliseconds of CPU time for `instructions` instructions.
+  double InstrMs(int64_t instructions) const {
+    return static_cast<double>(instructions) /
+           (instructions_per_second / 1000.0);
+  }
+
+  /// Milliseconds to transfer one disk page off the platter.
+  double PageTransferMs() const {
+    const double bytes_per_ms = disk_transfer_mb_per_sec * 1e6 / 1000.0;
+    return static_cast<double>(disk_page_size_bytes) / bytes_per_ms;
+  }
+
+  /// Milliseconds a network interface is busy sending `bytes`
+  /// (linear through the two published points).
+  double PacketSendMs(int bytes) const {
+    const double slope =
+        (net_send_8k_ms - net_send_100b_ms) / (8192.0 - 100.0);
+    const double t = net_send_100b_ms + slope * (bytes - 100);
+    return t > 0.05 ? t : 0.05;
+  }
+
+  /// Human-readable dump in the shape of the paper's Table 2.
+  std::string ToTableString() const;
+};
+
+}  // namespace declust::hw

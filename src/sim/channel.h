@@ -1,0 +1,74 @@
+// Unbounded message channel (mailbox) between simulation processes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "src/sim/simulation.h"
+
+namespace declust::sim {
+
+/// \brief FIFO mailbox: any process may Send, any process may
+/// `co_await Receive()`. Receivers are woken in FIFO order through the
+/// event calendar.
+///
+/// When Send wakes a suspended receiver, one message is *reserved* so that a
+/// receiver arriving in the same instant cannot steal it on the fast path.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation* sim) : sim_(sim) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deposits a message; wakes the oldest waiting receiver, if any.
+  void Send(T msg) {
+    messages_.push_back(std::move(msg));
+    if (!receivers_.empty()) {
+      auto h = receivers_.front();
+      receivers_.pop_front();
+      ++reserved_;
+      sim_->ScheduleResume(sim_->now(), h);
+    }
+  }
+
+  struct [[nodiscard]] Awaiter {
+    Channel* ch;
+    bool suspended = false;
+    bool await_ready() const {
+      return ch->messages_.size() > ch->reserved_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended = true;
+      ch->receivers_.push_back(h);
+    }
+    T await_resume() {
+      if (suspended) {
+        assert(ch->reserved_ > 0);
+        --ch->reserved_;
+      }
+      assert(!ch->messages_.empty());
+      T msg = std::move(ch->messages_.front());
+      ch->messages_.pop_front();
+      return msg;
+    }
+  };
+
+  /// Awaitable yielding the next message (FIFO).
+  Awaiter Receive() { return Awaiter{this}; }
+
+  size_t size() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+  size_t waiting_receivers() const { return receivers_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::deque<T> messages_;
+  std::deque<std::coroutine_handle<>> receivers_;
+  size_t reserved_ = 0;  // messages promised to already-woken receivers
+};
+
+}  // namespace declust::sim

@@ -1,0 +1,134 @@
+// FCFS resource (server with fixed capacity) for simulation processes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "src/sim/simulation.h"
+
+namespace declust::sim {
+
+class Resource;
+
+/// \brief Move-only RAII grant of one unit of a Resource.
+///
+/// Releases the unit back to the resource on destruction.
+class ResourceGuard {
+ public:
+  ResourceGuard() = default;
+  ResourceGuard(Resource* res, Simulation* sim) : res_(res), sim_(sim) {}
+  ResourceGuard(ResourceGuard&& o) noexcept
+      : res_(std::exchange(o.res_, nullptr)),
+        sim_(std::exchange(o.sim_, nullptr)) {}
+  ResourceGuard& operator=(ResourceGuard&& o) noexcept;
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+  ~ResourceGuard();
+
+  /// Releases the grant early.
+  void Release();
+
+  bool holds() const { return res_ != nullptr; }
+
+ private:
+  Resource* res_ = nullptr;
+  // Held separately so teardown can be detected without touching res_:
+  // during Simulation teardown the Resource may already be destroyed, but
+  // the Simulation (which owns the coroutine frames) is still alive.
+  Simulation* sim_ = nullptr;
+};
+
+/// \brief A server pool with `capacity` units and a FIFO wait queue.
+///
+/// `co_await res.Acquire()` yields a ResourceGuard once a unit is free.
+/// Waiters are resumed through the event calendar (never recursively), so a
+/// releasing process always finishes its current step before the waiter runs.
+class Resource {
+ public:
+  Resource(Simulation* sim, int capacity, std::string name = "")
+      : sim_(sim), capacity_(capacity), available_(capacity),
+        name_(std::move(name)) {
+    assert(capacity >= 1);
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct [[nodiscard]] Awaiter {
+    Resource* res;
+    bool await_ready() {
+      if (res->available_ > 0) {
+        --res->available_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      res->waiters_.push_back(h);
+    }
+    ResourceGuard await_resume() {
+      return ResourceGuard(res, res->simulation());
+    }
+  };
+
+  /// Awaitable acquiring one unit (FCFS).
+  Awaiter Acquire() { return Awaiter{this}; }
+
+  int capacity() const { return capacity_; }
+  int available() const { return available_; }
+  int busy() const { return capacity_ - available_; }
+  size_t queue_length() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+  Simulation* simulation() const { return sim_; }
+
+  /// Total number of grants handed out (for utilization accounting).
+  uint64_t grants() const { return grants_; }
+
+ private:
+  friend class ResourceGuard;
+
+  void ReleaseUnit() {
+    if (!waiters_.empty()) {
+      // Hand the unit to the first waiter; resume via the calendar.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      ++grants_;
+      sim_->ScheduleResume(sim_->now(), h);
+    } else {
+      ++available_;
+      assert(available_ <= capacity_);
+    }
+  }
+
+  Simulation* sim_;
+  int capacity_;
+  int available_;
+  std::string name_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  uint64_t grants_ = 0;
+};
+
+inline ResourceGuard& ResourceGuard::operator=(ResourceGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    res_ = std::exchange(o.res_, nullptr);
+    sim_ = std::exchange(o.sim_, nullptr);
+  }
+  return *this;
+}
+
+inline ResourceGuard::~ResourceGuard() { Release(); }
+
+inline void ResourceGuard::Release() {
+  if (res_ != nullptr) {
+    if (!sim_->draining()) res_->ReleaseUnit();
+    res_ = nullptr;
+    sim_ = nullptr;
+  }
+}
+
+}  // namespace declust::sim

@@ -1,0 +1,89 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <limits>
+
+namespace declust::sim {
+
+namespace detail {
+
+void ReleaseDetachedFrame(Simulation* sim, std::coroutine_handle<> h) {
+  sim->detached_frames_.erase(h.address());
+  // The coroutine is suspended at its final suspend point; destroying the
+  // frame here is well-defined.
+  h.destroy();
+}
+
+}  // namespace detail
+
+Simulation::~Simulation() {
+  draining_ = true;
+  // Destroy still-suspended detached processes. Destroying a frame runs the
+  // destructors of its locals (e.g. resource guards); draining_ suppresses
+  // any wake-ups those destructors would otherwise schedule.
+  for (void* addr : detached_frames_) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+void Simulation::Spawn(Task<> task, SimTime delay) {
+  assert(task.valid());
+  auto h = task.Release();
+  h.promise().detached_owner = this;
+  detached_frames_.insert(h.address());
+  ScheduleResume(now_ + delay, h);
+}
+
+EventId Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
+  assert(at >= now_);
+  const EventId id = next_id_++;
+  calendar_.push(Event{at, next_seq_++, id, nullptr, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulation::ScheduleResume(SimTime at, std::coroutine_handle<> h) {
+  if (draining_) return 0;
+  assert(at >= now_);
+  const EventId id = next_id_++;
+  calendar_.push(Event{at, next_seq_++, id, h, nullptr});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool Simulation::Cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+
+bool Simulation::Step(SimTime horizon) {
+  while (!calendar_.empty()) {
+    const Event& top = calendar_.top();
+    if (top.time > horizon) return false;
+    Event ev = top;
+    calendar_.pop();
+    if (pending_ids_.erase(ev.id) == 0) continue;  // cancelled
+    now_ = ev.time;
+    ++events_dispatched_;
+    if (tracer_) tracer_(ev.time, ev.id, static_cast<bool>(ev.handle));
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.fn();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (!stop_requested_) {
+    if (!Step(std::numeric_limits<double>::infinity())) break;
+  }
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!stop_requested_) {
+    if (!Step(t)) break;
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+}
+
+}  // namespace declust::sim

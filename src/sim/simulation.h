@@ -1,0 +1,143 @@
+// Discrete-event simulation engine (process-oriented, single-threaded).
+//
+// This is the project's replacement for the DeNet simulation language used by
+// the paper: processes are C++20 coroutines (Task<>), time advances through a
+// central event calendar, and all inter-process interaction (resources,
+// channels, triggers) is mediated by the calendar so execution order is
+// deterministic for a given seed.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/task.h"
+
+namespace declust::sim {
+
+/// Simulated time in milliseconds.
+using SimTime = double;
+
+/// Identifier of a scheduled event; usable with Simulation::Cancel.
+using EventId = uint64_t;
+
+/// \brief The event calendar and process registry.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO),
+/// which makes runs reproducible.
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time (ms).
+  SimTime now() const { return now_; }
+
+  /// Starts a detached process after `delay` ms. The simulation owns the
+  /// coroutine frame from this point on.
+  void Spawn(Task<> task, SimTime delay = 0.0);
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run after `delay` ms.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules resumption of a suspended coroutine at absolute time `at`.
+  /// No-op (returns 0) while the simulation is being torn down.
+  EventId ScheduleResume(SimTime at, std::coroutine_handle<> h);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool Cancel(EventId id);
+
+  /// Awaitable that suspends the calling process for `dt` ms.
+  auto WaitFor(SimTime dt) {
+    struct Awaiter {
+      Simulation* sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return dt <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->ScheduleResume(sim->now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Runs until the calendar is empty or Stop() is called.
+  void Run();
+
+  /// Runs until simulated time reaches `t` (events at exactly `t` fire).
+  /// Afterwards now() == t unless the run stopped earlier.
+  void RunUntil(SimTime t);
+
+  /// Requests that Run/RunUntil return after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  bool stop_requested() const { return stop_requested_; }
+
+  /// Clears a previous Stop() so the simulation can be resumed.
+  void ClearStop() { stop_requested_ = false; }
+
+  /// Number of events dispatched so far (for diagnostics/benchmarks).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+  /// Number of events currently pending.
+  size_t pending_events() const { return pending_ids_.size(); }
+
+  /// True during teardown; resources consult this to avoid waking processes
+  /// that are about to be destroyed.
+  bool draining() const { return draining_; }
+
+  /// Installs a tracer invoked before every dispatched event with
+  /// (time, event id, is_coroutine_resume). Pass nullptr to disable.
+  /// Intended for debugging simulations; adds one indirect call per event.
+  void SetTracer(std::function<void(SimTime, EventId, bool)> tracer) {
+    tracer_ = std::move(tracer);
+  }
+
+ private:
+  friend void detail::ReleaseDetachedFrame(Simulation* sim,
+                                           std::coroutine_handle<> h);
+
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    std::coroutine_handle<> handle;  // either handle or fn is set
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Dispatches the next event; returns false if the calendar is exhausted or
+  // the next event lies beyond `horizon`.
+  bool Step(SimTime horizon);
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_dispatched_ = 0;
+  bool stop_requested_ = false;
+  bool draining_ = false;
+
+  std::function<void(SimTime, EventId, bool)> tracer_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<void*> detached_frames_;
+};
+
+}  // namespace declust::sim

@@ -1,0 +1,4 @@
+#include "src/sim/stats_collector.h"
+
+// Header-only for now; translation unit kept so the module has a natural
+// home for future out-of-line collectors.

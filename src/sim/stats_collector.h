@@ -1,0 +1,32 @@
+// Utilization and queue-length monitors bound to a Simulation clock.
+#pragma once
+
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/sim/simulation.h"
+
+namespace declust::sim {
+
+/// \brief Tracks the busy fraction of a server over simulated time.
+class UtilizationMonitor {
+ public:
+  explicit UtilizationMonitor(Simulation* sim) : sim_(sim) {
+    signal_.Update(sim->now(), 0.0);
+  }
+
+  /// Records that `busy_units` servers are busy from now on.
+  void SetBusy(double busy_units) { signal_.Update(sim_->now(), busy_units); }
+
+  /// Average number of busy units over the observed window.
+  double Average() {
+    signal_.Finish(sim_->now());
+    return signal_.average();
+  }
+
+ private:
+  Simulation* sim_;
+  TimeWeighted signal_;
+};
+
+}  // namespace declust::sim

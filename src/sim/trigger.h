@@ -1,0 +1,73 @@
+// One-shot latch event for process synchronisation (e.g. join points).
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace declust::sim {
+
+/// \brief A latch: processes await it; Fire() releases all current and
+/// future waiters until Reset().
+class Trigger {
+ public:
+  explicit Trigger(Simulation* sim) : sim_(sim) {}
+
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  /// Latches the trigger and wakes every waiter (via the calendar).
+  void Fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) sim_->ScheduleResume(sim_->now(), h);
+    waiters_.clear();
+  }
+
+  /// Un-latches so the trigger can be fired again.
+  void Reset() { fired_ = false; }
+
+  bool fired() const { return fired_; }
+  size_t waiting() const { return waiters_.size(); }
+
+  struct [[nodiscard]] Awaiter {
+    Trigger* t;
+    bool await_ready() const { return t->fired_; }
+    void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
+    void await_resume() const {}
+  };
+
+  /// Awaitable that completes when the trigger has fired.
+  Awaiter Wait() { return Awaiter{this}; }
+
+ private:
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// \brief Counts down from `n`; fires an internal trigger at zero.
+/// Used by schedulers waiting for N operator-done messages.
+class JoinCounter {
+ public:
+  JoinCounter(Simulation* sim, int n) : trigger_(sim), remaining_(n) {
+    if (remaining_ <= 0) trigger_.Fire();
+  }
+
+  /// Signals one completion.
+  void CountDown() {
+    if (remaining_ > 0 && --remaining_ == 0) trigger_.Fire();
+  }
+
+  /// Awaitable that completes when the count reaches zero.
+  Trigger::Awaiter Wait() { return trigger_.Wait(); }
+
+  int remaining() const { return remaining_; }
+
+ private:
+  Trigger trigger_;
+  int remaining_;
+};
+
+}  // namespace declust::sim

@@ -1,0 +1,99 @@
+// A real B+-tree over (int64 key -> RecordId), supporting duplicates.
+//
+// The tree serves two purposes in the reproduction:
+//  1. logically: it finds qualifying record ids for index selections and
+//     implements BERD's auxiliary relations;
+//  2. physically: each node corresponds to one disk page, so the simulator
+//     can charge exactly the pages an index traversal touches (height()
+//     random reads plus LeafPagesTouched(lo,hi) leaf reads).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/types.h"
+
+namespace declust::storage {
+
+/// \brief One (key, record) pair stored in a leaf.
+struct BTreeEntry {
+  Value key;
+  RecordId rid;
+
+  friend bool operator==(const BTreeEntry&, const BTreeEntry&) = default;
+};
+
+/// \brief B+-tree with configurable fanout (max children of an internal
+/// node; max entries of a leaf). Duplicate keys are allowed.
+class BPlusTree {
+ public:
+  /// \param fanout maximum number of children per internal node and entries
+  ///        per leaf; must be >= 4.
+  explicit BPlusTree(int fanout = 256);
+  ~BPlusTree();
+
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Builds a tree from entries sorted by key (fastest, produces full leaves).
+  static BPlusTree BulkLoad(std::vector<BTreeEntry> sorted_entries,
+                            int fanout = 256);
+
+  /// Inserts one entry (duplicates allowed).
+  void Insert(Value key, RecordId rid);
+
+  /// Removes one entry matching (key, rid) exactly; returns false if no
+  /// such entry exists. Underfull nodes borrow from or merge with siblings,
+  /// and the tree shrinks when the root empties.
+  bool Erase(Value key, RecordId rid);
+
+  /// Record ids of all entries with exactly `key`.
+  std::vector<RecordId> Search(Value key) const;
+
+  /// All entries with lo <= key <= hi, in key order.
+  std::vector<BTreeEntry> RangeSearch(Value lo, Value hi) const;
+
+  /// Number of levels (0 for an empty tree; 1 = a single leaf).
+  int height() const;
+
+  /// Total entries stored.
+  int64_t size() const { return size_; }
+
+  /// Number of leaf nodes (= leaf pages).
+  int leaf_count() const { return leaf_count_; }
+
+  /// Number of nodes overall (= total index pages).
+  int node_count() const { return node_count_; }
+
+  /// Number of leaf pages a range scan [lo, hi] touches (>= 1 whenever the
+  /// tree is non-empty: the search lands on a leaf even if nothing matches).
+  int LeafPagesTouched(Value lo, Value hi) const;
+
+  /// Checks structural invariants (key order, fill, leaf chain, height
+  /// balance). Used by property tests.
+  Status Validate() const;
+
+ private:
+  struct Node;
+
+  void InsertIntoLeaf(Node* leaf, Value key, RecordId rid);
+  Node* FindLeaf(Value key) const;
+  void SplitChild(Node* parent, int child_idx);
+  bool EraseFrom(Node* n, Value key, RecordId rid);
+  bool IsUnderfull(const Node* n) const;
+  void FixChild(Node* parent, int child_idx);
+  Status ValidateNode(const Node* n, int depth, int leaf_depth,
+                      const Value* lower, const Value* upper) const;
+
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  int64_t size_ = 0;
+  int leaf_count_ = 0;
+  int node_count_ = 0;
+};
+
+}  // namespace declust::storage

@@ -1,0 +1,27 @@
+#include "src/storage/disk_layout.h"
+
+namespace declust::storage {
+
+Result<Extent> DiskLayout::Allocate(int64_t num_pages) {
+  if (num_pages < 0) return Status::InvalidArgument("negative page count");
+  if (next_page_ + num_pages > capacity_pages()) {
+    return Status::OutOfRange("disk full");
+  }
+  Extent e{next_page_, num_pages};
+  next_page_ += num_pages;
+  return e;
+}
+
+Result<hw::PageAddress> DiskLayout::Resolve(const Extent& extent,
+                                            int64_t index) const {
+  if (index < 0 || index >= extent.num_pages) {
+    return Status::OutOfRange("page index outside extent");
+  }
+  const int64_t abs = extent.base_page + index;
+  return hw::PageAddress{
+      static_cast<int>(abs / pages_per_cylinder_),
+      static_cast<int>(abs % pages_per_cylinder_),
+  };
+}
+
+}  // namespace declust::storage

@@ -1,0 +1,48 @@
+// Physical placement of logical pages on a node's disk.
+//
+// The paper: "For each relation, a mapping from logical page numbers to
+// physical disk addresses is also maintained. This physical assignment of
+// pages allows for accurate modeling of sequential as well as random disk
+// accesses."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/hw/disk.h"
+
+namespace declust::storage {
+
+/// \brief A contiguous allocation of pages on one disk.
+struct Extent {
+  int64_t base_page = 0;
+  int64_t num_pages = 0;
+};
+
+/// \brief Allocates extents on one node's disk and resolves logical pages to
+/// physical addresses. Extents are laid out contiguously in allocation
+/// order, so pages within an extent are physically sequential.
+class DiskLayout {
+ public:
+  DiskLayout(int pages_per_cylinder, int cylinders)
+      : pages_per_cylinder_(pages_per_cylinder), cylinders_(cylinders) {}
+
+  /// Reserves `num_pages` contiguous pages.
+  Result<Extent> Allocate(int64_t num_pages);
+
+  /// Physical address of page `index` within `extent`.
+  Result<hw::PageAddress> Resolve(const Extent& extent, int64_t index) const;
+
+  int64_t allocated_pages() const { return next_page_; }
+  int64_t capacity_pages() const {
+    return static_cast<int64_t>(pages_per_cylinder_) * cylinders_;
+  }
+
+ private:
+  int pages_per_cylinder_;
+  int cylinders_;
+  int64_t next_page_ = 0;
+};
+
+}  // namespace declust::storage

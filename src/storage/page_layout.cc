@@ -1,0 +1,3 @@
+#include "src/storage/page_layout.h"
+
+// Header-only arithmetic; translation unit present for symmetry.

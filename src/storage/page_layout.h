@@ -1,0 +1,40 @@
+// Page arithmetic: how tuples of a fragment map onto 8 KB data pages.
+#pragma once
+
+#include <cstdint>
+
+namespace declust::storage {
+
+/// \brief Maps a fragment's tuple positions to data-page numbers.
+///
+/// Tuples are stored in clustered order, `tuples_per_page` per page
+/// (36 for the paper's 208-byte tuples on 8 KB pages).
+class PageLayout {
+ public:
+  explicit PageLayout(int tuples_per_page) : tuples_per_page_(tuples_per_page) {}
+
+  int tuples_per_page() const { return tuples_per_page_; }
+
+  /// Page number (0-based within the fragment) of the tuple at `position`
+  /// in clustered order.
+  int64_t PageOfPosition(int64_t position) const {
+    return position / tuples_per_page_;
+  }
+
+  /// Number of pages needed for `tuple_count` tuples.
+  int64_t PagesFor(int64_t tuple_count) const {
+    return (tuple_count + tuples_per_page_ - 1) / tuples_per_page_;
+  }
+
+  /// Number of distinct pages covered by tuples at positions
+  /// [first_position, last_position] (inclusive); 0 if the range is empty.
+  int64_t PagesSpanned(int64_t first_position, int64_t last_position) const {
+    if (last_position < first_position) return 0;
+    return PageOfPosition(last_position) - PageOfPosition(first_position) + 1;
+  }
+
+ private:
+  int tuples_per_page_;
+};
+
+}  // namespace declust::storage

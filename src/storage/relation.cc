@@ -1,0 +1,37 @@
+#include "src/storage/relation.h"
+
+#include <algorithm>
+
+namespace declust::storage {
+
+Status Relation::Append(std::vector<Value> values) {
+  if (static_cast<int>(values.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  rows_.push_back(std::move(values));
+  return Status::OK();
+}
+
+std::vector<RecordId> Relation::AllRecords() const {
+  std::vector<RecordId> rids(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    rids[i] = static_cast<RecordId>(i);
+  }
+  return rids;
+}
+
+Result<std::pair<Value, Value>> Relation::AttrRange(AttrId attr) const {
+  if (rows_.empty()) return Status::FailedPrecondition("empty relation");
+  if (attr < 0 || attr >= schema_.num_attributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  Value lo = rows_[0][static_cast<size_t>(attr)];
+  Value hi = lo;
+  for (const auto& row : rows_) {
+    lo = std::min(lo, row[static_cast<size_t>(attr)]);
+    hi = std::max(hi, row[static_cast<size_t>(attr)]);
+  }
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace declust::storage

@@ -1,0 +1,47 @@
+// In-memory relation: the ground-truth tuple store the declustering
+// strategies partition and the simulator queries against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/schema.h"
+#include "src/storage/types.h"
+
+namespace declust::storage {
+
+/// \brief A named relation with integer-valued attributes.
+///
+/// RecordIds are dense indices 0..cardinality-1 and never change.
+class Relation {
+ public:
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t cardinality() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Appends a tuple; must have one value per schema attribute.
+  Status Append(std::vector<Value> values);
+
+  Value value(RecordId rid, AttrId attr) const {
+    return rows_[rid][static_cast<size_t>(attr)];
+  }
+
+  const std::vector<Value>& row(RecordId rid) const { return rows_[rid]; }
+
+  /// All record ids, in insertion order.
+  std::vector<RecordId> AllRecords() const;
+
+  /// Minimum and maximum of an attribute (relation must be non-empty).
+  Result<std::pair<Value, Value>> AttrRange(AttrId attr) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace declust::storage

@@ -1,0 +1,15 @@
+#include "src/storage/schema.h"
+
+namespace declust::storage {
+
+Schema::Schema(std::vector<AttributeDef> attrs) : attrs_(std::move(attrs)) {}
+
+Result<AttrId> Schema::AttrIndex(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<AttrId>(i);
+  }
+  return Status::NotFound(std::string("no attribute named ") +
+                          std::string(name));
+}
+
+}  // namespace declust::storage

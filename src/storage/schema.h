@@ -1,0 +1,40 @@
+// Relation schema: named attributes over an integer domain.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/types.h"
+
+namespace declust::storage {
+
+/// \brief Definition of one attribute.
+struct AttributeDef {
+  std::string name;
+};
+
+/// \brief An ordered list of attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attrs);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const AttributeDef& attribute(AttrId i) const {
+    return attrs_[static_cast<size_t>(i)];
+  }
+
+  /// Index of the attribute named `name`.
+  Result<AttrId> AttrIndex(std::string_view name) const;
+
+  bool HasAttribute(std::string_view name) const {
+    return AttrIndex(name).ok();
+  }
+
+ private:
+  std::vector<AttributeDef> attrs_;
+};
+
+}  // namespace declust::storage

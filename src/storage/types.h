@@ -1,0 +1,19 @@
+// Basic storage identifiers shared across the storage and engine layers.
+#pragma once
+
+#include <cstdint>
+
+namespace declust::storage {
+
+/// Index of a tuple within its Relation (stable for the relation's life).
+using RecordId = uint32_t;
+
+/// Index of an attribute within a Schema.
+using AttrId = int;
+
+/// Attribute values are modeled as 64-bit integers; string attributes of the
+/// Wisconsin benchmark are irrelevant to declustering decisions and are
+/// represented only by their contribution to the tuple size.
+using Value = int64_t;
+
+}  // namespace declust::storage

@@ -1,0 +1,82 @@
+#include "src/workload/mixes.h"
+
+namespace declust::workload {
+
+namespace {
+
+// Declared totals calibrated against the default cost of participation
+// (2 ms): Mi = sqrt(R / CP) gives 1 for low and 9 for moderate.
+constexpr double kLowDeclaredTotalMs = 2.0;
+constexpr double kModerateDeclaredTotalMs = 162.0;
+
+QueryClassSpec LowA() {
+  QueryClassSpec q;
+  q.name = "QA-low";
+  q.attr = 0;
+  q.exact = true;
+  q.tuples = 1;
+  q.clustered_index = false;
+  q.declared_cpu_ms = kLowDeclaredTotalMs * 0.4;
+  q.declared_disk_ms = kLowDeclaredTotalMs * 0.4;
+  q.declared_net_ms = kLowDeclaredTotalMs * 0.2;
+  return q;
+}
+
+QueryClassSpec LowB(int64_t tuples) {
+  QueryClassSpec q;
+  q.name = "QB-low";
+  q.attr = 1;
+  q.exact = false;
+  q.tuples = tuples;
+  q.clustered_index = true;
+  q.declared_cpu_ms = kLowDeclaredTotalMs * 0.4;
+  q.declared_disk_ms = kLowDeclaredTotalMs * 0.4;
+  q.declared_net_ms = kLowDeclaredTotalMs * 0.2;
+  return q;
+}
+
+QueryClassSpec ModerateA() {
+  QueryClassSpec q;
+  q.name = "QA-moderate";
+  q.attr = 0;
+  q.exact = false;
+  q.tuples = 30;
+  q.clustered_index = false;
+  q.declared_cpu_ms = kModerateDeclaredTotalMs / 3;
+  q.declared_disk_ms = kModerateDeclaredTotalMs / 3;
+  q.declared_net_ms = kModerateDeclaredTotalMs / 3;
+  return q;
+}
+
+QueryClassSpec ModerateB() {
+  QueryClassSpec q;
+  q.name = "QB-moderate";
+  q.attr = 1;
+  q.exact = false;
+  q.tuples = 300;
+  q.clustered_index = true;
+  q.declared_cpu_ms = kModerateDeclaredTotalMs / 3;
+  q.declared_disk_ms = kModerateDeclaredTotalMs / 3;
+  q.declared_net_ms = kModerateDeclaredTotalMs / 3;
+  return q;
+}
+
+const char* ClassName(ResourceClass c) {
+  return c == ResourceClass::kLow ? "low" : "moderate";
+}
+
+}  // namespace
+
+Workload MakeMix(ResourceClass qa, ResourceClass qb, MixOptions options) {
+  Workload w;
+  w.name = std::string(ClassName(qa)) + "-" + ClassName(qb);
+  QueryClassSpec a = (qa == ResourceClass::kLow) ? LowA() : ModerateA();
+  QueryClassSpec b = (qb == ResourceClass::kLow) ? LowB(options.qb_low_tuples)
+                                                 : ModerateB();
+  a.frequency = 0.5;
+  b.frequency = 0.5;
+  w.classes = {a, b};
+  return w;
+}
+
+}  // namespace declust::workload

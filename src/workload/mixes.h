@@ -1,0 +1,69 @@
+// The paper's query classes and the four query mixes (section 6).
+//
+// Each query class records both its *shape* (attribute, access path, result
+// cardinality) and the *declared resource estimates* the database
+// administrator gives MAGIC's planner (the CPUi/Diski/Neti of section 3.2).
+// The declared estimates are calibrated so that, with the default cost of
+// participation, equation 3 yields the paper's stated ideal processor
+// counts: Mi = 1 for "low" classes and Mi = 9 for "moderate" classes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/storage/types.h"
+
+namespace declust::workload {
+
+/// Resource class of a query per the paper's taxonomy.
+enum class ResourceClass { kLow, kModerate };
+
+/// \brief One query class of the workload.
+struct QueryClassSpec {
+  std::string name;
+  /// Which partitioning attribute the predicate references
+  /// (0 = A/unique1, 1 = B/unique2).
+  int attr = 0;
+  /// True for single-tuple exact-match; false for a range predicate.
+  bool exact = false;
+  /// Number of tuples the query retrieves.
+  int64_t tuples = 1;
+  /// True if the access path is the clustered index.
+  bool clustered_index = false;
+  /// True to bypass indexes entirely (full fragment scan at each site);
+  /// used by the no-index ablation.
+  bool sequential_scan = false;
+  /// Frequency of this class in the workload (sums to 1 across classes).
+  double frequency = 0.5;
+  // Declared planner estimates (ms), per section 3.2.
+  double declared_cpu_ms = 0.0;
+  double declared_disk_ms = 0.0;
+  double declared_net_ms = 0.0;
+
+  double declared_total_ms() const {
+    return declared_cpu_ms + declared_disk_ms + declared_net_ms;
+  }
+};
+
+/// \brief A complete workload: the classes and their frequencies.
+struct Workload {
+  std::string name;
+  std::vector<QueryClassSpec> classes;
+};
+
+/// Options shaping the standard mixes.
+struct MixOptions {
+  /// Tuples retrieved by the low-resource query on B (10 in figure 8,
+  /// 20 in figure 9).
+  int64_t qb_low_tuples = 10;
+};
+
+/// Builds the 50/50 QA/QB mix for the given resource classes, exactly as
+/// section 6 defines them:
+///  * QA low:      single-tuple exact match, non-clustered index on A
+///  * QB low:      0.01% clustered range on B (10 tuples)
+///  * QA moderate: 0.03% non-clustered range on A (30 tuples)
+///  * QB moderate: 0.3% clustered range on B (300 tuples)
+Workload MakeMix(ResourceClass qa, ResourceClass qb, MixOptions options = {});
+
+}  // namespace declust::workload

@@ -1,0 +1,37 @@
+// Concrete query generation from query-class specifications.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/workload/mixes.h"
+
+namespace declust::workload {
+
+/// \brief A concrete selection predicate: attr in [lo, hi] (inclusive).
+struct QueryInstance {
+  int class_index = 0;  // index into Workload::classes
+  int attr = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// \brief Draws concrete queries from a Workload over a domain of dense
+/// unique values 0..domain-1 (so a window of width w matches exactly w
+/// tuples).
+class QueryGenerator {
+ public:
+  QueryGenerator(const Workload* workload, int64_t domain, RandomStream rng)
+      : workload_(workload), domain_(domain), rng_(rng) {}
+
+  /// Draws the next query: class by frequency, predicate uniform over the
+  /// domain with exact result cardinality.
+  QueryInstance Next();
+
+ private:
+  const Workload* workload_;
+  int64_t domain_;
+  RandomStream rng_;
+};
+
+}  // namespace declust::workload

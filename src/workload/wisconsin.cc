@@ -1,0 +1,98 @@
+#include "src/workload/wisconsin.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/storage/schema.h"
+
+namespace declust::workload {
+
+using storage::Relation;
+using storage::Schema;
+using storage::Value;
+
+storage::Relation MakeWisconsin(const WisconsinOptions& options) {
+  assert(options.cardinality > 0);
+  assert(options.correlation >= 0.0 && options.correlation <= 1.0);
+
+  Schema schema({{"unique1"},
+                 {"unique2"},
+                 {"two"},
+                 {"four"},
+                 {"ten"},
+                 {"twenty"},
+                 {"onePercent"},
+                 {"tenPercent"},
+                 {"twentyPercent"},
+                 {"fiftyPercent"},
+                 {"unique3"},
+                 {"evenOnePercent"},
+                 {"oddOnePercent"}});
+  Relation rel("wisconsin", std::move(schema));
+
+  RandomStream rng(options.seed);
+  const int64_t n = options.cardinality;
+
+  // unique1: a random permutation of 0..n-1.
+  RandomStream r1 = rng.Fork(1);
+  std::vector<int64_t> unique1 = r1.Permutation(n);
+
+  // unique2 starts identical to unique1 (perfect correlation), then a
+  // fraction (1 - correlation) of positions is re-shuffled among itself,
+  // decorrelating exactly that share of the relation.
+  std::vector<int64_t> unique2 = unique1;
+  RandomStream r2 = rng.Fork(2);
+  const auto loose =
+      static_cast<int64_t>((1.0 - options.correlation) * static_cast<double>(n));
+  if (loose > 1) {
+    // Choose `loose` positions (a random prefix of a permutation) and
+    // permute their unique2 values cyclically shifted by a shuffle.
+    std::vector<int64_t> positions = r2.Permutation(n);
+    positions.resize(static_cast<size_t>(loose));
+    std::vector<int64_t> vals;
+    vals.reserve(static_cast<size_t>(loose));
+    for (int64_t p : positions) vals.push_back(unique2[static_cast<size_t>(p)]);
+    r2.Shuffle(&vals);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      unique2[static_cast<size_t>(positions[i])] = vals[i];
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    const Value u1 = unique1[static_cast<size_t>(i)];
+    const Value u2 = unique2[static_cast<size_t>(i)];
+    const Value one_percent = u1 % 100;
+    [[maybe_unused]] Status st = rel.Append({
+        u1,
+        u2,
+        u1 % 2,
+        u1 % 4,
+        u1 % 10,
+        u1 % 20,
+        one_percent,
+        u1 % 10,
+        u1 % 5,
+        u1 % 2,
+        u1,
+        one_percent * 2,
+        one_percent * 2 + 1,
+    });
+    assert(st.ok());
+  }
+  return rel;
+}
+
+double MeasuredCorrelation(const storage::Relation& rel) {
+  std::vector<double> a, b;
+  a.reserve(static_cast<size_t>(rel.cardinality()));
+  b.reserve(static_cast<size_t>(rel.cardinality()));
+  for (int64_t i = 0; i < rel.cardinality(); ++i) {
+    const auto rid = static_cast<storage::RecordId>(i);
+    a.push_back(static_cast<double>(rel.value(rid, WisconsinAttrs::kUnique1)));
+    b.push_back(static_cast<double>(rel.value(rid, WisconsinAttrs::kUnique2)));
+  }
+  return PearsonCorrelation(a, b);
+}
+
+}  // namespace declust::workload

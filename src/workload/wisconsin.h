@@ -1,0 +1,38 @@
+// Wisconsin benchmark relation generator (paper section 6).
+//
+// The paper's relation R has 100,000 tuples of 208 bytes with thirteen
+// attributes; `unique1` and `unique2` are permutations of 0..N-1.
+// Attribute A = unique1 (non-clustered index), B = unique2 (clustered
+// index). A `correlation` knob controls how strongly unique2 tracks
+// unique1 (section 4): 0 = independent permutations, 1 = identical values
+// (the worst-case the paper analyses).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/storage/relation.h"
+
+namespace declust::workload {
+
+struct WisconsinOptions {
+  int64_t cardinality = 100'000;
+  /// Fraction of tuples whose unique2 equals unique1; the remainder are
+  /// shuffled among themselves. 0 = independent, 1 = identical.
+  double correlation = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Attribute indices of the generated schema.
+struct WisconsinAttrs {
+  static constexpr storage::AttrId kUnique1 = 0;  // "attribute A"
+  static constexpr storage::AttrId kUnique2 = 1;  // "attribute B"
+};
+
+/// Builds the benchmark relation.
+storage::Relation MakeWisconsin(const WisconsinOptions& options);
+
+/// Measured Pearson correlation between unique1 and unique2 of `rel`.
+double MeasuredCorrelation(const storage::Relation& rel);
+
+}  // namespace declust::workload

@@ -1,0 +1,116 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace declust {
+namespace {
+
+TEST(RandomTest, DeterministicForEqualSeeds) {
+  RandomStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  RandomStream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  RandomStream r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformIntRespectsBoundsAndCoversRange) {
+  RandomStream r(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = r.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformIntDegenerateRange) {
+  RandomStream r(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.UniformInt(5, 5), 5);
+}
+
+TEST(RandomTest, UniformIntMeanIsCentered) {
+  RandomStream r(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.UniformInt(0, 99));
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 49.5, 0.5);
+}
+
+TEST(RandomTest, ExponentialHasRequestedMean) {
+  RandomStream r(19);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  RandomStream r(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  RandomStream a(123);
+  RandomStream f1 = a.Fork(1);
+  RandomStream f2 = a.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.Next() == f2.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, ForkIsDeterministic) {
+  RandomStream a(42), b(42);
+  RandomStream fa = a.Fork(9), fb = b.Fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+}
+
+TEST(RandomTest, PermutationIsAPermutation) {
+  RandomStream r(29);
+  auto p = r.Permutation(1000);
+  std::set<int64_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 999);
+}
+
+TEST(RandomTest, PermutationIsShuffled) {
+  RandomStream r(31);
+  auto p = r.Permutation(1000);
+  int fixed = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (p[static_cast<size_t>(i)] == i) ++fixed;
+  }
+  // Expected number of fixed points of a random permutation is 1.
+  EXPECT_LT(fixed, 10);
+}
+
+}  // namespace
+}  // namespace declust

@@ -1,0 +1,105 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace declust {
+namespace {
+
+TEST(AccumulatorTest, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, MeanAndVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.Add(x);
+  EXPECT_EQ(a.count(), 8);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, ConfidenceIntervalShrinksWithSamples) {
+  RandomStream r(5);
+  Accumulator small, large;
+  for (int i = 0; i < 100; ++i) small.Add(r.NextDouble());
+  for (int i = 0; i < 10000; ++i) large.Add(r.NextDouble());
+  EXPECT_GT(small.ConfidenceHalfWidth95(), large.ConfidenceHalfWidth95());
+}
+
+TEST(TimeWeightedTest, PiecewiseConstantAverage) {
+  TimeWeighted tw;
+  tw.Update(0.0, 2.0);   // value 2 on [0, 10)
+  tw.Update(10.0, 4.0);  // value 4 on [10, 20)
+  tw.Finish(20.0);
+  EXPECT_DOUBLE_EQ(tw.average(), 3.0);
+  EXPECT_DOUBLE_EQ(tw.observed_time(), 20.0);
+}
+
+TEST(TimeWeightedTest, ZeroWindow) {
+  TimeWeighted tw;
+  tw.Update(5.0, 1.0);
+  tw.Finish(5.0);
+  EXPECT_DOUBLE_EQ(tw.average(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(0.0);
+  h.Add(5.5);
+  h.Add(9.999);
+  h.Add(10.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(5), 1);
+  EXPECT_EQ(h.bucket_count(9), 1);
+}
+
+TEST(HistogramTest, MedianOfUniform) {
+  Histogram h(0.0, 1.0, 100);
+  RandomStream r(77);
+  for (int i = 0; i < 100000; ++i) h.Add(r.NextDouble());
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  RandomStream r(99);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(r.NextDouble());
+    y.push_back(r.NextDouble());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.02);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace declust

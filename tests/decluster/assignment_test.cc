@@ -1,0 +1,132 @@
+#include "src/decluster/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace declust::decluster {
+namespace {
+
+TEST(AssignmentTest, RoundRobinUsesAllNodesEvenly) {
+  auto a = RoundRobinAssignment({64}, 8);
+  ASSERT_EQ(a.size(), 64u);
+  std::vector<int> counts(8, 0);
+  for (int node : a) ++counts[static_cast<size_t>(node)];
+  for (int c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(AssignmentTest, OneDimensionFallsBackToRoundRobin) {
+  auto a = TiledAssignment({64}, 8, {4.0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, RoundRobinAssignment({64}, 8));
+}
+
+TEST(AssignmentTest, LowLowShape) {
+  // Mi = (1, 1), P = 32 on a 62x61 directory: queries on either attribute
+  // should see about sqrt(32) ~ 6 distinct processors. The exact-
+  // factorization constraint (tiles multiply to exactly 32) allows an
+  // asymmetric 4x8 split, so each dimension lands within [4, 8] and the
+  // average across both is ~6.
+  auto a = TiledAssignment({62, 61}, 32, {1.0, 1.0});
+  ASSERT_TRUE(a.ok());
+  auto stats = AnalyzeAssignment({62, 61}, *a, 32);
+  const double d0 = stats.avg_distinct_nodes_per_slice[0];
+  const double d1 = stats.avg_distinct_nodes_per_slice[1];
+  EXPECT_GE(d0, 3.5);
+  EXPECT_LE(d0, 8.5);
+  EXPECT_GE(d1, 3.5);
+  EXPECT_LE(d1, 8.5);
+  EXPECT_NEAR((d0 + d1) / 2.0, 6.0, 1.0);
+}
+
+TEST(AssignmentTest, TilesMultiplyToExactlyP) {
+  // The bijective mapping is what keeps per-processor query load even.
+  auto a = TiledAssignment({62, 61}, 32, {1.0, 1.0});
+  ASSERT_TRUE(a.ok());
+  std::vector<int> counts(32, 0);
+  for (int node : *a) ++counts[static_cast<size_t>(node)];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  // 3782 cells over 32 processors = ~118; band rounding stays within ~30%.
+  EXPECT_GT(*mn, 80);
+  EXPECT_LT(*mx, 160);
+}
+
+TEST(AssignmentTest, LowModerateShape) {
+  // Mi = (1, 9), P = 32: slices of the low dimension (A) should see ~2
+  // processors; slices of the moderate dimension (B) should see ~17.
+  // Equation-4 shape: A split 9x more (dims 193 x 23).
+  const std::vector<int> dims = {193, 23};
+  auto a = TiledAssignment(dims, 32, {1.0, 9.0});
+  ASSERT_TRUE(a.ok());
+  auto stats = AnalyzeAssignment(dims, *a, 32);
+  // Queries on A map to a slice of dimension A (distinct procs ~ f*M_A ~ 2).
+  EXPECT_LE(stats.avg_distinct_nodes_per_slice[0], 3.0);
+  // Queries on B map to a slice of dimension B (~ f*M_B ~ 17).
+  EXPECT_GE(stats.avg_distinct_nodes_per_slice[1], 12.0);
+  EXPECT_LE(stats.avg_distinct_nodes_per_slice[1], 20.0);
+}
+
+TEST(AssignmentTest, AllNodesUsed) {
+  for (auto mi : {std::vector<double>{1, 1}, std::vector<double>{1, 9},
+                  std::vector<double>{9, 9}}) {
+    auto a = TiledAssignment({100, 90}, 32, mi);
+    ASSERT_TRUE(a.ok());
+    std::set<int> used(a->begin(), a->end());
+    EXPECT_EQ(used.size(), 32u) << mi[0] << "," << mi[1];
+  }
+}
+
+TEST(AssignmentTest, CellsBalancedAcrossNodes) {
+  auto a = TiledAssignment({100, 90}, 32, {1.0, 1.0});
+  ASSERT_TRUE(a.ok());
+  std::vector<int> counts(32, 0);
+  for (int node : *a) ++counts[static_cast<size_t>(node)];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  // 9000 cells over 32 nodes = 281 each; tiling granularity allows ~3x.
+  EXPECT_GT(*mn, 90);
+  EXPECT_LT(*mx, 700);
+}
+
+TEST(AssignmentTest, SmallDirectoryEachCellDistinctNode) {
+  // Fewer cells than processors: every fragment on its own processor.
+  auto a = TiledAssignment({3, 3}, 32, {1.0, 1.0});
+  ASSERT_TRUE(a.ok());
+  std::set<int> used(a->begin(), a->end());
+  EXPECT_EQ(used.size(), 9u);
+}
+
+TEST(AssignmentTest, InvalidInputs) {
+  EXPECT_TRUE(TiledAssignment({}, 8, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(TiledAssignment({4, 4}, 0, {1, 1}).status().IsInvalidArgument());
+  EXPECT_TRUE(TiledAssignment({4, 4}, 8, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      TiledAssignment({4, 0}, 8, {1, 1}).status().IsInvalidArgument());
+}
+
+TEST(AssignmentTest, DistinctNodesInSliceCountsCorrectly) {
+  // Hand-built 2x3 assignment.
+  //   row 0: 0 1 0
+  //   row 1: 2 2 2
+  const std::vector<int> dims = {2, 3};
+  const std::vector<int> a = {0, 1, 0, 2, 2, 2};
+  EXPECT_EQ(DistinctNodesInSlice(dims, a, 0, 0), 2);
+  EXPECT_EQ(DistinctNodesInSlice(dims, a, 0, 1), 1);
+  EXPECT_EQ(DistinctNodesInSlice(dims, a, 1, 0), 2);  // column {0, 2}
+  EXPECT_EQ(DistinctNodesInSlice(dims, a, 1, 1), 2);  // column {1, 2}
+}
+
+TEST(AssignmentTest, ThreeDimensions) {
+  auto a = TiledAssignment({16, 16, 16}, 32, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(a.ok());
+  std::set<int> used(a->begin(), a->end());
+  EXPECT_EQ(used.size(), 32u);
+  auto stats = AnalyzeAssignment({16, 16, 16}, *a, 32);
+  for (double avg : stats.avg_distinct_nodes_per_slice) {
+    EXPECT_GE(avg, 4.0);
+    EXPECT_LE(avg, 32.0);
+  }
+}
+
+}  // namespace
+}  // namespace declust::decluster

@@ -1,0 +1,161 @@
+#include "src/decluster/magic_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/workload/mixes.h"
+
+namespace declust::decluster {
+namespace {
+
+using workload::MakeMix;
+using workload::ResourceClass;
+using workload::Workload;
+
+CostModel DefaultCost() { return CostModel{}; }
+
+TEST(PlannerTest, MiMatchesPaperIdealCounts) {
+  // Low -> 1 processor, moderate -> 9 processors (paper section 6:
+  // "Ideally, both of these queries should be directed to nine processors").
+  auto plan = ComputeMagicPlan(
+      MakeMix(ResourceClass::kLow, ResourceClass::kModerate), 100000,
+      DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->mi[0], 1.0, 0.01);
+  EXPECT_NEAR(plan->mi[1], 9.0, 0.01);
+}
+
+TEST(PlannerTest, TuplesPerQAveIsFrequencyWeighted) {
+  auto plan = ComputeMagicPlan(
+      MakeMix(ResourceClass::kLow, ResourceClass::kLow), 100000,
+      DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->tuples_per_qave, 0.5 * 1 + 0.5 * 10, 1e-9);
+}
+
+TEST(PlannerTest, Equation1ClosedFormMinimizesRT) {
+  auto plan = ComputeMagicPlan(
+      MakeMix(ResourceClass::kModerate, ResourceClass::kModerate), 100000,
+      DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  const double m = plan->m;
+  const double rt = ResponseTimeModel(m, plan->resource_ave_ms,
+                                      plan->tuples_per_qave, 100000,
+                                      DefaultCost());
+  // The closed form is the minimum of the model.
+  for (double delta : {-1.0, -0.5, 0.5, 1.0}) {
+    if (m + delta <= 0.1) continue;
+    EXPECT_LE(rt, ResponseTimeModel(m + delta, plan->resource_ave_ms,
+                                    plan->tuples_per_qave, 100000,
+                                    DefaultCost()) +
+                      1e-9)
+        << delta;
+  }
+}
+
+TEST(PlannerTest, FragmentCardinalityLowLowMatchesPaperScale) {
+  // The paper's low-low configuration yields a ~62x61 directory over
+  // 100,000 tuples, i.e. FC in the twenties.
+  auto plan = ComputeMagicPlan(MakeMix(ResourceClass::kLow,
+                                       ResourceClass::kLow),
+                               100000, DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->m, 1.0);  // footnote 4 territory
+  EXPECT_GE(plan->fragment_cardinality, 10);
+  EXPECT_LE(plan->fragment_cardinality, 40);
+}
+
+TEST(PlannerTest, Equation4StockExample) {
+  // Section 3.3: M_ticker = 3, M_price = 1, frequencies 0.9 / 0.1 give
+  // fraction splits 0.225 and 0.075 (a 3:1 ratio).
+  Workload w;
+  w.name = "stock";
+  workload::QueryClassSpec ticker;
+  ticker.name = "ticker";
+  ticker.attr = 0;
+  ticker.tuples = 1;
+  ticker.frequency = 0.9;
+  // Declared resources giving Mi = 3 with CP = 2: R = 18 ms.
+  ticker.declared_cpu_ms = 18.0;
+  workload::QueryClassSpec price;
+  price.name = "price";
+  price.attr = 1;
+  price.tuples = 10;
+  price.frequency = 0.1;
+  price.declared_cpu_ms = 2.0;  // Mi = 1
+  w.classes = {ticker, price};
+
+  auto plan = ComputeMagicPlan(w, 100000, DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->mi[0], 3.0, 1e-6);
+  EXPECT_NEAR(plan->mi[1], 1.0, 1e-6);
+  EXPECT_NEAR(plan->fraction_splits[0], 0.225, 1e-6);
+  EXPECT_NEAR(plan->fraction_splits[1], 0.075, 1e-6);
+}
+
+TEST(PlannerTest, EqualMixGivesEqualSplits) {
+  auto plan = ComputeMagicPlan(MakeMix(ResourceClass::kLow,
+                                       ResourceClass::kLow),
+                               100000, DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->fraction_splits[0], plan->fraction_splits[1], 1e-9);
+}
+
+TEST(PlannerTest, AsymmetricMixSkewsSplitsNineToOne) {
+  auto plan = ComputeMagicPlan(
+      MakeMix(ResourceClass::kLow, ResourceClass::kModerate), 100000,
+      DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  // Equation 4 verbatim: Fraction_A = 0.5*(10-1)/10, Fraction_B =
+  // 0.5*(10-9)/10 -> 9:1.
+  EXPECT_NEAR(plan->fraction_splits[0] / plan->fraction_splits[1], 9.0, 0.1);
+}
+
+TEST(PlannerTest, UnqueriedAttributeGetsMiOne) {
+  Workload w;
+  workload::QueryClassSpec only;
+  only.attr = 0;
+  only.tuples = 5;
+  only.frequency = 1.0;
+  only.declared_cpu_ms = 50.0;
+  w.classes = {only};
+  auto plan = ComputeMagicPlan(w, 1000, DefaultCost(), 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->mi[1], 1.0);
+  // The queried attribute must stay splittable even though equation 4
+  // yields 0 for it in the single-attribute case.
+  EXPECT_GT(plan->fraction_splits[0], 0.0);
+}
+
+TEST(PlannerTest, InvalidInputsRejected) {
+  Workload empty;
+  EXPECT_TRUE(ComputeMagicPlan(empty, 1000, DefaultCost(), 2)
+                  .status()
+                  .IsInvalidArgument());
+  auto w = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+  EXPECT_TRUE(
+      ComputeMagicPlan(w, 0, DefaultCost(), 2).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ComputeMagicPlan(w, 1000, DefaultCost(), 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ComputeMagicPlan(w, 1000, DefaultCost(), 1).status().IsOutOfRange());
+}
+
+TEST(PlannerTest, HigherCpShrinksMi) {
+  CostModel expensive;
+  expensive.cost_of_participation_ms = 8.0;
+  auto cheap_plan = ComputeMagicPlan(
+      MakeMix(ResourceClass::kModerate, ResourceClass::kModerate), 100000,
+      DefaultCost(), 2);
+  auto costly_plan = ComputeMagicPlan(
+      MakeMix(ResourceClass::kModerate, ResourceClass::kModerate), 100000,
+      expensive, 2);
+  ASSERT_TRUE(cheap_plan.ok());
+  ASSERT_TRUE(costly_plan.ok());
+  EXPECT_LT(costly_plan->mi[0], cheap_plan->mi[0]);
+  EXPECT_NEAR(costly_plan->mi[0], cheap_plan->mi[0] / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace declust::decluster

@@ -1,0 +1,73 @@
+#include "src/engine/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace declust::engine {
+namespace {
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysMisses) {
+  BufferPool pool(0);
+  EXPECT_FALSE(pool.Touch({0, 0}));
+  EXPECT_FALSE(pool.Touch({0, 0}));
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.resident(), 0);
+}
+
+TEST(BufferPoolTest, SecondTouchHits) {
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Touch({1, 2}));
+  EXPECT_TRUE(pool.Touch({1, 2}));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  pool.Touch({0, 0});
+  pool.Touch({0, 1});
+  pool.Touch({0, 2});  // evicts {0,0}
+  EXPECT_FALSE(pool.Touch({0, 0}));  // miss: was evicted (and re-inserted)
+  EXPECT_TRUE(pool.Touch({0, 2}));
+  EXPECT_EQ(pool.resident(), 2);
+}
+
+TEST(BufferPoolTest, TouchPromotesToMru) {
+  BufferPool pool(2);
+  pool.Touch({0, 0});
+  pool.Touch({0, 1});
+  pool.Touch({0, 0});  // promote {0,0}
+  pool.Touch({0, 2});  // evicts {0,1}, not {0,0}
+  EXPECT_TRUE(pool.Touch({0, 0}));
+  EXPECT_FALSE(pool.Touch({0, 1}));
+}
+
+TEST(BufferPoolTest, DistinctCylindersDistinctKeys) {
+  BufferPool pool(8);
+  pool.Touch({1, 5});
+  EXPECT_FALSE(pool.Touch({2, 5}));
+  EXPECT_TRUE(pool.Touch({1, 5}));
+}
+
+TEST(BufferPoolTest, HitRateOnEmptyPool) {
+  BufferPool pool(4);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.0);
+}
+
+TEST(BufferPoolTest, WorkingSetSmallerThanCapacityAlwaysHitsAfterWarmup) {
+  BufferPool pool(100);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 50; ++i) {
+      const bool hit = pool.Touch({0, i});
+      if (pass > 0) {
+        EXPECT_TRUE(hit) << pass << " " << i;
+      }
+    }
+  }
+  EXPECT_EQ(pool.hits(), 100u);
+  EXPECT_EQ(pool.misses(), 50u);
+}
+
+}  // namespace
+}  // namespace declust::engine

@@ -1,0 +1,153 @@
+#include "src/engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/decluster/range.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::engine {
+namespace {
+
+struct Fixture {
+  storage::Relation rel;
+  std::unique_ptr<decluster::RangePartitioning> part;
+  hw::HwParams hw;
+  std::unique_ptr<SystemCatalog> catalog;
+
+  explicit Fixture(int64_t n = 10000, int nodes = 8) : rel(Make(n)) {
+    part = std::move(
+        decluster::RangePartitioning::Create(rel, {0, 1}, nodes).ValueOrDie());
+    catalog = std::move(SystemCatalog::Build(&rel, part.get(), 0, 1, hw)
+                            .ValueOrDie());
+  }
+
+  static storage::Relation Make(int64_t n) {
+    workload::WisconsinOptions o;
+    o.cardinality = n;
+    o.seed = 31;
+    return workload::MakeWisconsin(o);
+  }
+};
+
+TEST(CatalogTest, BuildsAllStores) {
+  Fixture f;
+  EXPECT_EQ(f.catalog->num_nodes(), 8);
+  int64_t tuples = 0;
+  for (int n = 0; n < 8; ++n) tuples += f.catalog->store(n).tuple_count();
+  EXPECT_EQ(tuples, 10000);
+}
+
+TEST(CatalogTest, ClusteredAccessIsSequentialAndComplete) {
+  Fixture f;
+  // B in [2000, 2299]: 300 qualifying tuples spread over all 8 nodes
+  // (B is not the range-partitioning attribute).
+  int64_t found = 0;
+  for (int n = 0; n < 8; ++n) {
+    const auto plan = f.catalog->PlanAccess(n, {1, 2000, 2299});
+    found += plan.tuples;
+    // Index descent pages present.
+    EXPECT_GE(plan.index_pages.size(), 1u);
+    // Data pages are physically consecutive (sequential scan).
+    for (size_t i = 1; i < plan.data_pages.size(); ++i) {
+      const auto& prev = plan.data_pages[i - 1];
+      const auto& cur = plan.data_pages[i];
+      const bool consecutive =
+          (cur.cylinder == prev.cylinder && cur.slot == prev.slot + 1) ||
+          (cur.cylinder == prev.cylinder + 1 && cur.slot == 0);
+      EXPECT_TRUE(consecutive);
+    }
+  }
+  EXPECT_EQ(found, 300);
+}
+
+TEST(CatalogTest, NonClusteredAccessFindsAllTuples) {
+  Fixture f;
+  // A in [1000, 1029]: 30 tuples, each on exactly one node (A is the range
+  // partitioning attribute, so they cluster on few nodes).
+  int64_t found = 0;
+  int64_t data_pages = 0;
+  for (int n = 0; n < 8; ++n) {
+    const auto plan = f.catalog->PlanAccess(n, {0, 1000, 1029});
+    found += plan.tuples;
+    data_pages += static_cast<int64_t>(plan.data_pages.size());
+  }
+  EXPECT_EQ(found, 30);
+  // Non-clustered: roughly one random data page per tuple.
+  EXPECT_GE(data_pages, 15);
+  EXPECT_LE(data_pages, 30);
+}
+
+TEST(CatalogTest, EmptyResultStillDescendsIndex) {
+  Fixture f;
+  // A query whose range has no tuples at most nodes still reads the index.
+  const auto plan = f.catalog->PlanAccess(7, {0, 0, 0});
+  EXPECT_EQ(plan.tuples, 0);
+  EXPECT_GE(plan.index_pages.size(), 1u);
+  EXPECT_TRUE(plan.data_pages.empty());
+}
+
+TEST(CatalogTest, ExactMatchReadsOneDataPage) {
+  Fixture f;
+  int64_t total_pages = 0;
+  int64_t found = 0;
+  for (int n = 0; n < 8; ++n) {
+    const auto plan = f.catalog->PlanAccess(n, {0, 5555, 5555});
+    found += plan.tuples;
+    total_pages += static_cast<int64_t>(plan.data_pages.size());
+  }
+  EXPECT_EQ(found, 1);
+  EXPECT_EQ(total_pages, 1);
+}
+
+TEST(CatalogTest, ScanAccessReadsWholeFragmentSequentially) {
+  Fixture f;
+  const auto plan = f.catalog->PlanAccess(0, {1, 2000, 2299},
+                                          /*sequential_scan=*/true);
+  // No index pages; every data page of the fragment, in physical order.
+  EXPECT_TRUE(plan.index_pages.empty());
+  EXPECT_EQ(static_cast<int64_t>(plan.data_pages.size()),
+            f.catalog->store(0).data_pages());
+  for (size_t i = 1; i < plan.data_pages.size(); ++i) {
+    const auto& prev = plan.data_pages[i - 1];
+    const auto& cur = plan.data_pages[i];
+    const bool consecutive =
+        (cur.cylinder == prev.cylinder && cur.slot == prev.slot + 1) ||
+        (cur.cylinder == prev.cylinder + 1 && cur.slot == 0);
+    EXPECT_TRUE(consecutive);
+  }
+  // Tuple count matches the indexed plan's.
+  const auto indexed = f.catalog->PlanAccess(0, {1, 2000, 2299});
+  EXPECT_EQ(plan.tuples, indexed.tuples);
+}
+
+TEST(CatalogTest, ScanAccessCountsOnEitherAttribute) {
+  Fixture f;
+  int64_t via_a = 0, via_b = 0;
+  for (int n = 0; n < 8; ++n) {
+    via_a += f.catalog->PlanAccess(n, {0, 1000, 1029}, true).tuples;
+    via_b += f.catalog->PlanAccess(n, {1, 1000, 1029}, true).tuples;
+  }
+  EXPECT_EQ(via_a, 30);
+  EXPECT_EQ(via_b, 30);
+}
+
+TEST(CatalogTest, AuxPlanEmptyForNonBerd) {
+  Fixture f;
+  const auto plan = f.catalog->PlanAuxAccess(0, {1, 0, 100});
+  EXPECT_TRUE(plan.index_pages.empty());
+  EXPECT_EQ(plan.tuples, 0);
+}
+
+TEST(CatalogTest, NullArgumentsRejected) {
+  Fixture f;
+  hw::HwParams hw;
+  EXPECT_TRUE(SystemCatalog::Build(nullptr, f.part.get(), 0, 1, hw)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SystemCatalog::Build(&f.rel, nullptr, 0, 1, hw)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace declust::engine

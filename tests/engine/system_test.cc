@@ -1,0 +1,220 @@
+#include "src/engine/system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/decluster/berd.h"
+#include "src/decluster/cmd.h"
+#include "src/decluster/magic.h"
+#include "src/decluster/range.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::engine {
+namespace {
+
+using workload::MakeMix;
+using workload::ResourceClass;
+
+struct RunResult {
+  double qps = 0;
+  double mean_response_ms = 0;
+  int64_t completed = 0;
+  double avg_processors = 0;
+};
+
+RunResult RunSmall(const std::string& strategy, double correlation, int mpl,
+                   ResourceClass qa = ResourceClass::kLow,
+                   ResourceClass qb = ResourceClass::kLow,
+                   double measure_ms = 4000) {
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = 10'000;
+  wopts.correlation = correlation;
+  wopts.seed = 5;
+  const auto rel = workload::MakeWisconsin(wopts);
+  const auto wl = MakeMix(qa, qb);
+
+  std::unique_ptr<decluster::Partitioning> part;
+  const std::vector<storage::AttrId> attrs = {0, 1};
+  if (strategy == "range") {
+    part = std::move(
+        decluster::RangePartitioning::Create(rel, attrs, 16).ValueOrDie());
+  } else if (strategy == "CMD") {
+    part = std::move(
+        decluster::CmdPartitioning::Create(rel, attrs, 16).ValueOrDie());
+  } else if (strategy == "BERD") {
+    part = std::move(
+        decluster::BerdPartitioning::Create(rel, attrs, 16).ValueOrDie());
+  } else {
+    part = std::move(
+        decluster::MagicPartitioning::Create(rel, attrs, wl, 16)
+            .ValueOrDie());
+  }
+
+  sim::Simulation sim;
+  SystemConfig config;
+  config.hw.num_processors = 16;
+  config.multiprogramming_level = mpl;
+  System system(&sim, config, &rel, part.get(), &wl);
+  EXPECT_TRUE(system.Init().ok());
+  system.Start();
+  sim.RunUntil(1000);
+  system.metrics().StartMeasurement(sim.now());
+  sim.RunUntil(1000 + measure_ms);
+
+  RunResult r;
+  r.qps = system.metrics().ThroughputQps(sim.now());
+  r.mean_response_ms = system.metrics().response_ms().mean();
+  r.completed = system.metrics().completed_in_window();
+  r.avg_processors = system.metrics().processors_used().mean();
+  return r;
+}
+
+TEST(SystemTest, CompletesQueriesAndMeasuresThroughput) {
+  const auto r = RunSmall("range", 0.0, 4);
+  EXPECT_GT(r.completed, 50);
+  EXPECT_GT(r.qps, 0.0);
+  EXPECT_GT(r.mean_response_ms, 10.0);   // several random I/Os at least
+  EXPECT_LT(r.mean_response_ms, 2000.0);
+}
+
+TEST(SystemTest, ThroughputGrowsWithMultiprogramming) {
+  const auto low = RunSmall("MAGIC", 0.0, 1);
+  const auto high = RunSmall("MAGIC", 0.0, 16);
+  EXPECT_GT(high.qps, low.qps * 1.5);
+}
+
+TEST(SystemTest, MagicBeatsRangeAtHighMpl) {
+  // The paper's core claim on the low-low mix.
+  const auto range = RunSmall("range", 0.0, 16);
+  const auto magic = RunSmall("MAGIC", 0.0, 16);
+  EXPECT_GT(magic.qps, range.qps);
+}
+
+TEST(SystemTest, BerdUsesAuxiliaryPhase) {
+  const auto berd = RunSmall("BERD", 0.0, 8);
+  EXPECT_GT(berd.completed, 50);
+  // Response time must include the two-phase overhead for QB queries, so it
+  // cannot be trivially small.
+  EXPECT_GT(berd.mean_response_ms, 20.0);
+}
+
+TEST(SystemTest, RangeUsesMoreProcessorsThanMagic) {
+  const auto range = RunSmall("range", 0.0, 8);
+  const auto magic = RunSmall("MAGIC", 0.0, 8);
+  // range: QA->1, QB->16 => ~8.5 average; MAGIC: a few per query.
+  EXPECT_GT(range.avg_processors, 7.0);
+  EXPECT_LT(magic.avg_processors, range.avg_processors);
+}
+
+TEST(SystemTest, HighCorrelationImprovesMagicThroughput) {
+  const auto low = RunSmall("MAGIC", 0.0, 16);
+  const auto high = RunSmall("MAGIC", 1.0, 16);
+  EXPECT_GT(high.qps, low.qps);
+}
+
+TEST(SystemTest, DeterministicForSeed) {
+  const auto a = RunSmall("BERD", 0.0, 4);
+  const auto b = RunSmall("BERD", 0.0, 4);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+}
+
+TEST(SystemTest, ModerateMixCompletes) {
+  const auto r = RunSmall("MAGIC", 0.0, 8, ResourceClass::kModerate,
+                          ResourceClass::kModerate);
+  EXPECT_GT(r.completed, 20);
+}
+
+TEST(SystemTest, BufferPoolRaisesThroughput) {
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = 10'000;
+  wopts.seed = 5;
+  const auto rel = workload::MakeWisconsin(wopts);
+  const auto wl = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+  auto part = decluster::MagicPartitioning::Create(rel, {0, 1}, wl, 16);
+  ASSERT_TRUE(part.ok());
+
+  auto run_with_pool = [&](int64_t pages) {
+    sim::Simulation sim;
+    SystemConfig config;
+    config.hw.num_processors = 16;
+    config.multiprogramming_level = 16;
+    config.buffer_pool_pages = pages;
+    System system(&sim, config, &rel, part->get(), &wl);
+    EXPECT_TRUE(system.Init().ok());
+    system.Start();
+    sim.RunUntil(1000);
+    system.metrics().StartMeasurement(sim.now());
+    sim.RunUntil(5000);
+    return system.metrics().ThroughputQps(sim.now());
+  };
+
+  const double cold = run_with_pool(0);
+  const double warm = run_with_pool(256);
+  // Index roots/leaves cache immediately: a large pool must help.
+  EXPECT_GT(warm, cold * 1.3);
+}
+
+TEST(SystemTest, CmdRunsEndToEnd) {
+  const auto r = RunSmall("CMD", 0.0, 8);
+  EXPECT_GT(r.completed, 20);
+  // CMD sends every single-attribute query to all processors.
+  EXPECT_NEAR(r.avg_processors, 16.0, 0.5);
+}
+
+TEST(SystemTest, ThinkTimeLowersThroughputAtFixedMpl) {
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = 10'000;
+  wopts.seed = 5;
+  const auto rel = workload::MakeWisconsin(wopts);
+  const auto wl = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+  auto part = decluster::MagicPartitioning::Create(rel, {0, 1}, wl, 16);
+  ASSERT_TRUE(part.ok());
+
+  auto run_with_think = [&](double think_ms) {
+    sim::Simulation sim;
+    SystemConfig config;
+    config.hw.num_processors = 16;
+    config.multiprogramming_level = 8;
+    config.think_time_ms = think_ms;
+    System system(&sim, config, &rel, part->get(), &wl);
+    EXPECT_TRUE(system.Init().ok());
+    system.Start();
+    sim.RunUntil(1000);
+    system.metrics().StartMeasurement(sim.now());
+    sim.RunUntil(5000);
+    return system.metrics().ThroughputQps(sim.now());
+  };
+
+  const double zero = run_with_think(0.0);
+  const double slow = run_with_think(500.0);
+  EXPECT_GT(zero, slow * 1.5);
+  EXPECT_GT(slow, 0.0);
+}
+
+TEST(MetricsTest, ResponseQuantiles) {
+  Metrics m(1);
+  m.StartMeasurement(0.0);
+  for (int i = 1; i <= 100; ++i) m.RecordCompletion(0, i * 10.0);
+  // p50 ~ 500 ms, p95 ~ 950 ms (20 ms histogram buckets).
+  EXPECT_NEAR(m.ResponseQuantileMs(0.5), 500.0, 30.0);
+  EXPECT_NEAR(m.ResponseQuantileMs(0.95), 950.0, 30.0);
+  EXPECT_GT(m.ResponseQuantileMs(0.95), m.ResponseQuantileMs(0.5));
+}
+
+TEST(MetricsTest, WindowAccounting) {
+  Metrics m(2);
+  m.RecordCompletion(0, 10.0);  // before measurement: not counted
+  m.StartMeasurement(1000.0);
+  m.RecordCompletion(0, 20.0);
+  m.RecordCompletion(1, 40.0);
+  EXPECT_EQ(m.completed_total(), 3);
+  EXPECT_EQ(m.completed_in_window(), 2);
+  EXPECT_DOUBLE_EQ(m.response_ms().mean(), 30.0);
+  EXPECT_DOUBLE_EQ(m.class_response_ms(0).mean(), 20.0);
+  EXPECT_DOUBLE_EQ(m.class_response_ms(1).mean(), 40.0);
+  // 2 completions in 2 seconds of window.
+  EXPECT_DOUBLE_EQ(m.ThroughputQps(3000.0), 1.0);
+}
+
+}  // namespace
+}  // namespace declust::engine

@@ -1,0 +1,131 @@
+// Tests of the buddy-split scale alignment (DESIGN.md: "Scale alignment").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/grid/grid_file.h"
+
+namespace declust::grid {
+namespace {
+
+int SharedCuts(const GridFile& g) {
+  const auto& a = g.scale(0).cuts();
+  const auto& b = g.scale(1).cuts();
+  int shared = 0;
+  for (Value c : a) {
+    if (std::binary_search(b.begin(), b.end(), c)) ++shared;
+  }
+  return shared;
+}
+
+GridFile BuildDiagonal(GridFileOptions::SplitRule rule, int n = 5000,
+                       int capacity = 16) {
+  GridFileOptions o;
+  o.bucket_capacity = capacity;
+  o.split_rule = rule;
+  o.domain_lo = {0, 0};
+  o.domain_hi = {n, n};
+  GridFile g(2, o);
+  RandomStream r(11);
+  auto perm = r.Permutation(n);
+  for (auto v : perm) {
+    EXPECT_TRUE(g.Insert({v, v}, static_cast<storage::RecordId>(v)).ok());
+  }
+  return g;
+}
+
+TEST(GridAlignmentTest, BuddySplitAlignsIdenticalDistributions) {
+  auto g = BuildDiagonal(GridFileOptions::SplitRule::kBuddyMidpoint);
+  const int na = g.scale(0).num_slices();
+  const int nb = g.scale(1).num_slices();
+  const int shared = SharedCuts(g);
+  // Most cuts coincide across the two dimensions.
+  EXPECT_GT(shared, std::min(na, nb) / 3)
+      << "shape " << g.ShapeString() << " shared " << shared;
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+double AvgNonEmptyCellsPerNarrowQuery(const GridFile& g) {
+  auto hist_cells = [&](int attr, Value lo, Value hi) {
+    std::vector<Value> blo = {INT64_MIN, INT64_MIN};
+    std::vector<Value> bhi = {INT64_MAX, INT64_MAX};
+    blo[static_cast<size_t>(attr)] = lo;
+    bhi[static_cast<size_t>(attr)] = hi;
+    int nonempty = 0;
+    for (int64_t c : g.CellsOverlapping(blo, bhi)) {
+      if (!g.EntriesInCell(c).empty()) ++nonempty;
+    }
+    return nonempty;
+  };
+  double avg = 0;
+  for (int t = 0; t < 20; ++t) {
+    const Value v = 123 + t * 229;
+    avg += hist_cells(0, v, v + 9);
+    avg += hist_cells(1, v, v + 9);
+  }
+  return avg / 40;
+}
+
+TEST(GridAlignmentTest, AlignedScalesLocalizeDiagonalQueries) {
+  // A narrow box on either attribute overlaps few NON-EMPTY cells with
+  // buddy splitting (partially aligned scales) and clearly more with
+  // median splitting (half-slice drift makes every query straddle two
+  // fragments).
+  const double buddy = AvgNonEmptyCellsPerNarrowQuery(
+      BuildDiagonal(GridFileOptions::SplitRule::kBuddyMidpoint));
+  const double median = AvgNonEmptyCellsPerNarrowQuery(
+      BuildDiagonal(GridFileOptions::SplitRule::kMedian));
+  EXPECT_LT(buddy, 3.5);
+  EXPECT_LT(buddy, median);
+}
+
+TEST(GridAlignmentTest, MedianSplitDriftsApart) {
+  auto buddy = BuildDiagonal(GridFileOptions::SplitRule::kBuddyMidpoint);
+  auto median = BuildDiagonal(GridFileOptions::SplitRule::kMedian);
+  // Median cuts are data-dependent, so the two dimensions share few or no
+  // cut points compared with buddy splitting.
+  EXPECT_GT(SharedCuts(buddy), SharedCuts(median) + 5);
+  EXPECT_TRUE(median.Validate().ok());
+}
+
+TEST(GridAlignmentTest, MaxCellsCapBoundsDirectory) {
+  GridFileOptions o;
+  o.bucket_capacity = 4;
+  o.max_cells = 1024;
+  o.domain_lo = {0, 0};
+  o.domain_hi = {100000, 100000};
+  GridFile g(2, o);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(g.Insert({i * 5, i * 5}, static_cast<storage::RecordId>(i))
+                    .ok());
+  }
+  EXPECT_LE(g.directory().num_cells(), 1024);
+  EXPECT_TRUE(g.Validate().ok());
+  // Every point still findable despite overflowing buckets.
+  EXPECT_EQ(g.PointSearch({500, 500}).size(), 1u);
+  EXPECT_EQ(g.size(), 20000);
+}
+
+TEST(GridAlignmentTest, UniformDataUnaffectedByCap) {
+  GridFileOptions o;
+  o.bucket_capacity = 16;
+  o.max_cells = 1 << 17;
+  o.domain_lo = {0, 0};
+  o.domain_hi = {100000, 100000};
+  GridFile g(2, o);
+  RandomStream r(5);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(g.Insert({r.UniformInt(0, 99999), r.UniformInt(0, 99999)},
+                         static_cast<storage::RecordId>(i))
+                    .ok());
+  }
+  // Buddy splits on uniform data behave like equi-depth: cells stay within
+  // capacity and the directory stays far below the cap.
+  EXPECT_LT(g.directory().num_cells(), 1 << 14);
+  auto hist = g.CellHistogram();
+  for (int64_t c : hist) EXPECT_LE(c, 16);
+}
+
+}  // namespace
+}  // namespace declust::grid

@@ -1,0 +1,68 @@
+#include "src/grid/grid_directory.h"
+
+#include <gtest/gtest.h>
+
+namespace declust::grid {
+namespace {
+
+TEST(GridDirectoryTest, StartsAsSingleCell) {
+  GridDirectory d(2);
+  EXPECT_EQ(d.num_dims(), 2);
+  EXPECT_EQ(d.size(0), 1);
+  EXPECT_EQ(d.size(1), 1);
+  EXPECT_EQ(d.num_cells(), 1);
+  EXPECT_EQ(d.bucket_at({0, 0}), 0);
+}
+
+TEST(GridDirectoryTest, CellIndexRoundTrips) {
+  GridDirectory d(3);
+  d.DuplicateSlice(0, 0);
+  d.DuplicateSlice(1, 0);
+  d.DuplicateSlice(1, 0);
+  d.DuplicateSlice(2, 0);
+  // dims: 2 x 3 x 2
+  EXPECT_EQ(d.size(0), 2);
+  EXPECT_EQ(d.size(1), 3);
+  EXPECT_EQ(d.size(2), 2);
+  for (int64_t i = 0; i < d.num_cells(); ++i) {
+    EXPECT_EQ(d.CellIndex(d.CellCoords(i)), i);
+  }
+}
+
+TEST(GridDirectoryTest, DuplicateSliceCopiesBuckets) {
+  GridDirectory d(2);
+  d.DuplicateSlice(0, 0);  // 2x1
+  d.set_bucket({0, 0}, 7);
+  d.set_bucket({1, 0}, 9);
+  d.DuplicateSlice(1, 0);  // 2x2: column copied
+  EXPECT_EQ(d.bucket_at({0, 0}), 7);
+  EXPECT_EQ(d.bucket_at({0, 1}), 7);
+  EXPECT_EQ(d.bucket_at({1, 0}), 9);
+  EXPECT_EQ(d.bucket_at({1, 1}), 9);
+}
+
+TEST(GridDirectoryTest, DuplicateMiddleSliceShiftsLaterSlices) {
+  GridDirectory d(1);
+  d.DuplicateSlice(0, 0);  // 2
+  d.set_bucket({0}, 1);
+  d.set_bucket({1}, 2);
+  d.DuplicateSlice(0, 0);  // slice 0 split: [1, 1, 2]
+  EXPECT_EQ(d.size(0), 3);
+  EXPECT_EQ(d.bucket_at({0}), 1);
+  EXPECT_EQ(d.bucket_at({1}), 1);
+  EXPECT_EQ(d.bucket_at({2}), 2);
+  d.DuplicateSlice(0, 2);  // slice 2 split: [1, 1, 2, 2]
+  EXPECT_EQ(d.bucket_at({3}), 2);
+}
+
+TEST(GridDirectoryTest, SetBucketAtIndex) {
+  GridDirectory d(2);
+  d.DuplicateSlice(0, 0);
+  d.DuplicateSlice(1, 0);
+  d.set_bucket_at_index(3, 42);
+  EXPECT_EQ(d.bucket_at({1, 1}), 42);
+  EXPECT_EQ(d.bucket_at_index(3), 42);
+}
+
+}  // namespace
+}  // namespace declust::grid

@@ -1,0 +1,209 @@
+#include "src/grid/grid_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/random.h"
+
+namespace declust::grid {
+namespace {
+
+GridFileOptions SmallOpts(int capacity = 4) {
+  GridFileOptions o;
+  o.bucket_capacity = capacity;
+  return o;
+}
+
+TEST(GridFileTest, EmptyFile) {
+  GridFile g(2, SmallOpts());
+  EXPECT_EQ(g.size(), 0);
+  EXPECT_EQ(g.num_buckets(), 1);
+  EXPECT_TRUE(g.PointSearch({1, 2}).empty());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GridFileTest, InsertWithinCapacityNoSplit) {
+  GridFile g(2, SmallOpts(4));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.Insert({i, i * 10}, static_cast<RecordId>(i)).ok());
+  }
+  EXPECT_EQ(g.num_buckets(), 1);
+  EXPECT_EQ(g.directory().num_cells(), 1);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GridFileTest, OverflowSplits) {
+  GridFile g(2, SmallOpts(4));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.Insert({i, i * 10}, static_cast<RecordId>(i)).ok());
+  }
+  EXPECT_GT(g.num_buckets(), 1);
+  EXPECT_GT(g.directory().num_cells(), 1);
+  EXPECT_TRUE(g.Validate().ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = g.PointSearch({i, i * 10});
+    ASSERT_EQ(r.size(), 1u) << i;
+    EXPECT_EQ(r[0], static_cast<RecordId>(i));
+  }
+}
+
+TEST(GridFileTest, ArityChecked) {
+  GridFile g(2, SmallOpts());
+  EXPECT_TRUE(g.Insert({1}, 0).IsInvalidArgument());
+  EXPECT_TRUE(g.Insert({1, 2, 3}, 0).IsInvalidArgument());
+}
+
+TEST(GridFileTest, DegenerateDuplicatesTolerated) {
+  GridFile g(2, SmallOpts(4));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.Insert({7, 7}, static_cast<RecordId>(i)).ok());
+  }
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.PointSearch({7, 7}).size(), 20u);
+}
+
+TEST(GridFileTest, CellsOverlappingFullBoxCoversDirectory) {
+  GridFile g(2, SmallOpts(4));
+  RandomStream rng(3);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 999), rng.UniformInt(0, 999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  auto cells = g.CellsOverlapping({-10000, -10000}, {10000, 10000});
+  EXPECT_EQ(static_cast<int64_t>(cells.size()), g.directory().num_cells());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GridFileTest, CellsOverlappingPartialBox) {
+  GridFile g(2, SmallOpts(4));
+  RandomStream rng(4);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 999), rng.UniformInt(0, 999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  // A narrow box along dimension 0 covers a subset of cells.
+  auto some = g.CellsOverlapping({100, -10000}, {110, 10000});
+  auto all = g.CellsOverlapping({-10000, -10000}, {10000, 10000});
+  EXPECT_LT(some.size(), all.size());
+  EXPECT_GE(some.size(), 1u);
+  // Inverted box is empty.
+  EXPECT_TRUE(g.CellsOverlapping({10, 10}, {5, 20}).empty());
+}
+
+TEST(GridFileTest, EntriesInCellPartitionTheData) {
+  GridFile g(2, SmallOpts(8));
+  RandomStream rng(5);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 99), rng.UniformInt(0, 99)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  std::vector<bool> seen(n, false);
+  int64_t total = 0;
+  for (int64_t c = 0; c < g.directory().num_cells(); ++c) {
+    for (const auto& e : g.EntriesInCell(c)) {
+      EXPECT_FALSE(seen[e.rid]) << "record in two cells";
+      seen[e.rid] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(GridFileTest, CellHistogramSumsToSize) {
+  GridFile g(2, SmallOpts(8));
+  RandomStream rng(6);
+  for (int i = 0; i < 777; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 9999), rng.UniformInt(0, 9999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  auto hist = g.CellHistogram();
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), int64_t{0}), 777);
+}
+
+TEST(GridFileTest, SplitWeightsShapeTheDirectory) {
+  // Dimension 0 weighted 9x more than dimension 1 should end up with
+  // many more slices.
+  GridFileOptions heavy;
+  heavy.bucket_capacity = 8;
+  heavy.split_weights = {9.0, 1.0};
+  GridFile g(2, heavy);
+  RandomStream rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 99999), rng.UniformInt(0, 99999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  const int n0 = g.scale(0).num_slices();
+  const int n1 = g.scale(1).num_slices();
+  EXPECT_GT(n0, n1 * 4) << g.ShapeString();
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GridFileTest, EqualWeightsGiveSquarishDirectory) {
+  GridFile g(2, SmallOpts(8));
+  RandomStream rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 99999), rng.UniformInt(0, 99999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  const double ratio = static_cast<double>(g.scale(0).num_slices()) /
+                       g.scale(1).num_slices();
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(GridFileTest, ThreeDimensional) {
+  GridFile g(3, SmallOpts(8));
+  RandomStream rng(9);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 999), rng.UniformInt(0, 999),
+                          rng.UniformInt(0, 999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  ASSERT_TRUE(g.Validate().ok());
+  auto hist = g.CellHistogram();
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), int64_t{0}), n);
+  EXPECT_EQ(g.num_dims(), 3);
+}
+
+TEST(GridFileTest, BucketOccupancyBounded) {
+  GridFile g(2, SmallOpts(16));
+  RandomStream rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(g.Insert({rng.UniformInt(0, 99999), rng.UniformInt(0, 99999)},
+                         static_cast<RecordId>(i))
+                    .ok());
+  }
+  ASSERT_TRUE(g.Validate().ok());
+  // Every distinct point is separable, so no bucket may exceed capacity.
+  auto hist = g.CellHistogram();
+  // Cells can hold at most bucket_capacity entries unless duplicates.
+  for (int64_t c : hist) EXPECT_LE(c, 16);
+}
+
+TEST(GridFileTest, CorrelatedDiagonalData) {
+  // Perfectly correlated attributes (the paper's section 4 worst case):
+  // all points on the diagonal. The grid file must still split fine.
+  GridFile g(2, SmallOpts(8));
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(g.Insert({i, i}, static_cast<RecordId>(i)).ok());
+  }
+  ASSERT_TRUE(g.Validate().ok());
+  // Most cells are empty (off-diagonal) while diagonal cells hold the data.
+  auto hist = g.CellHistogram();
+  int64_t empty = std::count(hist.begin(), hist.end(), 0);
+  EXPECT_GT(empty, static_cast<int64_t>(hist.size()) / 2);
+}
+
+}  // namespace
+}  // namespace declust::grid

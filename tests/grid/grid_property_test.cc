@@ -1,0 +1,145 @@
+// Parameterized property sweep over the grid file: structural invariants
+// must hold across bucket capacities, split rules, dimensionalities and
+// data distributions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/common/random.h"
+#include "src/grid/grid_file.h"
+
+namespace declust::grid {
+namespace {
+
+struct Param {
+  int capacity;
+  GridFileOptions::SplitRule rule;
+  int dims;
+  double correlation;  // 0 = independent, 1 = identical values
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string s = "cap" + std::to_string(info.param.capacity);
+  s += info.param.rule == GridFileOptions::SplitRule::kBuddyMidpoint
+           ? "_buddy"
+           : "_median";
+  s += "_k" + std::to_string(info.param.dims);
+  s += info.param.correlation >= 0.5 ? "_diag" : "_unif";
+  return s;
+}
+
+class GridFileProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr int kPoints = 3000;
+  static constexpr Value kDomain = 10'000;
+
+  void SetUp() override {
+    const Param& p = GetParam();
+    GridFileOptions o;
+    o.bucket_capacity = p.capacity;
+    o.split_rule = p.rule;
+    o.max_cells = 1 << 16;
+    o.domain_lo.assign(static_cast<size_t>(p.dims), 0);
+    o.domain_hi.assign(static_cast<size_t>(p.dims), kDomain);
+    grid_ = std::make_unique<GridFile>(p.dims, o);
+
+    RandomStream rng(1234);
+    points_.reserve(kPoints);
+    for (int i = 0; i < kPoints; ++i) {
+      std::vector<Value> pt(static_cast<size_t>(p.dims));
+      pt[0] = rng.UniformInt(0, kDomain - 1);
+      for (int d = 1; d < p.dims; ++d) {
+        pt[static_cast<size_t>(d)] = p.correlation >= 0.5
+                                         ? pt[0]
+                                         : rng.UniformInt(0, kDomain - 1);
+      }
+      ASSERT_TRUE(
+          grid_->Insert(pt, static_cast<storage::RecordId>(i)).ok());
+      points_.push_back(std::move(pt));
+    }
+  }
+
+  std::unique_ptr<GridFile> grid_;
+  std::vector<std::vector<Value>> points_;
+};
+
+TEST_P(GridFileProperty, StructuralInvariantsHold) {
+  EXPECT_TRUE(grid_->Validate().ok());
+  EXPECT_EQ(grid_->size(), kPoints);
+  EXPECT_LE(grid_->directory().num_cells(), 1 << 16);
+}
+
+TEST_P(GridFileProperty, EveryPointFindable) {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const auto rids = grid_->PointSearch(points_[i]);
+    EXPECT_NE(std::find(rids.begin(), rids.end(),
+                        static_cast<storage::RecordId>(i)),
+              rids.end())
+        << "point " << i;
+  }
+}
+
+TEST_P(GridFileProperty, HistogramSumsToSize) {
+  const auto hist = grid_->CellHistogram();
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), int64_t{0}), kPoints);
+}
+
+TEST_P(GridFileProperty, CellOfPointConsistentWithHistogram) {
+  std::vector<int64_t> counted(
+      static_cast<size_t>(grid_->directory().num_cells()), 0);
+  for (const auto& pt : points_) {
+    ++counted[static_cast<size_t>(grid_->CellOfPoint(pt))];
+  }
+  EXPECT_EQ(counted, grid_->CellHistogram());
+}
+
+TEST_P(GridFileProperty, BoxQueryFindsEverythingInBox) {
+  RandomStream rng(77);
+  const int k = GetParam().dims;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Value> lo(static_cast<size_t>(k)), hi(static_cast<size_t>(k));
+    for (int d = 0; d < k; ++d) {
+      const Value a = rng.UniformInt(0, kDomain - 1);
+      lo[static_cast<size_t>(d)] = a;
+      hi[static_cast<size_t>(d)] = a + rng.UniformInt(0, kDomain / 4);
+    }
+    // Collect rids via the cell route.
+    std::set<storage::RecordId> found;
+    for (int64_t cell : grid_->CellsOverlapping(lo, hi)) {
+      for (const auto& e : grid_->EntriesInCell(cell)) {
+        found.insert(e.rid);
+      }
+    }
+    // Reference scan.
+    for (size_t i = 0; i < points_.size(); ++i) {
+      bool inside = true;
+      for (int d = 0; d < k; ++d) {
+        const Value v = points_[i][static_cast<size_t>(d)];
+        if (v < lo[static_cast<size_t>(d)] || v > hi[static_cast<size_t>(d)]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        EXPECT_TRUE(found.count(static_cast<storage::RecordId>(i)))
+            << "trial " << trial << " point " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridFileProperty,
+    ::testing::Values(
+        Param{8, GridFileOptions::SplitRule::kBuddyMidpoint, 2, 0.0},
+        Param{8, GridFileOptions::SplitRule::kMedian, 2, 0.0},
+        Param{32, GridFileOptions::SplitRule::kBuddyMidpoint, 2, 0.0},
+        Param{32, GridFileOptions::SplitRule::kMedian, 2, 1.0},
+        Param{8, GridFileOptions::SplitRule::kBuddyMidpoint, 2, 1.0},
+        Param{16, GridFileOptions::SplitRule::kBuddyMidpoint, 3, 0.0},
+        Param{16, GridFileOptions::SplitRule::kMedian, 3, 1.0},
+        Param{64, GridFileOptions::SplitRule::kBuddyMidpoint, 1, 0.0}),
+    ParamName);
+
+}  // namespace
+}  // namespace declust::grid

@@ -1,0 +1,128 @@
+#include "src/hw/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace declust::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation s;
+  HwParams params;
+  Cpu cpu{&s, &params};
+};
+
+sim::Task<> RunMs(Fixture* f, double ms, int id,
+                  std::vector<std::pair<int, double>>* log) {
+  co_await f->cpu.RunMs(ms);
+  log->push_back({id, f->s.now()});
+}
+
+sim::Task<> RunDmaAt(Fixture* f, double at, int64_t instr, int id,
+                     std::vector<std::pair<int, double>>* log) {
+  co_await f->s.WaitFor(at);
+  co_await f->cpu.RunDma(instr);
+  log->push_back({id, f->s.now()});
+}
+
+TEST(CpuTest, InstructionsToTime) {
+  HwParams p;
+  // 3 MIPS -> 3000 instructions per ms.
+  EXPECT_DOUBLE_EQ(p.InstrMs(3000), 1.0);
+  EXPECT_DOUBLE_EQ(p.InstrMs(14600), 14600.0 / 3000.0);
+}
+
+TEST(CpuTest, FcfsOrdering) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(RunMs(&f, 5.0, 1, &log));
+  f.s.Spawn(RunMs(&f, 3.0, 2, &log));
+  f.s.Spawn(RunMs(&f, 2.0, 3, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_DOUBLE_EQ(log[0].second, 5.0);
+  EXPECT_EQ(log[1].first, 2);
+  EXPECT_DOUBLE_EQ(log[1].second, 8.0);
+  EXPECT_EQ(log[2].first, 3);
+  EXPECT_DOUBLE_EQ(log[2].second, 10.0);
+}
+
+TEST(CpuTest, DmaPreemptsAndWorkResumes) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  // Normal job of 10 ms starting at t=0.
+  f.s.Spawn(RunMs(&f, 10.0, 1, &log));
+  // DMA of 3000 instr (=1 ms) arriving at t=4.
+  f.s.Spawn(RunDmaAt(&f, 4.0, 3000, 2, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 2u);
+  // DMA finishes at 5; normal job lost 1 ms and finishes at 11.
+  EXPECT_EQ(log[0].first, 2);
+  EXPECT_DOUBLE_EQ(log[0].second, 5.0);
+  EXPECT_EQ(log[1].first, 1);
+  EXPECT_DOUBLE_EQ(log[1].second, 11.0);
+}
+
+TEST(CpuTest, MultipleDmasServedBeforeResumingNormal) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(RunMs(&f, 10.0, 1, &log));
+  f.s.Spawn(RunDmaAt(&f, 2.0, 3000, 2, &log));  // 1 ms
+  f.s.Spawn(RunDmaAt(&f, 2.5, 6000, 3, &log));  // 2 ms, queued behind DMA 2
+  f.s.Run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 2);
+  EXPECT_DOUBLE_EQ(log[0].second, 3.0);
+  EXPECT_EQ(log[1].first, 3);
+  EXPECT_DOUBLE_EQ(log[1].second, 5.0);
+  EXPECT_EQ(log[2].first, 1);
+  EXPECT_DOUBLE_EQ(log[2].second, 13.0);
+}
+
+TEST(CpuTest, DmaOnIdleCpuRunsImmediately) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(RunDmaAt(&f, 1.0, 3000, 1, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].second, 2.0);
+}
+
+TEST(CpuTest, NormalQueuedBehindDmaBacklog) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(RunDmaAt(&f, 0.0, 6000, 1, &log));  // 2 ms DMA at t=0
+  f.s.Spawn(RunMs(&f, 1.0, 2, &log));           // normal arrives at t=0 too
+  f.s.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_DOUBLE_EQ(log[0].second, 2.0);
+  EXPECT_EQ(log[1].first, 2);
+  EXPECT_DOUBLE_EQ(log[1].second, 3.0);
+}
+
+TEST(CpuTest, BusyTimeAccounting) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(RunMs(&f, 4.0, 1, &log));
+  f.s.Spawn(RunDmaAt(&f, 1.0, 3000, 2, &log));
+  f.s.Run();
+  // Total busy: 4 (normal) + 1 (DMA) = 5 ms over a 5 ms run.
+  EXPECT_DOUBLE_EQ(f.cpu.busy_ms(), 5.0);
+  EXPECT_EQ(f.cpu.completed(), 2u);
+  EXPECT_NEAR(f.cpu.Utilization(), 1.0, 1e-9);
+}
+
+TEST(CpuTest, ZeroWorkIsFree) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(RunMs(&f, 0.0, 1, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].second, 0.0);
+}
+
+}  // namespace
+}  // namespace declust::hw

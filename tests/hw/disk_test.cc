@@ -1,0 +1,190 @@
+#include "src/hw/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace declust::hw {
+namespace {
+
+struct Fixture {
+  sim::Simulation s;
+  HwParams params;
+  Disk disk{&s, &params, RandomStream(42)};
+};
+
+sim::Task<> ReadAt(Fixture* f, double at, PageAddress page, int id,
+                   std::vector<std::pair<int, double>>* log) {
+  co_await f->s.WaitFor(at);
+  co_await f->disk.Read(page);
+  log->push_back({id, f->s.now()});
+}
+
+TEST(DiskTest, PageTransferTime) {
+  HwParams p;
+  // 8192 bytes at 1.8 MB/s = 4.551... ms.
+  EXPECT_NEAR(p.PageTransferMs(), 8192.0 / 1800.0, 1e-9);
+}
+
+TEST(DiskTest, SingleReadTimeWithinBounds) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(ReadAt(&f, 0.0, {10, 0}, 1, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 1u);
+  const double t = log[0].second;
+  const double seek = 2.0 + 0.78 * std::sqrt(10.0);
+  const double xfer = f.params.PageTransferMs();
+  EXPECT_GE(t, seek + xfer - 1e-9);
+  EXPECT_LE(t, seek + 16.68 + xfer + 1e-9);
+}
+
+TEST(DiskTest, SequentialReadSkipsSeekAndLatency) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(ReadAt(&f, 0.0, {5, 3}, 1, &log));
+  f.s.Spawn(ReadAt(&f, 0.1, {5, 4}, 2, &log));  // physically next page
+  f.s.Run();
+  ASSERT_EQ(log.size(), 2u);
+  const double gap = log[1].second - log[0].second;
+  EXPECT_NEAR(gap, f.params.PageTransferMs(), 1e-9);
+  EXPECT_EQ(f.disk.sequential_hits(), 1u);
+}
+
+TEST(DiskTest, NonAdjacentSlotPaysLatency) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(ReadAt(&f, 0.0, {5, 3}, 1, &log));
+  f.s.Spawn(ReadAt(&f, 0.1, {5, 9}, 2, &log));  // same cylinder, not adjacent
+  f.s.Run();
+  ASSERT_EQ(log.size(), 2u);
+  const double gap = log[1].second - log[0].second;
+  // No seek (same cylinder) but rotational latency applies.
+  EXPECT_GT(gap, f.params.PageTransferMs());
+  EXPECT_EQ(f.disk.sequential_hits(), 0u);
+}
+
+TEST(DiskTest, ElevatorServesSweepOrder) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  // Head starts at cylinder 0 sweeping up. Submit all at t=0, first in
+  // service is cylinder 50 (the only one at submit time of the first).
+  // Then the others queue: 10, 80, 30. After finishing 50 (head at 50,
+  // sweeping up), elevator serves 80, then reverses: 30, 10.
+  f.s.Spawn(ReadAt(&f, 0.0, {50, 0}, 1, &log));
+  f.s.Spawn(ReadAt(&f, 0.1, {10, 0}, 2, &log));
+  f.s.Spawn(ReadAt(&f, 0.1, {80, 0}, 3, &log));
+  f.s.Spawn(ReadAt(&f, 0.1, {30, 0}, 4, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_EQ(log[1].first, 3);  // continue up to 80
+  EXPECT_EQ(log[2].first, 4);  // reverse: 30
+  EXPECT_EQ(log[3].first, 2);  // then 10
+}
+
+TEST(DiskTest, ElevatorDoesNotStarveFarCylinders) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  for (int i = 0; i < 20; ++i) {
+    f.s.Spawn(ReadAt(&f, 0.0, {i % 3, i}, i, &log));
+  }
+  f.s.Spawn(ReadAt(&f, 0.0, {900, 0}, 99, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 21u);
+  // The far request is served exactly once and the run terminates.
+  int far_count = 0;
+  for (auto& [id, t] : log) {
+    if (id == 99) ++far_count;
+  }
+  EXPECT_EQ(far_count, 1);
+  EXPECT_EQ(f.disk.completed(), 21u);
+}
+
+TEST(DiskTest, WritesAlwaysPayLatency) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn([](Fixture* fx, std::vector<std::pair<int, double>>* lg)
+                -> sim::Task<> {
+    co_await fx->disk.Read({5, 3});
+    const double t0 = fx->s.now();
+    co_await fx->disk.Write({5, 4});
+    lg->push_back({1, fx->s.now() - t0});
+  }(&f, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GT(log[0].second, f.params.PageTransferMs());
+}
+
+struct FcfsFixture {
+  sim::Simulation s;
+  HwParams params;
+  Disk disk{&s, &params, RandomStream(42), DiskSchedPolicy::kFcfs};
+};
+
+sim::Task<> FcfsReadAt(FcfsFixture* f, double at, PageAddress page, int id,
+                       std::vector<std::pair<int, double>>* log) {
+  co_await f->s.WaitFor(at);
+  co_await f->disk.Read(page);
+  log->push_back({id, f->s.now()});
+}
+
+TEST(DiskTest, FcfsServesInArrivalOrder) {
+  FcfsFixture f;
+  std::vector<std::pair<int, double>> log;
+  // Same cylinders as the elevator test: FCFS must NOT reorder.
+  f.s.Spawn(FcfsReadAt(&f, 0.0, {50, 0}, 1, &log));
+  f.s.Spawn(FcfsReadAt(&f, 0.1, {10, 0}, 2, &log));
+  f.s.Spawn(FcfsReadAt(&f, 0.1, {80, 0}, 3, &log));
+  f.s.Spawn(FcfsReadAt(&f, 0.1, {30, 0}, 4, &log));
+  f.s.Run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_EQ(log[1].first, 2);
+  EXPECT_EQ(log[2].first, 3);
+  EXPECT_EQ(log[3].first, 4);
+  EXPECT_EQ(f.disk.completed(), 4u);
+}
+
+TEST(DiskTest, ElevatorBeatsFcfsOnScatteredQueue) {
+  // With a deep queue of scattered cylinders, the elevator's total service
+  // time (sum of seeks) is lower than FCFS's for the same request set.
+  auto run = [](DiskSchedPolicy policy) {
+    sim::Simulation s;
+    HwParams params;
+    Disk disk(&s, &params, RandomStream(7), policy);
+    std::vector<std::pair<int, double>> log;
+    RandomStream order(3);
+    struct Ctx {
+      sim::Simulation* s;
+      Disk* d;
+      std::vector<std::pair<int, double>>* log;
+    };
+    for (int i = 0; i < 40; ++i) {
+      const int cyl = static_cast<int>(order.UniformInt(0, 999));
+      s.Spawn([](Ctx c, PageAddress p, int id) -> sim::Task<> {
+        co_await c.d->Read(p);
+        c.log->push_back({id, c.s->now()});
+      }(Ctx{&s, &disk, &log}, PageAddress{cyl, 0}, i));
+    }
+    s.Run();
+    return disk.busy_ms();
+  };
+  const double elevator = run(DiskSchedPolicy::kElevator);
+  const double fcfs = run(DiskSchedPolicy::kFcfs);
+  EXPECT_LT(elevator, fcfs);
+}
+
+TEST(DiskTest, UtilizationReflectsIdleTime) {
+  Fixture f;
+  std::vector<std::pair<int, double>> log;
+  f.s.Spawn(ReadAt(&f, 0.0, {0, 0}, 1, &log));
+  f.s.Run();
+  const double end = f.s.now();
+  // One request: disk busy the whole time (request submitted at t=0).
+  EXPECT_NEAR(f.disk.Utilization(), 1.0, 1e-9);
+  EXPECT_GT(end, 0.0);
+}
+
+}  // namespace
+}  // namespace declust::hw

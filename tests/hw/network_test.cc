@@ -1,0 +1,124 @@
+#include "src/hw/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/node.h"
+#include "src/sim/channel.h"
+
+namespace declust::hw {
+namespace {
+
+TEST(NetworkTest, PacketTimeMatchesPublishedPoints) {
+  HwParams p;
+  EXPECT_NEAR(p.PacketSendMs(100), 0.6, 1e-12);
+  EXPECT_NEAR(p.PacketSendMs(8192), 5.6, 1e-12);
+  // Interpolation is monotone.
+  EXPECT_GT(p.PacketSendMs(4000), p.PacketSendMs(200));
+}
+
+struct Fixture {
+  sim::Simulation s;
+  HwParams params;
+  Network net{&s, &params, 4};
+};
+
+sim::Task<> SendOne(Fixture* f, int src, int dst, int bytes,
+                    std::vector<double>* delivered, double* sender_freed) {
+  co_await f->net.Send(src, dst, bytes, [f, delivered] {
+    delivered->push_back(f->s.now());
+  });
+  *sender_freed = f->s.now();
+}
+
+TEST(NetworkTest, TransferOccupiesBothInterfaces) {
+  Fixture f;
+  std::vector<double> delivered;
+  double sender_freed = -1;
+  f.s.Spawn(SendOne(&f, 0, 1, 100, &delivered, &sender_freed));
+  f.s.Run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_NEAR(sender_freed, 0.6, 1e-9);
+  EXPECT_NEAR(delivered[0], 1.2, 1e-9);  // sender pass + receiver pass
+}
+
+TEST(NetworkTest, SenderInterfaceSerializesSends) {
+  Fixture f;
+  std::vector<double> delivered;
+  double freed1 = -1, freed2 = -1;
+  f.s.Spawn(SendOne(&f, 0, 1, 100, &delivered, &freed1));
+  f.s.Spawn(SendOne(&f, 0, 2, 100, &delivered, &freed2));
+  f.s.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_NEAR(freed1, 0.6, 1e-9);
+  EXPECT_NEAR(freed2, 1.2, 1e-9);  // queued behind the first send
+}
+
+TEST(NetworkTest, ReceiverInterfaceSerializesArrivals) {
+  Fixture f;
+  std::vector<double> delivered;
+  double freed1 = -1, freed2 = -1;
+  // Two different senders target node 3 simultaneously.
+  f.s.Spawn(SendOne(&f, 0, 3, 100, &delivered, &freed1));
+  f.s.Spawn(SendOne(&f, 1, 3, 100, &delivered, &freed2));
+  f.s.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  // Both leave their senders at 0.6; receiver serializes: 1.2 and 1.8.
+  EXPECT_NEAR(delivered[0], 1.2, 1e-9);
+  EXPECT_NEAR(delivered[1], 1.8, 1e-9);
+}
+
+TEST(NetworkTest, LocalSendStillDelivers) {
+  Fixture f;
+  std::vector<double> delivered;
+  double freed = -1;
+  f.s.Spawn(SendOne(&f, 2, 2, 100, &delivered, &freed));
+  f.s.Run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_NEAR(delivered[0], 0.6, 1e-9);  // one loopback pass only
+}
+
+TEST(NetworkTest, PacketCounter) {
+  Fixture f;
+  std::vector<double> delivered;
+  double freed = -1;
+  f.s.Spawn(SendOne(&f, 0, 1, 8192, &delivered, &freed));
+  f.s.Run();
+  EXPECT_EQ(f.net.packets_sent(), 1u);
+  EXPECT_NEAR(f.net.interface(0).busy_ms(), 5.6, 1e-9);
+  EXPECT_NEAR(f.net.interface(1).busy_ms(), 5.6, 1e-9);
+}
+
+TEST(MachineTest, ConstructsAllNodes) {
+  sim::Simulation s;
+  HwParams p;
+  p.num_processors = 8;
+  Machine m(&s, p, RandomStream(7));
+  EXPECT_EQ(m.num_nodes(), 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(m.node(i).id(), i);
+}
+
+sim::Task<> DoReadPage(Machine* m, int node, double* done_at) {
+  co_await m->node(node).ReadPage({3, 1});
+  *done_at = m->simulation()->now();
+}
+
+TEST(MachineTest, ReadPageChargesDiskDmaAndCpu) {
+  sim::Simulation s;
+  HwParams p;
+  p.num_processors = 2;
+  Machine m(&s, p, RandomStream(7));
+  double done_at = -1;
+  s.Spawn(DoReadPage(&m, 0, &done_at));
+  s.Run();
+  const double min_time = p.PageTransferMs() +                // transfer
+                          p.InstrMs(p.scsi_transfer_instructions) +
+                          p.InstrMs(p.read_page_instructions);
+  EXPECT_GE(done_at, min_time);
+  EXPECT_GT(m.node(0).cpu().busy_ms(), 0.0);
+  EXPECT_EQ(m.node(0).disk().completed(), 1u);
+}
+
+}  // namespace
+}  // namespace declust::hw

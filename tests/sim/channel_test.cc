@@ -1,0 +1,101 @@
+#include "src/sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace declust::sim {
+namespace {
+
+Task<> Producer(Simulation* s, Channel<int>* ch, int count, double gap) {
+  for (int i = 0; i < count; ++i) {
+    co_await s->WaitFor(gap);
+    ch->Send(i);
+  }
+}
+
+Task<> Consumer(Simulation* s, Channel<int>* ch, int count,
+                std::vector<std::pair<int, double>>* log) {
+  for (int i = 0; i < count; ++i) {
+    int v = co_await ch->Receive();
+    log->push_back({v, s->now()});
+  }
+}
+
+TEST(ChannelTest, MessagesDeliveredInOrder) {
+  Simulation s;
+  Channel<int> ch(&s);
+  std::vector<std::pair<int, double>> log;
+  s.Spawn(Consumer(&s, &ch, 3, &log));
+  s.Spawn(Producer(&s, &ch, 3, 2.0));
+  s.Run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 0);
+  EXPECT_DOUBLE_EQ(log[0].second, 2.0);
+  EXPECT_EQ(log[2].first, 2);
+  EXPECT_DOUBLE_EQ(log[2].second, 6.0);
+}
+
+TEST(ChannelTest, ReceiveOfBufferedMessageIsImmediate) {
+  Simulation s;
+  Channel<int> ch(&s);
+  ch.Send(42);
+  std::vector<std::pair<int, double>> log;
+  s.Spawn(Consumer(&s, &ch, 1, &log));
+  s.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 42);
+  EXPECT_DOUBLE_EQ(log[0].second, 0.0);
+}
+
+TEST(ChannelTest, MultipleReceiversEachGetOneMessage) {
+  Simulation s;
+  Channel<int> ch(&s);
+  std::vector<std::pair<int, double>> log1, log2;
+  s.Spawn(Consumer(&s, &ch, 1, &log1));
+  s.Spawn(Consumer(&s, &ch, 1, &log2));
+  s.ScheduleAt(1.0, [&] { ch.Send(10); });
+  s.ScheduleAt(1.0, [&] { ch.Send(20); });
+  s.Run();
+  ASSERT_EQ(log1.size(), 1u);
+  ASSERT_EQ(log2.size(), 1u);
+  EXPECT_EQ(log1[0].first + log2[0].first, 30);
+}
+
+Task<> ReceiveInto(Channel<int>* ch, std::vector<int>* got) {
+  got->push_back(co_await ch->Receive());
+}
+
+TEST(ChannelTest, SameInstantContention) {
+  Simulation s;
+  Channel<int> ch(&s);
+  std::vector<int> a, b;
+  // First receiver suspends at t=0.
+  s.Spawn(ReceiveInto(&ch, &a));
+  // At t=1: a send wakes the first receiver, then a second receiver starts
+  // in the same instant. Only one message exists; the second receiver must
+  // keep waiting instead of stealing.
+  s.ScheduleAt(1.0, [&] { ch.Send(100); });
+  s.Spawn(ReceiveInto(&ch, &b), 1.0);
+  s.RunUntil(2.0);
+  EXPECT_EQ(a, (std::vector<int>{100}));
+  EXPECT_TRUE(b.empty());
+  ch.Send(200);
+  s.ClearStop();
+  s.Run();
+  EXPECT_EQ(b, (std::vector<int>{200}));
+}
+
+TEST(ChannelTest, SizeAndWaitingAccessors) {
+  Simulation s;
+  Channel<std::string> ch(&s);
+  EXPECT_TRUE(ch.empty());
+  ch.Send("x");
+  ch.Send("y");
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.waiting_receivers(), 0u);
+}
+
+}  // namespace
+}  // namespace declust::sim

@@ -1,0 +1,252 @@
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/trigger.h"
+
+namespace declust::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation s;
+  EXPECT_EQ(s.now(), 0.0);
+}
+
+TEST(SimulationTest, CallbacksFireInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.ScheduleAt(5.0, [&] { order.push_back(2); });
+  s.ScheduleAt(1.0, [&] { order.push_back(1); });
+  s.ScheduleAt(9.0, [&] { order.push_back(3); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 9.0);
+}
+
+TEST(SimulationTest, TiesFireInSchedulingOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(3.0, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation s;
+  bool fired = false;
+  EventId id = s.ScheduleAt(2.0, [&] { fired = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));  // second cancel is a no-op
+  s.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelAfterFireReturnsFalse) {
+  Simulation s;
+  EventId id = s.ScheduleAt(1.0, [] {});
+  s.Run();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon) {
+  Simulation s;
+  int count = 0;
+  s.ScheduleAt(1.0, [&] { ++count; });
+  s.ScheduleAt(2.0, [&] { ++count; });
+  s.ScheduleAt(3.0, [&] { ++count; });
+  s.RunUntil(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 2.0);
+  s.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, StopInterruptsRun) {
+  Simulation s;
+  int count = 0;
+  s.ScheduleAt(1.0, [&] {
+    ++count;
+    s.Stop();
+  });
+  s.ScheduleAt(2.0, [&] { ++count; });
+  s.Run();
+  EXPECT_EQ(count, 1);
+  s.ClearStop();
+  s.Run();
+  EXPECT_EQ(count, 2);
+}
+
+Task<> WaitTwice(Simulation* s, std::vector<double>* times) {
+  co_await s->WaitFor(1.5);
+  times->push_back(s->now());
+  co_await s->WaitFor(2.5);
+  times->push_back(s->now());
+}
+
+TEST(SimulationTest, ProcessDelays) {
+  Simulation s;
+  std::vector<double> times;
+  s.Spawn(WaitTwice(&s, &times));
+  s.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.5);
+  EXPECT_DOUBLE_EQ(times[1], 4.0);
+}
+
+TEST(SimulationTest, SpawnWithDelay) {
+  Simulation s;
+  std::vector<double> times;
+  s.Spawn(WaitTwice(&s, &times), 10.0);
+  s.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 11.5);
+}
+
+Task<int> Compute(Simulation* s, int x) {
+  co_await s->WaitFor(1.0);
+  co_return x * 2;
+}
+
+Task<> Parent(Simulation* s, int* out) {
+  int a = co_await Compute(s, 21);
+  int b = co_await Compute(s, a);
+  *out = b;
+}
+
+TEST(SimulationTest, NestedTasksReturnValues) {
+  Simulation s;
+  int out = 0;
+  s.Spawn(Parent(&s, &out));
+  s.Run();
+  EXPECT_EQ(out, 84);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+}
+
+Task<> WaitOn(Trigger* t, std::vector<int>* order, int id) {
+  co_await t->Wait();
+  order->push_back(id);
+}
+
+Task<> FireAt(Simulation* s, Trigger* t, double at) {
+  co_await s->WaitFor(at);
+  t->Fire();
+}
+
+TEST(TriggerTest, ReleasesAllWaiters) {
+  Simulation s;
+  Trigger t(&s);
+  std::vector<int> order;
+  s.Spawn(WaitOn(&t, &order, 1));
+  s.Spawn(WaitOn(&t, &order, 2));
+  s.Spawn(FireAt(&s, &t, 5.0));
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_TRUE(t.fired());
+}
+
+TEST(TriggerTest, AwaitAfterFireIsImmediate) {
+  Simulation s;
+  Trigger t(&s);
+  t.Fire();
+  std::vector<int> order;
+  s.Spawn(WaitOn(&t, &order, 7));
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{7}));
+  EXPECT_EQ(s.now(), 0.0);
+}
+
+Task<> CountDownLater(Simulation* s, JoinCounter* j, double at) {
+  co_await s->WaitFor(at);
+  j->CountDown();
+}
+
+Task<> AwaitJoin(JoinCounter* j, Simulation* s, double* done_at) {
+  co_await j->Wait();
+  *done_at = s->now();
+}
+
+TEST(JoinCounterTest, FiresWhenAllArrive) {
+  Simulation s;
+  JoinCounter j(&s, 3);
+  double done_at = -1;
+  s.Spawn(AwaitJoin(&j, &s, &done_at));
+  s.Spawn(CountDownLater(&s, &j, 1.0));
+  s.Spawn(CountDownLater(&s, &j, 5.0));
+  s.Spawn(CountDownLater(&s, &j, 3.0));
+  s.Run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(JoinCounterTest, ZeroCountIsImmediatelyDone) {
+  Simulation s;
+  JoinCounter j(&s, 0);
+  double done_at = -1;
+  s.Spawn(AwaitJoin(&j, &s, &done_at));
+  s.Run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+Task<> Forever(Simulation* s, int* iterations) {
+  for (;;) {
+    co_await s->WaitFor(1.0);
+    ++(*iterations);
+  }
+}
+
+TEST(SimulationTest, TeardownReclaimsLiveProcesses) {
+  // A process that never finishes must not leak when the simulation is
+  // destroyed (checked under ASAN builds; here we just exercise the path).
+  int iterations = 0;
+  {
+    Simulation s;
+    s.Spawn(Forever(&s, &iterations));
+    s.RunUntil(10.0);
+    EXPECT_EQ(iterations, 10);
+  }
+  EXPECT_EQ(iterations, 10);
+}
+
+TEST(SimulationTest, TracerSeesEveryDispatchedEvent) {
+  Simulation s;
+  std::vector<std::pair<double, bool>> trace;
+  s.SetTracer([&](SimTime t, EventId, bool is_resume) {
+    trace.emplace_back(t, is_resume);
+  });
+  s.ScheduleAt(1.0, [] {});
+  std::vector<double> times;
+  s.Spawn(WaitTwice(&s, &times));  // two coroutine resumptions + spawn
+  s.Run();
+  // 1 callback + 3 resumes (initial spawn + two delays).
+  ASSERT_EQ(trace.size(), 4u);
+  int resumes = 0;
+  for (auto& [t, is_resume] : trace) {
+    if (is_resume) ++resumes;
+  }
+  EXPECT_EQ(resumes, 3);
+  // Trace times are non-decreasing.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].first, trace[i - 1].first);
+  }
+  // Disabling stops tracing.
+  s.SetTracer(nullptr);
+  s.ScheduleAt(10.0, [] {});
+  s.Run();
+  EXPECT_EQ(trace.size(), 4u);
+}
+
+TEST(SimulationTest, EventCounterAdvances) {
+  Simulation s;
+  s.ScheduleAt(1.0, [] {});
+  s.ScheduleAt(2.0, [] {});
+  s.Run();
+  EXPECT_EQ(s.events_dispatched(), 2u);
+}
+
+}  // namespace
+}  // namespace declust::sim

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/random.h"
+#include "src/storage/btree.h"
+
+namespace declust::storage {
+namespace {
+
+TEST(BTreeEraseTest, EraseFromEmptyTree) {
+  BPlusTree t(8);
+  EXPECT_FALSE(t.Erase(5, 0));
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(BTreeEraseTest, EraseSingleEntry) {
+  BPlusTree t(8);
+  t.Insert(5, 7);
+  EXPECT_TRUE(t.Erase(5, 7));
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_TRUE(t.Search(5).empty());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BTreeEraseTest, EraseRequiresMatchingRid) {
+  BPlusTree t(8);
+  t.Insert(5, 7);
+  t.Insert(5, 9);
+  EXPECT_FALSE(t.Erase(5, 100));
+  EXPECT_TRUE(t.Erase(5, 9));
+  auto r = t.Search(5);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 7u);
+}
+
+TEST(BTreeEraseTest, EraseAllSequentialShrinksTree) {
+  BPlusTree t(4);
+  for (int i = 0; i < 200; ++i) t.Insert(i, static_cast<RecordId>(i));
+  const int tall = t.height();
+  EXPECT_GT(tall, 2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Erase(i, static_cast<RecordId>(i))) << i;
+    ASSERT_TRUE(t.Validate().ok()) << "after erasing " << i;
+  }
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_EQ(t.leaf_count(), 1);
+  EXPECT_EQ(t.node_count(), 1);
+}
+
+TEST(BTreeEraseTest, EraseReverseOrder) {
+  BPlusTree t(4);
+  for (int i = 0; i < 200; ++i) t.Insert(i, static_cast<RecordId>(i));
+  for (int i = 199; i >= 0; --i) {
+    ASSERT_TRUE(t.Erase(i, static_cast<RecordId>(i)));
+  }
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(BTreeEraseTest, EraseDuplicatesAcrossLeaves) {
+  BPlusTree t(4);
+  for (int i = 0; i < 60; ++i) t.Insert(7, static_cast<RecordId>(i));
+  // Erase specific rids from the middle of the duplicate run.
+  for (int i = 20; i < 40; ++i) {
+    ASSERT_TRUE(t.Erase(7, static_cast<RecordId>(i))) << i;
+  }
+  ASSERT_TRUE(t.Validate().ok());
+  auto r = t.Search(7);
+  EXPECT_EQ(r.size(), 40u);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r[19], 19u);
+  EXPECT_EQ(r[20], 40u);
+}
+
+TEST(BTreeEraseTest, InterleavedInsertErase) {
+  BPlusTree t(6);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      t.Insert(i, static_cast<RecordId>(round * 1000 + i));
+    }
+    for (int i = 0; i < 100; i += 2) {
+      ASSERT_TRUE(t.Erase(i, static_cast<RecordId>(round * 1000 + i)));
+    }
+    ASSERT_TRUE(t.Validate().ok()) << "round " << round;
+  }
+  // 5 rounds x 50 surviving odd-position entries.
+  EXPECT_EQ(t.size(), 250);
+}
+
+class BTreeEraseRandomized
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BTreeEraseRandomized, MatchesReferenceUnderChurn) {
+  const int fanout = std::get<0>(GetParam());
+  const int ops = std::get<1>(GetParam());
+  RandomStream rng(static_cast<uint64_t>(fanout * 31 + ops));
+  BPlusTree t(fanout);
+  std::multimap<Value, RecordId> ref;
+  RecordId next_rid = 0;
+  for (int i = 0; i < ops; ++i) {
+    const bool insert = ref.empty() || rng.Bernoulli(0.6);
+    if (insert) {
+      const Value key = rng.UniformInt(0, 200);
+      t.Insert(key, next_rid);
+      ref.emplace(key, next_rid);
+      ++next_rid;
+    } else {
+      // Erase a uniformly chosen existing entry.
+      auto it = ref.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int64_t>(ref.size()) - 1));
+      ASSERT_TRUE(t.Erase(it->first, it->second));
+      ref.erase(it);
+    }
+    if (i % 64 == 0) {
+      ASSERT_TRUE(t.Validate().ok()) << "op " << i;
+    }
+  }
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.size(), static_cast<int64_t>(ref.size()));
+  for (Value probe = 0; probe <= 200; probe += 5) {
+    auto got = t.Search(probe);
+    std::vector<RecordId> want;
+    auto [lo, hi] = ref.equal_range(probe);
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "key " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndChurn, BTreeEraseRandomized,
+    ::testing::Combine(::testing::Values(4, 8, 32, 128),
+                       ::testing::Values(500, 3000)));
+
+TEST(BTreeEraseTest, EraseNonexistentKeyInPopulatedTree) {
+  BPlusTree t(8);
+  for (int i = 0; i < 100; i += 2) t.Insert(i, static_cast<RecordId>(i));
+  EXPECT_FALSE(t.Erase(1, 1));   // key absent
+  EXPECT_FALSE(t.Erase(2, 99));  // key present, rid absent
+  EXPECT_EQ(t.size(), 50);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+}  // namespace
+}  // namespace declust::storage

@@ -1,0 +1,200 @@
+#include "src/storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/random.h"
+
+namespace declust::storage {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BPlusTree t(8);
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_TRUE(t.Search(5).empty());
+  EXPECT_TRUE(t.RangeSearch(0, 100).empty());
+  EXPECT_EQ(t.LeafPagesTouched(0, 100), 0);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BTreeTest, SingleInsertAndSearch) {
+  BPlusTree t(8);
+  t.Insert(42, 7);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.height(), 1);
+  auto r = t.Search(42);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 7u);
+  EXPECT_TRUE(t.Search(41).empty());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BTreeTest, SequentialInsertsSplitCorrectly) {
+  BPlusTree t(4);
+  for (int i = 0; i < 100; ++i) t.Insert(i, static_cast<RecordId>(i));
+  EXPECT_EQ(t.size(), 100);
+  EXPECT_GT(t.height(), 2);
+  EXPECT_TRUE(t.Validate().ok());
+  for (int i = 0; i < 100; ++i) {
+    auto r = t.Search(i);
+    ASSERT_EQ(r.size(), 1u) << "key " << i;
+    EXPECT_EQ(r[0], static_cast<RecordId>(i));
+  }
+}
+
+TEST(BTreeTest, ReverseInsertsSplitCorrectly) {
+  BPlusTree t(4);
+  for (int i = 99; i >= 0; --i) t.Insert(i, static_cast<RecordId>(i));
+  EXPECT_TRUE(t.Validate().ok());
+  auto all = t.RangeSearch(0, 99);
+  ASSERT_EQ(all.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(all[static_cast<size_t>(i)].key, i);
+}
+
+TEST(BTreeTest, DuplicateKeysAllFound) {
+  BPlusTree t(4);
+  // A run of duplicates longer than a leaf forces duplicates to straddle
+  // separators.
+  for (int i = 0; i < 50; ++i) t.Insert(7, static_cast<RecordId>(i));
+  t.Insert(3, 1000);
+  t.Insert(11, 2000);
+  EXPECT_TRUE(t.Validate().ok());
+  auto r = t.Search(7);
+  EXPECT_EQ(r.size(), 50u);
+  EXPECT_EQ(t.Search(3).size(), 1u);
+  EXPECT_EQ(t.Search(11).size(), 1u);
+}
+
+TEST(BTreeTest, RangeSearchBoundsInclusive) {
+  BPlusTree t(8);
+  for (int i = 0; i < 100; i += 2) t.Insert(i, static_cast<RecordId>(i));
+  auto r = t.RangeSearch(10, 20);
+  ASSERT_EQ(r.size(), 6u);  // 10,12,14,16,18,20
+  EXPECT_EQ(r.front().key, 10);
+  EXPECT_EQ(r.back().key, 20);
+  // Bounds that fall between keys.
+  r = t.RangeSearch(11, 19);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.front().key, 12);
+  EXPECT_EQ(r.back().key, 18);
+  // Empty range.
+  EXPECT_TRUE(t.RangeSearch(200, 300).empty());
+  EXPECT_TRUE(t.RangeSearch(20, 10).empty());
+}
+
+TEST(BTreeTest, BulkLoadMatchesInserted) {
+  std::vector<BTreeEntry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    entries.push_back({i * 3, static_cast<RecordId>(i)});
+  }
+  BPlusTree t = BPlusTree::BulkLoad(entries, 16);
+  EXPECT_EQ(t.size(), 1000);
+  EXPECT_TRUE(t.Validate().ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto r = t.Search(i * 3);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], static_cast<RecordId>(i));
+  }
+  EXPECT_TRUE(t.Search(1).empty());
+}
+
+TEST(BTreeTest, BulkLoadThenInsert) {
+  std::vector<BTreeEntry> entries;
+  for (int i = 0; i < 500; ++i) entries.push_back({i * 2, static_cast<RecordId>(i)});
+  BPlusTree t = BPlusTree::BulkLoad(entries, 8);
+  for (int i = 0; i < 500; ++i) {
+    t.Insert(i * 2 + 1, static_cast<RecordId>(1000 + i));
+  }
+  EXPECT_EQ(t.size(), 1000);
+  EXPECT_TRUE(t.Validate().ok());
+  auto all = t.RangeSearch(0, 1000);
+  EXPECT_EQ(all.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(
+      all.begin(), all.end(),
+      [](const BTreeEntry& a, const BTreeEntry& b) { return a.key < b.key; }));
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree small(100), large(100);
+  for (int i = 0; i < 90; ++i) small.Insert(i, 0);
+  EXPECT_EQ(small.height(), 1);
+  for (int i = 0; i < 10000; ++i) large.Insert(i, 0);
+  EXPECT_LE(large.height(), 3);
+}
+
+TEST(BTreeTest, LeafPagesTouchedTracksRangeWidth) {
+  std::vector<BTreeEntry> entries;
+  for (int i = 0; i < 10000; ++i) entries.push_back({i, static_cast<RecordId>(i)});
+  BPlusTree t = BPlusTree::BulkLoad(entries, 100);
+  const int narrow = t.LeafPagesTouched(500, 510);
+  const int wide = t.LeafPagesTouched(500, 5000);
+  EXPECT_GE(narrow, 1);
+  EXPECT_LE(narrow, 2);
+  EXPECT_GT(wide, 40);  // ~4500 entries / 90 per leaf = 50 leaves
+  EXPECT_LT(wide, 60);
+}
+
+TEST(BTreeTest, MoveSemantics) {
+  BPlusTree a(8);
+  a.Insert(1, 10);
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1);
+  EXPECT_EQ(b.Search(1).size(), 1u);
+}
+
+class BTreeRandomized : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BTreeRandomized, MatchesReferenceMultimap) {
+  const int fanout = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  RandomStream rng(static_cast<uint64_t>(fanout * 1000 + n));
+  BPlusTree t(fanout);
+  std::multimap<Value, RecordId> ref;
+  for (int i = 0; i < n; ++i) {
+    const Value key = rng.UniformInt(0, n / 4);  // force duplicates
+    const auto rid = static_cast<RecordId>(i);
+    t.Insert(key, rid);
+    ref.emplace(key, rid);
+  }
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.size(), static_cast<int64_t>(ref.size()));
+
+  // Point queries.
+  for (int probe = 0; probe <= n / 4; probe += 7) {
+    auto got = t.Search(probe);
+    std::vector<RecordId> want;
+    auto [lo, hi] = ref.equal_range(probe);
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "key " << probe;
+  }
+
+  // Range queries.
+  for (int trial = 0; trial < 20; ++trial) {
+    Value a = rng.UniformInt(0, n / 4);
+    Value b = rng.UniformInt(0, n / 4);
+    if (a > b) std::swap(a, b);
+    auto got = t.RangeSearch(a, b);
+    size_t want_count = 0;
+    for (auto it = ref.lower_bound(a); it != ref.end() && it->first <= b; ++it) {
+      ++want_count;
+    }
+    EXPECT_EQ(got.size(), want_count) << "range [" << a << "," << b << "]";
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                               [](const BTreeEntry& x, const BTreeEntry& y) {
+                                 return x.key < y.key;
+                               }));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSizes, BTreeRandomized,
+    ::testing::Combine(::testing::Values(4, 5, 16, 64, 256),
+                       ::testing::Values(100, 1000, 5000)));
+
+}  // namespace
+}  // namespace declust::storage

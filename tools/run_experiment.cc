@@ -1,0 +1,134 @@
+// Command-line experiment runner: configure any sweep the paper's figures
+// use (mix, correlation, strategies, MPLs) and print a table or CSV.
+//
+//   run_experiment --mix low-moderate --correlation 1 --mpls 1,16,64 --csv
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+
+void Usage() {
+  std::cerr <<
+      "usage: run_experiment [options]\n"
+      "  --mix M            low-low | low-moderate | moderate-low |\n"
+      "                     moderate-moderate (default low-low)\n"
+      "  --correlation F    attribute correlation in [0,1] (default 0)\n"
+      "  --strategies S     comma list of range,hash,BERD,MAGIC\n"
+      "  --mpls L           comma list of multiprogramming levels\n"
+      "  --cardinality N    relation size (default 100000)\n"
+      "  --processors P     processor count (default 32)\n"
+      "  --qb-low-tuples N  selectivity of the low query on B (default 10)\n"
+      "  --warmup MS        simulated warm-up (default 4000)\n"
+      "  --measure MS       simulated measurement window (default 24000)\n"
+      "  --repeats R        replications per point, reports 95% CI (default 1)\n"
+      "  --seed S           RNG seed (default 7)\n"
+      "  --csv              emit CSV instead of the table\n";
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool ParseMix(const std::string& name, exp::ExperimentConfig* cfg) {
+  using workload::ResourceClass;
+  if (name == "low-low") {
+    cfg->qa = ResourceClass::kLow;
+    cfg->qb = ResourceClass::kLow;
+  } else if (name == "low-moderate") {
+    cfg->qa = ResourceClass::kLow;
+    cfg->qb = ResourceClass::kModerate;
+  } else if (name == "moderate-low") {
+    cfg->qa = ResourceClass::kModerate;
+    cfg->qb = ResourceClass::kLow;
+  } else if (name == "moderate-moderate") {
+    cfg->qa = ResourceClass::kModerate;
+    cfg->qb = ResourceClass::kModerate;
+  } else {
+    return false;
+  }
+  cfg->name = name;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ExperimentConfig cfg;
+  cfg.name = "low-low";
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mix") {
+      if (!ParseMix(next(), &cfg)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--correlation") {
+      cfg.correlation = std::atof(next());
+    } else if (arg == "--strategies") {
+      cfg.strategies = SplitCsv(next());
+    } else if (arg == "--mpls") {
+      cfg.mpls.clear();
+      for (const auto& m : SplitCsv(next())) {
+        cfg.mpls.push_back(std::atoi(m.c_str()));
+      }
+    } else if (arg == "--cardinality") {
+      cfg.cardinality = std::atoll(next());
+    } else if (arg == "--processors") {
+      cfg.num_processors = std::atoi(next());
+    } else if (arg == "--qb-low-tuples") {
+      cfg.mix.qb_low_tuples = std::atoll(next());
+    } else if (arg == "--warmup") {
+      cfg.warmup_ms = std::atof(next());
+    } else if (arg == "--measure") {
+      cfg.measure_ms = std::atof(next());
+    } else if (arg == "--repeats") {
+      cfg.repeats = std::atoi(next());
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  auto result = exp::RunThroughputSweep(cfg);
+  if (!result.ok()) {
+    std::cerr << "experiment failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (csv) {
+    exp::PrintCsv(std::cout, *result);
+  } else {
+    exp::PrintThroughputTable(std::cout, *result);
+  }
+  return 0;
+}
