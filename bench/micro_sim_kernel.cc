@@ -7,6 +7,7 @@
 #include "src/sim/resource.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
+#include "src/sim/trigger.h"
 
 namespace {
 
@@ -82,6 +83,50 @@ void BM_CancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_CancelHeavy);
+
+void BM_ScheduleCancelChurn(benchmark::State& state) {
+  // Timer-style usage: nearly every event is cancelled before it fires
+  // (e.g. timeouts that are disarmed on completion). Exercises the O(1)
+  // generation-flip cancel and slab slot reuse.
+  sim::Simulation s;
+  double t = 1.0;
+  int fired = 0;
+  for (auto _ : state) {
+    const sim::EventId id = s.ScheduleAt(t, [&fired] { ++fired; });
+    benchmark::DoNotOptimize(s.Cancel(id));
+    t += 1e-9;
+  }
+  s.Run();
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleCancelChurn);
+
+sim::Task<> PingPong(sim::Simulation* s, sim::Trigger* mine,
+                     sim::Trigger* theirs, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await mine->Wait();
+    mine->Reset();
+    theirs->Fire();
+    co_await s->WaitFor(0.01);
+  }
+}
+
+void BM_TriggerPingPong(benchmark::State& state) {
+  // Resume-dominated workload: two processes waking each other through the
+  // calendar (the scheduler/operator message pattern of the engine).
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::Trigger a(&s), b(&s);
+    s.Spawn(PingPong(&s, &a, &b, 200));
+    s.Spawn(PingPong(&s, &b, &a, 200));
+    a.Fire();
+    s.Run();
+    benchmark::DoNotOptimize(s.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * 400);
+}
+BENCHMARK(BM_TriggerPingPong);
 
 }  // namespace
 

@@ -1,0 +1,77 @@
+// Wall-clock scaling of the parallel sweep runner: runs the fig08 quick
+// sweep at increasing worker counts and reports speedup over jobs=1,
+// verifying on the way that every job count produces identical curves.
+//
+//   sweep_scaling [max_jobs]   (default: hardware_concurrency, min 4)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+
+exp::ExperimentConfig QuickFig08() {
+  exp::ExperimentConfig cfg;
+  cfg.name = "low-low (scaling)";
+  cfg.cardinality = 20'000;
+  cfg.mpls = {1, 16, 64};
+  cfg.warmup_ms = 1'000;
+  cfg.measure_ms = 4'000;
+  cfg.repeats = 2;
+  return cfg;
+}
+
+std::string Csv(const exp::SweepResult& r) {
+  std::ostringstream os;
+  exp::PrintCsv(os, r);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_jobs = argc > 1 ? std::atoi(argv[1]) : 0;
+  if (max_jobs <= 0) {
+    max_jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (max_jobs < 4) max_jobs = 4;
+  }
+
+  const exp::ExperimentConfig cfg = QuickFig08();
+  std::cout << "fig08 quick sweep (" << cfg.strategies.size()
+            << " strategies x " << cfg.mpls.size() << " MPLs x "
+            << cfg.repeats << " reps), hardware_concurrency="
+            << std::thread::hardware_concurrency() << "\n";
+  std::cout << "  jobs    wall s   speedup   identical\n";
+
+  double base_s = 0;
+  std::string base_csv;
+  for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = exp::RunThroughputSweep(cfg, exp::RunnerOptions{jobs});
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::cerr << "sweep failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const std::string csv = Csv(*result);
+    if (jobs == 1) {
+      base_s = secs;
+      base_csv = csv;
+    }
+    std::cout << "  " << jobs << "\t" << secs << "\t"
+              << (secs > 0 ? base_s / secs : 0.0) << "\t"
+              << (csv == base_csv ? "yes" : "NO — DETERMINISM BROKEN")
+              << "\n";
+    if (csv != base_csv) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fixed-size worker pool for CPU-bound fan-out (parallel experiment sweeps).
+//
+// Deliberately minimal: submit void() tasks, wait for quiescence. Tasks must
+// not touch shared mutable state — the experiment runner gives every task its
+// own Simulation/System/RNG so results are independent of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace declust {
+
+/// \brief A fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Blocks until the queue is drained, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Worker-thread count to use for `requested` jobs: 0 resolves the
+  /// DECLUST_JOBS environment variable (absent/invalid -> 1); the result is
+  /// clamped to >= 1. Oversubscription is permitted.
+  static int ResolveJobs(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace declust

@@ -40,6 +40,9 @@ class MagicPartitioning : public Partitioning {
       MagicOptions options = MagicOptions());
 
   const std::string& name() const override { return name_; }
+  std::string DiagnosticNote() const override {
+    return "grid " + grid_->ShapeString();
+  }
   PlanSites SitesFor(const Predicate& q) const override;
   double PlanningCpuMs(const Predicate& q) const override;
   std::vector<int> InsertSites(

@@ -44,6 +44,10 @@ class Partitioning {
   /// Strategy name for reports ("range", "BERD", "MAGIC", ...).
   virtual const std::string& name() const = 0;
 
+  /// One-line strategy-specific diagnostic for reports (e.g. MAGIC's grid
+  /// shape). Empty by default; avoids RTTI in the experiment harness.
+  virtual std::string DiagnosticNote() const { return ""; }
+
   int num_nodes() const { return static_cast<int>(node_records_.size()); }
 
   /// Record ids stored at each node.

@@ -7,6 +7,7 @@
 #include "src/decluster/hash.h"
 #include "src/decluster/magic.h"
 #include "src/decluster/range.h"
+#include "src/exp/runner.h"
 
 namespace declust::exp {
 
@@ -56,83 +57,10 @@ ExperimentConfig ApplyQuickMode(ExperimentConfig config) {
   return config;
 }
 
-Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config) {
-  const ExperimentConfig config = ApplyQuickMode(raw_config);
-
-  workload::WisconsinOptions wopts;
-  wopts.cardinality = config.cardinality;
-  wopts.correlation = config.correlation;
-  wopts.seed = config.seed;
-  const storage::Relation relation = workload::MakeWisconsin(wopts);
-  const workload::Workload wl = workload::MakeMix(config.qa, config.qb,
-                                                  config.mix);
-
-  SweepResult result;
-  result.config = config;
-  for (const std::string& strategy : config.strategies) {
-    DECLUST_ASSIGN_OR_RETURN(
-        auto partitioning,
-        MakePartitioning(strategy, relation, wl, config.num_processors));
-
-    StrategyCurve curve;
-    curve.strategy = strategy;
-    if (const auto* magic =
-            dynamic_cast<const decluster::MagicPartitioning*>(
-                partitioning.get())) {
-      curve.note = "grid " + magic->grid().ShapeString();
-    }
-
-    for (int mpl : config.mpls) {
-      Accumulator qps_acc;
-      SweepPoint point;
-      point.mpl = mpl;
-      for (int rep = 0; rep < std::max(1, config.repeats); ++rep) {
-        sim::Simulation sim;
-        engine::SystemConfig sys_config;
-        sys_config.hw.num_processors = config.num_processors;
-        sys_config.multiprogramming_level = mpl;
-        sys_config.seed = config.seed + static_cast<uint64_t>(mpl) * 1000 +
-                          static_cast<uint64_t>(rep) * 7'919;
-        engine::System system(&sim, sys_config, &relation,
-                              partitioning.get(), &wl);
-        DECLUST_RETURN_NOT_OK(system.Init());
-        system.Start();
-
-        sim.RunUntil(config.warmup_ms);
-        system.metrics().StartMeasurement(sim.now());
-        double disk_busy0 = 0, cpu_busy0 = 0;
-        for (int n = 0; n < config.num_processors; ++n) {
-          disk_busy0 += system.machine().node(n).disk().busy_ms();
-          cpu_busy0 += system.machine().node(n).cpu().busy_ms();
-        }
-        sim.RunUntil(config.warmup_ms + config.measure_ms);
-
-        double disk_busy1 = 0, cpu_busy1 = 0;
-        for (int n = 0; n < config.num_processors; ++n) {
-          disk_busy1 += system.machine().node(n).disk().busy_ms();
-          cpu_busy1 += system.machine().node(n).cpu().busy_ms();
-        }
-        const double node_window =
-            config.measure_ms * config.num_processors;
-
-        qps_acc.Add(system.metrics().ThroughputQps(sim.now()));
-        // Point-in-time metrics come from the last replication; throughput
-        // aggregates across all of them.
-        point.mean_response_ms = system.metrics().response_ms().mean();
-        point.p95_response_ms = system.metrics().ResponseQuantileMs(0.95);
-        point.avg_processors_used =
-            system.metrics().processors_used().mean();
-        point.disk_utilization = (disk_busy1 - disk_busy0) / node_window;
-        point.cpu_utilization = (cpu_busy1 - cpu_busy0) / node_window;
-        point.completed = system.metrics().completed_in_window();
-      }
-      point.throughput_qps = qps_acc.mean();
-      point.throughput_ci95 = qps_acc.ConfidenceHalfWidth95();
-      curve.points.push_back(point);
-    }
-    result.curves.push_back(std::move(curve));
-  }
-  return result;
+Result<SweepResult> RunThroughputSweep(const ExperimentConfig& config) {
+  // jobs = 0 resolves DECLUST_JOBS (default: serial); the runner's serial
+  // and parallel paths produce byte-identical results.
+  return RunThroughputSweep(config, RunnerOptions{});
 }
 
 }  // namespace declust::exp

@@ -36,20 +36,22 @@ struct ExperimentConfig {
   int repeats = 1;
 };
 
-/// \brief One measured sweep point.
+/// \brief One measured sweep point. All metrics are averaged across the
+/// `repeats` replications; the *_ci95 fields carry the 95% confidence
+/// half-width across replications (0 when repeats == 1).
 struct SweepPoint {
   int mpl = 0;
   double throughput_qps = 0;
-  /// 95% confidence half-width of the throughput across repeats
-  /// (0 when repeats == 1).
   double throughput_ci95 = 0;
   double mean_response_ms = 0;
+  double mean_response_ci95 = 0;
   double p95_response_ms = 0;
   double avg_processors_used = 0;
   /// Mean busy fraction of the operator nodes' disks over the window.
   double disk_utilization = 0;
   /// Mean busy fraction of the operator nodes' CPUs over the window.
   double cpu_utilization = 0;
+  /// Completions in the window, averaged (rounded) across replications.
   int64_t completed = 0;
 };
 
@@ -74,7 +76,10 @@ Result<std::unique_ptr<decluster::Partitioning>> MakePartitioning(
     const workload::Workload& workload, int num_processors);
 
 /// Runs the full sweep: one relation build, one partitioning per strategy,
-/// one simulation per (strategy, MPL) point.
+/// one simulation per (strategy, MPL, replication) point. Delegates to the
+/// parallel runner (src/exp/runner.h) with the worker count taken from the
+/// DECLUST_JOBS environment variable (default 1); results are byte-identical
+/// for any job count.
 Result<SweepResult> RunThroughputSweep(const ExperimentConfig& config);
 
 /// Shrinks a config for fast runs when the environment variable

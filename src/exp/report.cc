@@ -50,14 +50,15 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
 
 void PrintCsv(std::ostream& os, const SweepResult& result) {
   os << "figure,strategy,correlation,mpl,throughput_qps,throughput_ci95,"
-        "mean_response_ms,p95_response_ms,avg_processors,disk_utilization,"
-        "cpu_utilization,completed\n";
+        "mean_response_ms,mean_response_ci95,p95_response_ms,"
+        "avg_processors,disk_utilization,cpu_utilization,completed\n";
   for (const auto& curve : result.curves) {
     for (const auto& p : curve.points) {
       os << result.config.name << "," << curve.strategy << ","
          << result.config.correlation << "," << p.mpl << ","
          << p.throughput_qps << "," << p.throughput_ci95 << ","
-         << p.mean_response_ms << "," << p.p95_response_ms << ","
+         << p.mean_response_ms << "," << p.mean_response_ci95 << ","
+         << p.p95_response_ms << ","
          << p.avg_processors_used << ","
          << p.disk_utilization << "," << p.cpu_utilization << ","
          << p.completed << "\n";

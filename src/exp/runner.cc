@@ -1,0 +1,174 @@
+#include "src/exp/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
+
+namespace declust::exp {
+
+Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
+                                    const storage::Relation& relation,
+                                    const decluster::Partitioning& partitioning,
+                                    const workload::Workload& workload,
+                                    int mpl, int rep) {
+  sim::Simulation sim;
+  engine::SystemConfig sys_config;
+  sys_config.hw.num_processors = config.num_processors;
+  sys_config.multiprogramming_level = mpl;
+  sys_config.seed = config.seed + static_cast<uint64_t>(mpl) * 1000 +
+                    static_cast<uint64_t>(rep) * 7'919;
+  engine::System system(&sim, sys_config, &relation, &partitioning,
+                        &workload);
+  DECLUST_RETURN_NOT_OK(system.Init());
+  system.Start();
+
+  sim.RunUntil(config.warmup_ms);
+  system.metrics().StartMeasurement(sim.now());
+  double disk_busy0 = 0, cpu_busy0 = 0;
+  for (int n = 0; n < config.num_processors; ++n) {
+    disk_busy0 += system.machine().node(n).disk().busy_ms();
+    cpu_busy0 += system.machine().node(n).cpu().busy_ms();
+  }
+  sim.RunUntil(config.warmup_ms + config.measure_ms);
+
+  double disk_busy1 = 0, cpu_busy1 = 0;
+  for (int n = 0; n < config.num_processors; ++n) {
+    disk_busy1 += system.machine().node(n).disk().busy_ms();
+    cpu_busy1 += system.machine().node(n).cpu().busy_ms();
+  }
+  const double node_window = config.measure_ms * config.num_processors;
+
+  RepMetrics m;
+  m.throughput_qps = system.metrics().ThroughputQps(sim.now());
+  m.mean_response_ms = system.metrics().response_ms().mean();
+  m.p95_response_ms = system.metrics().ResponseQuantileMs(0.95);
+  m.avg_processors_used = system.metrics().processors_used().mean();
+  m.disk_utilization = (disk_busy1 - disk_busy0) / node_window;
+  m.cpu_utilization = (cpu_busy1 - cpu_busy0) / node_window;
+  m.completed = system.metrics().completed_in_window();
+  return m;
+}
+
+namespace {
+
+/// Averages the replications of one sweep point in rep order (fixed
+/// summation order keeps the floating-point result identical for any job
+/// count).
+SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
+  Accumulator qps, mean_resp, p95, procs, disk, cpu, completed;
+  for (int r = 0; r < num_reps; ++r) {
+    qps.Add(reps[r].throughput_qps);
+    mean_resp.Add(reps[r].mean_response_ms);
+    p95.Add(reps[r].p95_response_ms);
+    procs.Add(reps[r].avg_processors_used);
+    disk.Add(reps[r].disk_utilization);
+    cpu.Add(reps[r].cpu_utilization);
+    completed.Add(static_cast<double>(reps[r].completed));
+  }
+  SweepPoint point;
+  point.mpl = mpl;
+  point.throughput_qps = qps.mean();
+  point.throughput_ci95 = qps.ConfidenceHalfWidth95();
+  point.mean_response_ms = mean_resp.mean();
+  point.mean_response_ci95 = mean_resp.ConfidenceHalfWidth95();
+  point.p95_response_ms = p95.mean();
+  point.avg_processors_used = procs.mean();
+  point.disk_utilization = disk.mean();
+  point.cpu_utilization = cpu.mean();
+  point.completed = std::llround(completed.mean());
+  return point;
+}
+
+}  // namespace
+
+Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
+                                       const RunnerOptions& options) {
+  const ExperimentConfig config = ApplyQuickMode(raw_config);
+  const int jobs = ThreadPool::ResolveJobs(options.jobs);
+
+  // Shared read-only inputs, built once.
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = config.cardinality;
+  wopts.correlation = config.correlation;
+  wopts.seed = config.seed;
+  const storage::Relation relation = workload::MakeWisconsin(wopts);
+  const workload::Workload wl =
+      workload::MakeMix(config.qa, config.qb, config.mix);
+
+  std::vector<std::unique_ptr<decluster::Partitioning>> partitionings;
+  partitionings.reserve(config.strategies.size());
+  for (const std::string& strategy : config.strategies) {
+    DECLUST_ASSIGN_OR_RETURN(
+        auto p,
+        MakePartitioning(strategy, relation, wl, config.num_processors));
+    partitionings.push_back(std::move(p));
+  }
+
+  // Flat job list over (strategy, mpl, rep); slot `JobIndex` of the results
+  // array belongs to exactly one job, so workers never contend.
+  const size_t num_strategies = config.strategies.size();
+  const size_t num_mpls = config.mpls.size();
+  const int reps = std::max(1, config.repeats);
+  const size_t num_jobs =
+      num_strategies * num_mpls * static_cast<size_t>(reps);
+  std::vector<RepMetrics> rep_metrics(num_jobs);
+  std::vector<Status> rep_status(num_jobs, Status::OK());
+
+  const auto job_index = [&](size_t s, size_t m, int r) {
+    return (s * num_mpls + m) * static_cast<size_t>(reps) +
+           static_cast<size_t>(r);
+  };
+  const auto run_job = [&](size_t s, size_t m, int r) {
+    auto res = RunSweepPointRep(config, relation, *partitionings[s], wl,
+                                config.mpls[m], r);
+    const size_t idx = job_index(s, m, r);
+    if (res.ok()) {
+      rep_metrics[idx] = *res;
+    } else {
+      rep_status[idx] = res.status();
+    }
+  };
+
+  if (jobs <= 1 || num_jobs <= 1) {
+    for (size_t s = 0; s < num_strategies; ++s) {
+      for (size_t m = 0; m < num_mpls; ++m) {
+        for (int r = 0; r < reps; ++r) run_job(s, m, r);
+      }
+    }
+  } else {
+    ThreadPool pool(std::min<int>(jobs, static_cast<int>(num_jobs)));
+    for (size_t s = 0; s < num_strategies; ++s) {
+      for (size_t m = 0; m < num_mpls; ++m) {
+        for (int r = 0; r < reps; ++r) {
+          pool.Submit([&run_job, s, m, r] { run_job(s, m, r); });
+        }
+      }
+    }
+    pool.Wait();
+  }
+
+  // Propagate the first failure in sweep order, then assemble.
+  for (size_t i = 0; i < num_jobs; ++i) {
+    DECLUST_RETURN_NOT_OK(rep_status[i]);
+  }
+
+  SweepResult result;
+  result.config = config;
+  for (size_t s = 0; s < num_strategies; ++s) {
+    StrategyCurve curve;
+    curve.strategy = config.strategies[s];
+    curve.note = partitionings[s]->DiagnosticNote();
+    for (size_t m = 0; m < num_mpls; ++m) {
+      curve.points.push_back(AggregatePoint(
+          config.mpls[m], &rep_metrics[job_index(s, m, 0)], reps));
+    }
+    result.curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
+}  // namespace declust::exp

@@ -1,0 +1,51 @@
+// Parallel experiment runner: fans the (strategy, MPL, replication) points
+// of a throughput sweep across a worker pool.
+//
+// Determinism: every point is simulated in its own sim::Simulation +
+// engine::System with an RNG seeded only by (config.seed, mpl, rep), and the
+// relation/partitionings/workload are shared strictly read-only — so each
+// point's measurements are bit-identical regardless of which thread runs it
+// or in what order. Results are assembled in sweep order afterwards, making
+// the full SweepResult byte-identical for any job count (verified by
+// tests/exp/runner_determinism_test).
+#pragma once
+
+#include "src/exp/experiment.h"
+
+namespace declust::exp {
+
+/// \brief Execution options of the sweep runner.
+struct RunnerOptions {
+  /// Worker threads. 0 resolves the DECLUST_JOBS environment variable
+  /// (default 1); 1 runs inline on the calling thread.
+  int jobs = 0;
+};
+
+/// \brief Raw measurements of one (strategy, MPL, replication) simulation.
+struct RepMetrics {
+  double throughput_qps = 0;
+  double mean_response_ms = 0;
+  double p95_response_ms = 0;
+  double avg_processors_used = 0;
+  double disk_utilization = 0;
+  double cpu_utilization = 0;
+  int64_t completed = 0;
+};
+
+/// Runs one replication of one sweep point. Pure function of
+/// (config, relation, partitioning, workload, mpl, rep); never touches
+/// global state, so it is safe to call concurrently with distinct `mpl`/
+/// `rep` against the same shared read-only inputs.
+Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
+                                    const storage::Relation& relation,
+                                    const decluster::Partitioning& partitioning,
+                                    const workload::Workload& workload,
+                                    int mpl, int rep);
+
+/// Runs the full sweep with `options.jobs` workers. The serial path
+/// (jobs <= 1) and the parallel path share the same per-point and
+/// aggregation code, so their outputs are byte-identical.
+Result<SweepResult> RunThroughputSweep(const ExperimentConfig& config,
+                                       const RunnerOptions& options);
+
+}  // namespace declust::exp

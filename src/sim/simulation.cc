@@ -1,6 +1,5 @@
 #include "src/sim/simulation.h"
 
-#include <cassert>
 #include <limits>
 
 namespace declust::sim {
@@ -24,6 +23,8 @@ Simulation::~Simulation() {
   for (void* addr : detached_frames_) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }
+  // Pending callback events are destroyed by the slots_ vector's destructor
+  // (SmallFn releases inline or heap-held callables either way).
 }
 
 void Simulation::Spawn(Task<> task, SimTime delay) {
@@ -34,43 +35,128 @@ void Simulation::Spawn(Task<> task, SimTime delay) {
   ScheduleResume(now_ + delay, h);
 }
 
-EventId Simulation::ScheduleAt(SimTime at, std::function<void()> fn) {
-  assert(at >= now_);
-  const EventId id = next_id_++;
-  calendar_.push(Event{at, next_seq_++, id, nullptr, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
+uint32_t Simulation::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  assert(slots_.size() < kNoSlot);
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::FreeSlot(uint32_t idx) {
+  EventSlot& s = slots_[idx];
+  s.pending = false;
+  s.handle = nullptr;
+  s.fn.Reset();
+  if (++s.gen == 0) s.gen = 1;  // keep EventId 0 invalid even for slot 0
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+EventId Simulation::PushEvent(SimTime at, uint32_t slot) {
+  EventSlot& s = slots_[slot];
+  s.pending = true;
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, s.gen});
+  // Sift up (arity-d heap ordered by (time, seq)).
+  size_t i = heap_.size() - 1;
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / kHeapArity;
+    const HeapEntry& p = heap_[parent];
+    if (p.time < entry.time || (p.time == entry.time && p.seq < entry.seq)) {
+      break;
+    }
+    heap_[i] = p;
+    i = parent;
+  }
+  heap_[i] = entry;
+  ++live_events_;
+  return MakeId(s.gen, slot);
+}
+
+void Simulation::PopHeap() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  // Sift the former last entry down from the root.
+  const size_t n = heap_.size();
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = i * kHeapArity + 1;
+    if (first_child >= n) break;
+    const size_t last_child = std::min(first_child + kHeapArity, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      const HeapEntry& a = heap_[c];
+      const HeapEntry& b = heap_[best];
+      if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) best = c;
+    }
+    const HeapEntry& m = heap_[best];
+    if (last.time < m.time || (last.time == m.time && last.seq < m.seq)) {
+      break;
+    }
+    heap_[i] = m;
+    i = best;
+  }
+  heap_[i] = last;
 }
 
 EventId Simulation::ScheduleResume(SimTime at, std::coroutine_handle<> h) {
   if (draining_) return 0;
   assert(at >= now_);
-  const EventId id = next_id_++;
-  calendar_.push(Event{at, next_seq_++, id, h, nullptr});
-  pending_ids_.insert(id);
-  return id;
+  const uint32_t slot = AllocSlot();
+  slots_[slot].handle = h;
+  return PushEvent(at, slot);
 }
 
-bool Simulation::Cancel(EventId id) { return pending_ids_.erase(id) > 0; }
+bool Simulation::Cancel(EventId id) {
+  const uint32_t slot = static_cast<uint32_t>(id & 0xFFFFFFFFu);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  EventSlot& s = slots_[slot];
+  if (s.gen != gen || !s.pending) return false;
+  --live_events_;
+  // Bumping the generation invalidates the heap entry in place; it is
+  // discarded when it reaches the top.
+  FreeSlot(slot);
+  return true;
+}
 
 bool Simulation::Step(SimTime horizon) {
-  while (!calendar_.empty()) {
-    const Event& top = calendar_.top();
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    {
+      const EventSlot& s = slots_[top.slot];
+      if (s.gen != top.gen || !s.pending) {  // cancelled: discard lazily
+        PopHeap();
+        continue;
+      }
+    }
     if (top.time > horizon) return false;
-    Event ev = top;
-    calendar_.pop();
-    if (pending_ids_.erase(ev.id) == 0) continue;  // cancelled
-    now_ = ev.time;
+    PopHeap();
+    now_ = top.time;
     ++events_dispatched_;
-    if (tracer_) tracer_(ev.time, ev.id, static_cast<bool>(ev.handle));
-    if (ev.handle) {
-      ev.handle.resume();
+    --live_events_;
+    EventSlot& s = slots_[top.slot];
+    if (s.handle) {
+      const std::coroutine_handle<> h = s.handle;
+      if (tracer_) tracer_(now_, MakeId(top.gen, top.slot), true);
+      FreeSlot(top.slot);
+      h.resume();
     } else {
-      ev.fn();
+      // Move the callback out before freeing: invoking it may schedule new
+      // events, which can reuse (or reallocate) this slot.
+      detail::SmallFn fn = std::move(s.fn);
+      if (tracer_) tracer_(now_, MakeId(top.gen, top.slot), false);
+      FreeSlot(top.slot);
+      fn.Invoke();
     }
     return true;
   }
-  return false;
 }
 
 void Simulation::Run() {

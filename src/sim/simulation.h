@@ -5,13 +5,25 @@
 // central event calendar, and all inter-process interaction (resources,
 // channels, triggers) is mediated by the calendar so execution order is
 // deterministic for a given seed.
+//
+// Calendar fast path (see DESIGN.md §sim): events live in a slab of reusable
+// records addressed by (slot, generation); the 4-ary heap holds only POD
+// (time, seq, slot, generation) entries. Cancellation flips the slot's
+// generation — O(1), no hash lookup — and stale heap entries are discarded
+// lazily at pop time. Callbacks small enough for the slot's inline buffer
+// (every hot-path lambda in src/hw) are stored without any allocation;
+// coroutine resumes store just the handle.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/sim/task.h"
@@ -22,12 +34,114 @@ namespace declust::sim {
 using SimTime = double;
 
 /// Identifier of a scheduled event; usable with Simulation::Cancel.
+/// Encodes (generation << 32) | slot; 0 is never a valid id.
 using EventId = uint64_t;
+
+namespace detail {
+
+/// \brief Move-only type-erased callable with inline small-buffer storage.
+///
+/// Callables up to kInlineBytes are stored in place (no allocation); larger
+/// ones fall back to the heap. This keeps the per-event hot path of the
+/// calendar allocation-free for the lambdas the hardware models schedule.
+class SmallFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Reset(); }
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using D = std::decay_t<F>;
+    Reset();
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = InlineOps<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = HeapOps<D>();
+    }
+  }
+
+  void Invoke() {
+    assert(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs into dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static const Ops* InlineOps() {
+    static const Ops ops = {
+        [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+        [](void* dst, void* src) {
+          D* s = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*s));
+          s->~D();
+        },
+        [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* HeapOps() {
+    static const Ops ops = {
+        [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+        [](void* dst, void* src) {
+          ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); }};
+    return &ops;
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace detail
 
 /// \brief The event calendar and process registry.
 ///
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
-/// which makes runs reproducible.
+/// which makes runs reproducible. A Simulation is confined to one thread;
+/// parallel sweeps give each worker its own instance (src/exp/runner).
 class Simulation {
  public:
   Simulation() = default;
@@ -43,12 +157,21 @@ class Simulation {
   /// coroutine frame from this point on.
   void Spawn(Task<> task, SimTime delay = 0.0);
 
-  /// Schedules `fn` to run at absolute time `at` (>= now).
-  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` (any void() callable) to run at absolute time `at`
+  /// (>= now). Callables up to detail::SmallFn::kInlineBytes are stored
+  /// inline in the event slab — no allocation.
+  template <typename Fn>
+  EventId ScheduleAt(SimTime at, Fn&& fn) {
+    assert(at >= now_);
+    const uint32_t slot = AllocSlot();
+    slots_[slot].fn.Emplace(std::forward<Fn>(fn));
+    return PushEvent(at, slot);
+  }
 
   /// Schedules `fn` to run after `delay` ms.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
+  template <typename Fn>
+  EventId ScheduleAfter(SimTime delay, Fn&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
   /// Schedules resumption of a suspended coroutine at absolute time `at`.
@@ -56,7 +179,8 @@ class Simulation {
   EventId ScheduleResume(SimTime at, std::coroutine_handle<> h);
 
   /// Cancels a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// already cancelled. O(1): flips the event slot's generation; the stale
+  /// heap entry is discarded lazily when it reaches the top.
   bool Cancel(EventId id);
 
   /// Awaitable that suspends the calling process for `dt` ms.
@@ -91,8 +215,9 @@ class Simulation {
   /// Number of events dispatched so far (for diagnostics/benchmarks).
   uint64_t events_dispatched() const { return events_dispatched_; }
 
-  /// Number of events currently pending.
-  size_t pending_events() const { return pending_ids_.size(); }
+  /// Number of events currently pending (scheduled, not yet fired or
+  /// cancelled).
+  size_t pending_events() const { return live_events_; }
 
   /// True during teardown; resources consult this to avoid waking processes
   /// that are about to be destroyed.
@@ -109,19 +234,42 @@ class Simulation {
   friend void detail::ReleaseDetachedFrame(Simulation* sim,
                                            std::coroutine_handle<> h);
 
-  struct Event {
+  /// One reusable event record in the slab. `gen` distinguishes the slot's
+  /// successive occupants: a heap entry whose generation no longer matches
+  /// was cancelled (or belongs to a previous occupant) and is skipped.
+  struct EventSlot {
+    std::coroutine_handle<> handle{};  // set for coroutine resumes
+    detail::SmallFn fn;                // set for callback events
+    uint32_t gen = 1;
+    uint32_t next_free = kNoSlot;
+    bool pending = false;
+  };
+
+  /// POD heap entry; the heap is ordered by (time, seq) so ties fire in
+  /// scheduling order.
+  struct HeapEntry {
     SimTime time;
     uint64_t seq;
-    EventId id;
-    std::coroutine_handle<> handle;  // either handle or fn is set
-    std::function<void()> fn;
+    uint32_t slot;
+    uint32_t gen;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+  /// Arity of the event heap: shallower than a binary heap, and the
+  /// four-way child comparison is cache-friendly on 24-byte entries.
+  static constexpr size_t kHeapArity = 4;
+
+  static EventId MakeId(uint32_t gen, uint32_t slot) {
+    return (static_cast<uint64_t>(gen) << 32) | slot;
+  }
+
+  /// Pops a slot off the free list (or grows the slab).
+  uint32_t AllocSlot();
+  /// Returns the slot to the free list and bumps its generation.
+  void FreeSlot(uint32_t idx);
+  /// Pushes a heap entry for an armed slot; returns the event id.
+  EventId PushEvent(SimTime at, uint32_t slot);
+  void PopHeap();
 
   // Dispatches the next event; returns false if the calendar is exhausted or
   // the next event lies beyond `horizon`.
@@ -129,14 +277,15 @@ class Simulation {
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t events_dispatched_ = 0;
+  size_t live_events_ = 0;
   bool stop_requested_ = false;
   bool draining_ = false;
 
   std::function<void(SimTime, EventId, bool)> tracer_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
-  std::unordered_set<EventId> pending_ids_;
+  std::vector<HeapEntry> heap_;
+  std::vector<EventSlot> slots_;
+  uint32_t free_head_ = kNoSlot;
   std::unordered_set<void*> detached_frames_;
 };
 

@@ -1,0 +1,95 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace declust {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that each wait for the other prove two workers are live.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  auto rendezvous = [&arrived] {
+    arrived.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (arrived.load() < 2) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::yield();
+    }
+  };
+  pool.Submit(rendezvous);
+  pool.Submit(rendezvous);
+  pool.Wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // ~ThreadPool joins after the queue is drained
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ResolveJobsReadsEnvironment) {
+  unsetenv("DECLUST_JOBS");
+  EXPECT_EQ(ThreadPool::ResolveJobs(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveJobs(3), 3);
+  setenv("DECLUST_JOBS", "5", 1);
+  EXPECT_EQ(ThreadPool::ResolveJobs(0), 5);
+  // An explicit request wins over the environment.
+  EXPECT_EQ(ThreadPool::ResolveJobs(2), 2);
+  setenv("DECLUST_JOBS", "garbage", 1);
+  EXPECT_EQ(ThreadPool::ResolveJobs(0), 1);
+  unsetenv("DECLUST_JOBS");
+}
+
+}  // namespace
+}  // namespace declust

@@ -1,0 +1,151 @@
+// The parallel runner's determinism guarantee: a sweep run with N workers
+// must be byte-identical to the serial run — same seeds, same ordering,
+// bit-equal floating point.
+#include "src/exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/exp/report.h"
+
+namespace declust::exp {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.name = "determinism";
+  cfg.cardinality = 4'000;
+  cfg.num_processors = 8;
+  cfg.mpls = {1, 4, 8};
+  cfg.warmup_ms = 250;
+  cfg.measure_ms = 1'000;
+  cfg.repeats = 2;
+  return cfg;
+}
+
+/// Serializes every field of every point so a comparison catches any drift.
+std::string Serialize(const SweepResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& curve : r.curves) {
+    os << curve.strategy << "|" << curve.note << "\n";
+    for (const auto& p : curve.points) {
+      os << p.mpl << " " << p.throughput_qps << " " << p.throughput_ci95
+         << " " << p.mean_response_ms << " " << p.mean_response_ci95 << " "
+         << p.p95_response_ms << " " << p.avg_processors_used << " "
+         << p.disk_utilization << " " << p.cpu_utilization << " "
+         << p.completed << "\n";
+    }
+  }
+  return os.str();
+}
+
+TEST(RunnerDeterminismTest, ParallelSweepIsByteIdenticalToSerial) {
+  const ExperimentConfig cfg = SmallConfig();
+  auto serial = RunThroughputSweep(cfg, RunnerOptions{.jobs = 1});
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = RunThroughputSweep(cfg, RunnerOptions{.jobs = 4});
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(Serialize(*serial), Serialize(*parallel));
+
+  // A second parallel run must also be identical (no run-to-run noise).
+  auto again = RunThroughputSweep(cfg, RunnerOptions{.jobs = 4});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Serialize(*parallel), Serialize(*again));
+}
+
+TEST(RunnerDeterminismTest, CsvOutputMatchesAcrossJobCounts) {
+  const ExperimentConfig cfg = SmallConfig();
+  auto serial = RunThroughputSweep(cfg, RunnerOptions{.jobs = 1});
+  auto parallel = RunThroughputSweep(cfg, RunnerOptions{.jobs = 3});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  std::ostringstream a, b;
+  PrintCsv(a, *serial);
+  PrintCsv(b, *parallel);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(RunnerDeterminismTest, OversubscribedPoolStillDeterministic) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.mpls = {1, 4};
+  cfg.repeats = 1;
+  auto serial = RunThroughputSweep(cfg, RunnerOptions{.jobs = 1});
+  // More workers than jobs exist.
+  auto wide = RunThroughputSweep(cfg, RunnerOptions{.jobs = 16});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(Serialize(*serial), Serialize(*wide));
+}
+
+TEST(RunnerAggregationTest, PointMetricsAverageAcrossReplications) {
+  // Build the workload/partitioning once and run the replications by hand;
+  // the sweep's point must equal the mean of the per-rep measurements
+  // (not the last replication's values, the pre-runner bug).
+  ExperimentConfig cfg = SmallConfig();
+  cfg.strategies = {"MAGIC"};
+  cfg.mpls = {4};
+  cfg.repeats = 3;
+
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = cfg.cardinality;
+  wopts.correlation = cfg.correlation;
+  wopts.seed = cfg.seed;
+  const storage::Relation relation = workload::MakeWisconsin(wopts);
+  const workload::Workload wl = workload::MakeMix(cfg.qa, cfg.qb, cfg.mix);
+  auto part = MakePartitioning("MAGIC", relation, wl, cfg.num_processors);
+  ASSERT_TRUE(part.ok());
+
+  double resp_sum = 0, p95_sum = 0, disk_sum = 0, cpu_sum = 0;
+  double completed_sum = 0;
+  double last_resp = 0;
+  for (int rep = 0; rep < cfg.repeats; ++rep) {
+    auto m = RunSweepPointRep(cfg, relation, **part, wl, /*mpl=*/4, rep);
+    ASSERT_TRUE(m.ok());
+    resp_sum += m->mean_response_ms;
+    p95_sum += m->p95_response_ms;
+    disk_sum += m->disk_utilization;
+    cpu_sum += m->cpu_utilization;
+    completed_sum += static_cast<double>(m->completed);
+    last_resp = m->mean_response_ms;
+  }
+
+  auto result = RunThroughputSweep(cfg, RunnerOptions{.jobs = 1});
+  ASSERT_TRUE(result.ok());
+  const SweepPoint& p = result->curves[0].points[0];
+  EXPECT_NEAR(p.mean_response_ms, resp_sum / 3, 1e-9);
+  EXPECT_NEAR(p.p95_response_ms, p95_sum / 3, 1e-9);
+  EXPECT_NEAR(p.disk_utilization, disk_sum / 3, 1e-12);
+  EXPECT_NEAR(p.cpu_utilization, cpu_sum / 3, 1e-12);
+  EXPECT_NEAR(static_cast<double>(p.completed), completed_sum / 3, 0.51);
+  // The replications genuinely differ, so the mean is not the last rep.
+  EXPECT_NE(p.mean_response_ms, last_resp);
+  EXPECT_GT(p.mean_response_ci95, 0.0);
+}
+
+TEST(RunnerTest, ErrorsPropagateFromWorkers) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.strategies = {"range", "quantum"};
+  auto result = RunThroughputSweep(cfg, RunnerOptions{.jobs = 4});
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(RunnerTest, MagicNoteComesFromDiagnosticNote) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.mpls = {1};
+  cfg.repeats = 1;
+  auto result = RunThroughputSweep(cfg, RunnerOptions{.jobs = 2});
+  ASSERT_TRUE(result.ok());
+  for (const auto& curve : result->curves) {
+    if (curve.strategy == "MAGIC") {
+      EXPECT_NE(curve.note.find("grid"), std::string::npos);
+    } else {
+      EXPECT_TRUE(curve.note.empty()) << curve.strategy;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace declust::exp

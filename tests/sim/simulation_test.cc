@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/sim/task.h"
@@ -246,6 +247,128 @@ TEST(SimulationTest, EventCounterAdvances) {
   s.ScheduleAt(2.0, [] {});
   s.Run();
   EXPECT_EQ(s.events_dispatched(), 2u);
+}
+
+TEST(SimulationTest, PendingEventsTracksScheduleFireAndCancel) {
+  Simulation s;
+  EventId a = s.ScheduleAt(1.0, [] {});
+  s.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  EXPECT_TRUE(s.Cancel(a));
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SimulationTest, CancelFromInsideAnEventPreventsLaterEvent) {
+  Simulation s;
+  bool late_fired = false;
+  EventId late = s.ScheduleAt(5.0, [&] { late_fired = true; });
+  s.ScheduleAt(1.0, [&] { EXPECT_TRUE(s.Cancel(late)); });
+  s.Run();
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(s.events_dispatched(), 1u);
+}
+
+TEST(SimulationTest, CancelledIdStaysDeadAfterSlotReuse) {
+  // Freeing a cancelled event's slab slot and re-arming it for a new event
+  // must not let the old id cancel (or otherwise affect) the new occupant.
+  Simulation s;
+  bool a_fired = false, b_fired = false;
+  EventId a = s.ScheduleAt(1.0, [&] { a_fired = true; });
+  EXPECT_TRUE(s.Cancel(a));
+  EventId b = s.ScheduleAt(2.0, [&] { b_fired = true; });  // reuses a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.Cancel(a));  // stale id
+  s.Run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimulationTest, FiredIdDoesNotCancelSlotSuccessor) {
+  Simulation s;
+  EventId a = s.ScheduleAt(1.0, [] {});
+  s.Run();
+  bool b_fired = false;
+  s.ScheduleAt(2.0, [&] { b_fired = true; });  // reuses a's slot
+  EXPECT_FALSE(s.Cancel(a));
+  s.Run();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimulationTest, TeardownDestroysPendingSlabCallbacks) {
+  // A simulation destroyed with events still pending must run the
+  // destructors of their captured state (inline slab storage).
+  auto token = std::make_shared<int>(42);
+  {
+    Simulation s;
+    s.ScheduleAt(1.0, [token] { (void)*token; });
+    s.ScheduleAt(2.0, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SimulationTest, TeardownDestroysPendingHeapCallbacks) {
+  // Callables larger than the slab's inline buffer take the heap fallback;
+  // those must be reclaimed at teardown too (checked under ASAN builds).
+  auto token = std::make_shared<int>(7);
+  struct Big {
+    std::shared_ptr<int> p;
+    double pad[16];
+    void operator()() const { (void)*p; }
+  };
+  {
+    Simulation s;
+    s.ScheduleAt(1.0, Big{token, {}});
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SimulationTest, OversizedCallbacksFireViaHeapFallback) {
+  Simulation s;
+  int sum = 0;
+  struct Big {
+    int* out;
+    int vals[32];
+    void operator()() const {
+      for (int v : vals) *out += v;
+    }
+  };
+  Big big{&sum, {}};
+  for (int i = 0; i < 32; ++i) big.vals[i] = i;
+  EventId id = s.ScheduleAt(1.0, big);
+  EXPECT_GT(id, 0u);
+  s.Run();
+  EXPECT_EQ(sum, 31 * 32 / 2);
+}
+
+TEST(SimulationTest, CancelledEventsReleaseCapturedStateImmediately) {
+  Simulation s;
+  auto token = std::make_shared<int>(1);
+  EventId id = s.ScheduleAt(1.0, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_EQ(token.use_count(), 1);  // destroyed at cancel, not at fire time
+  s.Run();
+}
+
+TEST(SimulationTest, ManyInterleavedCancelsKeepTimeOrder) {
+  // Lazy heap deletion must not disturb ordering of surviving events.
+  Simulation s;
+  std::vector<double> fired_at;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.ScheduleAt(static_cast<double>(100 - i),
+                               [&fired_at, &s] { fired_at.push_back(s.now()); }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(s.Cancel(ids[i]));
+  s.Run();
+  EXPECT_EQ(fired_at.size(), 50u);
+  for (size_t i = 1; i < fired_at.size(); ++i) {
+    EXPECT_LT(fired_at[i - 1], fired_at[i]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Machine-readable kernel/runner benchmark snapshot: measures the event
+// calendar's events/sec (the micro_sim_kernel workloads, timed directly) and
+// the quick fig08 sweep's wall-clock at jobs=1 vs jobs=N, then writes
+// BENCH_kernel.json for CI tracking.
+//
+//   bench_report [--out FILE] [--jobs N]
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/exp/report.h"
+#include "src/exp/runner.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace {
+
+using namespace declust;  // NOLINT(build/namespaces)
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Events/sec of callback scheduling + dispatch at a 10k event population.
+double MeasureCallbackRate() {
+  constexpr int kEvents = 10'000;
+  constexpr int kRounds = 30;
+  volatile int fired = 0;
+  const auto t0 = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    sim::Simulation s;
+    for (int i = 0; i < kEvents; ++i) {
+      s.ScheduleAt(static_cast<double>(i % 97), [&fired] { fired = fired + 1; });
+    }
+    s.Run();
+  }
+  const auto t1 = Clock::now();
+  return kRounds * kEvents / Seconds(t0, t1);
+}
+
+sim::Task<> Hopper(sim::Simulation* s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s->WaitFor(1.0);
+}
+
+/// Events/sec of coroutine suspend/resume through the calendar.
+double MeasureCoroutineRate() {
+  constexpr int kProcs = 100;
+  constexpr int kHops = 100;
+  constexpr int kRounds = 30;
+  const auto t0 = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    sim::Simulation s;
+    for (int i = 0; i < kProcs; ++i) s.Spawn(Hopper(&s, kHops));
+    s.Run();
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(kRounds) * kProcs * kHops / Seconds(t0, t1);
+}
+
+sim::Task<> Contender(sim::Simulation* s, sim::Resource* r, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await r->Acquire();
+    co_await s->WaitFor(0.1);
+  }
+}
+
+/// Acquisitions/sec on a contended FCFS resource.
+double MeasureContentionRate() {
+  constexpr int kProcs = 32;
+  constexpr int kAcquires = 20;
+  constexpr int kRounds = 200;
+  const auto t0 = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    sim::Simulation s;
+    sim::Resource r(&s, 1);
+    for (int i = 0; i < kProcs; ++i) s.Spawn(Contender(&s, &r, kAcquires));
+    s.Run();
+  }
+  const auto t1 = Clock::now();
+  return static_cast<double>(kRounds) * kProcs * kAcquires / Seconds(t0, t1);
+}
+
+/// Schedule+cancel pairs/sec (the O(1) generation-flip cancel path).
+double MeasureCancelChurnRate() {
+  constexpr int kPairs = 500'000;
+  sim::Simulation s;
+  volatile int fired = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kPairs; ++i) {
+    const sim::EventId id =
+        s.ScheduleAt(1.0 + i * 1e-9, [&fired] { fired = fired + 1; });
+    s.Cancel(id);
+  }
+  const auto t1 = Clock::now();
+  s.Run();
+  return kPairs / Seconds(t0, t1);
+}
+
+exp::ExperimentConfig QuickFig08() {
+  exp::ExperimentConfig cfg;
+  cfg.name = "low-low (quick)";
+  cfg.cardinality = 20'000;
+  cfg.mpls = {1, 16, 64};
+  cfg.warmup_ms = 1'000;
+  cfg.measure_ms = 4'000;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernel.json";
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_report [--out FILE] [--jobs N]\n";
+      return 2;
+    }
+  }
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs < 4) jobs = 4;
+  }
+
+  std::cerr << "measuring kernel events/sec...\n";
+  const double callback_rate = MeasureCallbackRate();
+  const double coroutine_rate = MeasureCoroutineRate();
+  const double contention_rate = MeasureContentionRate();
+  const double cancel_rate = MeasureCancelChurnRate();
+
+  std::cerr << "timing quick fig08 sweep (jobs=1 vs jobs=" << jobs
+            << ")...\n";
+  const exp::ExperimentConfig cfg = QuickFig08();
+  const auto s0 = Clock::now();
+  auto serial = exp::RunThroughputSweep(cfg, exp::RunnerOptions{1});
+  const auto s1 = Clock::now();
+  if (!serial.ok()) {
+    std::cerr << "serial sweep failed: " << serial.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const auto p0 = Clock::now();
+  auto parallel = exp::RunThroughputSweep(cfg, exp::RunnerOptions{jobs});
+  const auto p1 = Clock::now();
+  if (!parallel.ok()) {
+    std::cerr << "parallel sweep failed: " << parallel.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double serial_s = Seconds(s0, s1);
+  const double parallel_s = Seconds(p0, p1);
+
+  std::ostringstream a, b;
+  exp::PrintCsv(a, *serial);
+  exp::PrintCsv(b, *parallel);
+  const bool identical = a.str() == b.str();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"kernel\": {\n"
+      << "    \"callback_events_per_sec\": " << callback_rate << ",\n"
+      << "    \"coroutine_events_per_sec\": " << coroutine_rate << ",\n"
+      << "    \"contention_acquires_per_sec\": " << contention_rate << ",\n"
+      << "    \"cancel_churn_pairs_per_sec\": " << cancel_rate << "\n"
+      << "  },\n"
+      << "  \"sweep\": {\n"
+      << "    \"config\": \"fig08 quick (20k tuples, MPL 1/16/64)\",\n"
+      << "    \"serial_wall_s\": " << serial_s << ",\n"
+      << "    \"parallel_jobs\": " << jobs << ",\n"
+      << "    \"parallel_wall_s\": " << parallel_s << ",\n"
+      << "    \"speedup\": " << (parallel_s > 0 ? serial_s / parallel_s : 0)
+      << ",\n"
+      << "    \"identical_results\": " << (identical ? "true" : "false")
+      << "\n"
+      << "  },\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "\n"
+      << "}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

@@ -8,8 +8,8 @@
 #include <string>
 #include <vector>
 
-#include "src/exp/experiment.h"
 #include "src/exp/report.h"
+#include "src/exp/runner.h"
 
 namespace {
 
@@ -30,6 +30,9 @@ void Usage() {
       "  --measure MS       simulated measurement window (default 24000)\n"
       "  --repeats R        replications per point, reports 95% CI (default 1)\n"
       "  --seed S           RNG seed (default 7)\n"
+      "  --jobs N           worker threads for the sweep (default: the\n"
+      "                     DECLUST_JOBS env var, else 1); results are\n"
+      "                     byte-identical for any N\n"
       "  --csv              emit CSV instead of the table\n";
 }
 
@@ -69,6 +72,7 @@ bool ParseMix(const std::string& name, exp::ExperimentConfig* cfg) {
 int main(int argc, char** argv) {
   exp::ExperimentConfig cfg;
   cfg.name = "low-low";
+  exp::RunnerOptions runner_opts;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +112,8 @@ int main(int argc, char** argv) {
       cfg.repeats = std::atoi(next());
     } else if (arg == "--seed") {
       cfg.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--jobs") {
+      runner_opts.jobs = std::atoi(next());
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -120,7 +126,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto result = exp::RunThroughputSweep(cfg);
+  auto result = exp::RunThroughputSweep(cfg, runner_opts);
   if (!result.ok()) {
     std::cerr << "experiment failed: " << result.status().ToString() << "\n";
     return 1;
