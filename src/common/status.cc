@@ -22,6 +22,12 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,9 @@ class [[nodiscard]] Status {
     kFailedPrecondition,
     kInternal,
     kNotSupported,
+    kUnavailable,
+    kIoError,
+    kDeadlineExceeded,
   };
 
   /// Constructs an OK status.
@@ -51,6 +54,19 @@ class [[nodiscard]] Status {
   static Status NotSupported(std::string_view msg) {
     return Status(Code::kNotSupported, msg);
   }
+  /// A component (disk, node, link) is down; retrying against the same
+  /// component will not help — callers should fail over or give up.
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  /// A transient I/O error; the operation may succeed if retried.
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  /// The per-query deadline expired before the operation completed.
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -69,6 +85,11 @@ class [[nodiscard]] Status {
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
  private:
   Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
@@ -82,6 +103,13 @@ class [[nodiscard]] Status {
   do {                                            \
     ::declust::Status _st = (expr);               \
     if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Propagates a non-OK status out of a coroutine returning Task<Status>.
+#define DECLUST_CO_RETURN_NOT_OK(expr)            \
+  do {                                            \
+    ::declust::Status _st = (expr);               \
+    if (!_st.ok()) co_return _st;                 \
   } while (0)
 
 }  // namespace declust

@@ -189,6 +189,27 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
       catalog->aux_extents_.push_back(extent);
     }
   }
+  // Chained declustering: backup copies go on disk AFTER all primary
+  // extents, so primary physical addresses are unchanged by the option.
+  if (opts.chained_backups && nodes > 1) {
+    for (int node = 0; node < nodes; ++node) {
+      const int backup = (node + 1) % nodes;
+      storage::DiskLayout* layout =
+          catalog->layouts_[static_cast<size_t>(backup)].get();
+      catalog->backup_stores_.push_back(std::make_unique<FragmentStore>(
+          relation, partitioning->node_records()[static_cast<size_t>(node)],
+          attr_a, attr_b, opts, hw, layout));
+      if (catalog->berd_ != nullptr) {
+        const auto full = catalog->berd_->AuxCost(
+            node, std::numeric_limits<Value>::min(),
+            std::numeric_limits<Value>::max());
+        const int64_t aux_pages =
+            std::max<int64_t>(1, full.index_pages + full.leaf_pages);
+        DECLUST_ASSIGN_OR_RETURN(auto extent, layout->Allocate(aux_pages));
+        catalog->aux_backup_extents_.push_back(extent);
+      }
+    }
+  }
   return catalog;
 }
 
@@ -208,6 +229,37 @@ AccessPlan SystemCatalog::PlanAuxAccess(int node, const Predicate& q) const {
   const auto cost = berd_->AuxCost(node, q.lo, q.hi);
   const auto& layout = *layouts_[static_cast<size_t>(node)];
   const auto& extent = aux_extents_[static_cast<size_t>(node)];
+  DescentPages(extent, cost.index_pages, 0, layout, &plan.index_pages);
+  for (int l = 1; l < cost.leaf_pages; ++l) {
+    auto addr = layout.Resolve(
+        extent, std::min<int64_t>(extent.num_pages - 1, l));
+    assert(addr.ok());
+    plan.index_pages.push_back(*addr);
+  }
+  plan.tuples = cost.entries;
+  return plan;
+}
+
+AccessPlan SystemCatalog::PlanBackupAccess(int failed_node, const Predicate& q,
+                                           bool sequential_scan) const {
+  assert(has_backups());
+  const int backup = BackupNodeOf(failed_node);
+  const auto& layout = *layouts_[static_cast<size_t>(backup)];
+  const auto& store = *backup_stores_[static_cast<size_t>(failed_node)];
+  if (sequential_scan) return store.ScanAccess(q.attr, q.lo, q.hi, layout);
+  if (q.attr == 1) return store.ClusteredAccess(q.lo, q.hi, layout);
+  return store.NonClusteredAccess(q.lo, q.hi, layout);
+}
+
+AccessPlan SystemCatalog::PlanBackupAuxAccess(int failed_node,
+                                              const Predicate& q) const {
+  AccessPlan plan;
+  if (berd_ == nullptr) return plan;
+  assert(has_backups());
+  const int backup = BackupNodeOf(failed_node);
+  const auto cost = berd_->AuxCost(failed_node, q.lo, q.hi);
+  const auto& layout = *layouts_[static_cast<size_t>(backup)];
+  const auto& extent = aux_backup_extents_[static_cast<size_t>(failed_node)];
   DescentPages(extent, cost.index_pages, 0, layout, &plan.index_pages);
   for (int l = 1; l < cost.leaf_pages; ++l) {
     auto addr = layout.Resolve(

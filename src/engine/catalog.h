@@ -47,6 +47,11 @@ struct CatalogOptions {
   int index_fanout = 340;
   /// Fanout of BERD auxiliary-relation B-trees.
   int aux_fanout = 512;
+  /// Chained declustering (Hsiao & DeWitt): store a full backup copy of
+  /// node n's fragment (data, both indexes, BERD aux) on node (n+1) mod N.
+  /// Backups are placed after every primary extent so primary disk
+  /// addresses are identical with and without backups.
+  bool chained_backups = false;
 };
 
 /// \brief One node's fragment: clustered storage + both indexes + extents.
@@ -107,6 +112,22 @@ class SystemCatalog {
   /// non-BERD partitionings).
   AccessPlan PlanAuxAccess(int node, const Predicate& q) const;
 
+  /// True when chained-declustering backups were built.
+  bool has_backups() const { return !backup_stores_.empty(); }
+  /// The node holding the backup copy of `node`'s fragment.
+  int BackupNodeOf(int node) const { return (node + 1) % num_nodes(); }
+
+  /// Access plan for `q` against the backup copy of `failed_node`'s
+  /// fragment, executed at BackupNodeOf(failed_node). Yields the same
+  /// qualifying tuples as PlanAccess(failed_node, ...). Requires
+  /// has_backups().
+  AccessPlan PlanBackupAccess(int failed_node, const Predicate& q,
+                              bool sequential_scan = false) const;
+
+  /// BERD auxiliary lookup against the backup copy of `failed_node`'s aux
+  /// fragment. Requires has_backups().
+  AccessPlan PlanBackupAuxAccess(int failed_node, const Predicate& q) const;
+
  private:
   const storage::Relation* relation_ = nullptr;
   const decluster::Partitioning* partitioning_ = nullptr;
@@ -114,6 +135,10 @@ class SystemCatalog {
   std::vector<std::unique_ptr<FragmentStore>> stores_;
   std::vector<std::unique_ptr<storage::DiskLayout>> layouts_;
   std::vector<storage::Extent> aux_extents_;  // BERD only
+  // Chained declustering: backup_stores_[n] is node n's fragment stored on
+  // node (n+1) mod N (empty unless opts.chained_backups).
+  std::vector<std::unique_ptr<FragmentStore>> backup_stores_;
+  std::vector<storage::Extent> aux_backup_extents_;  // BERD + backups only
   CatalogOptions opts_;
 };
 

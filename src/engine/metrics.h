@@ -9,6 +9,16 @@
 
 namespace declust::engine {
 
+/// \brief Failure-handling counters: how often the engine hit injected
+/// faults and what it did about them.
+struct FaultStats {
+  int64_t io_errors = 0;       ///< transient disk errors observed
+  int64_t retries = 0;         ///< read retries issued (with backoff)
+  int64_t timeouts = 0;        ///< operations abandoned at the query deadline
+  int64_t failovers = 0;       ///< site executions re-routed to the backup
+  int64_t failed_queries = 0;  ///< queries that completed with an error
+};
+
 /// \brief Collects query completions; throughput is measured over the
 /// window after StartMeasurement().
 class Metrics {
@@ -25,6 +35,7 @@ class Metrics {
     response_ms_.Reset();
     response_hist_ = Histogram(0.0, 10'000.0, 500);
     for (auto& acc : class_response_ms_) acc.Reset();
+    faults_ = FaultStats{};
   }
 
   void RecordCompletion(int class_index, double response_ms) {
@@ -61,6 +72,13 @@ class Metrics {
   }
   const Accumulator& processors_used() const { return processors_used_; }
 
+  /// A query gave up with a non-OK status (deadline, dead coordinator, ...).
+  void RecordFailure(int /*class_index*/) { ++faults_.failed_queries; }
+
+  /// Fault-handling counters; reset when the measurement window starts.
+  FaultStats& faults() { return faults_; }
+  const FaultStats& faults() const { return faults_; }
+
  private:
   bool measuring_ = false;
   sim::SimTime window_start_ = 0;
@@ -70,6 +88,7 @@ class Metrics {
   Accumulator processors_used_;
   std::vector<Accumulator> class_response_ms_;
   Histogram response_hist_;
+  FaultStats faults_;
 };
 
 }  // namespace declust::engine

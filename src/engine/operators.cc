@@ -4,51 +4,76 @@
 
 namespace declust::engine {
 
-namespace {
-
-// Reads one page through the pool (if any), the disk, the DMA interrupt,
-// and the per-page CPU processing.
-sim::Task<> AccessPage(hw::Node* node, hw::PageAddress page,
-                       const OperatorCosts& costs, BufferPool* pool) {
+sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
+                             const OperatorCosts& costs, BufferPool* pool,
+                             FaultContext* fc) {
   const hw::HwParams& hw = node->params();
   if (pool != nullptr) {
-    co_await node->cpu().Run(costs.buffer_lookup_instructions);
+    DECLUST_CO_RETURN_NOT_OK(
+        co_await node->cpu().Run(costs.buffer_lookup_instructions));
     if (pool->Touch(page)) {
       // Buffer hit: the page is already in memory; only the processing
       // cost applies.
-      co_await node->cpu().Run(hw.read_page_instructions);
-      co_return;
+      DECLUST_CO_RETURN_NOT_OK(
+          co_await node->cpu().Run(hw.read_page_instructions));
+      co_return Status::OK();
     }
   }
-  co_await node->disk().Read(page);
-  co_await node->cpu().RunDma(hw.scsi_transfer_instructions);
-  co_await node->cpu().Run(hw.read_page_instructions);
+  for (int attempt = 0;; ++attempt) {
+    const Status st = co_await node->disk().Read(page);
+    if (st.ok()) break;
+    const bool transient = st.IsIoError();
+    if (transient && fc != nullptr && fc->stats != nullptr) {
+      ++fc->stats->io_errors;
+    }
+    if (!transient || fc == nullptr || fc->policy == nullptr ||
+        attempt >= fc->policy->max_read_retries) {
+      co_return st;
+    }
+    // Deterministic capped exponential backoff (no randomness: the retry
+    // trace must be identical across runs with the same seed).
+    const double backoff =
+        std::min(fc->policy->backoff_cap_ms,
+                 fc->policy->backoff_base_ms * static_cast<double>(1 << attempt));
+    if (node->simulation()->now() + backoff >= fc->deadline_ms) {
+      if (fc->stats != nullptr) ++fc->stats->timeouts;
+      co_return Status::DeadlineExceeded("read retries exhausted the deadline");
+    }
+    if (fc->stats != nullptr) ++fc->stats->retries;
+    co_await node->simulation()->WaitFor(backoff);
+  }
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await node->cpu().RunDma(hw.scsi_transfer_instructions));
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await node->cpu().Run(hw.read_page_instructions));
+  co_return Status::OK();
 }
 
-}  // namespace
-
-sim::Task<> RunSelect(hw::Node* node, const AccessPlan& plan, int result_node,
-                      const OperatorCosts& costs, BufferPool* pool) {
+sim::Task<Status> RunSelect(hw::Node* node, const AccessPlan& plan,
+                            int result_node, const OperatorCosts& costs,
+                            BufferPool* pool, FaultContext* fc) {
   const hw::HwParams& hw = node->params();
 
   // Operator activation.
-  co_await node->cpu().Run(costs.startup_instructions);
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await node->cpu().Run(costs.startup_instructions));
 
   // Index pages: random reads, each moved from the SCSI FIFO by a DMA
   // interrupt, then processed.
   for (const auto& page : plan.index_pages) {
-    co_await AccessPage(node, page, costs, pool);
+    DECLUST_CO_RETURN_NOT_OK(co_await AccessPage(node, page, costs, pool, fc));
   }
 
   // Data pages (sequential for clustered scans, random otherwise: the
   // addresses in the plan and the elevator model decide).
   for (const auto& page : plan.data_pages) {
-    co_await AccessPage(node, page, costs, pool);
+    DECLUST_CO_RETURN_NOT_OK(co_await AccessPage(node, page, costs, pool, fc));
   }
 
   // Predicate evaluation / tuple extraction.
   if (plan.tuples > 0) {
-    co_await node->cpu().Run(plan.tuples * costs.per_tuple_instructions);
+    DECLUST_CO_RETURN_NOT_OK(
+        co_await node->cpu().Run(plan.tuples * costs.per_tuple_instructions));
   }
 
   // Ship qualifying tuples to the result site in tuple packets.
@@ -57,9 +82,11 @@ sim::Task<> RunSelect(hw::Node* node, const AccessPlan& plan, int result_node,
     const int64_t batch =
         std::min<int64_t>(remaining, hw.tuples_per_packet);
     const int bytes = static_cast<int>(batch * hw.tuple_size_bytes);
-    co_await node->network().Send(node->id(), result_node, bytes, [] {});
+    DECLUST_CO_RETURN_NOT_OK(co_await node->network().Send(
+        node->id(), result_node, bytes, [](const Status&) {}));
     remaining -= batch;
   }
+  co_return Status::OK();
 }
 
 }  // namespace declust::engine

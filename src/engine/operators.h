@@ -4,8 +4,12 @@
 // Network Interface managers to perform its particular operation.").
 #pragma once
 
+#include <limits>
+
+#include "src/common/status.h"
 #include "src/engine/buffer_pool.h"
 #include "src/engine/catalog.h"
+#include "src/engine/metrics.h"
 #include "src/hw/node.h"
 #include "src/sim/task.h"
 
@@ -25,14 +29,48 @@ struct OperatorCosts {
   int64_t buffer_lookup_instructions = 300;
 };
 
+/// \brief How the engine reacts to injected faults.
+struct FailoverPolicy {
+  /// Max retries of one page read on a transient IoError.
+  int max_read_retries = 4;
+  /// Deterministic capped exponential backoff: base * 2^attempt, capped.
+  double backoff_base_ms = 1.0;
+  double backoff_cap_ms = 64.0;
+  /// Per-query deadline: operations abandon once this much time has passed
+  /// since the query was dispatched.
+  double query_deadline_ms = 30'000.0;
+  /// Pause a terminal takes after a failed query before submitting the next
+  /// one (prevents a zero-cost failure from spinning the closed loop).
+  double failed_query_backoff_ms = 100.0;
+};
+
+/// \brief Per-query failure-handling context threaded through operators.
+/// With a null policy (the default) operators behave exactly as before
+/// faults existed: the first error aborts the operator.
+struct FaultContext {
+  const FailoverPolicy* policy = nullptr;
+  sim::SimTime deadline_ms = std::numeric_limits<double>::infinity();
+  FaultStats* stats = nullptr;
+};
+
+/// \brief Reads one page through the pool (if any), the disk, the DMA
+/// interrupt, and the per-page CPU processing. Transient IoErrors are
+/// retried with capped exponential backoff per `fc` (when given); a retry
+/// that would land past the deadline returns DeadlineExceeded.
+sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
+                             const OperatorCosts& costs, BufferPool* pool,
+                             FaultContext* fc = nullptr);
+
 /// \brief Executes a select at `node`: reads the plan's index pages and data
 /// pages through the disk (DMA + page CPU per page), spends per-tuple CPU,
 /// and ships the qualifying tuples to `result_node` in tuple packets.
 ///
 /// `pool` (optional) is the node's buffer pool: hits skip the disk read and
 /// DMA transfer. Completes when the last result packet has left this node's
-/// interface.
-sim::Task<> RunSelect(hw::Node* node, const AccessPlan& plan, int result_node,
-                      const OperatorCosts& costs, BufferPool* pool = nullptr);
+/// interface. Returns the first unrecovered hardware error, or OK.
+sim::Task<Status> RunSelect(hw::Node* node, const AccessPlan& plan,
+                            int result_node, const OperatorCosts& costs,
+                            BufferPool* pool = nullptr,
+                            FaultContext* fc = nullptr);
 
 }  // namespace declust::engine

@@ -2,11 +2,20 @@
 
 namespace declust::engine {
 
-sim::Task<> DeliverMessage(sim::Simulation* sim, hw::Network* net, int src,
-                           int dst, int bytes) {
+sim::Task<Status> DeliverMessage(sim::Simulation* sim, hw::Network* net,
+                                 int src, int dst, int bytes) {
   sim::Trigger delivered(sim);
-  co_await net->Send(src, dst, bytes, [&delivered] { delivered.Fire(); });
+  Status delivery;
+  const Status sent =
+      co_await net->Send(src, dst, bytes, [&](const Status& st) {
+        delivery = st;
+        delivered.Fire();
+      });
+  // Fail-fast path: the network refused the send and the delivery callback
+  // will never run; don't wait for it.
+  DECLUST_CO_RETURN_NOT_OK(sent);
   co_await delivered.Wait();
+  co_return delivery;
 }
 
 }  // namespace declust::engine

@@ -1,6 +1,7 @@
 // Control-message primitives used by the query scheduler.
 #pragma once
 
+#include "src/common/status.h"
 #include "src/hw/network.h"
 #include "src/sim/task.h"
 #include "src/sim/trigger.h"
@@ -10,7 +11,10 @@ namespace declust::engine {
 /// \brief Sends a message of `bytes` from `src` to `dst` and completes when
 /// it has been DELIVERED (occupied both interfaces), unlike
 /// Network::Send which completes when the packet leaves the sender.
-sim::Task<> DeliverMessage(sim::Simulation* sim, hw::Network* net, int src,
-                           int dst, int bytes);
+///
+/// Returns Unavailable when either endpoint is down (fail fast at submit, or
+/// the receiver crashed while the packet was in flight); OK on delivery.
+sim::Task<Status> DeliverMessage(sim::Simulation* sim, hw::Network* net,
+                                 int src, int dst, int bytes);
 
 }  // namespace declust::engine

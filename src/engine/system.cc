@@ -1,6 +1,7 @@
 #include "src/engine/system.h"
 
 #include <algorithm>
+#include <string>
 
 namespace declust::engine {
 
@@ -16,17 +17,36 @@ System::System(sim::Simulation* sim, SystemConfig config,
       metrics_(static_cast<int>(workload->classes.size())) {}
 
 Status System::Init() {
+  const bool faults_armed =
+      config_.fault_plan != nullptr && !config_.fault_plan->empty();
+  if (faults_armed &&
+      config_.fault_plan->max_node() >= config_.hw.num_processors) {
+    return Status::InvalidArgument(
+        "fault plan targets node " +
+        std::to_string(config_.fault_plan->max_node()) + " but only " +
+        std::to_string(config_.hw.num_processors) +
+        " operator nodes exist (the query-manager host cannot fail)");
+  }
+
   // One extra node hosts the query manager (the entry point of figure 7);
   // per-query scheduler processes are placed round-robin on the operator
   // nodes, as in Gamma, so coordination work scales with the machine.
   hw::HwParams machine_params = config_.hw;
   machine_params.num_processors = config_.hw.num_processors + 1;
-  machine_ = std::make_unique<hw::Machine>(sim_, machine_params,
-                                           RandomStream(config_.seed));
+  machine_ = std::make_unique<hw::Machine>(
+      sim_, machine_params, RandomStream(config_.seed), config_.fault_plan,
+      config_.seed);
 
+  // Chained declustering is required to survive a permanent disk loss; arm
+  // it whenever a fault plan is present (a single-node machine has nowhere
+  // to put a backup).
+  CatalogOptions catalog_opts = config_.catalog;
+  if (faults_armed && config_.hw.num_processors > 1) {
+    catalog_opts.chained_backups = true;
+  }
   auto catalog = SystemCatalog::Build(relation_, partitioning_,
                                       config_.attr_a, config_.attr_b,
-                                      config_.hw, config_.catalog);
+                                      config_.hw, catalog_opts);
   DECLUST_RETURN_NOT_OK(catalog.status());
   catalog_ = std::move(catalog).ValueOrDie();
 
@@ -51,6 +71,11 @@ void System::Start() {
   }
 }
 
+bool System::SiteUp(int node) {
+  sim::FaultInjector* inj = machine_->injector();
+  return inj == nullptr || inj->DiskAvailable(node, sim_->now());
+}
+
 sim::Task<> System::TerminalLoop(RandomStream rng) {
   // Closed system: each terminal has at most one query outstanding. The
   // paper uses zero think time; a mean think time can be configured.
@@ -60,12 +85,21 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
     }
     const workload::QueryInstance q = querygen_->Next();
     const sim::SimTime start = sim_->now();
-    co_await ExecuteQuery(q);
-    metrics_.RecordCompletion(q.class_index, sim_->now() - start);
+    const Status st = co_await ExecuteQuery(q);
+    if (st.ok()) {
+      metrics_.RecordCompletion(q.class_index, sim_->now() - start);
+    } else {
+      metrics_.RecordFailure(q.class_index);
+      // A failure detected at dispatch costs zero simulated time; without a
+      // pause the closed loop would spin forever at one instant.
+      if (config_.failover.failed_query_backoff_ms > 0) {
+        co_await sim_->WaitFor(config_.failover.failed_query_backoff_ms);
+      }
+    }
   }
 }
 
-sim::Task<> System::ExecuteQuery(workload::QueryInstance q) {
+sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q) {
   const Predicate pred{q.attr, q.lo, q.hi};
   const bool scan =
       workload_->classes[static_cast<size_t>(q.class_index)].sequential_scan;
@@ -73,14 +107,17 @@ sim::Task<> System::ExecuteQuery(workload::QueryInstance q) {
   // The query manager (host node) dispatches the query to its scheduler
   // process, allocated round-robin over the operator nodes.
   const int coord = next_coordinator_++ % config_.hw.num_processors;
-  co_await DeliverMessage(sim_, &machine_->network(), host_node(), coord,
-                          config_.hw.control_message_bytes);
+  QueryContext ctx;
+  ctx.deadline_ms = sim_->now() + config_.failover.query_deadline_ms;
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await DeliverMessage(sim_, &machine_->network(), host_node(), coord,
+                              config_.hw.control_message_bytes));
 
   // Scheduler: build the plan; MAGIC pays the grid-directory search.
   hw::Cpu& coord_cpu = machine_->node(coord).cpu();
   const double plan_ms = config_.hw.InstrMs(config_.costs.plan_instructions) +
                          partitioning_->PlanningCpuMs(pred);
-  co_await coord_cpu.RunMs(plan_ms);
+  DECLUST_CO_RETURN_NOT_OK(co_await coord_cpu.RunMs(plan_ms));
 
   const decluster::PlanSites sites = partitioning_->SitesFor(pred);
 
@@ -89,83 +126,172 @@ sim::Task<> System::ExecuteQuery(workload::QueryInstance q) {
   if (!sites.aux_nodes.empty()) {
     sim::JoinCounter aux_join(sim_, static_cast<int>(sites.aux_nodes.size()));
     for (int node : sites.aux_nodes) {
-      sim_->Spawn(RunAuxSite(coord, node, pred, &aux_join));
+      sim_->Spawn(RunAuxSite(coord, node, pred, &ctx, &aux_join));
     }
     co_await aux_join.Wait();
+    DECLUST_CO_RETURN_NOT_OK(ctx.status);
   }
 
   // Data phase.
   metrics_.RecordProcessorsUsed(static_cast<int>(sites.data_nodes.size()));
   if (!sites.data_nodes.empty()) {
+    ctx.serving.assign(sites.data_nodes.size(), -1);
     sim::JoinCounter join(sim_, static_cast<int>(sites.data_nodes.size()));
-    for (int node : sites.data_nodes) {
-      sim_->Spawn(RunDataSite(coord, node, pred, scan, &join));
+    for (size_t i = 0; i < sites.data_nodes.size(); ++i) {
+      sim_->Spawn(RunDataSite(coord, i, sites.data_nodes[i], pred, scan,
+                              &ctx, &join));
     }
     co_await join.Wait();
+    DECLUST_CO_RETURN_NOT_OK(ctx.status);
 
     // Commit: one control message per participant, serialized at the
-    // scheduler's interface (the linear component of CP).
-    for (int node : sites.data_nodes) {
-      co_await machine_->network().Send(coord, node,
-                                        config_.hw.control_message_bytes,
-                                        [] {});
+    // scheduler's interface (the linear component of CP). Each goes to the
+    // node that actually served the site (the primary unless failed over).
+    for (size_t i = 0; i < sites.data_nodes.size(); ++i) {
+      const int target =
+          ctx.serving[i] >= 0 ? ctx.serving[i] : sites.data_nodes[i];
+      DECLUST_CO_RETURN_NOT_OK(co_await machine_->network().Send(
+          coord, target, config_.hw.control_message_bytes,
+          [](const Status&) {}));
     }
   }
 
   // Completion notice back to the query manager / terminal.
-  co_await DeliverMessage(sim_, &machine_->network(), coord, host_node(),
-                          config_.hw.control_message_bytes);
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await DeliverMessage(sim_, &machine_->network(), coord, host_node(),
+                              config_.hw.control_message_bytes));
+  co_return Status::OK();
 }
 
-sim::Task<> System::RunDataSite(int coord, int node, Predicate pred,
-                                bool sequential_scan,
-                                sim::JoinCounter* join) {
-  // Scheduler-side work to activate this site.
-  co_await machine_->node(coord).cpu().Run(
-      config_.costs.per_site_sched_instructions);
-  co_await DeliverMessage(sim_, &machine_->network(), coord, node,
-                          config_.hw.control_message_bytes);
-
-  // The operator runs with the node's resources; results flow back to the
-  // query's scheduler.
-  const AccessPlan plan = catalog_->PlanAccess(node, pred, sequential_scan);
-  BufferPool* pool =
-      pools_.empty() ? nullptr : pools_[static_cast<size_t>(node)].get();
-  co_await RunSelect(&machine_->node(node), plan, coord, config_.costs,
-                     pool);
-
-  // Done message back to the scheduler.
-  co_await DeliverMessage(sim_, &machine_->network(), node, coord,
-                          config_.hw.control_message_bytes);
+sim::Task<> System::RunDataSite(int coord, size_t site_idx, int node,
+                                Predicate pred, bool sequential_scan,
+                                QueryContext* ctx, sim::JoinCounter* join) {
+  const Status st =
+      co_await DataSiteSelect(coord, site_idx, node, pred, sequential_scan,
+                              ctx);
+  if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
-sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
-                               sim::JoinCounter* join) {
-  co_await machine_->node(coord).cpu().Run(
-      config_.costs.per_site_sched_instructions);
-  co_await DeliverMessage(sim_, &machine_->network(), coord, node,
-                          config_.hw.control_message_bytes);
+sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
+                                         Predicate pred, bool sequential_scan,
+                                         QueryContext* ctx) {
+  // Scheduler-side work to activate this site.
+  DECLUST_CO_RETURN_NOT_OK(co_await machine_->node(coord).cpu().Run(
+      config_.costs.per_site_sched_instructions));
 
-  hw::Node& n = machine_->node(node);
-  const AccessPlan plan = catalog_->PlanAuxAccess(node, pred);
-  co_await n.cpu().Run(config_.costs.startup_instructions);
+  Status primary = Status::Unavailable("primary site down");
+  if (SiteUp(node)) {
+    primary =
+        co_await RunSiteOnce(coord, node, -1, pred, sequential_scan, ctx);
+    if (primary.ok()) {
+      ctx->serving[site_idx] = node;
+      co_return Status::OK();
+    }
+    if (primary.IsDeadlineExceeded()) co_return primary;
+  }
+
+  // Primary lost: chained declustering places the backup on the next node.
+  if (!catalog_->has_backups()) co_return primary;
+  if (sim_->now() >= ctx->deadline_ms) {
+    ++metrics_.faults().timeouts;
+    co_return Status::DeadlineExceeded("deadline passed before failover");
+  }
+  const int backup = catalog_->BackupNodeOf(node);
+  if (!SiteUp(backup)) {
+    co_return primary;  // both replicas down: the fragment is unreachable
+  }
+  ++metrics_.faults().failovers;
+  const Status st =
+      co_await RunSiteOnce(coord, backup, node, pred, sequential_scan, ctx);
+  if (st.ok()) ctx->serving[site_idx] = backup;
+  co_return st;
+}
+
+sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
+                                      Predicate pred, bool sequential_scan,
+                                      QueryContext* ctx) {
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await DeliverMessage(sim_, &machine_->network(), coord, exec_node,
+                              config_.hw.control_message_bytes));
+
+  // The operator runs with the node's resources; results flow back to the
+  // query's scheduler.
+  const AccessPlan plan =
+      backup_of < 0
+          ? catalog_->PlanAccess(exec_node, pred, sequential_scan)
+          : catalog_->PlanBackupAccess(backup_of, pred, sequential_scan);
+  BufferPool* pool =
+      pools_.empty() ? nullptr : pools_[static_cast<size_t>(exec_node)].get();
+  FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
+  DECLUST_CO_RETURN_NOT_OK(co_await RunSelect(
+      &machine_->node(exec_node), plan, coord, config_.costs, pool, &fc));
+
+  // Done message back to the scheduler.
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await DeliverMessage(sim_, &machine_->network(), exec_node, coord,
+                              config_.hw.control_message_bytes));
+  co_return Status::OK();
+}
+
+sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
+                               QueryContext* ctx, sim::JoinCounter* join) {
+  const Status st = co_await AuxSiteLookup(coord, node, pred, ctx);
+  if (!st.ok()) ctx->Merge(st);
+  join->CountDown();
+}
+
+sim::Task<Status> System::AuxSiteLookup(int coord, int node, Predicate pred,
+                                        QueryContext* ctx) {
+  DECLUST_CO_RETURN_NOT_OK(co_await machine_->node(coord).cpu().Run(
+      config_.costs.per_site_sched_instructions));
+
+  Status primary = Status::Unavailable("primary aux site down");
+  if (SiteUp(node)) {
+    primary = co_await AuxSiteOnce(coord, node, -1, pred, ctx);
+    if (primary.ok() || primary.IsDeadlineExceeded()) co_return primary;
+  }
+  if (!catalog_->has_backups()) co_return primary;
+  if (sim_->now() >= ctx->deadline_ms) {
+    ++metrics_.faults().timeouts;
+    co_return Status::DeadlineExceeded("deadline passed before aux failover");
+  }
+  const int backup = catalog_->BackupNodeOf(node);
+  if (!SiteUp(backup)) co_return primary;
+  ++metrics_.faults().failovers;
+  co_return co_await AuxSiteOnce(coord, backup, node, pred, ctx);
+}
+
+sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int backup_of,
+                                      Predicate pred, QueryContext* ctx) {
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await DeliverMessage(sim_, &machine_->network(), coord, exec_node,
+                              config_.hw.control_message_bytes));
+
+  hw::Node& n = machine_->node(exec_node);
+  const AccessPlan plan = backup_of < 0
+                              ? catalog_->PlanAuxAccess(exec_node, pred)
+                              : catalog_->PlanBackupAuxAccess(backup_of, pred);
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await n.cpu().Run(config_.costs.startup_instructions));
+  FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
   for (const auto& page : plan.index_pages) {
-    co_await n.disk().Read(page);
-    co_await n.cpu().RunDma(config_.hw.scsi_transfer_instructions);
-    co_await n.cpu().Run(config_.hw.read_page_instructions);
+    DECLUST_CO_RETURN_NOT_OK(
+        co_await AccessPage(&n, page, config_.costs, nullptr, &fc));
   }
   if (plan.tuples > 0) {
     // Extract (tuple id, processor) pairs for the qualifying entries.
-    co_await n.cpu().Run(plan.tuples * config_.costs.per_tuple_instructions /
-                         4);
+    DECLUST_CO_RETURN_NOT_OK(co_await n.cpu().Run(
+        plan.tuples * config_.costs.per_tuple_instructions / 4));
   }
   // Reply with the processor list (8 bytes per qualifying entry).
   const int bytes = static_cast<int>(
       std::min<int64_t>(config_.hw.max_packet_bytes,
                         config_.hw.control_message_bytes + 8 * plan.tuples));
-  co_await DeliverMessage(sim_, &machine_->network(), node, coord, bytes);
-  join->CountDown();
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await DeliverMessage(sim_, &machine_->network(), exec_node, coord,
+                              bytes));
+  co_return Status::OK();
 }
 
 }  // namespace declust::engine

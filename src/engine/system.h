@@ -11,9 +11,19 @@
 //            -> done message per site; commit message per site
 //   BERD queries on the secondary attribute first run the auxiliary-lookup
 //   phase on the aux nodes, then the data phase (two sequential steps).
+//
+// Fault handling (armed only when SystemConfig.fault_plan is set): chained
+// declustering keeps a backup of node n's fragment on node (n+1) mod N.
+// Page reads retry transient errors with capped exponential backoff; a site
+// whose disk/node has failed is re-executed against the backup copy; every
+// operation is bounded by a per-query deadline. Failed queries are counted
+// in Metrics::faults() and the issuing terminal backs off briefly so a
+// zero-cost failure cannot spin the closed loop.
 #pragma once
 
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/engine/catalog.h"
@@ -21,6 +31,7 @@
 #include "src/engine/operators.h"
 #include "src/engine/scheduler.h"
 #include "src/hw/node.h"
+#include "src/sim/fault.h"
 #include "src/workload/querygen.h"
 
 namespace declust::engine {
@@ -44,6 +55,12 @@ struct SystemConfig {
   /// Mean exponential think time between a terminal's queries (0 = the
   /// paper's zero-think-time closed system).
   double think_time_ms = 0.0;
+  /// Optional fault-injection plan (non-owning; must outlive the System).
+  /// When set (and non-empty), Init() arms the fault injector and builds
+  /// chained-declustering backups; events may target operator nodes only.
+  const sim::FaultPlan* fault_plan = nullptr;
+  /// Retry/backoff/deadline knobs; only consulted when faults occur.
+  FailoverPolicy failover;
 };
 
 /// \brief One simulated system instance bound to a Simulation.
@@ -63,17 +80,48 @@ class System {
 
   Metrics& metrics() { return metrics_; }
   hw::Machine& machine() { return *machine_; }
+  const SystemCatalog& catalog() const { return *catalog_; }
   /// Node id of the query-manager host (one past the operator nodes).
   /// Per-query schedulers run round-robin on the operator nodes.
   int host_node() const { return config_.hw.num_processors; }
 
  private:
+  /// Per-query failure state shared by the scheduler and its sites.
+  struct QueryContext {
+    sim::SimTime deadline_ms = std::numeric_limits<double>::infinity();
+    Status status;             // first site failure, if any
+    std::vector<int> serving;  // node that actually served data site i
+    void Merge(const Status& st) {
+      if (status.ok()) status = st;
+    }
+  };
+
   sim::Task<> TerminalLoop(RandomStream rng);
-  sim::Task<> ExecuteQuery(workload::QueryInstance q);
-  sim::Task<> RunDataSite(int coord, int node, Predicate pred,
-                          bool sequential_scan, sim::JoinCounter* join);
+  sim::Task<Status> ExecuteQuery(workload::QueryInstance q);
+
+  sim::Task<> RunDataSite(int coord, size_t site_idx, int node,
+                          Predicate pred, bool sequential_scan,
+                          QueryContext* ctx, sim::JoinCounter* join);
+  /// Runs one data site, failing over to the chained backup if the primary
+  /// is (or goes) down.
+  sim::Task<Status> DataSiteSelect(int coord, size_t site_idx, int node,
+                                   Predicate pred, bool sequential_scan,
+                                   QueryContext* ctx);
+  /// One select execution at `exec_node`; `backup_of` < 0 reads the node's
+  /// own fragment, otherwise the backup copy of `backup_of`'s fragment.
+  sim::Task<Status> RunSiteOnce(int coord, int exec_node, int backup_of,
+                                Predicate pred, bool sequential_scan,
+                                QueryContext* ctx);
+
   sim::Task<> RunAuxSite(int coord, int node, Predicate pred,
-                         sim::JoinCounter* join);
+                         QueryContext* ctx, sim::JoinCounter* join);
+  sim::Task<Status> AuxSiteLookup(int coord, int node, Predicate pred,
+                                  QueryContext* ctx);
+  sim::Task<Status> AuxSiteOnce(int coord, int exec_node, int backup_of,
+                                Predicate pred, QueryContext* ctx);
+
+  /// True when `node`'s disk (and the node itself) is currently serviceable.
+  bool SiteUp(int node);
 
   sim::Simulation* sim_;
   int next_coordinator_ = 0;

@@ -1,0 +1,102 @@
+#include "src/exp/degraded.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace declust::exp {
+
+namespace {
+
+/// Builds the fault spec for k failed disks, e.g.
+/// "disk:node0@t=0s;disk:node2@t=0s". Failures are spaced two apart when
+/// the machine is big enough: chained declustering keeps node n's backup on
+/// node n+1, so adjacent failures would lose that fragment outright, and the
+/// interesting degraded-mode question is how load redistributes while every
+/// fragment is still reachable.
+std::string FailedDiskSpec(int k, int num_processors) {
+  std::ostringstream os;
+  const int stride = 2 * k <= num_processors ? 2 : 1;
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) os << ";";
+    os << "disk:node" << i * stride << "@t=0s";
+  }
+  return os.str();
+}
+
+const SweepPoint* TopPoint(const StrategyCurve& curve) {
+  return curve.points.empty() ? nullptr : &curve.points.back();
+}
+
+const StrategyCurve* FindCurve(const SweepResult& result,
+                               const std::string& strategy) {
+  for (const auto& curve : result.curves) {
+    if (curve.strategy == strategy) return &curve;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<SweepResult>> RunDegradedSweeps(
+    const ExperimentConfig& base, int max_failed_disks,
+    const RunnerOptions& options) {
+  if (max_failed_disks < 0) {
+    return Status::InvalidArgument("max_failed_disks must be >= 0");
+  }
+  if (max_failed_disks >= base.num_processors) {
+    return Status::InvalidArgument(
+        "max_failed_disks must leave at least one operator node alive");
+  }
+  std::vector<SweepResult> results;
+  results.reserve(static_cast<size_t>(max_failed_disks) + 1);
+  for (int k = 0; k <= max_failed_disks; ++k) {
+    ExperimentConfig cfg = base;
+    cfg.faults = FailedDiskSpec(k, base.num_processors);
+    if (k > 0) {
+      cfg.name += " [" + std::to_string(k) + " failed disk" +
+                  (k > 1 ? "s]" : "]");
+    }
+    DECLUST_ASSIGN_OR_RETURN(auto sweep, RunThroughputSweep(cfg, options));
+    results.push_back(std::move(sweep));
+  }
+  return results;
+}
+
+void PrintDegradedReport(std::ostream& os,
+                         const std::vector<SweepResult>& results) {
+  if (results.empty()) return;
+  const SweepResult& baseline = results.front();
+  os << "== degraded-mode report: " << baseline.config.name << " ==\n";
+  os << baseline.config.num_processors << " processors, top MPL "
+     << (baseline.config.mpls.empty() ? 0 : baseline.config.mpls.back())
+     << "; response inflation is relative to the failure-free run\n";
+
+  for (const auto& base_curve : baseline.curves) {
+    os << base_curve.strategy << ":\n";
+    os << std::setw(14) << "failed disks" << std::setw(10) << "q/s"
+       << std::setw(12) << "resp ms" << std::setw(11) << "inflation"
+       << std::setw(11) << "imbalance" << std::setw(11) << "failovers"
+       << std::setw(10) << "timeouts" << std::setw(8) << "failed" << "\n";
+    const SweepPoint* base_top = TopPoint(base_curve);
+    for (size_t k = 0; k < results.size(); ++k) {
+      const StrategyCurve* curve =
+          FindCurve(results[k], base_curve.strategy);
+      const SweepPoint* top = curve != nullptr ? TopPoint(*curve) : nullptr;
+      if (top == nullptr) continue;
+      const double inflation =
+          base_top != nullptr && base_top->mean_response_ms > 0
+              ? top->mean_response_ms / base_top->mean_response_ms
+              : 0.0;
+      os << std::setw(14) << k << std::fixed << std::setprecision(1)
+         << std::setw(10) << top->throughput_qps << std::setw(12)
+         << top->mean_response_ms << std::setprecision(2) << std::setw(11)
+         << inflation << std::setw(11) << top->disk_imbalance
+         << std::setw(11) << top->failovers << std::setw(10)
+         << top->timeouts << std::setw(8) << top->failed_queries << "\n";
+    }
+  }
+}
+
+}  // namespace declust::exp

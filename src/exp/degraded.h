@@ -1,0 +1,34 @@
+// Degraded-mode experiment: re-runs a throughput sweep with 0, 1, ...,
+// `max_failed_disks` disks failed from simulation start and reports how each
+// declustering strategy degrades — response-time inflation relative to the
+// failure-free baseline, disk load imbalance across the survivors (chained
+// declustering doubles the backup neighbour's load), and the fault-handling
+// counters (failovers, timeouts, failed queries).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/runner.h"
+
+namespace declust::exp {
+
+/// Runs `base` once failure-free and once per k in [1, max_failed_disks]
+/// with k disks failed at t=0. Failed disks are spaced two nodes apart when
+/// 2k <= num_processors so no chained backup is lost with its primary;
+/// otherwise they are adjacent and some fragments become unreachable
+/// (queries on them count as failed). The k-th result's config carries the
+/// generated fault spec and the name suffix " [k failed disks]". Requires
+/// max_failed_disks < base.num_processors.
+Result<std::vector<SweepResult>> RunDegradedSweeps(
+    const ExperimentConfig& base, int max_failed_disks,
+    const RunnerOptions& options);
+
+/// Prints a per-strategy degradation table at the sweep's highest MPL:
+/// throughput, mean response and its inflation over the k=0 baseline,
+/// disk imbalance, and the fault counters for each failure level.
+void PrintDegradedReport(std::ostream& os,
+                         const std::vector<SweepResult>& results);
+
+}  // namespace declust::exp

@@ -34,6 +34,10 @@ struct ExperimentConfig {
   /// Independent replications per (strategy, MPL) point; throughput is
   /// averaged and a 95% confidence half-width reported when > 1.
   int repeats = 1;
+  /// Fault-injection spec (sim::FaultPlan::Parse grammar, e.g.
+  /// "disk:node3@t=5s;io:node7@t=0,rate=0.05"). Empty = failure-free run;
+  /// reports then keep their exact pre-fault format.
+  std::string faults;
 };
 
 /// \brief One measured sweep point. All metrics are averaged across the
@@ -53,6 +57,16 @@ struct SweepPoint {
   double cpu_utilization = 0;
   /// Completions in the window, averaged (rounded) across replications.
   int64_t completed = 0;
+  /// Load imbalance across the surviving disks over the window: max node
+  /// busy-time divided by mean node busy-time (1.0 = perfectly even).
+  double disk_imbalance = 0;
+  /// Fault-handling counters summed over the window, averaged (rounded)
+  /// across replications. All zero in failure-free runs.
+  int64_t io_errors = 0;
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t failovers = 0;
+  int64_t failed_queries = 0;
 };
 
 /// \brief One strategy's curve across the MPL sweep.

@@ -46,12 +46,36 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
     }
     os << "\n";
   }
+
+  // Fault-handling summary: only present when faults were injected, so the
+  // failure-free table stays byte-identical to the pre-fault format.
+  if (!result.config.faults.empty()) {
+    os << "faults: " << result.config.faults << "\n";
+    for (const auto& curve : result.curves) {
+      if (curve.points.empty()) continue;
+      const SweepPoint& p = curve.points.back();
+      os << "  " << curve.strategy << " @ MPL " << p.mpl
+         << ": imbalance " << std::fixed << std::setprecision(2)
+         << p.disk_imbalance << ", io_errors " << p.io_errors
+         << ", retries " << p.retries << ", failovers " << p.failovers
+         << ", timeouts " << p.timeouts << ", failed " << p.failed_queries
+         << "\n";
+    }
+  }
 }
 
 void PrintCsv(std::ostream& os, const SweepResult& result) {
+  // The fault columns exist only in degraded runs so that failure-free CSV
+  // output stays byte-identical to the pre-fault format.
+  const bool faulty = !result.config.faults.empty();
   os << "figure,strategy,correlation,mpl,throughput_qps,throughput_ci95,"
         "mean_response_ms,mean_response_ci95,p95_response_ms,"
-        "avg_processors,disk_utilization,cpu_utilization,completed\n";
+        "avg_processors,disk_utilization,cpu_utilization,completed";
+  if (faulty) {
+    os << ",disk_imbalance,io_errors,retries,timeouts,failovers,"
+          "failed_queries";
+  }
+  os << "\n";
   for (const auto& curve : result.curves) {
     for (const auto& p : curve.points) {
       os << result.config.name << "," << curve.strategy << ","
@@ -61,7 +85,13 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
          << p.p95_response_ms << ","
          << p.avg_processors_used << ","
          << p.disk_utilization << "," << p.cpu_utilization << ","
-         << p.completed << "\n";
+         << p.completed;
+      if (faulty) {
+        os << "," << p.disk_imbalance << "," << p.io_errors << ","
+           << p.retries << "," << p.timeouts << "," << p.failovers << ","
+           << p.failed_queries;
+      }
+      os << "\n";
     }
   }
 }

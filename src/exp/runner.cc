@@ -1,12 +1,21 @@
 #include "src/exp/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/sim/fault.h"
 
 namespace declust::exp {
 
@@ -21,6 +30,13 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
   sys_config.multiprogramming_level = mpl;
   sys_config.seed = config.seed + static_cast<uint64_t>(mpl) * 1000 +
                     static_cast<uint64_t>(rep) * 7'919;
+  // The plan lives on this frame; each replication parses it independently
+  // so the function stays a pure function of its arguments.
+  sim::FaultPlan fault_plan;
+  if (!config.faults.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(fault_plan, sim::FaultPlan::Parse(config.faults));
+    sys_config.fault_plan = &fault_plan;
+  }
   engine::System system(&sim, sys_config, &relation, &partitioning,
                         &workload);
   DECLUST_RETURN_NOT_OK(system.Init());
@@ -28,28 +44,42 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
 
   sim.RunUntil(config.warmup_ms);
   system.metrics().StartMeasurement(sim.now());
-  double disk_busy0 = 0, cpu_busy0 = 0;
+  std::vector<double> disk_busy0(static_cast<size_t>(config.num_processors));
+  double cpu_busy0 = 0;
   for (int n = 0; n < config.num_processors; ++n) {
-    disk_busy0 += system.machine().node(n).disk().busy_ms();
+    disk_busy0[static_cast<size_t>(n)] =
+        system.machine().node(n).disk().busy_ms();
     cpu_busy0 += system.machine().node(n).cpu().busy_ms();
   }
   sim.RunUntil(config.warmup_ms + config.measure_ms);
 
-  double disk_busy1 = 0, cpu_busy1 = 0;
+  double disk_busy_sum = 0, disk_busy_max = 0, cpu_busy1 = 0;
   for (int n = 0; n < config.num_processors; ++n) {
-    disk_busy1 += system.machine().node(n).disk().busy_ms();
+    const double delta = system.machine().node(n).disk().busy_ms() -
+                         disk_busy0[static_cast<size_t>(n)];
+    disk_busy_sum += delta;
+    disk_busy_max = std::max(disk_busy_max, delta);
     cpu_busy1 += system.machine().node(n).cpu().busy_ms();
   }
+  double cpu_busy_delta = cpu_busy1 - cpu_busy0;
   const double node_window = config.measure_ms * config.num_processors;
+  const double disk_busy_mean = disk_busy_sum / config.num_processors;
 
   RepMetrics m;
   m.throughput_qps = system.metrics().ThroughputQps(sim.now());
   m.mean_response_ms = system.metrics().response_ms().mean();
   m.p95_response_ms = system.metrics().ResponseQuantileMs(0.95);
   m.avg_processors_used = system.metrics().processors_used().mean();
-  m.disk_utilization = (disk_busy1 - disk_busy0) / node_window;
-  m.cpu_utilization = (cpu_busy1 - cpu_busy0) / node_window;
+  m.disk_utilization = disk_busy_sum / node_window;
+  m.cpu_utilization = cpu_busy_delta / node_window;
   m.completed = system.metrics().completed_in_window();
+  m.disk_imbalance = disk_busy_mean > 0 ? disk_busy_max / disk_busy_mean : 0;
+  const engine::FaultStats& fs = system.metrics().faults();
+  m.io_errors = fs.io_errors;
+  m.retries = fs.retries;
+  m.timeouts = fs.timeouts;
+  m.failovers = fs.failovers;
+  m.failed_queries = fs.failed_queries;
   return m;
 }
 
@@ -60,6 +90,7 @@ namespace {
 /// count).
 SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   Accumulator qps, mean_resp, p95, procs, disk, cpu, completed;
+  Accumulator imbalance, io_errors, retries, timeouts, failovers, failed;
   for (int r = 0; r < num_reps; ++r) {
     qps.Add(reps[r].throughput_qps);
     mean_resp.Add(reps[r].mean_response_ms);
@@ -68,6 +99,12 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
     disk.Add(reps[r].disk_utilization);
     cpu.Add(reps[r].cpu_utilization);
     completed.Add(static_cast<double>(reps[r].completed));
+    imbalance.Add(reps[r].disk_imbalance);
+    io_errors.Add(static_cast<double>(reps[r].io_errors));
+    retries.Add(static_cast<double>(reps[r].retries));
+    timeouts.Add(static_cast<double>(reps[r].timeouts));
+    failovers.Add(static_cast<double>(reps[r].failovers));
+    failed.Add(static_cast<double>(reps[r].failed_queries));
   }
   SweepPoint point;
   point.mpl = mpl;
@@ -80,8 +117,21 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   point.disk_utilization = disk.mean();
   point.cpu_utilization = cpu.mean();
   point.completed = std::llround(completed.mean());
+  point.disk_imbalance = imbalance.mean();
+  point.io_errors = std::llround(io_errors.mean());
+  point.retries = std::llround(retries.mean());
+  point.timeouts = std::llround(timeouts.mean());
+  point.failovers = std::llround(failovers.mean());
+  point.failed_queries = std::llround(failed.mean());
   return point;
 }
+
+/// Watchdog state per job. Atomics because workers write while the watchdog
+/// thread reads; no ordering beyond the values themselves is needed.
+struct JobWatch {
+  std::atomic<double> started_s{-1.0};
+  std::atomic<bool> done{false};
+};
 
 }  // namespace
 
@@ -122,16 +172,74 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     return (s * num_mpls + m) * static_cast<size_t>(reps) +
            static_cast<size_t>(r);
   };
-  const auto run_job = [&](size_t s, size_t m, int r) {
-    auto res = RunSweepPointRep(config, relation, *partitionings[s], wl,
-                                config.mpls[m], r);
-    const size_t idx = job_index(s, m, r);
-    if (res.ok()) {
-      rep_metrics[idx] = *res;
-    } else {
-      rep_status[idx] = res.status();
-    }
+
+  // Watchdog bookkeeping (active only when options.watchdog_warn_s > 0).
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
   };
+  std::vector<JobWatch> watches(num_jobs);
+
+  const auto run_job = [&](size_t s, size_t m, int r) {
+    const size_t idx = job_index(s, m, r);
+    watches[idx].started_s.store(elapsed_s(), std::memory_order_relaxed);
+    // A worker must never take the pool down: any escaped exception becomes
+    // a Status and surfaces through the normal sweep-order error path.
+    try {
+      auto res = RunSweepPointRep(config, relation, *partitionings[s], wl,
+                                  config.mpls[m], r);
+      if (res.ok()) {
+        rep_metrics[idx] = *res;
+      } else {
+        rep_status[idx] = res.status();
+      }
+    } catch (const std::exception& e) {
+      rep_status[idx] =
+          Status::Internal(std::string("replication threw: ") + e.what());
+    } catch (...) {
+      rep_status[idx] =
+          Status::Internal("replication threw a non-standard exception");
+    }
+    watches[idx].done.store(true, std::memory_order_relaxed);
+  };
+
+  std::mutex wd_mutex;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::thread watchdog;
+  if (options.watchdog_warn_s > 0) {
+    watchdog = std::thread([&] {
+      std::vector<bool> flagged(num_jobs, false);
+      std::unique_lock<std::mutex> lock(wd_mutex);
+      while (!wd_cv.wait_for(lock, std::chrono::seconds(1),
+                             [&] { return wd_stop; })) {
+        const double now_s = elapsed_s();
+        for (size_t i = 0; i < num_jobs; ++i) {
+          const double started =
+              watches[i].started_s.load(std::memory_order_relaxed);
+          if (flagged[i] || started < 0 ||
+              watches[i].done.load(std::memory_order_relaxed)) {
+            continue;
+          }
+          if (now_s - started > options.watchdog_warn_s) {
+            flagged[i] = true;
+            const size_t s = i / (num_mpls * static_cast<size_t>(reps));
+            const size_t rem = i % (num_mpls * static_cast<size_t>(reps));
+            const size_t m = rem / static_cast<size_t>(reps);
+            const size_t r = rem % static_cast<size_t>(reps);
+            std::fprintf(stderr,
+                         "[runner watchdog] replication (strategy=%s, "
+                         "mpl=%d, rep=%zu) still running after %.0f s — "
+                         "possibly hung\n",
+                         config.strategies[s].c_str(), config.mpls[m], r,
+                         now_s - started);
+          }
+        }
+      }
+    });
+  }
 
   if (jobs <= 1 || num_jobs <= 1) {
     for (size_t s = 0; s < num_strategies; ++s) {
@@ -149,6 +257,15 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
       }
     }
     pool.Wait();
+  }
+
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
   }
 
   // Propagate the first failure in sweep order, then assemble.

@@ -19,6 +19,10 @@ struct RunnerOptions {
   /// Worker threads. 0 resolves the DECLUST_JOBS environment variable
   /// (default 1); 1 runs inline on the calling thread.
   int jobs = 0;
+  /// Wall-clock seconds after which a still-running replication is flagged
+  /// on stderr as possibly hung (0 = watchdog disabled). The watchdog only
+  /// warns; it never kills work or changes results.
+  double watchdog_warn_s = 0;
 };
 
 /// \brief Raw measurements of one (strategy, MPL, replication) simulation.
@@ -30,6 +34,12 @@ struct RepMetrics {
   double disk_utilization = 0;
   double cpu_utilization = 0;
   int64_t completed = 0;
+  double disk_imbalance = 0;
+  int64_t io_errors = 0;
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t failovers = 0;
+  int64_t failed_queries = 0;
 };
 
 /// Runs one replication of one sweep point. Pure function of

@@ -4,11 +4,20 @@
 
 namespace declust::hw {
 
-Cpu::Cpu(sim::Simulation* sim, const HwParams* params)
-    : sim_(sim), params_(params), util_(sim) {}
+Cpu::Cpu(sim::Simulation* sim, const HwParams* params,
+         sim::FaultInjector* faults, int node_id)
+    : sim_(sim),
+      params_(params),
+      faults_(faults),
+      node_id_(node_id),
+      util_(sim) {}
 
-void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma) {
-  Job job{h, ms};
+void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma,
+                 Status* status_out) {
+  if (faults_ != nullptr) {
+    ms *= faults_->SlowFactor(node_id_, sim_->now());
+  }
+  Job job{h, ms, status_out};
   if (dma) {
     dma_queue_.push_back(job);
     if (state_ == State::kRunningNormal) {
@@ -78,18 +87,26 @@ void Cpu::StartDma(Job job) {
 void Cpu::OnNormalComplete() {
   busy_ms_ += sim_->now() - service_start_;
   ++completed_;
-  auto h = current_.handle;
+  const Job done = current_;
   state_ = State::kIdle;
-  sim_->ScheduleResume(sim_->now(), h);
+  if (faults_ != nullptr && done.status_out != nullptr &&
+      !faults_->NodeUp(node_id_, sim_->now())) {
+    *done.status_out = Status::Unavailable("node crashed during request");
+  }
+  sim_->ScheduleResume(sim_->now(), done.handle);
   Dispatch();
 }
 
 void Cpu::OnDmaComplete() {
   busy_ms_ += sim_->now() - service_start_;
   ++completed_;
-  auto h = current_.handle;
+  const Job done = current_;
   state_ = State::kIdle;
-  sim_->ScheduleResume(sim_->now(), h);
+  if (faults_ != nullptr && done.status_out != nullptr &&
+      !faults_->NodeUp(node_id_, sim_->now())) {
+    *done.status_out = Status::Unavailable("node crashed during request");
+  }
+  sim_->ScheduleResume(sim_->now(), done.handle);
   Dispatch();
 }
 

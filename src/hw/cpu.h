@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/common/status.h"
 #include "src/hw/params.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats_collector.h"
 
@@ -23,7 +25,10 @@ namespace declust::hw {
 /// with its remaining service demand intact (preempt-resume).
 class Cpu {
  public:
-  Cpu(sim::Simulation* sim, const HwParams* params);
+  /// `faults` (optional, non-owning) injects failures for `node_id`; when
+  /// null the CPU never fails and no fault checks run on the hot path.
+  Cpu(sim::Simulation* sim, const HwParams* params,
+      sim::FaultInjector* faults = nullptr, int node_id = 0);
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
@@ -32,24 +37,33 @@ class Cpu {
     Cpu* cpu;
     double ms;
     bool dma;
-    bool await_ready() const noexcept { return ms <= 0.0; }
-    void await_suspend(std::coroutine_handle<> h) {
-      cpu->Submit(h, ms, dma);
+    Status status;
+    bool await_ready() noexcept {
+      // Fail fast when the node is crashed: no service, error Status.
+      if (cpu->faults_ != nullptr &&
+          !cpu->faults_->NodeUp(cpu->node_id_, cpu->sim_->now())) {
+        status = Status::Unavailable("node down");
+        return true;
+      }
+      return ms <= 0.0;
     }
-    void await_resume() const noexcept {}
+    void await_suspend(std::coroutine_handle<> h) {
+      cpu->Submit(h, ms, dma, &status);
+    }
+    Status await_resume() noexcept { return std::move(status); }
   };
 
   /// Consumes `instructions` of CPU as a regular FCFS request.
   Awaiter Run(int64_t instructions) {
-    return Awaiter{this, params_->InstrMs(instructions), false};
+    return Awaiter{this, params_->InstrMs(instructions), false, Status::OK()};
   }
 
   /// Consumes `ms` milliseconds of CPU as a regular FCFS request.
-  Awaiter RunMs(double ms) { return Awaiter{this, ms, false}; }
+  Awaiter RunMs(double ms) { return Awaiter{this, ms, false, Status::OK()}; }
 
   /// Consumes CPU as a preempting DMA/interrupt request.
   Awaiter RunDma(int64_t instructions) {
-    return Awaiter{this, params_->InstrMs(instructions), true};
+    return Awaiter{this, params_->InstrMs(instructions), true, Status::OK()};
   }
 
   /// Busy time accumulated so far (ms).
@@ -67,13 +81,15 @@ class Cpu {
   struct Job {
     std::coroutine_handle<> handle;
     double remaining_ms;
+    Status* status_out = nullptr;
   };
 
   enum class State { kIdle, kRunningNormal, kRunningDma };
 
   bool InService() const { return state_ != State::kIdle; }
 
-  void Submit(std::coroutine_handle<> h, double ms, bool dma);
+  void Submit(std::coroutine_handle<> h, double ms, bool dma,
+              Status* status_out);
   void StartNormal(Job job);
   void StartDma(Job job);
   void OnNormalComplete();
@@ -82,6 +98,8 @@ class Cpu {
 
   sim::Simulation* sim_;
   const HwParams* params_;
+  sim::FaultInjector* faults_;
+  int node_id_;
 
   State state_ = State::kIdle;
   Job current_{};                  // request in service (normal or DMA)

@@ -6,14 +6,21 @@
 namespace declust::hw {
 
 Disk::Disk(sim::Simulation* sim, const HwParams* params, RandomStream rng,
-           DiskSchedPolicy policy)
-    : sim_(sim), params_(params), rng_(rng), policy_(policy), util_(sim) {}
+           DiskSchedPolicy policy, sim::FaultInjector* faults, int node_id)
+    : sim_(sim),
+      params_(params),
+      rng_(rng),
+      faults_(faults),
+      node_id_(node_id),
+      policy_(policy),
+      util_(sim) {}
 
-void Disk::Submit(std::coroutine_handle<> h, PageAddress page, bool write) {
+void Disk::Submit(std::coroutine_handle<> h, PageAddress page, bool write,
+                  Status* status_out) {
   if (policy_ == DiskSchedPolicy::kFcfs) {
-    fcfs_queue_.push_back(Request{h, page, write});
+    fcfs_queue_.push_back(Request{h, page, write, status_out});
   } else {
-    pending_[page.cylinder].push_back(Request{h, page, write});
+    pending_[page.cylinder].push_back(Request{h, page, write, status_out});
   }
   ++queued_;
   if (!busy_) StartNext();
@@ -57,7 +64,10 @@ void Disk::StartNext() {
 
   busy_ = true;
   util_.SetBusy(1.0);
-  const double service = ServiceTime(req);
+  double service = ServiceTime(req);
+  if (faults_ != nullptr) {
+    service *= faults_->SlowFactor(node_id_, sim_->now());
+  }
   busy_ms_ += service;
   head_cylinder_ = req.page.cylinder;
   sim_->ScheduleAfter(service, [this, req] { OnComplete(req); });
@@ -88,6 +98,15 @@ void Disk::OnComplete(Request req) {
   last_served_ = req.page;
   has_last_served_ = true;
   ++completed_;
+  if (faults_ != nullptr && req.status_out != nullptr) {
+    // A request already in flight when the disk dies still burns its service
+    // time (the controller only discovers the failure at completion).
+    if (!faults_->DiskAvailable(node_id_, sim_->now())) {
+      *req.status_out = Status::Unavailable("disk failed during request");
+    } else if (faults_->MaybeInjectIoError(node_id_, sim_->now())) {
+      *req.status_out = Status::IoError("transient disk error");
+    }
+  }
   sim_->ScheduleResume(sim_->now(), req.handle);
   StartNext();
 }

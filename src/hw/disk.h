@@ -21,7 +21,9 @@
 #include <map>
 
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/hw/params.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats_collector.h"
 
@@ -38,8 +40,11 @@ struct PageAddress {
 /// \brief One disk drive with a scheduled request queue.
 class Disk {
  public:
+  /// `faults` (optional, non-owning) injects failures for `node_id`; when
+  /// null the disk never fails and no fault checks run on the hot path.
   Disk(sim::Simulation* sim, const HwParams* params, RandomStream rng,
-       DiskSchedPolicy policy = DiskSchedPolicy::kElevator);
+       DiskSchedPolicy policy = DiskSchedPolicy::kElevator,
+       sim::FaultInjector* faults = nullptr, int node_id = 0);
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -48,18 +53,29 @@ class Disk {
     Disk* disk;
     PageAddress page;
     bool write;
-    bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) {
-      disk->Submit(h, page, write);
+    Status status;
+    bool await_ready() noexcept {
+      // Fail fast on a dead disk: no service time, error Status instead.
+      if (disk->faults_ != nullptr &&
+          !disk->faults_->DiskAvailable(disk->node_id_, disk->sim_->now())) {
+        status = Status::Unavailable("disk down");
+        return true;
+      }
+      return false;
     }
-    void await_resume() const noexcept {}
+    void await_suspend(std::coroutine_handle<> h) {
+      disk->Submit(h, page, write, &status);
+    }
+    Status await_resume() noexcept { return std::move(status); }
   };
 
   /// Reads one page; resumes the caller when the page is in the SCSI FIFO.
-  Awaiter Read(PageAddress page) { return Awaiter{this, page, false}; }
+  /// The co_await yields a Status: OK, Unavailable (disk/node down), or
+  /// IoError (injected transient error; retrying may succeed).
+  Awaiter Read(PageAddress page) { return Awaiter{this, page, false, Status::OK()}; }
 
   /// Writes one page.
-  Awaiter Write(PageAddress page) { return Awaiter{this, page, true}; }
+  Awaiter Write(PageAddress page) { return Awaiter{this, page, true, Status::OK()}; }
 
   double busy_ms() const { return busy_ms_; }
   uint64_t completed() const { return completed_; }
@@ -72,9 +88,11 @@ class Disk {
     std::coroutine_handle<> handle;
     PageAddress page;
     bool write;
+    Status* status_out = nullptr;
   };
 
-  void Submit(std::coroutine_handle<> h, PageAddress page, bool write);
+  void Submit(std::coroutine_handle<> h, PageAddress page, bool write,
+              Status* status_out);
   void StartNext();
   void OnComplete(Request req);
   double ServiceTime(const Request& req);
@@ -82,6 +100,8 @@ class Disk {
   sim::Simulation* sim_;
   const HwParams* params_;
   RandomStream rng_;
+  sim::FaultInjector* faults_;
+  int node_id_;
 
   DiskSchedPolicy policy_;
   // Elevator state: pending requests grouped by cylinder, current head

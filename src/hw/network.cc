@@ -37,8 +37,9 @@ void NetworkInterface::StartNext() {
   });
 }
 
-Network::Network(sim::Simulation* sim, const HwParams* params, int nodes)
-    : sim_(sim), params_(params) {
+Network::Network(sim::Simulation* sim, const HwParams* params, int nodes,
+                 sim::FaultInjector* faults)
+    : sim_(sim), params_(params), faults_(faults) {
   interfaces_.reserve(static_cast<size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
     interfaces_.push_back(std::make_unique<NetworkInterface>(sim, params));
@@ -61,9 +62,21 @@ void Network::TransferAwaiter::await_suspend(std::coroutine_handle<> h) {
         // start the receiver-side occupancy.
         sim->ScheduleResume(sim->now(), h);
         if (local) {
-          fn();
+          fn(Status::OK());
+        } else if (n->faults_ != nullptr &&
+                   !n->faults_->NodeUp(to, sim->now())) {
+          // Receiver died while the packet was on the wire; the delivery
+          // callback still runs (with an error) so waiters never hang.
+          fn(Status::Unavailable("receiver node down"));
         } else {
-          n->interface(to).OccupyThen(b, std::move(fn));
+          n->interface(to).OccupyThen(b, [n, sim, to,
+                                          fn = std::move(fn)]() mutable {
+            if (n->faults_ != nullptr && !n->faults_->NodeUp(to, sim->now())) {
+              fn(Status::Unavailable("receiver node down"));
+            } else {
+              fn(Status::OK());
+            }
+          });
         }
       });
 }

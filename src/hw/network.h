@@ -16,7 +16,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/hw/params.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats_collector.h"
 
@@ -77,7 +79,10 @@ class NetworkInterface {
 /// a convenience transfer primitive.
 class Network {
  public:
-  Network(sim::Simulation* sim, const HwParams* params, int nodes);
+  /// `faults` (optional, non-owning) makes transfers to/from crashed nodes
+  /// fail; when null the network is lossless.
+  Network(sim::Simulation* sim, const HwParams* params, int nodes,
+          sim::FaultInjector* faults = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -89,22 +94,44 @@ class Network {
   /// receiver interface, then runs `deliver`. The caller resumes as soon as
   /// the packet leaves the sender (asynchronous delivery).
   ///
-  /// Usage: `co_await net.Send(src, dst, bytes, [&]{ mailbox.Send(msg); });`
+  /// The awaited value is the send-side Status: Unavailable when either end
+  /// is down at submit time (fail fast, `deliver` is never invoked), OK
+  /// otherwise. Once the send side succeeds, `deliver` is invoked exactly
+  /// once with the delivery Status — Unavailable if the receiver crashed
+  /// while the packet was in flight, OK on delivery.
+  ///
+  /// Usage:
+  ///   co_await net.Send(src, dst, bytes,
+  ///                     [&](const Status& st) { if (st.ok()) ...; });
   struct [[nodiscard]] TransferAwaiter {
     Network* net;
     int src;
     int dst;
     int bytes;
-    std::function<void()> deliver;
+    std::function<void(const Status&)> deliver;
+    Status status;
 
-    bool await_ready() const noexcept { return false; }
+    bool await_ready() noexcept {
+      if (net->faults_ != nullptr) {
+        const double now = net->sim_->now();
+        if (!net->faults_->NodeUp(src, now)) {
+          status = Status::Unavailable("sender node down");
+          return true;
+        }
+        if (!net->faults_->NodeUp(dst, now)) {
+          status = Status::Unavailable("receiver node down");
+          return true;
+        }
+      }
+      return false;
+    }
     void await_suspend(std::coroutine_handle<> h);
-    void await_resume() const noexcept {}
+    Status await_resume() noexcept { return std::move(status); }
   };
 
   TransferAwaiter Send(int src, int dst, int bytes,
-                       std::function<void()> deliver) {
-    return TransferAwaiter{this, src, dst, bytes, std::move(deliver)};
+                       std::function<void(const Status&)> deliver) {
+    return TransferAwaiter{this, src, dst, bytes, std::move(deliver), Status::OK()};
   }
 
   uint64_t packets_sent() const { return packets_sent_; }
@@ -114,6 +141,7 @@ class Network {
 
   sim::Simulation* sim_;
   const HwParams* params_;
+  sim::FaultInjector* faults_;
   std::vector<std::unique_ptr<NetworkInterface>> interfaces_;
   uint64_t packets_sent_ = 0;
 };

@@ -3,37 +3,49 @@
 namespace declust::hw {
 
 Node::Node(sim::Simulation* sim, const HwParams* params, Network* network,
-           int node_id, RandomStream rng)
+           int node_id, RandomStream rng, sim::FaultInjector* faults)
     : sim_(sim),
       params_(params),
       network_(network),
       id_(node_id),
-      cpu_(sim, params),
-      disk_(sim, params, rng, params->disk_policy) {}
+      cpu_(sim, params, faults, node_id),
+      disk_(sim, params, rng, params->disk_policy, faults, node_id) {}
 
-sim::Task<> Node::ReadPage(PageAddress page) {
-  co_await disk_.Read(page);
+sim::Task<Status> Node::ReadPage(PageAddress page) {
+  DECLUST_CO_RETURN_NOT_OK(co_await disk_.Read(page));
   // Move the page from the SCSI FIFO into memory: preempting DMA work.
-  co_await cpu_.RunDma(params_->scsi_transfer_instructions);
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await cpu_.RunDma(params_->scsi_transfer_instructions));
   // Process the page (predicate evaluation setup etc.).
-  co_await cpu_.Run(params_->read_page_instructions);
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await cpu_.Run(params_->read_page_instructions));
+  co_return Status::OK();
 }
 
-sim::Task<> Node::WritePage(PageAddress page) {
-  co_await cpu_.Run(params_->write_page_instructions);
-  co_await cpu_.RunDma(params_->scsi_transfer_instructions);
-  co_await disk_.Write(page);
+sim::Task<Status> Node::WritePage(PageAddress page) {
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await cpu_.Run(params_->write_page_instructions));
+  DECLUST_CO_RETURN_NOT_OK(
+      co_await cpu_.RunDma(params_->scsi_transfer_instructions));
+  DECLUST_CO_RETURN_NOT_OK(co_await disk_.Write(page));
+  co_return Status::OK();
 }
 
 Machine::Machine(sim::Simulation* sim, const HwParams& params,
-                 RandomStream rng)
+                 RandomStream rng, const sim::FaultPlan* fault_plan,
+                 uint64_t fault_seed)
     : sim_(sim),
       params_(params),
-      network_(sim, &params_, params.num_processors) {
+      injector_(fault_plan != nullptr && !fault_plan->empty()
+                    ? std::make_unique<sim::FaultInjector>(
+                          fault_plan, fault_seed, params_.num_processors)
+                    : nullptr),
+      network_(sim, &params_, params_.num_processors, injector_.get()) {
   nodes_.reserve(static_cast<size_t>(params_.num_processors));
   for (int i = 0; i < params_.num_processors; ++i) {
     nodes_.push_back(std::make_unique<Node>(
-        sim, &params_, &network_, i, rng.Fork(static_cast<uint64_t>(i) + 1)));
+        sim, &params_, &network_, i, rng.Fork(static_cast<uint64_t>(i) + 1),
+        injector_.get()));
   }
 }
 

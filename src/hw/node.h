@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/hw/cpu.h"
 #include "src/hw/disk.h"
 #include "src/hw/network.h"
+#include "src/sim/fault.h"
+#include "src/sim/task.h"
 
 namespace declust::hw {
 
@@ -16,21 +19,22 @@ namespace declust::hw {
 class Node {
  public:
   Node(sim::Simulation* sim, const HwParams* params, Network* network,
-       int node_id, RandomStream rng);
+       int node_id, RandomStream rng, sim::FaultInjector* faults = nullptr);
 
   int id() const { return id_; }
   const HwParams& params() const { return *params_; }
+  sim::Simulation* simulation() { return sim_; }
   Cpu& cpu() { return cpu_; }
   Disk& disk() { return disk_; }
   NetworkInterface& net() { return network_->interface(id_); }
   Network& network() { return *network_; }
 
   /// \brief Convenience: full page read including the DMA copy to memory and
-  /// the per-page CPU processing cost.
-  sim::Task<> ReadPage(PageAddress page);
+  /// the per-page CPU processing cost. Fails with the first hardware error.
+  sim::Task<Status> ReadPage(PageAddress page);
 
   /// \brief Full page write (CPU cost then disk write).
-  sim::Task<> WritePage(PageAddress page);
+  sim::Task<Status> WritePage(PageAddress page);
 
  private:
   sim::Simulation* sim_;
@@ -44,17 +48,25 @@ class Node {
 /// \brief The whole machine: P nodes plus the interconnect.
 class Machine {
  public:
-  Machine(sim::Simulation* sim, const HwParams& params, RandomStream rng);
+  /// `fault_plan` (optional, non-owning, must outlive the Machine) arms the
+  /// fault injector; `fault_seed` drives the transient-error streams. With a
+  /// null or empty plan no injector is created and the hardware models skip
+  /// all fault checks.
+  Machine(sim::Simulation* sim, const HwParams& params, RandomStream rng,
+          const sim::FaultPlan* fault_plan = nullptr, uint64_t fault_seed = 0);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Node& node(int i) { return *nodes_[i]; }
   Network& network() { return network_; }
   const HwParams& params() const { return params_; }
   sim::Simulation* simulation() { return sim_; }
+  /// Null when no fault plan is armed.
+  sim::FaultInjector* injector() { return injector_.get(); }
 
  private:
   sim::Simulation* sim_;
   HwParams params_;
+  std::unique_ptr<sim::FaultInjector> injector_;  // before network_/nodes_
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };

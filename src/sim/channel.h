@@ -27,6 +27,10 @@ class Channel {
   /// Deposits a message; wakes the oldest waiting receiver, if any.
   void Send(T msg) {
     messages_.push_back(std::move(msg));
+    // During Simulation teardown (draining) resumes are no-ops and waiting
+    // frames are being destroyed; popping a receiver here would pair a
+    // reservation with a wake-up that never happens. Leave state untouched.
+    if (sim_->draining()) return;
     if (!receivers_.empty()) {
       auto h = receivers_.front();
       receivers_.pop_front();

@@ -21,6 +21,13 @@ class Trigger {
   void Fire() {
     if (fired_) return;
     fired_ = true;
+    // During Simulation teardown the waiters' frames are being destroyed and
+    // resumes are no-ops; don't touch them (e.g. a JoinCounter counted down
+    // from a destructor mid-teardown).
+    if (sim_->draining()) {
+      waiters_.clear();
+      return;
+    }
     for (auto h : waiters_) sim_->ScheduleResume(sim_->now(), h);
     waiters_.clear();
   }

@@ -1,0 +1,108 @@
+#include "src/exp/degraded.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/exp/report.h"
+
+namespace declust::exp {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.name = "degraded";
+  cfg.cardinality = 4'000;
+  cfg.num_processors = 8;
+  cfg.mpls = {4, 8};
+  cfg.warmup_ms = 250;
+  cfg.measure_ms = 2'000;
+  return cfg;
+}
+
+TEST(DegradedTest, RunsAllFailureLevelsWithGeneratedSpecs) {
+  auto sweeps = RunDegradedSweeps(SmallConfig(), 2, RunnerOptions{.jobs = 4});
+  ASSERT_TRUE(sweeps.ok()) << sweeps.status().ToString();
+  ASSERT_EQ(sweeps->size(), 3u);
+  EXPECT_TRUE((*sweeps)[0].config.faults.empty());
+  EXPECT_EQ((*sweeps)[1].config.faults, "disk:node0@t=0s");
+  // 2*k <= 8: failures are spaced so no chained backup dies with its primary.
+  EXPECT_EQ((*sweeps)[2].config.faults, "disk:node0@t=0s;disk:node2@t=0s");
+  EXPECT_NE((*sweeps)[1].config.name.find("[1 failed disk]"),
+            std::string::npos);
+  EXPECT_NE((*sweeps)[2].config.name.find("[2 failed disks]"),
+            std::string::npos);
+}
+
+TEST(DegradedTest, FailuresDegradeButDoNotBreakTheSweep) {
+  auto sweeps = RunDegradedSweeps(SmallConfig(), 1, RunnerOptions{.jobs = 4});
+  ASSERT_TRUE(sweeps.ok()) << sweeps.status().ToString();
+  const SweepResult& ok = (*sweeps)[0];
+  const SweepResult& degraded = (*sweeps)[1];
+  ASSERT_EQ(ok.curves.size(), degraded.curves.size());
+  for (size_t c = 0; c < ok.curves.size(); ++c) {
+    const SweepPoint& base = ok.curves[c].points.back();
+    const SweepPoint& hurt = degraded.curves[c].points.back();
+    // The failure-free run has pristine counters.
+    EXPECT_EQ(base.failovers, 0);
+    EXPECT_EQ(base.failed_queries, 0);
+    // With one disk down from t=0 every strategy must fail over, keep
+    // completing queries, and show a worse disk balance.
+    EXPECT_GT(hurt.failovers, 0) << ok.curves[c].strategy;
+    EXPECT_EQ(hurt.failed_queries, 0) << ok.curves[c].strategy;
+    EXPECT_GT(hurt.completed, 0) << ok.curves[c].strategy;
+    EXPECT_GT(hurt.disk_imbalance, base.disk_imbalance)
+        << ok.curves[c].strategy;
+  }
+}
+
+TEST(DegradedTest, FaultySweepIsDeterministicAcrossJobCounts) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.faults = "disk:node1@t=1s;io:node3@t=0,rate=0.02";
+  auto serial = RunThroughputSweep(cfg, RunnerOptions{.jobs = 1});
+  auto parallel = RunThroughputSweep(cfg, RunnerOptions{.jobs = 4});
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  std::ostringstream a, b;
+  PrintCsv(a, *serial);
+  PrintCsv(b, *parallel);
+  EXPECT_EQ(a.str(), b.str());
+  // The fault columns are present (and only then).
+  EXPECT_NE(a.str().find("failed_queries"), std::string::npos);
+  ExperimentConfig clean = SmallConfig();
+  auto plain = RunThroughputSweep(clean, RunnerOptions{.jobs = 1});
+  ASSERT_TRUE(plain.ok());
+  std::ostringstream c;
+  PrintCsv(c, *plain);
+  EXPECT_EQ(c.str().find("failed_queries"), std::string::npos);
+}
+
+TEST(DegradedTest, RejectsFailingEveryDisk) {
+  EXPECT_TRUE(RunDegradedSweeps(SmallConfig(), 8, RunnerOptions{.jobs = 1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DegradedTest, ReportMentionsEveryStrategyAndLevel) {
+  auto sweeps = RunDegradedSweeps(SmallConfig(), 1, RunnerOptions{.jobs = 4});
+  ASSERT_TRUE(sweeps.ok());
+  std::ostringstream os;
+  PrintDegradedReport(os, *sweeps);
+  const std::string report = os.str();
+  for (const char* strategy : {"range", "BERD", "MAGIC"}) {
+    EXPECT_NE(report.find(strategy), std::string::npos) << strategy;
+  }
+  EXPECT_NE(report.find("inflation"), std::string::npos);
+  EXPECT_NE(report.find("failovers"), std::string::npos);
+}
+
+TEST(DegradedTest, BadFaultSpecSurfacesAsParseError) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.faults = "disk:node1@when=later";
+  auto result = RunThroughputSweep(cfg, RunnerOptions{.jobs = 1});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace declust::exp

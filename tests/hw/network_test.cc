@@ -26,9 +26,12 @@ struct Fixture {
 
 sim::Task<> SendOne(Fixture* f, int src, int dst, int bytes,
                     std::vector<double>* delivered, double* sender_freed) {
-  co_await f->net.Send(src, dst, bytes, [f, delivered] {
-    delivered->push_back(f->s.now());
-  });
+  const Status sent =
+      co_await f->net.Send(src, dst, bytes, [f, delivered](const Status& st) {
+        ASSERT_TRUE(st.ok());
+        delivered->push_back(f->s.now());
+      });
+  EXPECT_TRUE(sent.ok());
   *sender_freed = f->s.now();
 }
 
@@ -100,7 +103,7 @@ TEST(MachineTest, ConstructsAllNodes) {
 }
 
 sim::Task<> DoReadPage(Machine* m, int node, double* done_at) {
-  co_await m->node(node).ReadPage({3, 1});
+  EXPECT_TRUE((co_await m->node(node).ReadPage({3, 1})).ok());
   *done_at = m->simulation()->now();
 }
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "src/sim/trigger.h"
 
 namespace declust::sim {
 namespace {
@@ -95,6 +98,78 @@ TEST(ChannelTest, SizeAndWaitingAccessors) {
   ch.Send("y");
   EXPECT_EQ(ch.size(), 2u);
   EXPECT_EQ(ch.waiting_receivers(), 0u);
+}
+
+// --- Teardown regressions -------------------------------------------------
+//
+// Destroying a Simulation destroys every still-suspended frame, which runs
+// the destructors of frame locals. Such a destructor may Send on a channel
+// or fire a trigger whose peers' frames are being destroyed too; the
+// primitives must leave their state untouched instead of pairing a message
+// reservation (or a wake-up) with a resume that never happens.
+
+struct SendOnDestroy {
+  Channel<int>* ch;
+  ~SendOnDestroy() { ch->Send(42); }
+};
+
+Task<> HoldSendGuard(Simulation* s, Channel<int>* ch) {
+  SendOnDestroy guard{ch};
+  co_await s->WaitFor(1e18);  // suspended until teardown destroys the frame
+}
+
+Task<> ReceiveOne(Channel<int>* ch, int* got) {
+  *got = co_await ch->Receive();
+}
+
+TEST(ChannelTest, SendFromDestructorDuringTeardownIsSafe) {
+  std::optional<Simulation> s;
+  s.emplace();
+  Channel<int> ch(&*s);
+  int got = -1;
+  s->Spawn(ReceiveOne(&ch, &got));
+  s->Spawn(HoldSendGuard(&*s, &ch));
+  s->RunUntil(10);
+  ASSERT_EQ(ch.waiting_receivers(), 1u);
+  // ~Simulation destroys HoldSendGuard's frame; its guard Sends while the
+  // receiver's frame is being destroyed. The channel must only queue the
+  // message — waking (or reserving for) a dying receiver is use-after-free.
+  s.reset();
+  EXPECT_EQ(got, -1);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+struct FireOnDestroy {
+  Trigger* t;
+  ~FireOnDestroy() { t->Fire(); }
+};
+
+Task<> HoldFireGuard(Simulation* s, Trigger* t) {
+  FireOnDestroy guard{t};
+  co_await s->WaitFor(1e18);
+}
+
+Task<> AwaitTrigger(Trigger* t, bool* woke) {
+  co_await t->Wait();
+  *woke = true;
+}
+
+TEST(TriggerTest, FireFromDestructorDuringTeardownIsSafe) {
+  std::optional<Simulation> s;
+  s.emplace();
+  Trigger t(&*s);
+  bool woke = false;
+  s->Spawn(AwaitTrigger(&t, &woke));
+  s->Spawn(HoldFireGuard(&*s, &t));
+  s->RunUntil(10);
+  ASSERT_EQ(t.waiting(), 1u);
+  // ~Simulation destroys HoldFireGuard's frame; its guard Fires while the
+  // waiter's frame is being destroyed. The trigger must latch and forget the
+  // dying waiters without scheduling them.
+  s.reset();
+  EXPECT_FALSE(woke);
+  EXPECT_TRUE(t.fired());
+  EXPECT_EQ(t.waiting(), 0u);
 }
 
 }  // namespace

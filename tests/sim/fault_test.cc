@@ -1,0 +1,163 @@
+#include "src/sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace declust::sim {
+namespace {
+
+TEST(FaultPlanTest, EmptySpecIsEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->max_node(), -1);
+}
+
+TEST(FaultPlanTest, ParsesDiskFailure) {
+  auto plan = FaultPlan::Parse("disk:node3@t=5s");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->events().size(), 1u);
+  const FaultEvent& e = plan->events()[0];
+  EXPECT_EQ(e.kind, FaultKind::kDiskFail);
+  EXPECT_EQ(e.node, 3);
+  EXPECT_DOUBLE_EQ(e.at_ms, 5'000.0);
+  EXPECT_EQ(plan->max_node(), 3);
+}
+
+TEST(FaultPlanTest, ParsesAllKindsAndUnits) {
+  auto plan = FaultPlan::Parse(
+      "io:node7@t=0,rate=0.25,for=500ms;"
+      "slow:node1@t=2s,x=3.5,for=1s;"
+      "crash:node2@t=1500ms,down=2s;"
+      "disk:node0@t=10s");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->events().size(), 4u);
+  // Events are sorted by (at_ms, node).
+  EXPECT_EQ(plan->events()[0].kind, FaultKind::kIoError);
+  EXPECT_DOUBLE_EQ(plan->events()[0].rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan->events()[0].duration_ms, 500.0);
+  EXPECT_EQ(plan->events()[1].kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(plan->events()[1].at_ms, 1'500.0);
+  EXPECT_DOUBLE_EQ(plan->events()[1].duration_ms, 2'000.0);
+  EXPECT_EQ(plan->events()[2].kind, FaultKind::kSlowNode);
+  EXPECT_DOUBLE_EQ(plan->events()[2].factor, 3.5);
+  EXPECT_EQ(plan->events()[3].kind, FaultKind::kDiskFail);
+  EXPECT_EQ(plan->max_node(), 7);
+}
+
+TEST(FaultPlanTest, OmittedDurationIsForever) {
+  auto plan = FaultPlan::Parse("io:node0@t=1s,rate=0.1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(std::isinf(plan->events()[0].duration_ms));
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("disk:3@t=5s").ok());          // no "node"
+  EXPECT_FALSE(FaultPlan::Parse("disk:node3").ok());           // no time
+  EXPECT_FALSE(FaultPlan::Parse("melt:node3@t=5s").ok());      // bad kind
+  EXPECT_FALSE(FaultPlan::Parse("disk:node3@t=abc").ok());     // bad number
+  EXPECT_FALSE(FaultPlan::Parse("io:node0@t=0,rate=2").ok());  // rate > 1
+  EXPECT_FALSE(FaultPlan::Parse("disk:node-1@t=0").ok());      // bad node
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const char* spec = "io:node7@t=0,rate=0.25,for=500ms;disk:node3@t=5s";
+  auto plan = FaultPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok());
+  auto replan = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(replan.ok());
+  EXPECT_EQ(plan->ToString(), replan->ToString());
+  ASSERT_EQ(replan->events().size(), 2u);
+  EXPECT_DOUBLE_EQ(replan->events()[1].at_ms, 5'000.0);
+}
+
+TEST(FaultInjectorTest, DiskFailureIsPermanent) {
+  auto plan = FaultPlan::Parse("disk:node2@t=5s");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(&*plan, 7, 4);
+  EXPECT_TRUE(inj.DiskAvailable(2, 4'999.0));
+  EXPECT_FALSE(inj.DiskAvailable(2, 5'000.0));
+  EXPECT_FALSE(inj.DiskAvailable(2, 1e9));
+  EXPECT_TRUE(inj.DiskAvailable(1, 1e9));  // other nodes unaffected
+}
+
+TEST(FaultInjectorTest, CrashWindowRecovers) {
+  auto plan = FaultPlan::Parse("crash:node1@t=2s,down=3s");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(&*plan, 7, 4);
+  EXPECT_TRUE(inj.NodeUp(1, 1'999.0));
+  EXPECT_FALSE(inj.NodeUp(1, 2'000.0));
+  EXPECT_FALSE(inj.NodeUp(1, 4'999.0));
+  EXPECT_TRUE(inj.NodeUp(1, 5'000.0));
+  // A crashed node's disk is also unreachable.
+  EXPECT_FALSE(inj.DiskAvailable(1, 3'000.0));
+}
+
+TEST(FaultInjectorTest, SlowFactorOnlyInsideWindow) {
+  auto plan = FaultPlan::Parse("slow:node0@t=1s,x=4,for=2s");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(&*plan, 7, 2);
+  EXPECT_DOUBLE_EQ(inj.SlowFactor(0, 500.0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.SlowFactor(0, 1'500.0), 4.0);
+  EXPECT_DOUBLE_EQ(inj.SlowFactor(0, 3'500.0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.SlowFactor(1, 1'500.0), 1.0);
+}
+
+TEST(FaultInjectorTest, NoRngConsumedOutsideIoWindows) {
+  // Outside every io window MaybeInjectIoError must not consume the node
+  // RNG: two injectors, one fed extra out-of-window calls, produce the same
+  // in-window decision sequence.
+  auto plan = FaultPlan::Parse("io:node0@t=10s,rate=0.5,for=10s");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(&*plan, 42, 1);
+  FaultInjector b(&*plan, 42, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.MaybeInjectIoError(0, 1'000.0 + i));  // before the window
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double t = 10'000.0 + i * 10.0;
+    EXPECT_EQ(a.MaybeInjectIoError(0, t), b.MaybeInjectIoError(0, t));
+  }
+  EXPECT_EQ(a.io_errors_injected(), b.io_errors_injected());
+  EXPECT_GT(a.io_errors_injected(), 0);
+}
+
+TEST(FaultInjectorTest, TraceIsDeterministicPerSeed) {
+  auto plan = FaultPlan::Parse("io:node0@t=0,rate=0.3;io:node1@t=0,rate=0.3");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(&*plan, 9, 2);
+  FaultInjector b(&*plan, 9, 2);
+  FaultInjector c(&*plan, 10, 2);
+  int c_errors = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = i * 5.0;
+    const int node = i % 2;
+    EXPECT_EQ(a.MaybeInjectIoError(node, t), b.MaybeInjectIoError(node, t));
+    c_errors += c.MaybeInjectIoError(node, t) ? 1 : 0;
+  }
+  ASSERT_EQ(a.io_error_trace().size(), b.io_error_trace().size());
+  for (size_t i = 0; i < a.io_error_trace().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.io_error_trace()[i].at_ms, b.io_error_trace()[i].at_ms);
+    EXPECT_EQ(a.io_error_trace()[i].node, b.io_error_trace()[i].node);
+  }
+  // A different seed gives a different draw sequence (with overwhelming
+  // probability over 500 Bernoulli(0.3) draws).
+  EXPECT_NE(c_errors, a.io_errors_injected());
+}
+
+TEST(FaultInjectorTest, PerNodeStreamsAreIndependent) {
+  // Node 1's decisions must not depend on how often node 0 is queried.
+  auto plan = FaultPlan::Parse("io:node0@t=0,rate=0.5;io:node1@t=0,rate=0.5");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(&*plan, 21, 2);
+  FaultInjector b(&*plan, 21, 2);
+  for (int i = 0; i < 50; ++i) (void)a.MaybeInjectIoError(0, i * 1.0);
+  for (int i = 0; i < 40; ++i) {
+    const double t = 100.0 + i;
+    EXPECT_EQ(a.MaybeInjectIoError(1, t), b.MaybeInjectIoError(1, t));
+  }
+}
+
+}  // namespace
+}  // namespace declust::sim

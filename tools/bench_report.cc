@@ -162,6 +162,22 @@ int main(int argc, char** argv) {
   const double serial_s = Seconds(s0, s1);
   const double parallel_s = Seconds(p0, p1);
 
+  // Fault-path overhead guard: same sweep with the injector armed by a plan
+  // whose only event fires far beyond the simulated horizon. This times the
+  // cost of the compiled-in fault hooks (availability checks, slow-factor
+  // multiplies, fault columns) when nothing ever fails.
+  std::cerr << "timing quick fig08 sweep with an inactive fault plan...\n";
+  exp::ExperimentConfig fault_cfg = cfg;
+  fault_cfg.faults = "disk:node0@t=3600s";
+  const auto f0 = Clock::now();
+  auto armed = exp::RunThroughputSweep(fault_cfg, exp::RunnerOptions{1});
+  const auto f1 = Clock::now();
+  if (!armed.ok()) {
+    std::cerr << "armed sweep failed: " << armed.status().ToString() << "\n";
+    return 1;
+  }
+  const double armed_s = Seconds(f0, f1);
+
   std::ostringstream a, b;
   exp::PrintCsv(a, *serial);
   exp::PrintCsv(b, *parallel);
@@ -188,6 +204,13 @@ int main(int argc, char** argv) {
       << ",\n"
       << "    \"identical_results\": " << (identical ? "true" : "false")
       << "\n"
+      << "  },\n"
+      << "  \"fault_path\": {\n"
+      << "    \"config\": \"fig08 quick, inactive plan disk:node0@t=3600s\",\n"
+      << "    \"no_plan_wall_s\": " << serial_s << ",\n"
+      << "    \"inactive_plan_wall_s\": " << armed_s << ",\n"
+      << "    \"armed_overhead_ratio\": "
+      << (serial_s > 0 ? armed_s / serial_s : 0) << "\n"
       << "  },\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"

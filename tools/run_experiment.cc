@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "src/exp/degraded.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
+#include "src/sim/fault.h"
 
 namespace {
 
@@ -33,6 +35,15 @@ void Usage() {
       "  --jobs N           worker threads for the sweep (default: the\n"
       "                     DECLUST_JOBS env var, else 1); results are\n"
       "                     byte-identical for any N\n"
+      "  --faults SPEC      fault-injection plan, ';'-separated events:\n"
+      "                     disk:nodeN@t=T | io:nodeN@t=T,rate=R,for=D |\n"
+      "                     slow:nodeN@t=T,x=F,for=D | crash:nodeN@t=T,down=D\n"
+      "                     (times take an s or ms suffix, default seconds)\n"
+      "  --degraded K       run the degraded-mode sweep with 0..K disks\n"
+      "                     failed at t=0 and print the degradation report\n"
+      "                     (ignores --faults)\n"
+      "  --watchdog S       warn on stderr when a replication runs longer\n"
+      "                     than S wall-clock seconds (default off)\n"
       "  --csv              emit CSV instead of the table\n";
 }
 
@@ -74,10 +85,23 @@ int main(int argc, char** argv) {
   cfg.name = "low-low";
   exp::RunnerOptions runner_opts;
   bool csv = false;
+  int degraded = -1;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg.resize(eq);
+      }
+    }
     const auto next = [&]() -> const char* {
+      if (has_inline_value) return inline_value.c_str();
       if (i + 1 >= argc) {
         Usage();
         std::exit(2);
@@ -114,6 +138,24 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--jobs") {
       runner_opts.jobs = std::atoi(next());
+    } else if (arg == "--faults") {
+      cfg.faults = next();
+      // Validate the spec up front so a typo fails fast with a parse
+      // error instead of surfacing mid-sweep.
+      auto plan = sim::FaultPlan::Parse(cfg.faults);
+      if (!plan.ok()) {
+        std::cerr << "bad --faults spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
+    } else if (arg == "--degraded") {
+      degraded = std::atoi(next());
+      if (degraded < 0) {
+        std::cerr << "--degraded needs a non-negative disk count\n";
+        return 2;
+      }
+    } else if (arg == "--watchdog") {
+      runner_opts.watchdog_warn_s = std::atof(next());
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -124,6 +166,22 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  if (degraded >= 0) {
+    cfg.faults.clear();
+    auto sweeps = exp::RunDegradedSweeps(cfg, degraded, runner_opts);
+    if (!sweeps.ok()) {
+      std::cerr << "experiment failed: " << sweeps.status().ToString()
+                << "\n";
+      return 1;
+    }
+    if (csv) {
+      for (const auto& sweep : *sweeps) exp::PrintCsv(std::cout, sweep);
+    } else {
+      exp::PrintDegradedReport(std::cout, *sweeps);
+    }
+    return 0;
   }
 
   auto result = exp::RunThroughputSweep(cfg, runner_opts);
