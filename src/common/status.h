@@ -112,4 +112,15 @@ class [[nodiscard]] Status {
     if (!_st.ok()) co_return _st;                 \
   } while (0)
 
+/// Like DECLUST_CO_RETURN_NOT_OK, but runs `cleanup` (any expression, e.g.
+/// a lambda call closing a trace span) before propagating the error.
+#define DECLUST_CO_RETURN_NOT_OK_CLEANUP(expr, cleanup) \
+  do {                                                  \
+    ::declust::Status _st = (expr);                     \
+    if (!_st.ok()) {                                    \
+      cleanup;                                          \
+      co_return _st;                                    \
+    }                                                   \
+  } while (0)
+
 }  // namespace declust

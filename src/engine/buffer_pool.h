@@ -25,28 +25,40 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Accesses a page: returns true on a hit (page promoted to MRU); on a
-  /// miss the page is inserted, evicting the LRU page if full.
-  bool Touch(hw::PageAddress page) {
+  /// Probes for a page: returns true on a hit (page promoted to MRU),
+  /// false on a miss and counts it. A miss does NOT insert the page — the
+  /// caller inserts with Insert() only once the disk read actually
+  /// succeeded, so a fault-injected read failure can never leave a
+  /// never-read page looking resident (phantom hit on retry).
+  bool Lookup(hw::PageAddress page) {
     if (capacity_ <= 0) {
       ++misses_;
       return false;
     }
-    const Key key = KeyOf(page);
-    const auto it = index_.find(key);
+    const auto it = index_.find(KeyOf(page));
     if (it != index_.end()) {
       ++hits_;
       lru_.splice(lru_.begin(), lru_, it->second);
       return true;
     }
     ++misses_;
+    return false;
+  }
+
+  /// Makes a page resident at the MRU position, evicting the LRU page if
+  /// full. No-op if the page is already resident or the pool is disabled.
+  /// Does not count as a hit or miss — call it after a successful read
+  /// whose Lookup already missed.
+  void Insert(hw::PageAddress page) {
+    if (capacity_ <= 0) return;
+    const Key key = KeyOf(page);
+    if (index_.contains(key)) return;
     lru_.push_front(key);
     index_[key] = lru_.begin();
     if (static_cast<int64_t>(lru_.size()) > capacity_) {
       index_.erase(lru_.back());
       lru_.pop_back();
     }
-    return false;
   }
 
   int64_t capacity() const { return capacity_; }

@@ -1,10 +1,18 @@
 // Run metrics: throughput and response times with a warm-up window.
+//
+// Storage lives in an obs::MetricsRegistry (named counters / gauges /
+// distributions / histograms) so every run can be exported as one JSON
+// document (--metrics-json); the Metrics class caches pointers into the
+// registry and keeps the original accessor API, so hot-path recording is
+// still a couple of pointer dereferences.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/probe.h"
 #include "src/sim/simulation.h"
 
 namespace declust::engine {
@@ -24,53 +32,101 @@ struct FaultStats {
 class Metrics {
  public:
   explicit Metrics(int num_classes)
-      : class_response_ms_(static_cast<size_t>(num_classes)),
-        response_hist_(0.0, 10'000.0, 500) {}
+      : completed_total_(&registry_.Counter("query.completed_total")),
+        completed_in_window_(&registry_.Counter("query.completed")),
+        response_ms_(&registry_.Distribution("query.response_ms")),
+        processors_used_(&registry_.Distribution("query.processors_used")),
+        response_hist_(&registry_.Hist("query.response_ms", 0.0, 10'000.0,
+                                       500)),
+        comp_sched_queue_(&registry_.Distribution("component.sched_queue_ms")),
+        comp_cpu_service_(&registry_.Distribution("component.cpu_service_ms")),
+        comp_dma_(&registry_.Distribution("component.dma_ms")),
+        comp_disk_wait_(&registry_.Distribution("component.disk_wait_ms")),
+        comp_disk_service_(
+            &registry_.Distribution("component.disk_service_ms")),
+        comp_network_(&registry_.Distribution("component.network_ms")),
+        comp_backoff_(&registry_.Distribution("component.backoff_ms")),
+        comp_unattributed_(
+            &registry_.Distribution("component.unattributed_ms")) {
+    class_response_ms_.reserve(static_cast<size_t>(num_classes));
+    for (int c = 0; c < num_classes; ++c) {
+      class_response_ms_.push_back(&registry_.Distribution(
+          "query.response_ms.class" + std::to_string(c)));
+    }
+  }
+
+  // The registry holds pointers into itself via the caches above.
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
 
   /// Begins the measurement window (call after warm-up).
   void StartMeasurement(sim::SimTime now) {
     window_start_ = now;
     measuring_ = true;
-    completed_in_window_ = 0;
-    response_ms_.Reset();
-    response_hist_ = Histogram(0.0, 10'000.0, 500);
-    for (auto& acc : class_response_ms_) acc.Reset();
+    *completed_in_window_ = 0;
+    response_ms_->Reset();
+    *response_hist_ = Histogram(0.0, 10'000.0, 500);
+    for (Accumulator* acc : class_response_ms_) acc->Reset();
+    comp_sched_queue_->Reset();
+    comp_cpu_service_->Reset();
+    comp_dma_->Reset();
+    comp_disk_wait_->Reset();
+    comp_disk_service_->Reset();
+    comp_network_->Reset();
+    comp_backoff_->Reset();
+    comp_unattributed_->Reset();
     faults_ = FaultStats{};
   }
 
-  void RecordCompletion(int class_index, double response_ms) {
-    ++completed_total_;
+  /// Records one finished query. When `costs` is set (observability on) the
+  /// per-component distributions are fed too; unattributed_ms is whatever
+  /// part of the response the probes could not tile (intra-query
+  /// parallelism makes it negative: the buckets then overlap).
+  void RecordCompletion(int class_index, double response_ms,
+                        const obs::QueryCosts* costs = nullptr) {
+    ++*completed_total_;
     if (!measuring_) return;
-    ++completed_in_window_;
-    response_ms_.Add(response_ms);
-    response_hist_.Add(response_ms);
-    class_response_ms_[static_cast<size_t>(class_index)].Add(response_ms);
+    ++*completed_in_window_;
+    response_ms_->Add(response_ms);
+    response_hist_->Add(response_ms);
+    class_response_ms_[static_cast<size_t>(class_index)]->Add(response_ms);
+    if (costs != nullptr) {
+      has_components_ = true;
+      comp_sched_queue_->Add(costs->sched_queue_ms);
+      comp_cpu_service_->Add(costs->cpu_service_ms);
+      comp_dma_->Add(costs->dma_ms);
+      comp_disk_wait_->Add(costs->disk_wait_ms);
+      comp_disk_service_->Add(costs->disk_service_ms);
+      comp_network_->Add(costs->network_ms);
+      comp_backoff_->Add(costs->backoff_ms);
+      comp_unattributed_->Add(response_ms - costs->Total());
+    }
   }
 
   /// Response-time quantile over the window (interpolated, 20 ms buckets).
   double ResponseQuantileMs(double q) const {
-    return response_hist_.Quantile(q);
+    return response_hist_->Quantile(q);
   }
 
   /// Queries per second over the measurement window ending at `now`.
   double ThroughputQps(sim::SimTime now) const {
     const double window_ms = now - window_start_;
     if (window_ms <= 0) return 0.0;
-    return static_cast<double>(completed_in_window_) / (window_ms / 1000.0);
+    return static_cast<double>(*completed_in_window_) / (window_ms / 1000.0);
   }
 
-  int64_t completed_total() const { return completed_total_; }
-  int64_t completed_in_window() const { return completed_in_window_; }
-  const Accumulator& response_ms() const { return response_ms_; }
+  int64_t completed_total() const { return *completed_total_; }
+  int64_t completed_in_window() const { return *completed_in_window_; }
+  const Accumulator& response_ms() const { return *response_ms_; }
   const Accumulator& class_response_ms(int c) const {
-    return class_response_ms_[static_cast<size_t>(c)];
+    return *class_response_ms_[static_cast<size_t>(c)];
   }
 
   /// Mean number of data processors used per query (over the window).
   void RecordProcessorsUsed(int n) {
-    if (measuring_) processors_used_.Add(n);
+    if (measuring_) processors_used_->Add(n);
   }
-  const Accumulator& processors_used() const { return processors_used_; }
+  const Accumulator& processors_used() const { return *processors_used_; }
 
   /// A query gave up with a non-OK status (deadline, dead coordinator, ...).
   void RecordFailure(int /*class_index*/) { ++faults_.failed_queries; }
@@ -79,15 +135,55 @@ class Metrics {
   FaultStats& faults() { return faults_; }
   const FaultStats& faults() const { return faults_; }
 
+  /// True once at least one completion carried a component breakdown.
+  bool has_components() const { return has_components_; }
+  const Accumulator& component_sched_queue() const {
+    return *comp_sched_queue_;
+  }
+  const Accumulator& component_cpu_service() const {
+    return *comp_cpu_service_;
+  }
+  const Accumulator& component_dma() const { return *comp_dma_; }
+  const Accumulator& component_disk_wait() const { return *comp_disk_wait_; }
+  const Accumulator& component_disk_service() const {
+    return *comp_disk_service_;
+  }
+  const Accumulator& component_network() const { return *comp_network_; }
+  const Accumulator& component_backoff() const { return *comp_backoff_; }
+  const Accumulator& component_unattributed() const {
+    return *comp_unattributed_;
+  }
+
+  /// The backing registry, with the fault counters mirrored in (they are
+  /// kept in a plain struct on the hot path). Use for --metrics-json.
+  const obs::MetricsRegistry& registry() {
+    registry_.Counter("faults.io_errors") = faults_.io_errors;
+    registry_.Counter("faults.retries") = faults_.retries;
+    registry_.Counter("faults.timeouts") = faults_.timeouts;
+    registry_.Counter("faults.failovers") = faults_.failovers;
+    registry_.Counter("faults.failed_queries") = faults_.failed_queries;
+    return registry_;
+  }
+
  private:
+  obs::MetricsRegistry registry_;
   bool measuring_ = false;
+  bool has_components_ = false;
   sim::SimTime window_start_ = 0;
-  int64_t completed_total_ = 0;
-  int64_t completed_in_window_ = 0;
-  Accumulator response_ms_;
-  Accumulator processors_used_;
-  std::vector<Accumulator> class_response_ms_;
-  Histogram response_hist_;
+  int64_t* completed_total_;
+  int64_t* completed_in_window_;
+  Accumulator* response_ms_;
+  Accumulator* processors_used_;
+  std::vector<Accumulator*> class_response_ms_;
+  Histogram* response_hist_;
+  Accumulator* comp_sched_queue_;
+  Accumulator* comp_cpu_service_;
+  Accumulator* comp_dma_;
+  Accumulator* comp_disk_wait_;
+  Accumulator* comp_disk_service_;
+  Accumulator* comp_network_;
+  Accumulator* comp_backoff_;
+  Accumulator* comp_unattributed_;
   FaultStats faults_;
 };
 

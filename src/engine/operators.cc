@@ -6,20 +6,44 @@ namespace declust::engine {
 
 sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
                              const OperatorCosts& costs, BufferPool* pool,
-                             FaultContext* fc) {
+                             FaultContext* fc, obs::QueryObs* qo) {
   const hw::HwParams& hw = node->params();
+  sim::Simulation* simu = node->simulation();
+
+  // "page" groups this access's hardware spans; restore the previous parent
+  // on every exit (explicitly — co_return paths below all go through
+  // `finish`).
+  const uint64_t saved_span = qo != nullptr ? qo->span : 0;
+  const uint64_t page_span = obs::BeginSpan(qo, "page", obs::Component::kQuery,
+                                            node->id(), simu->now());
+  if (page_span != 0) qo->span = page_span;
+  const auto finish = [&] {
+    if (page_span != 0) {
+      obs::EndSpan(qo, page_span, simu->now());
+      qo->span = saved_span;
+    }
+  };
+
   if (pool != nullptr) {
-    DECLUST_CO_RETURN_NOT_OK(
-        co_await node->cpu().Run(costs.buffer_lookup_instructions));
-    if (pool->Touch(page)) {
+    obs::ArmHw(qo);
+    const Status st =
+        co_await node->cpu().Run(costs.buffer_lookup_instructions);
+    if (!st.ok()) {
+      finish();
+      co_return st;
+    }
+    if (pool->Lookup(page)) {
       // Buffer hit: the page is already in memory; only the processing
       // cost applies.
-      DECLUST_CO_RETURN_NOT_OK(
-          co_await node->cpu().Run(hw.read_page_instructions));
-      co_return Status::OK();
+      obs::ArmHw(qo);
+      const Status hit_st =
+          co_await node->cpu().Run(hw.read_page_instructions);
+      finish();
+      co_return hit_st;
     }
   }
   for (int attempt = 0;; ++attempt) {
+    obs::ArmHw(qo);
     const Status st = co_await node->disk().Read(page);
     if (st.ok()) break;
     const bool transient = st.IsIoError();
@@ -28,6 +52,7 @@ sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
     }
     if (!transient || fc == nullptr || fc->policy == nullptr ||
         attempt >= fc->policy->max_read_retries) {
+      finish();
       co_return st;
     }
     // Deterministic capped exponential backoff (no randomness: the retry
@@ -35,57 +60,99 @@ sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
     const double backoff =
         std::min(fc->policy->backoff_cap_ms,
                  fc->policy->backoff_base_ms * static_cast<double>(1 << attempt));
-    if (node->simulation()->now() + backoff >= fc->deadline_ms) {
+    if (simu->now() + backoff >= fc->deadline_ms) {
       if (fc->stats != nullptr) ++fc->stats->timeouts;
+      finish();
       co_return Status::DeadlineExceeded("read retries exhausted the deadline");
     }
     if (fc->stats != nullptr) ++fc->stats->retries;
-    co_await node->simulation()->WaitFor(backoff);
+    const double backoff_begin = simu->now();
+    co_await simu->WaitFor(backoff);
+    if (qo != nullptr) {
+      qo->costs.backoff_ms += simu->now() - backoff_begin;
+      obs::CompleteSpan(qo, "backoff", obs::Component::kBackoff, node->id(),
+                        backoff_begin, simu->now());
+    }
   }
-  DECLUST_CO_RETURN_NOT_OK(
-      co_await node->cpu().RunDma(hw.scsi_transfer_instructions));
-  DECLUST_CO_RETURN_NOT_OK(
-      co_await node->cpu().Run(hw.read_page_instructions));
+  // The read succeeded; only now may the page become resident. Inserting
+  // before the read (the old Touch semantics) left fault-aborted reads
+  // cached, so the retry saw a phantom hit and skipped the disk entirely.
+  if (pool != nullptr) pool->Insert(page);
+  obs::ArmHw(qo);
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+      co_await node->cpu().RunDma(hw.scsi_transfer_instructions), finish());
+  obs::ArmHw(qo);
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+      co_await node->cpu().Run(hw.read_page_instructions), finish());
+  finish();
   co_return Status::OK();
 }
 
 sim::Task<Status> RunSelect(hw::Node* node, const AccessPlan& plan,
                             int result_node, const OperatorCosts& costs,
-                            BufferPool* pool, FaultContext* fc) {
+                            BufferPool* pool, FaultContext* fc,
+                            obs::QueryObs* qo) {
   const hw::HwParams& hw = node->params();
+  sim::Simulation* simu = node->simulation();
+
+  const uint64_t saved_span = qo != nullptr ? qo->span : 0;
+  const uint64_t select_span = obs::BeginSpan(
+      qo, "select", obs::Component::kQuery, node->id(), simu->now());
+  if (select_span != 0) qo->span = select_span;
+  const auto finish = [&] {
+    if (select_span != 0) {
+      obs::EndSpan(qo, select_span, simu->now());
+      qo->span = saved_span;
+    }
+  };
 
   // Operator activation.
-  DECLUST_CO_RETURN_NOT_OK(
-      co_await node->cpu().Run(costs.startup_instructions));
+  obs::ArmHw(qo);
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+      co_await node->cpu().Run(costs.startup_instructions), finish());
 
   // Index pages: random reads, each moved from the SCSI FIFO by a DMA
   // interrupt, then processed.
   for (const auto& page : plan.index_pages) {
-    DECLUST_CO_RETURN_NOT_OK(co_await AccessPage(node, page, costs, pool, fc));
+    DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+        co_await AccessPage(node, page, costs, pool, fc, qo), finish());
   }
 
   // Data pages (sequential for clustered scans, random otherwise: the
   // addresses in the plan and the elevator model decide).
   for (const auto& page : plan.data_pages) {
-    DECLUST_CO_RETURN_NOT_OK(co_await AccessPage(node, page, costs, pool, fc));
+    DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+        co_await AccessPage(node, page, costs, pool, fc, qo), finish());
   }
 
   // Predicate evaluation / tuple extraction.
   if (plan.tuples > 0) {
-    DECLUST_CO_RETURN_NOT_OK(
-        co_await node->cpu().Run(plan.tuples * costs.per_tuple_instructions));
+    obs::ArmHw(qo);
+    DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+        co_await node->cpu().Run(plan.tuples * costs.per_tuple_instructions),
+        finish());
   }
 
-  // Ship qualifying tuples to the result site in tuple packets.
+  // Ship qualifying tuples to the result site in tuple packets. The await
+  // covers this interface's occupancy (delivery at the receiver proceeds
+  // asynchronously), so the elapsed time is this query's network share.
   int64_t remaining = plan.tuples;
   while (remaining > 0) {
     const int64_t batch =
         std::min<int64_t>(remaining, hw.tuples_per_packet);
     const int bytes = static_cast<int>(batch * hw.tuple_size_bytes);
-    DECLUST_CO_RETURN_NOT_OK(co_await node->network().Send(
-        node->id(), result_node, bytes, [](const Status&) {}));
+    const double send_begin = simu->now();
+    obs::ArmHw(qo);
+    DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+        co_await node->network().Send(node->id(), result_node, bytes,
+                                      [](const Status&) {}),
+        finish());
+    if (qo != nullptr) {
+      qo->costs.network_ms += simu->now() - send_begin;
+    }
     remaining -= batch;
   }
+  finish();
   co_return Status::OK();
 }
 

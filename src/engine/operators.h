@@ -11,6 +11,7 @@
 #include "src/engine/catalog.h"
 #include "src/engine/metrics.h"
 #include "src/hw/node.h"
+#include "src/obs/probe.h"
 #include "src/sim/task.h"
 
 namespace declust::engine {
@@ -57,9 +58,16 @@ struct FaultContext {
 /// interrupt, and the per-page CPU processing. Transient IoErrors are
 /// retried with capped exponential backoff per `fc` (when given); a retry
 /// that would land past the deadline returns DeadlineExceeded.
+///
+/// The page only becomes pool-resident after the disk read succeeded, so a
+/// failed read can never produce a phantom hit on retry.
+///
+/// `qo` (optional) attributes the page's hardware time to its query and
+/// opens a "page" span around the access.
 sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
                              const OperatorCosts& costs, BufferPool* pool,
-                             FaultContext* fc = nullptr);
+                             FaultContext* fc = nullptr,
+                             obs::QueryObs* qo = nullptr);
 
 /// \brief Executes a select at `node`: reads the plan's index pages and data
 /// pages through the disk (DMA + page CPU per page), spends per-tuple CPU,
@@ -71,6 +79,7 @@ sim::Task<Status> AccessPage(hw::Node* node, hw::PageAddress page,
 sim::Task<Status> RunSelect(hw::Node* node, const AccessPlan& plan,
                             int result_node, const OperatorCosts& costs,
                             BufferPool* pool = nullptr,
-                            FaultContext* fc = nullptr);
+                            FaultContext* fc = nullptr,
+                            obs::QueryObs* qo = nullptr);
 
 }  // namespace declust::engine

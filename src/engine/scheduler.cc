@@ -3,9 +3,12 @@
 namespace declust::engine {
 
 sim::Task<Status> DeliverMessage(sim::Simulation* sim, hw::Network* net,
-                                 int src, int dst, int bytes) {
+                                 int src, int dst, int bytes,
+                                 obs::QueryObs* qo) {
   sim::Trigger delivered(sim);
   Status delivery;
+  const double begin_ms = sim->now();
+  obs::ArmHw(qo);
   const Status sent =
       co_await net->Send(src, dst, bytes, [&](const Status& st) {
         delivery = st;
@@ -15,6 +18,10 @@ sim::Task<Status> DeliverMessage(sim::Simulation* sim, hw::Network* net,
   // will never run; don't wait for it.
   DECLUST_CO_RETURN_NOT_OK(sent);
   co_await delivered.Wait();
+  // The caller was blocked begin..now on this delivery: network time.
+  if (qo != nullptr && qo->probe != nullptr) {
+    qo->costs.network_ms += sim->now() - begin_ms;
+  }
   co_return delivery;
 }
 

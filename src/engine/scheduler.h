@@ -3,6 +3,7 @@
 
 #include "src/common/status.h"
 #include "src/hw/network.h"
+#include "src/obs/probe.h"
 #include "src/sim/task.h"
 #include "src/sim/trigger.h"
 
@@ -14,7 +15,10 @@ namespace declust::engine {
 ///
 /// Returns Unavailable when either endpoint is down (fail fast at submit, or
 /// the receiver crashed while the packet was in flight); OK on delivery.
+/// `qo` (nullable) attributes the elapsed wall time to the query's network
+/// bucket and parents the interface spans.
 sim::Task<Status> DeliverMessage(sim::Simulation* sim, hw::Network* net,
-                                 int src, int dst, int bytes);
+                                 int src, int dst, int bytes,
+                                 obs::QueryObs* qo = nullptr);
 
 }  // namespace declust::engine

@@ -35,7 +35,7 @@ Status System::Init() {
   machine_params.num_processors = config_.hw.num_processors + 1;
   machine_ = std::make_unique<hw::Machine>(
       sim_, machine_params, RandomStream(config_.seed), config_.fault_plan,
-      config_.seed);
+      config_.seed, config_.probe);
 
   // Chained declustering is required to survive a permanent disk loss; arm
   // it whenever a fault plan is present (a single-node machine has nowhere
@@ -85,9 +85,18 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
     }
     const workload::QueryInstance q = querygen_->Next();
     const sim::SimTime start = sim_->now();
-    const Status st = co_await ExecuteQuery(q);
+    // One QueryObs per query; it is a cheap stack struct even when the
+    // probe is off (qo.probe == nullptr => every obs helper is a no-op).
+    obs::QueryObs qo{config_.probe, next_query_id_++, 0, {}};
+    qo.span = obs::BeginSpan(&qo, "query", obs::Component::kQuery,
+                             host_node(), start);
+    const Status st = co_await ExecuteQuery(q, &qo);
+    obs::EndSpan(&qo, qo.span, sim_->now());
+    if (config_.probe != nullptr) config_.probe->ClearContext();
     if (st.ok()) {
-      metrics_.RecordCompletion(q.class_index, sim_->now() - start);
+      metrics_.RecordCompletion(q.class_index, sim_->now() - start,
+                                config_.probe != nullptr ? &qo.costs
+                                                         : nullptr);
     } else {
       metrics_.RecordFailure(q.class_index);
       // A failure detected at dispatch costs zero simulated time; without a
@@ -99,7 +108,8 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
   }
 }
 
-sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q) {
+sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
+                                       obs::QueryObs* qo) {
   const Predicate pred{q.attr, q.lo, q.hi};
   const bool scan =
       workload_->classes[static_cast<size_t>(q.class_index)].sequential_scan;
@@ -111,13 +121,18 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q) {
   ctx.deadline_ms = sim_->now() + config_.failover.query_deadline_ms;
   DECLUST_CO_RETURN_NOT_OK(
       co_await DeliverMessage(sim_, &machine_->network(), host_node(), coord,
-                              config_.hw.control_message_bytes));
+                              config_.hw.control_message_bytes, qo));
 
   // Scheduler: build the plan; MAGIC pays the grid-directory search.
   hw::Cpu& coord_cpu = machine_->node(coord).cpu();
   const double plan_ms = config_.hw.InstrMs(config_.costs.plan_instructions) +
                          partitioning_->PlanningCpuMs(pred);
-  DECLUST_CO_RETURN_NOT_OK(co_await coord_cpu.RunMs(plan_ms));
+  const uint64_t plan_span = obs::BeginSpan(
+      qo, "plan", obs::Component::kScheduler, coord, sim_->now());
+  obs::ArmHw(qo, plan_span);
+  const Status plan_st = co_await coord_cpu.RunMs(plan_ms);
+  obs::EndSpan(qo, plan_span, sim_->now());
+  DECLUST_CO_RETURN_NOT_OK(plan_st);
 
   const decluster::PlanSites sites = partitioning_->SitesFor(pred);
 
@@ -126,7 +141,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q) {
   if (!sites.aux_nodes.empty()) {
     sim::JoinCounter aux_join(sim_, static_cast<int>(sites.aux_nodes.size()));
     for (int node : sites.aux_nodes) {
-      sim_->Spawn(RunAuxSite(coord, node, pred, &ctx, &aux_join));
+      sim_->Spawn(RunAuxSite(coord, node, pred, &ctx, &aux_join, qo));
     }
     co_await aux_join.Wait();
     DECLUST_CO_RETURN_NOT_OK(ctx.status);
@@ -139,7 +154,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q) {
     sim::JoinCounter join(sim_, static_cast<int>(sites.data_nodes.size()));
     for (size_t i = 0; i < sites.data_nodes.size(); ++i) {
       sim_->Spawn(RunDataSite(coord, i, sites.data_nodes[i], pred, scan,
-                              &ctx, &join));
+                              &ctx, &join, qo));
     }
     co_await join.Wait();
     DECLUST_CO_RETURN_NOT_OK(ctx.status);
@@ -150,40 +165,63 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q) {
     for (size_t i = 0; i < sites.data_nodes.size(); ++i) {
       const int target =
           ctx.serving[i] >= 0 ? ctx.serving[i] : sites.data_nodes[i];
-      DECLUST_CO_RETURN_NOT_OK(co_await machine_->network().Send(
+      const double commit_begin = sim_->now();
+      obs::ArmHw(qo);
+      const Status commit_st = co_await machine_->network().Send(
           coord, target, config_.hw.control_message_bytes,
-          [](const Status&) {}));
+          [](const Status&) {});
+      if (qo != nullptr && qo->probe != nullptr) {
+        qo->costs.network_ms += sim_->now() - commit_begin;
+      }
+      DECLUST_CO_RETURN_NOT_OK(commit_st);
     }
   }
 
   // Completion notice back to the query manager / terminal.
   DECLUST_CO_RETURN_NOT_OK(
       co_await DeliverMessage(sim_, &machine_->network(), coord, host_node(),
-                              config_.hw.control_message_bytes));
+                              config_.hw.control_message_bytes, qo));
   co_return Status::OK();
 }
 
 sim::Task<> System::RunDataSite(int coord, size_t site_idx, int node,
                                 Predicate pred, bool sequential_scan,
-                                QueryContext* ctx, sim::JoinCounter* join) {
+                                QueryContext* ctx, sim::JoinCounter* join,
+                                obs::QueryObs* qo) {
+  // Give the site its own handle: sibling sites interleave, so they must
+  // not share the parent's span cursor or probe-arming window. Costs are
+  // merged before the join fires (while the parent still awaits it).
+  obs::QueryObs site_obs;
+  obs::QueryObs* sq = nullptr;
+  if (qo != nullptr && qo->probe != nullptr) {
+    site_obs = obs::QueryObs{qo->probe, qo->query, qo->span, {}};
+    sq = &site_obs;
+  }
   const Status st =
       co_await DataSiteSelect(coord, site_idx, node, pred, sequential_scan,
-                              ctx);
+                              ctx, sq);
+  if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
 sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
                                          Predicate pred, bool sequential_scan,
-                                         QueryContext* ctx) {
+                                         QueryContext* ctx,
+                                         obs::QueryObs* qo) {
   // Scheduler-side work to activate this site.
-  DECLUST_CO_RETURN_NOT_OK(co_await machine_->node(coord).cpu().Run(
-      config_.costs.per_site_sched_instructions));
+  const uint64_t activate_span = obs::BeginSpan(
+      qo, "site.activate", obs::Component::kScheduler, coord, sim_->now());
+  obs::ArmHw(qo, activate_span);
+  const Status activate_st = co_await machine_->node(coord).cpu().Run(
+      config_.costs.per_site_sched_instructions);
+  obs::EndSpan(qo, activate_span, sim_->now());
+  DECLUST_CO_RETURN_NOT_OK(activate_st);
 
   Status primary = Status::Unavailable("primary site down");
   if (SiteUp(node)) {
-    primary =
-        co_await RunSiteOnce(coord, node, -1, pred, sequential_scan, ctx);
+    primary = co_await RunSiteOnce(coord, node, -1, pred, sequential_scan,
+                                   ctx, qo);
     if (primary.ok()) {
       ctx->serving[site_idx] = node;
       co_return Status::OK();
@@ -202,18 +240,28 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
     co_return primary;  // both replicas down: the fragment is unreachable
   }
   ++metrics_.faults().failovers;
-  const Status st =
-      co_await RunSiteOnce(coord, backup, node, pred, sequential_scan, ctx);
+  const Status st = co_await RunSiteOnce(coord, backup, node, pred,
+                                         sequential_scan, ctx, qo);
   if (st.ok()) ctx->serving[site_idx] = backup;
   co_return st;
 }
 
 sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
                                       Predicate pred, bool sequential_scan,
-                                      QueryContext* ctx) {
-  DECLUST_CO_RETURN_NOT_OK(
+                                      QueryContext* ctx, obs::QueryObs* qo) {
+  const uint64_t site_span = obs::BeginSpan(
+      qo, "site", obs::Component::kQuery, exec_node, sim_->now());
+  const uint64_t saved_span = qo != nullptr ? qo->span : 0;
+  if (site_span != 0) qo->span = site_span;
+  const auto finish = [&] {
+    if (qo != nullptr) qo->span = saved_span;
+    obs::EndSpan(qo, site_span, sim_->now());
+  };
+
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), coord, exec_node,
-                              config_.hw.control_message_bytes));
+                              config_.hw.control_message_bytes, qo),
+      finish());
 
   // The operator runs with the node's resources; results flow back to the
   // query's scheduler.
@@ -224,31 +272,49 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
   BufferPool* pool =
       pools_.empty() ? nullptr : pools_[static_cast<size_t>(exec_node)].get();
   FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
-  DECLUST_CO_RETURN_NOT_OK(co_await RunSelect(
-      &machine_->node(exec_node), plan, coord, config_.costs, pool, &fc));
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+      co_await RunSelect(&machine_->node(exec_node), plan, coord,
+                         config_.costs, pool, &fc, qo),
+      finish());
 
   // Done message back to the scheduler.
-  DECLUST_CO_RETURN_NOT_OK(
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), exec_node, coord,
-                              config_.hw.control_message_bytes));
+                              config_.hw.control_message_bytes, qo),
+      finish());
+  finish();
   co_return Status::OK();
 }
 
 sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
-                               QueryContext* ctx, sim::JoinCounter* join) {
-  const Status st = co_await AuxSiteLookup(coord, node, pred, ctx);
+                               QueryContext* ctx, sim::JoinCounter* join,
+                               obs::QueryObs* qo) {
+  obs::QueryObs site_obs;
+  obs::QueryObs* sq = nullptr;
+  if (qo != nullptr && qo->probe != nullptr) {
+    site_obs = obs::QueryObs{qo->probe, qo->query, qo->span, {}};
+    sq = &site_obs;
+  }
+  const Status st = co_await AuxSiteLookup(coord, node, pred, ctx, sq);
+  if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
 sim::Task<Status> System::AuxSiteLookup(int coord, int node, Predicate pred,
-                                        QueryContext* ctx) {
-  DECLUST_CO_RETURN_NOT_OK(co_await machine_->node(coord).cpu().Run(
-      config_.costs.per_site_sched_instructions));
+                                        QueryContext* ctx,
+                                        obs::QueryObs* qo) {
+  const uint64_t activate_span = obs::BeginSpan(
+      qo, "site.activate", obs::Component::kScheduler, coord, sim_->now());
+  obs::ArmHw(qo, activate_span);
+  const Status activate_st = co_await machine_->node(coord).cpu().Run(
+      config_.costs.per_site_sched_instructions);
+  obs::EndSpan(qo, activate_span, sim_->now());
+  DECLUST_CO_RETURN_NOT_OK(activate_st);
 
   Status primary = Status::Unavailable("primary aux site down");
   if (SiteUp(node)) {
-    primary = co_await AuxSiteOnce(coord, node, -1, pred, ctx);
+    primary = co_await AuxSiteOnce(coord, node, -1, pred, ctx, qo);
     if (primary.ok() || primary.IsDeadlineExceeded()) co_return primary;
   }
   if (!catalog_->has_backups()) co_return primary;
@@ -259,38 +325,56 @@ sim::Task<Status> System::AuxSiteLookup(int coord, int node, Predicate pred,
   const int backup = catalog_->BackupNodeOf(node);
   if (!SiteUp(backup)) co_return primary;
   ++metrics_.faults().failovers;
-  co_return co_await AuxSiteOnce(coord, backup, node, pred, ctx);
+  co_return co_await AuxSiteOnce(coord, backup, node, pred, ctx, qo);
 }
 
 sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int backup_of,
-                                      Predicate pred, QueryContext* ctx) {
-  DECLUST_CO_RETURN_NOT_OK(
+                                      Predicate pred, QueryContext* ctx,
+                                      obs::QueryObs* qo) {
+  const uint64_t site_span = obs::BeginSpan(
+      qo, "site.aux", obs::Component::kQuery, exec_node, sim_->now());
+  const uint64_t saved_span = qo != nullptr ? qo->span : 0;
+  if (site_span != 0) qo->span = site_span;
+  const auto finish = [&] {
+    if (qo != nullptr) qo->span = saved_span;
+    obs::EndSpan(qo, site_span, sim_->now());
+  };
+
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), coord, exec_node,
-                              config_.hw.control_message_bytes));
+                              config_.hw.control_message_bytes, qo),
+      finish());
 
   hw::Node& n = machine_->node(exec_node);
   const AccessPlan plan = backup_of < 0
                               ? catalog_->PlanAuxAccess(exec_node, pred)
                               : catalog_->PlanBackupAuxAccess(backup_of, pred);
-  DECLUST_CO_RETURN_NOT_OK(
-      co_await n.cpu().Run(config_.costs.startup_instructions));
+  obs::ArmHw(qo);
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+      co_await n.cpu().Run(config_.costs.startup_instructions), finish());
   FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
   for (const auto& page : plan.index_pages) {
-    DECLUST_CO_RETURN_NOT_OK(
-        co_await AccessPage(&n, page, config_.costs, nullptr, &fc));
+    DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+        co_await AccessPage(&n, page, config_.costs, nullptr, &fc, qo),
+        finish());
   }
   if (plan.tuples > 0) {
     // Extract (tuple id, processor) pairs for the qualifying entries.
-    DECLUST_CO_RETURN_NOT_OK(co_await n.cpu().Run(
-        plan.tuples * config_.costs.per_tuple_instructions / 4));
+    obs::ArmHw(qo);
+    DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+        co_await n.cpu().Run(
+            plan.tuples * config_.costs.per_tuple_instructions / 4),
+        finish());
   }
   // Reply with the processor list (8 bytes per qualifying entry).
   const int bytes = static_cast<int>(
       std::min<int64_t>(config_.hw.max_packet_bytes,
                         config_.hw.control_message_bytes + 8 * plan.tuples));
-  DECLUST_CO_RETURN_NOT_OK(
+  DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), exec_node, coord,
-                              bytes));
+                              bytes),
+      finish());
+  finish();
   co_return Status::OK();
 }
 

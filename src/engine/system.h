@@ -31,6 +31,7 @@
 #include "src/engine/operators.h"
 #include "src/engine/scheduler.h"
 #include "src/hw/node.h"
+#include "src/obs/probe.h"
 #include "src/sim/fault.h"
 #include "src/workload/querygen.h"
 
@@ -61,6 +62,10 @@ struct SystemConfig {
   const sim::FaultPlan* fault_plan = nullptr;
   /// Retry/backoff/deadline knobs; only consulted when faults occur.
   FailoverPolicy failover;
+  /// Optional observability probe (non-owning; must outlive the System).
+  /// When set, every query gets a cost breakdown and — if the probe carries
+  /// a Tracer — a span tree. When null, zero obs work runs anywhere.
+  obs::Probe* probe = nullptr;
 };
 
 /// \brief One simulated system instance bound to a Simulation.
@@ -97,34 +102,43 @@ class System {
   };
 
   sim::Task<> TerminalLoop(RandomStream rng);
-  sim::Task<Status> ExecuteQuery(workload::QueryInstance q);
+  sim::Task<Status> ExecuteQuery(workload::QueryInstance q,
+                                 obs::QueryObs* qo);
 
+  /// The spawned site coroutines get their own QueryObs (sharing the query
+  /// id and parent span) whose costs are merged into `qo` before the join
+  /// fires; sites of one query interleave, so they cannot share one span
+  /// cursor or ArmHw through the same handle.
   sim::Task<> RunDataSite(int coord, size_t site_idx, int node,
                           Predicate pred, bool sequential_scan,
-                          QueryContext* ctx, sim::JoinCounter* join);
+                          QueryContext* ctx, sim::JoinCounter* join,
+                          obs::QueryObs* qo);
   /// Runs one data site, failing over to the chained backup if the primary
   /// is (or goes) down.
   sim::Task<Status> DataSiteSelect(int coord, size_t site_idx, int node,
                                    Predicate pred, bool sequential_scan,
-                                   QueryContext* ctx);
+                                   QueryContext* ctx, obs::QueryObs* qo);
   /// One select execution at `exec_node`; `backup_of` < 0 reads the node's
   /// own fragment, otherwise the backup copy of `backup_of`'s fragment.
   sim::Task<Status> RunSiteOnce(int coord, int exec_node, int backup_of,
                                 Predicate pred, bool sequential_scan,
-                                QueryContext* ctx);
+                                QueryContext* ctx, obs::QueryObs* qo);
 
   sim::Task<> RunAuxSite(int coord, int node, Predicate pred,
-                         QueryContext* ctx, sim::JoinCounter* join);
+                         QueryContext* ctx, sim::JoinCounter* join,
+                         obs::QueryObs* qo);
   sim::Task<Status> AuxSiteLookup(int coord, int node, Predicate pred,
-                                  QueryContext* ctx);
+                                  QueryContext* ctx, obs::QueryObs* qo);
   sim::Task<Status> AuxSiteOnce(int coord, int exec_node, int backup_of,
-                                Predicate pred, QueryContext* ctx);
+                                Predicate pred, QueryContext* ctx,
+                                obs::QueryObs* qo);
 
   /// True when `node`'s disk (and the node itself) is currently serviceable.
   bool SiteUp(int node);
 
   sim::Simulation* sim_;
   int next_coordinator_ = 0;
+  int64_t next_query_id_ = 0;
   SystemConfig config_;
   const storage::Relation* relation_;
   const decluster::Partitioning* partitioning_;

@@ -95,6 +95,16 @@ void PrintDegradedReport(std::ostream& os,
          << inflation << std::setw(11) << top->disk_imbalance
          << std::setw(11) << top->failovers << std::setw(10)
          << top->timeouts << std::setw(8) << top->failed_queries << "\n";
+      // Where the extra response time goes as disks fail: only printed
+      // when the sweeps ran with component probes (--components), so the
+      // default degraded report keeps its exact pre-obs format.
+      if (results[k].has_components) {
+        os << std::setw(14) << " " << std::fixed << std::setprecision(1)
+           << "  disk " << top->comp_disk_wait_ms << "+"
+           << top->comp_disk_service_ms << " cpu " << top->comp_cpu_ms
+           << " net " << top->comp_network_ms << " queue "
+           << top->comp_queue_ms << " (ms/query)\n";
+      }
     }
   }
 }

@@ -67,6 +67,17 @@ struct SweepPoint {
   int64_t timeouts = 0;
   int64_t failovers = 0;
   int64_t failed_queries = 0;
+  /// Mean per-query response-time components (ms), populated only when the
+  /// runner collects them (RunnerOptions::collect_components). `cpu` folds
+  /// in DMA transfers; `queue` folds CPU queueing and retry backoff;
+  /// `unattributed` is response minus the component sum (negative when
+  /// intra-query parallelism makes the buckets overlap).
+  double comp_disk_wait_ms = 0;
+  double comp_disk_service_ms = 0;
+  double comp_cpu_ms = 0;
+  double comp_network_ms = 0;
+  double comp_queue_ms = 0;
+  double comp_unattributed_ms = 0;
 };
 
 /// \brief One strategy's curve across the MPL sweep.
@@ -81,6 +92,9 @@ struct StrategyCurve {
 struct SweepResult {
   ExperimentConfig config;
   std::vector<StrategyCurve> curves;
+  /// True when the sweep ran with per-query component probes armed; the
+  /// comp_* columns of every point are meaningful (and reports print them).
+  bool has_components = false;
 };
 
 /// Builds a partitioning by strategy name ("range", "hash", "BERD",

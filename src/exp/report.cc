@@ -47,6 +47,22 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
     os << "\n";
   }
 
+  // Component breakdown at the top MPL: only present when the sweep ran
+  // with probes, so the default table stays byte-identical.
+  if (result.has_components) {
+    os << "components (mean ms/query @ top MPL):\n";
+    for (const auto& curve : result.curves) {
+      if (curve.points.empty()) continue;
+      const SweepPoint& p = curve.points.back();
+      os << "  " << curve.strategy << ": disk wait "
+         << std::fixed << std::setprecision(1) << p.comp_disk_wait_ms
+         << ", disk service " << p.comp_disk_service_ms << ", cpu "
+         << p.comp_cpu_ms << ", network " << p.comp_network_ms << ", queue "
+         << p.comp_queue_ms << ", unattributed " << p.comp_unattributed_ms
+         << "\n";
+    }
+  }
+
   // Fault-handling summary: only present when faults were injected, so the
   // failure-free table stays byte-identical to the pre-fault format.
   if (!result.config.faults.empty()) {
@@ -65,15 +81,21 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
 }
 
 void PrintCsv(std::ostream& os, const SweepResult& result) {
-  // The fault columns exist only in degraded runs so that failure-free CSV
-  // output stays byte-identical to the pre-fault format.
+  // The fault columns exist only in degraded runs, and the component
+  // columns only when the sweep ran with probes, so the plain failure-free
+  // CSV output stays byte-identical to the pre-fault/pre-obs format.
   const bool faulty = !result.config.faults.empty();
+  const bool components = result.has_components;
   os << "figure,strategy,correlation,mpl,throughput_qps,throughput_ci95,"
         "mean_response_ms,mean_response_ci95,p95_response_ms,"
         "avg_processors,disk_utilization,cpu_utilization,completed";
   if (faulty) {
     os << ",disk_imbalance,io_errors,retries,timeouts,failovers,"
           "failed_queries";
+  }
+  if (components) {
+    os << ",disk_wait_ms,disk_service_ms,cpu_ms,network_ms,queue_ms,"
+          "unattributed_ms";
   }
   os << "\n";
   for (const auto& curve : result.curves) {
@@ -90,6 +112,11 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
         os << "," << p.disk_imbalance << "," << p.io_errors << ","
            << p.retries << "," << p.timeouts << "," << p.failovers << ","
            << p.failed_queries;
+      }
+      if (components) {
+        os << "," << p.comp_disk_wait_ms << "," << p.comp_disk_service_ms
+           << "," << p.comp_cpu_ms << "," << p.comp_network_ms << ","
+           << p.comp_queue_ms << "," << p.comp_unattributed_ms;
       }
       os << "\n";
     }

@@ -7,14 +7,18 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/manifest.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault.h"
 
 namespace declust::exp {
@@ -23,13 +27,23 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
                                     const storage::Relation& relation,
                                     const decluster::Partitioning& partitioning,
                                     const workload::Workload& workload,
-                                    int mpl, int rep) {
+                                    int mpl, int rep, obs::Probe* probe,
+                                    std::string* metrics_json) {
   sim::Simulation sim;
   engine::SystemConfig sys_config;
   sys_config.hw.num_processors = config.num_processors;
   sys_config.multiprogramming_level = mpl;
   sys_config.seed = config.seed + static_cast<uint64_t>(mpl) * 1000 +
                     static_cast<uint64_t>(rep) * 7'919;
+  sys_config.probe = probe;
+  if (probe != nullptr && probe->tracer() != nullptr) {
+    // Count calendar dispatches in the trace (one indirect call per event;
+    // only ever paid on explicitly traced runs).
+    sim.SetTracer([tracer = probe->tracer()](sim::SimTime t, sim::EventId id,
+                                             bool resume) {
+      tracer->OnCalendarEvent(t, id, resume);
+    });
+  }
   // The plan lives on this frame; each replication parses it independently
   // so the function stays a pure function of its arguments.
   sim::FaultPlan fault_plan;
@@ -80,6 +94,35 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
   m.timeouts = fs.timeouts;
   m.failovers = fs.failovers;
   m.failed_queries = fs.failed_queries;
+  if (probe != nullptr && system.metrics().has_components()) {
+    const engine::Metrics& met = system.metrics();
+    m.has_components = true;
+    m.comp_disk_wait_ms = met.component_disk_wait().mean();
+    m.comp_disk_service_ms = met.component_disk_service().mean();
+    m.comp_cpu_ms =
+        met.component_cpu_service().mean() + met.component_dma().mean();
+    m.comp_network_ms = met.component_network().mean();
+    m.comp_queue_ms =
+        met.component_sched_queue().mean() + met.component_backoff().mean();
+    m.comp_unattributed_ms = met.component_unattributed().mean();
+  }
+  if (metrics_json != nullptr) {
+    std::ostringstream os;
+    os << "{\n  \"sim\": {\n"
+       << "    \"events_dispatched\": " << sim.events_dispatched() << ",\n"
+       << "    \"peak_pending_events\": " << sim.peak_pending_events();
+    if (probe != nullptr && probe->tracer() != nullptr) {
+      os << ",\n    \"calendar_events_traced\": "
+         << probe->tracer()->calendar_events()
+         << ",\n    \"calendar_resumes_traced\": "
+         << probe->tracer()->calendar_resumes()
+         << ",\n    \"spans_dropped\": " << probe->tracer()->dropped();
+    }
+    os << "\n  },\n  \"metrics\": ";
+    system.metrics().registry().WriteJson(os);
+    os << "\n}\n";
+    *metrics_json = os.str();
+  }
   return m;
 }
 
@@ -91,6 +134,8 @@ namespace {
 SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   Accumulator qps, mean_resp, p95, procs, disk, cpu, completed;
   Accumulator imbalance, io_errors, retries, timeouts, failovers, failed;
+  Accumulator c_dwait, c_dserv, c_cpu, c_net, c_queue, c_unattr;
+  bool has_components = false;
   for (int r = 0; r < num_reps; ++r) {
     qps.Add(reps[r].throughput_qps);
     mean_resp.Add(reps[r].mean_response_ms);
@@ -105,6 +150,15 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
     timeouts.Add(static_cast<double>(reps[r].timeouts));
     failovers.Add(static_cast<double>(reps[r].failovers));
     failed.Add(static_cast<double>(reps[r].failed_queries));
+    if (reps[r].has_components) {
+      has_components = true;
+      c_dwait.Add(reps[r].comp_disk_wait_ms);
+      c_dserv.Add(reps[r].comp_disk_service_ms);
+      c_cpu.Add(reps[r].comp_cpu_ms);
+      c_net.Add(reps[r].comp_network_ms);
+      c_queue.Add(reps[r].comp_queue_ms);
+      c_unattr.Add(reps[r].comp_unattributed_ms);
+    }
   }
   SweepPoint point;
   point.mpl = mpl;
@@ -123,7 +177,88 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   point.timeouts = std::llround(timeouts.mean());
   point.failovers = std::llround(failovers.mean());
   point.failed_queries = std::llround(failed.mean());
+  if (has_components) {
+    point.comp_disk_wait_ms = c_dwait.mean();
+    point.comp_disk_service_ms = c_dserv.mean();
+    point.comp_cpu_ms = c_cpu.mean();
+    point.comp_network_ms = c_net.mean();
+    point.comp_queue_ms = c_queue.mean();
+    point.comp_unattributed_ms = c_unattr.mean();
+  }
   return point;
+}
+
+/// Canonical rendering of one aggregated point, digested into the run
+/// manifest so a CSV artifact can be matched to the manifest that produced
+/// it. %.17g round-trips doubles exactly.
+std::string PointDigestKey(const std::string& strategy, const SweepPoint& p) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s|mpl=%d|qps=%.17g|resp=%.17g|p95=%.17g|procs=%.17g|"
+                "disk=%.17g|cpu=%.17g|done=%lld|imb=%.17g|"
+                "f=%lld/%lld/%lld/%lld/%lld",
+                strategy.c_str(), p.mpl, p.throughput_qps,
+                p.mean_response_ms, p.p95_response_ms,
+                p.avg_processors_used, p.disk_utilization, p.cpu_utilization,
+                static_cast<long long>(p.completed), p.disk_imbalance,
+                static_cast<long long>(p.io_errors),
+                static_cast<long long>(p.retries),
+                static_cast<long long>(p.timeouts),
+                static_cast<long long>(p.failovers),
+                static_cast<long long>(p.failed_queries));
+  return std::string(buf);
+}
+
+/// Joins numeric values as a JSON array token for a manifest param.
+template <typename T>
+std::string JsonArray(const std::vector<T>& values, bool quote = false) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ",";
+    if (quote) {
+      os << '"' << values[i] << '"';
+    } else {
+      os << values[i];
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+obs::Manifest BuildSweepManifest(const SweepResult& result, int jobs) {
+  const ExperimentConfig& cfg = result.config;
+  obs::Manifest manifest;
+  manifest.tool = "run_experiment";
+  manifest.build = obs::BuildVersion();
+  manifest.seed = cfg.seed;
+  manifest.jobs = jobs;
+  manifest.fault_spec = cfg.faults;
+  manifest.params = {
+      {"name", '"' + cfg.name + '"'},
+      {"correlation", std::to_string(cfg.correlation)},
+      {"cardinality", std::to_string(cfg.cardinality)},
+      {"num_processors", std::to_string(cfg.num_processors)},
+      {"warmup_ms", std::to_string(cfg.warmup_ms)},
+      {"measure_ms", std::to_string(cfg.measure_ms)},
+      {"repeats", std::to_string(cfg.repeats)},
+      {"strategies", JsonArray(cfg.strategies, /*quote=*/true)},
+      {"mpls", JsonArray(cfg.mpls)},
+      {"components", result.has_components ? "true" : "false"},
+  };
+  std::string all;
+  for (const auto& curve : result.curves) {
+    for (const auto& p : curve.points) {
+      const std::string key = PointDigestKey(curve.strategy, p);
+      manifest.points.push_back(obs::ManifestPoint{
+          curve.strategy + "/mpl=" + std::to_string(p.mpl),
+          obs::Fnv1a64(key)});
+      all += key;
+      all += '\n';
+    }
+  }
+  manifest.result_digest = obs::Fnv1a64(all);
+  return manifest;
 }
 
 /// Watchdog state per job. Atomics because workers write while the watchdog
@@ -188,8 +323,13 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     // A worker must never take the pool down: any escaped exception becomes
     // a Status and surfaces through the normal sweep-order error path.
     try {
-      auto res = RunSweepPointRep(config, relation, *partitionings[s], wl,
-                                  config.mpls[m], r);
+      // One probe per replication (a Probe is bound to one Simulation's
+      // hardware and carries per-submit context, so it cannot be shared
+      // across workers). No tracer: sweeps collect costs only.
+      obs::Probe probe;
+      auto res = RunSweepPointRep(
+          config, relation, *partitionings[s], wl, config.mpls[m], r,
+          options.collect_components ? &probe : nullptr);
       if (res.ok()) {
         rep_metrics[idx] = *res;
       } else {
@@ -275,6 +415,7 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
 
   SweepResult result;
   result.config = config;
+  result.has_components = options.collect_components;
   for (size_t s = 0; s < num_strategies; ++s) {
     StrategyCurve curve;
     curve.strategy = config.strategies[s];
@@ -285,7 +426,68 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     }
     result.curves.push_back(std::move(curve));
   }
+
+  if (!options.manifest_path.empty()) {
+    DECLUST_RETURN_NOT_OK(obs::WriteManifestFile(
+        options.manifest_path, BuildSweepManifest(result, jobs)));
+  }
   return result;
+}
+
+Status RunExplain(const ExperimentConfig& raw_config,
+                  const ExplainOptions& options) {
+  const ExperimentConfig config = ApplyQuickMode(raw_config);
+  if (config.strategies.empty() || config.mpls.empty()) {
+    return Status::InvalidArgument(
+        "explain needs at least one strategy and one MPL");
+  }
+
+  workload::WisconsinOptions wopts;
+  wopts.cardinality = config.cardinality;
+  wopts.correlation = config.correlation;
+  wopts.seed = config.seed;
+  const storage::Relation relation = workload::MakeWisconsin(wopts);
+  const workload::Workload wl =
+      workload::MakeMix(config.qa, config.qb, config.mix);
+  DECLUST_ASSIGN_OR_RETURN(
+      auto partitioning,
+      MakePartitioning(config.strategies.front(), relation, wl,
+                       config.num_processors));
+
+  obs::Tracer tracer;
+  obs::Probe probe(&tracer);
+  std::string metrics_json;
+  DECLUST_RETURN_NOT_OK(
+      RunSweepPointRep(config, relation, *partitioning, wl,
+                       config.mpls.front(), /*rep=*/0, &probe,
+                       options.metrics_json_path.empty() ? nullptr
+                                                         : &metrics_json)
+          .status());
+
+  const auto write_file = [](const std::string& path,
+                             const auto& emit) -> Status {
+    std::ofstream out(path);
+    if (!out) return Status::Unavailable("cannot write " + path);
+    emit(out);
+    if (!out.good()) return Status::Unavailable("short write to " + path);
+    return Status::OK();
+  };
+  if (!options.trace_json_path.empty()) {
+    DECLUST_RETURN_NOT_OK(write_file(
+        options.trace_json_path,
+        [&](std::ostream& os) { tracer.WriteChromeJson(os); }));
+  }
+  if (!options.trace_csv_path.empty()) {
+    DECLUST_RETURN_NOT_OK(
+        write_file(options.trace_csv_path,
+                   [&](std::ostream& os) { tracer.WriteCsv(os); }));
+  }
+  if (!options.metrics_json_path.empty()) {
+    DECLUST_RETURN_NOT_OK(
+        write_file(options.metrics_json_path,
+                   [&](std::ostream& os) { os << metrics_json; }));
+  }
+  return Status::OK();
 }
 
 }  // namespace declust::exp

@@ -10,7 +10,10 @@
 // tests/exp/runner_determinism_test).
 #pragma once
 
+#include <string>
+
 #include "src/exp/experiment.h"
+#include "src/obs/probe.h"
 
 namespace declust::exp {
 
@@ -23,6 +26,14 @@ struct RunnerOptions {
   /// on stderr as possibly hung (0 = watchdog disabled). The watchdog only
   /// warns; it never kills work or changes results.
   double watchdog_warn_s = 0;
+  /// Arm a per-replication cost probe (no tracer) so every sweep point
+  /// carries a per-query component breakdown (SweepPoint::comp_*). Off by
+  /// default: the probe-free path does zero observability work and its
+  /// report output stays byte-identical.
+  bool collect_components = false;
+  /// When non-empty, RunThroughputSweep writes a run manifest (build id,
+  /// seed, parameters, fault spec, per-point metric digests) to this path.
+  std::string manifest_path = {};
 };
 
 /// \brief Raw measurements of one (strategy, MPL, replication) simulation.
@@ -40,22 +51,53 @@ struct RepMetrics {
   int64_t timeouts = 0;
   int64_t failovers = 0;
   int64_t failed_queries = 0;
+  /// Mean per-query response components (ms); meaningful only when the rep
+  /// ran with a probe (has_components).
+  bool has_components = false;
+  double comp_disk_wait_ms = 0;
+  double comp_disk_service_ms = 0;
+  double comp_cpu_ms = 0;
+  double comp_network_ms = 0;
+  double comp_queue_ms = 0;
+  double comp_unattributed_ms = 0;
 };
 
 /// Runs one replication of one sweep point. Pure function of
 /// (config, relation, partitioning, workload, mpl, rep); never touches
 /// global state, so it is safe to call concurrently with distinct `mpl`/
 /// `rep` against the same shared read-only inputs.
+///
+/// `probe` (nullable, caller-owned, must not be shared across concurrent
+/// calls) arms per-query cost attribution; if it carries a Tracer, the
+/// simulation's calendar and every hardware model emit spans into it.
+/// `metrics_json` (nullable) receives the run's full metrics registry plus
+/// simulator counters as a JSON document.
 Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
                                     const storage::Relation& relation,
                                     const decluster::Partitioning& partitioning,
                                     const workload::Workload& workload,
-                                    int mpl, int rep);
+                                    int mpl, int rep,
+                                    obs::Probe* probe = nullptr,
+                                    std::string* metrics_json = nullptr);
 
 /// Runs the full sweep with `options.jobs` workers. The serial path
 /// (jobs <= 1) and the parallel path share the same per-point and
 /// aggregation code, so their outputs are byte-identical.
 Result<SweepResult> RunThroughputSweep(const ExperimentConfig& config,
                                        const RunnerOptions& options);
+
+/// \brief File sinks of an explain run (any empty path is skipped).
+struct ExplainOptions {
+  std::string trace_json_path;   ///< Chrome trace_event JSON (chrome://tracing)
+  std::string trace_csv_path;    ///< flat span table
+  std::string metrics_json_path; ///< metrics registry + simulator counters
+};
+
+/// Runs ONE traced replication — the first strategy at the first MPL — with
+/// a Tracer-armed probe and writes the requested artifacts. Meant for
+/// "explain one query" investigations (see EXPERIMENTS.md); keep the config
+/// small (one strategy, --mpls 1) so the span ring holds the whole run.
+Status RunExplain(const ExperimentConfig& config,
+                  const ExplainOptions& options);
 
 }  // namespace declust::exp

@@ -5,11 +5,12 @@
 namespace declust::hw {
 
 Cpu::Cpu(sim::Simulation* sim, const HwParams* params,
-         sim::FaultInjector* faults, int node_id)
+         sim::FaultInjector* faults, int node_id, obs::Probe* probe)
     : sim_(sim),
       params_(params),
       faults_(faults),
       node_id_(node_id),
+      probe_(probe),
       util_(sim) {}
 
 void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma,
@@ -17,7 +18,14 @@ void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma,
   if (faults_ != nullptr) {
     ms *= faults_->SlowFactor(node_id_, sim_->now());
   }
-  Job job{h, ms, status_out};
+  Job job{h, ms, status_out, {}, 0.0, 0.0, dma};
+  if (probe_ != nullptr) {
+    // await_suspend runs inside the awaiting coroutine, so the armed
+    // context belongs to the query issuing this job.
+    job.octx = probe_->context();
+    job.submit_ms = sim_->now();
+    job.demand_ms = ms;
+  }
   if (dma) {
     dma_queue_.push_back(job);
     if (state_ == State::kRunningNormal) {
@@ -93,6 +101,10 @@ void Cpu::OnNormalComplete() {
       !faults_->NodeUp(node_id_, sim_->now())) {
     *done.status_out = Status::Unavailable("node crashed during request");
   }
+  if (probe_ != nullptr) {
+    probe_->OnCpuComplete(done.octx, node_id_, /*dma=*/false, done.submit_ms,
+                          done.demand_ms, sim_->now());
+  }
   sim_->ScheduleResume(sim_->now(), done.handle);
   Dispatch();
 }
@@ -105,6 +117,10 @@ void Cpu::OnDmaComplete() {
   if (faults_ != nullptr && done.status_out != nullptr &&
       !faults_->NodeUp(node_id_, sim_->now())) {
     *done.status_out = Status::Unavailable("node crashed during request");
+  }
+  if (probe_ != nullptr) {
+    probe_->OnCpuComplete(done.octx, node_id_, /*dma=*/true, done.submit_ms,
+                          done.demand_ms, sim_->now());
   }
   sim_->ScheduleResume(sim_->now(), done.handle);
   Dispatch();

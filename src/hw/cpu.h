@@ -11,6 +11,7 @@
 
 #include "src/common/status.h"
 #include "src/hw/params.h"
+#include "src/obs/probe.h"
 #include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats_collector.h"
@@ -27,8 +28,11 @@ class Cpu {
  public:
   /// `faults` (optional, non-owning) injects failures for `node_id`; when
   /// null the CPU never fails and no fault checks run on the hot path.
+  /// `probe` (optional, non-owning) attributes completions to the query
+  /// whose context is armed at submit time; null skips all obs work.
   Cpu(sim::Simulation* sim, const HwParams* params,
-      sim::FaultInjector* faults = nullptr, int node_id = 0);
+      sim::FaultInjector* faults = nullptr, int node_id = 0,
+      obs::Probe* probe = nullptr);
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
@@ -82,6 +86,10 @@ class Cpu {
     std::coroutine_handle<> handle;
     double remaining_ms;
     Status* status_out = nullptr;
+    obs::Probe::Context octx;  // captured at submit when probe_ is set
+    double submit_ms = 0.0;
+    double demand_ms = 0.0;  // full (slow-factor scaled) service demand
+    bool dma = false;
   };
 
   enum class State { kIdle, kRunningNormal, kRunningDma };
@@ -100,6 +108,7 @@ class Cpu {
   const HwParams* params_;
   sim::FaultInjector* faults_;
   int node_id_;
+  obs::Probe* probe_;
 
   State state_ = State::kIdle;
   Job current_{};                  // request in service (normal or DMA)

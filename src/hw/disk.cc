@@ -6,21 +6,30 @@
 namespace declust::hw {
 
 Disk::Disk(sim::Simulation* sim, const HwParams* params, RandomStream rng,
-           DiskSchedPolicy policy, sim::FaultInjector* faults, int node_id)
+           DiskSchedPolicy policy, sim::FaultInjector* faults, int node_id,
+           obs::Probe* probe)
     : sim_(sim),
       params_(params),
       rng_(rng),
       faults_(faults),
       node_id_(node_id),
+      probe_(probe),
       policy_(policy),
       util_(sim) {}
 
 void Disk::Submit(std::coroutine_handle<> h, PageAddress page, bool write,
                   Status* status_out) {
+  Request req{h, page, write, status_out, {}, 0.0};
+  if (probe_ != nullptr) {
+    // await_suspend runs inside the awaiting coroutine, so the armed
+    // context belongs to the query issuing this request.
+    req.octx = probe_->context();
+    req.submit_ms = sim_->now();
+  }
   if (policy_ == DiskSchedPolicy::kFcfs) {
-    fcfs_queue_.push_back(Request{h, page, write, status_out});
+    fcfs_queue_.push_back(req);
   } else {
-    pending_[page.cylinder].push_back(Request{h, page, write, status_out});
+    pending_[page.cylinder].push_back(req);
   }
   ++queued_;
   if (!busy_) StartNext();
@@ -70,7 +79,9 @@ void Disk::StartNext() {
   }
   busy_ms_ += service;
   head_cylinder_ = req.page.cylinder;
-  sim_->ScheduleAfter(service, [this, req] { OnComplete(req); });
+  current_ = req;
+  service_start_ = sim_->now();
+  sim_->ScheduleAfter(service, [this] { OnComplete(); });
 }
 
 double Disk::ServiceTime(const Request& req) {
@@ -93,7 +104,8 @@ double Disk::ServiceTime(const Request& req) {
   return t;
 }
 
-void Disk::OnComplete(Request req) {
+void Disk::OnComplete() {
+  const Request req = current_;  // StartNext below reuses current_
   busy_ = false;
   last_served_ = req.page;
   has_last_served_ = true;
@@ -106,6 +118,10 @@ void Disk::OnComplete(Request req) {
     } else if (faults_->MaybeInjectIoError(node_id_, sim_->now())) {
       *req.status_out = Status::IoError("transient disk error");
     }
+  }
+  if (probe_ != nullptr) {
+    probe_->OnDiskComplete(req.octx, node_id_, req.write, req.submit_ms,
+                           service_start_, sim_->now());
   }
   sim_->ScheduleResume(sim_->now(), req.handle);
   StartNext();

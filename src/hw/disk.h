@@ -23,6 +23,7 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/hw/params.h"
+#include "src/obs/probe.h"
 #include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats_collector.h"
@@ -42,9 +43,12 @@ class Disk {
  public:
   /// `faults` (optional, non-owning) injects failures for `node_id`; when
   /// null the disk never fails and no fault checks run on the hot path.
+  /// `probe` (optional, non-owning) attributes completions to the query
+  /// whose context is armed at submit time; null skips all obs work.
   Disk(sim::Simulation* sim, const HwParams* params, RandomStream rng,
        DiskSchedPolicy policy = DiskSchedPolicy::kElevator,
-       sim::FaultInjector* faults = nullptr, int node_id = 0);
+       sim::FaultInjector* faults = nullptr, int node_id = 0,
+       obs::Probe* probe = nullptr);
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -89,12 +93,14 @@ class Disk {
     PageAddress page;
     bool write;
     Status* status_out = nullptr;
+    obs::Probe::Context octx;  // captured at submit when probe_ is set
+    double submit_ms = 0.0;
   };
 
   void Submit(std::coroutine_handle<> h, PageAddress page, bool write,
               Status* status_out);
   void StartNext();
-  void OnComplete(Request req);
+  void OnComplete();
   double ServiceTime(const Request& req);
 
   sim::Simulation* sim_;
@@ -102,6 +108,7 @@ class Disk {
   RandomStream rng_;
   sim::FaultInjector* faults_;
   int node_id_;
+  obs::Probe* probe_;
 
   DiskSchedPolicy policy_;
   // Elevator state: pending requests grouped by cylinder, current head
@@ -110,6 +117,11 @@ class Disk {
   std::deque<Request> fcfs_queue_;
   size_t queued_ = 0;
   bool busy_ = false;
+  // The disk serves one request at a time (busy_ guards it), so the request
+  // in service lives here and the completion event captures only `this` —
+  // keeping the callback inside SmallFn's inline buffer.
+  Request current_{};
+  double service_start_ = 0.0;
   int head_cylinder_ = 0;
   bool sweeping_up_ = true;
   PageAddress last_served_{-1, -1};

@@ -6,10 +6,16 @@
 namespace declust::hw {
 
 NetworkInterface::NetworkInterface(sim::Simulation* sim,
-                                   const HwParams* params)
-    : sim_(sim), params_(params), util_(sim) {}
+                                   const HwParams* params, int node_id,
+                                   obs::Probe* probe)
+    : sim_(sim),
+      params_(params),
+      node_id_(node_id),
+      probe_(probe),
+      util_(sim) {}
 
 void NetworkInterface::Enqueue(Work w) {
+  if (probe_ != nullptr) w.enqueue_ms = sim_->now();
   queue_.push_back(std::move(w));
   if (!busy_) StartNext();
 }
@@ -20,29 +26,38 @@ void NetworkInterface::StartNext() {
     util_.SetBusy(0.0);
     return;
   }
-  Work w = std::move(queue_.front());
+  current_ = std::move(queue_.front());
   queue_.pop_front();
   busy_ = true;
   util_.SetBusy(1.0);
-  busy_ms_ += w.ms;
-  sim_->ScheduleAfter(w.ms, [this, w = std::move(w)] {
-    busy_ = false;
-    ++completed_;
-    if (w.handle) {
-      sim_->ScheduleResume(sim_->now(), w.handle);
-    } else if (w.fn) {
-      w.fn();
-    }
-    StartNext();
-  });
+  busy_ms_ += current_.ms;
+  service_start_ = sim_->now();
+  sim_->ScheduleAfter(current_.ms, [this] { OnComplete(); });
+}
+
+void NetworkInterface::OnComplete() {
+  Work w = std::move(current_);  // StartNext below reuses current_
+  busy_ = false;
+  ++completed_;
+  if (probe_ != nullptr) {
+    probe_->OnNetComplete(w.octx, node_id_, w.rx, w.enqueue_ms,
+                          service_start_, sim_->now());
+  }
+  if (w.handle) {
+    sim_->ScheduleResume(sim_->now(), w.handle);
+  } else if (w.fn) {
+    w.fn();
+  }
+  StartNext();
 }
 
 Network::Network(sim::Simulation* sim, const HwParams* params, int nodes,
-                 sim::FaultInjector* faults)
-    : sim_(sim), params_(params), faults_(faults) {
+                 sim::FaultInjector* faults, obs::Probe* probe)
+    : sim_(sim), params_(params), faults_(faults), probe_(probe) {
   interfaces_.reserve(static_cast<size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
-    interfaces_.push_back(std::make_unique<NetworkInterface>(sim, params));
+    interfaces_.push_back(
+        std::make_unique<NetworkInterface>(sim, params, i, probe));
   }
 }
 
@@ -52,12 +67,18 @@ void Network::TransferAwaiter::await_suspend(std::coroutine_handle<> h) {
   const int to = dst;
   const int b = bytes;
   auto on_delivered = std::move(deliver);
+  // await_suspend runs inside the sending coroutine, so the armed context
+  // is the sender's; the receiver-side occupancy (async, possibly much
+  // later) reuses it so its span stays attributed to the same query.
+  const obs::Probe::Context octx =
+      n->probe_ != nullptr ? n->probe_->context() : obs::Probe::Context{};
   ++n->packets_sent_;
   // Local send (src == dst) still pays one interface pass, modelling the
   // loopback copy, then delivers.
   n->interface(src).OccupyThen(
-      b, [n, sim, h, to, b, fn = std::move(on_delivered),
-          local = (src == dst)]() mutable {
+      b,
+      [n, sim, h, to, b, octx, fn = std::move(on_delivered),
+       local = (src == dst)]() mutable {
         // The packet has left the sender: resume the sending process and
         // start the receiver-side occupancy.
         sim->ScheduleResume(sim->now(), h);
@@ -69,16 +90,20 @@ void Network::TransferAwaiter::await_suspend(std::coroutine_handle<> h) {
           // callback still runs (with an error) so waiters never hang.
           fn(Status::Unavailable("receiver node down"));
         } else {
-          n->interface(to).OccupyThen(b, [n, sim, to,
-                                          fn = std::move(fn)]() mutable {
-            if (n->faults_ != nullptr && !n->faults_->NodeUp(to, sim->now())) {
-              fn(Status::Unavailable("receiver node down"));
-            } else {
-              fn(Status::OK());
-            }
-          });
+          n->interface(to).OccupyThen(
+              b,
+              [n, sim, to, fn = std::move(fn)]() mutable {
+                if (n->faults_ != nullptr &&
+                    !n->faults_->NodeUp(to, sim->now())) {
+                  fn(Status::Unavailable("receiver node down"));
+                } else {
+                  fn(Status::OK());
+                }
+              },
+              octx, /*rx=*/true);
         }
-      });
+      },
+      octx, /*rx=*/false);
 }
 
 }  // namespace declust::hw

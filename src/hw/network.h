@@ -18,6 +18,7 @@
 
 #include "src/common/status.h"
 #include "src/hw/params.h"
+#include "src/obs/probe.h"
 #include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats_collector.h"
@@ -27,7 +28,10 @@ namespace declust::hw {
 /// \brief One node's FCFS network interface (both directions share it).
 class NetworkInterface {
  public:
-  NetworkInterface(sim::Simulation* sim, const HwParams* params);
+  /// `probe` (optional, non-owning) emits an occupancy span per completed
+  /// unit of work; null skips all obs work.
+  NetworkInterface(sim::Simulation* sim, const HwParams* params,
+                   int node_id = 0, obs::Probe* probe = nullptr);
 
   NetworkInterface(const NetworkInterface&) = delete;
   NetworkInterface& operator=(const NetworkInterface&) = delete;
@@ -37,7 +41,9 @@ class NetworkInterface {
     int bytes;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      ni->Enqueue(Work{h, nullptr, ni->params_->PacketSendMs(bytes)});
+      Work w{h, nullptr, ni->params_->PacketSendMs(bytes), {}, 0.0, false};
+      if (ni->probe_ != nullptr) w.octx = ni->probe_->context();
+      ni->Enqueue(std::move(w));
     }
     void await_resume() const noexcept {}
   };
@@ -47,8 +53,14 @@ class NetworkInterface {
 
   /// Fire-and-forget: occupy the interface for the receive time of `bytes`
   /// and then invoke `on_done` (used for the receiving side of a transfer).
-  void OccupyThen(int bytes, std::function<void()> on_done) {
-    Enqueue(Work{nullptr, std::move(on_done), params_->PacketSendMs(bytes)});
+  /// `octx`/`rx` tag the occupancy span when a probe is wired: the caller
+  /// passes the context captured at the original submit, because this
+  /// method runs from completion callbacks where the probe's live context
+  /// belongs to some other query.
+  void OccupyThen(int bytes, std::function<void()> on_done,
+                  obs::Probe::Context octx = {}, bool rx = false) {
+    Enqueue(Work{nullptr, std::move(on_done), params_->PacketSendMs(bytes),
+                 octx, 0.0, rx});
   }
 
   double busy_ms() const { return busy_ms_; }
@@ -61,15 +73,26 @@ class NetworkInterface {
     std::coroutine_handle<> handle;   // exactly one of handle/fn set
     std::function<void()> fn;
     double ms;
+    obs::Probe::Context octx;  // captured at submit when probe_ is set
+    double enqueue_ms = 0.0;
+    bool rx = false;  // receiver-side occupancy (span label only)
   };
 
   void Enqueue(Work w);
   void StartNext();
+  void OnComplete();
 
   sim::Simulation* sim_;
   const HwParams* params_;
+  int node_id_;
+  obs::Probe* probe_;
   std::deque<Work> queue_;
   bool busy_ = false;
+  // The interface serves one unit of work at a time (busy_ guards it), so
+  // it lives here and the completion event captures only `this` — keeping
+  // the callback inside SmallFn's inline buffer.
+  Work current_{};
+  double service_start_ = 0.0;
   double busy_ms_ = 0.0;
   uint64_t completed_ = 0;
   sim::UtilizationMonitor util_;
@@ -80,9 +103,10 @@ class NetworkInterface {
 class Network {
  public:
   /// `faults` (optional, non-owning) makes transfers to/from crashed nodes
-  /// fail; when null the network is lossless.
+  /// fail; when null the network is lossless. `probe` (optional,
+  /// non-owning) tags interface occupancy spans; null skips all obs work.
   Network(sim::Simulation* sim, const HwParams* params, int nodes,
-          sim::FaultInjector* faults = nullptr);
+          sim::FaultInjector* faults = nullptr, obs::Probe* probe = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -142,6 +166,7 @@ class Network {
   sim::Simulation* sim_;
   const HwParams* params_;
   sim::FaultInjector* faults_;
+  obs::Probe* probe_;
   std::vector<std::unique_ptr<NetworkInterface>> interfaces_;
   uint64_t packets_sent_ = 0;
 };

@@ -3,13 +3,14 @@
 namespace declust::hw {
 
 Node::Node(sim::Simulation* sim, const HwParams* params, Network* network,
-           int node_id, RandomStream rng, sim::FaultInjector* faults)
+           int node_id, RandomStream rng, sim::FaultInjector* faults,
+           obs::Probe* probe)
     : sim_(sim),
       params_(params),
       network_(network),
       id_(node_id),
-      cpu_(sim, params, faults, node_id),
-      disk_(sim, params, rng, params->disk_policy, faults, node_id) {}
+      cpu_(sim, params, faults, node_id, probe),
+      disk_(sim, params, rng, params->disk_policy, faults, node_id, probe) {}
 
 sim::Task<Status> Node::ReadPage(PageAddress page) {
   DECLUST_CO_RETURN_NOT_OK(co_await disk_.Read(page));
@@ -33,19 +34,20 @@ sim::Task<Status> Node::WritePage(PageAddress page) {
 
 Machine::Machine(sim::Simulation* sim, const HwParams& params,
                  RandomStream rng, const sim::FaultPlan* fault_plan,
-                 uint64_t fault_seed)
+                 uint64_t fault_seed, obs::Probe* probe)
     : sim_(sim),
       params_(params),
       injector_(fault_plan != nullptr && !fault_plan->empty()
                     ? std::make_unique<sim::FaultInjector>(
                           fault_plan, fault_seed, params_.num_processors)
                     : nullptr),
-      network_(sim, &params_, params_.num_processors, injector_.get()) {
+      network_(sim, &params_, params_.num_processors, injector_.get(),
+               probe) {
   nodes_.reserve(static_cast<size_t>(params_.num_processors));
   for (int i = 0; i < params_.num_processors; ++i) {
     nodes_.push_back(std::make_unique<Node>(
         sim, &params_, &network_, i, rng.Fork(static_cast<uint64_t>(i) + 1),
-        injector_.get()));
+        injector_.get(), probe));
   }
 }
 

@@ -19,7 +19,8 @@ namespace declust::hw {
 class Node {
  public:
   Node(sim::Simulation* sim, const HwParams* params, Network* network,
-       int node_id, RandomStream rng, sim::FaultInjector* faults = nullptr);
+       int node_id, RandomStream rng, sim::FaultInjector* faults = nullptr,
+       obs::Probe* probe = nullptr);
 
   int id() const { return id_; }
   const HwParams& params() const { return *params_; }
@@ -51,9 +52,12 @@ class Machine {
   /// `fault_plan` (optional, non-owning, must outlive the Machine) arms the
   /// fault injector; `fault_seed` drives the transient-error streams. With a
   /// null or empty plan no injector is created and the hardware models skip
-  /// all fault checks.
+  /// all fault checks. `probe` (optional, non-owning, must outlive the
+  /// Machine) wires per-query attribution and tracing into every hardware
+  /// model; when null no obs work runs anywhere.
   Machine(sim::Simulation* sim, const HwParams& params, RandomStream rng,
-          const sim::FaultPlan* fault_plan = nullptr, uint64_t fault_seed = 0);
+          const sim::FaultPlan* fault_plan = nullptr, uint64_t fault_seed = 0,
+          obs::Probe* probe = nullptr);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Node& node(int i) { return *nodes_[i]; }

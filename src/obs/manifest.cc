@@ -1,0 +1,65 @@
+#include "src/obs/manifest.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace declust::obs {
+
+const char* BuildVersion() {
+#ifdef DECLUST_GIT_DESCRIBE
+  return DECLUST_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void WriteManifestJson(std::ostream& os, const Manifest& manifest) {
+  os << "{\n"
+     << "  \"tool\": \"" << manifest.tool << "\",\n"
+     << "  \"build\": \""
+     << (manifest.build.empty() ? BuildVersion() : manifest.build.c_str())
+     << "\",\n"
+     << "  \"seed\": " << manifest.seed << ",\n"
+     << "  \"jobs\": " << manifest.jobs << ",\n"
+     << "  \"fault_spec\": \"" << manifest.fault_spec << "\",\n"
+     << "  \"params\": {";
+  bool first = true;
+  for (const auto& [name, value] : manifest.params) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"points\": [";
+  first = true;
+  for (const ManifestPoint& p : manifest.points) {
+    os << (first ? "" : ",") << "\n    {\"label\": \"" << p.label
+       << "\", \"digest\": \"" << std::hex << p.digest << std::dec << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"result_digest\": \"" << std::hex
+     << manifest.result_digest << std::dec << "\"\n}\n";
+}
+
+Status WriteManifestFile(const std::string& path, const Manifest& manifest) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Unavailable("cannot open manifest file: " + path);
+  }
+  WriteManifestJson(out, manifest);
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("failed writing manifest file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace declust::obs

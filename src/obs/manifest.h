@@ -1,0 +1,52 @@
+// Run manifest: a small JSON sidecar (`manifest.json`) identifying exactly
+// what produced a sweep's numbers — build version (git describe baked in at
+// compile time), seed, experiment parameters, fault spec, and an FNV-1a
+// digest of each sweep point's metrics — so BENCH_*.json entries and CSV
+// artifacts are reproducible and diffable across commits.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace declust::obs {
+
+/// Build identifier baked in by CMake (`git describe --always --dirty`);
+/// "unknown" when the build tree had no git metadata.
+const char* BuildVersion();
+
+/// 64-bit FNV-1a hash; used to digest per-point metric rows.
+uint64_t Fnv1a64(std::string_view data);
+
+/// One sweep point's digest entry.
+struct ManifestPoint {
+  std::string label;  ///< e.g. "range/mpl=16"
+  uint64_t digest = 0;
+};
+
+/// \brief Everything needed to identify and reproduce a run.
+struct Manifest {
+  std::string tool;   ///< producing binary, e.g. "run_experiment"
+  std::string build;  ///< BuildVersion() unless overridden
+  uint64_t seed = 0;
+  /// Parameter name -> pre-rendered JSON token (callers quote strings
+  /// themselves; numbers/booleans go in bare).
+  std::vector<std::pair<std::string, std::string>> params;
+  std::string fault_spec;  ///< empty when no faults were armed
+  int jobs = 1;
+  std::vector<ManifestPoint> points;
+  uint64_t result_digest = 0;  ///< digest over all point digests
+};
+
+/// Serializes the manifest as deterministic JSON (insertion order kept).
+void WriteManifestJson(std::ostream& os, const Manifest& manifest);
+
+/// Writes the manifest to `path`; fails with kUnavailable on I/O errors.
+Status WriteManifestFile(const std::string& path, const Manifest& manifest);
+
+}  // namespace declust::obs

@@ -1,0 +1,81 @@
+#include "src/obs/metrics_registry.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace declust::obs {
+namespace {
+
+// JSON only admits finite numbers; the distributions report +-inf min/max
+// before their first sample.
+void JsonNumber(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(15);
+
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+    JsonNumber(os, value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"distributions\": {";
+
+  first = true;
+  for (const auto& [name, acc] : distributions_) {
+    os << (first ? "" : ",") << "\n    \"" << name
+       << "\": {\"count\": " << acc.count() << ", \"mean\": ";
+    JsonNumber(os, acc.mean());
+    os << ", \"stddev\": ";
+    JsonNumber(os, acc.stddev());
+    os << ", \"min\": ";
+    JsonNumber(os, acc.min());
+    os << ", \"max\": ";
+    JsonNumber(os, acc.max());
+    os << ", \"ci95\": ";
+    JsonNumber(os, acc.ConfidenceHalfWidth95());
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+
+  first = true;
+  for (const auto& [name, hist] : hists_) {
+    os << (first ? "" : ",") << "\n    \"" << name
+       << "\": {\"count\": " << hist.count()
+       << ", \"underflow\": " << hist.underflow()
+       << ", \"overflow\": " << hist.overflow() << ", \"p50\": ";
+    JsonNumber(os, hist.Quantile(0.50));
+    os << ", \"p95\": ";
+    JsonNumber(os, hist.Quantile(0.95));
+    os << ", \"p99\": ";
+    JsonNumber(os, hist.Quantile(0.99));
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+
+  os.flags(flags);
+  os.precision(precision);
+}
+
+}  // namespace declust::obs

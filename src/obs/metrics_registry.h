@@ -1,0 +1,75 @@
+// Named-metric registry: counters (int64), gauges (double), distributions
+// (Accumulator) and histograms (Histogram) addressed by
+// string name, with a deterministic JSON serialization.
+//
+// The registry owns the metric storage in node-stable std::maps, so callers
+// (engine::Metrics) can register once and cache raw pointers to the values
+// for hot-path updates — name lookups never happen per-event. Registration
+// is idempotent: re-registering a name returns the existing storage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "src/common/stats.h"
+
+namespace declust::obs {
+
+/// \brief Registry of named metrics with stable storage addresses.
+class MetricsRegistry {
+ public:
+  /// Registers (or finds) a counter; starts at 0.
+  int64_t& Counter(const std::string& name) { return counters_[name]; }
+
+  /// Registers (or finds) a gauge; starts at 0.0.
+  double& Gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Registers (or finds) a value distribution (mean/min/max/CI).
+  Accumulator& Distribution(const std::string& name) {
+    return distributions_[name];
+  }
+
+  /// Registers (or finds) a histogram. The bucket layout is fixed by the
+  /// first registration; later calls with the same name return it as-is.
+  Histogram& Hist(const std::string& name, double lo, double hi,
+                          int buckets) {
+    return hists_.try_emplace(name, lo, hi, buckets).first->second;
+  }
+
+  /// Const finders — return nullptr when the name was never registered.
+  const int64_t* FindCounter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  const double* FindGauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+  const Accumulator* FindDistribution(const std::string& name) const {
+    auto it = distributions_.find(name);
+    return it == distributions_.end() ? nullptr : &it->second;
+  }
+  const Histogram* FindHist(const std::string& name) const {
+    auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + distributions_.size() +
+           hists_.size();
+  }
+
+  /// Deterministic JSON dump: sections in fixed order, names sorted (std::map
+  /// iteration order), fixed floating-point precision.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Accumulator> distributions_;
+  std::map<std::string, Histogram> hists_;
+};
+
+}  // namespace declust::obs

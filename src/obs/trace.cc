@@ -1,0 +1,126 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace declust::obs {
+
+const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kQuery:
+      return "query";
+    case Component::kScheduler:
+      return "scheduler";
+    case Component::kCpu:
+      return "cpu";
+    case Component::kDma:
+      return "dma";
+    case Component::kDisk:
+      return "disk";
+    case Component::kNetwork:
+      return "network";
+    case Component::kBackoff:
+      return "backoff";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+uint64_t Tracer::BeginSpan(const char* name, Component component, int node,
+                           int64_t query, double now, uint64_t parent) {
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.name = name;
+  s.component = component;
+  s.node = node;
+  s.query = query;
+  s.begin_ms = now;
+  open_.emplace(s.id, s);
+  return s.id;
+}
+
+void Tracer::EndSpan(uint64_t id, double now) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span s = it->second;
+  open_.erase(it);
+  s.end_ms = now;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(s);
+  } else {
+    ring_[head_] = s;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+uint64_t Tracer::AddComplete(const char* name, Component component, int node,
+                             int64_t query, double begin_ms, double end_ms,
+                             uint64_t parent) {
+  const uint64_t id = BeginSpan(name, component, node, query, begin_ms,
+                                parent);
+  EndSpan(id, end_ms);
+  return id;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, head_ points at the oldest surviving span.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::WriteChromeJson(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(15);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans()) {
+    if (!first) os << ",";
+    first = false;
+    // ts/dur are microseconds in the trace_event format; tid 0 is reserved
+    // for spans not bound to a node.
+    os << "{\"name\":\"" << s.name << "\",\"cat\":\""
+       << ComponentName(s.component) << "\",\"ph\":\"X\",\"ts\":"
+       << s.begin_ms * 1000.0 << ",\"dur\":" << (s.end_ms - s.begin_ms) * 1000.0
+       << ",\"pid\":0,\"tid\":" << s.node + 1 << ",\"args\":{\"id\":" << s.id
+       << ",\"parent\":" << s.parent << ",\"query\":" << s.query << "}}";
+  }
+  os << "]}\n";
+  os.flags(flags);
+  os.precision(precision);
+}
+
+void Tracer::WriteCsv(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(15);
+  os << "id,parent,query,node,component,name,begin_ms,end_ms\n";
+  for (const Span& s : spans()) {
+    os << s.id << "," << s.parent << "," << s.query << "," << s.node << ","
+       << ComponentName(s.component) << "," << s.name << "," << s.begin_ms
+       << "," << s.end_ms << "\n";
+  }
+  os.flags(flags);
+  os.precision(precision);
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  open_.clear();
+  calendar_events_ = 0;
+  calendar_resumes_ = 0;
+}
+
+}  // namespace declust::obs

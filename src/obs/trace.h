@@ -1,0 +1,121 @@
+// Structured event tracer for the simulator (observability layer).
+//
+// A Tracer records *spans* — named, component-tagged intervals of simulated
+// time attributed to a query and a node — into a fixed-capacity ring buffer
+// (oldest spans are overwritten once the ring is full, so tracing a long run
+// keeps the most recent history instead of growing without bound). The
+// engine emits phase spans (query, plan, site activation, select, page) and
+// the hardware models emit leaf spans (disk queue/service, CPU, DMA,
+// network occupancy) through the obs::Probe, giving a parent-linked span
+// tree that replays a single query's life end to end.
+//
+// Tracing is strictly opt-in: nothing in the simulator touches a Tracer
+// unless an obs::Probe with a non-null `tracer` was wired into the machine,
+// and a null probe costs exactly one pointer test per hardware operation.
+//
+// Two serializations:
+//   * WriteChromeJson — Chrome trace_event "X" (complete) events, loadable
+//     in chrome://tracing or Perfetto; ts/dur are microseconds.
+//   * WriteCsv — one row per span, for ad-hoc grepping and for the
+//     round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace declust::obs {
+
+/// Resource/phase category of a span (also the Chrome "cat" field).
+enum class Component : uint8_t {
+  kQuery,      ///< whole-query root span
+  kScheduler,  ///< scheduler/coordinator phases (plan, activate, commit)
+  kCpu,        ///< regular CPU service (includes its queue wait)
+  kDma,        ///< preempting SCSI FIFO -> memory transfer
+  kDisk,       ///< disk queue wait + seek/latency/transfer
+  kNetwork,    ///< interface occupancy and awaited deliveries
+  kBackoff,    ///< retry backoff sleeps
+};
+
+/// Stable lowercase name of a component ("query", "cpu", ...).
+const char* ComponentName(Component c);
+
+/// \brief One completed interval of simulated time.
+///
+/// `name` must point at a string with static storage duration (the tracer
+/// stores the pointer, not a copy); every call site uses literals.
+struct Span {
+  uint64_t id = 0;      ///< unique, increasing in BeginSpan order; never 0
+  uint64_t parent = 0;  ///< enclosing span id, 0 for roots
+  const char* name = "";
+  Component component = Component::kQuery;
+  int node = -1;       ///< hardware node, -1 when not node-bound
+  int64_t query = -1;  ///< query id, -1 when not query-bound
+  double begin_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+/// \brief Ring-buffer span recorder. Not thread-safe; one per Simulation
+/// (the simulator itself is single-threaded per instance).
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  /// Opens a span at `now`. Returns its id (use with EndSpan / as a child's
+  /// parent). Ids increase in BeginSpan order, which is deterministic for a
+  /// deterministic simulation.
+  uint64_t BeginSpan(const char* name, Component component, int node,
+                     int64_t query, double now, uint64_t parent = 0);
+
+  /// Closes an open span and commits it to the ring. Unknown ids (e.g. a
+  /// span evicted because too many were left open) are ignored.
+  void EndSpan(uint64_t id, double now);
+
+  /// Records an already-closed span directly (hardware completion hooks).
+  uint64_t AddComplete(const char* name, Component component, int node,
+                       int64_t query, double begin_ms, double end_ms,
+                       uint64_t parent = 0);
+
+  /// Calendar hook (wire via Simulation::SetTracer): counts dispatched
+  /// events so a trace can report how much kernel activity it covered.
+  void OnCalendarEvent(double /*now*/, uint64_t /*event_id*/, bool resume) {
+    ++calendar_events_;
+    if (resume) ++calendar_resumes_;
+  }
+
+  /// Completed spans, oldest first (at most `capacity` of them).
+  std::vector<Span> spans() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Spans committed to the ring so far (including overwritten ones).
+  uint64_t recorded() const { return recorded_; }
+  /// Spans lost to ring overwrite.
+  uint64_t dropped() const {
+    return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  }
+  size_t open_spans() const { return open_.size(); }
+  uint64_t calendar_events() const { return calendar_events_; }
+  uint64_t calendar_resumes() const { return calendar_resumes_; }
+
+  void WriteChromeJson(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+
+  /// Drops all recorded and open spans (capacity is kept).
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<Span> ring_;  // grows to capacity_, then wraps at head_
+  size_t head_ = 0;         // next write position once the ring is full
+  uint64_t recorded_ = 0;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Span> open_;
+  uint64_t calendar_events_ = 0;
+  uint64_t calendar_resumes_ = 0;
+};
+
+}  // namespace declust::obs

@@ -74,6 +74,7 @@ EventId Simulation::PushEvent(SimTime at, uint32_t slot) {
   }
   heap_[i] = entry;
   ++live_events_;
+  if (live_events_ > peak_live_events_) peak_live_events_ = live_events_;
   return MakeId(s.gen, slot);
 }
 

@@ -219,6 +219,10 @@ class Simulation {
   /// cancelled).
   size_t pending_events() const { return live_events_; }
 
+  /// High-water mark of pending_events() over the simulation's lifetime
+  /// (calendar population a run actually needed; reported by obs metrics).
+  size_t peak_pending_events() const { return peak_live_events_; }
+
   /// True during teardown; resources consult this to avoid waking processes
   /// that are about to be destroyed.
   bool draining() const { return draining_; }
@@ -279,6 +283,7 @@ class Simulation {
   uint64_t next_seq_ = 0;
   uint64_t events_dispatched_ = 0;
   size_t live_events_ = 0;
+  size_t peak_live_events_ = 0;
   bool stop_requested_ = false;
   bool draining_ = false;
 

@@ -33,6 +33,36 @@ TEST(AccumulatorTest, ConfidenceIntervalShrinksWithSamples) {
   EXPECT_GT(small.ConfidenceHalfWidth95(), large.ConfidenceHalfWidth95());
 }
 
+TEST(AccumulatorTest, ConfidenceIntervalUsesStudentT) {
+  // n = 2: stddev = sqrt(2)/sqrt(2)... use {0, 2}: mean 1, s = sqrt(2),
+  // half-width = t_1 * s / sqrt(2) = 12.706 * sqrt(2) / sqrt(2).
+  Accumulator two;
+  two.Add(0.0);
+  two.Add(2.0);
+  EXPECT_NEAR(two.ConfidenceHalfWidth95(), 12.706, 1e-9);
+
+  // n = 3 with {0, 1, 2}: s = 1, half-width = t_2 / sqrt(3).
+  Accumulator three;
+  for (double x : {0.0, 1.0, 2.0}) three.Add(x);
+  EXPECT_NEAR(three.ConfidenceHalfWidth95(), 4.303 / std::sqrt(3.0), 1e-9);
+
+  // The t critical value dominates z for every df, so a t-based interval
+  // is never narrower than the old normal approximation.
+  RandomStream r(11);
+  Accumulator acc;
+  for (int i = 0; i < 40; ++i) {
+    acc.Add(r.NextDouble());
+    if (acc.count() < 2) continue;
+    const double z_width =
+        1.96 * acc.stddev() / std::sqrt(static_cast<double>(acc.count()));
+    const double ratio = acc.ConfidenceHalfWidth95() / z_width;
+    EXPECT_GE(ratio, 1.0 - 1e-12);
+    if (acc.count() > 31) {
+      EXPECT_NEAR(ratio, 1.0, 1e-12);  // beyond the table, falls back to z
+    }
+  }
+}
+
 TEST(TimeWeightedTest, PiecewiseConstantAverage) {
   TimeWeighted tw;
   tw.Update(0.0, 2.0);   // value 2 on [0, 10)
@@ -71,6 +101,85 @@ TEST(HistogramTest, MedianOfUniform) {
   for (int i = 0; i < 100000; ++i) h.Add(r.NextDouble());
   EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
   EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+}
+
+TEST(HistogramTest, QuantileSkipsLeadingEmptyBuckets) {
+  // All mass sits in bucket 7 of [0,10); q=0 must resolve there, not to 0.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.Add(7.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.Add(100.0);
+  // Every sample is >= hi_, so every quantile clamps to hi_ — including
+  // q=0, which the old boundary handling sent to lo_.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileUnderflowAndOverflowSplit) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 2; ++i) h.Add(-5.0);   // underflow
+  for (int i = 0; i < 6; ++i) h.Add(4.5);    // bucket 4
+  for (int i = 0; i < 2; ++i) h.Add(50.0);   // overflow
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);    // in underflow mass -> lo_
+  EXPECT_DOUBLE_EQ(h.Quantile(0.2), 0.0);    // boundary of underflow mass
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.5);    // (5-2)/6 of bucket 4
+  EXPECT_DOUBLE_EQ(h.Quantile(0.8), 5.0);    // top edge of bucket 4
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 10.0);  // in overflow mass -> hi_
+}
+
+TEST(HistogramTest, QuantileBoundaryBetweenBucketsWithGap) {
+  // 5 samples in bucket 0, 5 in bucket 2; the median is the shared mass
+  // boundary, i.e. the top edge of bucket 0.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.Add(0.5);
+  for (int i = 0; i < 5; ++i) h.Add(2.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+  // Just past the boundary the quantile jumps into bucket 2.
+  EXPECT_GE(h.Quantile(0.51), 2.0);
+}
+
+TEST(HistogramTest, QuantilePropertyVsSortedSample) {
+  // Property test: for samples inside [lo, hi), the histogram quantile must
+  // be within one bucket width of the exact quantile of the sorted sample.
+  RandomStream r(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram h(0.0, 100.0, 50);
+    const double width = 100.0 / 50.0;
+    std::vector<double> sample;
+    const int n = 50 + static_cast<int>(r.NextDouble() * 450);
+    for (int i = 0; i < n; ++i) {
+      // Mix of uniform and clustered mass so many buckets stay empty.
+      double x = r.NextDouble() < 0.5 ? r.NextDouble() * 100.0
+                                      : 37.0 + r.NextDouble() * 2.0;
+      sample.push_back(x);
+      h.Add(x);
+    }
+    std::sort(sample.begin(), sample.end());
+    for (double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      // The estimate must fall within one bucket width of the bracketing
+      // order statistics: for target = q*n, the ceil(target)-th sample from
+      // below and the (floor(target)+1)-th from above (identical except
+      // when the target is an exact sample-count boundary, where the
+      // estimate may legitimately land anywhere between the two).
+      const double target = q * static_cast<double>(n);
+      size_t lo_idx =
+          target <= 1.0 ? 0 : static_cast<size_t>(std::ceil(target)) - 1;
+      size_t hi_idx = static_cast<size_t>(std::floor(target));
+      lo_idx = std::min(lo_idx, static_cast<size_t>(n - 1));
+      hi_idx = std::min(std::max(hi_idx, lo_idx), static_cast<size_t>(n - 1));
+      const double est = h.Quantile(q);
+      EXPECT_GE(est, sample[lo_idx] - width - 1e-9)
+          << "trial=" << trial << " q=" << q << " n=" << n;
+      EXPECT_LE(est, sample[hi_idx] + width + 1e-9)
+          << "trial=" << trial << " q=" << q << " n=" << n;
+    }
+  }
 }
 
 TEST(PearsonTest, PerfectPositive) {

@@ -5,49 +5,87 @@
 namespace declust::engine {
 namespace {
 
+// Lookup-then-Insert models the read path: probe first, make the page
+// resident only once the read succeeded.
+bool Access(BufferPool* pool, hw::PageAddress page) {
+  if (pool->Lookup(page)) return true;
+  pool->Insert(page);
+  return false;
+}
+
 TEST(BufferPoolTest, ZeroCapacityAlwaysMisses) {
   BufferPool pool(0);
-  EXPECT_FALSE(pool.Touch({0, 0}));
-  EXPECT_FALSE(pool.Touch({0, 0}));
+  EXPECT_FALSE(Access(&pool, {0, 0}));
+  EXPECT_FALSE(Access(&pool, {0, 0}));
   EXPECT_EQ(pool.hits(), 0u);
   EXPECT_EQ(pool.misses(), 2u);
   EXPECT_EQ(pool.resident(), 0);
 }
 
-TEST(BufferPoolTest, SecondTouchHits) {
+TEST(BufferPoolTest, SecondAccessHits) {
   BufferPool pool(4);
-  EXPECT_FALSE(pool.Touch({1, 2}));
-  EXPECT_TRUE(pool.Touch({1, 2}));
+  EXPECT_FALSE(Access(&pool, {1, 2}));
+  EXPECT_TRUE(Access(&pool, {1, 2}));
   EXPECT_EQ(pool.hits(), 1u);
   EXPECT_EQ(pool.misses(), 1u);
   EXPECT_DOUBLE_EQ(pool.HitRate(), 0.5);
 }
 
+TEST(BufferPoolTest, LookupAloneDoesNotInsert) {
+  // The phantom-hit fix: a miss must not make the page resident — only an
+  // explicit Insert after a successful read does.
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Lookup({3, 7}));
+  EXPECT_EQ(pool.resident(), 0);
+  EXPECT_FALSE(pool.Lookup({3, 7}));  // still a miss, not a phantom hit
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  pool.Insert({3, 7});
+  EXPECT_EQ(pool.resident(), 1);
+  EXPECT_TRUE(pool.Lookup({3, 7}));
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPoolTest, InsertIsIdempotentAndUncounted) {
+  BufferPool pool(4);
+  pool.Insert({0, 1});
+  pool.Insert({0, 1});
+  EXPECT_EQ(pool.resident(), 1);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST(BufferPoolTest, InsertOnZeroCapacityIsNoop) {
+  BufferPool pool(0);
+  pool.Insert({0, 1});
+  EXPECT_EQ(pool.resident(), 0);
+}
+
 TEST(BufferPoolTest, LruEviction) {
   BufferPool pool(2);
-  pool.Touch({0, 0});
-  pool.Touch({0, 1});
-  pool.Touch({0, 2});  // evicts {0,0}
-  EXPECT_FALSE(pool.Touch({0, 0}));  // miss: was evicted (and re-inserted)
-  EXPECT_TRUE(pool.Touch({0, 2}));
+  Access(&pool, {0, 0});
+  Access(&pool, {0, 1});
+  Access(&pool, {0, 2});                // evicts {0,0}
+  EXPECT_FALSE(Access(&pool, {0, 0}));  // miss: was evicted (and re-inserted)
+  EXPECT_TRUE(Access(&pool, {0, 2}));
   EXPECT_EQ(pool.resident(), 2);
 }
 
-TEST(BufferPoolTest, TouchPromotesToMru) {
+TEST(BufferPoolTest, LookupPromotesToMru) {
   BufferPool pool(2);
-  pool.Touch({0, 0});
-  pool.Touch({0, 1});
-  pool.Touch({0, 0});  // promote {0,0}
-  pool.Touch({0, 2});  // evicts {0,1}, not {0,0}
-  EXPECT_TRUE(pool.Touch({0, 0}));
-  EXPECT_FALSE(pool.Touch({0, 1}));
+  Access(&pool, {0, 0});
+  Access(&pool, {0, 1});
+  Access(&pool, {0, 0});  // promote {0,0}
+  Access(&pool, {0, 2});  // evicts {0,1}, not {0,0}
+  EXPECT_TRUE(Access(&pool, {0, 0}));
+  EXPECT_FALSE(Access(&pool, {0, 1}));
 }
 
 TEST(BufferPoolTest, DistinctCylindersDistinctKeys) {
   BufferPool pool(8);
-  pool.Touch({1, 5});
-  EXPECT_FALSE(pool.Touch({2, 5}));
-  EXPECT_TRUE(pool.Touch({1, 5}));
+  Access(&pool, {1, 5});
+  EXPECT_FALSE(Access(&pool, {2, 5}));
+  EXPECT_TRUE(Access(&pool, {1, 5}));
 }
 
 TEST(BufferPoolTest, HitRateOnEmptyPool) {
@@ -59,7 +97,7 @@ TEST(BufferPoolTest, WorkingSetSmallerThanCapacityAlwaysHitsAfterWarmup) {
   BufferPool pool(100);
   for (int pass = 0; pass < 3; ++pass) {
     for (int i = 0; i < 50; ++i) {
-      const bool hit = pool.Touch({0, i});
+      const bool hit = Access(&pool, {0, i});
       if (pass > 0) {
         EXPECT_TRUE(hit) << pass << " " << i;
       }

@@ -1,0 +1,170 @@
+// System-level observability tests: the tiling invariant (per-query cost
+// components sum to the response time on a single data site), probes not
+// perturbing the simulation, and deterministic, round-trippable traces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/decluster/range.h"
+#include "src/engine/system.h"
+#include "src/obs/probe.h"
+#include "src/obs/trace.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::engine {
+namespace {
+
+using workload::MakeMix;
+using workload::ResourceClass;
+
+storage::Relation MakeRel() {
+  workload::WisconsinOptions o;
+  o.cardinality = 10'000;
+  o.seed = 31;
+  return workload::MakeWisconsin(o);
+}
+
+struct SysRun {
+  int64_t completed = 0;
+  double mean_response_ms = 0;
+  bool has_components = false;
+  double unattributed_lo = 0;  ///< min per-query unattributed ms
+  double unattributed_hi = 0;  ///< max per-query unattributed ms
+};
+
+SysRun RunSystem(obs::Probe* probe, int num_processors, int mpl,
+                 double measure_ms = 2'000) {
+  const storage::Relation rel = MakeRel();
+  const auto wl = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+  auto part =
+      decluster::RangePartitioning::Create(rel, {0, 1}, num_processors);
+  EXPECT_TRUE(part.ok());
+  sim::Simulation sim;
+  SystemConfig config;
+  config.hw.num_processors = num_processors;
+  config.multiprogramming_level = mpl;
+  config.probe = probe;
+  System system(&sim, config, &rel, part->get(), &wl);
+  EXPECT_TRUE(system.Init().ok());
+  system.Start();
+  sim.RunUntil(500);
+  system.metrics().StartMeasurement(sim.now());
+  sim.RunUntil(500 + measure_ms);
+  SysRun r;
+  r.completed = system.metrics().completed_in_window();
+  r.mean_response_ms = system.metrics().response_ms().mean();
+  r.has_components = system.metrics().has_components();
+  r.unattributed_lo = system.metrics().component_unattributed().min();
+  r.unattributed_hi = system.metrics().component_unattributed().max();
+  return r;
+}
+
+// With one processor every query runs on a single data site, so the cost
+// buckets (disk wait/service, cpu, dma, network, queueing, backoff) must
+// tile each response time exactly: unattributed == 0 for every completion.
+TEST(QueryTraceTest, SingleSiteComponentsTileResponseExactly) {
+  obs::Probe probe;  // costs only, no tracer
+  const SysRun run = RunSystem(&probe, /*num_processors=*/1, /*mpl=*/1);
+  ASSERT_GT(run.completed, 10);
+  ASSERT_TRUE(run.has_components);
+  EXPECT_NEAR(run.unattributed_lo, 0.0, 1e-6);
+  EXPECT_NEAR(run.unattributed_hi, 0.0, 1e-6);
+}
+
+// Observability is strictly passive: a run with the probe armed must
+// reproduce the unprobed run's measurements bit for bit, and the unprobed
+// run must do no component accounting at all.
+TEST(QueryTraceTest, ProbeDoesNotPerturbTheSimulation) {
+  const SysRun off = RunSystem(nullptr, /*num_processors=*/4, /*mpl=*/4);
+  obs::Probe probe;
+  const SysRun on = RunSystem(&probe, /*num_processors=*/4, /*mpl=*/4);
+  EXPECT_FALSE(off.has_components);
+  EXPECT_TRUE(on.has_components);
+  EXPECT_GT(off.completed, 0);
+  EXPECT_EQ(off.completed, on.completed);
+  EXPECT_DOUBLE_EQ(off.mean_response_ms, on.mean_response_ms);
+}
+
+// Two identical traced runs must produce byte-identical span tables
+// (deterministic simulation + deterministic span ids).
+TEST(QueryTraceTest, TracedRunsAreDeterministic) {
+  std::string first;
+  for (int i = 0; i < 2; ++i) {
+    obs::Tracer tracer;
+    obs::Probe probe(&tracer);
+    RunSystem(&probe, /*num_processors=*/2, /*mpl=*/2, /*measure_ms=*/500);
+    EXPECT_GT(tracer.recorded(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    std::ostringstream os;
+    tracer.WriteCsv(os);
+    if (i == 0) {
+      first = os.str();
+    } else {
+      EXPECT_EQ(first, os.str());
+    }
+  }
+}
+
+/// Minimal trace_event parser for the round-trip test.
+struct ChromeEvent {
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+  int tid = -1;
+};
+
+std::vector<ChromeEvent> ParseChromeJson(const std::string& json) {
+  std::vector<ChromeEvent> out;
+  const std::string marker = "{\"name\":\"";
+  size_t pos = 0;
+  while ((pos = json.find(marker, pos)) != std::string::npos) {
+    ChromeEvent e;
+    const size_t name_begin = pos + marker.size();
+    const size_t name_end = json.find('"', name_begin);
+    e.name = json.substr(name_begin, name_end - name_begin);
+    const auto number_after = [&](const char* key) {
+      const size_t k = json.find(key, pos);
+      EXPECT_NE(k, std::string::npos) << key;
+      return std::strtod(json.c_str() + k + std::string(key).size(), nullptr);
+    };
+    e.ts = number_after("\"ts\":");
+    e.dur = number_after("\"dur\":");
+    e.tid = static_cast<int>(number_after("\"tid\":"));
+    pos = name_end;
+    out.push_back(e);
+  }
+  return out;
+}
+
+// WriteChromeJson must round-trip: one event per recorded span, in span
+// order, with ts/dur in microseconds and tid = node + 1.
+TEST(QueryTraceTest, ChromeJsonRoundTripsAgainstSpans) {
+  obs::Tracer tracer;
+  obs::Probe probe(&tracer);
+  RunSystem(&probe, /*num_processors=*/2, /*mpl=*/2, /*measure_ms=*/500);
+  const std::vector<obs::Span> spans = tracer.spans();
+  ASSERT_FALSE(spans.empty());
+
+  std::ostringstream os;
+  tracer.WriteChromeJson(os);
+  const std::vector<ChromeEvent> events = ParseChromeJson(os.str());
+  ASSERT_EQ(events.size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(events[i].name, spans[i].name) << i;
+    EXPECT_EQ(events[i].tid, spans[i].node + 1) << i;
+    EXPECT_NEAR(events[i].ts, spans[i].begin_ms * 1000.0,
+                1e-9 * std::abs(spans[i].begin_ms * 1000.0) + 1e-9)
+        << i;
+    EXPECT_NEAR(events[i].dur,
+                (spans[i].end_ms - spans[i].begin_ms) * 1000.0, 1e-6)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace declust::engine

@@ -1,0 +1,84 @@
+#include "src/obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace declust::obs {
+namespace {
+
+TEST(ManifestTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(ManifestTest, BuildVersionIsNonEmpty) {
+  EXPECT_NE(BuildVersion(), nullptr);
+  EXPECT_FALSE(std::string(BuildVersion()).empty());
+}
+
+Manifest SampleManifest() {
+  Manifest m;
+  m.tool = "run_experiment";
+  m.build = "test-build";
+  m.seed = 7;
+  m.params.emplace_back("name", "\"low-low\"");
+  m.params.emplace_back("repeats", "3");
+  m.fault_spec = "io:node0@t=0,rate=0.05";
+  m.jobs = 4;
+  m.points.push_back({"range/mpl=1", 0x1234});
+  m.points.push_back({"range/mpl=16", 0x5678});
+  m.result_digest = 0xdeadbeef;
+  return m;
+}
+
+TEST(ManifestTest, WriteJsonContainsAllFieldsInInsertionOrder) {
+  std::ostringstream os;
+  WriteManifestJson(os, SampleManifest());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tool\": \"run_experiment\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\": \"test-build\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"low-low\""), std::string::npos);
+  EXPECT_NE(json.find("\"repeats\": 3"), std::string::npos);
+  EXPECT_NE(json.find("io:node0@t=0,rate=0.05"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("range/mpl=1"), std::string::npos);
+  EXPECT_NE(json.find("range/mpl=16"), std::string::npos);
+  // Params keep insertion order (name before repeats).
+  EXPECT_LT(json.find("\"name\""), json.find("\"repeats\""));
+  // Points keep sweep order.
+  EXPECT_LT(json.find("range/mpl=1"), json.find("range/mpl=16"));
+}
+
+TEST(ManifestTest, WriteJsonIsDeterministic) {
+  const Manifest m = SampleManifest();
+  std::ostringstream a, b;
+  WriteManifestJson(a, m);
+  WriteManifestJson(b, m);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ManifestTest, WriteFileRoundTripsAndFailsOnBadPath) {
+  const Manifest m = SampleManifest();
+  const std::string path = ::testing::TempDir() + "declust_manifest_test.json";
+  ASSERT_TRUE(WriteManifestFile(path, m).ok());
+  std::ifstream in(path);
+  std::stringstream read_back;
+  read_back << in.rdbuf();
+  std::ostringstream expected;
+  WriteManifestJson(expected, m);
+  EXPECT_EQ(read_back.str(), expected.str());
+  std::remove(path.c_str());
+
+  const Status bad = WriteManifestFile("/nonexistent-dir/x/manifest.json", m);
+  EXPECT_TRUE(bad.IsUnavailable()) << bad.ToString();
+}
+
+}  // namespace
+}  // namespace declust::obs

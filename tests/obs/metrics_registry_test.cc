@@ -1,0 +1,100 @@
+#include "src/obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace declust::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterGaugeRegisterAndFind) {
+  MetricsRegistry reg;
+  int64_t& c = reg.Counter("queries");
+  c += 3;
+  reg.Gauge("util") = 0.5;
+  EXPECT_EQ(*reg.FindCounter("queries"), 3);
+  EXPECT_DOUBLE_EQ(*reg.FindGauge("util"), 0.5);
+  EXPECT_EQ(reg.FindCounter("nope"), nullptr);
+  EXPECT_EQ(reg.FindGauge("nope"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  reg.Counter("c") = 7;
+  EXPECT_EQ(reg.Counter("c"), 7);  // second call finds, not resets
+  reg.Hist("h", 0.0, 10.0, 10).Add(1.0);
+  // A re-registration with a different layout returns the original.
+  Histogram& h = reg.Hist("h", 0.0, 100.0, 5);
+  EXPECT_EQ(h.buckets(), 10);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, CachedPointersSurviveLaterRegistrations) {
+  MetricsRegistry reg;
+  int64_t* c = &reg.Counter("first");
+  Accumulator* d = &reg.Distribution("dist.first");
+  // Register many more names; std::map storage must not move the originals.
+  for (int i = 0; i < 500; ++i) {
+    reg.Counter("extra." + std::to_string(i)) = i;
+    reg.Distribution("dist.extra." + std::to_string(i)).Add(i);
+  }
+  *c = 42;
+  d->Add(1.5);
+  EXPECT_EQ(*reg.FindCounter("first"), 42);
+  EXPECT_EQ(reg.FindDistribution("dist.first")->count(), 1);
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.Counter("zeta") = 1;
+  reg.Counter("alpha") = 2;
+  reg.Distribution("resp").Add(10.0);
+  reg.Distribution("resp").Add(20.0);
+  reg.Hist("lat", 0.0, 100.0, 10).Add(42.0);
+
+  std::ostringstream a, b;
+  reg.WriteJson(a);
+  reg.WriteJson(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  const std::string json = a.str();
+  // Sections in fixed order, names sorted within a section.
+  const size_t counters = json.find("\"counters\"");
+  const size_t alpha = json.find("\"alpha\"");
+  const size_t zeta = json.find("\"zeta\"");
+  const size_t dists = json.find("\"distributions\"");
+  const size_t hists = json.find("\"histograms\"");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(dists, std::string::npos);
+  ASSERT_NE(hists, std::string::npos);
+  EXPECT_LT(counters, alpha);
+  EXPECT_LT(alpha, zeta);
+  EXPECT_LT(zeta, dists);
+  EXPECT_LT(dists, hists);
+  EXPECT_NE(json.find("\"mean\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonHandlesEmptyRegistry) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.WriteJson(os);
+  EXPECT_NE(os.str().find("\"counters\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonEmitsNullForNonFiniteValues) {
+  MetricsRegistry reg;
+  reg.Gauge("bad") = std::numeric_limits<double>::infinity();
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace declust::obs

@@ -1,0 +1,128 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace declust::obs {
+namespace {
+
+TEST(TracerTest, BeginEndCommitsSpanWithNesting) {
+  Tracer t;
+  const uint64_t root = t.BeginSpan("query", Component::kQuery, -1, 7, 0.0);
+  const uint64_t child =
+      t.BeginSpan("select", Component::kQuery, 3, 7, 1.5, root);
+  EXPECT_NE(root, 0u);
+  EXPECT_NE(child, 0u);
+  EXPECT_NE(root, child);
+  EXPECT_EQ(t.open_spans(), 2u);
+
+  t.EndSpan(child, 4.0);
+  t.EndSpan(root, 5.0);
+  EXPECT_EQ(t.open_spans(), 0u);
+
+  const std::vector<Span> spans = t.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Commit order: child closed first.
+  EXPECT_EQ(spans[0].id, child);
+  EXPECT_EQ(spans[0].parent, root);
+  EXPECT_EQ(spans[0].node, 3);
+  EXPECT_EQ(spans[0].query, 7);
+  EXPECT_DOUBLE_EQ(spans[0].begin_ms, 1.5);
+  EXPECT_DOUBLE_EQ(spans[0].end_ms, 4.0);
+  EXPECT_EQ(spans[1].id, root);
+  EXPECT_EQ(spans[1].parent, 0u);
+}
+
+TEST(TracerTest, IdsIncreaseInBeginOrder) {
+  Tracer t;
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = t.AddComplete("x", Component::kCpu, 0, i, i, i + 1);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(TracerTest, EndOfUnknownIdIsIgnored) {
+  Tracer t;
+  t.EndSpan(12345, 1.0);
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDropped) {
+  Tracer t(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    t.AddComplete("s", Component::kDisk, i, i, i * 1.0, i * 1.0 + 0.5);
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const std::vector<Span> spans = t.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first view of the most recent four (nodes 6, 7, 8, 9).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[static_cast<size_t>(i)].node, 6 + i);
+  }
+}
+
+TEST(TracerTest, ClearDropsEverythingButKeepsCapacity) {
+  Tracer t(/*capacity=*/8);
+  t.AddComplete("s", Component::kCpu, 0, 0, 0.0, 1.0);
+  (void)t.BeginSpan("open", Component::kQuery, -1, 1, 0.0);
+  t.Clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.open_spans(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.capacity(), 8u);
+}
+
+TEST(TracerTest, CalendarHookCountsEventsAndResumes) {
+  Tracer t;
+  t.OnCalendarEvent(0.0, 1, false);
+  t.OnCalendarEvent(0.5, 2, true);
+  t.OnCalendarEvent(1.0, 3, true);
+  EXPECT_EQ(t.calendar_events(), 3u);
+  EXPECT_EQ(t.calendar_resumes(), 2u);
+}
+
+TEST(TracerTest, ComponentNamesAreStable) {
+  EXPECT_STREQ(ComponentName(Component::kQuery), "query");
+  EXPECT_STREQ(ComponentName(Component::kScheduler), "scheduler");
+  EXPECT_STREQ(ComponentName(Component::kCpu), "cpu");
+  EXPECT_STREQ(ComponentName(Component::kDma), "dma");
+  EXPECT_STREQ(ComponentName(Component::kDisk), "disk");
+  EXPECT_STREQ(ComponentName(Component::kNetwork), "network");
+  EXPECT_STREQ(ComponentName(Component::kBackoff), "backoff");
+}
+
+TEST(TracerTest, CsvHasHeaderAndOneRowPerSpan) {
+  Tracer t;
+  t.AddComplete("disk.read", Component::kDisk, 2, 11, 1.25, 3.75);
+  std::ostringstream os;
+  t.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("id,parent,query,node,component,name,begin_ms,end_ms"),
+            std::string::npos);
+  EXPECT_NE(csv.find("disk.read"), std::string::npos);
+  EXPECT_NE(csv.find(",11,2,disk,"), std::string::npos);
+}
+
+TEST(TracerTest, ChromeJsonEmitsCompleteEventsInMicroseconds) {
+  Tracer t;
+  t.AddComplete("cpu", Component::kCpu, 1, 5, 2.0, 3.5);
+  std::ostringstream os;
+  t.WriteChromeJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // 2.0 ms -> 2000 us, duration 1.5 ms -> 1500 us.
+  EXPECT_NE(json.find("\"ts\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1500"), std::string::npos);
+  // tid is node + 1 so the host/scheduler (-1) lands on tid 0.
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace declust::obs

@@ -178,6 +178,23 @@ int main(int argc, char** argv) {
   }
   const double armed_s = Seconds(f0, f1);
 
+  // Observability overhead guard: the same sweep with per-query component
+  // probes armed (no tracer). This is the --components price; the default
+  // probe-free path is the one guarded by identical_results below.
+  std::cerr << "timing quick fig08 sweep with component probes armed...\n";
+  exp::RunnerOptions obs_opts;
+  obs_opts.jobs = 1;
+  obs_opts.collect_components = true;
+  const auto o0 = Clock::now();
+  auto probed = exp::RunThroughputSweep(cfg, obs_opts);
+  const auto o1 = Clock::now();
+  if (!probed.ok()) {
+    std::cerr << "probed sweep failed: " << probed.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double probed_s = Seconds(o0, o1);
+
   std::ostringstream a, b;
   exp::PrintCsv(a, *serial);
   exp::PrintCsv(b, *parallel);
@@ -211,6 +228,13 @@ int main(int argc, char** argv) {
       << "    \"inactive_plan_wall_s\": " << armed_s << ",\n"
       << "    \"armed_overhead_ratio\": "
       << (serial_s > 0 ? armed_s / serial_s : 0) << "\n"
+      << "  },\n"
+      << "  \"obs\": {\n"
+      << "    \"config\": \"fig08 quick, component probes, no tracer\",\n"
+      << "    \"probe_off_wall_s\": " << serial_s << ",\n"
+      << "    \"probe_on_wall_s\": " << probed_s << ",\n"
+      << "    \"probe_overhead_ratio\": "
+      << (serial_s > 0 ? probed_s / serial_s : 0) << "\n"
       << "  },\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"

@@ -44,7 +44,16 @@ void Usage() {
       "                     (ignores --faults)\n"
       "  --watchdog S       warn on stderr when a replication runs longer\n"
       "                     than S wall-clock seconds (default off)\n"
-      "  --csv              emit CSV instead of the table\n";
+      "  --csv              emit CSV instead of the table\n"
+      "  --components       collect per-query response components (disk\n"
+      "                     wait/service, cpu, network, queue) per point\n"
+      "  --manifest FILE    write a run manifest (build, seed, params,\n"
+      "                     per-point metric digests) as JSON\n"
+      "  --trace FILE       write a Chrome trace_event JSON of one traced\n"
+      "                     replication (first strategy, first MPL)\n"
+      "  --trace-csv FILE   same trace as a flat CSV span table\n"
+      "  --metrics-json FILE  write the traced replication's full metrics\n"
+      "                     registry and simulator counters as JSON\n";
 }
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -84,6 +93,7 @@ int main(int argc, char** argv) {
   exp::ExperimentConfig cfg;
   cfg.name = "low-low";
   exp::RunnerOptions runner_opts;
+  exp::ExplainOptions explain_opts;
   bool csv = false;
   int degraded = -1;
 
@@ -158,6 +168,16 @@ int main(int argc, char** argv) {
       runner_opts.watchdog_warn_s = std::atof(next());
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--components") {
+      runner_opts.collect_components = true;
+    } else if (arg == "--manifest") {
+      runner_opts.manifest_path = next();
+    } else if (arg == "--trace") {
+      explain_opts.trace_json_path = next();
+    } else if (arg == "--trace-csv") {
+      explain_opts.trace_csv_path = next();
+    } else if (arg == "--metrics-json") {
+      explain_opts.metrics_json_path = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -166,6 +186,22 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
+  }
+
+  // Explain pass: one traced replication of the first (strategy, MPL)
+  // point; runs before the sweep so its artifacts exist even if the sweep
+  // config is large. Status goes to stderr, keeping stdout report-only.
+  const bool explain = !explain_opts.trace_json_path.empty() ||
+                       !explain_opts.trace_csv_path.empty() ||
+                       !explain_opts.metrics_json_path.empty();
+  if (explain) {
+    const Status st = exp::RunExplain(cfg, explain_opts);
+    if (!st.ok()) {
+      std::cerr << "explain run failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "explain: traced " << cfg.strategies.front() << " @ MPL "
+              << cfg.mpls.front() << "\n";
   }
 
   if (degraded >= 0) {
