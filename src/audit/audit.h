@@ -1,0 +1,145 @@
+// Invariant auditor: a standing correctness layer for the simulator.
+//
+// The paper's conclusions rest on accounting identities that the seed code
+// verified only in isolated unit tests. The Auditor enforces them
+// continuously while a run executes (opt-in via --audit; a null pointer
+// otherwise, so the default path is byte-identical and within noise):
+//
+//   calendar   clock monotonicity (no event fires before the clock, none is
+//              scheduled in the past) and event balance:
+//                scheduled = dispatched + cancelled + pending-at-exit
+//   resources  sim::Resource server accounting: 0 <= available <= capacity,
+//              and no unit idle while the wait queue is non-empty
+//              (work conservation)
+//   queries    engine::System conservation, per run and per node:
+//                submitted = completed + failed + in-flight,
+//                0 <= in-flight <= multiprogramming level,
+//              and per-node site accounting (finished <= dispatched, with
+//              the difference bounded by the in-flight queries)
+//   tiling     the obs cost components of a single-data-site query sum to
+//              its response time (promoted from tests/engine/query_trace
+//              to a runtime check whenever probes are armed)
+//   activation the per-query activated-processor count never exceeds the
+//              machine size (the oracle in src/audit/oracle.h enforces the
+//              tighter catalog-derived bounds)
+//
+// Violations are recorded, not thrown: the run completes and the caller
+// (src/exp/runner) reports the violation count and the first few messages.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/probe.h"
+#include "src/sim/simulation.h"
+
+namespace declust::audit {
+
+/// \brief Collects invariant checks and violations for one simulation run.
+///
+/// Confined to one Simulation/System pair (one replication); parallel sweeps
+/// give each worker its own Auditor, mirroring the Simulation itself.
+class Auditor : public sim::AuditHook {
+ public:
+  /// At most this many violation messages are kept verbatim; further
+  /// violations only increment the counter.
+  static constexpr size_t kMaxMessages = 16;
+
+  Auditor() = default;
+
+  /// Declares the engine-side shape of the run: the closed-loop terminal
+  /// count (bounds in-flight queries) and the operator-node count (sizes
+  /// the per-node site counters). Call before the simulation starts.
+  void BindSystem(int multiprogramming_level, int num_nodes);
+
+  // --- sim::AuditHook (calendar + resource invariants) ---
+  void OnEventScheduled(sim::SimTime at, sim::SimTime now) override;
+  void OnEventDispatched(sim::SimTime at, sim::SimTime prev_now) override;
+  void OnEventCancelled() override;
+  void OnResourceTransition(const char* name, int capacity, int available,
+                            size_t waiters) override;
+
+  // --- engine hooks (query/site conservation) ---
+  void OnQuerySubmitted();
+  /// The planner chose this query's processor set. Checks that every node id
+  /// is in range and the activation is bounded by the machine size, and
+  /// remembers the site counts for the tiling check at completion.
+  void OnQueryActivation(int64_t query_id, const std::vector<int>& aux_nodes,
+                         const std::vector<int>& data_nodes);
+  /// Query finished. `costs` may be null (no probe armed); when present and
+  /// the query ran on exactly one data site with no aux phase, the cost
+  /// components must tile the response time.
+  void OnQueryCompleted(int64_t query_id, double response_ms,
+                        const obs::QueryCosts* costs);
+  void OnQueryFailed(int64_t query_id);
+  void OnSiteDispatched(int node);
+  void OnSiteFinished(int node);
+  /// Response-time tiling primitive: for a query that ran on exactly one
+  /// data site (and no aux sites) the cost components sum to the response.
+  void CheckTiling(int64_t query_id, double response_ms,
+                   const obs::QueryCosts& costs, int data_sites,
+                   int aux_sites);
+
+  /// End-of-run checks that need global state: the calendar balance against
+  /// `sim` (call before the Simulation is destroyed, after the last
+  /// RunUntil) and the query-conservation identity.
+  void Finalize(const sim::Simulation& sim);
+
+  // --- results ---
+  bool ok() const { return violations_ == 0; }
+  int64_t checks() const { return checks_; }
+  int64_t violations() const { return violations_; }
+  const std::vector<std::string>& messages() const { return messages_; }
+
+  int64_t queries_submitted() const { return submitted_; }
+  int64_t queries_completed() const { return completed_; }
+  int64_t queries_failed() const { return failed_; }
+  int64_t queries_in_flight() const { return in_flight_; }
+
+  /// One-line summary, e.g. "audit: 182345 checks, 0 violations".
+  std::string Summary() const;
+  /// Summary plus the retained violation messages, one per line.
+  void WriteReport(std::ostream& os) const;
+
+  /// Records a violation directly (used by checks and by tests).
+  void Violation(std::string message);
+
+ private:
+  /// Runs one check: `ok` false records `message` (built lazily by the
+  /// caller only on failure paths).
+  void Check(bool ok, const char* what);
+
+  int64_t checks_ = 0;
+  int64_t violations_ = 0;
+  std::vector<std::string> messages_;
+
+  // Calendar accounting (independent of the Simulation's own counters, so
+  // the balance identity is a genuine cross-check).
+  int64_t scheduled_ = 0;
+  int64_t dispatched_ = 0;
+  int64_t cancelled_ = 0;
+
+  // Query conservation.
+  int mpl_ = 0;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t failed_ = 0;
+  int64_t in_flight_ = 0;
+
+  // Per-node site accounting.
+  std::vector<int64_t> site_dispatched_;
+  std::vector<int64_t> site_finished_;
+
+  // (aux sites, data sites) per live query, recorded at activation and
+  // consumed at completion for the tiling check. Bounded by the
+  // multiprogramming level: entries are erased when the query finishes.
+  std::unordered_map<int64_t, std::pair<int, int>> live_activations_;
+
+  bool finalized_ = false;
+};
+
+}  // namespace declust::audit

@@ -1,0 +1,40 @@
+#include "src/audit/differential.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace declust::audit {
+
+std::vector<std::string> DifferentialReport::Mismatches() const {
+  std::vector<std::string> out;
+  if (variants.empty()) return out;
+  const VariantDigest& base = variants.front();
+  for (size_t i = 1; i < variants.size(); ++i) {
+    if (variants[i].digest == base.digest) continue;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: digest %016" PRIx64 " != %s baseline %016" PRIx64,
+                  variants[i].label.c_str(), variants[i].digest,
+                  base.label.c_str(), base.digest);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+std::string DifferentialReport::Summary() const {
+  const size_t bad = Mismatches().size();
+  char buf[160];
+  if (bad == 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "differential %s: %zu variants, all digests equal",
+                  point.c_str(), variants.size());
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "differential %s: %zu of %zu variants diverge from the "
+                  "baseline",
+                  point.c_str(), bad, variants.size());
+  }
+  return std::string(buf);
+}
+
+}  // namespace declust::audit

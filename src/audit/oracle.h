@@ -1,0 +1,66 @@
+// Cross-strategy result oracle.
+//
+// The simulator never materializes query results — it only *costs* them —
+// so a planner bug (a strategy skipping a processor that holds qualifying
+// tuples) would silently bias every figure. The oracle closes that gap with
+// a slow reference executor: it evaluates each generated predicate directly
+// against the relation and checks, for every strategy under test, that
+//
+//   * the tuples reachable through the strategy's data sites are exactly
+//     the reference qualifying set (no false negatives, and therefore the
+//     same set for every strategy — MAGIC, BERD and range declustering must
+//     agree tuple-for-tuple);
+//   * site lists are well-formed (in range, duplicate-free);
+//   * activated-processor counts respect the catalog-derived bounds on the
+//     dense Wisconsin domain: nothing exceeds P; contiguous range fragments
+//     (range, and BERD on its primary attribute) activate at most
+//     min(P, W) processors for a width-W predicate; a hash exact-match on
+//     the primary attribute activates exactly 1; BERD's auxiliary phase
+//     touches at most min(P, W) aux fragments and its data phase exactly
+//     the qualifying tuples' home processors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/decluster/strategy.h"
+#include "src/storage/relation.h"
+#include "src/workload/mixes.h"
+
+namespace declust::audit {
+
+struct OracleOptions {
+  /// Queries drawn from the workload (class frequencies respected).
+  int num_queries = 128;
+  /// Seed of the oracle's own query stream (independent of the sweep's).
+  uint64_t seed = 1;
+};
+
+/// \brief Outcome of one oracle pass over a set of strategies.
+struct OracleReport {
+  int64_t queries = 0;
+  int64_t checks = 0;
+  int64_t mismatches = 0;
+  /// First few mismatch descriptions (capped like Auditor::kMaxMessages).
+  std::vector<std::string> messages;
+
+  bool ok() const { return mismatches == 0; }
+  std::string Summary() const;
+};
+
+/// Runs the oracle: draws `options.num_queries` predicates from `workload`
+/// over `relation`'s dense domain and validates every partitioning in
+/// `strategies` against the reference executor. The partitionings must all
+/// cover `relation` with the same processor count.
+///
+/// `attr_a`/`attr_b` are the schema ids of the partitioning attributes
+/// (predicate attr 0 resolves to `attr_a`, attr 1 to `attr_b`), matching
+/// engine::SystemConfig.
+OracleReport RunOracle(
+    const storage::Relation& relation,
+    const std::vector<const decluster::Partitioning*>& strategies,
+    const workload::Workload& workload, storage::AttrId attr_a,
+    storage::AttrId attr_b, OracleOptions options = {});
+
+}  // namespace declust::audit

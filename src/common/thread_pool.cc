@@ -1,7 +1,10 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+
+#include "src/common/parse.h"
 
 namespace declust {
 
@@ -59,7 +62,19 @@ int ThreadPool::ResolveJobs(int requested) {
   if (jobs <= 0) {
     jobs = 1;
     if (const char* env = std::getenv("DECLUST_JOBS")) {
-      jobs = std::atoi(env);
+      // Validated: "DECLUST_JOBS=abc" used to atoi to 0 and silently run
+      // serial. Malformed or negative values now fail fast (0 still means
+      // "default", matching --jobs 0).
+      const auto parsed = ParseInt(env, 0, 1 << 20);
+      if (!parsed.ok()) {
+        std::fprintf(stderr,
+                     "invalid DECLUST_JOBS=%s: %s\n"
+                     "usage: DECLUST_JOBS=N with integer N >= 0 "
+                     "(0 = default, serial)\n",
+                     env, parsed.status().message().c_str());
+        std::exit(2);
+      }
+      jobs = *parsed;
     }
   }
   // Oversubscription is allowed (results are scheduling-independent); it

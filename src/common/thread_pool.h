@@ -36,8 +36,10 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Worker-thread count to use for `requested` jobs: 0 resolves the
-  /// DECLUST_JOBS environment variable (absent/invalid -> 1); the result is
-  /// clamped to >= 1. Oversubscription is permitted.
+  /// DECLUST_JOBS environment variable (absent -> 1; malformed or negative
+  /// values terminate with exit code 2 and a usage message rather than
+  /// silently running serial); the result is clamped to >= 1.
+  /// Oversubscription is permitted.
   static int ResolveJobs(int requested);
 
  private:

@@ -54,6 +54,11 @@ Status System::Init() {
       workload_, relation_->cardinality(),
       RandomStream(config_.seed).Fork(0xABCD));
 
+  if (config_.audit != nullptr) {
+    config_.audit->BindSystem(config_.multiprogramming_level,
+                              config_.hw.num_processors);
+  }
+
   if (config_.buffer_pool_pages > 0) {
     pools_.reserve(static_cast<size_t>(config_.hw.num_processors));
     for (int n = 0; n < config_.hw.num_processors; ++n) {
@@ -90,6 +95,7 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
     obs::QueryObs qo{config_.probe, next_query_id_++, 0, {}};
     qo.span = obs::BeginSpan(&qo, "query", obs::Component::kQuery,
                              host_node(), start);
+    if (config_.audit != nullptr) config_.audit->OnQuerySubmitted();
     const Status st = co_await ExecuteQuery(q, &qo);
     obs::EndSpan(&qo, qo.span, sim_->now());
     if (config_.probe != nullptr) config_.probe->ClearContext();
@@ -97,8 +103,14 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
       metrics_.RecordCompletion(q.class_index, sim_->now() - start,
                                 config_.probe != nullptr ? &qo.costs
                                                          : nullptr);
+      if (config_.audit != nullptr) {
+        config_.audit->OnQueryCompleted(
+            qo.query, sim_->now() - start,
+            config_.probe != nullptr ? &qo.costs : nullptr);
+      }
     } else {
       metrics_.RecordFailure(q.class_index);
+      if (config_.audit != nullptr) config_.audit->OnQueryFailed(qo.query);
       // A failure detected at dispatch costs zero simulated time; without a
       // pause the closed loop would spin forever at one instant.
       if (config_.failover.failed_query_backoff_ms > 0) {
@@ -135,6 +147,10 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   DECLUST_CO_RETURN_NOT_OK(plan_st);
 
   const decluster::PlanSites sites = partitioning_->SitesFor(pred);
+  if (config_.audit != nullptr) {
+    config_.audit->OnQueryActivation(qo->query, sites.aux_nodes,
+                                     sites.data_nodes);
+  }
 
   // Phase 1 (BERD secondary-attribute queries): auxiliary lookups, strictly
   // before the data phase.
@@ -197,9 +213,11 @@ sim::Task<> System::RunDataSite(int coord, size_t site_idx, int node,
     site_obs = obs::QueryObs{qo->probe, qo->query, qo->span, {}};
     sq = &site_obs;
   }
+  if (config_.audit != nullptr) config_.audit->OnSiteDispatched(node);
   const Status st =
       co_await DataSiteSelect(coord, site_idx, node, pred, sequential_scan,
                               ctx, sq);
+  if (config_.audit != nullptr) config_.audit->OnSiteFinished(node);
   if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
@@ -295,7 +313,9 @@ sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
     site_obs = obs::QueryObs{qo->probe, qo->query, qo->span, {}};
     sq = &site_obs;
   }
+  if (config_.audit != nullptr) config_.audit->OnSiteDispatched(node);
   const Status st = co_await AuxSiteLookup(coord, node, pred, ctx, sq);
+  if (config_.audit != nullptr) config_.audit->OnSiteFinished(node);
   if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();

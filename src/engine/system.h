@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/common/random.h"
 #include "src/engine/catalog.h"
 #include "src/engine/metrics.h"
@@ -66,6 +67,13 @@ struct SystemConfig {
   /// When set, every query gets a cost breakdown and — if the probe carries
   /// a Tracer — a span tree. When null, zero obs work runs anywhere.
   obs::Probe* probe = nullptr;
+  /// Optional invariant auditor (non-owning; must outlive the System).
+  /// When set, the engine reports query submissions/completions, per-site
+  /// dispatch/finish and planner activations so conservation identities are
+  /// checked live (src/audit). The caller usually also installs it on the
+  /// Simulation (sim::Simulation::SetAuditHook) for calendar coverage.
+  /// When null, the default path pays one branch per hook site.
+  audit::Auditor* audit = nullptr;
 };
 
 /// \brief One simulated system instance bound to a Simulation.

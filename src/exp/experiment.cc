@@ -1,6 +1,7 @@
 #include "src/exp/experiment.h"
 
 #include <cstdlib>
+#include <string>
 
 #include "src/decluster/berd.h"
 #include "src/decluster/cmd.h"
@@ -8,6 +9,7 @@
 #include "src/decluster/magic.h"
 #include "src/decluster/range.h"
 #include "src/exp/runner.h"
+#include "src/sim/fault.h"
 
 namespace declust::exp {
 
@@ -45,6 +47,62 @@ Result<std::unique_ptr<decluster::Partitioning>> MakePartitioning(
     return std::unique_ptr<decluster::Partitioning>(std::move(p));
   }
   return Status::NotFound("unknown strategy: " + strategy);
+}
+
+Status ValidateExperimentConfig(const ExperimentConfig& config) {
+  const auto invalid = [](const std::string& what) {
+    return Status::InvalidArgument("invalid experiment config: " + what);
+  };
+  if (config.num_processors < 1) {
+    return invalid("num_processors must be >= 1, got " +
+                   std::to_string(config.num_processors));
+  }
+  if (config.cardinality < 1) {
+    return invalid("cardinality must be >= 1, got " +
+                   std::to_string(config.cardinality));
+  }
+  if (config.repeats < 1) {
+    return invalid("repeats must be >= 1, got " +
+                   std::to_string(config.repeats));
+  }
+  if (!(config.warmup_ms >= 0)) {  // also rejects NaN
+    return invalid("warmup_ms must be >= 0, got " +
+                   std::to_string(config.warmup_ms));
+  }
+  if (!(config.measure_ms > 0)) {
+    return invalid("measure_ms must be > 0, got " +
+                   std::to_string(config.measure_ms));
+  }
+  if (!(config.correlation >= 0.0 && config.correlation <= 1.0)) {
+    return invalid("correlation must be in [0, 1], got " +
+                   std::to_string(config.correlation));
+  }
+  if (config.mpls.empty()) return invalid("MPL list is empty");
+  for (int mpl : config.mpls) {
+    if (mpl < 1) {
+      return invalid("every MPL must be >= 1, got " + std::to_string(mpl));
+    }
+  }
+  if (config.strategies.empty()) return invalid("strategy list is empty");
+  if (config.mix.qb_low_tuples < 1) {
+    return invalid("qb_low_tuples must be >= 1, got " +
+                   std::to_string(config.mix.qb_low_tuples));
+  }
+  if (!config.faults.empty()) {
+    auto plan = sim::FaultPlan::Parse(config.faults);
+    if (!plan.ok()) {
+      return invalid("fault spec: " + plan.status().message());
+    }
+    // Events may target operator nodes only; catching this here (instead of
+    // at System::Init inside a worker) fails the sweep before it starts.
+    if (plan->max_node() >= config.num_processors) {
+      return invalid("fault spec targets node " +
+                     std::to_string(plan->max_node()) + " but only " +
+                     std::to_string(config.num_processors) +
+                     " operator nodes exist");
+    }
+  }
+  return Status::OK();
 }
 
 ExperimentConfig ApplyQuickMode(ExperimentConfig config) {

@@ -95,7 +95,28 @@ struct SweepResult {
   /// True when the sweep ran with per-query component probes armed; the
   /// comp_* columns of every point are meaningful (and reports print them).
   bool has_components = false;
+  /// Audit outcome (RunnerOptions::audit): live invariant checks summed
+  /// across every replication, plus the cross-strategy result oracle's
+  /// verdict. All zero / empty when the sweep ran unaudited.
+  bool audited = false;
+  int64_t audit_checks = 0;
+  int64_t audit_violations = 0;
+  int64_t oracle_queries = 0;
+  int64_t oracle_checks = 0;
+  int64_t oracle_mismatches = 0;
+  /// First few violation/mismatch descriptions, prefixed with their origin
+  /// replication or "oracle:".
+  std::vector<std::string> audit_messages;
 };
+
+/// Rejects configs that would run a meaningless (or crashing) sweep:
+/// num_processors/cardinality/repeats < 1, negative warmup, non-positive
+/// measurement window, correlation outside [0, 1], empty or non-positive
+/// MPL list, empty strategy list, and fault specs that do not parse or that
+/// target a node outside [0, num_processors). Called by RunThroughputSweep
+/// and RunExplain after quick-mode is applied, so every entry point fails
+/// fast with a diagnostic instead of dividing by zero mid-sweep.
+Status ValidateExperimentConfig(const ExperimentConfig& config);
 
 /// Builds a partitioning by strategy name ("range", "hash", "BERD",
 /// "MAGIC") for the given relation and workload.

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/audit/oracle.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/manifest.h"
@@ -28,14 +29,17 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
                                     const decluster::Partitioning& partitioning,
                                     const workload::Workload& workload,
                                     int mpl, int rep, obs::Probe* probe,
-                                    std::string* metrics_json) {
+                                    std::string* metrics_json,
+                                    audit::Auditor* auditor) {
   sim::Simulation sim;
+  if (auditor != nullptr) sim.SetAuditHook(auditor);
   engine::SystemConfig sys_config;
   sys_config.hw.num_processors = config.num_processors;
   sys_config.multiprogramming_level = mpl;
   sys_config.seed = config.seed + static_cast<uint64_t>(mpl) * 1000 +
                     static_cast<uint64_t>(rep) * 7'919;
   sys_config.probe = probe;
+  sys_config.audit = auditor;
   if (probe != nullptr && probe->tracer() != nullptr) {
     // Count calendar dispatches in the trace (one indirect call per event;
     // only ever paid on explicitly traced runs).
@@ -106,6 +110,9 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
         met.component_sched_queue().mean() + met.component_backoff().mean();
     m.comp_unattributed_ms = met.component_unattributed().mean();
   }
+  // Finalize while the Simulation is still alive: the calendar-balance
+  // identity needs its pending-event count.
+  if (auditor != nullptr) auditor->Finalize(sim);
   if (metrics_json != nullptr) {
     std::ostringstream os;
     os << "{\n  \"sim\": {\n"
@@ -273,6 +280,7 @@ struct JobWatch {
 Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
                                        const RunnerOptions& options) {
   const ExperimentConfig config = ApplyQuickMode(raw_config);
+  DECLUST_RETURN_NOT_OK(ValidateExperimentConfig(config));
   const int jobs = ThreadPool::ResolveJobs(options.jobs);
 
   // Shared read-only inputs, built once.
@@ -302,6 +310,10 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
       num_strategies * num_mpls * static_cast<size_t>(reps);
   std::vector<RepMetrics> rep_metrics(num_jobs);
   std::vector<Status> rep_status(num_jobs, Status::OK());
+  // One auditor per replication (confined to its Simulation, like the
+  // probe); slot ownership makes concurrent writes race-free.
+  std::vector<std::unique_ptr<audit::Auditor>> auditors(
+      options.audit ? num_jobs : 0);
 
   const auto job_index = [&](size_t s, size_t m, int r) {
     return (s * num_mpls + m) * static_cast<size_t>(reps) +
@@ -325,11 +337,20 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     try {
       // One probe per replication (a Probe is bound to one Simulation's
       // hardware and carries per-submit context, so it cannot be shared
-      // across workers). No tracer: sweeps collect costs only.
+      // across workers). No tracer: sweeps collect costs only. Audited
+      // runs always arm the probe — the response-tiling identity needs
+      // per-query costs — but the comp_* columns still surface only when
+      // --components asked for them.
       obs::Probe probe;
+      audit::Auditor* auditor = nullptr;
+      if (options.audit) {
+        auditors[idx] = std::make_unique<audit::Auditor>();
+        auditor = auditors[idx].get();
+      }
       auto res = RunSweepPointRep(
           config, relation, *partitionings[s], wl, config.mpls[m], r,
-          options.collect_components ? &probe : nullptr);
+          options.collect_components || options.audit ? &probe : nullptr,
+          /*metrics_json=*/nullptr, auditor);
       if (res.ok()) {
         rep_metrics[idx] = *res;
       } else {
@@ -427,6 +448,48 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     result.curves.push_back(std::move(curve));
   }
 
+  if (options.audit) {
+    result.audited = true;
+    // Invariant totals, in sweep order so the retained messages are stable
+    // for any job count.
+    constexpr size_t kMaxMessages = 16;
+    for (size_t s = 0; s < num_strategies; ++s) {
+      for (size_t m = 0; m < num_mpls; ++m) {
+        for (int r = 0; r < reps; ++r) {
+          const audit::Auditor* a = auditors[job_index(s, m, r)].get();
+          if (a == nullptr) continue;
+          result.audit_checks += a->checks();
+          result.audit_violations += a->violations();
+          for (const std::string& msg : a->messages()) {
+            if (result.audit_messages.size() >= kMaxMessages) break;
+            result.audit_messages.push_back(
+                config.strategies[s] + "/mpl=" +
+                std::to_string(config.mpls[m]) + "/rep=" + std::to_string(r) +
+                ": " + msg);
+          }
+        }
+      }
+    }
+
+    // Cross-strategy result oracle: one pass over all partitionings (they
+    // share the relation and processor count by construction).
+    std::vector<const decluster::Partitioning*> parts;
+    parts.reserve(partitionings.size());
+    for (const auto& p : partitionings) parts.push_back(p.get());
+    audit::OracleOptions oracle_opts;
+    oracle_opts.seed = config.seed;
+    const audit::OracleReport oracle = audit::RunOracle(
+        relation, parts, wl, workload::WisconsinAttrs::kUnique1,
+        workload::WisconsinAttrs::kUnique2, oracle_opts);
+    result.oracle_queries = oracle.queries;
+    result.oracle_checks = oracle.checks;
+    result.oracle_mismatches = oracle.mismatches;
+    for (const std::string& msg : oracle.messages) {
+      if (result.audit_messages.size() >= kMaxMessages) break;
+      result.audit_messages.push_back("oracle: " + msg);
+    }
+  }
+
   if (!options.manifest_path.empty()) {
     DECLUST_RETURN_NOT_OK(obs::WriteManifestFile(
         options.manifest_path, BuildSweepManifest(result, jobs)));
@@ -437,10 +500,7 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
 Status RunExplain(const ExperimentConfig& raw_config,
                   const ExplainOptions& options) {
   const ExperimentConfig config = ApplyQuickMode(raw_config);
-  if (config.strategies.empty() || config.mpls.empty()) {
-    return Status::InvalidArgument(
-        "explain needs at least one strategy and one MPL");
-  }
+  DECLUST_RETURN_NOT_OK(ValidateExperimentConfig(config));
 
   workload::WisconsinOptions wopts;
   wopts.cardinality = config.cardinality;
@@ -488,6 +548,73 @@ Status RunExplain(const ExperimentConfig& raw_config,
                    [&](std::ostream& os) { os << metrics_json; }));
   }
   return Status::OK();
+}
+
+Result<audit::DifferentialReport> RunAuditDifferential(
+    const ExperimentConfig& raw_config, const RunnerOptions& options) {
+  ExperimentConfig config = ApplyQuickMode(raw_config);
+  DECLUST_RETURN_NOT_OK(ValidateExperimentConfig(config));
+  // One sweep point keeps the check cheap; >= 2 replications give the
+  // parallel variant genuinely concurrent simulations to reorder.
+  config.strategies = {config.strategies.front()};
+  config.mpls = {config.mpls.front()};
+  config.repeats = std::max(2, config.repeats);
+
+  audit::DifferentialReport report;
+  report.point = config.strategies.front() + "/mpl=" +
+                 std::to_string(config.mpls.front());
+
+  const auto run_variant = [](audit::DifferentialReport* rep,
+                              const std::string& label,
+                              const ExperimentConfig& cfg, int jobs,
+                              bool audited) -> Status {
+    RunnerOptions vopts;
+    vopts.jobs = jobs;
+    vopts.audit = audited;
+    DECLUST_ASSIGN_OR_RETURN(const SweepResult res,
+                             RunThroughputSweep(cfg, vopts));
+    // Digest every aggregated point exactly as the run manifest does, so a
+    // differential failure points at the same fingerprint a stored manifest
+    // would show.
+    std::string all;
+    for (const auto& curve : res.curves) {
+      for (const auto& p : curve.points) {
+        all += PointDigestKey(curve.strategy, p);
+        all += '\n';
+      }
+    }
+    rep->variants.push_back(
+        audit::VariantDigest{label, obs::Fnv1a64(all)});
+    if (res.audited && (res.audit_violations > 0 || res.oracle_mismatches > 0)) {
+      return Status::Internal(
+          "differential variant '" + label + "' had " +
+          std::to_string(res.audit_violations) + " invariant violation(s), " +
+          std::to_string(res.oracle_mismatches) + " oracle mismatch(es)" +
+          (res.audit_messages.empty() ? ""
+                                      : ": " + res.audit_messages.front()));
+    }
+    return Status::OK();
+  };
+
+  DECLUST_RETURN_NOT_OK(
+      run_variant(&report, "jobs=1", config, /*jobs=*/1, /*audited=*/false));
+  DECLUST_RETURN_NOT_OK(run_variant(&report, "jobs=1+audit", config, 1, true));
+  const int par = std::max(2, ThreadPool::ResolveJobs(options.jobs));
+  DECLUST_RETURN_NOT_OK(run_variant(
+      &report, "jobs=" + std::to_string(par) + "+audit", config, par, true));
+
+  if (config.faults.empty()) {
+    // Armed-but-inactive plan: chained backups are built and the injector is
+    // armed, but the event fires far beyond the simulated horizon — results
+    // must not move (backups live after the primary extents; see PR 2).
+    ExperimentConfig armed = config;
+    const long long never_ms = static_cast<long long>(
+        (config.warmup_ms + config.measure_ms) * 10 + 1'000);
+    armed.faults = "disk:node0@t=" + std::to_string(never_ms) + "ms";
+    DECLUST_RETURN_NOT_OK(
+        run_variant(&report, "fault-plan-inactive", armed, 1, true));
+  }
+  return report;
 }
 
 }  // namespace declust::exp

@@ -12,6 +12,8 @@
 
 #include <string>
 
+#include "src/audit/audit.h"
+#include "src/audit/differential.h"
 #include "src/exp/experiment.h"
 #include "src/obs/probe.h"
 
@@ -34,6 +36,14 @@ struct RunnerOptions {
   /// When non-empty, RunThroughputSweep writes a run manifest (build id,
   /// seed, parameters, fault spec, per-point metric digests) to this path.
   std::string manifest_path = {};
+  /// Arm the invariant-audit subsystem (src/audit): every replication runs
+  /// with a per-run Auditor wired into its calendar and engine (conservation
+  /// identities checked live), a probe is armed for the response-tiling
+  /// check, and the cross-strategy result oracle validates every
+  /// partitioning against the reference executor before the sweep starts.
+  /// Results are unchanged — audit only observes — but the run costs extra
+  /// CPU. Off by default: the disabled path is one null check per hook.
+  bool audit = false;
 };
 
 /// \brief Raw measurements of one (strategy, MPL, replication) simulation.
@@ -72,13 +82,17 @@ struct RepMetrics {
 /// simulation's calendar and every hardware model emit spans into it.
 /// `metrics_json` (nullable) receives the run's full metrics registry plus
 /// simulator counters as a JSON document.
+/// `auditor` (nullable, caller-owned, one per concurrent call like `probe`)
+/// is installed on the replication's Simulation and System; its end-of-run
+/// identities are finalized before the function returns.
 Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
                                     const storage::Relation& relation,
                                     const decluster::Partitioning& partitioning,
                                     const workload::Workload& workload,
                                     int mpl, int rep,
                                     obs::Probe* probe = nullptr,
-                                    std::string* metrics_json = nullptr);
+                                    std::string* metrics_json = nullptr,
+                                    audit::Auditor* auditor = nullptr);
 
 /// Runs the full sweep with `options.jobs` workers. The serial path
 /// (jobs <= 1) and the parallel path share the same per-point and
@@ -99,5 +113,20 @@ struct ExplainOptions {
 /// small (one strategy, --mpls 1) so the span ring holds the whole run.
 Status RunExplain(const ExperimentConfig& config,
                   const ExplainOptions& options);
+
+/// Differential determinism check: shrinks `config` to its FIRST strategy
+/// and FIRST MPL (with at least 2 replications, so parallelism is real) and
+/// re-runs that sweep point under variants that must not change results:
+///   1. jobs=1, unaudited           (baseline)
+///   2. jobs=1, audited             (audit layer must only observe)
+///   3. jobs=N, audited             (scheduling independence, N >= 2)
+///   4. jobs=1, audited, plus an armed-but-inactive fault plan
+///      (chained backups built, event far beyond the horizon) — only when
+///      `config` itself is fault-free.
+/// Each variant's aggregated curve is digested exactly as the run manifest
+/// digests it; any digest differing from the baseline is a reproducibility
+/// bug. Audit violations inside a variant fail the check outright.
+Result<audit::DifferentialReport> RunAuditDifferential(
+    const ExperimentConfig& config, const RunnerOptions& options);
 
 }  // namespace declust::exp

@@ -92,6 +92,7 @@ Result<FaultEvent> ParseEvent(std::string_view item) {
   // Options: first must be t=TIME, then kind-specific key=value pairs.
   std::string_view opts = rest.substr(at + 1);
   bool have_t = false;
+  std::vector<std::string_view> seen_keys;
   while (!opts.empty()) {
     const auto comma = opts.find(',');
     std::string_view kv = Trim(opts.substr(0, comma));
@@ -104,6 +105,15 @@ Result<FaultEvent> ParseEvent(std::string_view item) {
     }
     const std::string_view key = Trim(kv.substr(0, eq));
     const std::string_view val = Trim(kv.substr(eq + 1));
+    // A repeated key is almost certainly a typo'd spec; last-wins would
+    // silently run a different fault than the user wrote.
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      return Status::InvalidArgument("faults: duplicate key '" +
+                                     std::string(key) + "' in event '" +
+                                     std::string(item) + "'");
+    }
+    seen_keys.push_back(key);
     if (key == "t") {
       DECLUST_ASSIGN_OR_RETURN(ev.at_ms, ParseTimeMs(val, "t"));
       have_t = true;

@@ -63,12 +63,14 @@ class Resource {
     bool await_ready() {
       if (res->available_ > 0) {
         --res->available_;
+        res->NotifyAudit();
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
       res->waiters_.push_back(h);
+      res->NotifyAudit();
     }
     ResourceGuard await_resume() {
       return ResourceGuard(res, res->simulation());
@@ -101,6 +103,17 @@ class Resource {
     } else {
       ++available_;
       assert(available_ <= capacity_);
+    }
+    NotifyAudit();
+  }
+
+  /// Reports the post-transition queue state to an armed auditor, which
+  /// checks the server-accounting invariants (0 <= available <= capacity;
+  /// no unit idle while the wait queue is non-empty).
+  void NotifyAudit() const {
+    if (AuditHook* a = sim_->audit_hook(); a != nullptr) {
+      a->OnResourceTransition(name_.c_str(), capacity_, available_,
+                              waiters_.size());
     }
   }
 

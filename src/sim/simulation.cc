@@ -75,6 +75,7 @@ EventId Simulation::PushEvent(SimTime at, uint32_t slot) {
   heap_[i] = entry;
   ++live_events_;
   if (live_events_ > peak_live_events_) peak_live_events_ = live_events_;
+  if (audit_ != nullptr) audit_->OnEventScheduled(at, now_);
   return MakeId(s.gen, slot);
 }
 
@@ -120,6 +121,7 @@ bool Simulation::Cancel(EventId id) {
   EventSlot& s = slots_[slot];
   if (s.gen != gen || !s.pending) return false;
   --live_events_;
+  if (audit_ != nullptr) audit_->OnEventCancelled();
   // Bumping the generation invalidates the heap entry in place; it is
   // discarded when it reaches the top.
   FreeSlot(slot);
@@ -139,6 +141,7 @@ bool Simulation::Step(SimTime horizon) {
     }
     if (top.time > horizon) return false;
     PopHeap();
+    if (audit_ != nullptr) audit_->OnEventDispatched(top.time, now_);
     now_ = top.time;
     ++events_dispatched_;
     --live_events_;

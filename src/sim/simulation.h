@@ -137,6 +137,32 @@ class SmallFn {
 
 }  // namespace detail
 
+/// \brief Invariant-audit hook interface (see src/audit).
+///
+/// Follows the fault/obs pattern: the Simulation (and the Resources bound to
+/// it) hold a nullable pointer and the default path pays only a null check.
+/// When armed (`--audit`), the calendar reports every schedule / dispatch /
+/// cancel transition and resources report their queue state after each
+/// acquire/release, so an external auditor can enforce the conservation
+/// identities continuously instead of sampling them in unit tests.
+class AuditHook {
+ public:
+  virtual ~AuditHook() = default;
+
+  /// A new event entered the calendar for absolute time `at` (`now` is the
+  /// clock at scheduling time; `at < now` is a violation).
+  virtual void OnEventScheduled(SimTime at, SimTime now) = 0;
+  /// An event is about to fire at `at`; `prev_now` is the clock before the
+  /// dispatch (`at < prev_now` would mean time ran backwards).
+  virtual void OnEventDispatched(SimTime at, SimTime prev_now) = 0;
+  /// A pending event was cancelled (O(1) generation flip).
+  virtual void OnEventCancelled() = 0;
+  /// A Resource changed state (acquire, enqueue, or release). Reported
+  /// values are the post-transition state.
+  virtual void OnResourceTransition(const char* name, int capacity,
+                                    int available, size_t waiters) = 0;
+};
+
 /// \brief The event calendar and process registry.
 ///
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
@@ -234,6 +260,12 @@ class Simulation {
     tracer_ = std::move(tracer);
   }
 
+  /// Installs an invariant auditor notified of every calendar transition
+  /// (and consulted by Resources bound to this simulation). Pass nullptr to
+  /// disable; the disabled path costs one predictable branch per event.
+  void SetAuditHook(AuditHook* audit) { audit_ = audit; }
+  AuditHook* audit_hook() const { return audit_; }
+
  private:
   friend void detail::ReleaseDetachedFrame(Simulation* sim,
                                            std::coroutine_handle<> h);
@@ -288,6 +320,7 @@ class Simulation {
   bool draining_ = false;
 
   std::function<void(SimTime, EventId, bool)> tracer_;
+  AuditHook* audit_ = nullptr;
   std::vector<HeapEntry> heap_;
   std::vector<EventSlot> slots_;
   uint32_t free_head_ = kNoSlot;

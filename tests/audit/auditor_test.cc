@@ -1,0 +1,206 @@
+// The Auditor must (a) stay silent on well-behaved runs and (b) actually
+// detect broken accounting — an invariant layer that never fires is
+// indistinguishable from one that checks nothing, so every identity gets a
+// deliberate-violation test here.
+#include "src/audit/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/probe.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace declust::audit {
+namespace {
+
+TEST(AuditorTest, CleanCalendarRunPassesAllChecks) {
+  sim::Simulation s;
+  Auditor a;
+  s.SetAuditHook(&a);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    s.ScheduleAt(static_cast<double>(i % 7), [&fired] { ++fired; });
+  }
+  const sim::EventId doomed = s.ScheduleAt(3.0, [&fired] { ++fired; });
+  s.Cancel(doomed);
+  s.Run();
+  a.Finalize(s);
+  EXPECT_EQ(fired, 100);
+  EXPECT_TRUE(a.ok()) << [&] {
+    std::ostringstream os;
+    a.WriteReport(os);
+    return os.str();
+  }();
+  EXPECT_GT(a.checks(), 0);
+  EXPECT_EQ(a.violations(), 0);
+}
+
+TEST(AuditorTest, DetectsSchedulingInThePast) {
+  sim::Simulation s;
+  Auditor a;
+  s.SetAuditHook(&a);
+  // Advance the clock past 5, then schedule behind it.
+  s.ScheduleAt(5.0, [&s] {
+    s.ScheduleAt(1.0, [] {});  // in the past: clock is at 5
+  });
+  s.Run();
+  a.Finalize(s);
+  EXPECT_FALSE(a.ok());
+  EXPECT_GE(a.violations(), 1);
+  ASSERT_FALSE(a.messages().empty());
+}
+
+TEST(AuditorTest, CalendarBalanceCountsPendingEventsAtExit) {
+  sim::Simulation s;
+  Auditor a;
+  s.SetAuditHook(&a);
+  s.ScheduleAt(1.0, [] {});
+  s.ScheduleAt(50.0, [] {});  // still pending when we stop at t=10
+  s.RunUntil(10.0);
+  a.Finalize(s);
+  EXPECT_TRUE(a.ok()) << a.Summary();
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+sim::Task<> Contender(sim::Simulation* s, sim::Resource* r, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await r->Acquire();
+    co_await s->WaitFor(0.5);
+  }
+}
+
+TEST(AuditorTest, ContendedResourcePassesAccountingChecks) {
+  sim::Simulation s;
+  Auditor a;
+  s.SetAuditHook(&a);
+  sim::Resource r(&s, 2, "disk");
+  for (int i = 0; i < 8; ++i) s.Spawn(Contender(&s, &r, 5));
+  s.Run();
+  a.Finalize(s);
+  EXPECT_TRUE(a.ok()) << a.Summary();
+  EXPECT_GT(a.checks(), 0);
+}
+
+TEST(AuditorTest, DetectsResourceOverCapacityAndIdleWithWaiters) {
+  Auditor a;
+  a.OnResourceTransition("disk", /*capacity=*/2, /*available=*/3,
+                         /*waiters=*/0);
+  EXPECT_EQ(a.violations(), 1);
+  a.OnResourceTransition("disk", 2, -1, 0);
+  EXPECT_EQ(a.violations(), 2);
+  // Work conservation: a free unit while the queue is non-empty.
+  a.OnResourceTransition("disk", 2, 1, 3);
+  EXPECT_EQ(a.violations(), 3);
+  // And the healthy shapes stay silent.
+  a.OnResourceTransition("disk", 2, 0, 3);
+  a.OnResourceTransition("disk", 2, 2, 0);
+  EXPECT_EQ(a.violations(), 3);
+}
+
+TEST(AuditorTest, QueryConservationHoldsOnBalancedCounters) {
+  Auditor a;
+  a.BindSystem(/*multiprogramming_level=*/2, /*num_nodes=*/4);
+  for (int q = 0; q < 3; ++q) {
+    a.OnQuerySubmitted();
+    a.OnQueryActivation(q, /*aux_nodes=*/{}, /*data_nodes=*/{1, 3});
+    a.OnSiteDispatched(1);
+    a.OnSiteDispatched(3);
+    a.OnSiteFinished(1);
+    a.OnSiteFinished(3);
+    a.OnQueryCompleted(q, 12.5, nullptr);
+  }
+  sim::Simulation s;  // empty: trivially balanced calendar
+  a.Finalize(s);
+  EXPECT_TRUE(a.ok()) << a.Summary();
+  EXPECT_EQ(a.queries_submitted(), 3);
+  EXPECT_EQ(a.queries_completed(), 3);
+  EXPECT_EQ(a.queries_in_flight(), 0);
+}
+
+TEST(AuditorTest, DetectsCompletionWithoutSubmission) {
+  Auditor a;
+  a.BindSystem(2, 4);
+  a.OnQueryActivation(7, {}, {0});
+  a.OnQueryCompleted(7, 1.0, nullptr);  // never submitted
+  sim::Simulation s;
+  a.Finalize(s);
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(AuditorTest, DetectsMplOverrun) {
+  Auditor a;
+  a.BindSystem(/*multiprogramming_level=*/1, /*num_nodes=*/2);
+  a.OnQuerySubmitted();
+  EXPECT_EQ(a.violations(), 0);
+  a.OnQuerySubmitted();  // 2 in flight at MPL 1
+  EXPECT_GE(a.violations(), 1);
+}
+
+TEST(AuditorTest, DetectsOutOfRangeActivation) {
+  Auditor a;
+  a.BindSystem(2, /*num_nodes=*/4);
+  a.OnQuerySubmitted();
+  a.OnQueryActivation(0, {}, {1, 4});  // node 4 out of [0, 4)
+  EXPECT_GE(a.violations(), 1);
+}
+
+TEST(AuditorTest, DetectsSiteFinishWithoutDispatch) {
+  Auditor a;
+  a.BindSystem(2, 4);
+  a.OnSiteFinished(2);  // finished > dispatched on node 2
+  EXPECT_GE(a.violations(), 1);
+}
+
+TEST(AuditorTest, TilingAcceptsExactSumAndRejectsGaps) {
+  Auditor a;
+  a.BindSystem(2, 4);
+  obs::QueryCosts costs;
+  costs.disk_wait_ms = 2.0;
+  costs.disk_service_ms = 5.0;
+  costs.cpu_service_ms = 1.5;
+  costs.sched_queue_ms = 0.5;
+  a.CheckTiling(0, costs.Total(), costs, /*data_sites=*/1, /*aux_sites=*/0);
+  EXPECT_EQ(a.violations(), 0);
+  // Multi-site responses overlap; the identity only binds 1 data / 0 aux.
+  a.CheckTiling(1, 4.0, costs, /*data_sites=*/2, /*aux_sites=*/0);
+  a.CheckTiling(2, 4.0, costs, /*data_sites=*/1, /*aux_sites=*/1);
+  EXPECT_EQ(a.violations(), 0);
+  // A real gap on a single-site query is a violation.
+  a.CheckTiling(3, costs.Total() + 1.0, costs, 1, 0);
+  EXPECT_EQ(a.violations(), 1);
+}
+
+TEST(AuditorTest, TilingRunsThroughCompletionWhenCostsPresent) {
+  Auditor a;
+  a.BindSystem(2, 4);
+  a.OnQuerySubmitted();
+  a.OnQueryActivation(9, /*aux_nodes=*/{}, /*data_nodes=*/{2});
+  obs::QueryCosts costs;
+  costs.cpu_service_ms = 3.0;
+  a.OnQueryCompleted(9, /*response_ms=*/7.0, &costs);  // 4ms unaccounted
+  EXPECT_GE(a.violations(), 1);
+}
+
+TEST(AuditorTest, MessageCapDoesNotLoseTheCount) {
+  Auditor a;
+  for (int i = 0; i < 100; ++i) a.Violation("boom " + std::to_string(i));
+  EXPECT_EQ(a.violations(), 100);
+  EXPECT_LE(a.messages().size(), Auditor::kMaxMessages);
+}
+
+TEST(AuditorTest, SummaryAndReportMentionViolations) {
+  Auditor a;
+  a.Violation("example violation text");
+  EXPECT_NE(a.Summary().find("1 violation"), std::string::npos);
+  std::ostringstream os;
+  a.WriteReport(os);
+  EXPECT_NE(os.str().find("example violation text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace declust::audit

@@ -86,8 +86,15 @@ TEST(ThreadPoolTest, ResolveJobsReadsEnvironment) {
   EXPECT_EQ(ThreadPool::ResolveJobs(0), 5);
   // An explicit request wins over the environment.
   EXPECT_EQ(ThreadPool::ResolveJobs(2), 2);
-  setenv("DECLUST_JOBS", "garbage", 1);
-  EXPECT_EQ(ThreadPool::ResolveJobs(0), 1);
+  // Malformed values no longer resolve silently to serial; they terminate
+  // with a usage message (full coverage in tests/common/parse_test.cc).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        setenv("DECLUST_JOBS", "garbage", 1);
+        ThreadPool::ResolveJobs(0);
+      },
+      testing::ExitedWithCode(2), "invalid DECLUST_JOBS");
   unsetenv("DECLUST_JOBS");
 }
 

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/parse.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
 #include "src/sim/resource.h"
@@ -123,7 +124,13 @@ int main(int argc, char** argv) {
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
+      const auto parsed = ParseInt(argv[++i], 1, 1 << 20);
+      if (!parsed.ok()) {
+        std::cerr << "--jobs: " << parsed.status().message() << "\n"
+                  << "usage: bench_report [--out FILE] [--jobs N]\n";
+        return 2;
+      }
+      jobs = *parsed;
     } else {
       std::cerr << "usage: bench_report [--out FILE] [--jobs N]\n";
       return 2;
@@ -195,10 +202,33 @@ int main(int argc, char** argv) {
   }
   const double probed_s = Seconds(o0, o1);
 
-  std::ostringstream a, b;
+  // Audit overhead guard: the same sweep with the invariant auditor armed
+  // (--audit). The serial run above IS the disabled path — its wall-clock
+  // tracks the cost of the compiled-in null checks across BENCH_kernel.json
+  // history — and this block prices the armed path and proves auditing
+  // never moves results.
+  std::cerr << "timing quick fig08 sweep with the invariant audit armed...\n";
+  exp::RunnerOptions audit_opts;
+  audit_opts.jobs = 1;
+  audit_opts.audit = true;
+  const auto a0 = Clock::now();
+  auto audited = exp::RunThroughputSweep(cfg, audit_opts);
+  const auto a1 = Clock::now();
+  if (!audited.ok()) {
+    std::cerr << "audited sweep failed: " << audited.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double audited_s = Seconds(a0, a1);
+
+  std::ostringstream a, b, c;
   exp::PrintCsv(a, *serial);
   exp::PrintCsv(b, *parallel);
+  exp::PrintCsv(c, *audited);
   const bool identical = a.str() == b.str();
+  const bool audit_identical = a.str() == c.str();
+  const bool audit_clean =
+      audited->audit_violations == 0 && audited->oracle_mismatches == 0;
 
   std::ofstream out(out_path);
   if (!out) {
@@ -236,9 +266,21 @@ int main(int argc, char** argv) {
       << "    \"probe_overhead_ratio\": "
       << (serial_s > 0 ? probed_s / serial_s : 0) << "\n"
       << "  },\n"
+      << "  \"audit_overhead\": {\n"
+      << "    \"config\": \"fig08 quick, invariant audit + oracle armed\",\n"
+      << "    \"audit_off_wall_s\": " << serial_s << ",\n"
+      << "    \"audit_on_wall_s\": " << audited_s << ",\n"
+      << "    \"audit_overhead_ratio\": "
+      << (serial_s > 0 ? audited_s / serial_s : 0) << ",\n"
+      << "    \"audit_checks\": " << audited->audit_checks << ",\n"
+      << "    \"audit_violations\": " << audited->audit_violations << ",\n"
+      << "    \"oracle_mismatches\": " << audited->oracle_mismatches << ",\n"
+      << "    \"identical_results\": "
+      << (audit_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
       << "}\n";
   std::cerr << "wrote " << out_path << "\n";
-  return identical ? 0 : 1;
+  return identical && audit_identical && audit_clean ? 0 : 1;
 }

@@ -4,10 +4,12 @@
 //   run_experiment --mix low-moderate --correlation 1 --mpls 1,16,64 --csv
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/common/parse.h"
 #include "src/exp/degraded.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
@@ -44,6 +46,12 @@ void Usage() {
       "                     (ignores --faults)\n"
       "  --watchdog S       warn on stderr when a replication runs longer\n"
       "                     than S wall-clock seconds (default off)\n"
+      "  --audit            arm the invariant-audit subsystem: conservation\n"
+      "                     identities checked live in every replication,\n"
+      "                     cross-strategy result oracle, and a differential\n"
+      "                     re-run (serial vs parallel, inactive fault plan).\n"
+      "                     Summary on stderr; exit 1 on any violation.\n"
+      "                     Results are unchanged by auditing.\n"
       "  --csv              emit CSV instead of the table\n"
       "  --components       collect per-query response components (disk\n"
       "                     wait/service, cpu, network, queue) per point\n"
@@ -64,6 +72,47 @@ std::vector<std::string> SplitCsv(const std::string& s) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+/// Parses a numeric flag value or exits 2 with the offending flag named —
+/// the atoi-family's silent garbage-to-0 conversion used to let
+/// "--mpls 1,x" run a sweep at MPL 0.
+int64_t RequireInt64(const char* flag, std::string_view value, int64_t min,
+                     int64_t max) {
+  const auto parsed = ParseInt64(value, min, max);
+  if (!parsed.ok()) {
+    std::cerr << flag << ": " << parsed.status().message() << "\n\n";
+    Usage();
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+int RequireInt(const char* flag, std::string_view value, int min, int max) {
+  return static_cast<int>(RequireInt64(flag, value, min, max));
+}
+
+double RequireDouble(const char* flag, std::string_view value, double min,
+                     double max) {
+  const auto parsed = ParseDouble(value, min, max);
+  if (!parsed.ok()) {
+    std::cerr << flag << ": " << parsed.status().message() << "\n\n";
+    Usage();
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+/// Prints an audited sweep's verdict to stderr; returns false on violations.
+bool ReportAudit(const exp::SweepResult& result) {
+  std::cerr << "audit: " << result.audit_checks << " invariant checks, "
+            << result.audit_violations << " violations; oracle: "
+            << result.oracle_queries << " queries, " << result.oracle_checks
+            << " checks, " << result.oracle_mismatches << " mismatches\n";
+  for (const auto& msg : result.audit_messages) {
+    std::cerr << "  violation: " << msg << "\n";
+  }
+  return result.audit_violations == 0 && result.oracle_mismatches == 0;
 }
 
 bool ParseMix(const std::string& name, exp::ExperimentConfig* cfg) {
@@ -124,30 +173,33 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--correlation") {
-      cfg.correlation = std::atof(next());
+      cfg.correlation = RequireDouble("--correlation", next(), 0.0, 1.0);
     } else if (arg == "--strategies") {
       cfg.strategies = SplitCsv(next());
     } else if (arg == "--mpls") {
       cfg.mpls.clear();
       for (const auto& m : SplitCsv(next())) {
-        cfg.mpls.push_back(std::atoi(m.c_str()));
+        cfg.mpls.push_back(RequireInt("--mpls", m, 1, 1 << 20));
       }
     } else if (arg == "--cardinality") {
-      cfg.cardinality = std::atoll(next());
+      cfg.cardinality = RequireInt64("--cardinality", next(), 1,
+                                     std::numeric_limits<int64_t>::max());
     } else if (arg == "--processors") {
-      cfg.num_processors = std::atoi(next());
+      cfg.num_processors = RequireInt("--processors", next(), 1, 1 << 20);
     } else if (arg == "--qb-low-tuples") {
-      cfg.mix.qb_low_tuples = std::atoll(next());
+      cfg.mix.qb_low_tuples = RequireInt64("--qb-low-tuples", next(), 1,
+                                           std::numeric_limits<int64_t>::max());
     } else if (arg == "--warmup") {
-      cfg.warmup_ms = std::atof(next());
+      cfg.warmup_ms = RequireDouble("--warmup", next(), 0.0, 1e15);
     } else if (arg == "--measure") {
-      cfg.measure_ms = std::atof(next());
+      cfg.measure_ms = RequireDouble("--measure", next(), 1e-9, 1e15);
     } else if (arg == "--repeats") {
-      cfg.repeats = std::atoi(next());
+      cfg.repeats = RequireInt("--repeats", next(), 1, 1 << 20);
     } else if (arg == "--seed") {
-      cfg.seed = static_cast<uint64_t>(std::atoll(next()));
+      cfg.seed = static_cast<uint64_t>(RequireInt64(
+          "--seed", next(), 0, std::numeric_limits<int64_t>::max()));
     } else if (arg == "--jobs") {
-      runner_opts.jobs = std::atoi(next());
+      runner_opts.jobs = RequireInt("--jobs", next(), 0, 1 << 20);
     } else if (arg == "--faults") {
       cfg.faults = next();
       // Validate the spec up front so a typo fails fast with a parse
@@ -159,13 +211,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--degraded") {
-      degraded = std::atoi(next());
-      if (degraded < 0) {
-        std::cerr << "--degraded needs a non-negative disk count\n";
-        return 2;
-      }
+      degraded = RequireInt("--degraded", next(), 0, 1 << 20);
     } else if (arg == "--watchdog") {
-      runner_opts.watchdog_warn_s = std::atof(next());
+      runner_opts.watchdog_warn_s =
+          RequireDouble("--watchdog", next(), 0.0, 1e9);
+    } else if (arg == "--audit") {
+      runner_opts.audit = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--components") {
@@ -183,6 +234,21 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  // Cross-field validation of the assembled config (e.g. a fault spec
+  // naming a node past --processors, which may be given in either order).
+  // The runner re-validates, but failing here exits 2 like every other
+  // malformed input instead of surfacing as a failed experiment.
+  {
+    exp::ExperimentConfig check = cfg;
+    if (degraded >= 0) check.faults.clear();  // degraded ignores --faults
+    const Status st = exp::ValidateExperimentConfig(check);
+    if (!st.ok()) {
+      std::cerr << st.message() << "\n\n";
       Usage();
       return 2;
     }
@@ -217,6 +283,11 @@ int main(int argc, char** argv) {
     } else {
       exp::PrintDegradedReport(std::cout, *sweeps);
     }
+    if (runner_opts.audit) {
+      bool ok = true;
+      for (const auto& sweep : *sweeps) ok = ReportAudit(sweep) && ok;
+      if (!ok) return 1;
+    }
     return 0;
   }
 
@@ -229,6 +300,22 @@ int main(int argc, char** argv) {
     exp::PrintCsv(std::cout, *result);
   } else {
     exp::PrintThroughputTable(std::cout, *result);
+  }
+  if (runner_opts.audit) {
+    bool ok = ReportAudit(*result);
+    // Differential re-run of the first sweep point: serial vs parallel vs
+    // armed-but-inactive fault plan must reproduce the same digests.
+    auto diff = exp::RunAuditDifferential(cfg, runner_opts);
+    if (!diff.ok()) {
+      std::cerr << "audit differential failed: " << diff.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::cerr << diff->Summary() << "\n";
+    for (const auto& msg : diff->Mismatches()) {
+      std::cerr << "  mismatch: " << msg << "\n";
+    }
+    if (!diff->ok() || !ok) return 1;
   }
   return 0;
 }
