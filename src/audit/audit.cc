@@ -139,6 +139,40 @@ void Auditor::OnSiteFinished(int node) {
   }
 }
 
+void Auditor::OnFragmentServe(int fragment, int exec_node, bool primary_read,
+                              bool primary_serving, bool first_serve) {
+  ++checks_;
+  if (primary_read && !primary_serving) {
+    Violation(Fmt("recovery: fragment %d read at primary node %d while the "
+                  "primary is not serving (mid-rebuild)",
+                  fragment, exec_node));
+  }
+  ++checks_;
+  if (!first_serve) {
+    Violation(Fmt("recovery: data site for fragment %d served twice "
+                  "(double-counted at node %d)",
+                  fragment, exec_node));
+  }
+}
+
+void Auditor::OnAddressFlip(int node, double at_ms) {
+  ++checks_;
+  if (node < 0 ||
+      (!site_dispatched_.empty() &&
+       static_cast<size_t>(node) >= site_dispatched_.size())) {
+    Violation(Fmt("recovery: address flip for out-of-range node %d", node));
+    return;
+  }
+  ++checks_;
+  if (at_ms < last_flip_ms_) {
+    Violation(Fmt("recovery: address flip at %.9g before an earlier flip at "
+                  "%.9g",
+                  at_ms, last_flip_ms_));
+  }
+  last_flip_ms_ = at_ms;
+  ++address_flips_;
+}
+
 void Auditor::OnQueryActivation(int64_t query_id,
                                 const std::vector<int>& aux_nodes,
                                 const std::vector<int>& data_nodes) {

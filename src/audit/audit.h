@@ -78,6 +78,17 @@ class Auditor : public sim::AuditHook {
   void OnQueryFailed(int64_t query_id);
   void OnSiteDispatched(int node);
   void OnSiteFinished(int node);
+  /// Address-flip safety (src/recover): one data/aux site committed its read
+  /// of `fragment`'s data at `exec_node`. `primary_serving` is whether the
+  /// catalog addressed the fragment to its primary at serve time — reading
+  /// the primary copy while it is mid-rebuild (not serving) is a violation,
+  /// as is serving one data site of a query more than once (!first_serve).
+  void OnFragmentServe(int fragment, int exec_node, bool primary_read,
+                       bool primary_serving, bool first_serve);
+  /// The recovery coordinator flipped `node`'s addressing back to the
+  /// primary at `at_ms` (post-rebuild re-integration).
+  void OnAddressFlip(int node, double at_ms);
+  int64_t address_flips() const { return address_flips_; }
   /// Response-time tiling primitive: for a query that ran on exactly one
   /// data site (and no aux sites) the cost components sum to the response.
   void CheckTiling(int64_t query_id, double response_ms,
@@ -133,6 +144,10 @@ class Auditor : public sim::AuditHook {
   // Per-node site accounting.
   std::vector<int64_t> site_dispatched_;
   std::vector<int64_t> site_finished_;
+
+  // Recovery re-integration accounting.
+  int64_t address_flips_ = 0;
+  double last_flip_ms_ = 0.0;
 
   // (aux sites, data sites) per live query, recorded at activation and
   // consumed at completion for the tiling check. Bounded by the

@@ -1,0 +1,70 @@
+#include "src/common/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace declust {
+
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // The temp file must live on the same filesystem as `path` for rename(2)
+  // to be atomic, so it is a sibling, not a /tmp file. The pid suffix keeps
+  // concurrent writers (e.g. two sweep tools sharing an output dir) from
+  // clobbering each other's staging file.
+#ifdef _WIN32
+  const int pid = _getpid();
+#else
+  const int pid = static_cast<int>(getpid());
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid);
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("atomic write: open '" + tmp +
+                           "' failed: " + ErrnoText());
+  }
+  const auto fail = [&](const char* step) {
+    const std::string err = ErrnoText();
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("atomic write: " + std::string(step) + " '" + tmp +
+                           "' failed: " + err);
+  };
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f) !=
+          contents.size()) {
+    return fail("write");
+  }
+  if (std::fflush(f) != 0) return fail("flush");
+#ifndef _WIN32
+  // Push the bytes to stable storage before the rename publishes them, so
+  // a crash cannot surface a renamed-but-empty file.
+  if (fsync(fileno(f)) != 0) return fail("fsync");
+#endif
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("atomic write: close '" + tmp +
+                           "' failed: " + ErrnoText());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = ErrnoText();
+    std::remove(tmp.c_str());
+    return Status::IoError("atomic write: rename '" + tmp + "' -> '" + path +
+                           "' failed: " + err);
+  }
+  return Status::OK();
+}
+
+}  // namespace declust

@@ -1,0 +1,23 @@
+// Crash-safe file output: write-to-temp + atomic rename.
+//
+// Every results/manifest/trace file the tools emit goes through
+// WriteFileAtomic so a crash, ENOSPC, or a SIGINT mid-write can never leave
+// a truncated file at the destination path: either the old content (or no
+// file) survives, or the complete new content does.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace declust {
+
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// temporary file (`path` + ".tmp.<pid>"), are flushed and fsync'd, and the
+/// temp file is rename(2)'d over `path`. On any failure the temp file is
+/// removed and `path` is untouched. Returns IoError with the failing step
+/// and errno text.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace declust

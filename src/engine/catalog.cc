@@ -271,4 +271,58 @@ AccessPlan SystemCatalog::PlanBackupAuxAccess(int failed_node,
   return plan;
 }
 
+std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
+    int node) const {
+  assert(has_backups());
+  std::vector<RebuildPage> pages;
+  const int n = num_nodes();
+  const int backup = BackupNodeOf(node);
+  const int prev = (node - 1 + n) % n;
+
+  // Pairs the i-th page of `src_extent` (on src_node's disk) with the i-th
+  // page of `dst_extent` (on the repaired node's disk). Primary and backup
+  // copies of one fragment are built from the same records with the same
+  // options, so their extents are the same length.
+  const auto copy_extent = [&](int src_node, const storage::Extent& src_extent,
+                               const storage::Extent& dst_extent) {
+    assert(src_extent.num_pages == dst_extent.num_pages);
+    const auto& src_layout = *layouts_[static_cast<size_t>(src_node)];
+    const auto& dst_layout = *layouts_[static_cast<size_t>(node)];
+    for (int64_t p = 0; p < src_extent.num_pages; ++p) {
+      auto src = src_layout.Resolve(src_extent, p);
+      auto dst = dst_layout.Resolve(dst_extent, p);
+      assert(src.ok() && dst.ok());
+      pages.push_back(RebuildPage{src_node, *src, *dst});
+    }
+  };
+
+  // The node's own (primary) fragment, restored from its chained backup.
+  {
+    const auto& from = *backup_stores_[static_cast<size_t>(node)];
+    const auto& to = *stores_[static_cast<size_t>(node)];
+    copy_extent(backup, from.data_extent(), to.data_extent());
+    copy_extent(backup, from.index_b_extent(), to.index_b_extent());
+    copy_extent(backup, from.index_a_extent(), to.index_a_extent());
+    if (berd_ != nullptr) {
+      copy_extent(backup, aux_backup_extents_[static_cast<size_t>(node)],
+                  aux_extents_[static_cast<size_t>(node)]);
+    }
+  }
+  // The backup copy of the predecessor's fragment, which also lived on the
+  // lost disk, restored from the predecessor's primary — without it the
+  // chain would have a permanent hole at `prev`.
+  if (prev != node) {
+    const auto& from = *stores_[static_cast<size_t>(prev)];
+    const auto& to = *backup_stores_[static_cast<size_t>(prev)];
+    copy_extent(prev, from.data_extent(), to.data_extent());
+    copy_extent(prev, from.index_b_extent(), to.index_b_extent());
+    copy_extent(prev, from.index_a_extent(), to.index_a_extent());
+    if (berd_ != nullptr) {
+      copy_extent(prev, aux_extents_[static_cast<size_t>(prev)],
+                  aux_backup_extents_[static_cast<size_t>(prev)]);
+    }
+  }
+  return pages;
+}
+
 }  // namespace declust::engine

@@ -78,6 +78,11 @@ class FragmentStore {
   AccessPlan ScanAccess(int attr, Value lo, Value hi,
                         const storage::DiskLayout& layout) const;
 
+  /// Physical extents, for recovery's page-for-page rebuild enumeration.
+  const storage::Extent& data_extent() const { return data_extent_; }
+  const storage::Extent& index_b_extent() const { return index_b_extent_; }
+  const storage::Extent& index_a_extent() const { return index_a_extent_; }
+
  private:
   const storage::Relation* relation_;
   std::vector<RecordId> by_b_;  // clustered order
@@ -127,6 +132,23 @@ class SystemCatalog {
   /// BERD auxiliary lookup against the backup copy of `failed_node`'s aux
   /// fragment. Requires has_backups().
   AccessPlan PlanBackupAuxAccess(int failed_node, const Predicate& q) const;
+
+  /// One page copy of a node rebuild: read `src` on `src_node`'s disk,
+  /// ship it over the interconnect, write `dst` on the repaired node.
+  struct RebuildPage {
+    int src_node = 0;
+    hw::PageAddress src;
+    hw::PageAddress dst;
+  };
+
+  /// The full page-for-page copy plan to rebuild `node` after a disk loss
+  /// (chained declustering, Hsiao & DeWitt): the node's primary fragment —
+  /// data, both index extents, and the BERD aux extent — restored from its
+  /// backup copy on BackupNodeOf(node), followed by the backup copy of the
+  /// predecessor's fragment restored from that fragment's primary. Pages
+  /// are listed in extent order, physically sequential within each extent.
+  /// Requires has_backups().
+  std::vector<RebuildPage> PlanRebuild(int node) const;
 
  private:
   const storage::Relation* relation_ = nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "src/recover/recovery.h"
+
 namespace declust::engine {
 
 System::System(sim::Simulation* sim, SystemConfig config,
@@ -78,7 +80,11 @@ void System::Start() {
 
 bool System::SiteUp(int node) {
   sim::FaultInjector* inj = machine_->injector();
-  return inj == nullptr || inj->DiskAvailable(node, sim_->now());
+  if (inj != nullptr && !inj->DiskAvailable(node, sim_->now())) return false;
+  // A repaired disk serves no foreground reads until its rebuild finishes
+  // and the recovery coordinator flips the address back to the primary.
+  return config_.recovery == nullptr ||
+         config_.recovery->ServingPrimary(node);
 }
 
 sim::Task<> System::TerminalLoop(RandomStream rng) {
@@ -103,6 +109,9 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
       metrics_.RecordCompletion(q.class_index, sim_->now() - start,
                                 config_.probe != nullptr ? &qo.costs
                                                          : nullptr);
+      if (config_.recovery != nullptr) {
+        config_.recovery->OnQueryCompleted(sim_->now(), sim_->now() - start);
+      }
       if (config_.audit != nullptr) {
         config_.audit->OnQueryCompleted(
             qo.query, sim_->now() - start,
@@ -241,6 +250,13 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
     primary = co_await RunSiteOnce(coord, node, -1, pred, sequential_scan,
                                    ctx, qo);
     if (primary.ok()) {
+      if (config_.audit != nullptr) {
+        config_.audit->OnFragmentServe(
+            node, node, /*primary_read=*/true,
+            config_.recovery == nullptr ||
+                config_.recovery->ServingPrimary(node),
+            /*first_serve=*/ctx->serving[site_idx] < 0);
+      }
       ctx->serving[site_idx] = node;
       co_return Status::OK();
     }
@@ -260,7 +276,15 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
   ++metrics_.faults().failovers;
   const Status st = co_await RunSiteOnce(coord, backup, node, pred,
                                          sequential_scan, ctx, qo);
-  if (st.ok()) ctx->serving[site_idx] = backup;
+  if (st.ok()) {
+    if (config_.audit != nullptr) {
+      config_.audit->OnFragmentServe(node, backup, /*primary_read=*/false,
+                                     /*primary_serving=*/true,
+                                     /*first_serve=*/ctx->serving[site_idx] <
+                                         0);
+    }
+    ctx->serving[site_idx] = backup;
+  }
   co_return st;
 }
 
@@ -335,6 +359,13 @@ sim::Task<Status> System::AuxSiteLookup(int coord, int node, Predicate pred,
   Status primary = Status::Unavailable("primary aux site down");
   if (SiteUp(node)) {
     primary = co_await AuxSiteOnce(coord, node, -1, pred, ctx, qo);
+    if (primary.ok() && config_.audit != nullptr) {
+      config_.audit->OnFragmentServe(
+          node, node, /*primary_read=*/true,
+          config_.recovery == nullptr ||
+              config_.recovery->ServingPrimary(node),
+          /*first_serve=*/true);
+    }
     if (primary.ok() || primary.IsDeadlineExceeded()) co_return primary;
   }
   if (!catalog_->has_backups()) co_return primary;

@@ -36,6 +36,10 @@
 #include "src/sim/fault.h"
 #include "src/workload/querygen.h"
 
+namespace declust::recover {
+class RecoveryCoordinator;
+}  // namespace declust::recover
+
 namespace declust::engine {
 
 /// \brief Everything configurable about a run.
@@ -74,6 +78,13 @@ struct SystemConfig {
   /// Simulation (sim::Simulation::SetAuditHook) for calendar coverage.
   /// When null, the default path pays one branch per hook site.
   audit::Auditor* audit = nullptr;
+  /// Optional recovery coordinator (non-owning; must outlive the System).
+  /// When set, SiteUp() also requires the coordinator to be serving the
+  /// node's primary fragment — a physically repaired disk stays out of the
+  /// query path until its rebuild finishes and the address flips back
+  /// (src/recover). The caller Arm()s and Start()s the coordinator around
+  /// Init()/Start(). When null, zero recovery work runs anywhere.
+  recover::RecoveryCoordinator* recovery = nullptr;
 };
 
 /// \brief One simulated system instance bound to a Simulation.

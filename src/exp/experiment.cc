@@ -9,6 +9,7 @@
 #include "src/decluster/magic.h"
 #include "src/decluster/range.h"
 #include "src/exp/runner.h"
+#include "src/recover/plan.h"
 #include "src/sim/fault.h"
 
 namespace declust::exp {
@@ -101,6 +102,33 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
                      std::to_string(config.num_processors) +
                      " operator nodes exist");
     }
+    if (!config.recovery.empty()) {
+      auto rplan = recover::RecoveryPlan::Parse(config.recovery);
+      if (!rplan.ok()) {
+        return invalid("recovery spec: " + rplan.status().message());
+      }
+      if (rplan->max_node() >= config.num_processors) {
+        return invalid("recovery spec targets node " +
+                       std::to_string(rplan->max_node()) + " but only " +
+                       std::to_string(config.num_processors) +
+                       " operator nodes exist");
+      }
+      // Rebuild reads the failed node's fragments from its chained backup,
+      // which only exists with >= 2 operator nodes.
+      if (config.num_processors < 2) {
+        return invalid("recovery requires >= 2 operator nodes (chained "
+                       "backups), got " +
+                       std::to_string(config.num_processors));
+      }
+      Status against = rplan->ValidateAgainst(*plan);
+      if (!against.ok()) {
+        return invalid("recovery spec: " + against.message());
+      }
+    }
+  } else if (!config.recovery.empty()) {
+    return invalid(
+        "recovery spec requires a fault spec (nothing to repair without a "
+        "disk failure)");
   }
   return Status::OK();
 }

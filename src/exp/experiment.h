@@ -38,6 +38,11 @@ struct ExperimentConfig {
   /// "disk:node3@t=5s;io:node7@t=0,rate=0.05"). Empty = failure-free run;
   /// reports then keep their exact pre-fault format.
   std::string faults;
+  /// Recovery spec (recover::RecoveryPlan::Parse grammar, e.g.
+  /// "repair:node3@t=12s,rate=4"). Requires a fault spec with a disk
+  /// failure preceding each repair. Empty = no recovery subsystem armed;
+  /// reports and digests then keep their exact pre-recovery format.
+  std::string recovery;
 };
 
 /// \brief One measured sweep point. All metrics are averaged across the
@@ -78,6 +83,22 @@ struct SweepPoint {
   double comp_network_ms = 0;
   double comp_queue_ms = 0;
   double comp_unattributed_ms = 0;
+  /// Recovery lifecycle columns, populated only for --recovery runs
+  /// (SweepResult::has_recovery). Per-phase throughput / mean response over
+  /// the measurement window, indexed by recover::RecoveryCoordinator::Phase
+  /// (normal, degraded, rebuilding, restored); zero-width phases report 0.
+  bool has_recovery = false;
+  double phase_qps[4] = {0, 0, 0, 0};
+  double phase_resp_ms[4] = {0, 0, 0, 0};
+  /// Phase-boundary timestamps (simulated ms, averaged across reps); -1
+  /// when the boundary was never reached in any replication.
+  double fail_ms = -1;
+  double rebuild_start_ms = -1;
+  double restored_ms = -1;
+  /// Rebuild work accounting, averaged (rounded) across replications.
+  int64_t rebuild_pages = 0;
+  int64_t rebuilds_completed = 0;
+  int64_t rebuilds_aborted = 0;
 };
 
 /// \brief One strategy's curve across the MPL sweep.
@@ -107,6 +128,13 @@ struct SweepResult {
   /// First few violation/mismatch descriptions, prefixed with their origin
   /// replication or "oracle:".
   std::vector<std::string> audit_messages;
+  /// True when the sweep ran with a recovery plan armed; the recovery
+  /// columns of every point are meaningful (and reports print them).
+  bool has_recovery = false;
+  /// True when a SIGINT/SIGTERM interrupt stopped the sweep early; only
+  /// the sweep points whose replications all completed are present, and
+  /// the manifest carries an `interrupted` marker.
+  bool interrupted = false;
 };
 
 /// Rejects configs that would run a meaningless (or crashing) sweep:

@@ -1,0 +1,27 @@
+#include "src/exp/interrupt.h"
+
+#include <atomic>
+
+namespace declust::exp {
+
+namespace {
+
+// Lock-free on every supported platform, so the store in a signal handler
+// is async-signal-safe; worker threads read it with acquire loads.
+std::atomic<bool> g_interrupted{false};
+
+}  // namespace
+
+void RequestInterrupt() {
+  g_interrupted.store(true, std::memory_order_release);
+}
+
+bool InterruptRequested() {
+  return g_interrupted.load(std::memory_order_acquire);
+}
+
+void ClearInterrupt() {
+  g_interrupted.store(false, std::memory_order_release);
+}
+
+}  // namespace declust::exp

@@ -1,0 +1,22 @@
+// Cooperative interrupt state for long sweeps.
+//
+// tools/run_experiment installs SIGINT/SIGTERM handlers that call
+// RequestInterrupt() (async-signal-safe: one relaxed atomic store). The
+// sweep runner polls InterruptRequested() between replications; on a
+// pending interrupt it stops launching work, assembles only the sweep
+// points whose replications all finished, and the result/manifest are
+// flushed with an `interrupted` marker instead of leaving truncated files.
+#pragma once
+
+namespace declust::exp {
+
+/// Requests a cooperative stop. Safe to call from a signal handler.
+void RequestInterrupt();
+
+/// True once RequestInterrupt() was called (and not yet cleared).
+bool InterruptRequested();
+
+/// Re-arms for the next run (tests; tools exit instead).
+void ClearInterrupt();
+
+}  // namespace declust::exp

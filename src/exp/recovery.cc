@@ -1,0 +1,49 @@
+#include "src/exp/recovery.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace declust::exp {
+
+const char* RecoveryPhaseName(int phase) {
+  switch (phase) {
+    case 0: return "normal";
+    case 1: return "degraded";
+    case 2: return "rebuilding";
+    case 3: return "restored";
+    default: return "?";
+  }
+}
+
+void PrintRecoveryReport(std::ostream& os, const SweepResult& result) {
+  if (!result.has_recovery) return;
+  os << "recovery: " << result.config.recovery << "\n";
+  const auto print_ms = [&os](double v) {
+    if (v < 0) {
+      os << "never";
+    } else {
+      os << std::fixed << std::setprecision(1) << v << "ms";
+    }
+  };
+  for (const auto& curve : result.curves) {
+    for (const auto& p : curve.points) {
+      os << "  " << curve.strategy << " @ MPL " << p.mpl << ": fail ";
+      print_ms(p.fail_ms);
+      os << ", rebuild start ";
+      print_ms(p.rebuild_start_ms);
+      os << ", restored ";
+      print_ms(p.restored_ms);
+      os << ", pages " << p.rebuild_pages << ", rebuilds "
+         << p.rebuilds_completed << " ok / " << p.rebuilds_aborted
+         << " aborted\n";
+      for (int ph = 0; ph < 4; ++ph) {
+        os << "    " << std::setw(10) << RecoveryPhaseName(ph) << ": "
+           << std::fixed << std::setprecision(1) << std::setw(8)
+           << p.phase_qps[ph] << " q/s, " << std::setw(8)
+           << p.phase_resp_ms[ph] << " ms mean response\n";
+      }
+    }
+  }
+}
+
+}  // namespace declust::exp

@@ -1,0 +1,23 @@
+// Reporting for --recovery runs: the per-phase throughput/response table
+// and phase-boundary timestamps of the fail -> degraded -> rebuilding ->
+// restored lifecycle (see src/recover/recovery.h). Only ever printed when
+// SweepResult::has_recovery — failure-free reports keep their exact
+// pre-recovery output.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/exp/experiment.h"
+
+namespace declust::exp {
+
+/// Human-readable phase name of a recover::RecoveryCoordinator::Phase
+/// index ("normal", "degraded", "rebuilding", "restored"; "?" otherwise).
+const char* RecoveryPhaseName(int phase);
+
+/// Prints the recovery block of a sweep: per strategy and MPL, the phase
+/// boundary timestamps, rebuild accounting, and the per-phase throughput /
+/// mean response columns. No-op when !result.has_recovery.
+void PrintRecoveryReport(std::ostream& os, const SweepResult& result);
+
+}  // namespace declust::exp

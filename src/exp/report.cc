@@ -86,6 +86,7 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
   // CSV output stays byte-identical to the pre-fault/pre-obs format.
   const bool faulty = !result.config.faults.empty();
   const bool components = result.has_components;
+  const bool recovery = result.has_recovery;
   os << "figure,strategy,correlation,mpl,throughput_qps,throughput_ci95,"
         "mean_response_ms,mean_response_ci95,p95_response_ms,"
         "avg_processors,disk_utilization,cpu_utilization,completed";
@@ -96,6 +97,12 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
   if (components) {
     os << ",disk_wait_ms,disk_service_ms,cpu_ms,network_ms,queue_ms,"
           "unattributed_ms";
+  }
+  if (recovery) {
+    os << ",fail_ms,rebuild_start_ms,restored_ms,rebuild_pages,"
+          "normal_qps,degraded_qps,rebuilding_qps,restored_qps,"
+          "normal_resp_ms,degraded_resp_ms,rebuilding_resp_ms,"
+          "restored_resp_ms";
   }
   os << "\n";
   for (const auto& curve : result.curves) {
@@ -117,6 +124,12 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
         os << "," << p.comp_disk_wait_ms << "," << p.comp_disk_service_ms
            << "," << p.comp_cpu_ms << "," << p.comp_network_ms << ","
            << p.comp_queue_ms << "," << p.comp_unattributed_ms;
+      }
+      if (recovery) {
+        os << "," << p.fail_ms << "," << p.rebuild_start_ms << ","
+           << p.restored_ms << "," << p.rebuild_pages;
+        for (int ph = 0; ph < 4; ++ph) os << "," << p.phase_qps[ph];
+        for (int ph = 0; ph < 4; ++ph) os << "," << p.phase_resp_ms[ph];
       }
       os << "\n";
     }

@@ -7,7 +7,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
-#include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -16,10 +16,13 @@
 #include <vector>
 
 #include "src/audit/oracle.h"
+#include "src/common/atomic_file.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/exp/interrupt.h"
 #include "src/obs/manifest.h"
 #include "src/obs/trace.h"
+#include "src/recover/recovery.h"
 #include "src/sim/fault.h"
 
 namespace declust::exp {
@@ -55,13 +58,34 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
     DECLUST_ASSIGN_OR_RETURN(fault_plan, sim::FaultPlan::Parse(config.faults));
     sys_config.fault_plan = &fault_plan;
   }
+  // The recovery coordinator (like the plans) lives on this frame; it is
+  // confined to this replication's Simulation, so the function stays pure.
+  recover::RecoveryPlan recovery_plan;
+  std::unique_ptr<recover::RecoveryCoordinator> coordinator;
+  if (!config.recovery.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(recovery_plan,
+                             recover::RecoveryPlan::Parse(config.recovery));
+    coordinator = std::make_unique<recover::RecoveryCoordinator>(
+        &recovery_plan);
+    sys_config.recovery = coordinator.get();
+  }
   engine::System system(&sim, sys_config, &relation, &partitioning,
                         &workload);
   DECLUST_RETURN_NOT_OK(system.Init());
+  if (coordinator != nullptr) {
+    double first_fault_ms = std::numeric_limits<double>::infinity();
+    for (const sim::FaultEvent& ev : fault_plan.events()) {
+      first_fault_ms = std::min(first_fault_ms, ev.at_ms);
+    }
+    coordinator->Arm(&sim, &system.machine(), &system.catalog(),
+                     first_fault_ms, auditor, probe);
+    coordinator->Start();
+  }
   system.Start();
 
   sim.RunUntil(config.warmup_ms);
   system.metrics().StartMeasurement(sim.now());
+  if (coordinator != nullptr) coordinator->StartMeasurement(sim.now());
   std::vector<double> disk_busy0(static_cast<size_t>(config.num_processors));
   double cpu_busy0 = 0;
   for (int n = 0; n < config.num_processors; ++n) {
@@ -110,6 +134,28 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
         met.component_sched_queue().mean() + met.component_backoff().mean();
     m.comp_unattributed_ms = met.component_unattributed().mean();
   }
+  if (coordinator != nullptr) {
+    m.has_recovery = true;
+    const auto phases = coordinator->Phases(sim.now());
+    for (int p = 0; p < recover::RecoveryCoordinator::kNumPhases; ++p) {
+      const recover::PhaseWindow& w = phases[static_cast<size_t>(p)];
+      const double width_ms = w.end_ms - w.start_ms;
+      m.phase_qps[p] =
+          width_ms > 0 ? static_cast<double>(w.completed) / width_ms * 1e3 : 0;
+      m.phase_resp_ms[p] =
+          w.completed > 0 ? w.response_sum_ms / static_cast<double>(w.completed)
+                          : 0;
+    }
+    // Unreached boundaries (rebuild never started / never finished) report
+    // -1 rather than +inf so they survive CSV/JSON round-trips.
+    const auto finite_or = [](double v) { return std::isfinite(v) ? v : -1.0; };
+    m.fail_ms = finite_or(coordinator->first_fault_ms());
+    m.rebuild_start_ms = finite_or(coordinator->rebuild_start_ms());
+    m.restored_ms = finite_or(coordinator->restored_ms());
+    m.rebuild_pages = coordinator->pages_rebuilt();
+    m.rebuilds_completed = coordinator->rebuilds_completed();
+    m.rebuilds_aborted = coordinator->rebuilds_aborted();
+  }
   // Finalize while the Simulation is still alive: the calendar-balance
   // identity needs its pending-event count.
   if (auditor != nullptr) auditor->Finalize(sim);
@@ -142,7 +188,13 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   Accumulator qps, mean_resp, p95, procs, disk, cpu, completed;
   Accumulator imbalance, io_errors, retries, timeouts, failovers, failed;
   Accumulator c_dwait, c_dserv, c_cpu, c_net, c_queue, c_unattr;
+  Accumulator ph_qps[4], ph_resp[4];
+  // Boundary timestamps average only the replications that reached them
+  // (-1 sentinels would poison the mean).
+  Accumulator fail_t, rb_start_t, restored_t;
+  Accumulator rb_pages, rb_done, rb_abort;
   bool has_components = false;
+  bool has_recovery = false;
   for (int r = 0; r < num_reps; ++r) {
     qps.Add(reps[r].throughput_qps);
     mean_resp.Add(reps[r].mean_response_ms);
@@ -165,6 +217,21 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
       c_net.Add(reps[r].comp_network_ms);
       c_queue.Add(reps[r].comp_queue_ms);
       c_unattr.Add(reps[r].comp_unattributed_ms);
+    }
+    if (reps[r].has_recovery) {
+      has_recovery = true;
+      for (int p = 0; p < 4; ++p) {
+        ph_qps[p].Add(reps[r].phase_qps[p]);
+        ph_resp[p].Add(reps[r].phase_resp_ms[p]);
+      }
+      if (reps[r].fail_ms >= 0) fail_t.Add(reps[r].fail_ms);
+      if (reps[r].rebuild_start_ms >= 0) {
+        rb_start_t.Add(reps[r].rebuild_start_ms);
+      }
+      if (reps[r].restored_ms >= 0) restored_t.Add(reps[r].restored_ms);
+      rb_pages.Add(static_cast<double>(reps[r].rebuild_pages));
+      rb_done.Add(static_cast<double>(reps[r].rebuilds_completed));
+      rb_abort.Add(static_cast<double>(reps[r].rebuilds_aborted));
     }
   }
   SweepPoint point;
@@ -192,6 +259,19 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
     point.comp_queue_ms = c_queue.mean();
     point.comp_unattributed_ms = c_unattr.mean();
   }
+  if (has_recovery) {
+    point.has_recovery = true;
+    for (int p = 0; p < 4; ++p) {
+      point.phase_qps[p] = ph_qps[p].mean();
+      point.phase_resp_ms[p] = ph_resp[p].mean();
+    }
+    point.fail_ms = fail_t.count() > 0 ? fail_t.mean() : -1;
+    point.rebuild_start_ms = rb_start_t.count() > 0 ? rb_start_t.mean() : -1;
+    point.restored_ms = restored_t.count() > 0 ? restored_t.mean() : -1;
+    point.rebuild_pages = std::llround(rb_pages.mean());
+    point.rebuilds_completed = std::llround(rb_done.mean());
+    point.rebuilds_aborted = std::llround(rb_abort.mean());
+  }
   return point;
 }
 
@@ -213,7 +293,24 @@ std::string PointDigestKey(const std::string& strategy, const SweepPoint& p) {
                 static_cast<long long>(p.timeouts),
                 static_cast<long long>(p.failovers),
                 static_cast<long long>(p.failed_queries));
-  return std::string(buf);
+  std::string key(buf);
+  if (p.has_recovery) {
+    // Recovery fields join the digest only when armed, so failure-free
+    // manifests keep their exact pre-recovery fingerprints.
+    char rbuf[640];
+    std::snprintf(rbuf, sizeof(rbuf),
+                  "|rec=%.17g/%.17g/%.17g|pq=%.17g/%.17g/%.17g/%.17g|"
+                  "pr=%.17g/%.17g/%.17g/%.17g|pages=%lld|rb=%lld/%lld",
+                  p.fail_ms, p.rebuild_start_ms, p.restored_ms,
+                  p.phase_qps[0], p.phase_qps[1], p.phase_qps[2],
+                  p.phase_qps[3], p.phase_resp_ms[0], p.phase_resp_ms[1],
+                  p.phase_resp_ms[2], p.phase_resp_ms[3],
+                  static_cast<long long>(p.rebuild_pages),
+                  static_cast<long long>(p.rebuilds_completed),
+                  static_cast<long long>(p.rebuilds_aborted));
+    key += rbuf;
+  }
+  return key;
 }
 
 /// Joins numeric values as a JSON array token for a manifest param.
@@ -253,6 +350,14 @@ obs::Manifest BuildSweepManifest(const SweepResult& result, int jobs) {
       {"mpls", JsonArray(cfg.mpls)},
       {"components", result.has_components ? "true" : "false"},
   };
+  // Recovery / interrupt markers only appear when applicable, so ordinary
+  // manifests stay byte-identical to their pre-recovery form.
+  if (!cfg.recovery.empty()) {
+    manifest.params.push_back({"recovery", '"' + cfg.recovery + '"'});
+  }
+  if (result.interrupted) {
+    manifest.params.push_back({"interrupted", "true"});
+  }
   std::string all;
   for (const auto& curve : result.curves) {
     for (const auto& p : curve.points) {
@@ -310,6 +415,9 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
       num_strategies * num_mpls * static_cast<size_t>(reps);
   std::vector<RepMetrics> rep_metrics(num_jobs);
   std::vector<Status> rep_status(num_jobs, Status::OK());
+  // Set (by the owning worker only) when a pending interrupt made the job
+  // exit without simulating; the point it belongs to is dropped at assembly.
+  std::vector<char> rep_skipped(num_jobs, 0);
   // One auditor per replication (confined to its Simulation, like the
   // probe); slot ownership makes concurrent writes race-free.
   std::vector<std::unique_ptr<audit::Auditor>> auditors(
@@ -331,6 +439,13 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
 
   const auto run_job = [&](size_t s, size_t m, int r) {
     const size_t idx = job_index(s, m, r);
+    // Cooperative interrupt (SIGINT/SIGTERM via tools): stop launching
+    // simulations; already-finished replications are kept and flushed.
+    if (InterruptRequested()) {
+      rep_skipped[idx] = 1;
+      watches[idx].done.store(true, std::memory_order_relaxed);
+      return;
+    }
     watches[idx].started_s.store(elapsed_s(), std::memory_order_relaxed);
     // A worker must never take the pool down: any escaped exception becomes
     // a Status and surfaces through the normal sweep-order error path.
@@ -433,15 +548,32 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
   for (size_t i = 0; i < num_jobs; ++i) {
     DECLUST_RETURN_NOT_OK(rep_status[i]);
   }
+  bool interrupted = false;
+  for (char skipped : rep_skipped) interrupted |= skipped != 0;
 
   SweepResult result;
   result.config = config;
   result.has_components = options.collect_components;
+  result.has_recovery = !config.recovery.empty();
+  result.interrupted = interrupted;
+  // On an interrupted run an MPL row joins the result only when every
+  // replication of every strategy at that MPL finished: a partial aggregate
+  // would silently change the statistics it claims to carry, and reports
+  // assume the curves are rectangular (same rows in every curve).
+  std::vector<char> mpl_complete(num_mpls, 1);
+  for (size_t s = 0; s < num_strategies; ++s) {
+    for (size_t m = 0; m < num_mpls; ++m) {
+      for (int r = 0; r < reps; ++r) {
+        if (rep_skipped[job_index(s, m, r)] != 0) mpl_complete[m] = 0;
+      }
+    }
+  }
   for (size_t s = 0; s < num_strategies; ++s) {
     StrategyCurve curve;
     curve.strategy = config.strategies[s];
     curve.note = partitionings[s]->DiagnosticNote();
     for (size_t m = 0; m < num_mpls; ++m) {
+      if (mpl_complete[m] == 0) continue;
       curve.points.push_back(AggregatePoint(
           config.mpls[m], &rep_metrics[job_index(s, m, 0)], reps));
     }
@@ -472,21 +604,24 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     }
 
     // Cross-strategy result oracle: one pass over all partitionings (they
-    // share the relation and processor count by construction).
-    std::vector<const decluster::Partitioning*> parts;
-    parts.reserve(partitionings.size());
-    for (const auto& p : partitionings) parts.push_back(p.get());
-    audit::OracleOptions oracle_opts;
-    oracle_opts.seed = config.seed;
-    const audit::OracleReport oracle = audit::RunOracle(
-        relation, parts, wl, workload::WisconsinAttrs::kUnique1,
-        workload::WisconsinAttrs::kUnique2, oracle_opts);
-    result.oracle_queries = oracle.queries;
-    result.oracle_checks = oracle.checks;
-    result.oracle_mismatches = oracle.mismatches;
-    for (const std::string& msg : oracle.messages) {
-      if (result.audit_messages.size() >= kMaxMessages) break;
-      result.audit_messages.push_back("oracle: " + msg);
+    // share the relation and processor count by construction). Skipped on
+    // an interrupt — the user asked the run to stop, not to start new work.
+    if (!interrupted) {
+      std::vector<const decluster::Partitioning*> parts;
+      parts.reserve(partitionings.size());
+      for (const auto& p : partitionings) parts.push_back(p.get());
+      audit::OracleOptions oracle_opts;
+      oracle_opts.seed = config.seed;
+      const audit::OracleReport oracle = audit::RunOracle(
+          relation, parts, wl, workload::WisconsinAttrs::kUnique1,
+          workload::WisconsinAttrs::kUnique2, oracle_opts);
+      result.oracle_queries = oracle.queries;
+      result.oracle_checks = oracle.checks;
+      result.oracle_mismatches = oracle.mismatches;
+      for (const std::string& msg : oracle.messages) {
+        if (result.audit_messages.size() >= kMaxMessages) break;
+        result.audit_messages.push_back("oracle: " + msg);
+      }
     }
   }
 
@@ -524,13 +659,13 @@ Status RunExplain(const ExperimentConfig& raw_config,
                                                          : &metrics_json)
           .status());
 
+  // Render in memory, publish with WriteFileAtomic: a crash or interrupt
+  // mid-explain can never leave a truncated artifact at the target path.
   const auto write_file = [](const std::string& path,
                              const auto& emit) -> Status {
-    std::ofstream out(path);
-    if (!out) return Status::Unavailable("cannot write " + path);
+    std::ostringstream out;
     emit(out);
-    if (!out.good()) return Status::Unavailable("short write to " + path);
-    return Status::OK();
+    return WriteFileAtomic(path, out.str());
   };
   if (!options.trace_json_path.empty()) {
     DECLUST_RETURN_NOT_OK(write_file(

@@ -70,6 +70,18 @@ struct RepMetrics {
   double comp_network_ms = 0;
   double comp_queue_ms = 0;
   double comp_unattributed_ms = 0;
+  /// Recovery lifecycle measurements; meaningful only when the rep ran with
+  /// a recovery plan armed (has_recovery). Phase indices follow
+  /// recover::RecoveryCoordinator::Phase; timestamps are -1 if unreached.
+  bool has_recovery = false;
+  double phase_qps[4] = {0, 0, 0, 0};
+  double phase_resp_ms[4] = {0, 0, 0, 0};
+  double fail_ms = -1;
+  double rebuild_start_ms = -1;
+  double restored_ms = -1;
+  int64_t rebuild_pages = 0;
+  int64_t rebuilds_completed = 0;
+  int64_t rebuilds_aborted = 0;
 };
 
 /// Runs one replication of one sweep point. Pure function of

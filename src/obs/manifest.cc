@@ -1,8 +1,9 @@
 #include "src/obs/manifest.h"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
+
+#include "src/common/atomic_file.h"
 
 namespace declust::obs {
 
@@ -50,16 +51,11 @@ void WriteManifestJson(std::ostream& os, const Manifest& manifest) {
 }
 
 Status WriteManifestFile(const std::string& path, const Manifest& manifest) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Unavailable("cannot open manifest file: " + path);
-  }
+  // Rendered in memory and published with an atomic rename: a crash or
+  // SIGKILL mid-write can never leave a truncated manifest behind.
+  std::ostringstream out;
   WriteManifestJson(out, manifest);
-  out.flush();
-  if (!out) {
-    return Status::Unavailable("failed writing manifest file: " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 }  // namespace declust::obs

@@ -1,0 +1,72 @@
+// Recovery plans: scheduled node repairs for the online-recovery subsystem.
+//
+// A RecoveryPlan is the repair-side counterpart of sim::FaultPlan: a parsed,
+// validated schedule of `repair` events in the same hardened spec grammar
+// (src/common/parse does the number validation; duplicate keys, trailing
+// junk and out-of-range values are rejected with InvalidArgument).
+//
+// Event grammar (events separated by `;`):
+//   repair:nodeN@t=T[,rate=R][,batch=B]
+//     T     repair time; `s` or `ms` suffix, default seconds
+//     R     rebuild throttle in MB/s of rebuild traffic (0 or omitted =
+//           unthrottled: the rebuild runs as fast as the hardware allows)
+//     B     pages copied per rebuild batch (>= 1, default 8); batches are
+//           the granularity at which the throttle paces and at which
+//           foreground queries can interleave with rebuild I/O
+//
+// On a repair the recovery coordinator (src/recover/recovery.h) makes the
+// disk physically serviceable again (sim::FaultInjector::MarkRepaired),
+// rebuilds the node's lost fragments from the chained backup, and only then
+// flips query addressing back to the primary.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/sim/fault.h"
+
+namespace declust::recover {
+
+/// One scheduled repair. Times are simulation milliseconds.
+struct RepairEvent {
+  int node = 0;
+  double at_ms = 0.0;
+  /// Rebuild throttle in MB (1e6 bytes) per second of copied data;
+  /// 0 means unthrottled.
+  double rate_mb_per_sec = 0.0;
+  /// Pages copied per rebuild batch.
+  int batch_pages = 8;
+};
+
+/// \brief A parsed, validated schedule of repair events.
+class RecoveryPlan {
+ public:
+  RecoveryPlan() = default;
+
+  /// Parses the `--recovery` spec grammar described in the file comment.
+  /// Returns InvalidArgument with the offending text on malformed input.
+  static Result<RecoveryPlan> Parse(std::string_view spec);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<RepairEvent>& events() const { return events_; }
+  /// Largest node index referenced by any repair (-1 when empty).
+  int max_node() const;
+
+  /// Checks the plan against the fault plan it repairs: every repaired node
+  /// must have a permanent disk failure scheduled at or before the repair
+  /// time (there is nothing to rebuild otherwise), and a node may be
+  /// repaired at most once.
+  Status ValidateAgainst(const sim::FaultPlan& faults) const;
+
+  /// Round-trips the plan back to canonical spec form (diagnostics). Parse
+  /// of the result yields an identical plan.
+  std::string ToString() const;
+
+ private:
+  std::vector<RepairEvent> events_;
+};
+
+}  // namespace declust::recover

@@ -1,0 +1,199 @@
+#include "src/recover/recovery.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/trigger.h"
+
+namespace declust::recover {
+
+RecoveryCoordinator::RecoveryCoordinator(const RecoveryPlan* plan,
+                                         RecoveryOptions opts)
+    : plan_(plan), opts_(opts) {}
+
+void RecoveryCoordinator::Arm(sim::Simulation* sim, hw::Machine* machine,
+                              const engine::SystemCatalog* catalog,
+                              double first_fault_ms, audit::Auditor* audit,
+                              obs::Probe* probe) {
+  sim_ = sim;
+  machine_ = machine;
+  catalog_ = catalog;
+  audit_ = audit;
+  probe_ = probe;
+  first_fault_ms_ = first_fault_ms;
+  serving_.assign(static_cast<size_t>(catalog->num_nodes()), 1);
+}
+
+void RecoveryCoordinator::Start() {
+  assert(sim_ != nullptr && "Arm() must precede Start()");
+  for (const RepairEvent& ev : plan_->events()) {
+    pending_rebuilds_++;
+    sim_->Spawn(RunRepair(ev));
+  }
+}
+
+bool RecoveryCoordinator::ServingPrimary(int node) const {
+  if (node < 0 || node >= static_cast<int>(serving_.size())) return true;
+  return serving_[static_cast<size_t>(node)] != 0;
+}
+
+void RecoveryCoordinator::StartMeasurement(double now_ms) {
+  measuring_ = true;
+  measure_start_ms_ = now_ms;
+}
+
+void RecoveryCoordinator::OnQueryCompleted(double now_ms,
+                                           double response_ms) {
+  if (!measuring_) return;
+  const int phase = PhaseOf(now_ms);
+  phase_completed_[static_cast<size_t>(phase)]++;
+  phase_response_sum_ms_[static_cast<size_t>(phase)] += response_ms;
+}
+
+int RecoveryCoordinator::PhaseOf(double now_ms) const {
+  if (now_ms < first_fault_ms_) return kNormal;
+  if (now_ms < rebuild_start_ms_) return kDegraded;
+  if (pending_rebuilds_ > 0 || now_ms < restored_ms_) return kRebuilding;
+  return kRestored;
+}
+
+std::array<PhaseWindow, RecoveryCoordinator::kNumPhases>
+RecoveryCoordinator::Phases(double end_ms) const {
+  // Raw phase boundaries on the simulation clock; unreached boundaries sit
+  // at +inf and clamp to an empty window below.
+  const double bounds[kNumPhases + 1] = {
+      0.0, first_fault_ms_, rebuild_start_ms_, restored_ms_, end_ms};
+  std::array<PhaseWindow, kNumPhases> out{};
+  for (int p = 0; p < kNumPhases; ++p) {
+    PhaseWindow& w = out[static_cast<size_t>(p)];
+    w.start_ms = std::clamp(bounds[p], measure_start_ms_, end_ms);
+    w.end_ms = std::clamp(bounds[p + 1], measure_start_ms_, end_ms);
+    if (w.end_ms < w.start_ms) w.end_ms = w.start_ms;
+    w.completed = phase_completed_[static_cast<size_t>(p)];
+    w.response_sum_ms = phase_response_sum_ms_[static_cast<size_t>(p)];
+  }
+  return out;
+}
+
+sim::Task<> RecoveryCoordinator::RunRepair(RepairEvent ev) {
+  if (ev.at_ms > sim_->now()) co_await sim_->WaitFor(ev.at_ms - sim_->now());
+
+  // The repair begins: the disk is physically replaced and writable, but
+  // queries must not address the primary until the rebuild finishes. The
+  // serving flag drops in the same simulated instant MarkRepaired runs, so
+  // no query can observe a repaired-but-unrebuilt primary.
+  if (ev.node >= 0 && ev.node < static_cast<int>(serving_.size())) {
+    serving_[static_cast<size_t>(ev.node)] = 0;
+  }
+  if (machine_->injector() != nullptr) {
+    machine_->injector()->MarkRepaired(ev.node, sim_->now());
+  }
+  rebuild_start_ms_ = std::min(rebuild_start_ms_, sim_->now());
+
+  const std::vector<engine::SystemCatalog::RebuildPage> pages =
+      catalog_->PlanRebuild(ev.node);
+  const double page_bytes =
+      static_cast<double>(machine_->params().disk_page_size_bytes);
+  // MB/s -> bytes per ms; 0 disables the throttle.
+  const double throttle_bytes_per_ms =
+      ev.rate_mb_per_sec > 0.0 ? ev.rate_mb_per_sec * 1e6 / 1000.0 : 0.0;
+
+  bool aborted = false;
+  size_t i = 0;
+  while (i < pages.size()) {
+    const double batch_begin = sim_->now();
+    int in_batch = 0;
+    for (; i < pages.size() && in_batch < ev.batch_pages; ++i, ++in_batch) {
+      const Status st = co_await CopyPage(ev.node, pages[i]);
+      if (!st.ok()) {
+        // Permanent loss of the copy source (or retries exhausted): the
+        // node stays out of service for the rest of the run.
+        aborted = true;
+        break;
+      }
+      ++pages_rebuilt_;
+    }
+    if (aborted) break;
+    if (throttle_bytes_per_ms > 0.0 && in_batch > 0) {
+      const double min_ms = in_batch * page_bytes / throttle_bytes_per_ms;
+      const double elapsed = sim_->now() - batch_begin;
+      if (elapsed < min_ms) co_await sim_->WaitFor(min_ms - elapsed);
+    }
+  }
+
+  pending_rebuilds_--;
+  if (aborted) {
+    ++rebuilds_aborted_;
+    co_return;
+  }
+
+  // Epoch flip: from this instant new site dispatches address the primary.
+  // Queries already running on the backup drain there — the backup copy
+  // stays valid, so nothing is lost or double-served (audited per site).
+  ++epoch_;
+  if (ev.node >= 0 && ev.node < static_cast<int>(serving_.size())) {
+    serving_[static_cast<size_t>(ev.node)] = 1;
+  }
+  ++rebuilds_completed_;
+  if (pending_rebuilds_ == 0) {
+    restored_ms_ = std::min(restored_ms_, sim_->now());
+  }
+  if (audit_ != nullptr) audit_->OnAddressFlip(ev.node, sim_->now());
+}
+
+sim::Task<Status> RecoveryCoordinator::CopyPage(
+    int dst_node, engine::SystemCatalog::RebuildPage page) {
+  const hw::HwParams& hp = machine_->params();
+  hw::Node& src = machine_->node(page.src_node);
+  hw::Node& dst = machine_->node(dst_node);
+  // The hardware captures the probe context at submit time; foreground
+  // queries re-arm it before each of their awaits, so a rebuild submit made
+  // with a stale context would charge background I/O to an unrelated query
+  // (and break the response-tiling identity). Cleared before every submit.
+  const auto background = [this] {
+    if (probe_ != nullptr) probe_->ClearContext();
+  };
+  for (int attempt = 0;; ++attempt) {
+    // Read the source page off the surviving copy's disk, pay the SCSI DMA
+    // interrupt on the source CPU...
+    background();
+    Status st = co_await src.disk().Read(page.src);
+    if (st.ok()) {
+      background();
+      st = co_await src.cpu().RunDma(hp.scsi_transfer_instructions);
+    }
+    // ...ship it over the interconnect (a page may span several packets on
+    // a small-MTU configuration), waiting for delivery before writing...
+    int remaining = hp.disk_page_size_bytes;
+    while (st.ok() && remaining > 0) {
+      const int bytes = std::min(remaining, hp.max_packet_bytes);
+      remaining -= bytes;
+      sim::Trigger delivered(sim_);
+      Status deliver_st = Status::OK();
+      background();
+      st = co_await machine_->network().Send(
+          page.src_node, dst_node, bytes, [&](const Status& d) {
+            deliver_st = d;
+            delivered.Fire();
+          });
+      if (st.ok()) {
+        co_await delivered.Wait();
+        st = deliver_st;
+      }
+    }
+    // ...then the DMA into the repaired node's memory and the disk write.
+    if (st.ok()) {
+      background();
+      st = co_await dst.cpu().RunDma(hp.scsi_transfer_instructions);
+    }
+    if (st.ok()) {
+      background();
+      st = co_await dst.disk().Write(page.dst);
+    }
+    if (st.ok()) co_return st;
+    if (!st.IsIoError() || attempt >= opts_.max_io_retries) co_return st;
+    co_await sim_->WaitFor(opts_.retry_backoff_ms);
+  }
+}
+
+}  // namespace declust::recover

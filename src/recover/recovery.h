@@ -1,0 +1,151 @@
+// Online recovery: node rebuild, re-integration, and the fail -> degraded ->
+// rebuilding -> restored phase lifecycle.
+//
+// The RecoveryCoordinator executes a RecoveryPlan against one simulated
+// machine. For each repair event it:
+//
+//   1. makes the node's disk physically serviceable again
+//      (sim::FaultInjector::MarkRepaired) while query addressing stays on
+//      the chained backup — ServingPrimary(node) is false from the moment
+//      the repair starts until the rebuild finishes, and engine::System
+//      consults it from SiteUp();
+//   2. rebuilds the lost disk page for page as real simulated work
+//      (SystemCatalog::PlanRebuild): each copy reads the source disk, pays
+//      the SCSI DMA interrupt on both CPUs, ships the page over the
+//      interconnect and writes the repaired disk — so rebuild I/O contends
+//      with foreground queries on every shared resource. A per-repair
+//      rate/batch knob (RecoveryPlan) throttles the copy stream;
+//   3. flips addressing back to the primary in one simulated instant (the
+//      epoch flip): queries dispatched before the flip drain on the backup
+//      (the backup copy is never invalidated), queries dispatched after it
+//      read the primary. The flip is audited — reading a primary fragment
+//      while it is mid-rebuild, or serving one data site twice, is an
+//      invariant violation (audit::Auditor::OnFragmentServe).
+//
+// The coordinator also timestamps the four workload phases and buckets
+// completed queries into them, which is what the `--recovery` experiment
+// reports per phase.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/audit/audit.h"
+#include "src/engine/catalog.h"
+#include "src/hw/node.h"
+#include "src/recover/plan.h"
+#include "src/sim/fault.h"
+#include "src/sim/task.h"
+
+namespace declust::recover {
+
+/// Rebuild retry knobs; only consulted when a rebuild I/O fails.
+struct RecoveryOptions {
+  /// Max retries of one page copy on a transient IoError; exceeding the cap
+  /// (or a permanent error, e.g. the backup disk dying) aborts the rebuild
+  /// and leaves the node out of service.
+  int max_io_retries = 16;
+  /// Flat pause between rebuild retries (deterministic).
+  double retry_backoff_ms = 1.0;
+};
+
+/// \brief One phase's measured slice of a replication.
+struct PhaseWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  int64_t completed = 0;
+  double response_sum_ms = 0.0;
+};
+
+/// \brief Executes repairs and tracks the recovery lifecycle for one run.
+///
+/// Confined to one Simulation/System pair (one replication), like the
+/// Auditor: parallel sweeps give each worker its own coordinator.
+class RecoveryCoordinator {
+ public:
+  /// Phase indices of the recovery lifecycle.
+  enum Phase { kNormal = 0, kDegraded = 1, kRebuilding = 2, kRestored = 3 };
+  static constexpr int kNumPhases = 4;
+
+  /// `plan` must outlive the coordinator and be non-empty.
+  explicit RecoveryCoordinator(const RecoveryPlan* plan,
+                               RecoveryOptions opts = RecoveryOptions());
+
+  /// Binds the hardware after engine::System::Init() built it. All pointers
+  /// are non-owning and must outlive the coordinator. `first_fault_ms` is
+  /// the earliest fault-plan event time (the normal -> degraded boundary);
+  /// `audit` and `probe` may be null. The probe is needed because rebuild
+  /// I/O runs on the instrumented hardware: the coordinator clears the
+  /// probe context before each of its submits so background copies are
+  /// never cost-attributed to whichever foreground query armed it last.
+  void Arm(sim::Simulation* sim, hw::Machine* machine,
+           const engine::SystemCatalog* catalog, double first_fault_ms,
+           audit::Auditor* audit, obs::Probe* probe = nullptr);
+
+  /// Spawns one repair coroutine per plan event. Call after Arm(), before
+  /// the simulation runs.
+  void Start();
+
+  /// True when queries should address `node`'s primary fragment. False from
+  /// the start of the node's repair until its epoch flip; engine::System
+  /// folds this into SiteUp() so a physically repaired disk does not serve
+  /// foreground reads mid-rebuild.
+  bool ServingPrimary(int node) const;
+
+  /// Address-epoch counter: bumped by every flip.
+  int64_t epoch() const { return epoch_; }
+
+  /// Starts bucketing completions (call alongside Metrics::StartMeasurement).
+  void StartMeasurement(double now_ms);
+  /// One foreground query completed at `now_ms` (bucketed by completion
+  /// phase; ignored before StartMeasurement).
+  void OnQueryCompleted(double now_ms, double response_ms);
+  /// The phase active at `now_ms` (kNormal..kRestored).
+  int PhaseOf(double now_ms) const;
+
+  // --- results (valid after the run) ---
+  /// Phase windows clipped to [measurement start, `end_ms`]; a phase that
+  /// never started (or lies outside the window) has end <= start.
+  std::array<PhaseWindow, kNumPhases> Phases(double end_ms) const;
+  double first_fault_ms() const { return first_fault_ms_; }
+  /// +inf until the first repair starts / the last flip lands.
+  double rebuild_start_ms() const { return rebuild_start_ms_; }
+  double restored_ms() const { return restored_ms_; }
+  int64_t pages_rebuilt() const { return pages_rebuilt_; }
+  int64_t rebuilds_completed() const { return rebuilds_completed_; }
+  int64_t rebuilds_aborted() const { return rebuilds_aborted_; }
+
+ private:
+  sim::Task<> RunRepair(RepairEvent ev);
+  sim::Task<Status> CopyPage(int dst_node,
+                             engine::SystemCatalog::RebuildPage page);
+
+  const RecoveryPlan* plan_;
+  RecoveryOptions opts_;
+
+  sim::Simulation* sim_ = nullptr;
+  hw::Machine* machine_ = nullptr;
+  const engine::SystemCatalog* catalog_ = nullptr;
+  audit::Auditor* audit_ = nullptr;
+  obs::Probe* probe_ = nullptr;
+
+  std::vector<char> serving_;  // per-node; indexed by operator node id
+  int64_t epoch_ = 0;
+  int pending_rebuilds_ = 0;
+
+  double first_fault_ms_ = std::numeric_limits<double>::infinity();
+  double rebuild_start_ms_ = std::numeric_limits<double>::infinity();
+  double restored_ms_ = std::numeric_limits<double>::infinity();
+  int64_t pages_rebuilt_ = 0;
+  int64_t rebuilds_completed_ = 0;
+  int64_t rebuilds_aborted_ = 0;
+
+  bool measuring_ = false;
+  double measure_start_ms_ = 0.0;
+  std::array<int64_t, kNumPhases> phase_completed_{};
+  std::array<double, kNumPhases> phase_response_sum_ms_{};
+};
+
+}  // namespace declust::recover

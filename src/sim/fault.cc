@@ -270,6 +270,27 @@ bool FaultInjector::DiskAvailable(int node, double now_ms) const {
   return NodeUp(node, now_ms);
 }
 
+double FaultInjector::DiskFailAtMs(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return nodes_[static_cast<size_t>(node)].disk_fail_at_ms;
+}
+
+void FaultInjector::MarkRepaired(int node, double now_ms) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return;
+  NodeFaults& nf = nodes_[static_cast<size_t>(node)];
+  nf.disk_fail_at_ms = std::numeric_limits<double>::infinity();
+  for (FaultEvent& ev : nf.crashes) {
+    // Truncate the window the repair interrupts; windows that have not
+    // opened yet are untouched (the node can crash again later).
+    if (now_ms >= ev.at_ms && now_ms - ev.at_ms < ev.duration_ms) {
+      ev.duration_ms = now_ms - ev.at_ms;
+    }
+  }
+  repairs_.push_back(Repair{now_ms, node});
+}
+
 double FaultInjector::SlowFactor(int node, double now_ms) const {
   if (node < 0 || node >= static_cast<int>(nodes_.size())) return 1.0;
   double factor = 1.0;

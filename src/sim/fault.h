@@ -88,6 +88,23 @@ class FaultInjector {
   bool DiskAvailable(int node, double now_ms) const;
   /// False while the node is inside a crash window.
   bool NodeUp(int node, double now_ms) const;
+  /// Earliest scheduled permanent disk failure for `node` (+inf when none,
+  /// or after MarkRepaired cleared it).
+  double DiskFailAtMs(int node) const;
+  /// Repairs `node` at `now_ms`: the permanent disk failure is cleared and
+  /// any crash window covering `now_ms` is truncated, so the disk physically
+  /// accepts I/O again (rebuild writes). Crash windows scheduled strictly
+  /// after `now_ms` still apply — a repaired node can fail again. Purely a
+  /// physical-availability change: query routing stays on the backup until
+  /// the recovery coordinator flips the address (src/recover).
+  void MarkRepaired(int node, double now_ms);
+
+  /// One completed repair, for diagnostics and determinism tests.
+  struct Repair {
+    double at_ms = 0.0;
+    int node = 0;
+  };
+  const std::vector<Repair>& repair_trace() const { return repairs_; }
   /// Product of active slow-node factors (1.0 when none active).
   double SlowFactor(int node, double now_ms) const;
   /// Draws a transient-error decision for an I/O completing at `now_ms`.
@@ -115,6 +132,7 @@ class FaultInjector {
 
   std::vector<NodeFaults> nodes_;
   std::vector<Injection> trace_;
+  std::vector<Repair> repairs_;
 };
 
 }  // namespace declust::sim

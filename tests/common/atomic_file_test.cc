@@ -1,0 +1,81 @@
+// WriteFileAtomic: all-or-nothing file replacement under the failure modes
+// a crash-safe experiment run depends on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/atomic_file.h"
+
+namespace declust {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AtomicFileTest, WritesNewFileAndReplacesExisting) {
+  const std::string path = testing::TempDir() + "/atomic_file_test.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, "first\n").ok());
+  EXPECT_EQ(ReadAll(path), "first\n");
+  // Replacement is total: shorter content must not leave a stale tail.
+  ASSERT_TRUE(WriteFileAtomic(path, "2\n").ok());
+  EXPECT_EQ(ReadAll(path), "2\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, LeavesNoTemporarySibling) {
+  const std::string dir = testing::TempDir() + "/atomic_file_dir";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directory(dir));
+  ASSERT_TRUE(WriteFileAtomic(dir + "/out.csv", "a,b\n1,2\n").ok());
+  size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string(), "out.csv");
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFileTest, FailureTouchesNeitherPathNorLeavesTemp) {
+  const std::string dir = testing::TempDir() + "/atomic_file_missing_dir";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/deep/out.json";
+  const Status st = WriteFileAtomic(path, "{}");
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(AtomicFileTest, ExistingContentSurvivesAFailedRewrite) {
+  // Point the destination at a path whose parent exists but where the
+  // rename target is a directory: the write must fail and the would-be
+  // destination keep its prior state.
+  const std::string dir = testing::TempDir() + "/atomic_file_target_dir";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directory(dir));
+  const Status st = WriteFileAtomic(dir, "clobber");
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFileTest, RoundTripsBinaryContent) {
+  const std::string path = testing::TempDir() + "/atomic_file_bin";
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  EXPECT_EQ(ReadAll(path), payload);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace declust

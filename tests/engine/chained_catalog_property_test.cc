@@ -1,0 +1,157 @@
+// Property tests over the chained-declustering catalog: for every node
+// count and strategy, the backup map is a fixed-point-free bijection, every
+// fragment stays reachable under every single-node failure (with failover
+// addressing a bijection onto the surviving nodes), and PlanRebuild covers
+// exactly the two fragment copies a lost disk held.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/decluster/berd.h"
+#include "src/decluster/range.h"
+#include "src/engine/catalog.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::engine {
+namespace {
+
+storage::Relation MakeRel(int64_t n = 5'000) {
+  workload::WisconsinOptions o;
+  o.cardinality = n;
+  o.seed = 31;
+  return workload::MakeWisconsin(o);
+}
+
+std::unique_ptr<SystemCatalog> BuildChained(const storage::Relation& rel,
+                                            const decluster::Partitioning* p,
+                                            const hw::HwParams& hw) {
+  CatalogOptions opts;
+  opts.chained_backups = true;
+  auto catalog = SystemCatalog::Build(&rel, p, 0, 1, hw, opts);
+  EXPECT_TRUE(catalog.ok()) << catalog.status().ToString();
+  return std::move(*catalog);
+}
+
+TEST(ChainedCatalogPropertyTest, BackupMapIsAFixedPointFreeBijection) {
+  const storage::Relation rel = MakeRel();
+  const hw::HwParams hw;
+  for (int n : {2, 3, 5, 8, 16}) {
+    auto part = decluster::RangePartitioning::Create(rel, {0, 1}, n);
+    ASSERT_TRUE(part.ok());
+    auto catalog = BuildChained(rel, part->get(), hw);
+    ASSERT_EQ(catalog->num_nodes(), n);
+    std::set<int> images;
+    for (int node = 0; node < n; ++node) {
+      const int backup = catalog->BackupNodeOf(node);
+      EXPECT_GE(backup, 0);
+      EXPECT_LT(backup, n);
+      // A fragment backed up on its own disk would die with the disk.
+      EXPECT_NE(backup, node) << "N=" << n;
+      images.insert(backup);
+    }
+    // Injective onto [0, n) => bijective: each disk carries exactly one
+    // primary fragment and exactly one backup copy.
+    EXPECT_EQ(images.size(), static_cast<size_t>(n)) << "N=" << n;
+  }
+}
+
+TEST(ChainedCatalogPropertyTest,
+     EveryFragmentReachableUnderEverySingleFailure) {
+  const storage::Relation rel = MakeRel();
+  const hw::HwParams hw;
+  for (int n : {2, 3, 5, 8, 16}) {
+    auto part = decluster::RangePartitioning::Create(rel, {0, 1}, n);
+    ASSERT_TRUE(part.ok());
+    auto catalog = BuildChained(rel, part->get(), hw);
+    for (int failed = 0; failed < n; ++failed) {
+      // Failover addressing: fragment f is served by f itself when alive,
+      // else by its chained backup holder.
+      std::vector<int> serves(static_cast<size_t>(n));
+      std::vector<int> load(static_cast<size_t>(n), 0);
+      for (int frag = 0; frag < n; ++frag) {
+        const int site =
+            frag == failed ? catalog->BackupNodeOf(frag) : frag;
+        serves[static_cast<size_t>(frag)] = site;
+        load[static_cast<size_t>(site)]++;
+        // Reachable: the serving site survived the failure.
+        EXPECT_NE(site, failed) << "N=" << n << " fragment " << frag;
+      }
+      // Failover addressing is a bijection onto the survivors once the
+      // failed fragment folds into its backup holder: every surviving node
+      // serves its own fragment, exactly one (the backup holder) absorbs
+      // the failed node's fragment on top, and nobody absorbs more — the
+      // paper's bounded-overload property of chained declustering.
+      const std::set<int> distinct(serves.begin(), serves.end());
+      EXPECT_EQ(distinct.size(), static_cast<size_t>(n - 1))
+          << "N=" << n << " failed=" << failed;
+      EXPECT_EQ(distinct.count(failed), 0u);
+      for (int site = 0; site < n; ++site) {
+        const int expected = site == failed                       ? 0
+                             : site == catalog->BackupNodeOf(failed) ? 2
+                                                                     : 1;
+        EXPECT_EQ(load[static_cast<size_t>(site)], expected)
+            << "N=" << n << " failed=" << failed << " site=" << site;
+      }
+    }
+  }
+}
+
+TEST(ChainedCatalogPropertyTest, RebuildPlanReadsOnlySurvivingDisks) {
+  const storage::Relation rel = MakeRel();
+  const hw::HwParams hw;
+  for (int n : {2, 3, 8}) {
+    auto part = decluster::RangePartitioning::Create(rel, {0, 1}, n);
+    ASSERT_TRUE(part.ok());
+    auto catalog = BuildChained(rel, part->get(), hw);
+    for (int failed = 0; failed < n; ++failed) {
+      const auto pages = catalog->PlanRebuild(failed);
+      ASSERT_FALSE(pages.empty()) << "N=" << n << " failed=" << failed;
+      const int backup_holder = catalog->BackupNodeOf(failed);
+      // The predecessor: the node whose fragment was backed up on `failed`.
+      const int predecessor = (failed + n - 1) % n;
+      bool saw_backup_holder = false;
+      bool saw_predecessor = false;
+      for (const auto& page : pages) {
+        // Never read the disk being rebuilt.
+        EXPECT_NE(page.src_node, failed);
+        // The only copy sources are the two nodes adjacent in the chain.
+        EXPECT_TRUE(page.src_node == backup_holder ||
+                    page.src_node == predecessor)
+            << "N=" << n << " failed=" << failed << " src=" << page.src_node;
+        saw_backup_holder |= page.src_node == backup_holder;
+        saw_predecessor |= page.src_node == predecessor;
+      }
+      // Both lost copies are restored: the primary fragment (from its
+      // backup) and the backup copy of the predecessor's fragment (from
+      // that fragment's primary).
+      EXPECT_TRUE(saw_backup_holder);
+      EXPECT_TRUE(saw_predecessor);
+    }
+  }
+}
+
+TEST(ChainedCatalogPropertyTest, RebuildPlanSizeMatchesAcrossNodes) {
+  // Range partitions this relation uniformly, so every node's rebuild plan
+  // must copy the same number of pages — and BERD's aux extents must be
+  // part of the plan (strictly more pages than range's data+index only).
+  const storage::Relation rel = MakeRel();
+  const hw::HwParams hw;
+  auto range = decluster::RangePartitioning::Create(rel, {0, 1}, 8);
+  auto berd = decluster::BerdPartitioning::Create(rel, {0, 1}, 8);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(berd.ok());
+  auto range_cat = BuildChained(rel, range->get(), hw);
+  auto berd_cat = BuildChained(rel, berd->get(), hw);
+  const size_t range_pages = range_cat->PlanRebuild(0).size();
+  const size_t berd_pages = berd_cat->PlanRebuild(0).size();
+  for (int node = 1; node < 8; ++node) {
+    EXPECT_EQ(range_cat->PlanRebuild(node).size(), range_pages);
+    EXPECT_EQ(berd_cat->PlanRebuild(node).size(), berd_pages);
+  }
+  EXPECT_GT(berd_pages, range_pages);
+}
+
+}  // namespace
+}  // namespace declust::engine

@@ -76,8 +76,10 @@ TEST(ManifestTest, WriteFileRoundTripsAndFailsOnBadPath) {
   EXPECT_EQ(read_back.str(), expected.str());
   std::remove(path.c_str());
 
+  // Manifests go through WriteFileAtomic, which surfaces an unwritable
+  // destination as IoError (the staging file cannot be opened).
   const Status bad = WriteManifestFile("/nonexistent-dir/x/manifest.json", m);
-  EXPECT_TRUE(bad.IsUnavailable()) << bad.ToString();
+  EXPECT_TRUE(bad.IsIoError()) << bad.ToString();
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Grammar properties of the RecoveryPlan spec parser: canonical round-trip
+// fixed point, hardened rejection of malformed input (mirrors the FaultPlan
+// property suite — the two grammars share the parsing core).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/random.h"
+#include "src/recover/plan.h"
+#include "src/sim/fault.h"
+
+namespace declust::recover {
+namespace {
+
+TEST(RecoveryPlanTest, ParsesFullEventAndDefaults) {
+  auto plan = RecoveryPlan::Parse("repair:node3@t=12s,rate=4.5,batch=16");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events().size(), 1u);
+  const RepairEvent& ev = plan->events()[0];
+  EXPECT_EQ(ev.node, 3);
+  EXPECT_DOUBLE_EQ(ev.at_ms, 12'000.0);
+  EXPECT_DOUBLE_EQ(ev.rate_mb_per_sec, 4.5);
+  EXPECT_EQ(ev.batch_pages, 16);
+
+  auto defaults = RecoveryPlan::Parse("repair:node0@t=500ms");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_DOUBLE_EQ(defaults->events()[0].at_ms, 500.0);
+  EXPECT_DOUBLE_EQ(defaults->events()[0].rate_mb_per_sec, 0.0);
+  EXPECT_EQ(defaults->events()[0].batch_pages, 8);
+}
+
+TEST(RecoveryPlanTest, EventsSortByTimeThenNode) {
+  auto plan =
+      RecoveryPlan::Parse("repair:node5@t=2s;repair:node1@t=1s;"
+                          "repair:node0@t=2s");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->events().size(), 3u);
+  EXPECT_EQ(plan->events()[0].node, 1);
+  EXPECT_EQ(plan->events()[1].node, 0);
+  EXPECT_EQ(plan->events()[2].node, 5);
+  EXPECT_EQ(plan->max_node(), 5);
+}
+
+TEST(RecoveryPlanTest, ToStringRoundTripIsAFixedPoint) {
+  const char* specs[] = {
+      "repair:node3@t=12s,rate=4.5,batch=16",
+      "repair:node0@t=500ms",
+      "repair:node2@t=1s;repair:node7@t=90s,rate=0.25",
+      "  repair:node1@t=1s ; repair:node2@t=2s,batch=1  ",
+  };
+  for (const char* spec : specs) {
+    auto plan = RecoveryPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << spec << ": " << plan.status().ToString();
+    const std::string canonical = plan->ToString();
+    auto again = RecoveryPlan::Parse(canonical);
+    ASSERT_TRUE(again.ok()) << canonical;
+    EXPECT_EQ(again->ToString(), canonical) << "not a fixed point: " << spec;
+    ASSERT_EQ(again->events().size(), plan->events().size());
+    for (size_t i = 0; i < plan->events().size(); ++i) {
+      EXPECT_EQ(again->events()[i].node, plan->events()[i].node);
+      EXPECT_DOUBLE_EQ(again->events()[i].at_ms, plan->events()[i].at_ms);
+      EXPECT_DOUBLE_EQ(again->events()[i].rate_mb_per_sec,
+                       plan->events()[i].rate_mb_per_sec);
+      EXPECT_EQ(again->events()[i].batch_pages, plan->events()[i].batch_pages);
+    }
+  }
+}
+
+TEST(RecoveryPlanTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "repair",                              // no target
+      "repair:node3",                        // no time
+      "repair:disk3@t=1s",                   // wrong target prefix
+      "repair:node@t=1s",                    // missing node number
+      "repair:node-1@t=1s",                  // negative node
+      "repair:node3@t=",                     // empty time
+      "repair:node3@t=abc",                  // junk time
+      "repair:node3@t=1s,t=2s",              // duplicate key
+      "repair:node3@t=1s,rate=1,rate=2",     // duplicate key
+      "repair:node3@t=1s,batch=0",           // batch must be >= 1
+      "repair:node3@t=1s,batch=-4",          // negative batch
+      "repair:node3@t=1s,rate=-1",           // negative rate
+      "repair:node3@t=1s,bogus=1",           // unknown key
+      "repair:node3@t=1s garbage",           // trailing junk
+      "disk:node3@t=1s",                     // fault kinds are not repairs
+      "repair:node3@t=1sx",                  // bad suffix
+      "repair:node3@t=nan",                  // non-finite
+      "repair:node3@t=inf",                  // non-finite
+  };
+  for (const char* spec : bad) {
+    auto plan = RecoveryPlan::Parse(spec);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << spec;
+  }
+}
+
+TEST(RecoveryPlanTest, RandomizedRoundTripNeverLosesEvents) {
+  RandomStream rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = 1 + static_cast<int>(rng.Next() % 4);
+    std::string spec;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) spec += ";";
+      spec += "repair:node" + std::to_string(rng.Next() % 32) +
+              "@t=" + std::to_string(rng.Next() % 100'000) + "ms";
+      if (rng.Next() % 2 == 0) {
+        spec += ",rate=" + std::to_string(rng.Next() % 50);
+      }
+      if (rng.Next() % 2 == 0) {
+        spec += ",batch=" + std::to_string(1 + rng.Next() % 64);
+      }
+    }
+    auto plan = RecoveryPlan::Parse(spec);
+    // Duplicate (node, t) pairs are legal at parse time (ValidateAgainst
+    // rejects double repairs of one node); the parse itself must keep all.
+    ASSERT_TRUE(plan.ok()) << spec << ": " << plan.status().ToString();
+    EXPECT_EQ(plan->events().size(), static_cast<size_t>(n)) << spec;
+    auto again = RecoveryPlan::Parse(plan->ToString());
+    ASSERT_TRUE(again.ok()) << plan->ToString();
+    EXPECT_EQ(again->ToString(), plan->ToString());
+  }
+}
+
+TEST(RecoveryPlanTest, ValidateAgainstRequiresAPrecedingDiskFailure) {
+  auto faults = sim::FaultPlan::Parse("disk:node2@t=1s;io:node3@t=0,rate=0.5");
+  ASSERT_TRUE(faults.ok());
+
+  // Repair after the failure: fine.
+  auto ok_plan = RecoveryPlan::Parse("repair:node2@t=2s");
+  ASSERT_TRUE(ok_plan.ok());
+  EXPECT_TRUE(ok_plan->ValidateAgainst(*faults).ok());
+
+  // Repair at the exact failure instant counts as preceded.
+  auto at_plan = RecoveryPlan::Parse("repair:node2@t=1s");
+  ASSERT_TRUE(at_plan.ok());
+  EXPECT_TRUE(at_plan->ValidateAgainst(*faults).ok());
+
+  // Repair before the disk fails: nothing to rebuild yet.
+  auto early = RecoveryPlan::Parse("repair:node2@t=500ms");
+  ASSERT_TRUE(early.ok());
+  EXPECT_TRUE(early->ValidateAgainst(*faults).IsInvalidArgument());
+
+  // Node 3 only has a transient io fault, never a disk loss.
+  auto wrong_node = RecoveryPlan::Parse("repair:node3@t=2s");
+  ASSERT_TRUE(wrong_node.ok());
+  EXPECT_TRUE(wrong_node->ValidateAgainst(*faults).IsInvalidArgument());
+
+  // A node may be repaired at most once.
+  auto twice = RecoveryPlan::Parse("repair:node2@t=2s;repair:node2@t=3s");
+  ASSERT_TRUE(twice.ok());
+  EXPECT_TRUE(twice->ValidateAgainst(*faults).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace declust::recover

@@ -16,6 +16,7 @@
 #include "src/common/parse.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
+#include "src/recover/plan.h"
 #include "src/sim/fault.h"
 
 namespace {
@@ -39,6 +40,9 @@ void Usage() {
       "  --jobs N           worker threads (default: DECLUST_JOBS, else 1)\n"
       "  --faults SPEC      fault-injection plan to audit under (same\n"
       "                     grammar as run_experiment --faults)\n"
+      "  --recovery SPEC    recovery plan to audit under (same grammar as\n"
+      "                     run_experiment --recovery; needs --faults) —\n"
+      "                     also arms the epoch-flip/serve invariants\n"
       "  --skip-differential  only run the in-sweep invariants + oracle\n";
 }
 
@@ -163,6 +167,14 @@ int main(int argc, char** argv) {
       auto plan = sim::FaultPlan::Parse(cfg.faults);
       if (!plan.ok()) {
         std::cerr << "bad --faults spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
+    } else if (arg == "--recovery") {
+      cfg.recovery = next();
+      auto plan = recover::RecoveryPlan::Parse(cfg.recovery);
+      if (!plan.ok()) {
+        std::cerr << "bad --recovery spec: " << plan.status().ToString()
                   << "\n";
         return 2;
       }

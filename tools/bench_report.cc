@@ -6,13 +6,13 @@
 //   bench_report [--out FILE] [--jobs N]
 #include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/atomic_file.h"
 #include "src/common/parse.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
@@ -221,6 +221,29 @@ int main(int argc, char** argv) {
   }
   const double audited_s = Seconds(a0, a1);
 
+  // Recovery overhead guard: the same sweep with a disk failure and an
+  // online rebuild armed. The serial failure-free run is the baseline; the
+  // ratio prices the whole robustness stack — failover reads, the rebuild's
+  // background I/O contending for every resource, phase bucketing and the
+  // epoch flip.
+  std::cerr << "timing quick fig08 sweep with a rebuild armed...\n";
+  exp::ExperimentConfig recovery_cfg = cfg;
+  recovery_cfg.faults = "disk:node3@t=1500ms";
+  recovery_cfg.recovery = "repair:node3@t=2500ms";
+  const auto r0 = Clock::now();
+  auto rebuilt = exp::RunThroughputSweep(recovery_cfg, exp::RunnerOptions{1});
+  const auto r1 = Clock::now();
+  if (!rebuilt.ok()) {
+    std::cerr << "recovery sweep failed: " << rebuilt.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double rebuilt_s = Seconds(r0, r1);
+  int64_t rebuilds_completed = 0;
+  for (const auto& curve : rebuilt->curves) {
+    for (const auto& p : curve.points) rebuilds_completed += p.rebuilds_completed;
+  }
+
   std::ostringstream a, b, c;
   exp::PrintCsv(a, *serial);
   exp::PrintCsv(b, *parallel);
@@ -230,11 +253,7 @@ int main(int argc, char** argv) {
   const bool audit_clean =
       audited->audit_violations == 0 && audited->oracle_mismatches == 0;
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "cannot write " << out_path << "\n";
-    return 1;
-  }
+  std::ostringstream out;
   out << "{\n"
       << "  \"kernel\": {\n"
       << "    \"callback_events_per_sec\": " << callback_rate << ",\n"
@@ -266,6 +285,15 @@ int main(int argc, char** argv) {
       << "    \"probe_overhead_ratio\": "
       << (serial_s > 0 ? probed_s / serial_s : 0) << "\n"
       << "  },\n"
+      << "  \"recovery_overhead\": {\n"
+      << "    \"config\": \"fig08 quick, disk:node3@t=1500ms + "
+         "repair:node3@t=2500ms\",\n"
+      << "    \"failure_free_wall_s\": " << serial_s << ",\n"
+      << "    \"rebuild_armed_wall_s\": " << rebuilt_s << ",\n"
+      << "    \"rebuild_overhead_ratio\": "
+      << (serial_s > 0 ? rebuilt_s / serial_s : 0) << ",\n"
+      << "    \"rebuilds_completed\": " << rebuilds_completed << "\n"
+      << "  },\n"
       << "  \"audit_overhead\": {\n"
       << "    \"config\": \"fig08 quick, invariant audit + oracle armed\",\n"
       << "    \"audit_off_wall_s\": " << serial_s << ",\n"
@@ -281,6 +309,12 @@ int main(int argc, char** argv) {
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
       << "}\n";
+  const Status write_st = WriteFileAtomic(out_path, out.str());
+  if (!write_st.ok()) {
+    std::cerr << "cannot write " << out_path << ": " << write_st.ToString()
+              << "\n";
+    return 1;
+  }
   std::cerr << "wrote " << out_path << "\n";
   return identical && audit_identical && audit_clean ? 0 : 1;
 }

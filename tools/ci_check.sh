@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the robustness subsystems: builds the repo under
+# AddressSanitizer and UndefinedBehaviorSanitizer and runs every test
+# labeled faults, audit, or recovery under each. The fault-injection,
+# invariant-audit and online-recovery code paths are exactly the ones that
+# exercise coroutine lifetimes, signal-driven interrupts and background I/O
+# racing foreground queries — the bugs sanitizers exist to catch.
+#
+#   tools/ci_check.sh [--jobs N] [--fresh]
+#
+# Build trees live in build-asan/ and build-ubsan/ next to the source tree
+# (both gitignored) and are reused across runs unless --fresh is given.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FRESH=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) JOBS="$2"; shift 2 ;;
+    --jobs=*) JOBS="${1#*=}"; shift ;;
+    --fresh) FRESH=1; shift ;;
+    -h|--help)
+      sed -n '2,12p' "$0"; exit 0 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+LABELS='faults|audit|recovery'
+FAILED=0
+
+run_preset() {
+  local name="$1" flag="$2"
+  local build_dir="$ROOT/build-$name"
+  echo "=== $name: configure + build (${build_dir#"$ROOT"/}) ==="
+  if [[ "$FRESH" == 1 ]]; then rm -rf "$build_dir"; fi
+  cmake -S "$ROOT" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -D"$flag"=ON \
+    -DDECLUST_BUILD_BENCHMARKS=OFF \
+    -DDECLUST_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$build_dir" -j"$JOBS" --target \
+    fault_test audit_test recovery_test
+  echo "=== $name: ctest -L '$LABELS' ==="
+  if ! ctest --test-dir "$build_dir" -L "$LABELS" --output-on-failure \
+      -j"$JOBS"; then
+    echo "*** $name: FAILED" >&2
+    FAILED=1
+  fi
+}
+
+run_preset asan DECLUST_ASAN
+run_preset ubsan DECLUST_UBSAN
+
+if [[ "$FAILED" != 0 ]]; then
+  echo "ci_check: sanitizer gate FAILED" >&2
+  exit 1
+fi
+echo "ci_check: faults|audit|recovery clean under ASAN and UBSAN"

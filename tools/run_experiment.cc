@@ -2,6 +2,7 @@
 // use (mix, correlation, strategies, MPLs) and print a table or CSV.
 //
 //   run_experiment --mix low-moderate --correlation 1 --mpls 1,16,64 --csv
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -9,10 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "src/common/atomic_file.h"
 #include "src/common/parse.h"
 #include "src/exp/degraded.h"
+#include "src/exp/interrupt.h"
+#include "src/exp/recovery.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
+#include "src/recover/plan.h"
 #include "src/sim/fault.h"
 
 namespace {
@@ -41,6 +46,12 @@ void Usage() {
       "                     disk:nodeN@t=T | io:nodeN@t=T,rate=R,for=D |\n"
       "                     slow:nodeN@t=T,x=F,for=D | crash:nodeN@t=T,down=D\n"
       "                     (times take an s or ms suffix, default seconds)\n"
+      "  --recovery SPEC    recovery plan, ';'-separated repairs:\n"
+      "                     repair:nodeN@t=T[,rate=R][,batch=B] — rebuild\n"
+      "                     node N from its chained backup starting at T\n"
+      "                     (R MB/s throttle, 0 = unthrottled; B pages per\n"
+      "                     burst). Requires --faults with a preceding disk\n"
+      "                     failure; adds per-phase recovery columns\n"
       "  --degraded K       run the degraded-mode sweep with 0..K disks\n"
       "                     failed at t=0 and print the degradation report\n"
       "                     (ignores --faults)\n"
@@ -53,6 +64,9 @@ void Usage() {
       "                     Summary on stderr; exit 1 on any violation.\n"
       "                     Results are unchanged by auditing.\n"
       "  --csv              emit CSV instead of the table\n"
+      "  --out FILE         write the report to FILE (atomic temp-file +\n"
+      "                     rename) instead of stdout; on SIGINT/SIGTERM\n"
+      "                     the completed sweep points are still flushed\n"
       "  --components       collect per-query response components (disk\n"
       "                     wait/service, cpu, network, queue) per point\n"
       "  --manifest FILE    write a run manifest (build, seed, params,\n"
@@ -136,6 +150,13 @@ bool ParseMix(const std::string& name, exp::ExperimentConfig* cfg) {
   return true;
 }
 
+/// SIGINT/SIGTERM request a cooperative stop: the runner finishes the
+/// replications already in flight, drops the rest, and the report/manifest
+/// are flushed (atomically) with only complete points, marked interrupted.
+extern "C" void OnTerminationSignal(int /*signum*/) {
+  declust::exp::RequestInterrupt();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +166,7 @@ int main(int argc, char** argv) {
   exp::ExplainOptions explain_opts;
   bool csv = false;
   int degraded = -1;
+  std::string out_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -210,6 +232,14 @@ int main(int argc, char** argv) {
                   << "\n";
         return 2;
       }
+    } else if (arg == "--recovery") {
+      cfg.recovery = next();
+      auto plan = recover::RecoveryPlan::Parse(cfg.recovery);
+      if (!plan.ok()) {
+        std::cerr << "bad --recovery spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
     } else if (arg == "--degraded") {
       degraded = RequireInt("--degraded", next(), 0, 1 << 20);
     } else if (arg == "--watchdog") {
@@ -223,6 +253,8 @@ int main(int argc, char** argv) {
       runner_opts.collect_components = true;
     } else if (arg == "--manifest") {
       runner_opts.manifest_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
     } else if (arg == "--trace") {
       explain_opts.trace_json_path = next();
     } else if (arg == "--trace-csv") {
@@ -254,6 +286,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A termination request must not lose the sweep points already measured:
+  // the handler only sets a flag, the runner stops launching replications,
+  // and every file below is published with an atomic rename.
+  std::signal(SIGINT, OnTerminationSignal);
+  std::signal(SIGTERM, OnTerminationSignal);
+
+  // Report sink: stdout, or --out FILE written atomically.
+  const auto emit_report = [&out_path](const auto& print) -> bool {
+    if (out_path.empty()) {
+      print(std::cout);
+      return true;
+    }
+    std::ostringstream os;
+    print(os);
+    const Status st = WriteFileAtomic(out_path, os.str());
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return false;
+    }
+    return true;
+  };
+
   // Explain pass: one traced replication of the first (strategy, MPL)
   // point; runs before the sweep so its artifacts exist even if the sweep
   // config is large. Status goes to stderr, keeping stdout report-only.
@@ -278,10 +332,19 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
-    if (csv) {
-      for (const auto& sweep : *sweeps) exp::PrintCsv(std::cout, sweep);
-    } else {
-      exp::PrintDegradedReport(std::cout, *sweeps);
+    const bool emitted = emit_report([&](std::ostream& os) {
+      if (csv) {
+        for (const auto& sweep : *sweeps) exp::PrintCsv(os, sweep);
+      } else {
+        exp::PrintDegradedReport(os, *sweeps);
+      }
+    });
+    if (!emitted) return 1;
+    for (const auto& sweep : *sweeps) {
+      if (sweep.interrupted) {
+        std::cerr << "interrupted: flushed completed points only\n";
+        return 130;
+      }
     }
     if (runner_opts.audit) {
       bool ok = true;
@@ -296,10 +359,21 @@ int main(int argc, char** argv) {
     std::cerr << "experiment failed: " << result.status().ToString() << "\n";
     return 1;
   }
-  if (csv) {
-    exp::PrintCsv(std::cout, *result);
-  } else {
-    exp::PrintThroughputTable(std::cout, *result);
+  const bool emitted = emit_report([&](std::ostream& os) {
+    if (csv) {
+      exp::PrintCsv(os, *result);
+    } else {
+      exp::PrintThroughputTable(os, *result);
+      exp::PrintRecoveryReport(os, *result);
+    }
+  });
+  if (!emitted) return 1;
+  if (result->interrupted) {
+    // Conventional exit code for "terminated by SIGINT"; the report and
+    // manifest above hold only the sweep points that fully completed.
+    std::cerr << "interrupted: flushed completed points only; manifest "
+                 "marked interrupted\n";
+    return 130;
   }
   if (runner_opts.audit) {
     bool ok = ReportAudit(*result);
