@@ -1,0 +1,101 @@
+// Growable power-of-two ring buffer: the steady-state replacement for
+// std::deque in the simulation wait queues.
+//
+// std::deque allocates and frees a map block roughly every 64 pushes as the
+// queue's window slides through memory, which shows up as one heap
+// round-trip per ~64 events in the hot loop. RingBuf grows by doubling and
+// never shrinks, so after warm-up every push/pop is a couple of loads and
+// stores. Capacity is retained for the lifetime of the owning queue — the
+// right trade for queues whose population is bounded by the MPL.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace declust {
+
+/// \brief FIFO ring over a power-of-two buffer. push_back/pop_front/front
+/// mirror the std::deque members the simulation queues use.
+template <typename T>
+class RingBuf {
+ public:
+  RingBuf() = default;
+  ~RingBuf() {
+    clear();
+    ::operator delete(buf_);
+  }
+
+  RingBuf(const RingBuf&) = delete;
+  RingBuf& operator=(const RingBuf&) = delete;
+
+  RingBuf(RingBuf&& o) noexcept
+      : buf_(std::exchange(o.buf_, nullptr)),
+        cap_(std::exchange(o.cap_, 0)),
+        head_(std::exchange(o.head_, 0)),
+        size_(std::exchange(o.size_, 0)) {}
+
+  void push_back(T v) {
+    if (size_ == cap_) Grow();
+    ::new (static_cast<void*>(buf_ + ((head_ + size_) & (cap_ - 1))))
+        T(std::move(v));
+    ++size_;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    buf_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// Indexed access in queue order (0 == front); used by diagnostics only.
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return buf_[(head_ + i) & (cap_ - 1)];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) & (cap_ - 1)];
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  void Grow() {
+    const size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    T* nb = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      T& src = buf_[(head_ + i) & (cap_ - 1)];
+      ::new (static_cast<void*>(nb + i)) T(std::move(src));
+      src.~T();
+    }
+    ::operator delete(buf_);
+    buf_ = nb;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  T* buf_ = nullptr;
+  size_t cap_ = 0;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace declust

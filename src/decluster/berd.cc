@@ -58,11 +58,12 @@ Result<std::unique_ptr<BerdPartitioning>> BerdPartitioning::Create(
   return part;
 }
 
-PlanSites BerdPartitioning::SitesFor(const Predicate& q) const {
-  PlanSites sites;
+void BerdPartitioning::SitesForInto(const Predicate& q,
+                                    PlanSites* out) const {
+  out->clear();
   if (q.attr == 0) {
-    sites.data_nodes = primary_->NodesForRange(q.lo, q.hi);
-    return sites;
+    primary_->NodesForRangeInto(q.lo, q.hi, &out->data_nodes);
+    return;
   }
 
   // Phase 1: the auxiliary fragments covering [lo, hi] on the secondary
@@ -72,14 +73,14 @@ PlanSites BerdPartitioning::SitesFor(const Predicate& q) const {
                      aux_upper_bounds_.begin();
   for (size_t i = static_cast<size_t>(first); i < aux_upper_bounds_.size();
        ++i) {
-    sites.aux_nodes.push_back(static_cast<int>(i));
+    out->aux_nodes.push_back(static_cast<int>(i));
     if (aux_upper_bounds_[i] >= q.hi) break;
   }
 
   // Phase 2: the distinct home processors of the qualifying tuples (this is
   // what the auxiliary lookup would return).
-  std::vector<int> homes;
-  for (int aux_node : sites.aux_nodes) {
+  std::vector<int>& homes = out->data_nodes;
+  for (int aux_node : out->aux_nodes) {
     for (const auto& e :
          aux_trees_[static_cast<size_t>(aux_node)].RangeSearch(q.lo, q.hi)) {
       homes.push_back(NodeOf(e.rid));
@@ -87,8 +88,6 @@ PlanSites BerdPartitioning::SitesFor(const Predicate& q) const {
   }
   std::sort(homes.begin(), homes.end());
   homes.erase(std::unique(homes.begin(), homes.end()), homes.end());
-  sites.data_nodes = std::move(homes);
-  return sites;
 }
 
 std::vector<int> BerdPartitioning::InsertSites(

@@ -51,7 +51,7 @@ class BerdPartitioning : public Partitioning {
       BerdOptions options = BerdOptions());
 
   const std::string& name() const override { return name_; }
-  PlanSites SitesFor(const Predicate& q) const override;
+  void SitesForInto(const Predicate& q, PlanSites* out) const override;
 
   /// True when `q` must run the two-phase (auxiliary) protocol.
   bool NeedsAuxPhase(const Predicate& q) const { return q.attr == 1; }

@@ -94,15 +94,15 @@ std::vector<int> CmdPartitioning::NodesForBox(
   return nodes;
 }
 
-PlanSites CmdPartitioning::SitesFor(const Predicate& q) const {
+void CmdPartitioning::SitesForInto(const Predicate& q,
+                                   PlanSites* out) const {
   const size_t k = scales_.size();
   std::vector<Value> lo(k, std::numeric_limits<Value>::min());
   std::vector<Value> hi(k, std::numeric_limits<Value>::max());
   lo[static_cast<size_t>(q.attr)] = q.lo;
   hi[static_cast<size_t>(q.attr)] = q.hi;
-  PlanSites sites;
-  sites.data_nodes = NodesForBox(lo, hi);
-  return sites;
+  out->clear();
+  out->data_nodes = NodesForBox(lo, hi);
 }
 
 std::vector<int> CmdPartitioning::InsertSites(

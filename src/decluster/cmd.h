@@ -25,7 +25,7 @@ class CmdPartitioning : public Partitioning {
       const std::vector<storage::AttrId>& schema_attrs, int num_nodes);
 
   const std::string& name() const override { return name_; }
-  PlanSites SitesFor(const Predicate& q) const override;
+  void SitesForInto(const Predicate& q, PlanSites* out) const override;
 
   /// Processor of the cell with the given slice coordinates.
   int NodeOfCell(const std::vector<int>& coords) const;

@@ -31,15 +31,15 @@ Result<std::unique_ptr<HashPartitioning>> HashPartitioning::Create(
   return part;
 }
 
-PlanSites HashPartitioning::SitesFor(const Predicate& q) const {
-  PlanSites sites;
+void HashPartitioning::SitesForInto(const Predicate& q,
+                                    PlanSites* out) const {
+  out->clear();
   if (q.attr == 0 && q.lo == q.hi) {
-    sites.data_nodes = {HashToNode(q.lo, num_nodes())};
+    out->data_nodes.push_back(HashToNode(q.lo, num_nodes()));
   } else {
-    sites.data_nodes.resize(static_cast<size_t>(num_nodes()));
-    std::iota(sites.data_nodes.begin(), sites.data_nodes.end(), 0);
+    out->data_nodes.resize(static_cast<size_t>(num_nodes()));
+    std::iota(out->data_nodes.begin(), out->data_nodes.end(), 0);
   }
-  return sites;
 }
 
 }  // namespace declust::decluster

@@ -17,7 +17,7 @@ class HashPartitioning : public Partitioning {
       const std::vector<storage::AttrId>& schema_attrs, int num_nodes);
 
   const std::string& name() const override { return name_; }
-  PlanSites SitesFor(const Predicate& q) const override;
+  void SitesForInto(const Predicate& q, PlanSites* out) const override;
 
   /// The hash function used (exposed for tests).
   static int HashToNode(Value v, int num_nodes);

@@ -182,7 +182,8 @@ double MagicPartitioning::ScoreAssignment(
   return max_frac * std::max(avg_io, 1.0);
 }
 
-PlanSites MagicPartitioning::SitesFor(const Predicate& q) const {
+void MagicPartitioning::SitesForInto(const Predicate& q,
+                                     PlanSites* out) const {
   const int k = grid_->num_dims();
   std::vector<Value> lo(static_cast<size_t>(k),
                         std::numeric_limits<Value>::min());
@@ -191,8 +192,8 @@ PlanSites MagicPartitioning::SitesFor(const Predicate& q) const {
   lo[static_cast<size_t>(q.attr)] = q.lo;
   hi[static_cast<size_t>(q.attr)] = q.hi;
 
-  PlanSites sites;
-  std::vector<int> nodes;
+  out->clear();
+  std::vector<int>& nodes = out->data_nodes;
   for (int64_t cell : grid_->CellsOverlapping(lo, hi)) {
     // The optimizer skips empty fragments: the grid directory records the
     // cardinality of every fragment, so a processor holding only empty
@@ -202,8 +203,6 @@ PlanSites MagicPartitioning::SitesFor(const Predicate& q) const {
   }
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
-  sites.data_nodes = std::move(nodes);
-  return sites;
 }
 
 double MagicPartitioning::PlanningCpuMs(const Predicate& q) const {

@@ -43,7 +43,7 @@ class MagicPartitioning : public Partitioning {
   std::string DiagnosticNote() const override {
     return "grid " + grid_->ShapeString();
   }
-  PlanSites SitesFor(const Predicate& q) const override;
+  void SitesForInto(const Predicate& q, PlanSites* out) const override;
   double PlanningCpuMs(const Predicate& q) const override;
   std::vector<int> InsertSites(
       const std::vector<Value>& attr_values) const override {

@@ -51,28 +51,34 @@ Result<std::unique_ptr<RangePartitioning>> RangePartitioning::Create(
 
 std::vector<int> RangePartitioning::NodesForRange(Value lo, Value hi) const {
   std::vector<int> nodes;
-  if (lo > hi) return nodes;
+  NodesForRangeInto(lo, hi, &nodes);
+  return nodes;
+}
+
+void RangePartitioning::NodesForRangeInto(Value lo, Value hi,
+                                          std::vector<int>* out) const {
+  out->clear();
+  if (lo > hi) return;
   // First node whose upper bound >= lo.
   const auto first = std::lower_bound(upper_bounds_.begin(),
                                       upper_bounds_.end(), lo) -
                      upper_bounds_.begin();
   for (size_t i = static_cast<size_t>(first); i < upper_bounds_.size(); ++i) {
-    nodes.push_back(static_cast<int>(i));
+    out->push_back(static_cast<int>(i));
     if (upper_bounds_[i] >= hi) break;
   }
-  return nodes;
 }
 
-PlanSites RangePartitioning::SitesFor(const Predicate& q) const {
-  PlanSites sites;
+void RangePartitioning::SitesForInto(const Predicate& q,
+                                     PlanSites* out) const {
+  out->clear();
   if (q.attr == 0) {
-    sites.data_nodes = NodesForRange(q.lo, q.hi);
+    NodesForRangeInto(q.lo, q.hi, &out->data_nodes);
   } else {
     // Any other attribute: no partitioning information; all processors.
-    sites.data_nodes.resize(static_cast<size_t>(num_nodes()));
-    std::iota(sites.data_nodes.begin(), sites.data_nodes.end(), 0);
+    out->data_nodes.resize(static_cast<size_t>(num_nodes()));
+    std::iota(out->data_nodes.begin(), out->data_nodes.end(), 0);
   }
-  return sites;
 }
 
 std::vector<int> RangePartitioning::InsertSites(

@@ -24,7 +24,7 @@ class RangePartitioning : public Partitioning {
       const std::vector<storage::AttrId>& schema_attrs, int num_nodes);
 
   const std::string& name() const override { return name_; }
-  PlanSites SitesFor(const Predicate& q) const override;
+  void SitesForInto(const Predicate& q, PlanSites* out) const override;
 
   /// Upper boundary (inclusive) of each node's range on the partitioning
   /// attribute; node i holds values in (bound[i-1], bound[i]].
@@ -32,6 +32,10 @@ class RangePartitioning : public Partitioning {
 
   /// Nodes whose range intersects [lo, hi] on the partitioning attribute.
   std::vector<int> NodesForRange(Value lo, Value hi) const;
+
+  /// Fill-in-place variant (clears `out` first); allocation-free once the
+  /// vector has warmed to the machine size.
+  void NodesForRangeInto(Value lo, Value hi, std::vector<int>* out) const;
 
   std::vector<int> InsertSites(
       const std::vector<Value>& attr_values) const override;

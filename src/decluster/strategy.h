@@ -34,6 +34,11 @@ struct Predicate {
 struct PlanSites {
   std::vector<int> aux_nodes;
   std::vector<int> data_nodes;
+
+  void clear() {
+    aux_nodes.clear();
+    data_nodes.clear();
+  }
 };
 
 /// \brief A completed declustering of one relation across P processors.
@@ -58,8 +63,21 @@ class Partitioning {
   /// Home node of one record.
   int NodeOf(RecordId rid) const { return record_home_[rid]; }
 
-  /// Processors a query with this predicate must visit.
-  virtual PlanSites SitesFor(const Predicate& q) const = 0;
+  /// Processors a query with this predicate must visit. Convenience
+  /// wrapper; the engine's hot path calls SitesForInto with a reused
+  /// per-terminal scratch object instead.
+  PlanSites SitesFor(const Predicate& q) const {
+    PlanSites sites;
+    SitesForInto(q, &sites);
+    return sites;
+  }
+
+  /// Fills `out` (cleared first) with the processors a query with this
+  /// predicate must visit. Strategies whose site computation is itself
+  /// allocation-free (range, hash) make repeated calls with a warm `out`
+  /// heap-silent; the grid- and aux-tree-based strategies still allocate
+  /// internally.
+  virtual void SitesForInto(const Predicate& q, PlanSites* out) const = 0;
 
   /// CPU milliseconds the scheduler spends consulting partitioning
   /// metadata before dispatch (MAGIC's grid-directory search).

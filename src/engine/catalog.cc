@@ -78,36 +78,42 @@ FragmentStore::FragmentStore(const storage::Relation* relation,
   index_a_extent_ = *idx_a;
 }
 
-AccessPlan FragmentStore::ClusteredAccess(
-    Value lo, Value hi, const storage::DiskLayout& layout) const {
-  AccessPlan plan;
-  // B-tree descent: root to the leaf holding the first qualifying key.
-  const auto entries = clustered_b_.RangeSearch(lo, hi);
-  plan.tuples = static_cast<int64_t>(entries.size());
-  const int64_t first_pos = entries.empty() ? 0 : entries.front().rid;
+void FragmentStore::ClusteredAccessInto(Value lo, Value hi,
+                                        const storage::DiskLayout& layout,
+                                        AccessPlan* out) const {
+  out->clear();
+  // The clustered path needs only the range's shape: count plus first/last
+  // positions. RangeBounds walks the leaf chain without materialising the
+  // entries, so this plan is built without touching the heap.
+  const auto range = clustered_b_.RangeBounds(lo, hi);
+  out->tuples = range.count;
+  const int64_t first_pos = range.count == 0 ? 0 : range.first.rid;
   DescentPages(index_b_extent_, clustered_b_.height(),
                first_pos / std::max(1, static_cast<int>(clustered_b_.size() /
                                            std::max(1, clustered_b_.leaf_count()))),
-               layout, &plan.index_pages);
-  if (!entries.empty()) {
+               layout, &out->index_pages);
+  if (range.count > 0) {
     // Qualifying tuples are contiguous in clustered order: sequential pages.
-    const int64_t last_pos = entries.back().rid;
+    const int64_t last_pos = range.last.rid;
     const int64_t first_page = page_layout_.PageOfPosition(first_pos);
     const int64_t last_page = page_layout_.PageOfPosition(last_pos);
     for (int64_t p = first_page; p <= last_page; ++p) {
       auto addr = layout.Resolve(data_extent_, p);
       assert(addr.ok());
-      plan.data_pages.push_back(*addr);
+      out->data_pages.push_back(*addr);
     }
   }
-  return plan;
 }
 
-AccessPlan FragmentStore::NonClusteredAccess(
-    Value lo, Value hi, const storage::DiskLayout& layout) const {
-  AccessPlan plan;
-  const auto entries = nonclustered_a_.RangeSearch(lo, hi);
-  plan.tuples = static_cast<int64_t>(entries.size());
+void FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
+                                           const storage::DiskLayout& layout,
+                                           PlanScratch* scratch,
+                                           AccessPlan* out) const {
+  out->clear();
+  std::vector<storage::BTreeEntry>& entries = scratch->entries;
+  entries.clear();
+  nonclustered_a_.RangeSearchInto(lo, hi, &entries);
+  out->tuples = static_cast<int64_t>(entries.size());
 
   // Descent plus any extra leaves the range spans.
   const int64_t avg_per_leaf =
@@ -115,20 +121,20 @@ AccessPlan FragmentStore::NonClusteredAccess(
                                std::max(1, nonclustered_a_.leaf_count()));
   DescentPages(index_a_extent_, nonclustered_a_.height(),
                (entries.empty() ? 0 : entries.front().key) / avg_per_leaf,
-               layout, &plan.index_pages);
+               layout, &out->index_pages);
   const int extra_leaves = nonclustered_a_.LeafPagesTouched(lo, hi) - 1;
   for (int l = 0; l < extra_leaves; ++l) {
     auto addr = layout.Resolve(
         index_a_extent_,
         std::min<int64_t>(index_a_extent_.num_pages - 1, 1 + l));
     assert(addr.ok());
-    plan.index_pages.push_back(*addr);
+    out->index_pages.push_back(*addr);
   }
 
   // One random data page per distinct page of a qualifying tuple, read in
   // ascending page order.
-  std::vector<int64_t> pages;
-  pages.reserve(entries.size());
+  std::vector<int64_t>& pages = scratch->pages;
+  pages.clear();
   for (const auto& e : entries) {
     pages.push_back(page_layout_.PageOfPosition(e.rid));
   }
@@ -137,23 +143,22 @@ AccessPlan FragmentStore::NonClusteredAccess(
   for (int64_t p : pages) {
     auto addr = layout.Resolve(data_extent_, p);
     assert(addr.ok());
-    plan.data_pages.push_back(*addr);
+    out->data_pages.push_back(*addr);
   }
-  return plan;
 }
 
-AccessPlan FragmentStore::ScanAccess(
-    int attr, Value lo, Value hi, const storage::DiskLayout& layout) const {
-  AccessPlan plan;
+void FragmentStore::ScanAccessInto(int attr, Value lo, Value hi,
+                                   const storage::DiskLayout& layout,
+                                   AccessPlan* out) const {
+  out->clear();
   // Every data page, physically sequential; no index pages.
   for (int64_t p = 0; p < data_extent_.num_pages; ++p) {
     auto addr = layout.Resolve(data_extent_, p);
     assert(addr.ok());
-    plan.data_pages.push_back(*addr);
+    out->data_pages.push_back(*addr);
   }
   const auto& tree = (attr == 1) ? clustered_b_ : nonclustered_a_;
-  plan.tuples = static_cast<int64_t>(tree.RangeSearch(lo, hi).size());
-  return plan;
+  out->tuples = tree.RangeCount(lo, hi);
 }
 
 Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
@@ -213,62 +218,72 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
   return catalog;
 }
 
-AccessPlan SystemCatalog::PlanAccess(int node, const Predicate& q,
-                                     bool sequential_scan) const {
+void SystemCatalog::PlanAccessInto(int node, const Predicate& q,
+                                   bool sequential_scan,
+                                   AccessPlan* out) const {
   const auto& layout = *layouts_[static_cast<size_t>(node)];
   const auto& store = *stores_[static_cast<size_t>(node)];
-  if (sequential_scan) return store.ScanAccess(q.attr, q.lo, q.hi, layout);
-  // Attribute 0 = A (non-clustered index), 1 = B (clustered index).
-  if (q.attr == 1) return store.ClusteredAccess(q.lo, q.hi, layout);
-  return store.NonClusteredAccess(q.lo, q.hi, layout);
+  if (sequential_scan) {
+    store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
+  } else if (q.attr == 1) {
+    // Attribute 0 = A (non-clustered index), 1 = B (clustered index).
+    store.ClusteredAccessInto(q.lo, q.hi, layout, out);
+  } else {
+    store.NonClusteredAccessInto(q.lo, q.hi, layout, &scratch_, out);
+  }
 }
 
-AccessPlan SystemCatalog::PlanAuxAccess(int node, const Predicate& q) const {
-  AccessPlan plan;
-  if (berd_ == nullptr) return plan;
+void SystemCatalog::PlanAuxAccessInto(int node, const Predicate& q,
+                                      AccessPlan* out) const {
+  out->clear();
+  if (berd_ == nullptr) return;
   const auto cost = berd_->AuxCost(node, q.lo, q.hi);
   const auto& layout = *layouts_[static_cast<size_t>(node)];
   const auto& extent = aux_extents_[static_cast<size_t>(node)];
-  DescentPages(extent, cost.index_pages, 0, layout, &plan.index_pages);
+  DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
   for (int l = 1; l < cost.leaf_pages; ++l) {
     auto addr = layout.Resolve(
         extent, std::min<int64_t>(extent.num_pages - 1, l));
     assert(addr.ok());
-    plan.index_pages.push_back(*addr);
+    out->index_pages.push_back(*addr);
   }
-  plan.tuples = cost.entries;
-  return plan;
+  out->tuples = cost.entries;
 }
 
-AccessPlan SystemCatalog::PlanBackupAccess(int failed_node, const Predicate& q,
-                                           bool sequential_scan) const {
+void SystemCatalog::PlanBackupAccessInto(int failed_node, const Predicate& q,
+                                         bool sequential_scan,
+                                         AccessPlan* out) const {
   assert(has_backups());
   const int backup = BackupNodeOf(failed_node);
   const auto& layout = *layouts_[static_cast<size_t>(backup)];
   const auto& store = *backup_stores_[static_cast<size_t>(failed_node)];
-  if (sequential_scan) return store.ScanAccess(q.attr, q.lo, q.hi, layout);
-  if (q.attr == 1) return store.ClusteredAccess(q.lo, q.hi, layout);
-  return store.NonClusteredAccess(q.lo, q.hi, layout);
+  if (sequential_scan) {
+    store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
+  } else if (q.attr == 1) {
+    store.ClusteredAccessInto(q.lo, q.hi, layout, out);
+  } else {
+    store.NonClusteredAccessInto(q.lo, q.hi, layout, &scratch_, out);
+  }
 }
 
-AccessPlan SystemCatalog::PlanBackupAuxAccess(int failed_node,
-                                              const Predicate& q) const {
-  AccessPlan plan;
-  if (berd_ == nullptr) return plan;
+void SystemCatalog::PlanBackupAuxAccessInto(int failed_node,
+                                            const Predicate& q,
+                                            AccessPlan* out) const {
+  out->clear();
+  if (berd_ == nullptr) return;
   assert(has_backups());
   const int backup = BackupNodeOf(failed_node);
   const auto cost = berd_->AuxCost(failed_node, q.lo, q.hi);
   const auto& layout = *layouts_[static_cast<size_t>(backup)];
   const auto& extent = aux_backup_extents_[static_cast<size_t>(failed_node)];
-  DescentPages(extent, cost.index_pages, 0, layout, &plan.index_pages);
+  DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
   for (int l = 1; l < cost.leaf_pages; ++l) {
     auto addr = layout.Resolve(
         extent, std::min<int64_t>(extent.num_pages - 1, l));
     assert(addr.ok());
-    plan.index_pages.push_back(*addr);
+    out->index_pages.push_back(*addr);
   }
-  plan.tuples = cost.entries;
-  return plan;
+  out->tuples = cost.entries;
 }
 
 std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(

@@ -38,6 +38,22 @@ struct AccessPlan {
   std::vector<hw::PageAddress> data_pages;
   /// Qualifying tuples found at this node.
   int64_t tuples = 0;
+
+  /// Empties the plan but keeps the vectors' capacity, so a pooled plan
+  /// object stops allocating once it has warmed to the working-set size.
+  void clear() {
+    index_pages.clear();
+    data_pages.clear();
+    tuples = 0;
+  }
+};
+
+/// rief Reusable scratch for plan construction. Plan building is
+/// synchronous (no co_await inside), so one scratch per catalog suffices:
+/// each call finishes with the scratch before returning.
+struct PlanScratch {
+  std::vector<storage::BTreeEntry> entries;
+  std::vector<int64_t> pages;
 };
 
 /// \brief Catalog configuration.
@@ -67,16 +83,42 @@ class FragmentStore {
 
   /// Access plan for a clustered range on attribute B.
   AccessPlan ClusteredAccess(Value lo, Value hi,
-                             const storage::DiskLayout& layout) const;
+                             const storage::DiskLayout& layout) const {
+    AccessPlan plan;
+    ClusteredAccessInto(lo, hi, layout, &plan);
+    return plan;
+  }
 
   /// Access plan for a (non-clustered) predicate on attribute A.
   AccessPlan NonClusteredAccess(Value lo, Value hi,
-                                const storage::DiskLayout& layout) const;
+                                const storage::DiskLayout& layout) const {
+    AccessPlan plan;
+    PlanScratch scratch;
+    NonClusteredAccessInto(lo, hi, layout, &scratch, &plan);
+    return plan;
+  }
 
   /// Access plan for a full sequential scan of the fragment, counting the
   /// tuples matching [lo, hi] on `attr` (0 = A, 1 = B).
   AccessPlan ScanAccess(int attr, Value lo, Value hi,
-                        const storage::DiskLayout& layout) const;
+                        const storage::DiskLayout& layout) const {
+    AccessPlan plan;
+    ScanAccessInto(attr, lo, hi, layout, &plan);
+    return plan;
+  }
+
+  /// Fill-in-place variants: clear `out` and rebuild it, reusing its
+  /// capacity (and `scratch`'s). The per-query planning path uses these so
+  /// steady-state queries stop allocating.
+  void ClusteredAccessInto(Value lo, Value hi,
+                           const storage::DiskLayout& layout,
+                           AccessPlan* out) const;
+  void NonClusteredAccessInto(Value lo, Value hi,
+                              const storage::DiskLayout& layout,
+                              PlanScratch* scratch, AccessPlan* out) const;
+  void ScanAccessInto(int attr, Value lo, Value hi,
+                      const storage::DiskLayout& layout,
+                      AccessPlan* out) const;
 
   /// Physical extents, for recovery's page-for-page rebuild enumeration.
   const storage::Extent& data_extent() const { return data_extent_; }
@@ -111,11 +153,29 @@ class SystemCatalog {
   /// Access plan for `q` at `node` (selects the index by attribute, or a
   /// full sequential scan when `sequential_scan` is set).
   AccessPlan PlanAccess(int node, const Predicate& q,
-                        bool sequential_scan = false) const;
+                        bool sequential_scan = false) const {
+    AccessPlan plan;
+    PlanAccessInto(node, q, sequential_scan, &plan);
+    return plan;
+  }
+
+  /// Fill-in-place variant of PlanAccess: clears and rebuilds `out`,
+  /// retaining its capacity. The engine passes pooled plans here so
+  /// steady-state planning is heap-silent.
+  void PlanAccessInto(int node, const Predicate& q, bool sequential_scan,
+                      AccessPlan* out) const;
 
   /// Access plan for a BERD auxiliary lookup at `node` (empty plan for
   /// non-BERD partitionings).
-  AccessPlan PlanAuxAccess(int node, const Predicate& q) const;
+  AccessPlan PlanAuxAccess(int node, const Predicate& q) const {
+    AccessPlan plan;
+    PlanAuxAccessInto(node, q, &plan);
+    return plan;
+  }
+
+  /// Fill-in-place variant of PlanAuxAccess.
+  void PlanAuxAccessInto(int node, const Predicate& q,
+                         AccessPlan* out) const;
 
   /// True when chained-declustering backups were built.
   bool has_backups() const { return !backup_stores_.empty(); }
@@ -127,11 +187,27 @@ class SystemCatalog {
   /// qualifying tuples as PlanAccess(failed_node, ...). Requires
   /// has_backups().
   AccessPlan PlanBackupAccess(int failed_node, const Predicate& q,
-                              bool sequential_scan = false) const;
+                              bool sequential_scan = false) const {
+    AccessPlan plan;
+    PlanBackupAccessInto(failed_node, q, sequential_scan, &plan);
+    return plan;
+  }
+
+  /// Fill-in-place variant of PlanBackupAccess.
+  void PlanBackupAccessInto(int failed_node, const Predicate& q,
+                            bool sequential_scan, AccessPlan* out) const;
 
   /// BERD auxiliary lookup against the backup copy of `failed_node`'s aux
   /// fragment. Requires has_backups().
-  AccessPlan PlanBackupAuxAccess(int failed_node, const Predicate& q) const;
+  AccessPlan PlanBackupAuxAccess(int failed_node, const Predicate& q) const {
+    AccessPlan plan;
+    PlanBackupAuxAccessInto(failed_node, q, &plan);
+    return plan;
+  }
+
+  /// Fill-in-place variant of PlanBackupAuxAccess.
+  void PlanBackupAuxAccessInto(int failed_node, const Predicate& q,
+                               AccessPlan* out) const;
 
   /// One page copy of a node rebuild: read `src` on `src_node`'s disk,
   /// ship it over the interconnect, write `dst` on the repaired node.
@@ -162,6 +238,10 @@ class SystemCatalog {
   std::vector<std::unique_ptr<FragmentStore>> backup_stores_;
   std::vector<storage::Extent> aux_backup_extents_;  // BERD + backups only
   CatalogOptions opts_;
+  // Plan-construction scratch. Safe as a single mutable member: plan
+  // building never suspends, and one Simulation (hence one catalog) is
+  // driven by one thread at a time.
+  mutable PlanScratch scratch_;
 };
 
 }  // namespace declust::engine

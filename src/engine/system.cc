@@ -87,9 +87,34 @@ bool System::SiteUp(int node) {
          config_.recovery->ServingPrimary(node);
 }
 
+AccessPlan* System::AcquirePlan() {
+  if (!plan_free_.empty()) {
+    AccessPlan* p = plan_free_.back();
+    plan_free_.pop_back();
+    return p;
+  }
+  plan_storage_.push_back(std::make_unique<AccessPlan>());
+  AccessPlan* p = plan_storage_.back().get();
+  // Size the page vectors for the worst case up front (a full scan of the
+  // largest fragment) so a pooled plan never reallocates mid-run.
+  int64_t max_pages = 0;
+  for (int n = 0; n < catalog_->num_nodes(); ++n) {
+    max_pages = std::max(max_pages, catalog_->store(n).data_pages());
+  }
+  p->data_pages.reserve(static_cast<size_t>(max_pages) + 8);
+  p->index_pages.reserve(static_cast<size_t>(max_pages) + 8);
+  return p;
+}
+
+void System::ReleasePlan(AccessPlan* plan) {
+  plan->clear();
+  plan_free_.push_back(plan);
+}
+
 sim::Task<> System::TerminalLoop(RandomStream rng) {
   // Closed system: each terminal has at most one query outstanding. The
   // paper uses zero think time; a mean think time can be configured.
+  QueryScratch scratch;
   for (;;) {
     if (config_.think_time_ms > 0) {
       co_await sim_->WaitFor(rng.Exponential(config_.think_time_ms));
@@ -102,7 +127,7 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
     qo.span = obs::BeginSpan(&qo, "query", obs::Component::kQuery,
                              host_node(), start);
     if (config_.audit != nullptr) config_.audit->OnQuerySubmitted();
-    const Status st = co_await ExecuteQuery(q, &qo);
+    const Status st = co_await ExecuteQuery(q, &scratch, &qo);
     obs::EndSpan(&qo, qo.span, sim_->now());
     if (config_.probe != nullptr) config_.probe->ClearContext();
     if (st.ok()) {
@@ -130,6 +155,7 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
 }
 
 sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
+                                       QueryScratch* scratch,
                                        obs::QueryObs* qo) {
   const Predicate pred{q.attr, q.lo, q.hi};
   const bool scan =
@@ -138,7 +164,9 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   // The query manager (host node) dispatches the query to its scheduler
   // process, allocated round-robin over the operator nodes.
   const int coord = next_coordinator_++ % config_.hw.num_processors;
-  QueryContext ctx;
+  QueryContext& ctx = scratch->ctx;
+  ctx.status = Status::OK();
+  ctx.serving.clear();
   ctx.deadline_ms = sim_->now() + config_.failover.query_deadline_ms;
   DECLUST_CO_RETURN_NOT_OK(
       co_await DeliverMessage(sim_, &machine_->network(), host_node(), coord,
@@ -155,7 +183,8 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   obs::EndSpan(qo, plan_span, sim_->now());
   DECLUST_CO_RETURN_NOT_OK(plan_st);
 
-  const decluster::PlanSites sites = partitioning_->SitesFor(pred);
+  partitioning_->SitesForInto(pred, &scratch->sites);
+  const decluster::PlanSites& sites = scratch->sites;
   if (config_.audit != nullptr) {
     config_.audit->OnQueryActivation(qo->query, sites.aux_nodes,
                                      sites.data_nodes);
@@ -245,7 +274,9 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
   obs::EndSpan(qo, activate_span, sim_->now());
   DECLUST_CO_RETURN_NOT_OK(activate_st);
 
-  Status primary = Status::Unavailable("primary site down");
+  // Built lazily: the message string would heap-allocate on every select,
+  // and the happy path never reads it.
+  Status primary;
   if (SiteUp(node)) {
     primary = co_await RunSiteOnce(coord, node, -1, pred, sequential_scan,
                                    ctx, qo);
@@ -261,6 +292,8 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
       co_return Status::OK();
     }
     if (primary.IsDeadlineExceeded()) co_return primary;
+  } else {
+    primary = Status::Unavailable("primary site down");
   }
 
   // Primary lost: chained declustering places the backup on the next node.
@@ -295,7 +328,11 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
       qo, "site", obs::Component::kQuery, exec_node, sim_->now());
   const uint64_t saved_span = qo != nullptr ? qo->span : 0;
   if (site_span != 0) qo->span = site_span;
+  // Every exit path below runs finish() exactly once, so the pooled plan
+  // is always returned.
+  AccessPlan* plan = AcquirePlan();
   const auto finish = [&] {
+    ReleasePlan(plan);
     if (qo != nullptr) qo->span = saved_span;
     obs::EndSpan(qo, site_span, sim_->now());
   };
@@ -307,15 +344,16 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
 
   // The operator runs with the node's resources; results flow back to the
   // query's scheduler.
-  const AccessPlan plan =
-      backup_of < 0
-          ? catalog_->PlanAccess(exec_node, pred, sequential_scan)
-          : catalog_->PlanBackupAccess(backup_of, pred, sequential_scan);
+  if (backup_of < 0) {
+    catalog_->PlanAccessInto(exec_node, pred, sequential_scan, plan);
+  } else {
+    catalog_->PlanBackupAccessInto(backup_of, pred, sequential_scan, plan);
+  }
   BufferPool* pool =
       pools_.empty() ? nullptr : pools_[static_cast<size_t>(exec_node)].get();
   FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
-      co_await RunSelect(&machine_->node(exec_node), plan, coord,
+      co_await RunSelect(&machine_->node(exec_node), *plan, coord,
                          config_.costs, pool, &fc, qo),
       finish());
 
@@ -386,7 +424,9 @@ sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int backup_of,
       qo, "site.aux", obs::Component::kQuery, exec_node, sim_->now());
   const uint64_t saved_span = qo != nullptr ? qo->span : 0;
   if (site_span != 0) qo->span = site_span;
+  AccessPlan* plan = AcquirePlan();
   const auto finish = [&] {
+    ReleasePlan(plan);
     if (qo != nullptr) qo->span = saved_span;
     obs::EndSpan(qo, site_span, sim_->now());
   };
@@ -397,30 +437,32 @@ sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int backup_of,
       finish());
 
   hw::Node& n = machine_->node(exec_node);
-  const AccessPlan plan = backup_of < 0
-                              ? catalog_->PlanAuxAccess(exec_node, pred)
-                              : catalog_->PlanBackupAuxAccess(backup_of, pred);
+  if (backup_of < 0) {
+    catalog_->PlanAuxAccessInto(exec_node, pred, plan);
+  } else {
+    catalog_->PlanBackupAuxAccessInto(backup_of, pred, plan);
+  }
   obs::ArmHw(qo);
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await n.cpu().Run(config_.costs.startup_instructions), finish());
   FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
-  for (const auto& page : plan.index_pages) {
+  for (const auto& page : plan->index_pages) {
     DECLUST_CO_RETURN_NOT_OK_CLEANUP(
         co_await AccessPage(&n, page, config_.costs, nullptr, &fc, qo),
         finish());
   }
-  if (plan.tuples > 0) {
+  if (plan->tuples > 0) {
     // Extract (tuple id, processor) pairs for the qualifying entries.
     obs::ArmHw(qo);
     DECLUST_CO_RETURN_NOT_OK_CLEANUP(
         co_await n.cpu().Run(
-            plan.tuples * config_.costs.per_tuple_instructions / 4),
+            plan->tuples * config_.costs.per_tuple_instructions / 4),
         finish());
   }
   // Reply with the processor list (8 bytes per qualifying entry).
   const int bytes = static_cast<int>(
       std::min<int64_t>(config_.hw.max_packet_bytes,
-                        config_.hw.control_message_bytes + 8 * plan.tuples));
+                        config_.hw.control_message_bytes + 8 * plan->tuples));
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), exec_node, coord,
                               bytes),

@@ -120,9 +120,24 @@ class System {
     }
   };
 
+  /// Reusable per-terminal query state. A terminal runs one query at a
+  /// time, so its scratch (context + site list) lives on the TerminalLoop
+  /// frame and is recycled query after query — the vectors keep their
+  /// capacity, so steady-state dispatch stops allocating.
+  struct QueryScratch {
+    QueryContext ctx;
+    decluster::PlanSites sites;
+  };
+
+  /// Pooled AccessPlan storage: sites of concurrent queries interleave, so
+  /// each in-flight site execution borrows one plan object and returns it
+  /// when done. Released plans keep their vectors' capacity.
+  AccessPlan* AcquirePlan();
+  void ReleasePlan(AccessPlan* plan);
+
   sim::Task<> TerminalLoop(RandomStream rng);
   sim::Task<Status> ExecuteQuery(workload::QueryInstance q,
-                                 obs::QueryObs* qo);
+                                 QueryScratch* scratch, obs::QueryObs* qo);
 
   /// The spawned site coroutines get their own QueryObs (sharing the query
   /// id and parent span) whose costs are merged into `qo` before the join
@@ -167,6 +182,8 @@ class System {
   std::unique_ptr<SystemCatalog> catalog_;
   std::unique_ptr<workload::QueryGenerator> querygen_;
   std::vector<std::unique_ptr<BufferPool>> pools_;  // empty when disabled
+  std::vector<std::unique_ptr<AccessPlan>> plan_storage_;
+  std::vector<AccessPlan*> plan_free_;
   Metrics metrics_;
 };
 

@@ -43,6 +43,13 @@ struct ExperimentConfig {
   /// failure preceding each repair. Empty = no recovery subsystem armed;
   /// reports and digests then keep their exact pre-recovery format.
   std::string recovery;
+  /// Worker threads for the windowed in-run simulation driver
+  /// (sim::ParallelScheduler). 1 = plain serial event loop. The engine's
+  /// figure-7 model couples nodes via zero-latency shared state, so a
+  /// System occupies one shard and its results are byte-identical for any
+  /// value (the differential harness checks this); values > 1 route
+  /// execution through the windowed driver and its worker pool.
+  int sim_threads = 1;
 };
 
 /// \brief One measured sweep point. All metrics are averaged across the

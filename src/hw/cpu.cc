@@ -27,7 +27,7 @@ void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma,
     job.demand_ms = ms;
   }
   if (dma) {
-    dma_queue_.push_back(job);
+    dma_queue_.push_back(std::move(job));
     if (state_ == State::kRunningNormal) {
       // Preempt the regular request in service: bank its progress and
       // cancel its pending completion.
@@ -46,7 +46,7 @@ void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma,
     }
     // If a DMA request is already in service, this one waits FCFS behind it.
   } else {
-    normal_queue_.push_back(job);
+    normal_queue_.push_back(std::move(job));
     if (state_ == State::kIdle) Dispatch();
   }
 }
@@ -54,7 +54,7 @@ void Cpu::Submit(std::coroutine_handle<> h, double ms, bool dma,
 void Cpu::Dispatch() {
   assert(state_ == State::kIdle);
   if (!dma_queue_.empty()) {
-    Job job = dma_queue_.front();
+    Job job = std::move(dma_queue_.front());
     dma_queue_.pop_front();
     StartDma(job);
     return;
@@ -66,7 +66,7 @@ void Cpu::Dispatch() {
     return;
   }
   if (!normal_queue_.empty()) {
-    Job job = normal_queue_.front();
+    Job job = std::move(normal_queue_.front());
     normal_queue_.pop_front();
     StartNormal(job);
     return;

@@ -7,8 +7,8 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 
+#include "src/common/ring_buf.h"
 #include "src/common/status.h"
 #include "src/hw/params.h"
 #include "src/obs/probe.h"
@@ -117,8 +117,8 @@ class Cpu {
   double service_start_ = 0.0;
   sim::EventId completion_event_ = 0;
 
-  std::deque<Job> normal_queue_;
-  std::deque<Job> dma_queue_;
+  RingBuf<Job> normal_queue_;
+  RingBuf<Job> dma_queue_;
 
   double busy_ms_ = 0.0;
   uint64_t completed_ = 0;

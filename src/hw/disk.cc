@@ -1,7 +1,9 @@
 #include "src/hw/disk.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 
 namespace declust::hw {
 
@@ -29,7 +31,19 @@ void Disk::Submit(std::coroutine_handle<> h, PageAddress page, bool write,
   if (policy_ == DiskSchedPolicy::kFcfs) {
     fcfs_queue_.push_back(req);
   } else {
-    pending_[page.cylinder].push_back(req);
+    auto it = std::lower_bound(
+        pending_.begin(), pending_.end(), page.cylinder,
+        [](const CylinderQueue& q, int cyl) { return q.cylinder < cyl; });
+    if (it == pending_.end() || it->cylinder != page.cylinder) {
+      it = pending_.insert(it, CylinderQueue{page.cylinder, nullptr, nullptr});
+    }
+    Request* node = req_pool_.New(req);
+    if (it->tail != nullptr) {
+      it->tail->next = node;
+    } else {
+      it->head = node;
+    }
+    it->tail = node;
   }
   ++queued_;
   if (!busy_) StartNext();
@@ -48,16 +62,21 @@ void Disk::StartNext() {
     fcfs_queue_.pop_front();
   } else {
     // Elevator: continue the sweep; reverse at the end.
-    std::map<int, std::deque<Request>>::iterator it;
+    const auto by_cyl = [](const CylinderQueue& q, int cyl) {
+      return q.cylinder < cyl;
+    };
+    std::vector<CylinderQueue>::iterator it;
     if (sweeping_up_) {
-      it = pending_.lower_bound(head_cylinder_);
+      it = std::lower_bound(pending_.begin(), pending_.end(),
+                            head_cylinder_, by_cyl);
       if (it == pending_.end()) {
         sweeping_up_ = false;
         it = std::prev(pending_.end());
       }
     } else {
       // Largest cylinder <= head.
-      it = pending_.upper_bound(head_cylinder_);
+      it = std::lower_bound(pending_.begin(), pending_.end(),
+                            head_cylinder_ + 1, by_cyl);
       if (it == pending_.begin()) {
         sweeping_up_ = true;
         // it already points at the smallest pending cylinder.
@@ -65,9 +84,15 @@ void Disk::StartNext() {
         it = std::prev(it);
       }
     }
-    req = it->second.front();
-    it->second.pop_front();
-    if (it->second.empty()) pending_.erase(it);
+    Request* node = it->head;
+    req = *node;
+    it->head = node->next;
+    if (it->head == nullptr) {
+      it->tail = nullptr;
+      pending_.erase(it);
+    }
+    req_pool_.Delete(node);
+    req.next = nullptr;
   }
   --queued_;
 

@@ -17,10 +17,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/random.h"
+#include "src/common/ring_buf.h"
 #include "src/common/status.h"
 #include "src/hw/params.h"
 #include "src/obs/probe.h"
@@ -95,6 +96,17 @@ class Disk {
     Status* status_out = nullptr;
     obs::Probe::Context octx;  // captured at submit when probe_ is set
     double submit_ms = 0.0;
+    Request* next = nullptr;  // FIFO chain within a cylinder queue
+  };
+
+  /// One cylinder's FIFO of pending requests (elevator policy). Lives in a
+  /// sorted flat vector — the pending-cylinder count is bounded by the
+  /// queue depth, and a flat structure keeps the dispatch path free of
+  /// per-request map-node allocations.
+  struct CylinderQueue {
+    int cylinder;
+    Request* head;
+    Request* tail;
   };
 
   void Submit(std::coroutine_handle<> h, PageAddress page, bool write,
@@ -111,10 +123,13 @@ class Disk {
   obs::Probe* probe_;
 
   DiskSchedPolicy policy_;
-  // Elevator state: pending requests grouped by cylinder, current head
-  // position and sweep direction. FCFS keeps arrival order instead.
-  std::map<int, std::deque<Request>> pending_;
-  std::deque<Request> fcfs_queue_;
+  // Elevator state: pending requests grouped by cylinder (sorted, pooled),
+  // current head position and sweep direction. FCFS keeps arrival order
+  // instead.
+  std::vector<CylinderQueue> pending_;
+  Arena arena_;
+  SlabPool<Request> req_pool_{&arena_};
+  RingBuf<Request> fcfs_queue_;
   size_t queued_ = 0;
   bool busy_ = false;
   // The disk serves one request at a time (busy_ guards it), so the request

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <utility>
 
 namespace declust::hw {
 
@@ -53,7 +54,11 @@ void NetworkInterface::OnComplete() {
 
 Network::Network(sim::Simulation* sim, const HwParams* params, int nodes,
                  sim::FaultInjector* faults, obs::Probe* probe)
-    : sim_(sim), params_(params), faults_(faults), probe_(probe) {
+    : sim_(sim),
+      params_(params),
+      faults_(faults),
+      probe_(probe),
+      transfer_pool_(&arena_) {
   interfaces_.reserve(static_cast<size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
     interfaces_.push_back(
@@ -61,49 +66,84 @@ Network::Network(sim::Simulation* sim, const HwParams* params, int nodes,
   }
 }
 
+Network::~Network() {
+  // Transfers still in flight when the run is cut off (RunUntil at the end
+  // of the measurement window) hold delivery callbacks with captured state;
+  // destroy them properly.
+  while (inflight_head_ != nullptr) ReleaseTransfer(inflight_head_);
+}
+
+Network::TransferState* Network::NewTransfer() {
+  TransferState* t = transfer_pool_.New();
+  t->next = inflight_head_;
+  if (inflight_head_ != nullptr) inflight_head_->prev = t;
+  inflight_head_ = t;
+  return t;
+}
+
+void Network::ReleaseTransfer(TransferState* t) {
+  if (t->prev != nullptr) {
+    t->prev->next = t->next;
+  } else {
+    inflight_head_ = t->next;
+  }
+  if (t->next != nullptr) t->next->prev = t->prev;
+  transfer_pool_.Delete(t);
+}
+
 void Network::TransferAwaiter::await_suspend(std::coroutine_handle<> h) {
   Network* n = net;
-  sim::Simulation* sim = n->sim_;
-  const int to = dst;
-  const int b = bytes;
-  auto on_delivered = std::move(deliver);
+  TransferState* t = n->NewTransfer();
+  t->net = n;
+  t->sender = h;
+  t->dst = dst;
+  t->bytes = bytes;
+  t->local = (src == dst);
   // await_suspend runs inside the sending coroutine, so the armed context
   // is the sender's; the receiver-side occupancy (async, possibly much
   // later) reuses it so its span stays attributed to the same query.
-  const obs::Probe::Context octx =
-      n->probe_ != nullptr ? n->probe_->context() : obs::Probe::Context{};
+  t->octx = n->probe_ != nullptr ? n->probe_->context() : obs::Probe::Context{};
+  t->deliver = std::move(deliver);
   ++n->packets_sent_;
   // Local send (src == dst) still pays one interface pass, modelling the
   // loopback copy, then delivers.
-  n->interface(src).OccupyThen(
-      b,
-      [n, sim, h, to, b, octx, fn = std::move(on_delivered),
-       local = (src == dst)]() mutable {
-        // The packet has left the sender: resume the sending process and
-        // start the receiver-side occupancy.
-        sim->ScheduleResume(sim->now(), h);
-        if (local) {
-          fn(Status::OK());
-        } else if (n->faults_ != nullptr &&
-                   !n->faults_->NodeUp(to, sim->now())) {
-          // Receiver died while the packet was on the wire; the delivery
-          // callback still runs (with an error) so waiters never hang.
-          fn(Status::Unavailable("receiver node down"));
-        } else {
-          n->interface(to).OccupyThen(
-              b,
-              [n, sim, to, fn = std::move(fn)]() mutable {
-                if (n->faults_ != nullptr &&
-                    !n->faults_->NodeUp(to, sim->now())) {
-                  fn(Status::Unavailable("receiver node down"));
-                } else {
-                  fn(Status::OK());
-                }
-              },
-              octx, /*rx=*/true);
-        }
-      },
-      octx, /*rx=*/false);
+  n->interface(src).OccupyThen(bytes, [t] { t->OnSent(); }, t->octx,
+                               /*rx=*/false);
+}
+
+void Network::TransferState::OnSent() {
+  Network* n = net;
+  sim::Simulation* sim = n->sim_;
+  // The packet has left the sender: resume the sending process and start
+  // the receiver-side occupancy.
+  sim->ScheduleResume(sim->now(), sender);
+  if (local) {
+    Finish(Status::OK());
+  } else if (n->faults_ != nullptr && !n->faults_->NodeUp(dst, sim->now())) {
+    // Receiver died while the packet was on the wire; the delivery
+    // callback still runs (with an error) so waiters never hang.
+    Finish(Status::Unavailable("receiver node down"));
+  } else {
+    n->interface(dst).OccupyThen(bytes, [this] { OnReceived(); }, octx,
+                                 /*rx=*/true);
+  }
+}
+
+void Network::TransferState::OnReceived() {
+  Network* n = net;
+  if (n->faults_ != nullptr && !n->faults_->NodeUp(dst, n->sim_->now())) {
+    Finish(Status::Unavailable("receiver node down"));
+  } else {
+    Finish(Status::OK());
+  }
+}
+
+void Network::TransferState::Finish(const Status& st) {
+  // Release the pooled state before delivering: the callback may launch a
+  // new transfer that reuses it.
+  auto fn = std::move(deliver);
+  net->ReleaseTransfer(this);
+  fn(st);
 }
 
 }  // namespace declust::hw

@@ -7,15 +7,23 @@
 // A packet of b bytes occupies the sender's interface for PacketSendMs(b),
 // then occupies the receiver's interface for the same duration before being
 // delivered. The interconnect itself adds no contention (fully connected).
+//
+// Allocation: each in-flight transfer's relay state (sender handle, target,
+// delivery callback) lives in a slab-pooled TransferState, so the
+// steady-state packet path performs no heap allocations — the completion
+// callbacks capture a single pointer. Delivery callbacks passed by callers
+// are required to fit std::function's inline buffer in practice (all
+// in-tree ones capture at most two words).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/common/arena.h"
+#include "src/common/ring_buf.h"
 #include "src/common/status.h"
 #include "src/hw/params.h"
 #include "src/obs/probe.h"
@@ -86,7 +94,7 @@ class NetworkInterface {
   const HwParams* params_;
   int node_id_;
   obs::Probe* probe_;
-  std::deque<Work> queue_;
+  RingBuf<Work> queue_;
   bool busy_ = false;
   // The interface serves one unit of work at a time (busy_ guards it), so
   // it lives here and the completion event captures only `this` — keeping
@@ -107,6 +115,7 @@ class Network {
   /// non-owning) tags interface occupancy spans; null skips all obs work.
   Network(sim::Simulation* sim, const HwParams* params, int nodes,
           sim::FaultInjector* faults = nullptr, obs::Probe* probe = nullptr);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -163,12 +172,37 @@ class Network {
  private:
   friend struct TransferAwaiter;
 
+  /// Slab-pooled relay state for one in-flight transfer. In-flight states
+  /// are linked intrusively so teardown mid-run can destroy them (their
+  /// delivery callbacks own captured state).
+  struct TransferState {
+    Network* net;
+    std::coroutine_handle<> sender;
+    int dst;
+    int bytes;
+    bool local;
+    obs::Probe::Context octx;
+    std::function<void(const Status&)> deliver;
+    TransferState* prev = nullptr;
+    TransferState* next = nullptr;
+
+    void OnSent();
+    void OnReceived();
+    void Finish(const Status& st);
+  };
+
+  TransferState* NewTransfer();
+  void ReleaseTransfer(TransferState* t);
+
   sim::Simulation* sim_;
   const HwParams* params_;
   sim::FaultInjector* faults_;
   obs::Probe* probe_;
   std::vector<std::unique_ptr<NetworkInterface>> interfaces_;
   uint64_t packets_sent_ = 0;
+  Arena arena_;
+  SlabPool<TransferState> transfer_pool_;
+  TransferState* inflight_head_ = nullptr;
 };
 
 }  // namespace declust::hw

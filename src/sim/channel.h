@@ -3,8 +3,9 @@
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <utility>
+
+#include "src/common/ring_buf.h"
 
 #include "src/sim/simulation.h"
 
@@ -70,8 +71,8 @@ class Channel {
 
  private:
   Simulation* sim_;
-  std::deque<T> messages_;
-  std::deque<std::coroutine_handle<>> receivers_;
+  RingBuf<T> messages_;
+  RingBuf<std::coroutine_handle<>> receivers_;
   size_t reserved_ = 0;  // messages promised to already-woken receivers
 };
 

@@ -1,0 +1,90 @@
+#include "src/sim/parallel.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace declust::sim {
+
+void ParallelScheduler::RunUntil(SimTime t) {
+  if (shards_.empty()) return;
+  if (!started_) {
+    started_ = true;
+    window_start_ = shards_[0]->now();
+  }
+  const int workers = std::min(opts_.threads, num_shards());
+  if (workers > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+
+  while (window_start_ < t) {
+    // Skip dead air: when every shard's next event lies beyond the window,
+    // jump the clock forward to the earliest one. Purely a wall-clock
+    // optimisation — no events can fire in the skipped span, and the jump
+    // target depends only on calendar state, so determinism is unaffected.
+    SimTime earliest = std::numeric_limits<SimTime>::infinity();
+    for (Simulation* s : shards_) {
+      earliest = std::min(earliest, s->NextEventTime());
+    }
+    if (earliest > window_start_) {
+      window_start_ = std::min(earliest, t);
+      if (window_start_ >= t) {
+        // Nothing left before the horizon; land every shard exactly on t.
+        for (Simulation* s : shards_) s->RunUntil(t);
+        ++windows_executed_;
+        MergeOutboxes();
+        window_start_ = t;
+        break;
+      }
+    }
+
+    const SimTime wend = std::min(window_start_ + opts_.lookahead_ms, t);
+    RunWindow(wend);
+    ++windows_executed_;
+    MergeOutboxes();
+    window_start_ = wend;
+  }
+}
+
+void ParallelScheduler::RunWindow(SimTime wend) {
+  if (pool_ == nullptr) {
+    // Serial reference execution: shard order. Windows are
+    // data-independent, so this produces exactly the parallel result.
+    for (Simulation* s : shards_) s->RunUntil(wend);
+    return;
+  }
+  for (Simulation* s : shards_) {
+    pool_->Submit([s, wend] { s->RunUntil(wend); });
+  }
+  pool_->Wait();
+}
+
+void ParallelScheduler::MergeOutboxes() {
+  merge_scratch_.clear();
+  for (auto& box : outboxes_) {
+    for (Message& m : box->msgs) merge_scratch_.push_back(std::move(m));
+    box->msgs.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  // Deterministic delivery order regardless of which worker ran which shard
+  // when: (delivery time, source shard, per-source post order). Same-time
+  // entries in the destination calendar then fire in this insertion order.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Message& m : merge_scratch_) {
+    Simulation* dst = shards_[static_cast<size_t>(m.dst)];
+    // Move the already-type-erased callable straight into the event slot —
+    // re-wrapping it in a lambda would overflow SmallFn's inline buffer and
+    // heap-allocate per message. The lookahead bound guarantees at >= the
+    // barrier time every shard has now reached, so this never schedules into
+    // the past.
+    dst->ScheduleAt(m.at, std::move(m.fn));
+    ++messages_delivered_;
+  }
+  merge_scratch_.clear();
+}
+
+}  // namespace declust::sim

@@ -1,0 +1,136 @@
+// Conservative time-windowed parallel discrete-event simulation.
+//
+// A ParallelScheduler drives several *shards* — independent Simulations —
+// through a shared simulated clock in lookahead windows:
+//
+//   1. every shard runs its own calendar from T to T + L (the window),
+//   2. a barrier waits for all shards,
+//   3. cross-shard messages posted during the window are merged in a
+//      deterministic order and scheduled into their destination shards,
+//   4. T advances by L.
+//
+// The scheme is conservative (no rollback): it is safe iff every cross-shard
+// interaction has latency >= L, because then a message posted inside the
+// window [T, T+L) is delivered at >= T + L — never inside a window another
+// shard is concurrently executing. In this codebase the natural lookahead is
+// the minimum cross-node network delivery latency. Post() asserts the bound.
+//
+// Determinism: shard calendars are disjoint, windows are data-independent,
+// and the barrier merge sorts messages by (delivery time, source shard,
+// per-source sequence). Execution therefore produces byte-identical results
+// for any worker-thread count, including serial (threads <= 1), which is the
+// property the differential-digest harness (src/audit) verifies.
+//
+// What can shard: workloads whose cross-shard coupling is mediated
+// exclusively by Post() with latency >= L. The paper's figure-7 engine
+// couples nodes through zero-latency shared state (join counters, shared
+// metrics), so a System occupies ONE shard; parallelism comes from running
+// genuinely independent topologies side by side (see DESIGN.md §12 for the
+// lookahead analysis).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/sim/simulation.h"
+
+namespace declust::sim {
+
+/// \brief Runs N Simulations in lockstep lookahead windows, optionally on a
+/// worker pool. Not thread-safe itself: one controller thread calls RunUntil;
+/// Post() may only be called from code executing inside a shard's window
+/// (which is single-threaded per shard).
+class ParallelScheduler {
+ public:
+  struct Options {
+    /// Worker threads for window execution. <= 1 runs shards sequentially
+    /// (in shard order) on the calling thread — same results by design.
+    int threads = 1;
+    /// Window width L in simulated ms. Every Post() must have delivery
+    /// latency >= L. Smaller L = more barriers; larger L = fewer, but L may
+    /// not exceed the minimum cross-shard latency.
+    SimTime lookahead_ms = 1.0;
+  };
+
+  explicit ParallelScheduler(Options opts) : opts_(opts) {
+    assert(opts_.lookahead_ms > 0.0);
+  }
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  /// Registers a shard (non-owning). All shards must be added before the
+  /// first RunUntil and must currently be at the same simulated time.
+  int AddShard(Simulation* sim) {
+    assert(!started_);
+    shards_.push_back(sim);
+    outboxes_.push_back(std::make_unique<Outbox>());
+    return static_cast<int>(shards_.size()) - 1;
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Simulation* shard(int i) { return shards_[static_cast<size_t>(i)]; }
+
+  /// Posts `fn` for delivery in shard `dst` at absolute time `at`. Must be
+  /// called from within shard `src`'s window execution; `at` must respect
+  /// the lookahead (at >= src->now() + lookahead_ms). Messages are merged
+  /// and scheduled at the next barrier in (at, src, post order) order.
+  template <typename Fn>
+  void Post(int src, int dst, SimTime at, Fn&& fn) {
+    assert(dst >= 0 && dst < num_shards());
+    // The conservative-safety bound. Strict '+ lookahead' with a tiny slack
+    // for the float add.
+    assert(at >= shards_[static_cast<size_t>(src)]->now() +
+                     opts_.lookahead_ms * (1.0 - 1e-12));
+    Outbox& box = *outboxes_[static_cast<size_t>(src)];
+    box.msgs.emplace_back();
+    Message& m = box.msgs.back();
+    m.at = at;
+    m.src = src;
+    m.dst = dst;
+    m.seq = box.next_seq++;
+    m.fn.Emplace(std::forward<Fn>(fn));
+  }
+
+  /// Runs every shard to simulated time `t` (events at exactly `t` fire),
+  /// window by window. May be called repeatedly to extend the run.
+  void RunUntil(SimTime t);
+
+  uint64_t windows_executed() const { return windows_executed_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct Message {
+    SimTime at = 0.0;
+    int src = 0;
+    int dst = 0;
+    uint64_t seq = 0;
+    detail::SmallFn fn;
+  };
+
+  /// Per-shard message staging. Only the thread running the owning shard's
+  /// window appends; the controller thread drains it at the barrier (the
+  /// pool's queue mutex orders the two).
+  struct Outbox {
+    std::vector<Message> msgs;
+    uint64_t next_seq = 0;
+  };
+
+  void RunWindow(SimTime wend);
+  void MergeOutboxes();
+
+  Options opts_;
+  std::vector<Simulation*> shards_;
+  std::vector<std::unique_ptr<Outbox>> outboxes_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<Message> merge_scratch_;
+  SimTime window_start_ = 0.0;
+  bool started_ = false;
+  uint64_t windows_executed_ = 0;
+  uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace declust::sim

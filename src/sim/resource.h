@@ -4,9 +4,10 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
+
+#include "src/common/ring_buf.h"
 
 #include "src/sim/simulation.h"
 
@@ -121,7 +122,7 @@ class Resource {
   int capacity_;
   int available_;
   std::string name_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingBuf<std::coroutine_handle<>> waiters_;
   uint64_t grants_ = 0;
 };
 

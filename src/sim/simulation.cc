@@ -6,8 +6,16 @@ namespace declust::sim {
 
 namespace detail {
 
-void ReleaseDetachedFrame(Simulation* sim, std::coroutine_handle<> h) {
-  sim->detached_frames_.erase(h.address());
+void ReleaseDetachedFrame(Simulation* sim, PromiseBase& promise,
+                          std::coroutine_handle<> h) {
+  if (promise.det_prev != nullptr) {
+    promise.det_prev->det_next = promise.det_next;
+  } else {
+    sim->detached_head_ = promise.det_next;
+  }
+  if (promise.det_next != nullptr) {
+    promise.det_next->det_prev = promise.det_prev;
+  }
   // The coroutine is suspended at its final suspend point; destroying the
   // frame here is well-defined.
   h.destroy();
@@ -17,21 +25,37 @@ void ReleaseDetachedFrame(Simulation* sim, std::coroutine_handle<> h) {
 
 Simulation::~Simulation() {
   draining_ = true;
-  // Destroy still-suspended detached processes. Destroying a frame runs the
-  // destructors of its locals (e.g. resource guards); draining_ suppresses
-  // any wake-ups those destructors would otherwise schedule.
-  for (void* addr : detached_frames_) {
-    std::coroutine_handle<>::from_address(addr).destroy();
+  // Destroy still-suspended detached processes in spawn order. Destroying a
+  // frame runs the destructors of its locals (e.g. resource guards);
+  // draining_ suppresses any wake-ups those destructors would otherwise
+  // schedule.
+  detail::PromiseBase* p = detached_head_;
+  while (p != nullptr) {
+    detail::PromiseBase* next = p->det_next;
+    p->self.destroy();
+    p = next;
   }
   // Pending callback events are destroyed by the slots_ vector's destructor
-  // (SmallFn releases inline or heap-held callables either way).
+  // (SmallFn releases inline or heap-held callables either way). Buckets
+  // are plain storage: free the live ones, then the recycled pool.
+  for (const HeapEnt& e : heap_) delete e.bucket;
+  delete current_;
+  while (bucket_free_ != nullptr) {
+    Bucket* next = bucket_free_->next_free;
+    delete bucket_free_;
+    bucket_free_ = next;
+  }
 }
 
 void Simulation::Spawn(Task<> task, SimTime delay) {
   assert(task.valid());
   auto h = task.Release();
-  h.promise().detached_owner = this;
-  detached_frames_.insert(h.address());
+  detail::PromiseBase& p = h.promise();
+  p.detached_owner = this;
+  p.self = h;
+  p.det_next = detached_head_;
+  if (detached_head_ != nullptr) detached_head_->det_prev = &p;
+  detached_head_ = &p;
   ScheduleResume(now_ + delay, h);
 }
 
@@ -56,31 +80,48 @@ void Simulation::FreeSlot(uint32_t idx) {
   free_head_ = idx;
 }
 
-EventId Simulation::PushEvent(SimTime at, uint32_t slot) {
-  EventSlot& s = slots_[slot];
-  s.pending = true;
-  heap_.push_back(HeapEntry{at, next_seq_++, slot, s.gen});
-  // Sift up (arity-d heap ordered by (time, seq)).
+Simulation::Bucket* Simulation::AllocBucket(SimTime at, uint64_t first_seq) {
+  Bucket* b;
+  if (bucket_free_ != nullptr) {
+    b = bucket_free_;
+    bucket_free_ = b->next_free;
+  } else {
+    b = new Bucket();
+  }
+  b->time = at;
+  b->first_seq = first_seq;
+  b->cursor = 0;
+  b->next_free = nullptr;
+  assert(b->entries.empty());
+  return b;
+}
+
+void Simulation::RecycleBucket(Bucket* b) {
+  b->entries.clear();  // POD entries; capacity retained for reuse
+  b->next_free = bucket_free_;
+  bucket_free_ = b;
+}
+
+void Simulation::HeapPush(Bucket* b) {
+  heap_.push_back(HeapEnt{b->time, b->first_seq, b});
+  // Sift up (arity-d heap ordered by (time, first_seq)).
   size_t i = heap_.size() - 1;
-  const HeapEntry entry = heap_[i];
+  const HeapEnt entry = heap_[i];
   while (i > 0) {
     const size_t parent = (i - 1) / kHeapArity;
-    const HeapEntry& p = heap_[parent];
-    if (p.time < entry.time || (p.time == entry.time && p.seq < entry.seq)) {
+    const HeapEnt& p = heap_[parent];
+    if (p.time < entry.time ||
+        (p.time == entry.time && p.first_seq < entry.first_seq)) {
       break;
     }
     heap_[i] = p;
     i = parent;
   }
   heap_[i] = entry;
-  ++live_events_;
-  if (live_events_ > peak_live_events_) peak_live_events_ = live_events_;
-  if (audit_ != nullptr) audit_->OnEventScheduled(at, now_);
-  return MakeId(s.gen, slot);
 }
 
-void Simulation::PopHeap() {
-  const HeapEntry last = heap_.back();
+void Simulation::HeapPopRoot() {
+  const HeapEnt last = heap_.back();
   heap_.pop_back();
   if (heap_.empty()) return;
   // Sift the former last entry down from the root.
@@ -92,12 +133,16 @@ void Simulation::PopHeap() {
     const size_t last_child = std::min(first_child + kHeapArity, n);
     size_t best = first_child;
     for (size_t c = first_child + 1; c < last_child; ++c) {
-      const HeapEntry& a = heap_[c];
-      const HeapEntry& b = heap_[best];
-      if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) best = c;
+      const HeapEnt& a = heap_[c];
+      const HeapEnt& b = heap_[best];
+      if (a.time < b.time ||
+          (a.time == b.time && a.first_seq < b.first_seq)) {
+        best = c;
+      }
     }
-    const HeapEntry& m = heap_[best];
-    if (last.time < m.time || (last.time == m.time && last.seq < m.seq)) {
+    const HeapEnt& m = heap_[best];
+    if (last.time < m.time ||
+        (last.time == m.time && last.first_seq < m.first_seq)) {
       break;
     }
     heap_[i] = m;
@@ -106,12 +151,41 @@ void Simulation::PopHeap() {
   heap_[i] = last;
 }
 
+void Simulation::AddEntry(SimTime at, Entry e) {
+  const uint64_t seq = next_seq_++;
+  if (current_ != nullptr && at == current_->time) {
+    // Same-instant schedule while that instant dispatches: FIFO tail of the
+    // live bucket (resource grants, channel sends, trigger releases).
+    current_->entries.push_back(e);
+  } else if (future_ != nullptr && at == future_->time) {
+    // Repeat schedule for the most recently targeted future instant
+    // (synchronized delays all landing on now + dt).
+    future_->entries.push_back(e);
+  } else {
+    Bucket* b = AllocBucket(at, seq);
+    b->entries.push_back(e);
+    HeapPush(b);
+    future_ = b;
+  }
+  ++live_events_;
+  if (live_events_ > peak_live_events_) peak_live_events_ = live_events_;
+  if (audit_ != nullptr) audit_->OnEventScheduled(at, now_);
+}
+
 EventId Simulation::ScheduleResume(SimTime at, std::coroutine_handle<> h) {
   if (draining_) return 0;
   assert(at >= now_);
-  const uint32_t slot = AllocSlot();
-  slots_[slot].handle = h;
-  return PushEvent(at, slot);
+  if (tracer_) {
+    // Slab path so the tracer sees a stable per-event id.
+    const uint32_t slot = AllocSlot();
+    EventSlot& s = slots_[slot];
+    s.handle = h;
+    s.pending = true;
+    AddEntry(at, Entry{slot, s.gen});
+    return MakeId(s.gen, slot);
+  }
+  AddEntry(at, Entry{reinterpret_cast<uint64_t>(h.address()), 0});
+  return 0;
 }
 
 bool Simulation::Cancel(EventId id) {
@@ -122,41 +196,82 @@ bool Simulation::Cancel(EventId id) {
   if (s.gen != gen || !s.pending) return false;
   --live_events_;
   if (audit_ != nullptr) audit_->OnEventCancelled();
-  // Bumping the generation invalidates the heap entry in place; it is
-  // discarded when it reaches the top.
+  // Bumping the generation invalidates the bucket entry in place; it is
+  // discarded when its instant dispatches.
   FreeSlot(slot);
   return true;
 }
 
+Simulation::Bucket* Simulation::PopEarliestBucket() {
+  HeapEnt top = heap_.front();
+  HeapPopRoot();
+  if (top.bucket == future_) future_ = nullptr;
+  // Fold same-instant successors (created when the future-bucket cache was
+  // displaced between schedules for this instant) into one bucket. Heap
+  // order pops them by first_seq, and their sequence ranges are disjoint,
+  // so concatenation preserves exact FIFO order.
+  while (!heap_.empty() && heap_.front().time == top.time) {
+    HeapEnt next = heap_.front();
+    HeapPopRoot();
+    if (next.bucket == future_) future_ = nullptr;
+    top.bucket->entries.insert(top.bucket->entries.end(),
+                               next.bucket->entries.begin(),
+                               next.bucket->entries.end());
+    RecycleBucket(next.bucket);
+  }
+  return top.bucket;
+}
+
+SimTime Simulation::NextEventTime() const {
+  if (current_ != nullptr && current_->cursor < current_->entries.size()) {
+    return current_->time;
+  }
+  if (!heap_.empty()) return heap_[0].time;
+  return std::numeric_limits<SimTime>::infinity();
+}
+
 bool Simulation::Step(SimTime horizon) {
   for (;;) {
-    if (heap_.empty()) return false;
-    const HeapEntry top = heap_.front();
-    {
-      const EventSlot& s = slots_[top.slot];
-      if (s.gen != top.gen || !s.pending) {  // cancelled: discard lazily
-        PopHeap();
-        continue;
+    if (current_ == nullptr || current_->cursor == current_->entries.size()) {
+      if (current_ != nullptr) {
+        RecycleBucket(current_);
+        current_ = nullptr;
       }
+      if (heap_.empty()) return false;
+      if (heap_.front().time > horizon) return false;
+      current_ = PopEarliestBucket();
     }
-    if (top.time > horizon) return false;
-    PopHeap();
-    if (audit_ != nullptr) audit_->OnEventDispatched(top.time, now_);
-    now_ = top.time;
+    if (current_->time > horizon) return false;
+    const Entry e = current_->entries[current_->cursor++];
+    if (e.gen != 0) {
+      const EventSlot& s = slots_[static_cast<uint32_t>(e.bits)];
+      if (s.gen != e.gen || !s.pending) continue;  // cancelled: discard
+    }
+    if (audit_ != nullptr) audit_->OnEventDispatched(current_->time, now_);
+    now_ = current_->time;
     ++events_dispatched_;
     --live_events_;
-    EventSlot& s = slots_[top.slot];
+    if (e.gen == 0) {
+      // Direct resume: the entry holds the coroutine handle, no slab slot.
+      const auto h = std::coroutine_handle<>::from_address(
+          reinterpret_cast<void*>(e.bits));
+      if (tracer_) tracer_(now_, 0, true);
+      h.resume();
+      return true;
+    }
+    const uint32_t slot = static_cast<uint32_t>(e.bits);
+    EventSlot& s = slots_[slot];
     if (s.handle) {
       const std::coroutine_handle<> h = s.handle;
-      if (tracer_) tracer_(now_, MakeId(top.gen, top.slot), true);
-      FreeSlot(top.slot);
+      if (tracer_) tracer_(now_, MakeId(e.gen, slot), true);
+      FreeSlot(slot);
       h.resume();
     } else {
       // Move the callback out before freeing: invoking it may schedule new
       // events, which can reuse (or reallocate) this slot.
       detail::SmallFn fn = std::move(s.fn);
-      if (tracer_) tracer_(now_, MakeId(top.gen, top.slot), false);
-      FreeSlot(top.slot);
+      if (tracer_) tracer_(now_, MakeId(e.gen, slot), false);
+      FreeSlot(slot);
       fn.Invoke();
     }
     return true;

@@ -6,13 +6,21 @@
 // channels, triggers) is mediated by the calendar so execution order is
 // deterministic for a given seed.
 //
-// Calendar fast path (see DESIGN.md §sim): events live in a slab of reusable
-// records addressed by (slot, generation); the 4-ary heap holds only POD
-// (time, seq, slot, generation) entries. Cancellation flips the slot's
-// generation — O(1), no hash lookup — and stale heap entries are discarded
-// lazily at pop time. Callbacks small enough for the slot's inline buffer
-// (every hot-path lambda in src/hw) are stored without any allocation;
-// coroutine resumes store just the handle.
+// Calendar fast path (see DESIGN.md §12): events sharing a timestamp are
+// batched into a *bucket* (an append-ordered vector of 16-byte entries) and
+// the 4-ary heap orders whole buckets by (time, first sequence number), so
+// the per-event cost of a same-instant burst is one vector append instead of
+// a heap sift. Two caches make the common patterns O(1): appends at the
+// instant currently dispatching go straight into the live bucket (resource
+// grants, channel sends, trigger fires), and appends for the most recently
+// targeted future instant reuse that bucket (synchronized delays).
+//
+// Cancellable events (ScheduleAt/ScheduleAfter) live in a slab of reusable
+// records addressed by (slot, generation); cancellation flips the slot's
+// generation — O(1), no hash lookup — and stale bucket entries are discarded
+// lazily at dispatch. Plain coroutine resumes skip the slab entirely and
+// store the handle in the bucket entry (no caller ever cancels a resume),
+// unless a tracer is armed and needs per-event ids.
 #pragma once
 
 #include <cassert>
@@ -22,7 +30,6 @@
 #include <functional>
 #include <new>
 #include <type_traits>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -42,11 +49,12 @@ namespace detail {
 /// \brief Move-only type-erased callable with inline small-buffer storage.
 ///
 /// Callables up to kInlineBytes are stored in place (no allocation); larger
-/// ones fall back to the heap. This keeps the per-event hot path of the
-/// calendar allocation-free for the lambdas the hardware models schedule.
+/// ones fall back to the heap. The buffer is sized so every hot-path lambda
+/// in the tree fits inline (tests/sim/sbo_fit_test static_asserts the
+/// hardware models' callbacks), keeping the calendar allocation-free.
 class SmallFn {
  public:
-  static constexpr size_t kInlineBytes = 48;
+  static constexpr size_t kInlineBytes = 64;
 
   SmallFn() = default;
   SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
@@ -70,13 +78,20 @@ class SmallFn {
   SmallFn& operator=(const SmallFn&) = delete;
   ~SmallFn() { Reset(); }
 
+  /// True when a callable of type F is stored inline (no allocation).
+  template <typename F>
+  static constexpr bool FitsInline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
   template <typename F>
   void Emplace(F&& f) {
     using D = std::decay_t<F>;
     Reset();
-    if constexpr (sizeof(D) <= kInlineBytes &&
-                  alignof(D) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<D>) {
+    if constexpr (FitsInline<F>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       ops_ = InlineOps<D>();
     } else {
@@ -167,7 +182,8 @@ class AuditHook {
 ///
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
 /// which makes runs reproducible. A Simulation is confined to one thread;
-/// parallel sweeps give each worker its own instance (src/exp/runner).
+/// parallel sweeps give each worker its own instance (src/exp/runner) and
+/// windowed parallel runs give each shard its own (src/sim/parallel).
 class Simulation {
  public:
   Simulation() = default;
@@ -190,8 +206,11 @@ class Simulation {
   EventId ScheduleAt(SimTime at, Fn&& fn) {
     assert(at >= now_);
     const uint32_t slot = AllocSlot();
-    slots_[slot].fn.Emplace(std::forward<Fn>(fn));
-    return PushEvent(at, slot);
+    EventSlot& s = slots_[slot];
+    s.fn.Emplace(std::forward<Fn>(fn));
+    s.pending = true;
+    AddEntry(at, Entry{slot, s.gen});
+    return MakeId(s.gen, slot);
   }
 
   /// Schedules `fn` to run after `delay` ms.
@@ -200,13 +219,36 @@ class Simulation {
     return ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
+  /// Schedules an already type-erased callable, moving it straight into the
+  /// event slot. Used by the parallel scheduler's barrier merge: re-wrapping
+  /// a SmallFn in another SmallFn would overflow the inline buffer and fall
+  /// back to the heap.
+  EventId ScheduleAt(SimTime at, detail::SmallFn fn) {
+    assert(at >= now_);
+    const uint32_t slot = AllocSlot();
+    EventSlot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.pending = true;
+    AddEntry(at, Entry{slot, s.gen});
+    return MakeId(s.gen, slot);
+  }
+
+  /// Absolute time of the earliest pending event, or +infinity for an empty
+  /// calendar. Cancelled-but-undiscarded entries may make this earlier than
+  /// the first live event (conservative), never later. The parallel
+  /// scheduler uses it to skip windows in which nothing can fire.
+  SimTime NextEventTime() const;
+
   /// Schedules resumption of a suspended coroutine at absolute time `at`.
-  /// No-op (returns 0) while the simulation is being torn down.
+  /// Resumes are not cancellable: the fast path stores the bare handle and
+  /// returns 0. (With a tracer armed, resumes take the slab path so the
+  /// trace shows per-event ids.) No-op while the simulation is being torn
+  /// down.
   EventId ScheduleResume(SimTime at, std::coroutine_handle<> h);
 
   /// Cancels a pending event. Returns false if it already fired or was
   /// already cancelled. O(1): flips the event slot's generation; the stale
-  /// heap entry is discarded lazily when it reaches the top.
+  /// bucket entry is discarded lazily when its instant dispatches.
   bool Cancel(EventId id);
 
   /// Awaitable that suspends the calling process for `dt` ms.
@@ -268,30 +310,53 @@ class Simulation {
 
  private:
   friend void detail::ReleaseDetachedFrame(Simulation* sim,
+                                           detail::PromiseBase& promise,
                                            std::coroutine_handle<> h);
 
   /// One reusable event record in the slab. `gen` distinguishes the slot's
-  /// successive occupants: a heap entry whose generation no longer matches
+  /// successive occupants: a bucket entry whose generation no longer matches
   /// was cancelled (or belongs to a previous occupant) and is skipped.
   struct EventSlot {
-    std::coroutine_handle<> handle{};  // set for coroutine resumes
+    std::coroutine_handle<> handle{};  // set for traced coroutine resumes
     detail::SmallFn fn;                // set for callback events
     uint32_t gen = 1;
     uint32_t next_free = kNoSlot;
     bool pending = false;
   };
 
-  /// POD heap entry; the heap is ordered by (time, seq) so ties fire in
-  /// scheduling order.
-  struct HeapEntry {
-    SimTime time;
-    uint64_t seq;
-    uint32_t slot;
+  /// One calendar entry inside a bucket. `gen == 0` marks a direct
+  /// coroutine resume with the handle address in `bits` (slab generations
+  /// are never 0); otherwise `bits` is a slab slot index and `gen` its
+  /// expected generation.
+  struct Entry {
+    uint64_t bits;
     uint32_t gen;
+    uint32_t reserved = 0;
+  };
+
+  /// All events scheduled for one instant, in scheduling (FIFO) order.
+  /// `first_seq` is the global sequence number of the first entry; buckets
+  /// for the same instant (possible after cache displacement) cover
+  /// disjoint, increasing sequence ranges, so ordering whole buckets by
+  /// (time, first_seq) reproduces exact global FIFO order.
+  struct Bucket {
+    SimTime time = 0.0;
+    uint64_t first_seq = 0;
+    size_t cursor = 0;
+    std::vector<Entry> entries;
+    Bucket* next_free = nullptr;
+  };
+
+  /// Heap element: bucket key copied inline so sifts stay pointer-chase
+  /// free.
+  struct HeapEnt {
+    SimTime time;
+    uint64_t first_seq;
+    Bucket* bucket;
   };
 
   static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
-  /// Arity of the event heap: shallower than a binary heap, and the
+  /// Arity of the bucket heap: shallower than a binary heap, and the
   /// four-way child comparison is cache-friendly on 24-byte entries.
   static constexpr size_t kHeapArity = 4;
 
@@ -303,9 +368,15 @@ class Simulation {
   uint32_t AllocSlot();
   /// Returns the slot to the free list and bumps its generation.
   void FreeSlot(uint32_t idx);
-  /// Pushes a heap entry for an armed slot; returns the event id.
-  EventId PushEvent(SimTime at, uint32_t slot);
-  void PopHeap();
+  /// Appends an event entry for absolute time `at` (audits + accounting).
+  void AddEntry(SimTime at, Entry e);
+  Bucket* AllocBucket(SimTime at, uint64_t first_seq);
+  void RecycleBucket(Bucket* b);
+  /// Pops the earliest bucket, folding any same-instant successors into it
+  /// so the live bucket always holds the instant's complete FIFO tail.
+  Bucket* PopEarliestBucket();
+  void HeapPush(Bucket* b);
+  void HeapPopRoot();
 
   // Dispatches the next event; returns false if the calendar is exhausted or
   // the next event lies beyond `horizon`.
@@ -321,10 +392,19 @@ class Simulation {
 
   std::function<void(SimTime, EventId, bool)> tracer_;
   AuditHook* audit_ = nullptr;
-  std::vector<HeapEntry> heap_;
+  std::vector<HeapEnt> heap_;
+  /// Bucket currently dispatching (its time == now()); same-instant
+  /// schedules append here.
+  Bucket* current_ = nullptr;
+  /// Most recently targeted future bucket; repeat schedules for its
+  /// instant append here instead of creating a duplicate bucket.
+  Bucket* future_ = nullptr;
+  Bucket* bucket_free_ = nullptr;
   std::vector<EventSlot> slots_;
   uint32_t free_head_ = kNoSlot;
-  std::unordered_set<void*> detached_frames_;
+  /// Detached (spawned) processes, linked intrusively through their
+  /// promises in spawn order; teardown destroys any still suspended.
+  detail::PromiseBase* detached_head_ = nullptr;
 };
 
 }  // namespace declust::sim

@@ -14,8 +14,11 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "src/common/arena.h"
 
 namespace declust::sim {
 
@@ -24,17 +27,35 @@ class Simulation;
 namespace detail {
 
 /// Bookkeeping shared by all task promises.
+///
+/// The promise-scoped operator new/delete route every coroutine frame
+/// through the thread-local FrameCache, so steady-state process churn
+/// (one frame per query, per page access, per message) recycles frames
+/// without touching the heap.
 struct PromiseBase {
   /// Coroutine to resume when this task completes (awaiting parent).
   std::coroutine_handle<> continuation;
   /// Set for detached (spawned) tasks so the Simulation can reclaim the
   /// frame on completion.
   Simulation* detached_owner = nullptr;
+  /// Intrusive links in the owning Simulation's detached-process registry
+  /// (teardown walks the list in spawn order; no per-spawn allocation).
+  PromiseBase* det_prev = nullptr;
+  PromiseBase* det_next = nullptr;
+  /// The frame's own handle, stored by Spawn so teardown can destroy the
+  /// frame from the type-erased registry entry.
+  std::coroutine_handle<> self;
+
+  static void* operator new(size_t n) { return FrameCache::Allocate(n); }
+  static void operator delete(void* p, size_t n) {
+    FrameCache::Deallocate(p, n);
+  }
 };
 
 // Implemented in simulation.cc: removes the finished detached frame from the
 // simulation's registry and destroys it.
-void ReleaseDetachedFrame(Simulation* sim, std::coroutine_handle<> h);
+void ReleaseDetachedFrame(Simulation* sim, PromiseBase& promise,
+                          std::coroutine_handle<> h);
 
 struct FinalAwaiter {
   bool await_ready() noexcept { return false; }
@@ -45,7 +66,7 @@ struct FinalAwaiter {
     PromiseBase& p = h.promise();
     if (p.continuation) return p.continuation;
     if (p.detached_owner != nullptr) {
-      ReleaseDetachedFrame(p.detached_owner, h);
+      ReleaseDetachedFrame(p.detached_owner, p, h);
     }
     return std::noop_coroutine();
   }

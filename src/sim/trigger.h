@@ -2,7 +2,7 @@
 #pragma once
 
 #include <coroutine>
-#include <vector>
+#include <cstddef>
 
 #include "src/sim/simulation.h"
 
@@ -10,6 +10,11 @@ namespace declust::sim {
 
 /// \brief A latch: processes await it; Fire() releases all current and
 /// future waiters until Reset().
+///
+/// Waiters are linked intrusively through their awaiter objects (which live
+/// in the suspended coroutines' frames), so waiting allocates nothing —
+/// triggers are created per query on coroutine frames, making this a hot
+/// path.
 class Trigger {
  public:
   explicit Trigger(Simulation* sim) : sim_(sim) {}
@@ -17,41 +22,58 @@ class Trigger {
   Trigger(const Trigger&) = delete;
   Trigger& operator=(const Trigger&) = delete;
 
+  struct [[nodiscard]] Awaiter {
+    Trigger* t;
+    std::coroutine_handle<> h;
+    Awaiter* next = nullptr;
+
+    bool await_ready() const { return t->fired_; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      h = handle;
+      // Append (FIFO): waiters resume in arrival order when Fire runs.
+      if (t->tail_ != nullptr) {
+        t->tail_->next = this;
+      } else {
+        t->head_ = this;
+      }
+      t->tail_ = this;
+      ++t->waiting_;
+    }
+    void await_resume() const {}
+  };
+
   /// Latches the trigger and wakes every waiter (via the calendar).
   void Fire() {
     if (fired_) return;
     fired_ = true;
+    Awaiter* w = head_;
+    head_ = nullptr;
+    tail_ = nullptr;
+    waiting_ = 0;
     // During Simulation teardown the waiters' frames are being destroyed and
     // resumes are no-ops; don't touch them (e.g. a JoinCounter counted down
     // from a destructor mid-teardown).
-    if (sim_->draining()) {
-      waiters_.clear();
-      return;
+    if (sim_->draining()) return;
+    for (; w != nullptr; w = w->next) {
+      sim_->ScheduleResume(sim_->now(), w->h);
     }
-    for (auto h : waiters_) sim_->ScheduleResume(sim_->now(), h);
-    waiters_.clear();
   }
 
   /// Un-latches so the trigger can be fired again.
   void Reset() { fired_ = false; }
 
   bool fired() const { return fired_; }
-  size_t waiting() const { return waiters_.size(); }
-
-  struct [[nodiscard]] Awaiter {
-    Trigger* t;
-    bool await_ready() const { return t->fired_; }
-    void await_suspend(std::coroutine_handle<> h) { t->waiters_.push_back(h); }
-    void await_resume() const {}
-  };
+  size_t waiting() const { return waiting_; }
 
   /// Awaitable that completes when the trigger has fired.
-  Awaiter Wait() { return Awaiter{this}; }
+  Awaiter Wait() { return Awaiter{this, {}, nullptr}; }
 
  private:
   Simulation* sim_;
   bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  Awaiter* head_ = nullptr;
+  Awaiter* tail_ = nullptr;
+  size_t waiting_ = 0;
 };
 
 /// \brief Counts down from `n`; fires an internal trigger at zero.

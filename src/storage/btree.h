@@ -57,6 +57,27 @@ class BPlusTree {
   /// All entries with lo <= key <= hi, in key order.
   std::vector<BTreeEntry> RangeSearch(Value lo, Value hi) const;
 
+  /// Appends all entries with lo <= key <= hi (in key order) to `out`
+  /// without clearing it. The allocation-free variant for hot paths that
+  /// reuse a scratch vector: once the scratch has grown to the working-set
+  /// size, range lookups stop touching the heap.
+  void RangeSearchInto(Value lo, Value hi,
+                       std::vector<BTreeEntry>* out) const;
+
+  /// Aggregate shape of the range [lo, hi]: entry count plus the first and
+  /// last matching entries (valid only when count > 0). Walks the leaf
+  /// chain without materialising the entries — the clustered access path
+  /// needs exactly this and nothing else.
+  struct RangeStats {
+    int64_t count = 0;
+    BTreeEntry first{};
+    BTreeEntry last{};
+  };
+  RangeStats RangeBounds(Value lo, Value hi) const;
+
+  /// Number of entries with lo <= key <= hi; allocation-free.
+  int64_t RangeCount(Value lo, Value hi) const { return RangeBounds(lo, hi).count; }
+
   /// Number of levels (0 for an empty tree; 1 = a single leaf).
   int height() const;
 

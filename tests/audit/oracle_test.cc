@@ -39,10 +39,10 @@ class BrokenPartitioning : public decluster::Partitioning {
     SetAssignment(num_nodes, std::move(home));
   }
   const std::string& name() const override { return name_; }
-  decluster::PlanSites SitesFor(const decluster::Predicate&) const override {
-    decluster::PlanSites sites;
-    sites.data_nodes = {0};
-    return sites;
+  void SitesForInto(const decluster::Predicate&,
+                    decluster::PlanSites* out) const override {
+    out->clear();
+    out->data_nodes = {0};
   }
   std::vector<int> InsertSites(
       const std::vector<decluster::Value>&) const override {

@@ -1,0 +1,312 @@
+// Time-windowed parallel DES (sim::ParallelScheduler): conservative
+// lookahead windows over multiple shards must produce byte-identical
+// results for any worker-thread count, and the windowed driver must stay
+// identical to the plain serial event loop when it wraps a whole engine run
+// — including runs with fault and recovery plans armed. These tests carry
+// the `parallel_sim` label so the TSAN preset (tools/ci_check.sh) can
+// exercise the barrier/merge machinery for data races.
+#include "src/sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/runner.h"
+#include "src/sim/simulation.h"
+#include "src/workload/mixes.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::sim {
+namespace {
+
+/// One shard's observation log: (time, tag) pairs appended by events. Each
+/// shard is single-threaded, so its log order is well-defined; determinism
+/// means every shard's log is identical across runs and thread counts.
+using Log = std::vector<std::pair<SimTime, int>>;
+
+TEST(ParallelSimTest, SingleShardMatchesPlainEventLoop) {
+  // The same event program run (a) on a bare Simulation and (b) through the
+  // windowed scheduler must fire in the same order at the same times.
+  auto program = [](Simulation* s, Log* log) {
+    for (int i = 0; i < 50; ++i) {
+      const SimTime t = 0.7 * i;
+      s->ScheduleAt(t, [s, log, i] { log->emplace_back(s->now(), i); });
+    }
+    // Ties must keep scheduling order.
+    for (int i = 0; i < 10; ++i) {
+      s->ScheduleAt(12.0, [s, log, i] { log->emplace_back(s->now(), 500 + i); });
+    }
+  };
+
+  Simulation plain;
+  Log plain_log;
+  program(&plain, &plain_log);
+  plain.RunUntil(40.0);
+
+  Simulation windowed;
+  Log windowed_log;
+  program(&windowed, &windowed_log);
+  ParallelScheduler::Options opts;
+  opts.threads = 4;
+  opts.lookahead_ms = 1.5;
+  ParallelScheduler sched(opts);
+  sched.AddShard(&windowed);
+  sched.RunUntil(40.0);
+
+  EXPECT_EQ(plain_log, windowed_log);
+  EXPECT_EQ(plain.now(), windowed.now());
+}
+
+TEST(ParallelSimTest, CrossShardDeliveryIsDeterministicAcrossThreadCounts) {
+  // 4 shards post to each other with latency == lookahead; the merged
+  // delivery order (and hence every shard's log) must not depend on the
+  // worker count.
+  static constexpr int kShards = 4;
+  static constexpr SimTime kLookahead = 2.0;
+  static constexpr SimTime kHorizon = 200.0;
+
+  auto run = [&](int threads) {
+    std::vector<Simulation> sims(kShards);
+    std::vector<Log> logs(kShards);
+    ParallelScheduler::Options opts;
+    opts.threads = threads;
+    opts.lookahead_ms = kLookahead;
+    ParallelScheduler sched(opts);
+    for (auto& s : sims) sched.AddShard(&s);
+
+    for (int i = 0; i < kShards; ++i) {
+      Simulation* sim = &sims[static_cast<size_t>(i)];
+      // Every shard periodically posts a tagged event into every other
+      // shard; destination shards log (arrival time, tag). Tags encode the
+      // source so the merge order (at, src, seq) is observable.
+      for (SimTime t = 1.0; t < kHorizon - kLookahead; t += 1.0 + 0.25 * i) {
+        sim->ScheduleAt(t, [&sched, &sims, &logs, sim, i] {
+          for (int d = 0; d < kShards; ++d) {
+            if (d == i) continue;
+            Simulation* dsim = &sims[static_cast<size_t>(d)];
+            Log* dlog = &logs[static_cast<size_t>(d)];
+            sched.Post(i, d, sim->now() + kLookahead, [dsim, dlog, i] {
+              dlog->emplace_back(dsim->now(), i);
+            });
+          }
+        });
+      }
+    }
+    sched.RunUntil(kHorizon);
+    EXPECT_GT(sched.messages_delivered(), 0u);
+    return logs;
+  };
+
+  const auto serial = run(1);
+  const auto two = run(2);
+  const auto four = run(4);
+  const auto eight = run(8);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, eight);
+  // Sanity: messages actually crossed shards.
+  size_t total = 0;
+  for (const auto& log : serial) total += log.size();
+  EXPECT_GT(total, 100u);
+}
+
+TEST(ParallelSimTest, SameTimestampMessagesOrderBySourceThenSequence) {
+  // Two sources post to the same destination at the same delivery time in
+  // the same window; delivery must be (src asc, per-source post order),
+  // regardless of which worker ran which source shard first.
+  for (const int threads : {1, 4}) {
+    std::vector<Simulation> sims(3);
+    std::vector<int> order;
+    ParallelScheduler::Options opts;
+    opts.threads = threads;
+    opts.lookahead_ms = 5.0;
+    ParallelScheduler sched(opts);
+    for (auto& s : sims) sched.AddShard(&s);
+
+    // Shard 1 and shard 0 both post two messages for t=10 into shard 2.
+    // Expected delivery order: src0#0, src0#1, src1#0, src1#1.
+    sims[0].ScheduleAt(1.0, [&] {
+      sched.Post(0, 2, 10.0, [&order] { order.push_back(1); });
+      sched.Post(0, 2, 10.0, [&order] { order.push_back(2); });
+    });
+    sims[1].ScheduleAt(1.0, [&] {
+      sched.Post(1, 2, 10.0, [&order] { order.push_back(3); });
+      sched.Post(1, 2, 10.0, [&order] { order.push_back(4); });
+    });
+    sched.RunUntil(20.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4})) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSimTest, RelayChainCrossesManyWindows) {
+  // A token relayed around a ring, one hop per lookahead period. Verifies
+  // messages posted by *delivered messages* (not just pre-scheduled events)
+  // keep working window after window, on both the serial and pooled paths.
+  static constexpr int kShards = 3;
+  static constexpr SimTime kLookahead = 1.0;
+  for (const int threads : {1, 3}) {
+    std::vector<Simulation> sims(kShards);
+    ParallelScheduler::Options opts;
+    opts.threads = threads;
+    opts.lookahead_ms = kLookahead;
+    ParallelScheduler sched(opts);
+    for (auto& s : sims) sched.AddShard(&s);
+
+    static constexpr int kMaxHops = 25;
+    std::vector<std::pair<int, SimTime>> hops;
+    // Self-referential relay: each delivery posts the next hop.
+    struct Relay {
+      ParallelScheduler* sched;
+      std::vector<Simulation>* sims;
+      std::vector<std::pair<int, SimTime>>* hops;
+      void Hop(int shard) const {
+        Simulation* sim = &(*sims)[static_cast<size_t>(shard)];
+        hops->emplace_back(shard, sim->now());
+        if (hops->size() >= kMaxHops) return;
+        const int next = (shard + 1) % kShards;
+        Relay self = *this;
+        sched->Post(shard, next, sim->now() + kLookahead,
+                    [self, next] { self.Hop(next); });
+      }
+    };
+    Relay relay{&sched, &sims, &hops};
+    sims[0].ScheduleAt(0.5, [relay] { relay.Hop(0); });
+    sched.RunUntil(100.0);
+
+    ASSERT_EQ(hops.size(), static_cast<size_t>(kMaxHops));
+    for (int i = 0; i < kMaxHops; ++i) {
+      EXPECT_EQ(hops[static_cast<size_t>(i)].first, i % kShards);
+      EXPECT_DOUBLE_EQ(hops[static_cast<size_t>(i)].second, 0.5 + i);
+    }
+    EXPECT_EQ(sched.messages_delivered(), static_cast<uint64_t>(kMaxHops - 1));
+  }
+}
+
+TEST(ParallelSimTest, DeadAirIsSkippedWithoutChangingResults) {
+  // Events 10 simulated seconds apart with a 1 ms lookahead: the window
+  // loop must jump the gaps instead of executing ~10'000 empty windows.
+  Simulation sim;
+  Log log;
+  for (int i = 0; i < 5; ++i) {
+    const SimTime t = 10'000.0 * (i + 1);
+    sim.ScheduleAt(t, [&sim, &log, i] { log.emplace_back(sim.now(), i); });
+  }
+  ParallelScheduler::Options opts;
+  opts.threads = 1;
+  opts.lookahead_ms = 1.0;
+  ParallelScheduler sched(opts);
+  sched.AddShard(&sim);
+  sched.RunUntil(60'000.0);
+
+  ASSERT_EQ(log.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(log[static_cast<size_t>(i)].first, 10'000.0 * (i + 1));
+  }
+  // Far fewer windows than span/lookahead (60'000): one or two per event
+  // cluster plus the final landing.
+  EXPECT_LT(sched.windows_executed(), 20u);
+}
+
+TEST(ParallelSimTest, RepeatedRunUntilExtendsTheRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(5.0, [&] { ++fired; });
+  sim.ScheduleAt(15.0, [&] { ++fired; });
+  ParallelScheduler::Options opts;
+  opts.lookahead_ms = 2.0;
+  ParallelScheduler sched(opts);
+  sched.AddShard(&sim);
+  sched.RunUntil(10.0);
+  EXPECT_EQ(fired, 1);
+  sched.RunUntil(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level equivalence: the windowed driver wrapping a full simulated
+// system run (the --sim-threads path in src/exp/runner.cc) must be
+// byte-identical to the plain serial loop — with healthy nodes, with a
+// fault plan armed, and with fault + recovery plans armed.
+// ---------------------------------------------------------------------------
+
+exp::ExperimentConfig QuickEngineConfig() {
+  exp::ExperimentConfig cfg;
+  cfg.name = "parallel-sim-test";
+  cfg.cardinality = 10'000;
+  cfg.num_processors = 8;
+  cfg.warmup_ms = 300;
+  cfg.measure_ms = 1'500;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Full-precision fingerprint of a replication's metrics. hexfloat makes
+/// any bit-level divergence visible.
+std::string Fingerprint(const exp::RepMetrics& m) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << m.throughput_qps << '|' << m.mean_response_ms << '|'
+     << m.p95_response_ms << '|' << m.avg_processors_used << '|'
+     << m.disk_utilization << '|' << m.cpu_utilization << '|' << m.completed
+     << '|' << m.disk_imbalance << '|' << m.io_errors << '|' << m.retries
+     << '|' << m.timeouts << '|' << m.failovers << '|' << m.failed_queries
+     << '|' << m.has_recovery;
+  for (int p = 0; p < 4; ++p) {
+    os << '|' << m.phase_qps[p] << '|' << m.phase_resp_ms[p];
+  }
+  os << '|' << m.fail_ms << '|' << m.rebuild_start_ms << '|' << m.restored_ms
+     << '|' << m.rebuild_pages << '|' << m.rebuilds_completed << '|'
+     << m.rebuilds_aborted;
+  return os.str();
+}
+
+void ExpectThreadInvariantRun(exp::ExperimentConfig cfg) {
+  const auto relation = workload::MakeWisconsin([&] {
+    workload::WisconsinOptions w;
+    w.cardinality = cfg.cardinality;
+    return w;
+  }());
+  const auto wl = workload::MakeMix(cfg.qa, cfg.qb, cfg.mix);
+  auto part = exp::MakePartitioning("range", relation, wl, cfg.num_processors);
+  ASSERT_TRUE(part.ok()) << part.status().message();
+
+  cfg.sim_threads = 1;
+  const auto serial =
+      exp::RunSweepPointRep(cfg, relation, **part, wl, /*mpl=*/4, /*rep=*/0);
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+
+  for (const int threads : {2, 4}) {
+    cfg.sim_threads = threads;
+    const auto windowed =
+        exp::RunSweepPointRep(cfg, relation, **part, wl, /*mpl=*/4, /*rep=*/0);
+    ASSERT_TRUE(windowed.ok()) << windowed.status().message();
+    EXPECT_EQ(Fingerprint(*serial), Fingerprint(*windowed))
+        << "sim_threads=" << threads << " diverged from serial";
+  }
+  EXPECT_GT(serial->completed, 0);
+}
+
+TEST(ParallelSimEngineTest, HealthyRunIsThreadCountInvariant) {
+  ExpectThreadInvariantRun(QuickEngineConfig());
+}
+
+TEST(ParallelSimEngineTest, FaultPlanRunIsThreadCountInvariant) {
+  auto cfg = QuickEngineConfig();
+  cfg.faults = "disk:node2@t=600ms";
+  ExpectThreadInvariantRun(cfg);
+}
+
+TEST(ParallelSimEngineTest, RecoveryRunIsThreadCountInvariant) {
+  auto cfg = QuickEngineConfig();
+  cfg.faults = "disk:node2@t=500ms";
+  cfg.recovery = "repair:node2@t=900ms,rate=8";
+  ExpectThreadInvariantRun(cfg);
+}
+
+}  // namespace
+}  // namespace declust::sim

@@ -6,10 +6,16 @@
 # exercise coroutine lifetimes, signal-driven interrupts and background I/O
 # racing foreground queries — the bugs sanitizers exist to catch.
 #
+# A third pass builds under ThreadSanitizer and runs the parallel_sim label
+# (the time-windowed in-run scheduler), then a Release build runs a
+# differential smoke: the same quick sweep serially and with --sim-threads=4
+# must produce byte-identical CSV output.
+#
 #   tools/ci_check.sh [--jobs N] [--fresh]
 #
-# Build trees live in build-asan/ and build-ubsan/ next to the source tree
-# (both gitignored) and are reused across runs unless --fresh is given.
+# Build trees live in build-asan/, build-ubsan/, build-tsan/ and
+# build-relsmoke/ next to the source tree (all gitignored) and are reused
+# across runs unless --fresh is given.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -27,11 +33,11 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-LABELS='faults|audit|recovery'
 FAILED=0
 
 run_preset() {
-  local name="$1" flag="$2"
+  local name="$1" flag="$2" labels="$3"
+  shift 3
   local build_dir="$ROOT/build-$name"
   echo "=== $name: configure + build (${build_dir#"$ROOT"/}) ==="
   if [[ "$FRESH" == 1 ]]; then rm -rf "$build_dir"; fi
@@ -40,21 +46,60 @@ run_preset() {
     -D"$flag"=ON \
     -DDECLUST_BUILD_BENCHMARKS=OFF \
     -DDECLUST_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "$build_dir" -j"$JOBS" --target \
-    fault_test audit_test recovery_test
-  echo "=== $name: ctest -L '$LABELS' ==="
-  if ! ctest --test-dir "$build_dir" -L "$LABELS" --output-on-failure \
+  cmake --build "$build_dir" -j"$JOBS" --target "$@"
+  echo "=== $name: ctest -L '$labels' ==="
+  if ! ctest --test-dir "$build_dir" -L "$labels" --output-on-failure \
       -j"$JOBS"; then
     echo "*** $name: FAILED" >&2
     FAILED=1
   fi
 }
 
-run_preset asan DECLUST_ASAN
-run_preset ubsan DECLUST_UBSAN
+run_preset asan DECLUST_ASAN 'faults|audit|recovery' \
+  fault_test audit_test recovery_test
+run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery' \
+  fault_test audit_test recovery_test
+# The windowed in-run scheduler is the only place the simulator runs on more
+# than one thread; TSAN over the parallel_sim label is the race gate for it.
+run_preset tsan DECLUST_TSAN 'parallel_sim' parallel_sim_test
+
+# Release differential smoke: serial vs --sim-threads=4 on a quick sweep must
+# be byte-identical. Release mode matters here — it is the configuration where
+# reordering or racy reads would actually surface as digest drift.
+echo "=== relsmoke: configure + build (build-relsmoke) ==="
+SMOKE_DIR="$ROOT/build-relsmoke"
+if [[ "$FRESH" == 1 ]]; then rm -rf "$SMOKE_DIR"; fi
+cmake -S "$ROOT" -B "$SMOKE_DIR" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DDECLUST_BUILD_BENCHMARKS=OFF \
+  -DDECLUST_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$SMOKE_DIR" -j"$JOBS" --target run_experiment audit_sweep
+SMOKE_ARGS=(--strategies range,hash --mpls 4 --repeats 1 --cardinality 20000
+            --processors 8 --warmup 500 --measure 2000)
+echo "=== relsmoke: serial vs --sim-threads=4 digest ==="
+SERIAL_OUT="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}")"
+THREADED_OUT="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --sim-threads 4)"
+if [[ "$SERIAL_OUT" == "$THREADED_OUT" ]]; then
+  echo "relsmoke: serial and --sim-threads=4 results are byte-identical"
+else
+  echo "*** relsmoke: FAILED — --sim-threads=4 changed the results" >&2
+  diff <(printf '%s\n' "$SERIAL_OUT") <(printf '%s\n' "$THREADED_OUT") \
+    | head -40 >&2 || true
+  FAILED=1
+fi
+# audit_sweep's differential harness runs the same config through every
+# variant (jobs=1, jobs=N+audit, sim-threads=4, inactive fault plan) and
+# compares result digests — the invariant-level form of the check above.
+echo "=== relsmoke: audit_sweep differential (includes sim-threads=4) ==="
+if ! "$SMOKE_DIR/tools/audit_sweep" "${SMOKE_ARGS[@]}"; then
+  echo "*** relsmoke: audit_sweep differential FAILED" >&2
+  FAILED=1
+fi
 
 if [[ "$FAILED" != 0 ]]; then
   echo "ci_check: sanitizer gate FAILED" >&2
   exit 1
 fi
-echo "ci_check: faults|audit|recovery clean under ASAN and UBSAN"
+echo "ci_check: faults|audit|recovery clean under ASAN/UBSAN," \
+  "parallel_sim clean under TSAN, release digest stable"
