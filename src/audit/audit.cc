@@ -173,6 +173,81 @@ void Auditor::OnAddressFlip(int node, double at_ms) {
   ++address_flips_;
 }
 
+void Auditor::OnMigrationStart(int slice, int src_node, int dst_node,
+                               bool backup_copy, double at_ms) {
+  ++migrations_started_;
+  const size_t range = site_dispatched_.size();
+  ++checks_;
+  if (slice < 0 || (range > 0 && static_cast<size_t>(slice) >= range) ||
+      src_node < 0 || dst_node < 0 ||
+      (range > 0 && (static_cast<size_t>(src_node) >= range ||
+                     static_cast<size_t>(dst_node) >= range))) {
+    Violation(Fmt("migration: start slice=%d %d->%d outside [0, %zu)", slice,
+                  src_node, dst_node, range));
+    return;
+  }
+  ++checks_;
+  if (src_node == dst_node) {
+    Violation(Fmt("migration: slice %d migrating to its own node %d", slice,
+                  src_node));
+  }
+  const int key = slice * 2 + (backup_copy ? 1 : 0);
+  ++checks_;
+  if (!open_migrations_.emplace(key, static_cast<int64_t>(src_node) * 65536 +
+                                         dst_node)
+           .second) {
+    Violation(Fmt("migration: %s copy of slice %d started migrating twice",
+                  backup_copy ? "backup" : "primary", slice));
+  }
+  // The coordinator migrates one fragment at a time; overlap means the
+  // sequential driver broke.
+  ++checks_;
+  if (open_migrations_.size() > 1) {
+    Violation(Fmt("migration: %zu concurrent migrations open at %.9g ms",
+                  open_migrations_.size(), at_ms));
+  }
+}
+
+void Auditor::OnMigrationFlip(int slice, int src_node, int dst_node,
+                              bool backup_copy, int64_t pages_copied,
+                              int64_t pages_planned, double at_ms) {
+  ++migration_flips_;
+  const int key = slice * 2 + (backup_copy ? 1 : 0);
+  const auto it = open_migrations_.find(key);
+  ++checks_;
+  if (it == open_migrations_.end()) {
+    Violation(Fmt("migration: flip of slice %d without a matching start",
+                  slice));
+  } else {
+    ++checks_;
+    if (it->second != static_cast<int64_t>(src_node) * 65536 + dst_node) {
+      Violation(Fmt("migration: slice %d flipped %d->%d but started "
+                    "elsewhere",
+                    slice, src_node, dst_node));
+    }
+    open_migrations_.erase(it);
+  }
+  // Page conservation: the new copy is complete — every planned page landed
+  // on the destination disk — before any query is addressed to it.
+  ++checks_;
+  if (pages_copied != pages_planned) {
+    Violation(Fmt("migration: slice %d flipped with %lld of %lld pages "
+                  "copied",
+                  slice, static_cast<long long>(pages_copied),
+                  static_cast<long long>(pages_planned)));
+  }
+  ++checks_;
+  if (at_ms < last_migration_flip_ms_) {
+    Violation(Fmt("migration: flip at %.9g before an earlier flip at %.9g",
+                  at_ms, last_migration_flip_ms_));
+  }
+  last_migration_flip_ms_ = at_ms;
+}
+
+void Auditor::OnMigrationAbort(int slice, bool backup_copy) {
+  open_migrations_.erase(slice * 2 + (backup_copy ? 1 : 0));
+}
+
 void Auditor::OnQueryActivation(int64_t query_id,
                                 const std::vector<int>& aux_nodes,
                                 const std::vector<int>& data_nodes) {

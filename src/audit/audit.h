@@ -89,6 +89,25 @@ class Auditor : public sim::AuditHook {
   /// primary at `at_ms` (post-rebuild re-integration).
   void OnAddressFlip(int node, double at_ms);
   int64_t address_flips() const { return address_flips_; }
+  /// Elastic-membership migration accounting (src/resize): a fragment copy
+  /// of `slice` (its backup copy when `backup_copy`) started moving from
+  /// `src_node` to `dst_node` at `at_ms`. Checks ranges and that the same
+  /// copy is not already migrating.
+  void OnMigrationStart(int slice, int src_node, int dst_node,
+                        bool backup_copy, double at_ms);
+  /// The migration committed (epoch flip) at `at_ms`. Page conservation:
+  /// every planned page must have been copied before the flip
+  /// (`pages_copied == pages_planned`), the flip must match an open
+  /// OnMigrationStart with the same endpoints, and flips are monotonic in
+  /// time.
+  void OnMigrationFlip(int slice, int src_node, int dst_node,
+                       bool backup_copy, int64_t pages_copied,
+                       int64_t pages_planned, double at_ms);
+  /// The migration was abandoned (copy source lost and the fallback failed):
+  /// closes the open entry without a flip; the slice stays where it was.
+  void OnMigrationAbort(int slice, bool backup_copy);
+  int64_t migrations_started() const { return migrations_started_; }
+  int64_t migration_flips() const { return migration_flips_; }
   /// Response-time tiling primitive: for a query that ran on exactly one
   /// data site (and no aux sites) the cost components sum to the response.
   void CheckTiling(int64_t query_id, double response_ms,
@@ -148,6 +167,14 @@ class Auditor : public sim::AuditHook {
   // Recovery re-integration accounting.
   int64_t address_flips_ = 0;
   double last_flip_ms_ = 0.0;
+
+  // Elastic-membership migration accounting. Key: slice * 2 + backup_copy;
+  // value: src_node * 65536 + dst_node of the open migration. The
+  // coordinator migrates sequentially, so the map stays tiny.
+  std::unordered_map<int, int64_t> open_migrations_;
+  int64_t migrations_started_ = 0;
+  int64_t migration_flips_ = 0;
+  double last_migration_flip_ms_ = 0.0;
 
   // (aux sites, data sites) per live query, recorded at activation and
   // consumed at completion for the tiling check. Bounded by the

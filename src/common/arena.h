@@ -179,6 +179,7 @@ class FrameCache {
 
   static void Deallocate(void* p, size_t n) {
 #ifdef DECLUST_ASAN_ACTIVE
+    (void)n;
     ::operator delete(p);
 #else
     if (n > kMaxCachedBytes) {

@@ -125,11 +125,19 @@ RebalanceResult HillClimbRebalance(const std::vector<int>& dims,
             if (cell_weights[c] > 0) heavy.emplace_back(la, s);
             light.emplace_back(la + cell_weights[c], s);
           }
+          // Ties on load break toward the smallest slice id in both
+          // directions, so the candidate set — and with it the whole climb —
+          // is a pure function of the weights, independent of container
+          // ordering quirks.
           std::partial_sort(
               heavy.begin(),
               heavy.begin() +
                   std::min<size_t>(heavy.size(), kHeavyPerLine),
-              heavy.end(), std::greater<>());
+              heavy.end(), [](const std::pair<int64_t, int>& a,
+                              const std::pair<int64_t, int>& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
           std::partial_sort(light.begin(),
                             light.begin() + std::min<size_t>(light.size(),
                                                              kLightPerLine),
@@ -236,6 +244,33 @@ RebalanceResult HillClimbRebalance(const std::vector<int>& dims,
 
   result.spread_after = FindSpread(loads).gap;
   return result;
+}
+
+std::vector<int64_t> ObservedCellWeights(
+    const std::vector<int64_t>& tuple_weights,
+    const std::vector<int>& assignment,
+    const std::vector<int64_t>& fragment_accesses) {
+  std::vector<int64_t> out = tuple_weights;
+  bool any = false;
+  for (int64_t a : fragment_accesses) {
+    if (a > 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return out;
+  assert(assignment.size() == tuple_weights.size());
+  for (size_t c = 0; c < out.size(); ++c) {
+    const int frag = assignment[c];
+    // A fragment never observed in the window keeps weight 1 per tuple so
+    // its cells still count (it may simply have been idle, not empty).
+    const int64_t scale =
+        frag >= 0 && static_cast<size_t>(frag) < fragment_accesses.size()
+            ? std::max<int64_t>(1, fragment_accesses[static_cast<size_t>(frag)])
+            : 1;
+    out[c] *= scale;
+  }
+  return out;
 }
 
 }  // namespace declust::decluster

@@ -164,7 +164,8 @@ void FragmentStore::ScanAccessInto(int attr, Value lo, Value hi,
 Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
     const storage::Relation* relation,
     const decluster::Partitioning* partitioning, storage::AttrId attr_a,
-    storage::AttrId attr_b, const hw::HwParams& hw, CatalogOptions opts) {
+    storage::AttrId attr_b, const hw::HwParams& hw, CatalogOptions opts,
+    const PlacementSpec* placement) {
   if (relation == nullptr || partitioning == nullptr) {
     return Status::InvalidArgument("null relation or partitioning");
   }
@@ -175,38 +176,62 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
       dynamic_cast<const decluster::BerdPartitioning*>(partitioning);
   catalog->opts_ = opts;
 
-  const int nodes = partitioning->num_nodes();
-  for (int node = 0; node < nodes; ++node) {
-    catalog->layouts_.push_back(std::make_unique<storage::DiskLayout>(
-        hw.disk_pages_per_cylinder, hw.disk_cylinders));
+  const int slices = partitioning->num_nodes();
+  if (placement != nullptr) {
+    if (static_cast<int>(placement->owner.size()) != slices ||
+        static_cast<int>(placement->backup_owner.size()) != slices ||
+        placement->num_physical_nodes < 1) {
+      return Status::InvalidArgument(
+          "placement tables do not match the partitioning's slice count");
+    }
+    catalog->owner_ = placement->owner;
+    catalog->backup_owner_ = placement->backup_owner;
+    for (int n = 0; n < placement->num_physical_nodes; ++n) {
+      catalog->layouts_.push_back(std::make_unique<storage::DiskLayout>(
+          hw.disk_pages_per_cylinder, hw.disk_cylinders));
+    }
+  }
+
+  // Allocation order matters (extent addresses): without a placement this
+  // loop must interleave layout creation with store construction exactly as
+  // the fixed-membership catalog always has, so addresses are unchanged.
+  for (int slice = 0; slice < slices; ++slice) {
+    storage::DiskLayout* layout;
+    if (placement == nullptr) {
+      catalog->layouts_.push_back(std::make_unique<storage::DiskLayout>(
+          hw.disk_pages_per_cylinder, hw.disk_cylinders));
+      layout = catalog->layouts_.back().get();
+    } else {
+      layout = catalog->layouts_[static_cast<size_t>(catalog->OwnerOf(slice))]
+                   .get();
+    }
     catalog->stores_.push_back(std::make_unique<FragmentStore>(
-        relation, partitioning->node_records()[static_cast<size_t>(node)],
-        attr_a, attr_b, opts, hw, catalog->layouts_.back().get()));
+        relation, partitioning->node_records()[static_cast<size_t>(slice)],
+        attr_a, attr_b, opts, hw, layout));
     if (catalog->berd_ != nullptr) {
-      // Auxiliary-relation pages for this node's aux fragment.
+      // Auxiliary-relation pages for this slice's aux fragment.
       const auto full = catalog->berd_->AuxCost(
-          node, std::numeric_limits<Value>::min(),
+          slice, std::numeric_limits<Value>::min(),
           std::numeric_limits<Value>::max());
       const int64_t aux_pages =
           std::max<int64_t>(1, full.index_pages + full.leaf_pages);
-      DECLUST_ASSIGN_OR_RETURN(auto extent,
-                               catalog->layouts_.back()->Allocate(aux_pages));
+      DECLUST_ASSIGN_OR_RETURN(auto extent, layout->Allocate(aux_pages));
       catalog->aux_extents_.push_back(extent);
     }
   }
   // Chained declustering: backup copies go on disk AFTER all primary
   // extents, so primary physical addresses are unchanged by the option.
-  if (opts.chained_backups && nodes > 1) {
-    for (int node = 0; node < nodes; ++node) {
-      const int backup = (node + 1) % nodes;
+  if (opts.chained_backups && slices > 1) {
+    for (int slice = 0; slice < slices; ++slice) {
       storage::DiskLayout* layout =
-          catalog->layouts_[static_cast<size_t>(backup)].get();
+          catalog->layouts_[static_cast<size_t>(catalog->BackupNodeOf(slice))]
+              .get();
       catalog->backup_stores_.push_back(std::make_unique<FragmentStore>(
-          relation, partitioning->node_records()[static_cast<size_t>(node)],
+          relation, partitioning->node_records()[static_cast<size_t>(slice)],
           attr_a, attr_b, opts, hw, layout));
       if (catalog->berd_ != nullptr) {
         const auto full = catalog->berd_->AuxCost(
-            node, std::numeric_limits<Value>::min(),
+            slice, std::numeric_limits<Value>::min(),
             std::numeric_limits<Value>::max());
         const int64_t aux_pages =
             std::max<int64_t>(1, full.index_pages + full.leaf_pages);
@@ -221,7 +246,7 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
 void SystemCatalog::PlanAccessInto(int node, const Predicate& q,
                                    bool sequential_scan,
                                    AccessPlan* out) const {
-  const auto& layout = *layouts_[static_cast<size_t>(node)];
+  const auto& layout = *layouts_[static_cast<size_t>(OwnerOf(node))];
   const auto& store = *stores_[static_cast<size_t>(node)];
   if (sequential_scan) {
     store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
@@ -238,7 +263,7 @@ void SystemCatalog::PlanAuxAccessInto(int node, const Predicate& q,
   out->clear();
   if (berd_ == nullptr) return;
   const auto cost = berd_->AuxCost(node, q.lo, q.hi);
-  const auto& layout = *layouts_[static_cast<size_t>(node)];
+  const auto& layout = *layouts_[static_cast<size_t>(OwnerOf(node))];
   const auto& extent = aux_extents_[static_cast<size_t>(node)];
   DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
   for (int l = 1; l < cost.leaf_pages; ++l) {
@@ -290,9 +315,6 @@ std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
     int node) const {
   assert(has_backups());
   std::vector<RebuildPage> pages;
-  const int n = num_nodes();
-  const int backup = BackupNodeOf(node);
-  const int prev = (node - 1 + n) % n;
 
   // Pairs the i-th page of `src_extent` (on src_node's disk) with the i-th
   // page of `dst_extent` (on the repaired node's disk). Primary and backup
@@ -311,33 +333,118 @@ std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
     }
   };
 
-  // The node's own (primary) fragment, restored from its chained backup.
-  {
-    const auto& from = *backup_stores_[static_cast<size_t>(node)];
-    const auto& to = *stores_[static_cast<size_t>(node)];
+  // Every slice whose primary the lost disk served, restored from its
+  // chained backup. Without a placement only slice == node matches.
+  for (int s = 0; s < num_slices(); ++s) {
+    if (OwnerOf(s) != node) continue;
+    const int backup = BackupNodeOf(s);
+    const auto& from = *backup_stores_[static_cast<size_t>(s)];
+    const auto& to = *stores_[static_cast<size_t>(s)];
     copy_extent(backup, from.data_extent(), to.data_extent());
     copy_extent(backup, from.index_b_extent(), to.index_b_extent());
     copy_extent(backup, from.index_a_extent(), to.index_a_extent());
     if (berd_ != nullptr) {
-      copy_extent(backup, aux_backup_extents_[static_cast<size_t>(node)],
-                  aux_extents_[static_cast<size_t>(node)]);
+      copy_extent(backup, aux_backup_extents_[static_cast<size_t>(s)],
+                  aux_extents_[static_cast<size_t>(s)]);
     }
   }
-  // The backup copy of the predecessor's fragment, which also lived on the
-  // lost disk, restored from the predecessor's primary — without it the
-  // chain would have a permanent hole at `prev`.
-  if (prev != node) {
-    const auto& from = *stores_[static_cast<size_t>(prev)];
-    const auto& to = *backup_stores_[static_cast<size_t>(prev)];
-    copy_extent(prev, from.data_extent(), to.data_extent());
-    copy_extent(prev, from.index_b_extent(), to.index_b_extent());
-    copy_extent(prev, from.index_a_extent(), to.index_a_extent());
+  // Every backup copy the lost disk hosted, restored from that slice's
+  // primary — without these the chain would have a permanent hole. Without
+  // a placement only the predecessor's backup matches.
+  for (int s = 0; s < num_slices(); ++s) {
+    if (BackupNodeOf(s) != node || OwnerOf(s) == node) continue;
+    const int owner = OwnerOf(s);
+    const auto& from = *stores_[static_cast<size_t>(s)];
+    const auto& to = *backup_stores_[static_cast<size_t>(s)];
+    copy_extent(owner, from.data_extent(), to.data_extent());
+    copy_extent(owner, from.index_b_extent(), to.index_b_extent());
+    copy_extent(owner, from.index_a_extent(), to.index_a_extent());
     if (berd_ != nullptr) {
-      copy_extent(prev, aux_extents_[static_cast<size_t>(prev)],
-                  aux_backup_extents_[static_cast<size_t>(prev)]);
+      copy_extent(owner, aux_extents_[static_cast<size_t>(s)],
+                  aux_backup_extents_[static_cast<size_t>(s)]);
     }
   }
   return pages;
+}
+
+Result<SystemCatalog::MigrationJob> SystemCatalog::PlanFragmentCopy(
+    int slice, int dst_node, bool backup_copy, bool from_backup_source) {
+  if (slice < 0 || slice >= num_slices() || dst_node < 0 ||
+      dst_node >= num_nodes()) {
+    return Status::InvalidArgument("migration plan out of range");
+  }
+  if ((backup_copy || from_backup_source) && !has_backups()) {
+    return Status::InvalidArgument(
+        "migration needs chained backups for this copy");
+  }
+  MigrationJob job;
+  job.slice = slice;
+  job.backup_copy = backup_copy;
+  job.dst_node = dst_node;
+
+  // The extents being moved (sized like the source) and the replica the
+  // pages are read from. A primary move normally reads the primary copy
+  // itself; `from_backup_source` falls back to the chained backup when the
+  // current host's disk has failed mid-migration.
+  const FragmentStore& moved = backup_copy
+                                   ? *backup_stores_[static_cast<size_t>(slice)]
+                                   : *stores_[static_cast<size_t>(slice)];
+  const bool read_backup = backup_copy ? false : from_backup_source;
+  const FragmentStore& from = read_backup
+                                  ? *backup_stores_[static_cast<size_t>(slice)]
+                                  : *stores_[static_cast<size_t>(slice)];
+  job.src_node = read_backup ? BackupNodeOf(slice) : OwnerOf(slice);
+
+  storage::DiskLayout& dst_layout = *layouts_[static_cast<size_t>(dst_node)];
+  DECLUST_ASSIGN_OR_RETURN(
+      job.new_data, dst_layout.Allocate(moved.data_extent().num_pages));
+  DECLUST_ASSIGN_OR_RETURN(
+      job.new_idx_b, dst_layout.Allocate(moved.index_b_extent().num_pages));
+  DECLUST_ASSIGN_OR_RETURN(
+      job.new_idx_a, dst_layout.Allocate(moved.index_a_extent().num_pages));
+  job.has_aux = berd_ != nullptr;
+  if (job.has_aux) {
+    const auto& aux = backup_copy ? aux_backup_extents_[static_cast<size_t>(
+                                        slice)]
+                                  : aux_extents_[static_cast<size_t>(slice)];
+    DECLUST_ASSIGN_OR_RETURN(job.new_aux,
+                             dst_layout.Allocate(aux.num_pages));
+  }
+
+  const auto copy_extent = [&](const storage::Extent& src_extent,
+                               const storage::Extent& dst_extent) {
+    assert(src_extent.num_pages == dst_extent.num_pages);
+    const auto& src_layout = *layouts_[static_cast<size_t>(job.src_node)];
+    for (int64_t p = 0; p < src_extent.num_pages; ++p) {
+      auto src = src_layout.Resolve(src_extent, p);
+      auto dst = dst_layout.Resolve(dst_extent, p);
+      assert(src.ok() && dst.ok());
+      job.pages.push_back(RebuildPage{job.src_node, *src, *dst});
+    }
+  };
+  copy_extent(from.data_extent(), job.new_data);
+  copy_extent(from.index_b_extent(), job.new_idx_b);
+  copy_extent(from.index_a_extent(), job.new_idx_a);
+  if (job.has_aux) {
+    copy_extent(read_backup ? aux_backup_extents_[static_cast<size_t>(slice)]
+                            : aux_extents_[static_cast<size_t>(slice)],
+                job.new_aux);
+  }
+  return job;
+}
+
+void SystemCatalog::CommitMigration(const MigrationJob& job) {
+  assert(!owner_.empty() && "CommitMigration needs a placement-built catalog");
+  const size_t s = static_cast<size_t>(job.slice);
+  if (job.backup_copy) {
+    backup_stores_[s]->Relocate(job.new_data, job.new_idx_b, job.new_idx_a);
+    if (job.has_aux) aux_backup_extents_[s] = job.new_aux;
+    backup_owner_[s] = job.dst_node;
+  } else {
+    stores_[s]->Relocate(job.new_data, job.new_idx_b, job.new_idx_a);
+    if (job.has_aux) aux_extents_[s] = job.new_aux;
+    owner_[s] = job.dst_node;
+  }
 }
 
 }  // namespace declust::engine

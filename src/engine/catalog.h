@@ -10,6 +10,15 @@
 // with a non-clustered B+-tree on attribute A, laid out in contiguous
 // extents on the node's disk. BERD additionally stores an auxiliary-relation
 // extent per node.
+//
+// Elastic placement (src/resize): the partitioning's "nodes" become logical
+// slices that a PlacementSpec maps onto a possibly larger physical machine.
+// Without a placement the mapping is the identity (slice i lives on node i)
+// and every code path below is byte-identical to the fixed-membership
+// catalog. Migration allocates fresh extents on the destination disk, copies
+// page for page, then Relocate()s the fragment store in one instant — the
+// old extents are never invalidated, so reads dispatched before the flip
+// drain safely.
 #pragma once
 
 #include <memory>
@@ -125,6 +134,16 @@ class FragmentStore {
   const storage::Extent& index_b_extent() const { return index_b_extent_; }
   const storage::Extent& index_a_extent() const { return index_a_extent_; }
 
+  /// Atomically repoints the store at freshly copied extents on another
+  /// disk (the migration epoch flip). The old extents are abandoned, not
+  /// freed: reads planned before the flip stay valid on the old disk.
+  void Relocate(const storage::Extent& data, const storage::Extent& idx_b,
+                const storage::Extent& idx_a) {
+    data_extent_ = data;
+    index_b_extent_ = idx_b;
+    index_a_extent_ = idx_a;
+  }
+
  private:
   const storage::Relation* relation_;
   std::vector<RecordId> by_b_;  // clustered order
@@ -136,19 +155,41 @@ class FragmentStore {
   storage::Extent index_a_extent_;
 };
 
+/// \brief Maps logical slices onto a physical machine (src/resize). The
+/// partitioning's "node" i becomes slice i, stored on `owner[i]`'s disk
+/// with its chained backup on `backup_owner[i]`'s disk.
+struct PlacementSpec {
+  /// Disks/layouts to create; may exceed the slice count never (owners are
+  /// node indices below this) and may be smaller than the slice count.
+  int num_physical_nodes = 0;
+  std::vector<int> owner;         // slice -> physical node
+  std::vector<int> backup_owner;  // slice -> physical node
+};
+
 /// \brief The catalog for one declustered relation.
 class SystemCatalog {
  public:
-  /// Builds per-node fragment stores (and BERD auxiliary extents) for
-  /// `partitioning` of `relation`.
+  /// Builds per-slice fragment stores (and BERD auxiliary extents) for
+  /// `partitioning` of `relation`. With a null `placement` slice i lives on
+  /// node i (the fixed-membership machine, byte-identical layout).
   static Result<std::unique_ptr<SystemCatalog>> Build(
       const storage::Relation* relation,
       const decluster::Partitioning* partitioning, storage::AttrId attr_a,
       storage::AttrId attr_b, const hw::HwParams& hw,
-      CatalogOptions opts = CatalogOptions());
+      CatalogOptions opts = CatalogOptions(),
+      const PlacementSpec* placement = nullptr);
 
-  int num_nodes() const { return static_cast<int>(stores_.size()); }
-  const FragmentStore& store(int node) const { return *stores_[node]; }
+  /// Physical machine size (disk layouts). Equals num_slices() without a
+  /// placement.
+  int num_nodes() const { return static_cast<int>(layouts_.size()); }
+  /// Logical slice count (one fragment store per slice).
+  int num_slices() const { return static_cast<int>(stores_.size()); }
+  const FragmentStore& store(int slice) const { return *stores_[slice]; }
+
+  /// The physical node currently serving `slice`'s primary copy.
+  int OwnerOf(int slice) const {
+    return owner_.empty() ? slice : owner_[static_cast<size_t>(slice)];
+  }
 
   /// Access plan for `q` at `node` (selects the index by attribute, or a
   /// full sequential scan when `sequential_scan` is set).
@@ -179,8 +220,13 @@ class SystemCatalog {
 
   /// True when chained-declustering backups were built.
   bool has_backups() const { return !backup_stores_.empty(); }
-  /// The node holding the backup copy of `node`'s fragment.
-  int BackupNodeOf(int node) const { return (node + 1) % num_nodes(); }
+  /// The node holding the backup copy of `slice`'s fragment: the chained
+  /// successor (slice + 1) mod N without a placement, else the placement
+  /// table (the next member after the owner, re-chained on migration).
+  int BackupNodeOf(int slice) const {
+    return backup_owner_.empty() ? (slice + 1) % num_slices()
+                                 : backup_owner_[static_cast<size_t>(slice)];
+  }
 
   /// Access plan for `q` against the backup copy of `failed_node`'s
   /// fragment, executed at BackupNodeOf(failed_node). Yields the same
@@ -218,13 +264,40 @@ class SystemCatalog {
   };
 
   /// The full page-for-page copy plan to rebuild `node` after a disk loss
-  /// (chained declustering, Hsiao & DeWitt): the node's primary fragment —
-  /// data, both index extents, and the BERD aux extent — restored from its
-  /// backup copy on BackupNodeOf(node), followed by the backup copy of the
-  /// predecessor's fragment restored from that fragment's primary. Pages
-  /// are listed in extent order, physically sequential within each extent.
-  /// Requires has_backups().
+  /// (chained declustering, Hsiao & DeWitt): every slice whose primary the
+  /// node serves — data, both index extents, and the BERD aux extent —
+  /// restored from its backup copy, followed by every backup copy the node
+  /// hosts restored from that slice's primary. Pages are listed in slice
+  /// order, physically sequential within each extent. Without a placement
+  /// this is exactly "the node's own fragment from BackupNodeOf(node), then
+  /// the predecessor's backup from its primary". Requires has_backups().
   std::vector<RebuildPage> PlanRebuild(int node) const;
+
+  /// One planned fragment migration: freshly allocated extents on
+  /// `dst_node`'s disk plus the page-for-page copy list that fills them.
+  struct MigrationJob {
+    int slice = 0;
+    bool backup_copy = false;  // moving the backup copy, not the primary
+    int src_node = 0;
+    int dst_node = 0;
+    storage::Extent new_data, new_idx_b, new_idx_a, new_aux;
+    bool has_aux = false;
+    std::vector<RebuildPage> pages;
+  };
+
+  /// Plans moving `slice`'s primary (or, with `backup_copy`, its chained
+  /// backup) to `dst_node`: allocates destination extents and enumerates
+  /// the copy. `from_backup_source` reads the pages off the other replica
+  /// (the fallback when the current host's disk has failed; requires
+  /// has_backups()). Fails if the destination disk is out of space.
+  Result<MigrationJob> PlanFragmentCopy(int slice, int dst_node,
+                                        bool backup_copy,
+                                        bool from_backup_source);
+
+  /// The migration epoch flip: repoints the slice's store (and BERD aux
+  /// extent) at the job's new extents and updates the placement table, all
+  /// in one simulated instant. Requires a placement-built catalog.
+  void CommitMigration(const MigrationJob& job);
 
  private:
   const storage::Relation* relation_ = nullptr;
@@ -233,10 +306,13 @@ class SystemCatalog {
   std::vector<std::unique_ptr<FragmentStore>> stores_;
   std::vector<std::unique_ptr<storage::DiskLayout>> layouts_;
   std::vector<storage::Extent> aux_extents_;  // BERD only
-  // Chained declustering: backup_stores_[n] is node n's fragment stored on
-  // node (n+1) mod N (empty unless opts.chained_backups).
+  // Chained declustering: backup_stores_[s] is slice s's fragment stored on
+  // BackupNodeOf(s) (empty unless opts.chained_backups).
   std::vector<std::unique_ptr<FragmentStore>> backup_stores_;
   std::vector<storage::Extent> aux_backup_extents_;  // BERD + backups only
+  // Elastic placement tables; empty without a PlacementSpec (identity).
+  std::vector<int> owner_;
+  std::vector<int> backup_owner_;
   CatalogOptions opts_;
   // Plan-construction scratch. Safe as a single mutable member: plan
   // building never suspends, and one Simulation (hence one catalog) is

@@ -131,6 +131,22 @@ class Metrics {
   /// A query gave up with a non-OK status (deadline, dead coordinator, ...).
   void RecordFailure(int /*class_index*/) { ++faults_.failed_queries; }
 
+  /// Sizes the per-slice access counters (elastic runs only; empty — and
+  /// RecordSliceAccess a no-op — otherwise).
+  void BindSlices(int num_slices) {
+    slice_accesses_.assign(static_cast<size_t>(num_slices), 0);
+  }
+  /// One primary data-site dispatch touched `slice`. Monotonic across the
+  /// whole run: the rebalancer takes its own per-window deltas.
+  void RecordSliceAccess(int slice) {
+    if (slice >= 0 && slice < static_cast<int>(slice_accesses_.size())) {
+      ++slice_accesses_[static_cast<size_t>(slice)];
+    }
+  }
+  const std::vector<int64_t>& slice_accesses() const {
+    return slice_accesses_;
+  }
+
   /// Fault-handling counters; reset when the measurement window starts.
   FaultStats& faults() { return faults_; }
   const FaultStats& faults() const { return faults_; }
@@ -185,6 +201,7 @@ class Metrics {
   Accumulator* comp_backoff_;
   Accumulator* comp_unattributed_;
   FaultStats faults_;
+  std::vector<int64_t> slice_accesses_;
 };
 
 }  // namespace declust::engine

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/recover/recovery.h"
+#include "src/resize/migrate.h"
 
 namespace declust::engine {
 
@@ -46,19 +47,38 @@ Status System::Init() {
   if (faults_armed && config_.hw.num_processors > 1) {
     catalog_opts.chained_backups = true;
   }
+  // Under an elastic plan the catalog is built on the coordinator's initial
+  // placement (slices striped over the initial members); the physical
+  // machine is sized for the largest membership the plan reaches, which the
+  // caller already wrote into hw.num_processors.
+  PlacementSpec placement;
+  const PlacementSpec* placement_ptr = nullptr;
+  if (config_.resize != nullptr) {
+    placement = config_.resize->InitialPlacement();
+    placement_ptr = &placement;
+  }
   auto catalog = SystemCatalog::Build(relation_, partitioning_,
                                       config_.attr_a, config_.attr_b,
-                                      config_.hw, catalog_opts);
+                                      config_.hw, catalog_opts,
+                                      placement_ptr);
   DECLUST_RETURN_NOT_OK(catalog.status());
   catalog_ = std::move(catalog).ValueOrDie();
+  if (config_.resize != nullptr) {
+    metrics_.BindSlices(catalog_->num_slices());
+  }
 
   querygen_ = std::make_unique<workload::QueryGenerator>(
       workload_, relation_->cardinality(),
       RandomStream(config_.seed).Fork(0xABCD));
 
   if (config_.audit != nullptr) {
-    config_.audit->BindSystem(config_.multiprogramming_level,
-                              config_.hw.num_processors);
+    // Slice ids and node ids share one id space; an elastic run may use
+    // more slices than nodes, so the audit range covers both.
+    const int audit_range =
+        config_.resize != nullptr
+            ? std::max(config_.hw.num_processors, catalog_->num_slices())
+            : config_.hw.num_processors;
+    config_.audit->BindSystem(config_.multiprogramming_level, audit_range);
   }
 
   if (config_.buffer_pool_pages > 0) {
@@ -82,9 +102,11 @@ bool System::SiteUp(int node) {
   sim::FaultInjector* inj = machine_->injector();
   if (inj != nullptr && !inj->DiskAvailable(node, sim_->now())) return false;
   // A repaired disk serves no foreground reads until its rebuild finishes
-  // and the recovery coordinator flips the address back to the primary.
-  return config_.recovery == nullptr ||
-         config_.recovery->ServingPrimary(node);
+  // and the recovery coordinator flips the address back to the primary; a
+  // removed node serves nothing once drained and retired.
+  return (config_.recovery == nullptr ||
+          config_.recovery->ServingPrimary(node)) &&
+         (config_.resize == nullptr || config_.resize->NodeServing(node));
 }
 
 AccessPlan* System::AcquirePlan() {
@@ -98,8 +120,8 @@ AccessPlan* System::AcquirePlan() {
   // Size the page vectors for the worst case up front (a full scan of the
   // largest fragment) so a pooled plan never reallocates mid-run.
   int64_t max_pages = 0;
-  for (int n = 0; n < catalog_->num_nodes(); ++n) {
-    max_pages = std::max(max_pages, catalog_->store(n).data_pages());
+  for (int s = 0; s < catalog_->num_slices(); ++s) {
+    max_pages = std::max(max_pages, catalog_->store(s).data_pages());
   }
   p->data_pages.reserve(static_cast<size_t>(max_pages) + 8);
   p->index_pages.reserve(static_cast<size_t>(max_pages) + 8);
@@ -137,6 +159,9 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
       if (config_.recovery != nullptr) {
         config_.recovery->OnQueryCompleted(sim_->now(), sim_->now() - start);
       }
+      if (config_.resize != nullptr) {
+        config_.resize->OnQueryCompleted(sim_->now(), sim_->now() - start);
+      }
       if (config_.audit != nullptr) {
         config_.audit->OnQueryCompleted(
             qo.query, sim_->now() - start,
@@ -162,8 +187,13 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
       workload_->classes[static_cast<size_t>(q.class_index)].sequential_scan;
 
   // The query manager (host node) dispatches the query to its scheduler
-  // process, allocated round-robin over the operator nodes.
-  const int coord = next_coordinator_++ % config_.hw.num_processors;
+  // process, allocated round-robin over the operator nodes (the *current*
+  // members under an elastic plan, so leaving nodes shed coordinator work
+  // the instant the membership flips).
+  const int coord =
+      config_.resize != nullptr
+          ? config_.resize->CoordinatorNode(next_coordinator_++)
+          : next_coordinator_++ % config_.hw.num_processors;
   QueryContext& ctx = scratch->ctx;
   ctx.status = Status::OK();
   ctx.serving.clear();
@@ -238,7 +268,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   co_return Status::OK();
 }
 
-sim::Task<> System::RunDataSite(int coord, size_t site_idx, int node,
+sim::Task<> System::RunDataSite(int coord, size_t site_idx, int slice,
                                 Predicate pred, bool sequential_scan,
                                 QueryContext* ctx, sim::JoinCounter* join,
                                 obs::QueryObs* qo) {
@@ -251,18 +281,19 @@ sim::Task<> System::RunDataSite(int coord, size_t site_idx, int node,
     site_obs = obs::QueryObs{qo->probe, qo->query, qo->span, {}};
     sq = &site_obs;
   }
-  if (config_.audit != nullptr) config_.audit->OnSiteDispatched(node);
+  if (config_.audit != nullptr) config_.audit->OnSiteDispatched(slice);
   const Status st =
-      co_await DataSiteSelect(coord, site_idx, node, pred, sequential_scan,
+      co_await DataSiteSelect(coord, site_idx, slice, pred, sequential_scan,
                               ctx, sq);
-  if (config_.audit != nullptr) config_.audit->OnSiteFinished(node);
+  if (config_.audit != nullptr) config_.audit->OnSiteFinished(slice);
   if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
-sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
-                                         Predicate pred, bool sequential_scan,
+sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx,
+                                         int slice, Predicate pred,
+                                         bool sequential_scan,
                                          QueryContext* ctx,
                                          obs::QueryObs* qo) {
   // Scheduler-side work to activate this site.
@@ -274,16 +305,21 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
   obs::EndSpan(qo, activate_span, sim_->now());
   DECLUST_CO_RETURN_NOT_OK(activate_st);
 
+  // Owner resolved at dispatch time: under an elastic plan the slice may
+  // live on any member (OwnerOf is the identity otherwise).
+  if (config_.resize != nullptr) metrics_.RecordSliceAccess(slice);
+  const int node = catalog_->OwnerOf(slice);
+
   // Built lazily: the message string would heap-allocate on every select,
   // and the happy path never reads it.
   Status primary;
   if (SiteUp(node)) {
-    primary = co_await RunSiteOnce(coord, node, -1, pred, sequential_scan,
-                                   ctx, qo);
+    primary = co_await RunSiteOnce(coord, node, slice, /*backup_read=*/false,
+                                   pred, sequential_scan, ctx, qo);
     if (primary.ok()) {
       if (config_.audit != nullptr) {
         config_.audit->OnFragmentServe(
-            node, node, /*primary_read=*/true,
+            slice, node, /*primary_read=*/true,
             config_.recovery == nullptr ||
                 config_.recovery->ServingPrimary(node),
             /*first_serve=*/ctx->serving[site_idx] < 0);
@@ -296,22 +332,49 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
     primary = Status::Unavailable("primary site down");
   }
 
+  // Migration-aware retry: a migration epoch flip may have moved the slice
+  // while the dispatch was in flight (or its old owner was drained away).
+  // One redirect to the freshly resolved owner, still deadline-bounded.
+  if (config_.resize != nullptr && sim_->now() < ctx->deadline_ms) {
+    const int owner_now = catalog_->OwnerOf(slice);
+    if (owner_now != node && SiteUp(owner_now)) {
+      config_.resize->OnMigrationRedirect();
+      const Status st =
+          co_await RunSiteOnce(coord, owner_now, slice,
+                               /*backup_read=*/false, pred, sequential_scan,
+                               ctx, qo);
+      if (st.ok()) {
+        if (config_.audit != nullptr) {
+          config_.audit->OnFragmentServe(
+              slice, owner_now, /*primary_read=*/true,
+              /*primary_serving=*/true,
+              /*first_serve=*/ctx->serving[site_idx] < 0);
+        }
+        ctx->serving[site_idx] = owner_now;
+        co_return Status::OK();
+      }
+      if (st.IsDeadlineExceeded()) co_return st;
+      primary = st;
+    }
+  }
+
   // Primary lost: chained declustering places the backup on the next node.
   if (!catalog_->has_backups()) co_return primary;
   if (sim_->now() >= ctx->deadline_ms) {
     ++metrics_.faults().timeouts;
     co_return Status::DeadlineExceeded("deadline passed before failover");
   }
-  const int backup = catalog_->BackupNodeOf(node);
+  const int backup = catalog_->BackupNodeOf(slice);
   if (!SiteUp(backup)) {
     co_return primary;  // both replicas down: the fragment is unreachable
   }
   ++metrics_.faults().failovers;
-  const Status st = co_await RunSiteOnce(coord, backup, node, pred,
+  const Status st = co_await RunSiteOnce(coord, backup, slice,
+                                         /*backup_read=*/true, pred,
                                          sequential_scan, ctx, qo);
   if (st.ok()) {
     if (config_.audit != nullptr) {
-      config_.audit->OnFragmentServe(node, backup, /*primary_read=*/false,
+      config_.audit->OnFragmentServe(slice, backup, /*primary_read=*/false,
                                      /*primary_serving=*/true,
                                      /*first_serve=*/ctx->serving[site_idx] <
                                          0);
@@ -321,21 +384,35 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx, int node,
   co_return st;
 }
 
-sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
-                                      Predicate pred, bool sequential_scan,
+sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int slice,
+                                      bool backup_read, Predicate pred,
+                                      bool sequential_scan,
                                       QueryContext* ctx, obs::QueryObs* qo) {
   const uint64_t site_span = obs::BeginSpan(
       qo, "site", obs::Component::kQuery, exec_node, sim_->now());
   const uint64_t saved_span = qo != nullptr ? qo->span : 0;
   if (site_span != 0) qo->span = site_span;
   // Every exit path below runs finish() exactly once, so the pooled plan
-  // is always returned.
+  // is always returned (and the drain counter always re-balanced).
   AccessPlan* plan = AcquirePlan();
+  if (config_.resize != nullptr) config_.resize->OnSiteExecBegin(exec_node);
   const auto finish = [&] {
+    if (config_.resize != nullptr) config_.resize->OnSiteExecEnd(exec_node);
     ReleasePlan(plan);
     if (qo != nullptr) qo->span = saved_span;
     obs::EndSpan(qo, site_span, sim_->now());
   };
+
+  // The plan is built before the first await: a migration epoch flip
+  // cannot land between the caller's owner resolution and here, so the
+  // page addresses always match the copy exec_node actually hosts (the
+  // old extents stay valid through the flip — they are abandoned, never
+  // invalidated — so reads planned pre-flip drain safely).
+  if (!backup_read) {
+    catalog_->PlanAccessInto(slice, pred, sequential_scan, plan);
+  } else {
+    catalog_->PlanBackupAccessInto(slice, pred, sequential_scan, plan);
+  }
 
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), coord, exec_node,
@@ -344,11 +421,6 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
 
   // The operator runs with the node's resources; results flow back to the
   // query's scheduler.
-  if (backup_of < 0) {
-    catalog_->PlanAccessInto(exec_node, pred, sequential_scan, plan);
-  } else {
-    catalog_->PlanBackupAccessInto(backup_of, pred, sequential_scan, plan);
-  }
   BufferPool* pool =
       pools_.empty() ? nullptr : pools_[static_cast<size_t>(exec_node)].get();
   FaultContext fc{&config_.failover, ctx->deadline_ms, &metrics_.faults()};
@@ -366,7 +438,7 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int backup_of,
   co_return Status::OK();
 }
 
-sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
+sim::Task<> System::RunAuxSite(int coord, int slice, Predicate pred,
                                QueryContext* ctx, sim::JoinCounter* join,
                                obs::QueryObs* qo) {
   obs::QueryObs site_obs;
@@ -375,15 +447,15 @@ sim::Task<> System::RunAuxSite(int coord, int node, Predicate pred,
     site_obs = obs::QueryObs{qo->probe, qo->query, qo->span, {}};
     sq = &site_obs;
   }
-  if (config_.audit != nullptr) config_.audit->OnSiteDispatched(node);
-  const Status st = co_await AuxSiteLookup(coord, node, pred, ctx, sq);
-  if (config_.audit != nullptr) config_.audit->OnSiteFinished(node);
+  if (config_.audit != nullptr) config_.audit->OnSiteDispatched(slice);
+  const Status st = co_await AuxSiteLookup(coord, slice, pred, ctx, sq);
+  if (config_.audit != nullptr) config_.audit->OnSiteFinished(slice);
   if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
-sim::Task<Status> System::AuxSiteLookup(int coord, int node, Predicate pred,
+sim::Task<Status> System::AuxSiteLookup(int coord, int slice, Predicate pred,
                                         QueryContext* ctx,
                                         obs::QueryObs* qo) {
   const uint64_t activate_span = obs::BeginSpan(
@@ -394,42 +466,74 @@ sim::Task<Status> System::AuxSiteLookup(int coord, int node, Predicate pred,
   obs::EndSpan(qo, activate_span, sim_->now());
   DECLUST_CO_RETURN_NOT_OK(activate_st);
 
+  if (config_.resize != nullptr) metrics_.RecordSliceAccess(slice);
+  const int node = catalog_->OwnerOf(slice);
   Status primary = Status::Unavailable("primary aux site down");
   if (SiteUp(node)) {
-    primary = co_await AuxSiteOnce(coord, node, -1, pred, ctx, qo);
+    primary = co_await AuxSiteOnce(coord, node, slice, /*backup_read=*/false,
+                                   pred, ctx, qo);
     if (primary.ok() && config_.audit != nullptr) {
       config_.audit->OnFragmentServe(
-          node, node, /*primary_read=*/true,
+          slice, node, /*primary_read=*/true,
           config_.recovery == nullptr ||
               config_.recovery->ServingPrimary(node),
           /*first_serve=*/true);
     }
     if (primary.ok() || primary.IsDeadlineExceeded()) co_return primary;
   }
+  // Migration-aware redirect, as in DataSiteSelect.
+  if (config_.resize != nullptr && sim_->now() < ctx->deadline_ms) {
+    const int owner_now = catalog_->OwnerOf(slice);
+    if (owner_now != node && SiteUp(owner_now)) {
+      config_.resize->OnMigrationRedirect();
+      const Status st = co_await AuxSiteOnce(coord, owner_now, slice,
+                                             /*backup_read=*/false, pred,
+                                             ctx, qo);
+      if (st.ok() && config_.audit != nullptr) {
+        config_.audit->OnFragmentServe(slice, owner_now,
+                                       /*primary_read=*/true,
+                                       /*primary_serving=*/true,
+                                       /*first_serve=*/true);
+      }
+      if (st.ok() || st.IsDeadlineExceeded()) co_return st;
+      primary = st;
+    }
+  }
   if (!catalog_->has_backups()) co_return primary;
   if (sim_->now() >= ctx->deadline_ms) {
     ++metrics_.faults().timeouts;
     co_return Status::DeadlineExceeded("deadline passed before aux failover");
   }
-  const int backup = catalog_->BackupNodeOf(node);
+  const int backup = catalog_->BackupNodeOf(slice);
   if (!SiteUp(backup)) co_return primary;
   ++metrics_.faults().failovers;
-  co_return co_await AuxSiteOnce(coord, backup, node, pred, ctx, qo);
+  co_return co_await AuxSiteOnce(coord, backup, slice, /*backup_read=*/true,
+                                 pred, ctx, qo);
 }
 
-sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int backup_of,
-                                      Predicate pred, QueryContext* ctx,
-                                      obs::QueryObs* qo) {
+sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int slice,
+                                      bool backup_read, Predicate pred,
+                                      QueryContext* ctx, obs::QueryObs* qo) {
   const uint64_t site_span = obs::BeginSpan(
       qo, "site.aux", obs::Component::kQuery, exec_node, sim_->now());
   const uint64_t saved_span = qo != nullptr ? qo->span : 0;
   if (site_span != 0) qo->span = site_span;
   AccessPlan* plan = AcquirePlan();
+  if (config_.resize != nullptr) config_.resize->OnSiteExecBegin(exec_node);
   const auto finish = [&] {
+    if (config_.resize != nullptr) config_.resize->OnSiteExecEnd(exec_node);
     ReleasePlan(plan);
     if (qo != nullptr) qo->span = saved_span;
     obs::EndSpan(qo, site_span, sim_->now());
   };
+
+  // Planned before the first await for the same flip-race reason as
+  // RunSiteOnce.
+  if (!backup_read) {
+    catalog_->PlanAuxAccessInto(slice, pred, plan);
+  } else {
+    catalog_->PlanBackupAuxAccessInto(slice, pred, plan);
+  }
 
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await DeliverMessage(sim_, &machine_->network(), coord, exec_node,
@@ -437,11 +541,6 @@ sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int backup_of,
       finish());
 
   hw::Node& n = machine_->node(exec_node);
-  if (backup_of < 0) {
-    catalog_->PlanAuxAccessInto(exec_node, pred, plan);
-  } else {
-    catalog_->PlanBackupAuxAccessInto(backup_of, pred, plan);
-  }
   obs::ArmHw(qo);
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
       co_await n.cpu().Run(config_.costs.startup_instructions), finish());

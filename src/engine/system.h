@@ -40,6 +40,10 @@ namespace declust::recover {
 class RecoveryCoordinator;
 }  // namespace declust::recover
 
+namespace declust::resize {
+class MigrationCoordinator;
+}  // namespace declust::resize
+
 namespace declust::engine {
 
 /// \brief Everything configurable about a run.
@@ -85,6 +89,16 @@ struct SystemConfig {
   /// (src/recover). The caller Arm()s and Start()s the coordinator around
   /// Init()/Start(). When null, zero recovery work runs anywhere.
   recover::RecoveryCoordinator* recovery = nullptr;
+  /// Optional elastic-membership coordinator (non-owning; must outlive the
+  /// System). When set, Init() builds the catalog on the coordinator's
+  /// initial placement (logical slices striped over the initial members),
+  /// query coordinators round-robin over the *current* members, each data
+  /// site resolves its slice's owner at dispatch time — redirecting once to
+  /// the new owner when a migration epoch flip races the dispatch — and a
+  /// drained-and-retired node serves nothing (src/resize). The caller
+  /// Arm()s and Start()s the coordinator around Init()/Start(). When null,
+  /// the default path pays one branch per hook site.
+  resize::MigrationCoordinator* resize = nullptr;
 };
 
 /// \brief One simulated system instance bound to a Simulation.
@@ -105,6 +119,9 @@ class System {
   Metrics& metrics() { return metrics_; }
   hw::Machine& machine() { return *machine_; }
   const SystemCatalog& catalog() const { return *catalog_; }
+  /// Mutable catalog handle for arming a MigrationCoordinator (which
+  /// relocates fragments through it); null before Init().
+  SystemCatalog* mutable_catalog() { return catalog_.get(); }
   /// Node id of the query-manager host (one past the operator nodes).
   /// Per-query schedulers run round-robin on the operator nodes.
   int host_node() const { return config_.hw.num_processors; }
@@ -142,30 +159,34 @@ class System {
   /// The spawned site coroutines get their own QueryObs (sharing the query
   /// id and parent span) whose costs are merged into `qo` before the join
   /// fires; sites of one query interleave, so they cannot share one span
-  /// cursor or ArmHw through the same handle.
-  sim::Task<> RunDataSite(int coord, size_t site_idx, int node,
+  /// cursor or ArmHw through the same handle. `slice` is the partitioning
+  /// fragment id; the node that executes it is resolved at dispatch time
+  /// (the identity without an elastic plan).
+  sim::Task<> RunDataSite(int coord, size_t site_idx, int slice,
                           Predicate pred, bool sequential_scan,
                           QueryContext* ctx, sim::JoinCounter* join,
                           obs::QueryObs* qo);
-  /// Runs one data site, failing over to the chained backup if the primary
-  /// is (or goes) down.
-  sim::Task<Status> DataSiteSelect(int coord, size_t site_idx, int node,
+  /// Runs one data site: resolves the slice's owner, retries once on the
+  /// new owner if a migration flip raced the dispatch, and fails over to
+  /// the chained backup if the primary is (or goes) down.
+  sim::Task<Status> DataSiteSelect(int coord, size_t site_idx, int slice,
                                    Predicate pred, bool sequential_scan,
                                    QueryContext* ctx, obs::QueryObs* qo);
-  /// One select execution at `exec_node`; `backup_of` < 0 reads the node's
-  /// own fragment, otherwise the backup copy of `backup_of`'s fragment.
-  sim::Task<Status> RunSiteOnce(int coord, int exec_node, int backup_of,
-                                Predicate pred, bool sequential_scan,
-                                QueryContext* ctx, obs::QueryObs* qo);
+  /// One select execution at `exec_node` reading `slice`'s primary
+  /// fragment (or its backup copy when `backup_read`).
+  sim::Task<Status> RunSiteOnce(int coord, int exec_node, int slice,
+                                bool backup_read, Predicate pred,
+                                bool sequential_scan, QueryContext* ctx,
+                                obs::QueryObs* qo);
 
-  sim::Task<> RunAuxSite(int coord, int node, Predicate pred,
+  sim::Task<> RunAuxSite(int coord, int slice, Predicate pred,
                          QueryContext* ctx, sim::JoinCounter* join,
                          obs::QueryObs* qo);
-  sim::Task<Status> AuxSiteLookup(int coord, int node, Predicate pred,
+  sim::Task<Status> AuxSiteLookup(int coord, int slice, Predicate pred,
                                   QueryContext* ctx, obs::QueryObs* qo);
-  sim::Task<Status> AuxSiteOnce(int coord, int exec_node, int backup_of,
-                                Predicate pred, QueryContext* ctx,
-                                obs::QueryObs* qo);
+  sim::Task<Status> AuxSiteOnce(int coord, int exec_node, int slice,
+                                bool backup_read, Predicate pred,
+                                QueryContext* ctx, obs::QueryObs* qo);
 
   /// True when `node`'s disk (and the node itself) is currently serviceable.
   bool SiteUp(int node);

@@ -10,6 +10,7 @@
 #include "src/decluster/range.h"
 #include "src/exp/runner.h"
 #include "src/recover/plan.h"
+#include "src/resize/plan.h"
 #include "src/sim/fault.h"
 
 namespace declust::exp {
@@ -93,6 +94,20 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
     return invalid("qb_low_tuples must be >= 1, got " +
                    std::to_string(config.mix.qb_low_tuples));
   }
+  // An elastic plan enlarges the physical machine: fault/recovery events may
+  // then target any node the plan ever adds, not just the initial members.
+  int physical_nodes = config.num_processors;
+  if (!config.resize.empty()) {
+    auto zplan = resize::ResizePlan::Parse(config.resize);
+    if (!zplan.ok()) {
+      return invalid("resize spec: " + zplan.status().message());
+    }
+    Status vs = zplan->Validate(config.num_processors);
+    if (!vs.ok()) {
+      return invalid("resize spec: " + vs.message());
+    }
+    physical_nodes = zplan->NumPhysicalNodes(config.num_processors);
+  }
   if (!config.faults.empty()) {
     auto plan = sim::FaultPlan::Parse(config.faults);
     if (!plan.ok()) {
@@ -100,10 +115,10 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
     }
     // Events may target operator nodes only; catching this here (instead of
     // at System::Init inside a worker) fails the sweep before it starts.
-    if (plan->max_node() >= config.num_processors) {
+    if (plan->max_node() >= physical_nodes) {
       return invalid("fault spec targets node " +
                      std::to_string(plan->max_node()) + " but only " +
-                     std::to_string(config.num_processors) +
+                     std::to_string(physical_nodes) +
                      " operator nodes exist");
     }
     if (!config.recovery.empty()) {
@@ -111,10 +126,10 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
       if (!rplan.ok()) {
         return invalid("recovery spec: " + rplan.status().message());
       }
-      if (rplan->max_node() >= config.num_processors) {
+      if (rplan->max_node() >= physical_nodes) {
         return invalid("recovery spec targets node " +
                        std::to_string(rplan->max_node()) + " but only " +
-                       std::to_string(config.num_processors) +
+                       std::to_string(physical_nodes) +
                        " operator nodes exist");
       }
       // Rebuild reads the failed node's fragments from its chained backup,
@@ -135,6 +150,13 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
         "disk failure)");
   }
   return Status::OK();
+}
+
+Result<int> PartitioningSlices(const ExperimentConfig& config) {
+  if (config.resize.empty()) return config.num_processors;
+  DECLUST_ASSIGN_OR_RETURN(const resize::ResizePlan plan,
+                           resize::ResizePlan::Parse(config.resize));
+  return plan.NumSlices(config.num_processors);
 }
 
 ExperimentConfig ApplyQuickMode(ExperimentConfig config) {

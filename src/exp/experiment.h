@@ -43,6 +43,14 @@ struct ExperimentConfig {
   /// failure preceding each repair. Empty = no recovery subsystem armed;
   /// reports and digests then keep their exact pre-recovery format.
   std::string recovery;
+  /// Elastic-membership spec (resize::ResizePlan::Parse grammar, e.g.
+  /// "add:node32-47@t=20s;remove:node32-47@t=60s" or
+  /// "rebalance:auto@t=10s,threshold=1.4"). `num_processors` is the
+  /// *initial* membership; the machine is sized for the largest membership
+  /// the plan reaches, and the partitioning is built over the plan's
+  /// logical slice count. Empty = no resize subsystem armed; reports and
+  /// digests then keep their exact pre-resize format.
+  std::string resize;
   /// Worker threads for the windowed in-run simulation driver
   /// (sim::ParallelScheduler). 1 = plain serial event loop. The engine's
   /// figure-7 model couples nodes via zero-latency shared state, so a
@@ -106,6 +114,20 @@ struct SweepPoint {
   int64_t rebuild_pages = 0;
   int64_t rebuilds_completed = 0;
   int64_t rebuilds_aborted = 0;
+  /// Elastic-membership columns, populated only for --resize runs
+  /// (SweepResult::has_resize). A plan with K membership events yields
+  /// 2K+1 reporting phases (before/during/after each event); the vectors
+  /// are indexed by phase.
+  bool has_resize = false;
+  std::vector<double> resize_phase_qps;
+  std::vector<double> resize_phase_resp_ms;
+  /// Migration accounting, averaged (rounded) across replications.
+  int64_t migrations = 0;
+  int64_t migrations_aborted = 0;
+  int64_t pages_migrated = 0;
+  int64_t migration_redirects = 0;
+  int64_t rebalance_moves = 0;
+  int final_members = 0;
 };
 
 /// \brief One strategy's curve across the MPL sweep.
@@ -138,6 +160,9 @@ struct SweepResult {
   /// True when the sweep ran with a recovery plan armed; the recovery
   /// columns of every point are meaningful (and reports print them).
   bool has_recovery = false;
+  /// True when the sweep ran with an elastic-membership plan armed; the
+  /// resize columns of every point are meaningful (and reports print them).
+  bool has_resize = false;
   /// True when a SIGINT/SIGTERM interrupt stopped the sweep early; only
   /// the sweep points whose replications all completed are present, and
   /// the manifest carries an `interrupted` marker.
@@ -158,6 +183,13 @@ Status ValidateExperimentConfig(const ExperimentConfig& config);
 Result<std::unique_ptr<decluster::Partitioning>> MakePartitioning(
     const std::string& strategy, const storage::Relation& relation,
     const workload::Workload& workload, int num_processors);
+
+/// Number of logical partitioning fragments (slices) the config's runs must
+/// be built with: `num_processors` normally; under a --resize plan the
+/// plan's slice count (>= the largest membership it reaches, raised further
+/// by a `slices:N` item — the MAGIC grid re-splitting knob). Call after
+/// ValidateExperimentConfig.
+Result<int> PartitioningSlices(const ExperimentConfig& config);
 
 /// Runs the full sweep: one relation build, one partitioning per strategy,
 /// one simulation per (strategy, MPL, replication) point. Delegates to the

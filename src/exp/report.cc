@@ -1,5 +1,6 @@
 #include "src/exp/report.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -87,6 +88,17 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
   const bool faulty = !result.config.faults.empty();
   const bool components = result.has_components;
   const bool recovery = result.has_recovery;
+  const bool rz = result.has_resize;
+  // A resize plan with K membership events yields 2K+1 phases; every point
+  // of a sweep shares the plan, so the first point fixes the column count.
+  size_t rz_phases = 0;
+  if (rz) {
+    for (const auto& curve : result.curves) {
+      for (const auto& p : curve.points) {
+        rz_phases = std::max(rz_phases, p.resize_phase_qps.size());
+      }
+    }
+  }
   os << "figure,strategy,correlation,mpl,throughput_qps,throughput_ci95,"
         "mean_response_ms,mean_response_ci95,p95_response_ms,"
         "avg_processors,disk_utilization,cpu_utilization,completed";
@@ -103,6 +115,16 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
           "normal_qps,degraded_qps,rebuilding_qps,restored_qps,"
           "normal_resp_ms,degraded_resp_ms,rebuilding_resp_ms,"
           "restored_resp_ms";
+  }
+  if (rz) {
+    os << ",migrations,migrations_aborted,pages_migrated,"
+          "migration_redirects,rebalance_moves,final_members";
+    for (size_t ph = 0; ph < rz_phases; ++ph) {
+      os << ",rz_phase" << ph << "_qps";
+    }
+    for (size_t ph = 0; ph < rz_phases; ++ph) {
+      os << ",rz_phase" << ph << "_resp_ms";
+    }
   }
   os << "\n";
   for (const auto& curve : result.curves) {
@@ -130,6 +152,19 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
            << p.restored_ms << "," << p.rebuild_pages;
         for (int ph = 0; ph < 4; ++ph) os << "," << p.phase_qps[ph];
         for (int ph = 0; ph < 4; ++ph) os << "," << p.phase_resp_ms[ph];
+      }
+      if (rz) {
+        os << "," << p.migrations << "," << p.migrations_aborted << ","
+           << p.pages_migrated << "," << p.migration_redirects << ","
+           << p.rebalance_moves << "," << p.final_members;
+        for (size_t ph = 0; ph < rz_phases; ++ph) {
+          os << "," << (ph < p.resize_phase_qps.size()
+                            ? p.resize_phase_qps[ph] : 0.0);
+        }
+        for (size_t ph = 0; ph < rz_phases; ++ph) {
+          os << "," << (ph < p.resize_phase_resp_ms.size()
+                            ? p.resize_phase_resp_ms[ph] : 0.0);
+        }
       }
       os << "\n";
     }

@@ -1,0 +1,39 @@
+#include "src/exp/resize.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "src/exp/experiment.h"
+
+namespace declust::exp {
+
+std::string ResizePhaseName(int phase, int total) {
+  if (phase < 0 || phase >= total) return "?";
+  if (phase % 2 == 0) return "steady" + std::to_string(phase / 2);
+  return "migrate" + std::to_string(phase / 2);
+}
+
+void PrintResizeReport(std::ostream& os, const SweepResult& result) {
+  if (!result.has_resize) return;
+  os << "resize: " << result.config.resize << "\n";
+  for (const auto& curve : result.curves) {
+    for (const auto& p : curve.points) {
+      os << "  " << curve.strategy << " @ MPL " << p.mpl << ": "
+         << p.migrations << " migrations (" << p.migrations_aborted
+         << " aborted), " << p.pages_migrated << " pages, "
+         << p.migration_redirects << " redirects, " << p.rebalance_moves
+         << " rebalance moves, " << p.final_members << " final members\n";
+      const int total = static_cast<int>(p.resize_phase_qps.size());
+      for (int ph = 0; ph < total; ++ph) {
+        os << "    " << std::setw(10) << ResizePhaseName(ph, total) << ": "
+           << std::fixed << std::setprecision(1) << std::setw(8)
+           << p.resize_phase_qps[static_cast<size_t>(ph)] << " q/s, "
+           << std::setw(8)
+           << p.resize_phase_resp_ms[static_cast<size_t>(ph)]
+           << " ms mean response\n";
+      }
+    }
+  }
+}
+
+}  // namespace declust::exp

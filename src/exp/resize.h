@@ -1,0 +1,26 @@
+// Reporting for --resize runs: the per-phase throughput/response table of
+// the elastic-membership lifecycle (steady / migrating phases around each
+// membership event; see src/resize/migrate.h) plus migration accounting.
+// Only ever printed when SweepResult::has_resize — static-membership
+// reports keep their exact pre-resize output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace declust::exp {
+
+struct SweepResult;
+
+/// Human-readable name of resize reporting phase `phase` out of `total`
+/// (2K+1 for K membership events): even phases are steady windows
+/// ("steady0".."steadyK"), odd phases are the migration windows of event
+/// j ("migrate0".."migrate(K-1)").
+std::string ResizePhaseName(int phase, int total);
+
+/// Prints the resize block of a sweep: per strategy and MPL, the migration
+/// accounting counters and the per-phase throughput / mean response
+/// columns. No-op when !result.has_resize.
+void PrintResizeReport(std::ostream& os, const SweepResult& result);
+
+}  // namespace declust::exp

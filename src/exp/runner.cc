@@ -23,6 +23,8 @@
 #include "src/obs/manifest.h"
 #include "src/obs/trace.h"
 #include "src/recover/recovery.h"
+#include "src/resize/migrate.h"
+#include "src/resize/plan.h"
 #include "src/sim/fault.h"
 #include "src/sim/parallel.h"
 
@@ -70,9 +72,28 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
         &recovery_plan);
     sys_config.recovery = coordinator.get();
   }
+  // The elastic-membership coordinator, same confinement. num_processors is
+  // the *initial* membership; the machine is sized for the largest
+  // membership the plan ever reaches.
+  resize::ResizePlan resize_plan;
+  std::unique_ptr<resize::MigrationCoordinator> migrator;
+  if (!config.resize.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(resize_plan,
+                             resize::ResizePlan::Parse(config.resize));
+    migrator = std::make_unique<resize::MigrationCoordinator>(
+        &resize_plan, config.num_processors);
+    sys_config.hw.num_processors = migrator->num_physical_nodes();
+    sys_config.resize = migrator.get();
+  }
+  const int physical_nodes = sys_config.hw.num_processors;
   engine::System system(&sim, sys_config, &relation, &partitioning,
                         &workload);
   DECLUST_RETURN_NOT_OK(system.Init());
+  if (migrator != nullptr) {
+    migrator->Arm(&sim, &system.machine(), system.mutable_catalog(), auditor,
+                  probe, &system.metrics().slice_accesses());
+    migrator->Start();
+  }
   if (coordinator != nullptr) {
     double first_fault_ms = std::numeric_limits<double>::infinity();
     for (const sim::FaultEvent& ev : fault_plan.events()) {
@@ -108,9 +129,10 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
   drive(config.warmup_ms);
   system.metrics().StartMeasurement(sim.now());
   if (coordinator != nullptr) coordinator->StartMeasurement(sim.now());
-  std::vector<double> disk_busy0(static_cast<size_t>(config.num_processors));
+  if (migrator != nullptr) migrator->StartMeasurement(sim.now());
+  std::vector<double> disk_busy0(static_cast<size_t>(physical_nodes));
   double cpu_busy0 = 0;
-  for (int n = 0; n < config.num_processors; ++n) {
+  for (int n = 0; n < physical_nodes; ++n) {
     disk_busy0[static_cast<size_t>(n)] =
         system.machine().node(n).disk().busy_ms();
     cpu_busy0 += system.machine().node(n).cpu().busy_ms();
@@ -118,7 +140,7 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
   drive(config.warmup_ms + config.measure_ms);
 
   double disk_busy_sum = 0, disk_busy_max = 0, cpu_busy1 = 0;
-  for (int n = 0; n < config.num_processors; ++n) {
+  for (int n = 0; n < physical_nodes; ++n) {
     const double delta = system.machine().node(n).disk().busy_ms() -
                          disk_busy0[static_cast<size_t>(n)];
     disk_busy_sum += delta;
@@ -126,8 +148,8 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
     cpu_busy1 += system.machine().node(n).cpu().busy_ms();
   }
   double cpu_busy_delta = cpu_busy1 - cpu_busy0;
-  const double node_window = config.measure_ms * config.num_processors;
-  const double disk_busy_mean = disk_busy_sum / config.num_processors;
+  const double node_window = config.measure_ms * physical_nodes;
+  const double disk_busy_mean = disk_busy_sum / physical_nodes;
 
   RepMetrics m;
   m.throughput_qps = system.metrics().ThroughputQps(sim.now());
@@ -178,6 +200,28 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
     m.rebuilds_completed = coordinator->rebuilds_completed();
     m.rebuilds_aborted = coordinator->rebuilds_aborted();
   }
+  if (migrator != nullptr) {
+    m.has_resize = true;
+    const std::vector<resize::ResizePhaseWindow> phases =
+        migrator->Phases(sim.now());
+    m.resize_phase_qps.resize(phases.size(), 0.0);
+    m.resize_phase_resp_ms.resize(phases.size(), 0.0);
+    for (size_t p = 0; p < phases.size(); ++p) {
+      const resize::ResizePhaseWindow& w = phases[p];
+      const double width_ms = w.end_ms - w.start_ms;
+      m.resize_phase_qps[p] =
+          width_ms > 0 ? static_cast<double>(w.completed) / width_ms * 1e3 : 0;
+      m.resize_phase_resp_ms[p] =
+          w.completed > 0 ? w.response_sum_ms / static_cast<double>(w.completed)
+                          : 0;
+    }
+    m.migrations = migrator->migrations_completed();
+    m.migrations_aborted = migrator->migrations_aborted();
+    m.pages_migrated = migrator->pages_migrated();
+    m.migration_redirects = migrator->migration_redirects();
+    m.rebalance_moves = migrator->rebalance_moves();
+    m.final_members = migrator->final_members();
+  }
   // Finalize while the Simulation is still alive: the calendar-balance
   // identity needs its pending-event count.
   if (auditor != nullptr) auditor->Finalize(sim);
@@ -215,8 +259,14 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   // (-1 sentinels would poison the mean).
   Accumulator fail_t, rb_start_t, restored_t;
   Accumulator rb_pages, rb_done, rb_abort;
+  // Element-wise per-phase accumulators, sized on first use (every rep of a
+  // point runs the same plan, so the phase counts agree).
+  std::vector<Accumulator> rz_qps, rz_resp;
+  Accumulator rz_migrations, rz_aborts, rz_pages, rz_redirects, rz_moves;
+  Accumulator rz_members;
   bool has_components = false;
   bool has_recovery = false;
+  bool has_resize = false;
   for (int r = 0; r < num_reps; ++r) {
     qps.Add(reps[r].throughput_qps);
     mean_resp.Add(reps[r].mean_response_ms);
@@ -254,6 +304,23 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
       rb_pages.Add(static_cast<double>(reps[r].rebuild_pages));
       rb_done.Add(static_cast<double>(reps[r].rebuilds_completed));
       rb_abort.Add(static_cast<double>(reps[r].rebuilds_aborted));
+    }
+    if (reps[r].has_resize) {
+      has_resize = true;
+      if (rz_qps.size() < reps[r].resize_phase_qps.size()) {
+        rz_qps.resize(reps[r].resize_phase_qps.size());
+        rz_resp.resize(reps[r].resize_phase_qps.size());
+      }
+      for (size_t p = 0; p < reps[r].resize_phase_qps.size(); ++p) {
+        rz_qps[p].Add(reps[r].resize_phase_qps[p]);
+        rz_resp[p].Add(reps[r].resize_phase_resp_ms[p]);
+      }
+      rz_migrations.Add(static_cast<double>(reps[r].migrations));
+      rz_aborts.Add(static_cast<double>(reps[r].migrations_aborted));
+      rz_pages.Add(static_cast<double>(reps[r].pages_migrated));
+      rz_redirects.Add(static_cast<double>(reps[r].migration_redirects));
+      rz_moves.Add(static_cast<double>(reps[r].rebalance_moves));
+      rz_members.Add(static_cast<double>(reps[r].final_members));
     }
   }
   SweepPoint point;
@@ -294,6 +361,21 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
     point.rebuilds_completed = std::llround(rb_done.mean());
     point.rebuilds_aborted = std::llround(rb_abort.mean());
   }
+  if (has_resize) {
+    point.has_resize = true;
+    point.resize_phase_qps.resize(rz_qps.size(), 0.0);
+    point.resize_phase_resp_ms.resize(rz_qps.size(), 0.0);
+    for (size_t p = 0; p < rz_qps.size(); ++p) {
+      point.resize_phase_qps[p] = rz_qps[p].mean();
+      point.resize_phase_resp_ms[p] = rz_resp[p].mean();
+    }
+    point.migrations = std::llround(rz_migrations.mean());
+    point.migrations_aborted = std::llround(rz_aborts.mean());
+    point.pages_migrated = std::llround(rz_pages.mean());
+    point.migration_redirects = std::llround(rz_redirects.mean());
+    point.rebalance_moves = std::llround(rz_moves.mean());
+    point.final_members = static_cast<int>(std::llround(rz_members.mean()));
+  }
   return point;
 }
 
@@ -331,6 +413,25 @@ std::string PointDigestKey(const std::string& strategy, const SweepPoint& p) {
                   static_cast<long long>(p.rebuilds_completed),
                   static_cast<long long>(p.rebuilds_aborted));
     key += rbuf;
+  }
+  if (p.has_resize) {
+    // Resize fields (variable phase count) join the digest only when an
+    // elastic plan is armed, so static-membership manifests keep their
+    // exact pre-resize fingerprints.
+    char zbuf[256];
+    std::snprintf(zbuf, sizeof(zbuf),
+                  "|rz=%lld/%lld/%lld/%lld/%lld|mem=%d",
+                  static_cast<long long>(p.migrations),
+                  static_cast<long long>(p.migrations_aborted),
+                  static_cast<long long>(p.pages_migrated),
+                  static_cast<long long>(p.migration_redirects),
+                  static_cast<long long>(p.rebalance_moves), p.final_members);
+    key += zbuf;
+    for (size_t i = 0; i < p.resize_phase_qps.size(); ++i) {
+      std::snprintf(zbuf, sizeof(zbuf), "|z%zu=%.17g/%.17g", i,
+                    p.resize_phase_qps[i], p.resize_phase_resp_ms[i]);
+      key += zbuf;
+    }
   }
   return key;
 }
@@ -377,6 +478,9 @@ obs::Manifest BuildSweepManifest(const SweepResult& result, int jobs) {
   if (!cfg.recovery.empty()) {
     manifest.params.push_back({"recovery", '"' + cfg.recovery + '"'});
   }
+  if (!cfg.resize.empty()) {
+    manifest.params.push_back({"resize", '"' + cfg.resize + '"'});
+  }
   if (result.interrupted) {
     manifest.params.push_back({"interrupted", "true"});
   }
@@ -419,12 +523,14 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
   const workload::Workload wl =
       workload::MakeMix(config.qa, config.qb, config.mix);
 
+  // Under a --resize plan the partitioning covers the plan's logical slice
+  // count (>= the largest membership reached), not just the initial nodes.
+  DECLUST_ASSIGN_OR_RETURN(const int num_slices, PartitioningSlices(config));
   std::vector<std::unique_ptr<decluster::Partitioning>> partitionings;
   partitionings.reserve(config.strategies.size());
   for (const std::string& strategy : config.strategies) {
     DECLUST_ASSIGN_OR_RETURN(
-        auto p,
-        MakePartitioning(strategy, relation, wl, config.num_processors));
+        auto p, MakePartitioning(strategy, relation, wl, num_slices));
     partitionings.push_back(std::move(p));
   }
 
@@ -577,6 +683,7 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
   result.config = config;
   result.has_components = options.collect_components;
   result.has_recovery = !config.recovery.empty();
+  result.has_resize = !config.resize.empty();
   result.interrupted = interrupted;
   // On an interrupted run an MPL row joins the result only when every
   // replication of every strategy at that MPL finished: a partial aggregate
@@ -666,10 +773,10 @@ Status RunExplain(const ExperimentConfig& raw_config,
   const storage::Relation relation = workload::MakeWisconsin(wopts);
   const workload::Workload wl =
       workload::MakeMix(config.qa, config.qb, config.mix);
+  DECLUST_ASSIGN_OR_RETURN(const int num_slices, PartitioningSlices(config));
   DECLUST_ASSIGN_OR_RETURN(
       auto partitioning,
-      MakePartitioning(config.strategies.front(), relation, wl,
-                       config.num_processors));
+      MakePartitioning(config.strategies.front(), relation, wl, num_slices));
 
   obs::Tracer tracer;
   obs::Probe probe(&tracer);

@@ -82,6 +82,17 @@ struct RepMetrics {
   int64_t rebuild_pages = 0;
   int64_t rebuilds_completed = 0;
   int64_t rebuilds_aborted = 0;
+  /// Elastic-membership measurements; meaningful only when the rep ran with
+  /// a resize plan armed (has_resize). 2K+1 phases for K membership events.
+  bool has_resize = false;
+  std::vector<double> resize_phase_qps;
+  std::vector<double> resize_phase_resp_ms;
+  int64_t migrations = 0;
+  int64_t migrations_aborted = 0;
+  int64_t pages_migrated = 0;
+  int64_t migration_redirects = 0;
+  int64_t rebalance_moves = 0;
+  int final_members = 0;
 };
 
 /// Runs one replication of one sweep point. Pure function of

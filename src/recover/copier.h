@@ -1,0 +1,48 @@
+// Background page copying shared by the recovery rebuild and the resize
+// migration coordinators: one page moved between two disks as contending
+// simulated I/O, with bounded retries on transient errors.
+#pragma once
+
+#include "src/hw/node.h"
+#include "src/obs/probe.h"
+#include "src/sim/task.h"
+
+namespace declust::recover {
+
+/// \brief Copies pages between nodes on the simulated hardware.
+///
+/// Each copy reads the source disk, pays the SCSI DMA interrupt on both
+/// CPUs, ships the page over the interconnect (waiting for delivery) and
+/// writes the destination disk — so background copies contend with
+/// foreground queries on every shared resource. Transient IoErrors retry
+/// up to `max_io_retries` times with a flat deterministic backoff; any
+/// other error (or retry exhaustion) is returned to the caller.
+class PageCopier {
+ public:
+  /// All pointers are non-owning and must outlive the copier; `probe` may
+  /// be null. The probe matters because the hardware captures the probe
+  /// context at submit time: the copier clears it before each of its
+  /// submits so background I/O is never cost-attributed to whichever
+  /// foreground query armed it last.
+  PageCopier(sim::Simulation* sim, hw::Machine* machine, obs::Probe* probe,
+             int max_io_retries, double retry_backoff_ms)
+      : sim_(sim),
+        machine_(machine),
+        probe_(probe),
+        max_io_retries_(max_io_retries),
+        retry_backoff_ms_(retry_backoff_ms) {}
+
+  /// Copies one page from `src` on `src_node`'s disk to `dst` on
+  /// `dst_node`'s disk.
+  sim::Task<Status> Copy(int src_node, hw::PageAddress src, int dst_node,
+                         hw::PageAddress dst);
+
+ private:
+  sim::Simulation* sim_;
+  hw::Machine* machine_;
+  obs::Probe* probe_;
+  int max_io_retries_;
+  double retry_backoff_ms_;
+};
+
+}  // namespace declust::recover

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/sim/trigger.h"
+#include "src/recover/copier.h"
 
 namespace declust::recover {
 
@@ -143,57 +143,9 @@ sim::Task<> RecoveryCoordinator::RunRepair(RepairEvent ev) {
 
 sim::Task<Status> RecoveryCoordinator::CopyPage(
     int dst_node, engine::SystemCatalog::RebuildPage page) {
-  const hw::HwParams& hp = machine_->params();
-  hw::Node& src = machine_->node(page.src_node);
-  hw::Node& dst = machine_->node(dst_node);
-  // The hardware captures the probe context at submit time; foreground
-  // queries re-arm it before each of their awaits, so a rebuild submit made
-  // with a stale context would charge background I/O to an unrelated query
-  // (and break the response-tiling identity). Cleared before every submit.
-  const auto background = [this] {
-    if (probe_ != nullptr) probe_->ClearContext();
-  };
-  for (int attempt = 0;; ++attempt) {
-    // Read the source page off the surviving copy's disk, pay the SCSI DMA
-    // interrupt on the source CPU...
-    background();
-    Status st = co_await src.disk().Read(page.src);
-    if (st.ok()) {
-      background();
-      st = co_await src.cpu().RunDma(hp.scsi_transfer_instructions);
-    }
-    // ...ship it over the interconnect (a page may span several packets on
-    // a small-MTU configuration), waiting for delivery before writing...
-    int remaining = hp.disk_page_size_bytes;
-    while (st.ok() && remaining > 0) {
-      const int bytes = std::min(remaining, hp.max_packet_bytes);
-      remaining -= bytes;
-      sim::Trigger delivered(sim_);
-      Status deliver_st = Status::OK();
-      background();
-      st = co_await machine_->network().Send(
-          page.src_node, dst_node, bytes, [&](const Status& d) {
-            deliver_st = d;
-            delivered.Fire();
-          });
-      if (st.ok()) {
-        co_await delivered.Wait();
-        st = deliver_st;
-      }
-    }
-    // ...then the DMA into the repaired node's memory and the disk write.
-    if (st.ok()) {
-      background();
-      st = co_await dst.cpu().RunDma(hp.scsi_transfer_instructions);
-    }
-    if (st.ok()) {
-      background();
-      st = co_await dst.disk().Write(page.dst);
-    }
-    if (st.ok()) co_return st;
-    if (!st.IsIoError() || attempt >= opts_.max_io_retries) co_return st;
-    co_await sim_->WaitFor(opts_.retry_backoff_ms);
-  }
+  PageCopier copier(sim_, machine_, probe_, opts_.max_io_retries,
+                    opts_.retry_backoff_ms);
+  co_return co_await copier.Copy(page.src_node, page.src, dst_node, page.dst);
 }
 
 }  // namespace declust::recover

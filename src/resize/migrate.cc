@@ -1,0 +1,436 @@
+#include "src/resize/migrate.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/recover/copier.h"
+
+namespace declust::resize {
+
+MigrationCoordinator::MigrationCoordinator(const ResizePlan* plan,
+                                           int initial_nodes,
+                                           ResizeOptions opts)
+    : plan_(plan),
+      opts_(opts),
+      initial_nodes_(initial_nodes),
+      physical_nodes_(plan->NumPhysicalNodes(initial_nodes)),
+      num_slices_(plan->NumSlices(initial_nodes)) {
+  members_.resize(static_cast<size_t>(initial_nodes));
+  for (int n = 0; n < initial_nodes; ++n) {
+    members_[static_cast<size_t>(n)] = n;
+  }
+  retired_.assign(static_cast<size_t>(physical_nodes_), 0);
+  active_reads_.assign(static_cast<size_t>(physical_nodes_), 0);
+  const int k = plan->NumMembershipEvents();
+  boundary_ms_.assign(static_cast<size_t>(2 * k),
+                      std::numeric_limits<double>::infinity());
+  phase_completed_.assign(static_cast<size_t>(2 * k + 1), 0);
+  phase_response_sum_ms_.assign(static_cast<size_t>(2 * k + 1), 0.0);
+}
+
+engine::PlacementSpec MigrationCoordinator::InitialPlacement() const {
+  engine::PlacementSpec spec;
+  spec.num_physical_nodes = physical_nodes_;
+  spec.owner.resize(static_cast<size_t>(num_slices_));
+  spec.backup_owner.resize(static_cast<size_t>(num_slices_));
+  // Slices stripe round-robin over the initial members (the identity for
+  // slice < initial nodes), backups on the owner's successor member — the
+  // chained rule the fixed catalog uses, restated over the member list.
+  for (int s = 0; s < num_slices_; ++s) {
+    const int owner = s % initial_nodes_;
+    spec.owner[static_cast<size_t>(s)] = owner;
+    spec.backup_owner[static_cast<size_t>(s)] = (owner + 1) % initial_nodes_;
+  }
+  return spec;
+}
+
+void MigrationCoordinator::Arm(sim::Simulation* sim, hw::Machine* machine,
+                               engine::SystemCatalog* catalog,
+                               audit::Auditor* audit, obs::Probe* probe,
+                               const std::vector<int64_t>* slice_accesses) {
+  sim_ = sim;
+  machine_ = machine;
+  catalog_ = catalog;
+  audit_ = audit;
+  probe_ = probe;
+  slice_accesses_ = slice_accesses;
+}
+
+void MigrationCoordinator::Start() {
+  assert(sim_ != nullptr && "Arm() must precede Start()");
+  sim_->Spawn(RunMembershipDriver());
+  for (const ResizeEvent& ev : plan_->events()) {
+    if (ev.kind == ResizeEvent::Kind::kRebalance) {
+      sim_->Spawn(RunRebalanceLoop(ev));
+    }
+  }
+}
+
+bool MigrationCoordinator::IsMember(int node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+void MigrationCoordinator::StartMeasurement(double now_ms) {
+  measuring_ = true;
+  measure_start_ms_ = now_ms;
+}
+
+void MigrationCoordinator::OnQueryCompleted(double now_ms,
+                                            double response_ms) {
+  if (!measuring_) return;
+  phase_completed_[static_cast<size_t>(cur_phase_)]++;
+  phase_response_sum_ms_[static_cast<size_t>(cur_phase_)] += response_ms;
+  (void)now_ms;
+}
+
+int MigrationCoordinator::NumPhases() const {
+  return static_cast<int>(phase_completed_.size());
+}
+
+std::vector<ResizePhaseWindow> MigrationCoordinator::Phases(
+    double end_ms) const {
+  const int phases = NumPhases();
+  std::vector<ResizePhaseWindow> out(static_cast<size_t>(phases));
+  for (int p = 0; p < phases; ++p) {
+    const double lo = p == 0 ? 0.0 : boundary_ms_[static_cast<size_t>(p - 1)];
+    const double hi =
+        p == phases - 1 ? end_ms : boundary_ms_[static_cast<size_t>(p)];
+    ResizePhaseWindow& w = out[static_cast<size_t>(p)];
+    w.start_ms = std::clamp(lo, measure_start_ms_, end_ms);
+    w.end_ms = std::clamp(hi, measure_start_ms_, end_ms);
+    if (w.end_ms < w.start_ms) w.end_ms = w.start_ms;
+    w.completed = phase_completed_[static_cast<size_t>(p)];
+    w.response_sum_ms = phase_response_sum_ms_[static_cast<size_t>(p)];
+  }
+  return out;
+}
+
+sim::Task<> MigrationCoordinator::RunMembershipDriver() {
+  // One sequential driver: overlapping plan events execute back to back,
+  // so at most one membership change mutates placement at a time.
+  int event_index = 0;
+  for (const ResizeEvent& ev : plan_->events()) {
+    if (ev.kind == ResizeEvent::Kind::kRebalance) continue;
+    if (ev.at_ms > sim_->now()) {
+      co_await sim_->WaitFor(ev.at_ms - sim_->now());
+    }
+    while (busy_) co_await sim_->WaitFor(opts_.drain_poll_ms);
+    co_await ExecuteMembershipEvent(ev, event_index);
+    ++event_index;
+  }
+}
+
+sim::Task<> MigrationCoordinator::ExecuteMembershipEvent(ResizeEvent ev,
+                                                         int event_index) {
+  busy_ = true;
+  boundary_ms_[static_cast<size_t>(2 * event_index)] = sim_->now();
+  cur_phase_ = 2 * event_index + 1;
+
+  // Flip the member set first. Added nodes become coordinator-eligible and
+  // migration targets immediately; removed nodes stop taking coordinator
+  // work but keep serving their slices until evacuated below.
+  for (int n = ev.lo; n <= ev.hi; ++n) {
+    if (ev.kind == ResizeEvent::Kind::kAdd) {
+      if (!IsMember(n)) {
+        members_.insert(
+            std::lower_bound(members_.begin(), members_.end(), n), n);
+        retired_[static_cast<size_t>(n)] = 0;
+      }
+    } else {
+      const auto it = std::lower_bound(members_.begin(), members_.end(), n);
+      if (it != members_.end() && *it == n) members_.erase(it);
+    }
+  }
+
+  // Primary migrations: deterministic balanced moves over the new members.
+  for (const auto& [slice, dst] : PlanBalanceMoves()) {
+    co_await MigrateSlice(slice, dst, /*backup_copy=*/false,
+                          ev.rate_mb_per_sec, ev.batch_pages);
+  }
+  // Chained-backup re-chaining: every slice whose successor changed (or
+  // whose backup sat on a removed node) gets its backup copy moved.
+  if (catalog_->has_backups()) {
+    const std::vector<int> desired = DesiredBackups();
+    for (int s = 0; s < num_slices_; ++s) {
+      if (desired[static_cast<size_t>(s)] != catalog_->BackupNodeOf(s)) {
+        co_await MigrateSlice(s, desired[static_cast<size_t>(s)],
+                              /*backup_copy=*/true, ev.rate_mb_per_sec,
+                              ev.batch_pages);
+      }
+    }
+  }
+  // Drain-then-remove: wait for reads already executing on the removed
+  // nodes to finish (bounded by the per-query deadlines) before retiring.
+  if (ev.kind == ResizeEvent::Kind::kRemove) {
+    for (int n = ev.lo; n <= ev.hi; ++n) {
+      while (active_reads_[static_cast<size_t>(n)] > 0) {
+        co_await sim_->WaitFor(opts_.drain_poll_ms);
+      }
+      retired_[static_cast<size_t>(n)] = 1;
+    }
+  }
+
+  boundary_ms_[static_cast<size_t>(2 * event_index + 1)] = sim_->now();
+  cur_phase_ = 2 * event_index + 2;
+  busy_ = false;
+}
+
+std::vector<std::pair<int, int>> MigrationCoordinator::PlanBalanceMoves()
+    const {
+  std::vector<int> owner(static_cast<size_t>(num_slices_));
+  for (int s = 0; s < num_slices_; ++s) {
+    owner[static_cast<size_t>(s)] = catalog_->OwnerOf(s);
+  }
+  std::vector<std::pair<int, int>> moves;
+  const auto counts_of = [&](std::vector<int>* counts) {
+    counts->assign(members_.size(), 0);
+    for (int s = 0; s < num_slices_; ++s) {
+      const auto it = std::lower_bound(members_.begin(), members_.end(),
+                                       owner[static_cast<size_t>(s)]);
+      if (it != members_.end() && *it == owner[static_cast<size_t>(s)]) {
+        ++(*counts)[static_cast<size_t>(it - members_.begin())];
+      }
+    }
+  };
+  std::vector<int> counts;
+  counts_of(&counts);
+
+  // 1. Evacuate slices owned by non-members (removed nodes): each goes to
+  // the currently least-loaded member (ties to the smallest node id).
+  for (int s = 0; s < num_slices_; ++s) {
+    if (IsMember(owner[static_cast<size_t>(s)])) continue;
+    size_t min_i = 0;
+    for (size_t i = 1; i < members_.size(); ++i) {
+      if (counts[i] < counts[min_i]) min_i = i;
+    }
+    owner[static_cast<size_t>(s)] = members_[min_i];
+    ++counts[min_i];
+    moves.emplace_back(s, members_[min_i]);
+  }
+  // 2. Level slice counts: the most-loaded member hands its lowest slice id
+  // to the least-loaded until the spread is at most one.
+  for (int guard = 0; guard < 2 * num_slices_; ++guard) {
+    size_t max_i = 0, min_i = 0;
+    for (size_t i = 1; i < members_.size(); ++i) {
+      if (counts[i] > counts[max_i]) max_i = i;
+      if (counts[i] < counts[min_i]) min_i = i;
+    }
+    if (counts[max_i] - counts[min_i] <= 1) break;
+    int moved = -1;
+    for (int s = 0; s < num_slices_; ++s) {
+      if (owner[static_cast<size_t>(s)] == members_[max_i]) {
+        moved = s;
+        break;
+      }
+    }
+    if (moved < 0) break;
+    owner[static_cast<size_t>(moved)] = members_[min_i];
+    --counts[max_i];
+    ++counts[min_i];
+    moves.emplace_back(moved, members_[min_i]);
+  }
+  return moves;
+}
+
+std::vector<int> MigrationCoordinator::DesiredBackups() const {
+  std::vector<int> desired(static_cast<size_t>(num_slices_));
+  for (int s = 0; s < num_slices_; ++s) {
+    const int owner = catalog_->OwnerOf(s);
+    // The next member strictly after the owner in cyclic sorted order (the
+    // owner itself when it is the only member, which Validate() excludes).
+    auto it = std::upper_bound(members_.begin(), members_.end(), owner);
+    if (it == members_.end()) it = members_.begin();
+    desired[static_cast<size_t>(s)] = *it;
+  }
+  return desired;
+}
+
+sim::Task<Status> MigrationCoordinator::MigrateSlice(int slice, int dst,
+                                                     bool backup_copy,
+                                                     double rate_mb_per_sec,
+                                                     int batch_pages) {
+  const int cur =
+      backup_copy ? catalog_->BackupNodeOf(slice) : catalog_->OwnerOf(slice);
+  if (cur == dst) co_return Status::OK();
+
+  auto planned = catalog_->PlanFragmentCopy(slice, dst, backup_copy,
+                                            /*from_backup_source=*/false);
+  if (!planned.ok()) {
+    ++migrations_aborted_;
+    co_return planned.status();
+  }
+  engine::SystemCatalog::MigrationJob job = std::move(*planned);
+  if (audit_ != nullptr) {
+    audit_->OnMigrationStart(slice, job.src_node, dst, backup_copy,
+                             sim_->now());
+  }
+  int64_t copied = 0;
+  Status st = co_await CopyJobPages(job, rate_mb_per_sec, batch_pages,
+                                    &copied);
+  if (!st.ok() && !backup_copy && catalog_->has_backups()) {
+    // The current host's disk died mid-copy: re-plan reading off the
+    // chained backup replica and restart from page 0 (re-copied pages are
+    // harmless — the destination extents are not serving yet).
+    auto fallback = catalog_->PlanFragmentCopy(slice, dst, backup_copy,
+                                               /*from_backup_source=*/true);
+    if (fallback.ok() && fallback->src_node != job.src_node) {
+      if (audit_ != nullptr) {
+        // The retry is a fresh migration of the same copy from the backup
+        // replica; re-announce it so the flip matches its actual source.
+        audit_->OnMigrationAbort(slice, backup_copy);
+        audit_->OnMigrationStart(slice, fallback->src_node, dst, backup_copy,
+                                 sim_->now());
+      }
+      job = std::move(*fallback);
+      copied = 0;
+      st = co_await CopyJobPages(job, rate_mb_per_sec, batch_pages, &copied);
+    }
+  }
+  if (!st.ok()) {
+    ++migrations_aborted_;
+    if (audit_ != nullptr) audit_->OnMigrationAbort(slice, backup_copy);
+    co_return st;
+  }
+
+  // Catch-up: the paper's workload is read-only, so the dirty-page delta
+  // accumulated during the copy is always empty; the flip still happens
+  // strictly after the last copied page lands.
+  //
+  // Atomic epoch flip: from this instant new dispatches resolve the slice
+  // to `dst`. Reads planned before the flip drain on the old extents,
+  // which are abandoned but never invalidated, so nothing is lost or
+  // double-served (audited per site).
+  catalog_->CommitMigration(job);
+  ++epoch_;
+  ++migrations_completed_;
+  pages_migrated_ += copied;
+  if (audit_ != nullptr) {
+    audit_->OnMigrationFlip(slice, job.src_node, dst, backup_copy, copied,
+                            static_cast<int64_t>(job.pages.size()),
+                            sim_->now());
+    audit_->OnAddressFlip(dst, sim_->now());
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> MigrationCoordinator::CopyJobPages(
+    const engine::SystemCatalog::MigrationJob& job, double rate_mb_per_sec,
+    int batch_pages, int64_t* copied) {
+  recover::PageCopier copier(sim_, machine_, probe_, opts_.max_io_retries,
+                             opts_.retry_backoff_ms);
+  const double page_bytes =
+      static_cast<double>(machine_->params().disk_page_size_bytes);
+  // MB/s -> bytes per ms; 0 disables the throttle.
+  const double throttle_bytes_per_ms =
+      rate_mb_per_sec > 0.0 ? rate_mb_per_sec * 1e6 / 1000.0 : 0.0;
+  size_t i = 0;
+  while (i < job.pages.size()) {
+    const double batch_begin = sim_->now();
+    int in_batch = 0;
+    for (; i < job.pages.size() && in_batch < batch_pages; ++i, ++in_batch) {
+      const auto& page = job.pages[i];
+      DECLUST_CO_RETURN_NOT_OK(
+          co_await copier.Copy(page.src_node, page.src, job.dst_node,
+                               page.dst));
+      ++*copied;
+    }
+    if (throttle_bytes_per_ms > 0.0 && in_batch > 0) {
+      const double min_ms = in_batch * page_bytes / throttle_bytes_per_ms;
+      const double elapsed = sim_->now() - batch_begin;
+      if (elapsed < min_ms) co_await sim_->WaitFor(min_ms - elapsed);
+    }
+  }
+  co_return Status::OK();
+}
+
+sim::Task<> MigrationCoordinator::RunRebalanceLoop(ResizeEvent ev) {
+  if (ev.at_ms > sim_->now()) co_await sim_->WaitFor(ev.at_ms - sim_->now());
+  if (slice_accesses_ == nullptr) co_return;
+  std::vector<int64_t> last(*slice_accesses_);
+  std::vector<int64_t> delta(last.size(), 0);
+  int streak = 0;
+  for (;;) {
+    co_await sim_->WaitFor(ev.every_ms);
+    // Skip checks while a membership event is migrating: its balanced
+    // placement supersedes any skew observed during the churn.
+    if (busy_) {
+      last = *slice_accesses_;
+      streak = 0;
+      continue;
+    }
+    for (size_t s = 0; s < last.size(); ++s) {
+      delta[s] = (*slice_accesses_)[s] - last[s];
+      last[s] = (*slice_accesses_)[s];
+    }
+    // Per-member observed load over this window.
+    std::vector<int64_t> load(members_.size(), 0);
+    int64_t total = 0;
+    for (size_t s = 0; s < delta.size(); ++s) {
+      const int owner = catalog_->OwnerOf(static_cast<int>(s));
+      const auto it =
+          std::lower_bound(members_.begin(), members_.end(), owner);
+      if (it != members_.end() && *it == owner) {
+        load[static_cast<size_t>(it - members_.begin())] += delta[s];
+        total += delta[s];
+      }
+    }
+    if (total <= 0) {
+      streak = 0;
+      continue;
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(members_.size());
+    size_t max_i = 0;
+    for (size_t i = 1; i < load.size(); ++i) {
+      if (load[i] > load[max_i]) max_i = i;
+    }
+    if (static_cast<double>(load[max_i]) < ev.threshold * mean) {
+      streak = 0;
+      continue;
+    }
+    if (++streak < ev.settle) continue;
+    streak = 0;
+
+    // Hysteresis satisfied: migrate up to max_moves hot slices from the
+    // hottest member to the coldest, most-accessed slice first (ties to
+    // the smallest slice id), as long as each move narrows the gap.
+    busy_ = true;
+    for (int m = 0; m < ev.max_moves; ++m) {
+      size_t hot = 0, cold = 0;
+      for (size_t i = 1; i < load.size(); ++i) {
+        if (load[i] > load[hot]) hot = i;
+        if (load[i] < load[cold]) cold = i;
+      }
+      int slice = -1;
+      int64_t best = 0;
+      for (size_t s = 0; s < delta.size(); ++s) {
+        if (catalog_->OwnerOf(static_cast<int>(s)) != members_[hot]) continue;
+        if (delta[s] > best) {
+          best = delta[s];
+          slice = static_cast<int>(s);
+        }
+      }
+      if (slice < 0 || load[cold] + best >= load[hot]) break;
+      const Status st = co_await MigrateSlice(slice, members_[cold],
+                                              /*backup_copy=*/false,
+                                              ev.rate_mb_per_sec,
+                                              ev.batch_pages);
+      if (!st.ok()) break;
+      if (catalog_->has_backups()) {
+        const std::vector<int> desired = DesiredBackups();
+        if (desired[static_cast<size_t>(slice)] !=
+            catalog_->BackupNodeOf(slice)) {
+          co_await MigrateSlice(slice, desired[static_cast<size_t>(slice)],
+                                /*backup_copy=*/true, ev.rate_mb_per_sec,
+                                ev.batch_pages);
+        }
+      }
+      load[hot] -= best;
+      load[cold] += best;
+      ++rebalance_moves_;
+    }
+    busy_ = false;
+  }
+}
+
+}  // namespace declust::resize

@@ -17,6 +17,7 @@
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
 #include "src/recover/plan.h"
+#include "src/resize/plan.h"
 #include "src/sim/fault.h"
 
 namespace {
@@ -43,6 +44,9 @@ void Usage() {
       "  --recovery SPEC    recovery plan to audit under (same grammar as\n"
       "                     run_experiment --recovery; needs --faults) —\n"
       "                     also arms the epoch-flip/serve invariants\n"
+      "  --resize SPEC      elastic-membership plan to audit under (same\n"
+      "                     grammar as run_experiment --resize) — arms the\n"
+      "                     migration conservation invariants\n"
       "  --skip-differential  only run the in-sweep invariants + oracle\n";
 }
 
@@ -175,6 +179,14 @@ int main(int argc, char** argv) {
       auto plan = recover::RecoveryPlan::Parse(cfg.recovery);
       if (!plan.ok()) {
         std::cerr << "bad --recovery spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
+    } else if (arg == "--resize") {
+      cfg.resize = next();
+      auto plan = resize::ResizePlan::Parse(cfg.resize);
+      if (!plan.ok()) {
+        std::cerr << "bad --resize spec: " << plan.status().ToString()
                   << "\n";
         return 2;
       }

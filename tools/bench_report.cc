@@ -259,6 +259,35 @@ int main(int argc, char** argv) {
     for (const auto& p : curve.points) rebuilds_completed += p.rebuilds_completed;
   }
 
+  // Resize overhead guard: the same sweep with an elastic-membership plan
+  // armed whose only event fires far beyond the simulated horizon. This
+  // prices the quiescent coordinator — placement-table owner lookups,
+  // slice-access recording, membership checks on every site dispatch —
+  // with zero migrations actually running. The ratio should stay near 1
+  // (~1.2x tops); the counters are gated (a quiescent plan migrating
+  // anything is a scheduling bug, not noise).
+  std::cerr << "timing quick fig08 sweep with a quiescent resize plan...\n";
+  exp::ExperimentConfig resize_cfg = cfg;
+  resize_cfg.resize = "add:node32@t=3600s";
+  const auto z0 = Clock::now();
+  auto resized = exp::RunThroughputSweep(resize_cfg, exp::RunnerOptions{1});
+  const auto z1 = Clock::now();
+  if (!resized.ok()) {
+    std::cerr << "resize sweep failed: " << resized.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double resized_s = Seconds(z0, z1);
+  int64_t quiescent_migrations = 0, quiescent_aborts = 0;
+  for (const auto& curve : resized->curves) {
+    for (const auto& p : curve.points) {
+      quiescent_migrations += p.migrations;
+      quiescent_aborts += p.migrations_aborted;
+    }
+  }
+  const bool resize_quiescent =
+      quiescent_migrations == 0 && quiescent_aborts == 0;
+
   // In-run parallelism guard: the same sweep executed serially (jobs=1) but
   // with the windowed parallel scheduler splitting each run across
   // --sim-threads workers. Must be byte-identical to the plain serial run —
@@ -344,6 +373,16 @@ int main(int argc, char** argv) {
       << (serial_s > 0 ? rebuilt_s / serial_s : 0) << ",\n"
       << "    \"rebuilds_completed\": " << rebuilds_completed << "\n"
       << "  },\n"
+      << "  \"resize_overhead\": {\n"
+      << "    \"config\": \"fig08 quick, quiescent plan "
+         "add:node32@t=3600s\",\n"
+      << "    \"static_wall_s\": " << serial_s << ",\n"
+      << "    \"armed_wall_s\": " << resized_s << ",\n"
+      << "    \"armed_overhead_ratio\": "
+      << (serial_s > 0 ? resized_s / serial_s : 0) << ",\n"
+      << "    \"quiescent_migrations\": " << quiescent_migrations << ",\n"
+      << "    \"quiescent_aborts\": " << quiescent_aborts << "\n"
+      << "  },\n"
       << "  \"audit_overhead\": {\n"
       << "    \"config\": \"fig08 quick, invariant audit + oracle armed\",\n"
       << "    \"audit_off_wall_s\": " << serial_s << ",\n"
@@ -366,6 +405,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cerr << "wrote " << out_path << "\n";
-  return identical && audit_identical && audit_clean && psim_identical ? 0
-                                                                       : 1;
+  return identical && audit_identical && audit_clean && psim_identical &&
+                 resize_quiescent
+             ? 0
+             : 1;
 }

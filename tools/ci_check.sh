@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the robustness subsystems: builds the repo under
 # AddressSanitizer and UndefinedBehaviorSanitizer and runs every test
-# labeled faults, audit, or recovery under each. The fault-injection,
-# invariant-audit and online-recovery code paths are exactly the ones that
+# labeled faults, audit, recovery, or resize under each. The fault-injection,
+# invariant-audit, online-recovery and elastic-membership code paths are
+# exactly the ones that
 # exercise coroutine lifetimes, signal-driven interrupts and background I/O
 # racing foreground queries — the bugs sanitizers exist to catch.
 #
@@ -55,13 +56,14 @@ run_preset() {
   fi
 }
 
-run_preset asan DECLUST_ASAN 'faults|audit|recovery' \
-  fault_test audit_test recovery_test
-run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery' \
-  fault_test audit_test recovery_test
+run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize' \
+  fault_test audit_test recovery_test resize_test
+run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery|resize' \
+  fault_test audit_test recovery_test resize_test
 # The windowed in-run scheduler is the only place the simulator runs on more
 # than one thread; TSAN over the parallel_sim label is the race gate for it.
-run_preset tsan DECLUST_TSAN 'parallel_sim' parallel_sim_test
+run_preset tsan DECLUST_TSAN 'parallel_sim|resize' \
+  parallel_sim_test resize_test
 
 # Release differential smoke: serial vs --sim-threads=4 on a quick sweep must
 # be byte-identical. Release mode matters here — it is the configuration where
@@ -88,6 +90,25 @@ else
     | head -40 >&2 || true
   FAILED=1
 fi
+# Elastic-membership differential: the same quick sweep with a live resize
+# plan (node added mid-measurement, then drained back out) must also be
+# byte-identical serial vs --sim-threads=4 — migration scheduling is the
+# newest multi-coroutine machinery and the most likely to order-drift.
+echo "=== relsmoke: --resize serial vs --sim-threads=4 digest ==="
+RESIZE_SPEC='add:node8@t=1s;remove:node8@t=2s'
+RESIZE_SERIAL="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --resize "$RESIZE_SPEC")"
+RESIZE_THREADED="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --resize "$RESIZE_SPEC" --sim-threads 4)"
+if [[ "$RESIZE_SERIAL" == "$RESIZE_THREADED" ]]; then
+  echo "relsmoke: --resize serial and --sim-threads=4 results are" \
+    "byte-identical"
+else
+  echo "*** relsmoke: FAILED — --resize --sim-threads=4 changed results" >&2
+  diff <(printf '%s\n' "$RESIZE_SERIAL") \
+    <(printf '%s\n' "$RESIZE_THREADED") | head -40 >&2 || true
+  FAILED=1
+fi
 # audit_sweep's differential harness runs the same config through every
 # variant (jobs=1, jobs=N+audit, sim-threads=4, inactive fault plan) and
 # compares result digests — the invariant-level form of the check above.
@@ -101,5 +122,5 @@ if [[ "$FAILED" != 0 ]]; then
   echo "ci_check: sanitizer gate FAILED" >&2
   exit 1
 fi
-echo "ci_check: faults|audit|recovery clean under ASAN/UBSAN," \
+echo "ci_check: faults|audit|recovery|resize clean under ASAN/UBSAN," \
   "parallel_sim clean under TSAN, release digest stable"

@@ -16,8 +16,10 @@
 #include "src/exp/interrupt.h"
 #include "src/exp/recovery.h"
 #include "src/exp/report.h"
+#include "src/exp/resize.h"
 #include "src/exp/runner.h"
 #include "src/recover/plan.h"
+#include "src/resize/plan.h"
 #include "src/sim/fault.h"
 
 namespace {
@@ -56,6 +58,13 @@ void Usage() {
       "                     (R MB/s throttle, 0 = unthrottled; B pages per\n"
       "                     burst). Requires --faults with a preceding disk\n"
       "                     failure; adds per-phase recovery columns\n"
+      "  --resize SPEC      elastic-membership plan, ';'-separated items:\n"
+      "                     add:nodeN[-M]@t=T[,rate=R][,batch=B] |\n"
+      "                     remove:nodeN[-M]@t=T (drain-then-remove) |\n"
+      "                     rebalance:auto@t=T[,threshold=X][,every=D]\n"
+      "                     [,settle=K][,max_moves=N] | slices:N.\n"
+      "                     --processors is the initial membership; adds\n"
+      "                     per-phase resize columns to reports\n"
       "  --degraded K       run the degraded-mode sweep with 0..K disks\n"
       "                     failed at t=0 and print the degradation report\n"
       "                     (ignores --faults)\n"
@@ -246,6 +255,14 @@ int main(int argc, char** argv) {
                   << "\n";
         return 2;
       }
+    } else if (arg == "--resize") {
+      cfg.resize = next();
+      auto plan = resize::ResizePlan::Parse(cfg.resize);
+      if (!plan.ok()) {
+        std::cerr << "bad --resize spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
     } else if (arg == "--degraded") {
       degraded = RequireInt("--degraded", next(), 0, 1 << 20);
     } else if (arg == "--watchdog") {
@@ -383,6 +400,7 @@ int main(int argc, char** argv) {
     } else {
       exp::PrintThroughputTable(os, *result);
       exp::PrintRecoveryReport(os, *result);
+      exp::PrintResizeReport(os, *result);
     }
   });
   if (!emitted) return 1;
