@@ -74,6 +74,10 @@ void Auditor::OnResourceTransition(const char* name, int capacity,
   }
 }
 
+void Auditor::OnQueryArrival() { ++arrivals_; }
+
+void Auditor::OnQueryShed() { ++shed_; }
+
 void Auditor::OnQuerySubmitted() {
   ++submitted_;
   ++in_flight_;
@@ -320,6 +324,13 @@ void Auditor::Finalize(const sim::Simulation& sim) {
   // horizon, up to mpl_ queries are legitimately still in flight.
   Check(submitted_ == completed_ + failed_ + in_flight_,
         "queries: submitted != completed + failed + in-flight");
+  // Open-system extension: every arrival the driver produced was either
+  // admitted (submitted) or shed at the cap — nothing vanishes between the
+  // arrival process and the admission gate.
+  if (arrivals_ > 0) {
+    Check(arrivals_ == submitted_ + shed_,
+          "queries: arrivals != submitted + shed");
+  }
   ++checks_;
   if (in_flight_ < 0 || (mpl_ > 0 && in_flight_ > mpl_)) {
     Violation(Fmt("queries: %lld in flight at exit outside [0, mpl=%d]",

@@ -64,6 +64,15 @@ class Auditor : public sim::AuditHook {
                             size_t waiters) override;
 
   // --- engine hooks (query/site conservation) ---
+  /// Open-system driver: one arrival left the Poisson/burst process. Every
+  /// arrival must either be submitted or shed, so Finalize checks
+  /// arrivals = submitted + shed whenever any arrival was reported.
+  void OnQueryArrival();
+  /// Open-system driver: an arrival was shed at the admission cap (never
+  /// submitted, so it does not enter the in-flight conservation identity).
+  void OnQueryShed();
+  int64_t queries_arrived() const { return arrivals_; }
+  int64_t queries_shed() const { return shed_; }
   void OnQuerySubmitted();
   /// The planner chose this query's processor set. Checks that every node id
   /// is in range and the activation is bounded by the machine size, and
@@ -155,6 +164,8 @@ class Auditor : public sim::AuditHook {
 
   // Query conservation.
   int mpl_ = 0;
+  int64_t arrivals_ = 0;
+  int64_t shed_ = 0;
   int64_t submitted_ = 0;
   int64_t completed_ = 0;
   int64_t failed_ = 0;

@@ -23,11 +23,17 @@ class Accumulator {
   }
 
   int64_t count() const { return n_; }
+  /// True when no sample was ever added. Callers rendering tables/CSV use
+  /// this to emit a well-defined blank instead of a fabricated 0 (idle
+  /// open-system windows, repeats=1 CI columns).
+  bool empty() const { return n_ == 0; }
   double sum() const { return sum_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  /// Clamped at 0: Welford's m2 can round to a tiny negative value when all
+  /// samples are (nearly) identical, and sqrt of that is NaN downstream.
   double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    return n_ > 1 ? std::max(0.0, m2_) / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
   double min() const {
@@ -89,6 +95,10 @@ class Histogram {
   void Add(double x);
 
   int64_t count() const { return count_; }
+  /// True when no sample was ever added; Quantile() then has no mass to
+  /// locate and returns lo_, which is indistinguishable from a genuine
+  /// all-at-lo distribution — callers use empty() to render blanks instead.
+  bool empty() const { return count_ == 0; }
   int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
   int buckets() const { return static_cast<int>(counts_.size()); }
   int64_t underflow() const { return underflow_; }

@@ -22,11 +22,13 @@
 namespace declust::decluster {
 
 /// \brief Cost-relevant facts about one auxiliary-fragment lookup.
+/// Page counts are 64-bit: at 100M tuples an aux tree's leaf count exceeds
+/// what a 32-bit page*bytes product can carry downstream.
 struct AuxLookupCost {
   /// Random index page reads (B-tree descent).
-  int index_pages = 0;
+  int64_t index_pages = 0;
   /// Sequential leaf pages scanned for the range.
-  int leaf_pages = 0;
+  int64_t leaf_pages = 0;
   /// Qualifying auxiliary entries found on this processor.
   int64_t entries = 0;
 };

@@ -10,11 +10,11 @@ namespace {
 // Places the `height` pages of a B-tree descent within an index extent:
 // the root first, then one page per level, the last being the leaf that
 // contains `leaf_index`. Intermediate levels are spread deterministically.
-void DescentPages(const storage::Extent& extent, int height,
+void DescentPages(const storage::Extent& extent, int64_t height,
                   int64_t leaf_index, const storage::DiskLayout& layout,
                   std::vector<hw::PageAddress>* out) {
   if (extent.num_pages == 0) return;
-  for (int level = 0; level < height; ++level) {
+  for (int64_t level = 0; level < height; ++level) {
     int64_t page;
     if (level == 0) {
       page = 0;  // root
@@ -67,12 +67,22 @@ FragmentStore::FragmentStore(const storage::Relation* relation,
   nonclustered_a_ = storage::BPlusTree::BulkLoad(std::move(a_entries),
                                                  opts.index_fanout);
 
-  // Allocate physical extents: data, then the two indexes.
+  // Allocate physical extents: data, then the two indexes. Allocation can
+  // fail (simulated disk full) for relations the default geometry cannot
+  // hold; record the Status instead of asserting — an assert compiles away
+  // in Release and left the extents dangling at {0, 0}.
   auto data = layout->Allocate(
       page_layout_.PagesFor(static_cast<int64_t>(by_b_.size())));
   auto idx_b = layout->Allocate(clustered_b_.node_count());
   auto idx_a = layout->Allocate(nonclustered_a_.node_count());
-  assert(data.ok() && idx_b.ok() && idx_a.ok());
+  if (!data.ok() || !idx_b.ok() || !idx_a.ok()) {
+    status_ = Status::OutOfRange(
+        "fragment of " + std::to_string(by_b_.size()) +
+        " tuples does not fit the simulated disk (" +
+        std::to_string(layout->capacity_pages()) + " pages; raise "
+        "disk_cylinders)");
+    return;
+  }
   data_extent_ = *data;
   index_b_extent_ = *idx_b;
   index_a_extent_ = *idx_a;
@@ -88,10 +98,10 @@ void FragmentStore::ClusteredAccessInto(Value lo, Value hi,
   const auto range = clustered_b_.RangeBounds(lo, hi);
   out->tuples = range.count;
   const int64_t first_pos = range.count == 0 ? 0 : range.first.rid;
+  const int64_t avg_per_leaf_b = std::max<int64_t>(
+      1, clustered_b_.size() / std::max<int64_t>(1, clustered_b_.leaf_count()));
   DescentPages(index_b_extent_, clustered_b_.height(),
-               first_pos / std::max(1, static_cast<int>(clustered_b_.size() /
-                                           std::max(1, clustered_b_.leaf_count()))),
-               layout, &out->index_pages);
+               first_pos / avg_per_leaf_b, layout, &out->index_pages);
   if (range.count > 0) {
     // Qualifying tuples are contiguous in clustered order: sequential pages.
     const int64_t last_pos = range.last.rid;
@@ -118,12 +128,12 @@ void FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
   // Descent plus any extra leaves the range spans.
   const int64_t avg_per_leaf =
       std::max<int64_t>(1, nonclustered_a_.size() /
-                               std::max(1, nonclustered_a_.leaf_count()));
+                               std::max<int64_t>(1, nonclustered_a_.leaf_count()));
   DescentPages(index_a_extent_, nonclustered_a_.height(),
                (entries.empty() ? 0 : entries.front().key) / avg_per_leaf,
                layout, &out->index_pages);
-  const int extra_leaves = nonclustered_a_.LeafPagesTouched(lo, hi) - 1;
-  for (int l = 0; l < extra_leaves; ++l) {
+  const int64_t extra_leaves = nonclustered_a_.LeafPagesTouched(lo, hi) - 1;
+  for (int64_t l = 0; l < extra_leaves; ++l) {
     auto addr = layout.Resolve(
         index_a_extent_,
         std::min<int64_t>(index_a_extent_.num_pages - 1, 1 + l));
@@ -165,7 +175,7 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
     const storage::Relation* relation,
     const decluster::Partitioning* partitioning, storage::AttrId attr_a,
     storage::AttrId attr_b, const hw::HwParams& hw, CatalogOptions opts,
-    const PlacementSpec* placement) {
+    const PlacementSpec* placement, SystemCatalog* share_disks_with) {
   if (relation == nullptr || partitioning == nullptr) {
     return Status::InvalidArgument("null relation or partitioning");
   }
@@ -177,6 +187,19 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
   catalog->opts_ = opts;
 
   const int slices = partitioning->num_nodes();
+  if (share_disks_with != nullptr) {
+    if (placement != nullptr) {
+      return Status::InvalidArgument(
+          "catalog: disk sharing and elastic placement are exclusive");
+    }
+    if (share_disks_with->num_nodes() != slices) {
+      return Status::InvalidArgument(
+          "catalog: shared-disk build needs " +
+          std::to_string(share_disks_with->num_nodes()) +
+          " slices to match the base catalog, got " + std::to_string(slices));
+    }
+    catalog->layout_refs_ = share_disks_with->layout_refs_;
+  }
   if (placement != nullptr) {
     if (static_cast<int>(placement->owner.size()) != slices ||
         static_cast<int>(placement->backup_owner.size()) != slices ||
@@ -187,8 +210,9 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
     catalog->owner_ = placement->owner;
     catalog->backup_owner_ = placement->backup_owner;
     for (int n = 0; n < placement->num_physical_nodes; ++n) {
-      catalog->layouts_.push_back(std::make_unique<storage::DiskLayout>(
+      catalog->owned_layouts_.push_back(std::make_unique<storage::DiskLayout>(
           hw.disk_pages_per_cylinder, hw.disk_cylinders));
+      catalog->layout_refs_.push_back(catalog->owned_layouts_.back().get());
     }
   }
 
@@ -197,17 +221,19 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
   // the fixed-membership catalog always has, so addresses are unchanged.
   for (int slice = 0; slice < slices; ++slice) {
     storage::DiskLayout* layout;
-    if (placement == nullptr) {
-      catalog->layouts_.push_back(std::make_unique<storage::DiskLayout>(
+    if (placement == nullptr && share_disks_with == nullptr) {
+      catalog->owned_layouts_.push_back(std::make_unique<storage::DiskLayout>(
           hw.disk_pages_per_cylinder, hw.disk_cylinders));
-      layout = catalog->layouts_.back().get();
+      catalog->layout_refs_.push_back(catalog->owned_layouts_.back().get());
+      layout = catalog->layout_refs_.back();
     } else {
-      layout = catalog->layouts_[static_cast<size_t>(catalog->OwnerOf(slice))]
-                   .get();
+      layout = catalog->layout_refs_[static_cast<size_t>(
+          catalog->OwnerOf(slice))];
     }
     catalog->stores_.push_back(std::make_unique<FragmentStore>(
         relation, partitioning->node_records()[static_cast<size_t>(slice)],
         attr_a, attr_b, opts, hw, layout));
+    DECLUST_RETURN_NOT_OK(catalog->stores_.back()->status());
     if (catalog->berd_ != nullptr) {
       // Auxiliary-relation pages for this slice's aux fragment.
       const auto full = catalog->berd_->AuxCost(
@@ -224,11 +250,12 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
   if (opts.chained_backups && slices > 1) {
     for (int slice = 0; slice < slices; ++slice) {
       storage::DiskLayout* layout =
-          catalog->layouts_[static_cast<size_t>(catalog->BackupNodeOf(slice))]
-              .get();
+          catalog
+              ->layout_refs_[static_cast<size_t>(catalog->BackupNodeOf(slice))];
       catalog->backup_stores_.push_back(std::make_unique<FragmentStore>(
           relation, partitioning->node_records()[static_cast<size_t>(slice)],
           attr_a, attr_b, opts, hw, layout));
+      DECLUST_RETURN_NOT_OK(catalog->backup_stores_.back()->status());
       if (catalog->berd_ != nullptr) {
         const auto full = catalog->berd_->AuxCost(
             slice, std::numeric_limits<Value>::min(),
@@ -246,7 +273,7 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
 void SystemCatalog::PlanAccessInto(int node, const Predicate& q,
                                    bool sequential_scan,
                                    AccessPlan* out) const {
-  const auto& layout = *layouts_[static_cast<size_t>(OwnerOf(node))];
+  const auto& layout = *layout_refs_[static_cast<size_t>(OwnerOf(node))];
   const auto& store = *stores_[static_cast<size_t>(node)];
   if (sequential_scan) {
     store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
@@ -263,10 +290,10 @@ void SystemCatalog::PlanAuxAccessInto(int node, const Predicate& q,
   out->clear();
   if (berd_ == nullptr) return;
   const auto cost = berd_->AuxCost(node, q.lo, q.hi);
-  const auto& layout = *layouts_[static_cast<size_t>(OwnerOf(node))];
+  const auto& layout = *layout_refs_[static_cast<size_t>(OwnerOf(node))];
   const auto& extent = aux_extents_[static_cast<size_t>(node)];
   DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
-  for (int l = 1; l < cost.leaf_pages; ++l) {
+  for (int64_t l = 1; l < cost.leaf_pages; ++l) {
     auto addr = layout.Resolve(
         extent, std::min<int64_t>(extent.num_pages - 1, l));
     assert(addr.ok());
@@ -280,7 +307,7 @@ void SystemCatalog::PlanBackupAccessInto(int failed_node, const Predicate& q,
                                          AccessPlan* out) const {
   assert(has_backups());
   const int backup = BackupNodeOf(failed_node);
-  const auto& layout = *layouts_[static_cast<size_t>(backup)];
+  const auto& layout = *layout_refs_[static_cast<size_t>(backup)];
   const auto& store = *backup_stores_[static_cast<size_t>(failed_node)];
   if (sequential_scan) {
     store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
@@ -299,10 +326,10 @@ void SystemCatalog::PlanBackupAuxAccessInto(int failed_node,
   assert(has_backups());
   const int backup = BackupNodeOf(failed_node);
   const auto cost = berd_->AuxCost(failed_node, q.lo, q.hi);
-  const auto& layout = *layouts_[static_cast<size_t>(backup)];
+  const auto& layout = *layout_refs_[static_cast<size_t>(backup)];
   const auto& extent = aux_backup_extents_[static_cast<size_t>(failed_node)];
   DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
-  for (int l = 1; l < cost.leaf_pages; ++l) {
+  for (int64_t l = 1; l < cost.leaf_pages; ++l) {
     auto addr = layout.Resolve(
         extent, std::min<int64_t>(extent.num_pages - 1, l));
     assert(addr.ok());
@@ -323,8 +350,8 @@ std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
   const auto copy_extent = [&](int src_node, const storage::Extent& src_extent,
                                const storage::Extent& dst_extent) {
     assert(src_extent.num_pages == dst_extent.num_pages);
-    const auto& src_layout = *layouts_[static_cast<size_t>(src_node)];
-    const auto& dst_layout = *layouts_[static_cast<size_t>(node)];
+    const auto& src_layout = *layout_refs_[static_cast<size_t>(src_node)];
+    const auto& dst_layout = *layout_refs_[static_cast<size_t>(node)];
     for (int64_t p = 0; p < src_extent.num_pages; ++p) {
       auto src = src_layout.Resolve(src_extent, p);
       auto dst = dst_layout.Resolve(dst_extent, p);
@@ -395,7 +422,7 @@ Result<SystemCatalog::MigrationJob> SystemCatalog::PlanFragmentCopy(
                                   : *stores_[static_cast<size_t>(slice)];
   job.src_node = read_backup ? BackupNodeOf(slice) : OwnerOf(slice);
 
-  storage::DiskLayout& dst_layout = *layouts_[static_cast<size_t>(dst_node)];
+  storage::DiskLayout& dst_layout = *layout_refs_[static_cast<size_t>(dst_node)];
   DECLUST_ASSIGN_OR_RETURN(
       job.new_data, dst_layout.Allocate(moved.data_extent().num_pages));
   DECLUST_ASSIGN_OR_RETURN(
@@ -414,7 +441,7 @@ Result<SystemCatalog::MigrationJob> SystemCatalog::PlanFragmentCopy(
   const auto copy_extent = [&](const storage::Extent& src_extent,
                                const storage::Extent& dst_extent) {
     assert(src_extent.num_pages == dst_extent.num_pages);
-    const auto& src_layout = *layouts_[static_cast<size_t>(job.src_node)];
+    const auto& src_layout = *layout_refs_[static_cast<size_t>(job.src_node)];
     for (int64_t p = 0; p < src_extent.num_pages; ++p) {
       auto src = src_layout.Resolve(src_extent, p);
       auto dst = dst_layout.Resolve(dst_extent, p);

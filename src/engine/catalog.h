@@ -87,8 +87,19 @@ class FragmentStore {
                 storage::AttrId attr_b, const CatalogOptions& opts,
                 const hw::HwParams& hw, storage::DiskLayout* layout);
 
+  /// Whether extent allocation succeeded. A relation too large for the
+  /// simulated disk used to trip a Release-mode silent-UB assert; callers
+  /// (SystemCatalog::Build) now check and propagate this instead.
+  const Status& status() const { return status_; }
+
   int64_t tuple_count() const { return static_cast<int64_t>(by_b_.size()); }
   int64_t data_pages() const { return data_extent_.num_pages; }
+  /// Simulated bytes of the data extent (pages * page size); 64-bit so
+  /// 10M-tuple fragments do not wrap.
+  int64_t data_bytes(const hw::HwParams& hw) const {
+    return data_extent_.num_pages *
+           static_cast<int64_t>(hw.disk_page_size_bytes);
+  }
 
   /// Access plan for a clustered range on attribute B.
   AccessPlan ClusteredAccess(Value lo, Value hi,
@@ -153,6 +164,7 @@ class FragmentStore {
   storage::Extent data_extent_;
   storage::Extent index_b_extent_;
   storage::Extent index_a_extent_;
+  Status status_ = Status::OK();
 };
 
 /// \brief Maps logical slices onto a physical machine (src/resize). The
@@ -172,16 +184,23 @@ class SystemCatalog {
   /// Builds per-slice fragment stores (and BERD auxiliary extents) for
   /// `partitioning` of `relation`. With a null `placement` slice i lives on
   /// node i (the fixed-membership machine, byte-identical layout).
+  ///
+  /// `share_disks_with` (multi-relation runs): instead of creating fresh
+  /// disk layouts, the new catalog allocates its extents on the given
+  /// catalog's disks, after that catalog's extents — the relations contend
+  /// for the same simulated spindles. The partitioning's slice count must
+  /// equal the shared catalog's node count, and `placement` must be null.
   static Result<std::unique_ptr<SystemCatalog>> Build(
       const storage::Relation* relation,
       const decluster::Partitioning* partitioning, storage::AttrId attr_a,
       storage::AttrId attr_b, const hw::HwParams& hw,
       CatalogOptions opts = CatalogOptions(),
-      const PlacementSpec* placement = nullptr);
+      const PlacementSpec* placement = nullptr,
+      SystemCatalog* share_disks_with = nullptr);
 
   /// Physical machine size (disk layouts). Equals num_slices() without a
   /// placement.
-  int num_nodes() const { return static_cast<int>(layouts_.size()); }
+  int num_nodes() const { return static_cast<int>(layout_refs_.size()); }
   /// Logical slice count (one fragment store per slice).
   int num_slices() const { return static_cast<int>(stores_.size()); }
   const FragmentStore& store(int slice) const { return *stores_[slice]; }
@@ -304,7 +323,11 @@ class SystemCatalog {
   const decluster::Partitioning* partitioning_ = nullptr;
   const decluster::BerdPartitioning* berd_ = nullptr;  // null unless BERD
   std::vector<std::unique_ptr<FragmentStore>> stores_;
-  std::vector<std::unique_ptr<storage::DiskLayout>> layouts_;
+  // Disk layouts this catalog owns (empty when sharing another catalog's
+  // disks) and the per-node view every code path indexes. Without sharing,
+  // layout_refs_[i] points at owned_layouts_[i].
+  std::vector<std::unique_ptr<storage::DiskLayout>> owned_layouts_;
+  std::vector<storage::DiskLayout*> layout_refs_;
   std::vector<storage::Extent> aux_extents_;  // BERD only
   // Chained declustering: backup_stores_[s] is slice s's fragment stored on
   // BackupNodeOf(s) (empty unless opts.chained_backups).

@@ -59,10 +59,36 @@ class Metrics {
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;
 
+  /// Registers the open-system counters (arrivals / shed). Lazy so a
+  /// closed-loop run's registry — and therefore its --metrics-json bytes —
+  /// is untouched by the open-mode code existing.
+  void EnableOpen() {
+    if (open_arrivals_ != nullptr) return;
+    open_arrivals_ = &registry_.Counter("open.arrivals");
+    open_shed_ = &registry_.Counter("open.shed");
+  }
+  bool open_enabled() const { return open_arrivals_ != nullptr; }
+  /// One open-system arrival left the Poisson/burst process.
+  void RecordArrival() {
+    if (measuring_) ++*open_arrivals_;
+  }
+  /// One arrival was shed at the admission cap.
+  void RecordShed() {
+    if (measuring_) ++*open_shed_;
+  }
+  int64_t open_arrivals() const {
+    return open_arrivals_ != nullptr ? *open_arrivals_ : 0;
+  }
+  int64_t open_shed() const { return open_shed_ != nullptr ? *open_shed_ : 0; }
+
   /// Begins the measurement window (call after warm-up).
   void StartMeasurement(sim::SimTime now) {
     window_start_ = now;
     measuring_ = true;
+    if (open_arrivals_ != nullptr) {
+      *open_arrivals_ = 0;
+      *open_shed_ = 0;
+    }
     *completed_in_window_ = 0;
     response_ms_->Reset();
     *response_hist_ = Histogram(0.0, 10'000.0, 500);
@@ -202,6 +228,8 @@ class Metrics {
   Accumulator* comp_unattributed_;
   FaultStats faults_;
   std::vector<int64_t> slice_accesses_;
+  int64_t* open_arrivals_ = nullptr;  // null until EnableOpen()
+  int64_t* open_shed_ = nullptr;
 };
 
 }  // namespace declust::engine

@@ -1,6 +1,7 @@
 #include "src/engine/system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "src/recover/recovery.h"
@@ -67,18 +68,59 @@ Status System::Init() {
     metrics_.BindSlices(catalog_->num_slices());
   }
 
+  // Per-relation planning state. Extra relations (open multi-relation runs)
+  // get catalogs allocated on the SAME disks as the base relation's, so
+  // their queries contend for the same spindles.
+  bindings_.push_back(RelationBinding{partitioning_, catalog_.get()});
+  for (const auto& er : config_.extra_relations) {
+    if (er.relation == nullptr || er.partitioning == nullptr) {
+      return Status::InvalidArgument("null extra relation or partitioning");
+    }
+    auto extra = SystemCatalog::Build(er.relation, er.partitioning,
+                                      config_.attr_a, config_.attr_b,
+                                      config_.hw, catalog_opts,
+                                      /*placement=*/nullptr, catalog_.get());
+    DECLUST_RETURN_NOT_OK(extra.status());
+    extra_catalogs_.push_back(std::move(extra).ValueOrDie());
+    bindings_.push_back(
+        RelationBinding{er.partitioning, extra_catalogs_.back().get()});
+  }
+
   querygen_ = std::make_unique<workload::QueryGenerator>(
       workload_, relation_->cardinality(),
       RandomStream(config_.seed).Fork(0xABCD));
 
+  const bool open_armed = config_.open != nullptr && !config_.open->empty();
+  if (open_armed) {
+    if (config_.resize != nullptr) {
+      return Status::InvalidArgument(
+          "open-system arrivals are incompatible with an elastic resize "
+          "plan");
+    }
+    std::vector<int64_t> domains{relation_->cardinality()};
+    std::vector<double> weights{1.0};
+    const auto& specs = config_.open->extra_relations();
+    for (size_t i = 0; i < config_.extra_relations.size(); ++i) {
+      domains.push_back(config_.extra_relations[i].relation->cardinality());
+      weights.push_back(i < specs.size() ? specs[i].weight : 1.0);
+    }
+    opengen_ = std::make_unique<workload::OpenQueryGenerator>(
+        workload_, config_.open, std::move(domains), std::move(weights),
+        RandomStream(config_.seed).Fork(0xABCD));
+    metrics_.EnableOpen();
+  }
+
   if (config_.audit != nullptr) {
     // Slice ids and node ids share one id space; an elastic run may use
-    // more slices than nodes, so the audit range covers both.
+    // more slices than nodes, so the audit range covers both. The open
+    // driver's in-flight bound is the admission cap, not the terminal count.
     const int audit_range =
         config_.resize != nullptr
             ? std::max(config_.hw.num_processors, catalog_->num_slices())
             : config_.hw.num_processors;
-    config_.audit->BindSystem(config_.multiprogramming_level, audit_range);
+    const int in_flight_bound = open_armed ? config_.open->max_in_flight()
+                                           : config_.multiprogramming_level;
+    config_.audit->BindSystem(in_flight_bound, audit_range);
   }
 
   if (config_.buffer_pool_pages > 0) {
@@ -92,6 +134,10 @@ Status System::Init() {
 }
 
 void System::Start() {
+  if (opengen_ != nullptr) {
+    sim_->Spawn(OpenArrivalLoop(RandomStream(config_.seed).Fork(0x09E5)));
+    return;
+  }
   RandomStream rng = RandomStream(config_.seed).Fork(0x7157);
   for (int t = 0; t < config_.multiprogramming_level; ++t) {
     sim_->Spawn(TerminalLoop(rng.Fork(static_cast<uint64_t>(t))));
@@ -118,10 +164,13 @@ AccessPlan* System::AcquirePlan() {
   plan_storage_.push_back(std::make_unique<AccessPlan>());
   AccessPlan* p = plan_storage_.back().get();
   // Size the page vectors for the worst case up front (a full scan of the
-  // largest fragment) so a pooled plan never reallocates mid-run.
+  // largest fragment, over every bound relation) so a pooled plan never
+  // reallocates mid-run.
   int64_t max_pages = 0;
-  for (int s = 0; s < catalog_->num_slices(); ++s) {
-    max_pages = std::max(max_pages, catalog_->store(s).data_pages());
+  for (const RelationBinding& rb : bindings_) {
+    for (int s = 0; s < rb.catalog->num_slices(); ++s) {
+      max_pages = std::max(max_pages, rb.catalog->store(s).data_pages());
+    }
   }
   p->data_pages.reserve(static_cast<size_t>(max_pages) + 8);
   p->index_pages.reserve(static_cast<size_t>(max_pages) + 8);
@@ -131,6 +180,94 @@ AccessPlan* System::AcquirePlan() {
 void System::ReleasePlan(AccessPlan* plan) {
   plan->clear();
   plan_free_.push_back(plan);
+}
+
+System::QueryScratch* System::AcquireScratch() {
+  if (!scratch_free_.empty()) {
+    QueryScratch* s = scratch_free_.back();
+    scratch_free_.pop_back();
+    return s;
+  }
+  scratch_storage_.push_back(std::make_unique<QueryScratch>());
+  return scratch_storage_.back().get();
+}
+
+void System::ReleaseScratch(QueryScratch* scratch) {
+  scratch_free_.push_back(scratch);
+}
+
+void System::AdmitArrival() {
+  metrics_.RecordArrival();
+  if (config_.audit != nullptr) config_.audit->OnQueryArrival();
+  if (open_in_flight_ >= config_.open->max_in_flight()) {
+    metrics_.RecordShed();
+    if (config_.audit != nullptr) config_.audit->OnQueryShed();
+    return;
+  }
+  ++open_in_flight_;
+  sim_->Spawn(OpenSession(opengen_->Next()));
+}
+
+sim::Task<> System::OpenArrivalLoop(RandomStream rng) {
+  const workload::OpenPlan& plan = *config_.open;
+  size_t next_burst = 0;
+  for (;;) {
+    const double now = sim_->now();
+    while (next_burst < plan.bursts().size() &&
+           plan.bursts()[next_burst].at_ms <= now) {
+      for (int i = 0; i < plan.bursts()[next_burst].count; ++i) {
+        AdmitArrival();
+      }
+      ++next_burst;
+    }
+    const double rate = plan.RateAt(now);
+    const double boundary = plan.NextBoundaryAfter(now);
+    if (rate <= 0.0) {
+      if (std::isinf(boundary)) co_return;  // nothing will ever arrive again
+      co_await sim_->WaitFor(boundary - now);
+      continue;
+    }
+    const double gap_ms = rng.Exponential(1000.0 / rate);
+    if (!std::isinf(boundary) && now + gap_ms >= boundary) {
+      // The schedule changes first: jump to the boundary and redraw there.
+      // Exponential gaps are memoryless, so discarding the draw is exact.
+      co_await sim_->WaitFor(boundary - now);
+      continue;
+    }
+    co_await sim_->WaitFor(gap_ms);
+    AdmitArrival();
+  }
+}
+
+sim::Task<> System::OpenSession(workload::QueryInstance q) {
+  // One query's worth of TerminalLoop's body: no loop, no think time; the
+  // arrival process (not a completion) decides when the next query starts.
+  QueryScratch* scratch = AcquireScratch();
+  const sim::SimTime start = sim_->now();
+  obs::QueryObs qo{config_.probe, next_query_id_++, 0, {}};
+  qo.span = obs::BeginSpan(&qo, "query", obs::Component::kQuery, host_node(),
+                           start);
+  if (config_.audit != nullptr) config_.audit->OnQuerySubmitted();
+  const Status st = co_await ExecuteQuery(q, scratch, &qo);
+  obs::EndSpan(&qo, qo.span, sim_->now());
+  if (config_.probe != nullptr) config_.probe->ClearContext();
+  if (st.ok()) {
+    metrics_.RecordCompletion(q.class_index, sim_->now() - start,
+                              config_.probe != nullptr ? &qo.costs : nullptr);
+    if (config_.recovery != nullptr) {
+      config_.recovery->OnQueryCompleted(sim_->now(), sim_->now() - start);
+    }
+    if (config_.audit != nullptr) {
+      config_.audit->OnQueryCompleted(
+          qo.query, sim_->now() - start,
+          config_.probe != nullptr ? &qo.costs : nullptr);
+    }
+  } else {
+    metrics_.RecordFailure(q.class_index);
+    if (config_.audit != nullptr) config_.audit->OnQueryFailed(qo.query);
+  }
+  ReleaseScratch(scratch);
+  --open_in_flight_;
 }
 
 sim::Task<> System::TerminalLoop(RandomStream rng) {
@@ -185,6 +322,8 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   const Predicate pred{q.attr, q.lo, q.hi};
   const bool scan =
       workload_->classes[static_cast<size_t>(q.class_index)].sequential_scan;
+  const int rel = q.relation;
+  const RelationBinding& rb = bindings_[static_cast<size_t>(rel)];
 
   // The query manager (host node) dispatches the query to its scheduler
   // process, allocated round-robin over the operator nodes (the *current*
@@ -205,7 +344,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   // Scheduler: build the plan; MAGIC pays the grid-directory search.
   hw::Cpu& coord_cpu = machine_->node(coord).cpu();
   const double plan_ms = config_.hw.InstrMs(config_.costs.plan_instructions) +
-                         partitioning_->PlanningCpuMs(pred);
+                         rb.partitioning->PlanningCpuMs(pred);
   const uint64_t plan_span = obs::BeginSpan(
       qo, "plan", obs::Component::kScheduler, coord, sim_->now());
   obs::ArmHw(qo, plan_span);
@@ -213,7 +352,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   obs::EndSpan(qo, plan_span, sim_->now());
   DECLUST_CO_RETURN_NOT_OK(plan_st);
 
-  partitioning_->SitesForInto(pred, &scratch->sites);
+  rb.partitioning->SitesForInto(pred, &scratch->sites);
   const decluster::PlanSites& sites = scratch->sites;
   if (config_.audit != nullptr) {
     config_.audit->OnQueryActivation(qo->query, sites.aux_nodes,
@@ -225,7 +364,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   if (!sites.aux_nodes.empty()) {
     sim::JoinCounter aux_join(sim_, static_cast<int>(sites.aux_nodes.size()));
     for (int node : sites.aux_nodes) {
-      sim_->Spawn(RunAuxSite(coord, node, pred, &ctx, &aux_join, qo));
+      sim_->Spawn(RunAuxSite(rel, coord, node, pred, &ctx, &aux_join, qo));
     }
     co_await aux_join.Wait();
     DECLUST_CO_RETURN_NOT_OK(ctx.status);
@@ -237,7 +376,7 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
     ctx.serving.assign(sites.data_nodes.size(), -1);
     sim::JoinCounter join(sim_, static_cast<int>(sites.data_nodes.size()));
     for (size_t i = 0; i < sites.data_nodes.size(); ++i) {
-      sim_->Spawn(RunDataSite(coord, i, sites.data_nodes[i], pred, scan,
+      sim_->Spawn(RunDataSite(rel, coord, i, sites.data_nodes[i], pred, scan,
                               &ctx, &join, qo));
     }
     co_await join.Wait();
@@ -268,10 +407,10 @@ sim::Task<Status> System::ExecuteQuery(workload::QueryInstance q,
   co_return Status::OK();
 }
 
-sim::Task<> System::RunDataSite(int coord, size_t site_idx, int slice,
-                                Predicate pred, bool sequential_scan,
-                                QueryContext* ctx, sim::JoinCounter* join,
-                                obs::QueryObs* qo) {
+sim::Task<> System::RunDataSite(int rel, int coord, size_t site_idx,
+                                int slice, Predicate pred,
+                                bool sequential_scan, QueryContext* ctx,
+                                sim::JoinCounter* join, obs::QueryObs* qo) {
   // Give the site its own handle: sibling sites interleave, so they must
   // not share the parent's span cursor or probe-arming window. Costs are
   // merged before the join fires (while the parent still awaits it).
@@ -283,19 +422,20 @@ sim::Task<> System::RunDataSite(int coord, size_t site_idx, int slice,
   }
   if (config_.audit != nullptr) config_.audit->OnSiteDispatched(slice);
   const Status st =
-      co_await DataSiteSelect(coord, site_idx, slice, pred, sequential_scan,
-                              ctx, sq);
+      co_await DataSiteSelect(rel, coord, site_idx, slice, pred,
+                              sequential_scan, ctx, sq);
   if (config_.audit != nullptr) config_.audit->OnSiteFinished(slice);
   if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
-sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx,
+sim::Task<Status> System::DataSiteSelect(int rel, int coord, size_t site_idx,
                                          int slice, Predicate pred,
                                          bool sequential_scan,
                                          QueryContext* ctx,
                                          obs::QueryObs* qo) {
+  const SystemCatalog& cat = *bindings_[static_cast<size_t>(rel)].catalog;
   // Scheduler-side work to activate this site.
   const uint64_t activate_span = obs::BeginSpan(
       qo, "site.activate", obs::Component::kScheduler, coord, sim_->now());
@@ -308,14 +448,15 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx,
   // Owner resolved at dispatch time: under an elastic plan the slice may
   // live on any member (OwnerOf is the identity otherwise).
   if (config_.resize != nullptr) metrics_.RecordSliceAccess(slice);
-  const int node = catalog_->OwnerOf(slice);
+  const int node = cat.OwnerOf(slice);
 
   // Built lazily: the message string would heap-allocate on every select,
   // and the happy path never reads it.
   Status primary;
   if (SiteUp(node)) {
-    primary = co_await RunSiteOnce(coord, node, slice, /*backup_read=*/false,
-                                   pred, sequential_scan, ctx, qo);
+    primary = co_await RunSiteOnce(rel, coord, node, slice,
+                                   /*backup_read=*/false, pred,
+                                   sequential_scan, ctx, qo);
     if (primary.ok()) {
       if (config_.audit != nullptr) {
         config_.audit->OnFragmentServe(
@@ -336,11 +477,11 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx,
   // while the dispatch was in flight (or its old owner was drained away).
   // One redirect to the freshly resolved owner, still deadline-bounded.
   if (config_.resize != nullptr && sim_->now() < ctx->deadline_ms) {
-    const int owner_now = catalog_->OwnerOf(slice);
+    const int owner_now = cat.OwnerOf(slice);
     if (owner_now != node && SiteUp(owner_now)) {
       config_.resize->OnMigrationRedirect();
       const Status st =
-          co_await RunSiteOnce(coord, owner_now, slice,
+          co_await RunSiteOnce(rel, coord, owner_now, slice,
                                /*backup_read=*/false, pred, sequential_scan,
                                ctx, qo);
       if (st.ok()) {
@@ -359,17 +500,17 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx,
   }
 
   // Primary lost: chained declustering places the backup on the next node.
-  if (!catalog_->has_backups()) co_return primary;
+  if (!cat.has_backups()) co_return primary;
   if (sim_->now() >= ctx->deadline_ms) {
     ++metrics_.faults().timeouts;
     co_return Status::DeadlineExceeded("deadline passed before failover");
   }
-  const int backup = catalog_->BackupNodeOf(slice);
+  const int backup = cat.BackupNodeOf(slice);
   if (!SiteUp(backup)) {
     co_return primary;  // both replicas down: the fragment is unreachable
   }
   ++metrics_.faults().failovers;
-  const Status st = co_await RunSiteOnce(coord, backup, slice,
+  const Status st = co_await RunSiteOnce(rel, coord, backup, slice,
                                          /*backup_read=*/true, pred,
                                          sequential_scan, ctx, qo);
   if (st.ok()) {
@@ -384,10 +525,11 @@ sim::Task<Status> System::DataSiteSelect(int coord, size_t site_idx,
   co_return st;
 }
 
-sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int slice,
-                                      bool backup_read, Predicate pred,
-                                      bool sequential_scan,
+sim::Task<Status> System::RunSiteOnce(int rel, int coord, int exec_node,
+                                      int slice, bool backup_read,
+                                      Predicate pred, bool sequential_scan,
                                       QueryContext* ctx, obs::QueryObs* qo) {
+  const SystemCatalog& cat = *bindings_[static_cast<size_t>(rel)].catalog;
   const uint64_t site_span = obs::BeginSpan(
       qo, "site", obs::Component::kQuery, exec_node, sim_->now());
   const uint64_t saved_span = qo != nullptr ? qo->span : 0;
@@ -409,9 +551,9 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int slice,
   // old extents stay valid through the flip — they are abandoned, never
   // invalidated — so reads planned pre-flip drain safely).
   if (!backup_read) {
-    catalog_->PlanAccessInto(slice, pred, sequential_scan, plan);
+    cat.PlanAccessInto(slice, pred, sequential_scan, plan);
   } else {
-    catalog_->PlanBackupAccessInto(slice, pred, sequential_scan, plan);
+    cat.PlanBackupAccessInto(slice, pred, sequential_scan, plan);
   }
 
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
@@ -438,7 +580,7 @@ sim::Task<Status> System::RunSiteOnce(int coord, int exec_node, int slice,
   co_return Status::OK();
 }
 
-sim::Task<> System::RunAuxSite(int coord, int slice, Predicate pred,
+sim::Task<> System::RunAuxSite(int rel, int coord, int slice, Predicate pred,
                                QueryContext* ctx, sim::JoinCounter* join,
                                obs::QueryObs* qo) {
   obs::QueryObs site_obs;
@@ -448,16 +590,17 @@ sim::Task<> System::RunAuxSite(int coord, int slice, Predicate pred,
     sq = &site_obs;
   }
   if (config_.audit != nullptr) config_.audit->OnSiteDispatched(slice);
-  const Status st = co_await AuxSiteLookup(coord, slice, pred, ctx, sq);
+  const Status st = co_await AuxSiteLookup(rel, coord, slice, pred, ctx, sq);
   if (config_.audit != nullptr) config_.audit->OnSiteFinished(slice);
   if (sq != nullptr) qo->costs += site_obs.costs;
   if (!st.ok()) ctx->Merge(st);
   join->CountDown();
 }
 
-sim::Task<Status> System::AuxSiteLookup(int coord, int slice, Predicate pred,
-                                        QueryContext* ctx,
+sim::Task<Status> System::AuxSiteLookup(int rel, int coord, int slice,
+                                        Predicate pred, QueryContext* ctx,
                                         obs::QueryObs* qo) {
+  const SystemCatalog& cat = *bindings_[static_cast<size_t>(rel)].catalog;
   const uint64_t activate_span = obs::BeginSpan(
       qo, "site.activate", obs::Component::kScheduler, coord, sim_->now());
   obs::ArmHw(qo, activate_span);
@@ -467,11 +610,11 @@ sim::Task<Status> System::AuxSiteLookup(int coord, int slice, Predicate pred,
   DECLUST_CO_RETURN_NOT_OK(activate_st);
 
   if (config_.resize != nullptr) metrics_.RecordSliceAccess(slice);
-  const int node = catalog_->OwnerOf(slice);
+  const int node = cat.OwnerOf(slice);
   Status primary = Status::Unavailable("primary aux site down");
   if (SiteUp(node)) {
-    primary = co_await AuxSiteOnce(coord, node, slice, /*backup_read=*/false,
-                                   pred, ctx, qo);
+    primary = co_await AuxSiteOnce(rel, coord, node, slice,
+                                   /*backup_read=*/false, pred, ctx, qo);
     if (primary.ok() && config_.audit != nullptr) {
       config_.audit->OnFragmentServe(
           slice, node, /*primary_read=*/true,
@@ -483,10 +626,10 @@ sim::Task<Status> System::AuxSiteLookup(int coord, int slice, Predicate pred,
   }
   // Migration-aware redirect, as in DataSiteSelect.
   if (config_.resize != nullptr && sim_->now() < ctx->deadline_ms) {
-    const int owner_now = catalog_->OwnerOf(slice);
+    const int owner_now = cat.OwnerOf(slice);
     if (owner_now != node && SiteUp(owner_now)) {
       config_.resize->OnMigrationRedirect();
-      const Status st = co_await AuxSiteOnce(coord, owner_now, slice,
+      const Status st = co_await AuxSiteOnce(rel, coord, owner_now, slice,
                                              /*backup_read=*/false, pred,
                                              ctx, qo);
       if (st.ok() && config_.audit != nullptr) {
@@ -499,21 +642,23 @@ sim::Task<Status> System::AuxSiteLookup(int coord, int slice, Predicate pred,
       primary = st;
     }
   }
-  if (!catalog_->has_backups()) co_return primary;
+  if (!cat.has_backups()) co_return primary;
   if (sim_->now() >= ctx->deadline_ms) {
     ++metrics_.faults().timeouts;
     co_return Status::DeadlineExceeded("deadline passed before aux failover");
   }
-  const int backup = catalog_->BackupNodeOf(slice);
+  const int backup = cat.BackupNodeOf(slice);
   if (!SiteUp(backup)) co_return primary;
   ++metrics_.faults().failovers;
-  co_return co_await AuxSiteOnce(coord, backup, slice, /*backup_read=*/true,
-                                 pred, ctx, qo);
+  co_return co_await AuxSiteOnce(rel, coord, backup, slice,
+                                 /*backup_read=*/true, pred, ctx, qo);
 }
 
-sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int slice,
-                                      bool backup_read, Predicate pred,
-                                      QueryContext* ctx, obs::QueryObs* qo) {
+sim::Task<Status> System::AuxSiteOnce(int rel, int coord, int exec_node,
+                                      int slice, bool backup_read,
+                                      Predicate pred, QueryContext* ctx,
+                                      obs::QueryObs* qo) {
+  const SystemCatalog& cat = *bindings_[static_cast<size_t>(rel)].catalog;
   const uint64_t site_span = obs::BeginSpan(
       qo, "site.aux", obs::Component::kQuery, exec_node, sim_->now());
   const uint64_t saved_span = qo != nullptr ? qo->span : 0;
@@ -530,9 +675,9 @@ sim::Task<Status> System::AuxSiteOnce(int coord, int exec_node, int slice,
   // Planned before the first await for the same flip-race reason as
   // RunSiteOnce.
   if (!backup_read) {
-    catalog_->PlanAuxAccessInto(slice, pred, plan);
+    cat.PlanAuxAccessInto(slice, pred, plan);
   } else {
-    catalog_->PlanBackupAuxAccessInto(slice, pred, plan);
+    cat.PlanBackupAuxAccessInto(slice, pred, plan);
   }
 
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(

@@ -34,6 +34,7 @@
 #include "src/hw/node.h"
 #include "src/obs/probe.h"
 #include "src/sim/fault.h"
+#include "src/workload/open.h"
 #include "src/workload/querygen.h"
 
 namespace declust::recover {
@@ -99,6 +100,21 @@ struct SystemConfig {
   /// Arm()s and Start()s the coordinator around Init()/Start(). When null,
   /// the default path pays one branch per hook site.
   resize::MigrationCoordinator* resize = nullptr;
+  /// Optional open-system plan (non-owning; must outlive the System). When
+  /// set (and non-empty), Start() spawns a Poisson/burst arrival process
+  /// instead of the closed terminals; multiprogramming_level is ignored and
+  /// the plan's admission cap bounds the in-flight queries. Incompatible
+  /// with `resize` (the elastic coordinator owns the closed loop's pacing).
+  const workload::OpenPlan* open = nullptr;
+  /// Additional relations for multi-relation open runs. Each gets its own
+  /// catalog whose extents live on the SAME simulated disks as the base
+  /// relation's, so their queries contend for the same spindles. Index i
+  /// here is QueryInstance::relation == i + 1; the base relation is 0.
+  struct ExtraRelation {
+    const storage::Relation* relation = nullptr;
+    const decluster::Partitioning* partitioning = nullptr;
+  };
+  std::vector<ExtraRelation> extra_relations;
 };
 
 /// \brief One simulated system instance bound to a Simulation.
@@ -153,6 +169,23 @@ class System {
   void ReleasePlan(AccessPlan* plan);
 
   sim::Task<> TerminalLoop(RandomStream rng);
+  /// Open-system driver: Poisson arrivals at the plan's (time-varying)
+  /// rate plus burst spikes; redraws the exponential gap at every schedule
+  /// boundary (memoryless, so the redraw is exact). Each admitted arrival
+  /// runs as an independent OpenSession; arrivals beyond the admission cap
+  /// are shed and counted.
+  sim::Task<> OpenArrivalLoop(RandomStream rng);
+  /// One open-system query: the body of a terminal iteration without the
+  /// loop or think time. Decrements the in-flight gauge when done.
+  sim::Task<> OpenSession(workload::QueryInstance q);
+  /// Admits or sheds one arrival (the cap check and the audit/metric hooks).
+  void AdmitArrival();
+
+  /// Pooled QueryScratch for open sessions (terminals keep theirs on the
+  /// loop frame): concurrent sessions interleave, so each borrows one.
+  QueryScratch* AcquireScratch();
+  void ReleaseScratch(QueryScratch* scratch);
+
   sim::Task<Status> ExecuteQuery(workload::QueryInstance q,
                                  QueryScratch* scratch, obs::QueryObs* qo);
 
@@ -162,29 +195,33 @@ class System {
   /// cursor or ArmHw through the same handle. `slice` is the partitioning
   /// fragment id; the node that executes it is resolved at dispatch time
   /// (the identity without an elastic plan).
-  sim::Task<> RunDataSite(int coord, size_t site_idx, int slice,
+  /// `rel` selects the relation binding (catalog + partitioning) the site
+  /// reads; 0 is the base relation, 1.. the open plan's extra relations.
+  sim::Task<> RunDataSite(int rel, int coord, size_t site_idx, int slice,
                           Predicate pred, bool sequential_scan,
                           QueryContext* ctx, sim::JoinCounter* join,
                           obs::QueryObs* qo);
   /// Runs one data site: resolves the slice's owner, retries once on the
   /// new owner if a migration flip raced the dispatch, and fails over to
   /// the chained backup if the primary is (or goes) down.
-  sim::Task<Status> DataSiteSelect(int coord, size_t site_idx, int slice,
-                                   Predicate pred, bool sequential_scan,
-                                   QueryContext* ctx, obs::QueryObs* qo);
+  sim::Task<Status> DataSiteSelect(int rel, int coord, size_t site_idx,
+                                   int slice, Predicate pred,
+                                   bool sequential_scan, QueryContext* ctx,
+                                   obs::QueryObs* qo);
   /// One select execution at `exec_node` reading `slice`'s primary
   /// fragment (or its backup copy when `backup_read`).
-  sim::Task<Status> RunSiteOnce(int coord, int exec_node, int slice,
+  sim::Task<Status> RunSiteOnce(int rel, int coord, int exec_node, int slice,
                                 bool backup_read, Predicate pred,
                                 bool sequential_scan, QueryContext* ctx,
                                 obs::QueryObs* qo);
 
-  sim::Task<> RunAuxSite(int coord, int slice, Predicate pred,
+  sim::Task<> RunAuxSite(int rel, int coord, int slice, Predicate pred,
                          QueryContext* ctx, sim::JoinCounter* join,
                          obs::QueryObs* qo);
-  sim::Task<Status> AuxSiteLookup(int coord, int slice, Predicate pred,
-                                  QueryContext* ctx, obs::QueryObs* qo);
-  sim::Task<Status> AuxSiteOnce(int coord, int exec_node, int slice,
+  sim::Task<Status> AuxSiteLookup(int rel, int coord, int slice,
+                                  Predicate pred, QueryContext* ctx,
+                                  obs::QueryObs* qo);
+  sim::Task<Status> AuxSiteOnce(int rel, int coord, int exec_node, int slice,
                                 bool backup_read, Predicate pred,
                                 QueryContext* ctx, obs::QueryObs* qo);
 
@@ -206,6 +243,20 @@ class System {
   std::vector<std::unique_ptr<AccessPlan>> plan_storage_;
   std::vector<AccessPlan*> plan_free_;
   Metrics metrics_;
+
+  /// Per-relation planning state; [0] aliases catalog_/partitioning_, the
+  /// rest are the open plan's extra relations (their catalogs share the
+  /// base relation's disks).
+  struct RelationBinding {
+    const decluster::Partitioning* partitioning = nullptr;
+    SystemCatalog* catalog = nullptr;
+  };
+  std::vector<RelationBinding> bindings_;
+  std::vector<std::unique_ptr<SystemCatalog>> extra_catalogs_;
+  std::unique_ptr<workload::OpenQueryGenerator> opengen_;
+  std::vector<std::unique_ptr<QueryScratch>> scratch_storage_;
+  std::vector<QueryScratch*> scratch_free_;
+  int open_in_flight_ = 0;
 };
 
 }  // namespace declust::engine

@@ -12,6 +12,7 @@
 #include "src/recover/plan.h"
 #include "src/resize/plan.h"
 #include "src/sim/fault.h"
+#include "src/workload/open.h"
 
 namespace declust::exp {
 
@@ -148,6 +149,31 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
     return invalid(
         "recovery spec requires a fault spec (nothing to repair without a "
         "disk failure)");
+  }
+  if (!config.open.empty()) {
+    auto oplan = workload::OpenPlan::Parse(config.open);
+    if (!oplan.ok()) {
+      return invalid("open spec: " + oplan.status().message());
+    }
+    const Status os = oplan->Validate();
+    if (!os.ok()) {
+      return invalid("open spec: " + os.message());
+    }
+    // The recovery/resize coordinators assume the closed loop's pacing
+    // (terminals back off around failures; the migrator owns the load
+    // during drains); the open driver replaces that loop entirely.
+    if (!config.recovery.empty() || !config.resize.empty()) {
+      return invalid("an open-system spec cannot combine with a recovery "
+                     "or resize spec");
+    }
+    for (double load : config.offered_loads) {
+      if (!(load > 0)) {  // also rejects NaN
+        return invalid("every offered load must be > 0, got " +
+                       std::to_string(load));
+      }
+    }
+  } else if (!config.offered_loads.empty()) {
+    return invalid("offered loads require an open spec (--open)");
   }
   return Status::OK();
 }

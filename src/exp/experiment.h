@@ -51,6 +51,19 @@ struct ExperimentConfig {
   /// logical slice count. Empty = no resize subsystem armed; reports and
   /// digests then keep their exact pre-resize format.
   std::string resize;
+  /// Open-system workload spec (workload::OpenPlan::Parse grammar, e.g.
+  /// "rate:200;zipf:0.8;relation:card=50000,weight=0.5;cap:256"). When set,
+  /// every replication drives the engine with Poisson/burst arrivals
+  /// instead of the closed terminals, and the sweep levels are the entries
+  /// of `offered_loads` (the MPL list is ignored). Incompatible with a
+  /// recovery or resize spec. Empty = closed loop; reports and digests then
+  /// keep their exact pre-open format.
+  std::string open;
+  /// Offered arrival rates (queries/sec) swept when `open` is set: each
+  /// level re-runs the plan with its rate schedule replaced by that constant
+  /// rate (OpenPlan::OverrideConstantRate). Empty = a single sweep level
+  /// running the plan's own (possibly time-varying) schedule.
+  std::vector<double> offered_loads;
   /// Worker threads for the windowed in-run simulation driver
   /// (sim::ParallelScheduler). 1 = plain serial event loop. The engine's
   /// figure-7 model couples nodes via zero-latency shared state, so a
@@ -64,6 +77,9 @@ struct ExperimentConfig {
 /// `repeats` replications; the *_ci95 fields carry the 95% confidence
 /// half-width across replications (0 when repeats == 1).
 struct SweepPoint {
+  /// The sweep level: the multiprogramming level for closed-loop runs, the
+  /// index into ExperimentConfig::offered_loads for open-system runs (whose
+  /// load itself is in `offered_qps`).
   int mpl = 0;
   double throughput_qps = 0;
   double throughput_ci95 = 0;
@@ -128,6 +144,18 @@ struct SweepPoint {
   int64_t migration_redirects = 0;
   int64_t rebalance_moves = 0;
   int final_members = 0;
+  /// Open-system columns, populated only for --open runs
+  /// (SweepResult::has_open). `offered_qps` is the nominal arrival rate of
+  /// this sweep level (the measured rate when the plan's own schedule ran);
+  /// `arrivals` / `shed` count the measurement window, averaged (rounded)
+  /// across replications. `p99_response_ms` is -1 when no replication
+  /// completed a query inside the window (a paused or fully shed system) —
+  /// a well-defined blank, never a fabricated 0 or NaN.
+  bool has_open = false;
+  double offered_qps = 0;
+  int64_t arrivals = 0;
+  int64_t shed = 0;
+  double p99_response_ms = -1;
 };
 
 /// \brief One strategy's curve across the MPL sweep.
@@ -163,6 +191,10 @@ struct SweepResult {
   /// True when the sweep ran with an elastic-membership plan armed; the
   /// resize columns of every point are meaningful (and reports print them).
   bool has_resize = false;
+  /// True when the sweep ran with an open-system plan armed; the open
+  /// columns of every point are meaningful, reports print offered load in
+  /// place of MPL, and the oracle validates every extra relation too.
+  bool has_open = false;
   /// True when a SIGINT/SIGTERM interrupt stopped the sweep early; only
   /// the sweep points whose replications all completed are present, and
   /// the manifest carries an `interrupted` marker.
@@ -172,10 +204,12 @@ struct SweepResult {
 /// Rejects configs that would run a meaningless (or crashing) sweep:
 /// num_processors/cardinality/repeats < 1, negative warmup, non-positive
 /// measurement window, correlation outside [0, 1], empty or non-positive
-/// MPL list, empty strategy list, and fault specs that do not parse or that
-/// target a node outside [0, num_processors). Called by RunThroughputSweep
-/// and RunExplain after quick-mode is applied, so every entry point fails
-/// fast with a diagnostic instead of dividing by zero mid-sweep.
+/// MPL list, empty strategy list, fault specs that do not parse or that
+/// target a node outside [0, num_processors), open specs that do not parse
+/// or combine with recovery/resize, and non-positive offered loads. Called
+/// by RunThroughputSweep and RunExplain after quick-mode is applied, so
+/// every entry point fails fast with a diagnostic instead of dividing by
+/// zero mid-sweep.
 Status ValidateExperimentConfig(const ExperimentConfig& config);
 
 /// Builds a partitioning by strategy name ("range", "hash", "BERD",

@@ -25,7 +25,9 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
     }
   }
 
-  os << std::setw(6) << "MPL";
+  // Open sweeps are indexed by offered load (q/s), closed sweeps by MPL;
+  // the closed header/rows stay byte-identical to the pre-open format.
+  os << std::setw(6) << (result.has_open ? "load" : "MPL");
   for (const auto& curve : result.curves) {
     os << std::setw(12) << (curve.strategy + " q/s");
   }
@@ -37,7 +39,12 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
   const size_t rows =
       result.curves.empty() ? 0 : result.curves[0].points.size();
   for (size_t r = 0; r < rows; ++r) {
-    os << std::setw(6) << result.curves[0].points[r].mpl;
+    if (result.has_open) {
+      os << std::setw(6) << std::fixed << std::setprecision(0)
+         << result.curves[0].points[r].offered_qps;
+    } else {
+      os << std::setw(6) << result.curves[0].points[r].mpl;
+    }
     os << std::fixed << std::setprecision(1);
     for (const auto& curve : result.curves) {
       os << std::setw(12) << curve.points[r].throughput_qps;
@@ -61,6 +68,26 @@ void PrintThroughputTable(std::ostream& os, const SweepResult& result) {
          << p.comp_cpu_ms << ", network " << p.comp_network_ms << ", queue "
          << p.comp_queue_ms << ", unattributed " << p.comp_unattributed_ms
          << "\n";
+    }
+  }
+
+  // Open-system summary at the top offered load: arrivals vs completions
+  // and the shed count make saturation visible (throughput flattens while
+  // arrivals keep climbing). p99 of an idle window prints as a blank.
+  if (result.has_open) {
+    os << "open system: " << result.config.open << "\n";
+    for (const auto& curve : result.curves) {
+      if (curve.points.empty()) continue;
+      const SweepPoint& p = curve.points.back();
+      os << "  " << curve.strategy << " @ " << std::fixed
+         << std::setprecision(1) << p.offered_qps << " q/s offered: arrivals "
+         << p.arrivals << ", shed " << p.shed << ", p99 ";
+      if (p.p99_response_ms >= 0) {
+        os << p.p99_response_ms << " ms";
+      } else {
+        os << "-";
+      }
+      os << "\n";
     }
   }
 
@@ -89,6 +116,7 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
   const bool components = result.has_components;
   const bool recovery = result.has_recovery;
   const bool rz = result.has_resize;
+  const bool open = result.has_open;
   // A resize plan with K membership events yields 2K+1 phases; every point
   // of a sweep shares the plan, so the first point fixes the column count.
   size_t rz_phases = 0;
@@ -125,6 +153,9 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
     for (size_t ph = 0; ph < rz_phases; ++ph) {
       os << ",rz_phase" << ph << "_resp_ms";
     }
+  }
+  if (open) {
+    os << ",offered_qps,arrivals,shed,p99_response_ms";
   }
   os << "\n";
   for (const auto& curve : result.curves) {
@@ -166,6 +197,13 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
                             ? p.resize_phase_resp_ms[ph] : 0.0);
         }
       }
+      if (open) {
+        os << "," << p.offered_qps << "," << p.arrivals << "," << p.shed
+           << ",";
+        // An idle window has no p99: emit a well-defined blank field, never
+        // the -1 sentinel or a fabricated quantile.
+        if (p.p99_response_ms >= 0) os << p.p99_response_ms;
+      }
       os << "\n";
     }
   }
@@ -174,11 +212,18 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
 void PrintGnuplotData(std::ostream& os, const SweepResult& result) {
   os << "# " << result.config.name << " (correlation "
      << result.config.correlation << ")\n";
-  os << "# columns: mpl throughput_qps ci95 mean_response_ms p95_ms\n";
+  // Open sweeps plot against offered load; closed sweeps against MPL.
+  os << "# columns: " << (result.has_open ? "offered_qps" : "mpl")
+     << " throughput_qps ci95 mean_response_ms p95_ms\n";
   for (const auto& curve : result.curves) {
     os << "# strategy: " << curve.strategy << "\n";
     for (const auto& p : curve.points) {
-      os << p.mpl << " " << p.throughput_qps << " " << p.throughput_ci95
+      if (result.has_open) {
+        os << p.offered_qps;
+      } else {
+        os << p.mpl;
+      }
+      os << " " << p.throughput_qps << " " << p.throughput_ci95
          << " " << p.mean_response_ms << " " << p.p95_response_ms << "\n";
     }
     os << "\n\n";

@@ -27,16 +27,17 @@
 #include "src/resize/plan.h"
 #include "src/sim/fault.h"
 #include "src/sim/parallel.h"
+#include "src/workload/open.h"
 
 namespace declust::exp {
 
-Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
-                                    const storage::Relation& relation,
-                                    const decluster::Partitioning& partitioning,
-                                    const workload::Workload& workload,
-                                    int mpl, int rep, obs::Probe* probe,
-                                    std::string* metrics_json,
-                                    audit::Auditor* auditor) {
+Result<RepMetrics> RunSweepPointRep(
+    const ExperimentConfig& config, const storage::Relation& relation,
+    const decluster::Partitioning& partitioning,
+    const workload::Workload& workload,
+    int mpl, int rep, obs::Probe* probe, std::string* metrics_json,
+    audit::Auditor* auditor,
+    const std::vector<engine::SystemConfig::ExtraRelation>* extra_relations) {
   sim::Simulation sim;
   if (auditor != nullptr) sim.SetAuditHook(auditor);
   engine::SystemConfig sys_config;
@@ -84,6 +85,23 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
         &resize_plan, config.num_processors);
     sys_config.hw.num_processors = migrator->num_physical_nodes();
     sys_config.resize = migrator.get();
+  }
+  // The open plan, like the fault/recovery/resize plans, is parsed on this
+  // frame per replication; an offered-load sweep level replaces its rate
+  // schedule with that level's constant rate. `mpl` is the level INDEX for
+  // open runs, so the seed formula above keys closed and open runs alike.
+  workload::OpenPlan open_plan;
+  if (!config.open.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(open_plan,
+                             workload::OpenPlan::Parse(config.open));
+    if (!config.offered_loads.empty()) {
+      open_plan.OverrideConstantRate(
+          config.offered_loads[static_cast<size_t>(mpl)]);
+    }
+    sys_config.open = &open_plan;
+    if (extra_relations != nullptr) {
+      sys_config.extra_relations = *extra_relations;
+    }
   }
   const int physical_nodes = sys_config.hw.num_processors;
   engine::System system(&sim, sys_config, &relation, &partitioning,
@@ -200,6 +218,22 @@ Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
     m.rebuilds_completed = coordinator->rebuilds_completed();
     m.rebuilds_aborted = coordinator->rebuilds_aborted();
   }
+  if (!config.open.empty()) {
+    m.has_open = true;
+    m.arrivals = system.metrics().open_arrivals();
+    m.shed = system.metrics().open_shed();
+    // The nominal level rate when sweeping offered loads; the measured
+    // arrival rate when the plan's own (time-varying) schedule ran.
+    m.offered_qps =
+        config.offered_loads.empty()
+            ? static_cast<double>(m.arrivals) / (config.measure_ms / 1e3)
+            : config.offered_loads[static_cast<size_t>(mpl)];
+    // An idle window has no response mass; -1 marks the blank (a histogram
+    // quantile over zero samples would fabricate the lowest bucket edge).
+    m.p99_response_ms = system.metrics().completed_in_window() > 0
+                            ? system.metrics().ResponseQuantileMs(0.99)
+                            : -1;
+  }
   if (migrator != nullptr) {
     m.has_resize = true;
     const std::vector<resize::ResizePhaseWindow> phases =
@@ -264,9 +298,14 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   std::vector<Accumulator> rz_qps, rz_resp;
   Accumulator rz_migrations, rz_aborts, rz_pages, rz_redirects, rz_moves;
   Accumulator rz_members;
+  // Open-system columns: p99 averages only the replications whose window
+  // completed queries (-1 sentinels would poison the mean, exactly like the
+  // recovery boundary timestamps above).
+  Accumulator op_offered, op_arrivals, op_shed, op_p99;
   bool has_components = false;
   bool has_recovery = false;
   bool has_resize = false;
+  bool has_open = false;
   for (int r = 0; r < num_reps; ++r) {
     qps.Add(reps[r].throughput_qps);
     mean_resp.Add(reps[r].mean_response_ms);
@@ -322,6 +361,15 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
       rz_moves.Add(static_cast<double>(reps[r].rebalance_moves));
       rz_members.Add(static_cast<double>(reps[r].final_members));
     }
+    if (reps[r].has_open) {
+      has_open = true;
+      op_offered.Add(reps[r].offered_qps);
+      op_arrivals.Add(static_cast<double>(reps[r].arrivals));
+      op_shed.Add(static_cast<double>(reps[r].shed));
+      if (reps[r].p99_response_ms >= 0) {
+        op_p99.Add(reps[r].p99_response_ms);
+      }
+    }
   }
   SweepPoint point;
   point.mpl = mpl;
@@ -375,6 +423,13 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
     point.migration_redirects = std::llround(rz_redirects.mean());
     point.rebalance_moves = std::llround(rz_moves.mean());
     point.final_members = static_cast<int>(std::llround(rz_members.mean()));
+  }
+  if (has_open) {
+    point.has_open = true;
+    point.offered_qps = op_offered.mean();
+    point.arrivals = std::llround(op_arrivals.mean());
+    point.shed = std::llround(op_shed.mean());
+    point.p99_response_ms = op_p99.empty() ? -1 : op_p99.mean();
   }
   return point;
 }
@@ -433,6 +488,16 @@ std::string PointDigestKey(const std::string& strategy, const SweepPoint& p) {
       key += zbuf;
     }
   }
+  if (p.has_open) {
+    // Open-system fields join the digest only when an open plan is armed,
+    // so closed-loop manifests keep their exact pre-open fingerprints.
+    char obuf[192];
+    std::snprintf(obuf, sizeof(obuf),
+                  "|open=%.17g|arr=%lld|shed=%lld|p99=%.17g",
+                  p.offered_qps, static_cast<long long>(p.arrivals),
+                  static_cast<long long>(p.shed), p.p99_response_ms);
+    key += obuf;
+  }
   return key;
 }
 
@@ -481,6 +546,13 @@ obs::Manifest BuildSweepManifest(const SweepResult& result, int jobs) {
   if (!cfg.resize.empty()) {
     manifest.params.push_back({"resize", '"' + cfg.resize + '"'});
   }
+  if (!cfg.open.empty()) {
+    manifest.params.push_back({"open", '"' + cfg.open + '"'});
+    if (!cfg.offered_loads.empty()) {
+      manifest.params.push_back({"offered_loads",
+                                 JsonArray(cfg.offered_loads)});
+    }
+  }
   if (result.interrupted) {
     manifest.params.push_back({"interrupted", "true"});
   }
@@ -488,9 +560,17 @@ obs::Manifest BuildSweepManifest(const SweepResult& result, int jobs) {
   for (const auto& curve : result.curves) {
     for (const auto& p : curve.points) {
       const std::string key = PointDigestKey(curve.strategy, p);
-      manifest.points.push_back(obs::ManifestPoint{
-          curve.strategy + "/mpl=" + std::to_string(p.mpl),
-          obs::Fnv1a64(key)});
+      std::string point_name;
+      if (p.has_open) {
+        char nb[96];
+        std::snprintf(nb, sizeof(nb), "%s/load=%g", curve.strategy.c_str(),
+                      p.offered_qps);
+        point_name = nb;
+      } else {
+        point_name = curve.strategy + "/mpl=" + std::to_string(p.mpl);
+      }
+      manifest.points.push_back(
+          obs::ManifestPoint{std::move(point_name), obs::Fnv1a64(key)});
       all += key;
       all += '\n';
     }
@@ -505,6 +585,51 @@ struct JobWatch {
   std::atomic<double> started_s{-1.0};
   std::atomic<bool> done{false};
 };
+
+/// Shared read-only inputs of an open-system sweep beyond the base
+/// relation: the plan's extra relations (built once, like the base) and,
+/// per strategy, the partitionings over them. The engine puts every extra
+/// relation's catalog on the base relation's disks, so only the
+/// partitionings differ by strategy.
+struct OpenInputs {
+  std::vector<storage::Relation> relations;
+  /// parts[s][e] owns strategy s's partitioning of extra relation e.
+  std::vector<std::vector<std::unique_ptr<decluster::Partitioning>>> parts;
+  /// views[s] is the ExtraRelation list handed to strategy s's replications.
+  std::vector<std::vector<engine::SystemConfig::ExtraRelation>> views;
+};
+
+Result<OpenInputs> BuildOpenInputs(const ExperimentConfig& config,
+                                   const workload::Workload& wl,
+                                   int num_slices) {
+  OpenInputs inputs;
+  DECLUST_ASSIGN_OR_RETURN(const workload::OpenPlan plan,
+                           workload::OpenPlan::Parse(config.open));
+  const auto& specs = plan.extra_relations();
+  inputs.relations.reserve(specs.size());
+  for (size_t e = 0; e < specs.size(); ++e) {
+    workload::WisconsinOptions wopts;
+    wopts.cardinality = specs[e].cardinality;
+    wopts.correlation = specs[e].correlation;
+    // Offset seeds keep every relation's value streams distinct while the
+    // whole input set stays a pure function of the config seed.
+    wopts.seed = config.seed + 100 + e;
+    inputs.relations.push_back(workload::MakeWisconsin(wopts));
+  }
+  inputs.parts.resize(config.strategies.size());
+  inputs.views.resize(config.strategies.size());
+  for (size_t s = 0; s < config.strategies.size(); ++s) {
+    for (size_t e = 0; e < inputs.relations.size(); ++e) {
+      DECLUST_ASSIGN_OR_RETURN(
+          auto p, MakePartitioning(config.strategies[s], inputs.relations[e],
+                                   wl, num_slices));
+      inputs.views[s].push_back(engine::SystemConfig::ExtraRelation{
+          &inputs.relations[e], p.get()});
+      inputs.parts[s].push_back(std::move(p));
+    }
+  }
+  return inputs;
+}
 
 }  // namespace
 
@@ -534,10 +659,30 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     partitionings.push_back(std::move(p));
   }
 
-  // Flat job list over (strategy, mpl, rep); slot `JobIndex` of the results
-  // array belongs to exactly one job, so workers never contend.
+  // Open-mode shared inputs (the plan's extra relations plus per-strategy
+  // partitionings over them), built once like the base relation.
+  const bool open_mode = !config.open.empty();
+  OpenInputs open_inputs;
+  if (open_mode) {
+    DECLUST_ASSIGN_OR_RETURN(open_inputs,
+                             BuildOpenInputs(config, wl, num_slices));
+  }
+
+  // Flat job list over (strategy, level, rep); slot `JobIndex` of the
+  // results array belongs to exactly one job, so workers never contend.
   const size_t num_strategies = config.strategies.size();
-  const size_t num_mpls = config.mpls.size();
+  // Sweep levels: the MPL list normally; the offered-load list under an
+  // open plan (a single level running the plan's own schedule when no
+  // offered loads were given).
+  const size_t num_mpls = open_mode
+                              ? std::max<size_t>(1, config.offered_loads.size())
+                              : config.mpls.size();
+  // The level value reported and passed to the replication: the MPL for
+  // closed runs, the level index for open runs (RunSweepPointRep maps it
+  // back to the offered load).
+  const auto level_value = [&](size_t m) {
+    return open_mode ? static_cast<int>(m) : config.mpls[m];
+  };
   const int reps = std::max(1, config.repeats);
   const size_t num_jobs =
       num_strategies * num_mpls * static_cast<size_t>(reps);
@@ -591,9 +736,10 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
         auditor = auditors[idx].get();
       }
       auto res = RunSweepPointRep(
-          config, relation, *partitionings[s], wl, config.mpls[m], r,
+          config, relation, *partitionings[s], wl, level_value(m), r,
           options.collect_components || options.audit ? &probe : nullptr,
-          /*metrics_json=*/nullptr, auditor);
+          /*metrics_json=*/nullptr, auditor,
+          open_mode ? &open_inputs.views[s] : nullptr);
       if (res.ok()) {
         rep_metrics[idx] = *res;
       } else {
@@ -635,9 +781,9 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
             const size_t r = rem % static_cast<size_t>(reps);
             std::fprintf(stderr,
                          "[runner watchdog] replication (strategy=%s, "
-                         "mpl=%d, rep=%zu) still running after %.0f s — "
+                         "level=%d, rep=%zu) still running after %.0f s — "
                          "possibly hung\n",
-                         config.strategies[s].c_str(), config.mpls[m], r,
+                         config.strategies[s].c_str(), level_value(m), r,
                          now_s - started);
           }
         }
@@ -684,6 +830,7 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
   result.has_components = options.collect_components;
   result.has_recovery = !config.recovery.empty();
   result.has_resize = !config.resize.empty();
+  result.has_open = open_mode;
   result.interrupted = interrupted;
   // On an interrupted run an MPL row joins the result only when every
   // replication of every strategy at that MPL finished: a partial aggregate
@@ -704,7 +851,7 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
     for (size_t m = 0; m < num_mpls; ++m) {
       if (mpl_complete[m] == 0) continue;
       curve.points.push_back(AggregatePoint(
-          config.mpls[m], &rep_metrics[job_index(s, m, 0)], reps));
+          level_value(m), &rep_metrics[job_index(s, m, 0)], reps));
     }
     result.curves.push_back(std::move(curve));
   }
@@ -724,9 +871,9 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
           for (const std::string& msg : a->messages()) {
             if (result.audit_messages.size() >= kMaxMessages) break;
             result.audit_messages.push_back(
-                config.strategies[s] + "/mpl=" +
-                std::to_string(config.mpls[m]) + "/rep=" + std::to_string(r) +
-                ": " + msg);
+                config.strategies[s] + (open_mode ? "/level=" : "/mpl=") +
+                std::to_string(level_value(m)) + "/rep=" +
+                std::to_string(r) + ": " + msg);
           }
         }
       }
@@ -750,6 +897,27 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
       for (const std::string& msg : oracle.messages) {
         if (result.audit_messages.size() >= kMaxMessages) break;
         result.audit_messages.push_back("oracle: " + msg);
+      }
+      // Open multi-relation runs: validate every extra relation's
+      // partitionings against its own reference executor too.
+      for (size_t e = 0; e < open_inputs.relations.size(); ++e) {
+        std::vector<const decluster::Partitioning*> eparts;
+        eparts.reserve(num_strategies);
+        for (size_t s = 0; s < num_strategies; ++s) {
+          eparts.push_back(open_inputs.parts[s][e].get());
+        }
+        const audit::OracleReport orep = audit::RunOracle(
+            open_inputs.relations[e], eparts, wl,
+            workload::WisconsinAttrs::kUnique1,
+            workload::WisconsinAttrs::kUnique2, oracle_opts);
+        result.oracle_queries += orep.queries;
+        result.oracle_checks += orep.checks;
+        result.oracle_mismatches += orep.mismatches;
+        for (const std::string& msg : orep.messages) {
+          if (result.audit_messages.size() >= kMaxMessages) break;
+          result.audit_messages.push_back(
+              "oracle[rel" + std::to_string(e + 1) + "]: " + msg);
+        }
       }
     }
   }
@@ -778,14 +946,27 @@ Status RunExplain(const ExperimentConfig& raw_config,
       auto partitioning,
       MakePartitioning(config.strategies.front(), relation, wl, num_slices));
 
+  // Open configs trace the first offered-load level (index 0) instead of
+  // the first MPL, with the extra relations built exactly as the sweep
+  // builds them.
+  OpenInputs open_inputs;
+  const std::vector<engine::SystemConfig::ExtraRelation>* extra = nullptr;
+  if (!config.open.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(open_inputs,
+                             BuildOpenInputs(config, wl, num_slices));
+    extra = &open_inputs.views.front();
+  }
+
   obs::Tracer tracer;
   obs::Probe probe(&tracer);
   std::string metrics_json;
   DECLUST_RETURN_NOT_OK(
       RunSweepPointRep(config, relation, *partitioning, wl,
-                       config.mpls.front(), /*rep=*/0, &probe,
+                       config.open.empty() ? config.mpls.front() : 0,
+                       /*rep=*/0, &probe,
                        options.metrics_json_path.empty() ? nullptr
-                                                         : &metrics_json)
+                                                         : &metrics_json,
+                       /*auditor=*/nullptr, extra)
           .status());
 
   // Render in memory, publish with WriteFileAtomic: a crash or interrupt
@@ -822,11 +1003,19 @@ Result<audit::DifferentialReport> RunAuditDifferential(
   // parallel variant genuinely concurrent simulations to reorder.
   config.strategies = {config.strategies.front()};
   config.mpls = {config.mpls.front()};
+  // Open configs shrink the same way: one offered-load level (or the plan's
+  // own schedule when none were given).
+  if (config.offered_loads.size() > 1) {
+    config.offered_loads = {config.offered_loads.front()};
+  }
   config.repeats = std::max(2, config.repeats);
 
   audit::DifferentialReport report;
-  report.point = config.strategies.front() + "/mpl=" +
-                 std::to_string(config.mpls.front());
+  report.point =
+      config.open.empty()
+          ? config.strategies.front() + "/mpl=" +
+                std::to_string(config.mpls.front())
+          : config.strategies.front() + "/open-level=0";
 
   const auto run_variant = [](audit::DifferentialReport* rep,
                               const std::string& label,
@@ -877,10 +1066,13 @@ Result<audit::DifferentialReport> RunAuditDifferential(
         run_variant(&report, "sim-threads=4", threaded, 1, true));
   }
 
-  if (config.faults.empty()) {
+  if (config.faults.empty() && config.open.empty()) {
     // Armed-but-inactive plan: chained backups are built and the injector is
     // armed, but the event fires far beyond the simulated horizon — results
     // must not move (backups live after the primary extents; see PR 2).
+    // Skipped for open configs: an extra relation's shared-disk catalog
+    // allocates AFTER the base catalog's extents, so building base backups
+    // legitimately shifts its extent addresses (and disk seek times).
     ExperimentConfig armed = config;
     const long long never_ms = static_cast<long long>(
         (config.warmup_ms + config.measure_ms) * 10 + 1'000);

@@ -93,12 +93,27 @@ struct RepMetrics {
   int64_t migration_redirects = 0;
   int64_t rebalance_moves = 0;
   int final_members = 0;
+  /// Open-system measurements; meaningful only when the rep ran with an
+  /// open plan armed (has_open). p99 is -1 when the window completed no
+  /// queries (a well-defined blank, not a fabricated quantile).
+  bool has_open = false;
+  double offered_qps = 0;
+  int64_t arrivals = 0;
+  int64_t shed = 0;
+  double p99_response_ms = -1;
 };
 
 /// Runs one replication of one sweep point. Pure function of
 /// (config, relation, partitioning, workload, mpl, rep); never touches
 /// global state, so it is safe to call concurrently with distinct `mpl`/
 /// `rep` against the same shared read-only inputs.
+///
+/// `mpl` is the sweep level: the multiprogramming level for closed-loop
+/// configs, the index into config.offered_loads for open configs (the
+/// closed seed formula then keys on the level index instead).
+/// `extra_relations` (nullable; required non-null only when the open plan
+/// declares relations) supplies this strategy's shared read-only extra
+/// relations + partitionings for multi-relation open runs.
 ///
 /// `probe` (nullable, caller-owned, must not be shared across concurrent
 /// calls) arms per-query cost attribution; if it carries a Tracer, the
@@ -108,14 +123,14 @@ struct RepMetrics {
 /// `auditor` (nullable, caller-owned, one per concurrent call like `probe`)
 /// is installed on the replication's Simulation and System; its end-of-run
 /// identities are finalized before the function returns.
-Result<RepMetrics> RunSweepPointRep(const ExperimentConfig& config,
-                                    const storage::Relation& relation,
-                                    const decluster::Partitioning& partitioning,
-                                    const workload::Workload& workload,
-                                    int mpl, int rep,
-                                    obs::Probe* probe = nullptr,
-                                    std::string* metrics_json = nullptr,
-                                    audit::Auditor* auditor = nullptr);
+Result<RepMetrics> RunSweepPointRep(
+    const ExperimentConfig& config, const storage::Relation& relation,
+    const decluster::Partitioning& partitioning,
+    const workload::Workload& workload,
+    int mpl, int rep, obs::Probe* probe = nullptr,
+    std::string* metrics_json = nullptr, audit::Auditor* auditor = nullptr,
+    const std::vector<engine::SystemConfig::ExtraRelation>* extra_relations =
+        nullptr);
 
 /// Runs the full sweep with `options.jobs` workers. The serial path
 /// (jobs <= 1) and the parallel path share the same per-point and

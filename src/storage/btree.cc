@@ -300,10 +300,10 @@ int BPlusTree::height() const {
   return h;
 }
 
-int BPlusTree::LeafPagesTouched(Value lo, Value hi) const {
+int64_t BPlusTree::LeafPagesTouched(Value lo, Value hi) const {
   if (size_ == 0 || lo > hi) return 0;
   const Node* leaf = FindLeaf(lo);
-  int pages = 0;
+  int64_t pages = 0;
   while (leaf != nullptr) {
     ++pages;
     const bool past_hi = !leaf->keys.empty() && leaf->keys.back() > hi;
@@ -340,8 +340,8 @@ BPlusTree BPlusTree::BulkLoad(std::vector<BTreeEntry> sorted_entries,
     level_min.push_back(leaf->keys.front());
     level.push_back(std::move(leaf));
   }
-  tree.leaf_count_ = static_cast<int>(level.size());
-  tree.node_count_ = static_cast<int>(level.size());
+  tree.leaf_count_ = static_cast<int64_t>(level.size());
+  tree.node_count_ = static_cast<int64_t>(level.size());
   tree.size_ = static_cast<int64_t>(sorted_entries.size());
 
   // Build internal levels until a single root remains.
@@ -425,7 +425,7 @@ Status BPlusTree::Validate() const {
   const Node* leaf = root_.get();
   while (!leaf->leaf) leaf = leaf->children[0].get();
   int64_t count = 0;
-  int leaves = 0;
+  int64_t leaves = 0;
   bool first = true;
   Value last{};
   while (leaf != nullptr) {

@@ -84,15 +84,17 @@ class BPlusTree {
   /// Total entries stored.
   int64_t size() const { return size_; }
 
-  /// Number of leaf nodes (= leaf pages).
-  int leaf_count() const { return leaf_count_; }
+  /// Number of leaf nodes (= leaf pages). 64-bit: a 100M-tuple relation at
+  /// low fanout overflows a 32-bit page count downstream (pages * page_size
+  /// is a byte count).
+  int64_t leaf_count() const { return leaf_count_; }
 
   /// Number of nodes overall (= total index pages).
-  int node_count() const { return node_count_; }
+  int64_t node_count() const { return node_count_; }
 
   /// Number of leaf pages a range scan [lo, hi] touches (>= 1 whenever the
   /// tree is non-empty: the search lands on a leaf even if nothing matches).
-  int LeafPagesTouched(Value lo, Value hi) const;
+  int64_t LeafPagesTouched(Value lo, Value hi) const;
 
   /// Checks structural invariants (key order, fill, leaf chain, height
   /// balance). Used by property tests.
@@ -113,8 +115,8 @@ class BPlusTree {
   int fanout_;
   std::unique_ptr<Node> root_;
   int64_t size_ = 0;
-  int leaf_count_ = 0;
-  int node_count_ = 0;
+  int64_t leaf_count_ = 0;
+  int64_t node_count_ = 0;
 };
 
 }  // namespace declust::storage

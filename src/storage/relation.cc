@@ -4,32 +4,40 @@
 
 namespace declust::storage {
 
-Status Relation::Append(std::vector<Value> values) {
+Status Relation::Append(const std::vector<Value>& values) {
   if (static_cast<int>(values.size()) != schema_.num_attributes()) {
     return Status::InvalidArgument("tuple arity does not match schema");
   }
-  rows_.push_back(std::move(values));
+  const size_t r = static_cast<size_t>(cardinality_);
+  if (r % kBlockRows == 0) {
+    blocks_.push_back(static_cast<Value*>(arena_->Allocate(
+        kBlockRows * arity_ * sizeof(Value), alignof(Value))));
+  }
+  Value* row = blocks_.back() + (r % kBlockRows) * arity_;
+  std::copy(values.begin(), values.end(), row);
+  ++cardinality_;
   return Status::OK();
 }
 
 std::vector<RecordId> Relation::AllRecords() const {
-  std::vector<RecordId> rids(rows_.size());
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  std::vector<RecordId> rids(static_cast<size_t>(cardinality_));
+  for (size_t i = 0; i < rids.size(); ++i) {
     rids[i] = static_cast<RecordId>(i);
   }
   return rids;
 }
 
 Result<std::pair<Value, Value>> Relation::AttrRange(AttrId attr) const {
-  if (rows_.empty()) return Status::FailedPrecondition("empty relation");
+  if (cardinality_ == 0) return Status::FailedPrecondition("empty relation");
   if (attr < 0 || attr >= schema_.num_attributes()) {
     return Status::OutOfRange("attribute index out of range");
   }
-  Value lo = rows_[0][static_cast<size_t>(attr)];
+  Value lo = value(0, attr);
   Value hi = lo;
-  for (const auto& row : rows_) {
-    lo = std::min(lo, row[static_cast<size_t>(attr)]);
-    hi = std::max(hi, row[static_cast<size_t>(attr)]);
+  for (int64_t r = 1; r < cardinality_; ++r) {
+    const Value v = value(static_cast<RecordId>(r), attr);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
   }
   return std::make_pair(lo, hi);
 }

@@ -7,24 +7,28 @@ namespace declust::workload {
 QueryInstance QueryGenerator::Next() {
   assert(!workload_->classes.empty());
   // Pick a class by frequency.
-  double u = rng_.NextDouble();
+  RandomStream& pick =
+      mode_ == StreamMode::kPerClassStreams ? class_pick_ : rng_;
+  double u = pick.NextDouble();
   size_t idx = 0;
   for (; idx + 1 < workload_->classes.size(); ++idx) {
     u -= workload_->classes[idx].frequency;
     if (u < 0) break;
   }
   const QueryClassSpec& cls = workload_->classes[idx];
+  RandomStream& pred =
+      mode_ == StreamMode::kPerClassStreams ? class_streams_[idx] : rng_;
 
   QueryInstance q;
   q.class_index = static_cast<int>(idx);
   q.attr = cls.attr;
   if (cls.exact || cls.tuples >= domain_) {
     const int64_t width = cls.exact ? 1 : domain_;
-    const int64_t lo = cls.exact ? rng_.UniformInt(0, domain_ - 1) : 0;
+    const int64_t lo = cls.exact ? pred.UniformInt(0, domain_ - 1) : 0;
     q.lo = lo;
     q.hi = lo + width - 1;
   } else {
-    const int64_t lo = rng_.UniformInt(0, domain_ - cls.tuples);
+    const int64_t lo = pred.UniformInt(0, domain_ - cls.tuples);
     q.lo = lo;
     q.hi = lo + cls.tuples - 1;
   }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/workload/mixes.h"
@@ -11,6 +12,7 @@ namespace declust::workload {
 /// \brief A concrete selection predicate: attr in [lo, hi] (inclusive).
 struct QueryInstance {
   int class_index = 0;  // index into Workload::classes
+  int relation = 0;     // index of the target relation (0 = base relation)
   int attr = 0;
   int64_t lo = 0;
   int64_t hi = 0;
@@ -21,8 +23,31 @@ struct QueryInstance {
 /// tuples).
 class QueryGenerator {
  public:
-  QueryGenerator(const Workload* workload, int64_t domain, RandomStream rng)
-      : workload_(workload), domain_(domain), rng_(rng) {}
+  /// How random draws map onto streams.
+  ///
+  ///  * kSingleStream — the historical behavior: one stream serves the class
+  ///    selection and every predicate in interleaved order. Deterministic,
+  ///    but adding a query class perturbs the predicates of every other
+  ///    class (draw i+1 shifts). Kept as the default so existing closed-loop
+  ///    results stay byte-identical.
+  ///  * kPerClassStreams — the class pick and each class's predicates come
+  ///    from independently seeded substreams (rng.Fork(0) for the pick,
+  ///    rng.Fork(1 + c) for class c). The i-th predicate of class c depends
+  ///    only on (seed, c, i): adding or re-weighting other classes cannot
+  ///    perturb it. The open-system generator builds on this mode.
+  enum class StreamMode { kSingleStream, kPerClassStreams };
+
+  QueryGenerator(const Workload* workload, int64_t domain, RandomStream rng,
+                 StreamMode mode = StreamMode::kSingleStream)
+      : workload_(workload), domain_(domain), rng_(rng), mode_(mode) {
+    if (mode_ == StreamMode::kPerClassStreams) {
+      class_pick_ = rng.Fork(0);
+      class_streams_.reserve(workload_->classes.size());
+      for (size_t c = 0; c < workload_->classes.size(); ++c) {
+        class_streams_.push_back(rng.Fork(1 + static_cast<uint64_t>(c)));
+      }
+    }
+  }
 
   /// Draws the next query: class by frequency, predicate uniform over the
   /// domain with exact result cardinality.
@@ -32,6 +57,10 @@ class QueryGenerator {
   const Workload* workload_;
   int64_t domain_;
   RandomStream rng_;
+  StreamMode mode_;
+  // kPerClassStreams state (unused in kSingleStream).
+  RandomStream class_pick_{0};
+  std::vector<RandomStream> class_streams_;
 };
 
 }  // namespace declust::workload

@@ -1,0 +1,113 @@
+// Edge-case behavior of the statistics helpers: a sweep with repeats=1 and
+// an idle open-system window must render as well-defined blanks/zeros, never
+// as NaN or garbage. These are regression tests for the CI/quantile paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace declust {
+namespace {
+
+TEST(AccumulatorEdgeTest, EmptyAccumulatorIsAllZerosAndNeverNaN) {
+  Accumulator a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.ConfidenceHalfWidth95(), 0.0);
+  EXPECT_FALSE(std::isnan(a.mean()));
+  EXPECT_FALSE(std::isnan(a.stddev()));
+  EXPECT_FALSE(std::isnan(a.ConfidenceHalfWidth95()));
+}
+
+TEST(AccumulatorEdgeTest, SingleSampleHasZeroSpreadNotNaN) {
+  // repeats=1: one sample per point. The CI on the mean is undefined
+  // (df = 0); it must come back as exactly 0, not NaN or a huge t-value.
+  Accumulator a;
+  a.Add(42.5);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.mean(), 42.5);
+  EXPECT_EQ(a.min(), 42.5);
+  EXPECT_EQ(a.max(), 42.5);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(AccumulatorEdgeTest, IdenticalSamplesNeverProduceNegativeVariance) {
+  // Welford's m2 can round to a tiny negative value when every sample is
+  // identical; sqrt of that is NaN. The clamp keeps it at exactly 0.
+  Accumulator a;
+  for (int i = 0; i < 1000; ++i) a.Add(0.1 + 0.2);  // 0.30000000000000004
+  EXPECT_GE(a.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
+  EXPECT_FALSE(std::isnan(a.ConfidenceHalfWidth95()));
+  EXPECT_NEAR(a.ConfidenceHalfWidth95(), 0.0, 1e-12);
+}
+
+TEST(AccumulatorEdgeTest, TwoSamplesGiveAFiniteConfidenceInterval) {
+  Accumulator a;
+  a.Add(10.0);
+  a.Add(20.0);
+  EXPECT_EQ(a.mean(), 15.0);
+  EXPECT_GT(a.ConfidenceHalfWidth95(), 0.0);
+  EXPECT_TRUE(std::isfinite(a.ConfidenceHalfWidth95()));
+  // df = 1 has the widest t critical value; the half-width must shrink as
+  // samples accumulate at the same spread.
+  Accumulator b = a;
+  b.Add(10.0);
+  b.Add(20.0);
+  EXPECT_LT(b.ConfidenceHalfWidth95(), a.ConfidenceHalfWidth95());
+}
+
+TEST(AccumulatorEdgeTest, ResetReturnsToTheEmptyState) {
+  Accumulator a;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Reset();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(HistogramEdgeTest, EmptyHistogramQuantileIsTheLowerBoundNotGarbage) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_FALSE(std::isnan(v)) << "q=" << q;
+    EXPECT_EQ(v, 0.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramEdgeTest, SingleSampleQuantilesAreFiniteAndInRange) {
+  Histogram h(0.0, 100.0, 10);
+  h.Add(37.0);
+  EXPECT_FALSE(h.empty());
+  for (double q : {0.0, 0.5, 0.99}) {
+    const double v = h.Quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, 30.0) << "q=" << q;  // the sample's bucket is [30, 40)
+    EXPECT_LE(v, 40.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramEdgeTest, AllMassOutOfRangeClampsToTheBounds) {
+  Histogram h(10.0, 20.0, 5);
+  h.Add(-5.0);   // underflow
+  h.Add(500.0);  // overflow
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_FALSE(std::isnan(h.Quantile(0.25)));
+  EXPECT_GE(h.Quantile(0.25), 10.0);
+  EXPECT_LE(h.Quantile(0.99), 20.0);
+}
+
+}  // namespace
+}  // namespace declust

@@ -1,0 +1,246 @@
+// Property tests of the --open spec grammar (workload::OpenPlan): valid
+// specs round-trip through ToString, malformed input is rejected with
+// InvalidArgument (never accepted-with-garbage), and the schedule queries
+// (RateAt / NextBoundaryAfter) implement the documented step function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/workload/open.h"
+
+namespace declust::workload {
+namespace {
+
+OpenPlan MustParse(const std::string& spec) {
+  auto plan = OpenPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << spec << ": " << plan.status().ToString();
+  return plan.ok() ? *plan : OpenPlan();
+}
+
+TEST(OpenPlanTest, ParsesTheFullGrammar) {
+  const OpenPlan plan = MustParse(
+      "rate:100;rate:250@t=2s;burst:64@t=500ms;zipf:0.8;"
+      "tail:p=0.05,x=20;relation:card=50000,weight=2,corr=0.5;"
+      "relation:card=3000;cap:256");
+  ASSERT_EQ(plan.rates().size(), 2u);
+  EXPECT_EQ(plan.rates()[0].at_ms, 0.0);
+  EXPECT_EQ(plan.rates()[0].per_sec, 100.0);
+  EXPECT_EQ(plan.rates()[1].at_ms, 2000.0);
+  EXPECT_EQ(plan.rates()[1].per_sec, 250.0);
+  ASSERT_EQ(plan.bursts().size(), 1u);
+  EXPECT_EQ(plan.bursts()[0].at_ms, 500.0);
+  EXPECT_EQ(plan.bursts()[0].count, 64);
+  EXPECT_EQ(plan.zipf_s(), 0.8);
+  EXPECT_EQ(plan.tail_p(), 0.05);
+  EXPECT_EQ(plan.tail_x(), 20.0);
+  ASSERT_EQ(plan.extra_relations().size(), 2u);
+  EXPECT_EQ(plan.extra_relations()[0].cardinality, 50000);
+  EXPECT_EQ(plan.extra_relations()[0].weight, 2.0);
+  EXPECT_EQ(plan.extra_relations()[0].correlation, 0.5);
+  EXPECT_EQ(plan.extra_relations()[1].cardinality, 3000);
+  EXPECT_EQ(plan.extra_relations()[1].weight, 1.0);
+  EXPECT_EQ(plan.max_in_flight(), 256);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(OpenPlanTest, ToStringRoundTripsToAnIdenticalPlan) {
+  const std::vector<std::string> specs = {
+      "rate:100",
+      "rate:100;rate:250@t=2s;burst:64@t=500ms",
+      "rate:12.5@t=1500ms;zipf:1.2;cap:32",
+      "rate:50;tail:p=0.1,x=8;relation:card=4000,weight=0.5",
+      "burst:1@t=0s;relation:card=100,corr=-0.25",
+  };
+  for (const std::string& spec : specs) {
+    const OpenPlan plan = MustParse(spec);
+    const std::string canon = plan.ToString();
+    const OpenPlan again = MustParse(canon);
+    EXPECT_EQ(again.ToString(), canon) << "spec: " << spec;
+  }
+}
+
+TEST(OpenPlanTest, GarbageSpecsAreRejectedWithInvalidArgument) {
+  const std::vector<std::string> bad = {
+      "nonsense",                      // no ':'
+      "frobnicate:3",                  // unknown kind
+      "rate:abc",                      // non-numeric rate
+      "rate:-5",                       // negative rate
+      "rate:1e99",                     // absurd rate
+      "rate:100@elsewhen=3",           // '@' without t=
+      "rate:100@t=oops",               // bad time
+      "rate:100@t=-2s",                // negative time
+      "burst:10",                      // burst needs @t=
+      "burst:0@t=1s",                  // burst count < 1
+      "burst:x@t=1s",                  // non-numeric count
+      "zipf:-1",                       // skew out of range
+      "zipf:9",                        // skew out of range
+      "tail:p=0.5",                    // missing x=
+      "tail:x=4",                      // missing p=
+      "tail:p=1.5,x=4",                // p out of [0,1)
+      "tail:p=0.1,x=0.5",              // x < 1
+      "tail:p=0.1,x=4,q=2",            // unknown option
+      "relation:weight=2",             // missing card=
+      "relation:card=1",               // card < 2
+      "relation:card=5000,corr=2",     // corr out of [-1,1]
+      "relation:card=5000,banana=1",   // unknown option
+      "relation:card=5000,weight",     // key without value
+      "cap:0",                         // cap < 1
+      "cap:many",                      // non-numeric cap
+      "rate:100;;;rate:50@t=",         // empty t value
+  };
+  for (const std::string& spec : bad) {
+    auto plan = OpenPlan::Parse(spec);
+    EXPECT_FALSE(plan.ok()) << "accepted garbage: " << spec;
+    if (!plan.ok()) {
+      EXPECT_TRUE(plan.status().IsInvalidArgument()) << spec;
+    }
+  }
+}
+
+TEST(OpenPlanTest, DuplicateKeysAndItemsAreRejected) {
+  const std::vector<std::string> bad = {
+      "relation:card=100,card=200",     // duplicate option key
+      "tail:p=0.1,p=0.2,x=4",           // duplicate option key
+      "relation:card=100,weight=1,weight=2",
+      "zipf:0.5;zipf:1.0",              // duplicate item
+      "tail:p=0.1,x=2;tail:p=0.2,x=3",  // duplicate item
+      "cap:10;cap:20",                  // duplicate item
+  };
+  for (const std::string& spec : bad) {
+    auto plan = OpenPlan::Parse(spec);
+    EXPECT_FALSE(plan.ok()) << "accepted duplicate: " << spec;
+    if (!plan.ok()) {
+      EXPECT_TRUE(plan.status().IsInvalidArgument()) << spec;
+    }
+  }
+}
+
+TEST(OpenPlanTest, NonMonotoneRateSchedulesAreRejected) {
+  // Reordering or deduplicating silently would run a different load curve
+  // than the user wrote; the parser must refuse instead.
+  const std::vector<std::string> bad = {
+      "rate:100;rate:200",              // both at t=0
+      "rate:100@t=2s;rate:200@t=1s",    // decreasing
+      "rate:100@t=1s;rate:200@t=1s",    // duplicate time
+      "rate:100@t=1s;rate:200@t=1000ms",  // duplicate time, mixed units
+  };
+  for (const std::string& spec : bad) {
+    auto plan = OpenPlan::Parse(spec);
+    EXPECT_FALSE(plan.ok()) << "accepted non-monotone: " << spec;
+    if (!plan.ok()) {
+      EXPECT_TRUE(plan.status().IsInvalidArgument()) << spec;
+    }
+  }
+}
+
+TEST(OpenPlanTest, RateAtIsAStepFunctionOverTheSchedule) {
+  const OpenPlan plan = MustParse("rate:100@t=1s;rate:0@t=3s;rate:40@t=5s");
+  EXPECT_EQ(plan.RateAt(0.0), 0.0);      // before the first point
+  EXPECT_EQ(plan.RateAt(999.9), 0.0);
+  EXPECT_EQ(plan.RateAt(1000.0), 100.0);  // boundary is inclusive
+  EXPECT_EQ(plan.RateAt(2999.0), 100.0);
+  EXPECT_EQ(plan.RateAt(3000.0), 0.0);    // rate 0 pauses arrivals
+  EXPECT_EQ(plan.RateAt(4999.0), 0.0);
+  EXPECT_EQ(plan.RateAt(5000.0), 40.0);
+  EXPECT_EQ(plan.RateAt(1e9), 40.0);      // last step holds forever
+}
+
+TEST(OpenPlanTest, NextBoundaryInterleavesRatesAndBursts) {
+  const OpenPlan plan =
+      MustParse("rate:100;rate:200@t=4s;burst:8@t=2s;burst:8@t=6s");
+  EXPECT_EQ(plan.NextBoundaryAfter(0.0), 2000.0);     // first burst
+  EXPECT_EQ(plan.NextBoundaryAfter(2000.0), 4000.0);  // rate change
+  EXPECT_EQ(plan.NextBoundaryAfter(4000.0), 6000.0);  // second burst
+  EXPECT_TRUE(std::isinf(plan.NextBoundaryAfter(6000.0)));
+}
+
+TEST(OpenPlanTest, OverrideConstantRateReplacesTheWholeSchedule) {
+  OpenPlan plan = MustParse("rate:100;rate:250@t=2s;burst:4@t=1s");
+  plan.OverrideConstantRate(77.0);
+  ASSERT_EQ(plan.rates().size(), 1u);
+  EXPECT_EQ(plan.rates()[0].at_ms, 0.0);
+  EXPECT_EQ(plan.rates()[0].per_sec, 77.0);
+  EXPECT_EQ(plan.RateAt(0.0), 77.0);
+  EXPECT_EQ(plan.RateAt(1e9), 77.0);
+  // Bursts are schedule-independent and survive the override.
+  ASSERT_EQ(plan.bursts().size(), 1u);
+}
+
+TEST(OpenPlanTest, ValidateRequiresAnArrivalSource) {
+  // "zipf:1" parses (it is syntactically fine) but describes no arrivals:
+  // the semantic check must catch it before a sweep silently measures an
+  // idle system.
+  const OpenPlan plan = MustParse("zipf:1");
+  EXPECT_TRUE(plan.empty());
+  const Status s = plan.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_TRUE(MustParse("burst:1@t=0").Validate().ok());
+  EXPECT_TRUE(MustParse("rate:10").Validate().ok());
+}
+
+TEST(ZipfSamplerTest, RanksStayInRangeForAllSkews) {
+  for (double s : {0.0, 0.5, 1.0, 1.5, 3.0}) {
+    RandomStream rng(12345);
+    ZipfSampler zipf(100, s);
+    for (int i = 0; i < 5000; ++i) {
+      const int64_t k = zipf.Next(rng);
+      ASSERT_GE(k, 1) << "s=" << s;
+      ASSERT_LE(k, 100) << "s=" << s;
+    }
+  }
+}
+
+TEST(ZipfSamplerTest, IsDeterministicGivenTheStream) {
+  ZipfSampler zipf(1000, 1.2);
+  RandomStream a(99), b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Next(a), zipf.Next(b));
+  }
+}
+
+TEST(ZipfSamplerTest, PositiveSkewConcentratesMassOnLowRanks) {
+  // With s = 1 over n = 1000, rank 1 alone carries ~13% of the mass
+  // (1/H_1000); uniform would put 0.1% there. Count the hot decile.
+  RandomStream rng(7);
+  ZipfSampler skewed(1000, 1.0);
+  int64_t hot = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (skewed.Next(rng) <= 100) ++hot;
+  }
+  // Uniform share of ranks 1..100 would be 10%; Zipf(1) puts ~67% there.
+  EXPECT_GT(hot, kDraws / 2);
+
+  RandomStream rng2(7);
+  ZipfSampler uniform(1000, 0.0);
+  int64_t hot_uniform = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (uniform.Next(rng2) <= 100) ++hot_uniform;
+  }
+  EXPECT_LT(hot_uniform, kDraws / 5);
+  EXPECT_GT(hot_uniform, kDraws / 20);
+}
+
+TEST(ZipfSamplerTest, ZipfOneMatchesTheHarmonicDistribution) {
+  // Goodness-of-fit on a tiny support: empirical rank frequencies of
+  // Zipf(1) over n=5 must track 1/k normalized by H_5 = 137/60.
+  RandomStream rng(2024);
+  ZipfSampler zipf(5, 1.0);
+  std::map<int64_t, int64_t> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(rng)];
+  const double h5 = 1.0 + 1.0 / 2 + 1.0 / 3 + 1.0 / 4 + 1.0 / 5;
+  for (int64_t k = 1; k <= 5; ++k) {
+    const double expected = (1.0 / static_cast<double>(k)) / h5;
+    const double got = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(got, expected, 0.01) << "rank " << k;
+  }
+}
+
+}  // namespace
+}  // namespace declust::workload

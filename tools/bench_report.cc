@@ -288,6 +288,40 @@ int main(int argc, char** argv) {
   const bool resize_quiescent =
       quiescent_migrations == 0 && quiescent_aborts == 0;
 
+  // Open-system guard: the same machine driven by Poisson arrivals instead
+  // of the closed terminal loop — a rate schedule, Zipf-skewed access and a
+  // second relation. Prices the arrival/admission machinery against the
+  // closed baseline and records the conservation counters (arrivals vs
+  // shed); the closed path's byte-identity is guarded separately below.
+  std::cerr << "timing quick fig08 sweep with an open arrival plan...\n";
+  exp::ExperimentConfig open_cfg = cfg;
+  open_cfg.open = "rate:150;zipf:0.8;relation:card=5000";
+  const auto g0 = Clock::now();
+  auto open_run = exp::RunThroughputSweep(open_cfg, exp::RunnerOptions{1});
+  const auto g1 = Clock::now();
+  if (!open_run.ok()) {
+    std::cerr << "open sweep failed: " << open_run.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double open_s = Seconds(g0, g1);
+  int64_t open_arrivals = 0, open_shed = 0;
+  for (const auto& curve : open_run->curves) {
+    for (const auto& p : curve.points) {
+      open_arrivals += p.arrivals;
+      open_shed += p.shed;
+    }
+  }
+  exp::ExperimentConfig open_psim_cfg = open_cfg;
+  open_psim_cfg.sim_threads = hw_threads >= 2 ? std::min(4, hw_threads) : 2;
+  auto open_windowed =
+      exp::RunThroughputSweep(open_psim_cfg, exp::RunnerOptions{1});
+  if (!open_windowed.ok()) {
+    std::cerr << "open sim-threads sweep failed: "
+              << open_windowed.status().ToString() << "\n";
+    return 1;
+  }
+
   // In-run parallelism guard: the same sweep executed serially (jobs=1) but
   // with the windowed parallel scheduler splitting each run across
   // --sim-threads workers. Must be byte-identical to the plain serial run —
@@ -308,14 +342,17 @@ int main(int argc, char** argv) {
   }
   const double windowed_s = Seconds(w0, w1);
 
-  std::ostringstream a, b, c, d;
+  std::ostringstream a, b, c, d, e, f;
   exp::PrintCsv(a, *serial);
   exp::PrintCsv(b, *parallel);
   exp::PrintCsv(c, *audited);
   exp::PrintCsv(d, *windowed);
+  exp::PrintCsv(e, *open_run);
+  exp::PrintCsv(f, *open_windowed);
   const bool identical = a.str() == b.str();
   const bool audit_identical = a.str() == c.str();
   const bool psim_identical = a.str() == d.str();
+  const bool open_identical = e.str() == f.str();
   const bool audit_clean =
       audited->audit_violations == 0 && audited->oracle_mismatches == 0;
 
@@ -383,6 +420,18 @@ int main(int argc, char** argv) {
       << "    \"quiescent_migrations\": " << quiescent_migrations << ",\n"
       << "    \"quiescent_aborts\": " << quiescent_aborts << "\n"
       << "  },\n"
+      << "  \"open_system\": {\n"
+      << "    \"config\": \"fig08 quick, rate:150;zipf:0.8;"
+         "relation:card=5000\",\n"
+      << "    \"closed_wall_s\": " << serial_s << ",\n"
+      << "    \"open_wall_s\": " << open_s << ",\n"
+      << "    \"open_over_closed_ratio\": "
+      << (serial_s > 0 ? open_s / serial_s : 0) << ",\n"
+      << "    \"arrivals\": " << open_arrivals << ",\n"
+      << "    \"shed\": " << open_shed << ",\n"
+      << "    \"identical_results\": "
+      << (open_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"audit_overhead\": {\n"
       << "    \"config\": \"fig08 quick, invariant audit + oracle armed\",\n"
       << "    \"audit_off_wall_s\": " << serial_s << ",\n"
@@ -406,7 +455,7 @@ int main(int argc, char** argv) {
   }
   std::cerr << "wrote " << out_path << "\n";
   return identical && audit_identical && audit_clean && psim_identical &&
-                 resize_quiescent
+                 resize_quiescent && open_identical
              ? 0
              : 1;
 }

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the robustness subsystems: builds the repo under
 # AddressSanitizer and UndefinedBehaviorSanitizer and runs every test
-# labeled faults, audit, recovery, or resize under each. The fault-injection,
-# invariant-audit, online-recovery and elastic-membership code paths are
-# exactly the ones that
+# labeled faults, audit, recovery, resize, or open under each. The
+# fault-injection, invariant-audit, online-recovery, elastic-membership and
+# open-system code paths are exactly the ones that
 # exercise coroutine lifetimes, signal-driven interrupts and background I/O
 # racing foreground queries — the bugs sanitizers exist to catch.
 #
@@ -56,14 +56,16 @@ run_preset() {
   fi
 }
 
-run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize' \
-  fault_test audit_test recovery_test resize_test
-run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery|resize' \
-  fault_test audit_test recovery_test resize_test
+run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize|open' \
+  fault_test audit_test recovery_test resize_test open_test
+run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery|resize|open' \
+  fault_test audit_test recovery_test resize_test open_test
 # The windowed in-run scheduler is the only place the simulator runs on more
-# than one thread; TSAN over the parallel_sim label is the race gate for it.
-run_preset tsan DECLUST_TSAN 'parallel_sim|resize' \
-  parallel_sim_test resize_test
+# than one thread; TSAN over the parallel_sim label is the race gate for it
+# (the open sweep tests ride along: they run the windowed scheduler under an
+# arrival-driven load).
+run_preset tsan DECLUST_TSAN 'parallel_sim|resize|open' \
+  parallel_sim_test resize_test open_test
 
 # Release differential smoke: serial vs --sim-threads=4 on a quick sweep must
 # be byte-identical. Release mode matters here — it is the configuration where
@@ -109,6 +111,26 @@ else
     <(printf '%s\n' "$RESIZE_THREADED") | head -40 >&2 || true
   FAILED=1
 fi
+# Open-system differential: the same quick sweep driven by Poisson arrivals
+# (two offered-load levels, Zipf skew, a second relation, a finite admission
+# cap) must be byte-identical serial vs --sim-threads=4 — the arrival loop
+# and the terminals share the windowed scheduler, and shed accounting must
+# not depend on event interleaving.
+echo "=== relsmoke: --open serial vs --sim-threads=4 digest ==="
+OPEN_SPEC='rate:150;zipf:0.8;relation:card=5000,weight=1;cap:64'
+OPEN_SERIAL="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --open "$OPEN_SPEC" --offered 60,120)"
+OPEN_THREADED="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --open "$OPEN_SPEC" --offered 60,120 --sim-threads 4)"
+if [[ "$OPEN_SERIAL" == "$OPEN_THREADED" ]]; then
+  echo "relsmoke: --open serial and --sim-threads=4 results are" \
+    "byte-identical"
+else
+  echo "*** relsmoke: FAILED — --open --sim-threads=4 changed results" >&2
+  diff <(printf '%s\n' "$OPEN_SERIAL") \
+    <(printf '%s\n' "$OPEN_THREADED") | head -40 >&2 || true
+  FAILED=1
+fi
 # audit_sweep's differential harness runs the same config through every
 # variant (jobs=1, jobs=N+audit, sim-threads=4, inactive fault plan) and
 # compares result digests — the invariant-level form of the check above.
@@ -122,5 +144,5 @@ if [[ "$FAILED" != 0 ]]; then
   echo "ci_check: sanitizer gate FAILED" >&2
   exit 1
 fi
-echo "ci_check: faults|audit|recovery|resize clean under ASAN/UBSAN," \
-  "parallel_sim clean under TSAN, release digest stable"
+echo "ci_check: faults|audit|recovery|resize|open clean under ASAN/UBSAN," \
+  "parallel_sim|open clean under TSAN, release digest stable"

@@ -21,6 +21,7 @@
 #include "src/recover/plan.h"
 #include "src/resize/plan.h"
 #include "src/sim/fault.h"
+#include "src/workload/open.h"
 
 namespace {
 
@@ -65,6 +66,20 @@ void Usage() {
       "                     [,settle=K][,max_moves=N] | slices:N.\n"
       "                     --processors is the initial membership; adds\n"
       "                     per-phase resize columns to reports\n"
+      "  --open SPEC        open-system workload plan, ';'-separated items:\n"
+      "                     rate:R[@t=T] (Poisson arrivals, q/s) |\n"
+      "                     burst:N@t=T | zipf:S (access skew) |\n"
+      "                     tail:p=P,x=F (heavy-tailed widths) |\n"
+      "                     relation:card=N[,weight=W][,corr=C] (additional\n"
+      "                     relations on the same disks) | cap:N (admission\n"
+      "                     cap; excess arrivals are shed). Replaces the\n"
+      "                     closed terminals with Poisson/burst arrivals;\n"
+      "                     --mpls is ignored, the sweep levels come from\n"
+      "                     --offered. Incompatible with --recovery/--resize\n"
+      "  --offered L1,L2    offered arrival rates (q/s) swept under --open;\n"
+      "                     each level overrides the plan's rate schedule\n"
+      "                     with that constant rate. Default: one level\n"
+      "                     running the plan's own schedule\n"
       "  --degraded K       run the degraded-mode sweep with 0..K disks\n"
       "                     failed at t=0 and print the degradation report\n"
       "                     (ignores --faults)\n"
@@ -262,6 +277,19 @@ int main(int argc, char** argv) {
         std::cerr << "bad --resize spec: " << plan.status().ToString()
                   << "\n";
         return 2;
+      }
+    } else if (arg == "--open") {
+      cfg.open = next();
+      auto plan = workload::OpenPlan::Parse(cfg.open);
+      if (!plan.ok()) {
+        std::cerr << "bad --open spec: " << plan.status().ToString() << "\n";
+        return 2;
+      }
+    } else if (arg == "--offered") {
+      cfg.offered_loads.clear();
+      for (const auto& l : SplitCsv(next())) {
+        cfg.offered_loads.push_back(
+            RequireDouble("--offered", l, 1e-9, 1e9));
       }
     } else if (arg == "--degraded") {
       degraded = RequireInt("--degraded", next(), 0, 1 << 20);
