@@ -10,10 +10,13 @@ namespace {
 // Places the `height` pages of a B-tree descent within an index extent:
 // the root first, then one page per level, the last being the leaf that
 // contains `leaf_index`. Intermediate levels are spread deterministically.
-void DescentPages(const storage::Extent& extent, int64_t height,
-                  int64_t leaf_index, const storage::DiskLayout& layout,
-                  std::vector<hw::PageAddress>* out) {
-  if (extent.num_pages == 0) return;
+// Resolution can fail on a corrupt/mismatched extent; propagate instead of
+// asserting (the assert compiled out in Release and dereferenced the
+// failed Result).
+Status DescentPages(const storage::Extent& extent, int64_t height,
+                    int64_t leaf_index, const storage::DiskLayout& layout,
+                    std::vector<hw::PageAddress>* out) {
+  if (extent.num_pages == 0) return Status::OK();
   for (int64_t level = 0; level < height; ++level) {
     int64_t page;
     if (level == 0) {
@@ -25,10 +28,10 @@ void DescentPages(const storage::Extent& extent, int64_t height,
       page = std::min(extent.num_pages - 1,
                       1 + (leaf_index / (level + 1)) % extent.num_pages);
     }
-    auto addr = layout.Resolve(extent, page);
-    assert(addr.ok());
-    out->push_back(*addr);
+    DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(extent, page));
+    out->push_back(addr);
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -88,9 +91,9 @@ FragmentStore::FragmentStore(const storage::Relation* relation,
   index_a_extent_ = *idx_a;
 }
 
-void FragmentStore::ClusteredAccessInto(Value lo, Value hi,
-                                        const storage::DiskLayout& layout,
-                                        AccessPlan* out) const {
+Status FragmentStore::ClusteredAccessInto(Value lo, Value hi,
+                                          const storage::DiskLayout& layout,
+                                          AccessPlan* out) const {
   out->clear();
   // The clustered path needs only the range's shape: count plus first/last
   // positions. RangeBounds walks the leaf chain without materialising the
@@ -100,25 +103,26 @@ void FragmentStore::ClusteredAccessInto(Value lo, Value hi,
   const int64_t first_pos = range.count == 0 ? 0 : range.first.rid;
   const int64_t avg_per_leaf_b = std::max<int64_t>(
       1, clustered_b_.size() / std::max<int64_t>(1, clustered_b_.leaf_count()));
-  DescentPages(index_b_extent_, clustered_b_.height(),
-               first_pos / avg_per_leaf_b, layout, &out->index_pages);
+  DECLUST_RETURN_NOT_OK(DescentPages(index_b_extent_, clustered_b_.height(),
+                                     first_pos / avg_per_leaf_b, layout,
+                                     &out->index_pages));
   if (range.count > 0) {
     // Qualifying tuples are contiguous in clustered order: sequential pages.
     const int64_t last_pos = range.last.rid;
     const int64_t first_page = page_layout_.PageOfPosition(first_pos);
     const int64_t last_page = page_layout_.PageOfPosition(last_pos);
     for (int64_t p = first_page; p <= last_page; ++p) {
-      auto addr = layout.Resolve(data_extent_, p);
-      assert(addr.ok());
-      out->data_pages.push_back(*addr);
+      DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(data_extent_, p));
+      out->data_pages.push_back(addr);
     }
   }
+  return Status::OK();
 }
 
-void FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
-                                           const storage::DiskLayout& layout,
-                                           PlanScratch* scratch,
-                                           AccessPlan* out) const {
+Status FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
+                                             const storage::DiskLayout& layout,
+                                             PlanScratch* scratch,
+                                             AccessPlan* out) const {
   out->clear();
   std::vector<storage::BTreeEntry>& entries = scratch->entries;
   entries.clear();
@@ -129,16 +133,18 @@ void FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
   const int64_t avg_per_leaf =
       std::max<int64_t>(1, nonclustered_a_.size() /
                                std::max<int64_t>(1, nonclustered_a_.leaf_count()));
-  DescentPages(index_a_extent_, nonclustered_a_.height(),
-               (entries.empty() ? 0 : entries.front().key) / avg_per_leaf,
-               layout, &out->index_pages);
+  DECLUST_RETURN_NOT_OK(
+      DescentPages(index_a_extent_, nonclustered_a_.height(),
+                   (entries.empty() ? 0 : entries.front().key) / avg_per_leaf,
+                   layout, &out->index_pages));
   const int64_t extra_leaves = nonclustered_a_.LeafPagesTouched(lo, hi) - 1;
   for (int64_t l = 0; l < extra_leaves; ++l) {
-    auto addr = layout.Resolve(
-        index_a_extent_,
-        std::min<int64_t>(index_a_extent_.num_pages - 1, 1 + l));
-    assert(addr.ok());
-    out->index_pages.push_back(*addr);
+    DECLUST_ASSIGN_OR_RETURN(
+        auto addr,
+        layout.Resolve(index_a_extent_,
+                       std::min<int64_t>(index_a_extent_.num_pages - 1,
+                                         1 + l)));
+    out->index_pages.push_back(addr);
   }
 
   // One random data page per distinct page of a qualifying tuple, read in
@@ -151,24 +157,24 @@ void FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
   for (int64_t p : pages) {
-    auto addr = layout.Resolve(data_extent_, p);
-    assert(addr.ok());
-    out->data_pages.push_back(*addr);
+    DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(data_extent_, p));
+    out->data_pages.push_back(addr);
   }
+  return Status::OK();
 }
 
-void FragmentStore::ScanAccessInto(int attr, Value lo, Value hi,
-                                   const storage::DiskLayout& layout,
-                                   AccessPlan* out) const {
+Status FragmentStore::ScanAccessInto(int attr, Value lo, Value hi,
+                                     const storage::DiskLayout& layout,
+                                     AccessPlan* out) const {
   out->clear();
   // Every data page, physically sequential; no index pages.
   for (int64_t p = 0; p < data_extent_.num_pages; ++p) {
-    auto addr = layout.Resolve(data_extent_, p);
-    assert(addr.ok());
-    out->data_pages.push_back(*addr);
+    DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(data_extent_, p));
+    out->data_pages.push_back(addr);
   }
   const auto& tree = (attr == 1) ? clustered_b_ : nonclustered_a_;
   out->tuples = tree.RangeCount(lo, hi);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
@@ -270,77 +276,91 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
   return catalog;
 }
 
-void SystemCatalog::PlanAccessInto(int node, const Predicate& q,
-                                   bool sequential_scan,
-                                   AccessPlan* out) const {
+Status SystemCatalog::PlanAccessInto(int node, const Predicate& q,
+                                     bool sequential_scan,
+                                     AccessPlan* out) const {
   const auto& layout = *layout_refs_[static_cast<size_t>(OwnerOf(node))];
   const auto& store = *stores_[static_cast<size_t>(node)];
   if (sequential_scan) {
-    store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
-  } else if (q.attr == 1) {
-    // Attribute 0 = A (non-clustered index), 1 = B (clustered index).
-    store.ClusteredAccessInto(q.lo, q.hi, layout, out);
-  } else {
-    store.NonClusteredAccessInto(q.lo, q.hi, layout, &scratch_, out);
+    return store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
   }
+  if (q.attr == 1) {
+    // Attribute 0 = A (non-clustered index), 1 = B (clustered index).
+    return store.ClusteredAccessInto(q.lo, q.hi, layout, out);
+  }
+  return store.NonClusteredAccessInto(q.lo, q.hi, layout, &scratch_, out);
 }
 
-void SystemCatalog::PlanAuxAccessInto(int node, const Predicate& q,
-                                      AccessPlan* out) const {
+Status SystemCatalog::PlanAuxAccessInto(int node, const Predicate& q,
+                                        AccessPlan* out) const {
   out->clear();
-  if (berd_ == nullptr) return;
+  if (berd_ == nullptr) return Status::OK();
   const auto cost = berd_->AuxCost(node, q.lo, q.hi);
   const auto& layout = *layout_refs_[static_cast<size_t>(OwnerOf(node))];
   const auto& extent = aux_extents_[static_cast<size_t>(node)];
-  DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
+  DECLUST_RETURN_NOT_OK(
+      DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages));
   for (int64_t l = 1; l < cost.leaf_pages; ++l) {
-    auto addr = layout.Resolve(
-        extent, std::min<int64_t>(extent.num_pages - 1, l));
-    assert(addr.ok());
-    out->index_pages.push_back(*addr);
+    DECLUST_ASSIGN_OR_RETURN(
+        auto addr,
+        layout.Resolve(extent, std::min<int64_t>(extent.num_pages - 1, l)));
+    out->index_pages.push_back(addr);
   }
   out->tuples = cost.entries;
+  return Status::OK();
 }
 
-void SystemCatalog::PlanBackupAccessInto(int failed_node, const Predicate& q,
-                                         bool sequential_scan,
-                                         AccessPlan* out) const {
-  assert(has_backups());
+Status SystemCatalog::PlanBackupAccessInto(int failed_node,
+                                           const Predicate& q,
+                                           bool sequential_scan,
+                                           AccessPlan* out) const {
+  if (!has_backups()) {
+    return Status::FailedPrecondition(
+        "backup access plan without chained backups");
+  }
   const int backup = BackupNodeOf(failed_node);
   const auto& layout = *layout_refs_[static_cast<size_t>(backup)];
   const auto& store = *backup_stores_[static_cast<size_t>(failed_node)];
   if (sequential_scan) {
-    store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
-  } else if (q.attr == 1) {
-    store.ClusteredAccessInto(q.lo, q.hi, layout, out);
-  } else {
-    store.NonClusteredAccessInto(q.lo, q.hi, layout, &scratch_, out);
+    return store.ScanAccessInto(q.attr, q.lo, q.hi, layout, out);
   }
+  if (q.attr == 1) {
+    return store.ClusteredAccessInto(q.lo, q.hi, layout, out);
+  }
+  return store.NonClusteredAccessInto(q.lo, q.hi, layout, &scratch_, out);
 }
 
-void SystemCatalog::PlanBackupAuxAccessInto(int failed_node,
-                                            const Predicate& q,
-                                            AccessPlan* out) const {
+Status SystemCatalog::PlanBackupAuxAccessInto(int failed_node,
+                                              const Predicate& q,
+                                              AccessPlan* out) const {
   out->clear();
-  if (berd_ == nullptr) return;
-  assert(has_backups());
+  if (berd_ == nullptr) return Status::OK();
+  if (!has_backups()) {
+    return Status::FailedPrecondition(
+        "backup aux plan without chained backups");
+  }
   const int backup = BackupNodeOf(failed_node);
   const auto cost = berd_->AuxCost(failed_node, q.lo, q.hi);
   const auto& layout = *layout_refs_[static_cast<size_t>(backup)];
   const auto& extent = aux_backup_extents_[static_cast<size_t>(failed_node)];
-  DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages);
+  DECLUST_RETURN_NOT_OK(
+      DescentPages(extent, cost.index_pages, 0, layout, &out->index_pages));
   for (int64_t l = 1; l < cost.leaf_pages; ++l) {
-    auto addr = layout.Resolve(
-        extent, std::min<int64_t>(extent.num_pages - 1, l));
-    assert(addr.ok());
-    out->index_pages.push_back(*addr);
+    DECLUST_ASSIGN_OR_RETURN(
+        auto addr,
+        layout.Resolve(extent, std::min<int64_t>(extent.num_pages - 1, l)));
+    out->index_pages.push_back(addr);
   }
   out->tuples = cost.entries;
+  return Status::OK();
 }
 
-std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
+Result<std::vector<SystemCatalog::RebuildPage>> SystemCatalog::PlanRebuild(
     int node) const {
-  assert(has_backups());
+  if (!has_backups()) {
+    return Status::FailedPrecondition(
+        "rebuild plan without chained backups");
+  }
   std::vector<RebuildPage> pages;
 
   // Pairs the i-th page of `src_extent` (on src_node's disk) with the i-th
@@ -348,16 +368,18 @@ std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
   // copies of one fragment are built from the same records with the same
   // options, so their extents are the same length.
   const auto copy_extent = [&](int src_node, const storage::Extent& src_extent,
-                               const storage::Extent& dst_extent) {
-    assert(src_extent.num_pages == dst_extent.num_pages);
+                               const storage::Extent& dst_extent) -> Status {
+    if (src_extent.num_pages != dst_extent.num_pages) {
+      return Status::Internal("rebuild source/target extents differ in size");
+    }
     const auto& src_layout = *layout_refs_[static_cast<size_t>(src_node)];
     const auto& dst_layout = *layout_refs_[static_cast<size_t>(node)];
     for (int64_t p = 0; p < src_extent.num_pages; ++p) {
-      auto src = src_layout.Resolve(src_extent, p);
-      auto dst = dst_layout.Resolve(dst_extent, p);
-      assert(src.ok() && dst.ok());
-      pages.push_back(RebuildPage{src_node, *src, *dst});
+      DECLUST_ASSIGN_OR_RETURN(auto src, src_layout.Resolve(src_extent, p));
+      DECLUST_ASSIGN_OR_RETURN(auto dst, dst_layout.Resolve(dst_extent, p));
+      pages.push_back(RebuildPage{src_node, src, dst});
     }
+    return Status::OK();
   };
 
   // Every slice whose primary the lost disk served, restored from its
@@ -367,12 +389,16 @@ std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
     const int backup = BackupNodeOf(s);
     const auto& from = *backup_stores_[static_cast<size_t>(s)];
     const auto& to = *stores_[static_cast<size_t>(s)];
-    copy_extent(backup, from.data_extent(), to.data_extent());
-    copy_extent(backup, from.index_b_extent(), to.index_b_extent());
-    copy_extent(backup, from.index_a_extent(), to.index_a_extent());
+    DECLUST_RETURN_NOT_OK(
+        copy_extent(backup, from.data_extent(), to.data_extent()));
+    DECLUST_RETURN_NOT_OK(
+        copy_extent(backup, from.index_b_extent(), to.index_b_extent()));
+    DECLUST_RETURN_NOT_OK(
+        copy_extent(backup, from.index_a_extent(), to.index_a_extent()));
     if (berd_ != nullptr) {
-      copy_extent(backup, aux_backup_extents_[static_cast<size_t>(s)],
-                  aux_extents_[static_cast<size_t>(s)]);
+      DECLUST_RETURN_NOT_OK(
+          copy_extent(backup, aux_backup_extents_[static_cast<size_t>(s)],
+                      aux_extents_[static_cast<size_t>(s)]));
     }
   }
   // Every backup copy the lost disk hosted, restored from that slice's
@@ -383,12 +409,16 @@ std::vector<SystemCatalog::RebuildPage> SystemCatalog::PlanRebuild(
     const int owner = OwnerOf(s);
     const auto& from = *stores_[static_cast<size_t>(s)];
     const auto& to = *backup_stores_[static_cast<size_t>(s)];
-    copy_extent(owner, from.data_extent(), to.data_extent());
-    copy_extent(owner, from.index_b_extent(), to.index_b_extent());
-    copy_extent(owner, from.index_a_extent(), to.index_a_extent());
+    DECLUST_RETURN_NOT_OK(
+        copy_extent(owner, from.data_extent(), to.data_extent()));
+    DECLUST_RETURN_NOT_OK(
+        copy_extent(owner, from.index_b_extent(), to.index_b_extent()));
+    DECLUST_RETURN_NOT_OK(
+        copy_extent(owner, from.index_a_extent(), to.index_a_extent()));
     if (berd_ != nullptr) {
-      copy_extent(owner, aux_extents_[static_cast<size_t>(s)],
-                  aux_backup_extents_[static_cast<size_t>(s)]);
+      DECLUST_RETURN_NOT_OK(
+          copy_extent(owner, aux_extents_[static_cast<size_t>(s)],
+                      aux_backup_extents_[static_cast<size_t>(s)]));
     }
   }
   return pages;
@@ -439,23 +469,26 @@ Result<SystemCatalog::MigrationJob> SystemCatalog::PlanFragmentCopy(
   }
 
   const auto copy_extent = [&](const storage::Extent& src_extent,
-                               const storage::Extent& dst_extent) {
-    assert(src_extent.num_pages == dst_extent.num_pages);
+                               const storage::Extent& dst_extent) -> Status {
+    if (src_extent.num_pages != dst_extent.num_pages) {
+      return Status::Internal("migration source/target extents differ in size");
+    }
     const auto& src_layout = *layout_refs_[static_cast<size_t>(job.src_node)];
     for (int64_t p = 0; p < src_extent.num_pages; ++p) {
-      auto src = src_layout.Resolve(src_extent, p);
-      auto dst = dst_layout.Resolve(dst_extent, p);
-      assert(src.ok() && dst.ok());
-      job.pages.push_back(RebuildPage{job.src_node, *src, *dst});
+      DECLUST_ASSIGN_OR_RETURN(auto src, src_layout.Resolve(src_extent, p));
+      DECLUST_ASSIGN_OR_RETURN(auto dst, dst_layout.Resolve(dst_extent, p));
+      job.pages.push_back(RebuildPage{job.src_node, src, dst});
     }
+    return Status::OK();
   };
-  copy_extent(from.data_extent(), job.new_data);
-  copy_extent(from.index_b_extent(), job.new_idx_b);
-  copy_extent(from.index_a_extent(), job.new_idx_a);
+  DECLUST_RETURN_NOT_OK(copy_extent(from.data_extent(), job.new_data));
+  DECLUST_RETURN_NOT_OK(copy_extent(from.index_b_extent(), job.new_idx_b));
+  DECLUST_RETURN_NOT_OK(copy_extent(from.index_a_extent(), job.new_idx_a));
   if (job.has_aux) {
-    copy_extent(read_backup ? aux_backup_extents_[static_cast<size_t>(slice)]
-                            : aux_extents_[static_cast<size_t>(slice)],
-                job.new_aux);
+    DECLUST_RETURN_NOT_OK(copy_extent(
+        read_backup ? aux_backup_extents_[static_cast<size_t>(slice)]
+                    : aux_extents_[static_cast<size_t>(slice)],
+        job.new_aux));
   }
   return job;
 }

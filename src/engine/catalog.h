@@ -101,44 +101,49 @@ class FragmentStore {
            static_cast<int64_t>(hw.disk_page_size_bytes);
   }
 
-  /// Access plan for a clustered range on attribute B.
-  AccessPlan ClusteredAccess(Value lo, Value hi,
-                             const storage::DiskLayout& layout) const {
+  /// Access plan for a clustered range on attribute B. Convenience wrapper
+  /// for tests; hot paths use the *Into variant with a pooled plan.
+  Result<AccessPlan> ClusteredAccess(Value lo, Value hi,
+                                     const storage::DiskLayout& layout) const {
     AccessPlan plan;
-    ClusteredAccessInto(lo, hi, layout, &plan);
+    DECLUST_RETURN_NOT_OK(ClusteredAccessInto(lo, hi, layout, &plan));
     return plan;
   }
 
   /// Access plan for a (non-clustered) predicate on attribute A.
-  AccessPlan NonClusteredAccess(Value lo, Value hi,
-                                const storage::DiskLayout& layout) const {
+  Result<AccessPlan> NonClusteredAccess(
+      Value lo, Value hi, const storage::DiskLayout& layout) const {
     AccessPlan plan;
     PlanScratch scratch;
-    NonClusteredAccessInto(lo, hi, layout, &scratch, &plan);
+    DECLUST_RETURN_NOT_OK(
+        NonClusteredAccessInto(lo, hi, layout, &scratch, &plan));
     return plan;
   }
 
   /// Access plan for a full sequential scan of the fragment, counting the
   /// tuples matching [lo, hi] on `attr` (0 = A, 1 = B).
-  AccessPlan ScanAccess(int attr, Value lo, Value hi,
-                        const storage::DiskLayout& layout) const {
+  Result<AccessPlan> ScanAccess(int attr, Value lo, Value hi,
+                                const storage::DiskLayout& layout) const {
     AccessPlan plan;
-    ScanAccessInto(attr, lo, hi, layout, &plan);
+    DECLUST_RETURN_NOT_OK(ScanAccessInto(attr, lo, hi, layout, &plan));
     return plan;
   }
 
   /// Fill-in-place variants: clear `out` and rebuild it, reusing its
   /// capacity (and `scratch`'s). The per-query planning path uses these so
-  /// steady-state queries stop allocating.
-  void ClusteredAccessInto(Value lo, Value hi,
-                           const storage::DiskLayout& layout,
-                           AccessPlan* out) const;
-  void NonClusteredAccessInto(Value lo, Value hi,
-                              const storage::DiskLayout& layout,
-                              PlanScratch* scratch, AccessPlan* out) const;
-  void ScanAccessInto(int attr, Value lo, Value hi,
-                      const storage::DiskLayout& layout,
-                      AccessPlan* out) const;
+  /// steady-state queries stop allocating. A non-OK Status means a page
+  /// failed to resolve against its extent (a corrupt or mismatched extent,
+  /// e.g. a truncated migration target) — previously an assert that
+  /// compiled out in Release and dereferenced the failed Result.
+  [[nodiscard]] Status ClusteredAccessInto(Value lo, Value hi,
+                                           const storage::DiskLayout& layout,
+                                           AccessPlan* out) const;
+  [[nodiscard]] Status NonClusteredAccessInto(
+      Value lo, Value hi, const storage::DiskLayout& layout,
+      PlanScratch* scratch, AccessPlan* out) const;
+  [[nodiscard]] Status ScanAccessInto(int attr, Value lo, Value hi,
+                                      const storage::DiskLayout& layout,
+                                      AccessPlan* out) const;
 
   /// Physical extents, for recovery's page-for-page rebuild enumeration.
   const storage::Extent& data_extent() const { return data_extent_; }
@@ -212,30 +217,31 @@ class SystemCatalog {
 
   /// Access plan for `q` at `node` (selects the index by attribute, or a
   /// full sequential scan when `sequential_scan` is set).
-  AccessPlan PlanAccess(int node, const Predicate& q,
-                        bool sequential_scan = false) const {
+  Result<AccessPlan> PlanAccess(int node, const Predicate& q,
+                                bool sequential_scan = false) const {
     AccessPlan plan;
-    PlanAccessInto(node, q, sequential_scan, &plan);
+    DECLUST_RETURN_NOT_OK(PlanAccessInto(node, q, sequential_scan, &plan));
     return plan;
   }
 
   /// Fill-in-place variant of PlanAccess: clears and rebuilds `out`,
   /// retaining its capacity. The engine passes pooled plans here so
   /// steady-state planning is heap-silent.
-  void PlanAccessInto(int node, const Predicate& q, bool sequential_scan,
-                      AccessPlan* out) const;
+  [[nodiscard]] Status PlanAccessInto(int node, const Predicate& q,
+                                      bool sequential_scan,
+                                      AccessPlan* out) const;
 
   /// Access plan for a BERD auxiliary lookup at `node` (empty plan for
   /// non-BERD partitionings).
-  AccessPlan PlanAuxAccess(int node, const Predicate& q) const {
+  Result<AccessPlan> PlanAuxAccess(int node, const Predicate& q) const {
     AccessPlan plan;
-    PlanAuxAccessInto(node, q, &plan);
+    DECLUST_RETURN_NOT_OK(PlanAuxAccessInto(node, q, &plan));
     return plan;
   }
 
   /// Fill-in-place variant of PlanAuxAccess.
-  void PlanAuxAccessInto(int node, const Predicate& q,
-                         AccessPlan* out) const;
+  [[nodiscard]] Status PlanAuxAccessInto(int node, const Predicate& q,
+                                         AccessPlan* out) const;
 
   /// True when chained-declustering backups were built.
   bool has_backups() const { return !backup_stores_.empty(); }
@@ -251,28 +257,33 @@ class SystemCatalog {
   /// fragment, executed at BackupNodeOf(failed_node). Yields the same
   /// qualifying tuples as PlanAccess(failed_node, ...). Requires
   /// has_backups().
-  AccessPlan PlanBackupAccess(int failed_node, const Predicate& q,
-                              bool sequential_scan = false) const {
+  Result<AccessPlan> PlanBackupAccess(int failed_node, const Predicate& q,
+                                      bool sequential_scan = false) const {
     AccessPlan plan;
-    PlanBackupAccessInto(failed_node, q, sequential_scan, &plan);
+    DECLUST_RETURN_NOT_OK(
+        PlanBackupAccessInto(failed_node, q, sequential_scan, &plan));
     return plan;
   }
 
   /// Fill-in-place variant of PlanBackupAccess.
-  void PlanBackupAccessInto(int failed_node, const Predicate& q,
-                            bool sequential_scan, AccessPlan* out) const;
+  [[nodiscard]] Status PlanBackupAccessInto(int failed_node,
+                                            const Predicate& q,
+                                            bool sequential_scan,
+                                            AccessPlan* out) const;
 
   /// BERD auxiliary lookup against the backup copy of `failed_node`'s aux
   /// fragment. Requires has_backups().
-  AccessPlan PlanBackupAuxAccess(int failed_node, const Predicate& q) const {
+  Result<AccessPlan> PlanBackupAuxAccess(int failed_node,
+                                         const Predicate& q) const {
     AccessPlan plan;
-    PlanBackupAuxAccessInto(failed_node, q, &plan);
+    DECLUST_RETURN_NOT_OK(PlanBackupAuxAccessInto(failed_node, q, &plan));
     return plan;
   }
 
   /// Fill-in-place variant of PlanBackupAuxAccess.
-  void PlanBackupAuxAccessInto(int failed_node, const Predicate& q,
-                               AccessPlan* out) const;
+  [[nodiscard]] Status PlanBackupAuxAccessInto(int failed_node,
+                                               const Predicate& q,
+                                               AccessPlan* out) const;
 
   /// One page copy of a node rebuild: read `src` on `src_node`'s disk,
   /// ship it over the interconnect, write `dst` on the repaired node.
@@ -290,7 +301,7 @@ class SystemCatalog {
   /// order, physically sequential within each extent. Without a placement
   /// this is exactly "the node's own fragment from BackupNodeOf(node), then
   /// the predecessor's backup from its primary". Requires has_backups().
-  std::vector<RebuildPage> PlanRebuild(int node) const;
+  Result<std::vector<RebuildPage>> PlanRebuild(int node) const;
 
   /// One planned fragment migration: freshly allocated extents on
   /// `dst_node`'s disk plus the page-for-page copy list that fills them.

@@ -550,10 +550,13 @@ sim::Task<Status> System::RunSiteOnce(int rel, int coord, int exec_node,
   // page addresses always match the copy exec_node actually hosts (the
   // old extents stay valid through the flip — they are abandoned, never
   // invalidated — so reads planned pre-flip drain safely).
-  if (!backup_read) {
-    cat.PlanAccessInto(slice, pred, sequential_scan, plan);
-  } else {
-    cat.PlanBackupAccessInto(slice, pred, sequential_scan, plan);
+  const Status plan_built =
+      !backup_read ? cat.PlanAccessInto(slice, pred, sequential_scan, plan)
+                   : cat.PlanBackupAccessInto(slice, pred, sequential_scan,
+                                              plan);
+  if (!plan_built.ok()) {
+    finish();
+    co_return plan_built;
   }
 
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(
@@ -674,10 +677,13 @@ sim::Task<Status> System::AuxSiteOnce(int rel, int coord, int exec_node,
 
   // Planned before the first await for the same flip-race reason as
   // RunSiteOnce.
-  if (!backup_read) {
-    cat.PlanAuxAccessInto(slice, pred, plan);
-  } else {
-    cat.PlanBackupAuxAccessInto(slice, pred, plan);
+  const Status plan_built = !backup_read
+                                ? cat.PlanAuxAccessInto(slice, pred, plan)
+                                : cat.PlanBackupAuxAccessInto(slice, pred,
+                                                              plan);
+  if (!plan_built.ok()) {
+    finish();
+    co_return plan_built;
   }
 
   DECLUST_CO_RETURN_NOT_OK_CLEANUP(

@@ -90,8 +90,16 @@ sim::Task<> RecoveryCoordinator::RunRepair(RepairEvent ev) {
   }
   rebuild_start_ms_ = std::min(rebuild_start_ms_, sim_->now());
 
+  auto plan = catalog_->PlanRebuild(ev.node);
+  if (!plan.ok()) {
+    // A rebuild plan can only fail on a corrupt/mismatched catalog; treat it
+    // like a lost copy source and keep the node out of service.
+    pending_rebuilds_--;
+    ++rebuilds_aborted_;
+    co_return;
+  }
   const std::vector<engine::SystemCatalog::RebuildPage> pages =
-      catalog_->PlanRebuild(ev.node);
+      std::move(plan).ValueOrDie();
   const double page_bytes =
       static_cast<double>(machine_->params().disk_page_size_bytes);
   // MB/s -> bytes per ms; 0 disables the throttle.

@@ -1,0 +1,117 @@
+// Regression tests for plan-building error propagation. These paths used to
+// be guarded by assert(addr.ok()) which compiles out in Release builds and
+// then dereferences a failed Result (silent UB). They must now return a
+// clean Status in every build configuration — this suite runs in the Release
+// smoke tree too (tools/ci_check.sh).
+
+#include <gtest/gtest.h>
+
+#include "src/decluster/range.h"
+#include "src/engine/catalog.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::engine {
+namespace {
+
+storage::Relation MakeRel(int64_t n) {
+  workload::WisconsinOptions o;
+  o.cardinality = n;
+  o.seed = 31;
+  return workload::MakeWisconsin(o);
+}
+
+struct Fixture {
+  storage::Relation rel;
+  std::unique_ptr<decluster::RangePartitioning> part;
+  hw::HwParams hw;
+  std::unique_ptr<SystemCatalog> catalog;
+
+  explicit Fixture(CatalogOptions opts = CatalogOptions()) : rel(MakeRel(10000)) {
+    part = std::move(
+        decluster::RangePartitioning::Create(rel, {0, 1}, 8).ValueOrDie());
+    catalog = std::move(
+        SystemCatalog::Build(&rel, part.get(), 0, 1, hw, opts).ValueOrDie());
+  }
+};
+
+// Simulates the catalog-corruption case the old asserts guarded: a fragment
+// store whose extent is shorter than its data. Relocate() is the public
+// epoch-flip hook; pointing it at a truncated extent makes every resolve of
+// a late page fail, which must surface as a clean OutOfRange — not UB.
+void TruncateStore(SystemCatalog* catalog, int slice) {
+  auto& store = const_cast<FragmentStore&>(catalog->store(slice));
+  storage::Extent data = store.data_extent();
+  storage::Extent idx_b = store.index_b_extent();
+  storage::Extent idx_a = store.index_a_extent();
+  data.num_pages = 1;
+  idx_b.num_pages = 1;
+  idx_a.num_pages = 1;
+  store.Relocate(data, idx_b, idx_a);
+}
+
+TEST(CatalogStatusTest, ScanCoversExactlyTheExtent) {
+  // A scan walks the extent itself, so it cannot resolve out of range — it
+  // shrinks with the extent instead. Pin that down so the indexed plans
+  // below are the only paths that can observe a truncated extent.
+  Fixture f;
+  TruncateStore(f.catalog.get(), 0);
+  const auto plan =
+      f.catalog->PlanAccess(0, {1, 0, 1 << 30}, /*sequential_scan=*/true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->data_pages.size(), 1u);
+}
+
+TEST(CatalogStatusTest, ClusteredAccessOverTruncatedExtentReturnsOutOfRange) {
+  Fixture f;
+  TruncateStore(f.catalog.get(), 0);
+  const auto plan = f.catalog->PlanAccess(0, {1, 0, 1 << 30});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsOutOfRange()) << plan.status().ToString();
+}
+
+TEST(CatalogStatusTest, NonClusteredAccessOverTruncatedExtentReturnsOutOfRange) {
+  Fixture f;
+  TruncateStore(f.catalog.get(), 0);
+  const auto plan = f.catalog->PlanAccess(0, {0, 0, 1 << 30});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsOutOfRange()) << plan.status().ToString();
+}
+
+TEST(CatalogStatusTest, PlanIntoVariantsReportTheSameFailure) {
+  Fixture f;
+  TruncateStore(f.catalog.get(), 0);
+  AccessPlan plan;
+  EXPECT_TRUE(f.catalog->PlanAccessInto(0, {1, 0, 1 << 30}, false, &plan)
+                  .IsOutOfRange());
+  EXPECT_TRUE(f.catalog->PlanAccessInto(0, {0, 0, 1 << 30}, false, &plan)
+                  .IsOutOfRange());
+  // An untouched slice still plans fine afterwards.
+  EXPECT_TRUE(f.catalog->PlanAccessInto(1, {1, 0, 1 << 30}, true, &plan).ok());
+}
+
+TEST(CatalogStatusTest, BackupPlansWithoutBackupsFailCleanly) {
+  Fixture f;  // chained_backups defaults off
+  ASSERT_FALSE(f.catalog->has_backups());
+  AccessPlan plan;
+  EXPECT_TRUE(f.catalog->PlanBackupAccessInto(0, {1, 0, 10}, false, &plan)
+                  .IsFailedPrecondition());
+  const auto rebuild = f.catalog->PlanRebuild(0);
+  ASSERT_FALSE(rebuild.ok());
+  EXPECT_TRUE(rebuild.status().IsFailedPrecondition());
+}
+
+TEST(CatalogStatusTest, BackupScanOverTruncatedBackupReturnsOutOfRange) {
+  CatalogOptions opts;
+  opts.chained_backups = true;
+  Fixture f(opts);
+  ASSERT_TRUE(f.catalog->has_backups());
+  // Truncating the primary must not affect backup plans…
+  TruncateStore(f.catalog.get(), 0);
+  const auto backup = f.catalog->PlanBackupAccess(0, {1, 0, 1 << 30}, true);
+  EXPECT_TRUE(backup.ok());
+  // …and a healthy primary elsewhere still plans.
+  EXPECT_TRUE(f.catalog->PlanAccess(1, {1, 0, 1 << 30}, true).ok());
+}
+
+}  // namespace
+}  // namespace declust::engine

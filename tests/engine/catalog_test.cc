@@ -43,7 +43,7 @@ TEST(CatalogTest, ClusteredAccessIsSequentialAndComplete) {
   // (B is not the range-partitioning attribute).
   int64_t found = 0;
   for (int n = 0; n < 8; ++n) {
-    const auto plan = f.catalog->PlanAccess(n, {1, 2000, 2299});
+    const auto plan = f.catalog->PlanAccess(n, {1, 2000, 2299}).ValueOrDie();
     found += plan.tuples;
     // Index descent pages present.
     EXPECT_GE(plan.index_pages.size(), 1u);
@@ -67,7 +67,7 @@ TEST(CatalogTest, NonClusteredAccessFindsAllTuples) {
   int64_t found = 0;
   int64_t data_pages = 0;
   for (int n = 0; n < 8; ++n) {
-    const auto plan = f.catalog->PlanAccess(n, {0, 1000, 1029});
+    const auto plan = f.catalog->PlanAccess(n, {0, 1000, 1029}).ValueOrDie();
     found += plan.tuples;
     data_pages += static_cast<int64_t>(plan.data_pages.size());
   }
@@ -80,7 +80,7 @@ TEST(CatalogTest, NonClusteredAccessFindsAllTuples) {
 TEST(CatalogTest, EmptyResultStillDescendsIndex) {
   Fixture f;
   // A query whose range has no tuples at most nodes still reads the index.
-  const auto plan = f.catalog->PlanAccess(7, {0, 0, 0});
+  const auto plan = f.catalog->PlanAccess(7, {0, 0, 0}).ValueOrDie();
   EXPECT_EQ(plan.tuples, 0);
   EXPECT_GE(plan.index_pages.size(), 1u);
   EXPECT_TRUE(plan.data_pages.empty());
@@ -91,7 +91,7 @@ TEST(CatalogTest, ExactMatchReadsOneDataPage) {
   int64_t total_pages = 0;
   int64_t found = 0;
   for (int n = 0; n < 8; ++n) {
-    const auto plan = f.catalog->PlanAccess(n, {0, 5555, 5555});
+    const auto plan = f.catalog->PlanAccess(n, {0, 5555, 5555}).ValueOrDie();
     found += plan.tuples;
     total_pages += static_cast<int64_t>(plan.data_pages.size());
   }
@@ -102,7 +102,7 @@ TEST(CatalogTest, ExactMatchReadsOneDataPage) {
 TEST(CatalogTest, ScanAccessReadsWholeFragmentSequentially) {
   Fixture f;
   const auto plan = f.catalog->PlanAccess(0, {1, 2000, 2299},
-                                          /*sequential_scan=*/true);
+                                          /*sequential_scan=*/true).ValueOrDie();
   // No index pages; every data page of the fragment, in physical order.
   EXPECT_TRUE(plan.index_pages.empty());
   EXPECT_EQ(static_cast<int64_t>(plan.data_pages.size()),
@@ -116,7 +116,7 @@ TEST(CatalogTest, ScanAccessReadsWholeFragmentSequentially) {
     EXPECT_TRUE(consecutive);
   }
   // Tuple count matches the indexed plan's.
-  const auto indexed = f.catalog->PlanAccess(0, {1, 2000, 2299});
+  const auto indexed = f.catalog->PlanAccess(0, {1, 2000, 2299}).ValueOrDie();
   EXPECT_EQ(plan.tuples, indexed.tuples);
 }
 
@@ -124,8 +124,8 @@ TEST(CatalogTest, ScanAccessCountsOnEitherAttribute) {
   Fixture f;
   int64_t via_a = 0, via_b = 0;
   for (int n = 0; n < 8; ++n) {
-    via_a += f.catalog->PlanAccess(n, {0, 1000, 1029}, true).tuples;
-    via_b += f.catalog->PlanAccess(n, {1, 1000, 1029}, true).tuples;
+    via_a += f.catalog->PlanAccess(n, {0, 1000, 1029}, true).ValueOrDie().tuples;
+    via_b += f.catalog->PlanAccess(n, {1, 1000, 1029}, true).ValueOrDie().tuples;
   }
   EXPECT_EQ(via_a, 30);
   EXPECT_EQ(via_b, 30);
@@ -133,7 +133,7 @@ TEST(CatalogTest, ScanAccessCountsOnEitherAttribute) {
 
 TEST(CatalogTest, AuxPlanEmptyForNonBerd) {
   Fixture f;
-  const auto plan = f.catalog->PlanAuxAccess(0, {1, 0, 100});
+  const auto plan = f.catalog->PlanAuxAccess(0, {1, 0, 100}).ValueOrDie();
   EXPECT_TRUE(plan.index_pages.empty());
   EXPECT_EQ(plan.tuples, 0);
 }

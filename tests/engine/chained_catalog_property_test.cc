@@ -106,7 +106,7 @@ TEST(ChainedCatalogPropertyTest, RebuildPlanReadsOnlySurvivingDisks) {
     ASSERT_TRUE(part.ok());
     auto catalog = BuildChained(rel, part->get(), hw);
     for (int failed = 0; failed < n; ++failed) {
-      const auto pages = catalog->PlanRebuild(failed);
+      const auto pages = catalog->PlanRebuild(failed).ValueOrDie();
       ASSERT_FALSE(pages.empty()) << "N=" << n << " failed=" << failed;
       const int backup_holder = catalog->BackupNodeOf(failed);
       // The predecessor: the node whose fragment was backed up on `failed`.
@@ -144,11 +144,11 @@ TEST(ChainedCatalogPropertyTest, RebuildPlanSizeMatchesAcrossNodes) {
   ASSERT_TRUE(berd.ok());
   auto range_cat = BuildChained(rel, range->get(), hw);
   auto berd_cat = BuildChained(rel, berd->get(), hw);
-  const size_t range_pages = range_cat->PlanRebuild(0).size();
-  const size_t berd_pages = berd_cat->PlanRebuild(0).size();
+  const size_t range_pages = range_cat->PlanRebuild(0).ValueOrDie().size();
+  const size_t berd_pages = berd_cat->PlanRebuild(0).ValueOrDie().size();
   for (int node = 1; node < 8; ++node) {
-    EXPECT_EQ(range_cat->PlanRebuild(node).size(), range_pages);
-    EXPECT_EQ(berd_cat->PlanRebuild(node).size(), berd_pages);
+    EXPECT_EQ(range_cat->PlanRebuild(node).ValueOrDie().size(), range_pages);
+    EXPECT_EQ(berd_cat->PlanRebuild(node).ValueOrDie().size(), berd_pages);
   }
   EXPECT_GT(berd_pages, range_pages);
 }

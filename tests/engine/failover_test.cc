@@ -47,14 +47,14 @@ TEST(ChainedBackupTest, BackupPlanMatchesPrimaryOverPredicateGrid) {
   };
   for (int n = 0; n < 8; ++n) {
     for (const Predicate& q : grid) {
-      const auto primary = (*catalog)->PlanAccess(n, q);
-      const auto backup = (*catalog)->PlanBackupAccess(n, q);
+      const auto primary = (*catalog)->PlanAccess(n, q).ValueOrDie();
+      const auto backup = (*catalog)->PlanBackupAccess(n, q).ValueOrDie();
       EXPECT_EQ(primary.tuples, backup.tuples)
           << "node " << n << " attr " << q.attr << " [" << q.lo << ","
           << q.hi << "]";
       EXPECT_EQ(primary.data_pages.size(), backup.data_pages.size());
-      const auto scan_p = (*catalog)->PlanAccess(n, q, true);
-      const auto scan_b = (*catalog)->PlanBackupAccess(n, q, true);
+      const auto scan_p = (*catalog)->PlanAccess(n, q, true).ValueOrDie();
+      const auto scan_b = (*catalog)->PlanBackupAccess(n, q, true).ValueOrDie();
       EXPECT_EQ(scan_p.tuples, scan_b.tuples);
     }
   }
@@ -78,8 +78,8 @@ TEST(ChainedBackupTest, BackupsDoNotMovePrimaryExtents) {
   // failure-free simulation.
   const Predicate q{1, 2000, 2299};
   for (int n = 0; n < 8; ++n) {
-    const auto a = (*plain)->PlanAccess(n, q);
-    const auto b = (*backed)->PlanAccess(n, q);
+    const auto a = (*plain)->PlanAccess(n, q).ValueOrDie();
+    const auto b = (*backed)->PlanAccess(n, q).ValueOrDie();
     ASSERT_EQ(a.data_pages.size(), b.data_pages.size());
     for (size_t i = 0; i < a.data_pages.size(); ++i) {
       EXPECT_EQ(a.data_pages[i].cylinder, b.data_pages[i].cylinder);
@@ -99,8 +99,8 @@ TEST(ChainedBackupTest, BerdAuxBackupMatchesPrimary) {
   ASSERT_TRUE(catalog.ok());
   for (int n = 0; n < 8; ++n) {
     const Predicate q{1, 3000, 3499};
-    const auto primary = (*catalog)->PlanAuxAccess(n, q);
-    const auto backup = (*catalog)->PlanBackupAuxAccess(n, q);
+    const auto primary = (*catalog)->PlanAuxAccess(n, q).ValueOrDie();
+    const auto backup = (*catalog)->PlanBackupAuxAccess(n, q).ValueOrDie();
     EXPECT_EQ(primary.tuples, backup.tuples) << "aux node " << n;
   }
 }
