@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace declust::engine {
 
@@ -37,50 +38,78 @@ Status DescentPages(const storage::Extent& extent, int64_t height,
 }  // namespace
 
 FragmentStore::FragmentStore(const storage::Relation* relation,
-                             std::vector<RecordId> records,
+                             std::span<const RecordId> records,
                              storage::AttrId attr_a, storage::AttrId attr_b,
                              const CatalogOptions& opts,
                              const hw::HwParams& hw,
                              storage::DiskLayout* layout)
     : relation_(relation),
-      by_b_(std::move(records)),
-      clustered_b_(opts.index_fanout),
-      nonclustered_a_(opts.index_fanout),
+      tuple_count_(static_cast<int64_t>(records.size())),
       page_layout_(hw.tuples_per_page) {
-  // Clustered order on B.
-  std::sort(by_b_.begin(), by_b_.end(), [&](RecordId x, RecordId y) {
+  // Clustered order on B. The sorted order is scratch: once the indexes
+  // are bulk-loaded, positions (not record ids) are all the store needs.
+  std::vector<RecordId> by_b(records.begin(), records.end());
+  std::sort(by_b.begin(), by_b.end(), [&](RecordId x, RecordId y) {
     return relation_->value(x, attr_b) < relation_->value(y, attr_b);
   });
 
   // Build both indexes over positions in clustered order.
-  std::vector<storage::BTreeEntry> b_entries(by_b_.size());
-  std::vector<storage::BTreeEntry> a_entries(by_b_.size());
-  for (size_t pos = 0; pos < by_b_.size(); ++pos) {
-    b_entries[pos] = {relation_->value(by_b_[pos], attr_b),
+  std::vector<storage::BTreeEntry> b_entries(by_b.size());
+  std::vector<storage::BTreeEntry> a_entries(by_b.size());
+  for (size_t pos = 0; pos < by_b.size(); ++pos) {
+    b_entries[pos] = {relation_->value(by_b[pos], attr_b),
                       static_cast<RecordId>(pos)};
-    a_entries[pos] = {relation_->value(by_b_[pos], attr_a),
+    a_entries[pos] = {relation_->value(by_b[pos], attr_a),
                       static_cast<RecordId>(pos)};
   }
   std::sort(a_entries.begin(), a_entries.end(),
             [](const storage::BTreeEntry& x, const storage::BTreeEntry& y) {
               return x.key < y.key;
             });
-  clustered_b_ = storage::BPlusTree::BulkLoad(std::move(b_entries),
-                                              opts.index_fanout);
-  nonclustered_a_ = storage::BPlusTree::BulkLoad(std::move(a_entries),
-                                                 opts.index_fanout);
+  clustered_b_ = std::make_shared<const storage::BPlusTree>(
+      storage::BPlusTree::BulkLoad(std::move(b_entries), opts.index_fanout));
+  nonclustered_a_ = std::make_shared<const storage::BPlusTree>(
+      storage::BPlusTree::BulkLoad(std::move(a_entries), opts.index_fanout));
 
   // Allocate physical extents: data, then the two indexes. Allocation can
   // fail (simulated disk full) for relations the default geometry cannot
   // hold; record the Status instead of asserting — an assert compiles away
   // in Release and left the extents dangling at {0, 0}.
-  auto data = layout->Allocate(
-      page_layout_.PagesFor(static_cast<int64_t>(by_b_.size())));
-  auto idx_b = layout->Allocate(clustered_b_.node_count());
-  auto idx_a = layout->Allocate(nonclustered_a_.node_count());
+  auto data = layout->Allocate(page_layout_.PagesFor(tuple_count_));
+  auto idx_b = layout->Allocate(clustered_b_->node_count());
+  auto idx_a = layout->Allocate(nonclustered_a_->node_count());
   if (!data.ok() || !idx_b.ok() || !idx_a.ok()) {
     status_ = Status::OutOfRange(
-        "fragment of " + std::to_string(by_b_.size()) +
+        "fragment of " + std::to_string(tuple_count_) +
+        " tuples does not fit the simulated disk (" +
+        std::to_string(layout->capacity_pages()) + " pages; raise "
+        "disk_cylinders)");
+    return;
+  }
+  data_extent_ = *data;
+  index_b_extent_ = *idx_b;
+  index_a_extent_ = *idx_a;
+}
+
+FragmentStore::FragmentStore(const FragmentStore& primary,
+                             storage::DiskLayout* layout)
+    : relation_(primary.relation_),
+      tuple_count_(primary.tuple_count_),
+      clustered_b_(primary.clustered_b_),
+      nonclustered_a_(primary.nonclustered_a_),
+      page_layout_(primary.page_layout_) {
+  if (!primary.status_.ok()) {
+    status_ = primary.status_;
+    return;
+  }
+  // Same allocation sequence and sizes as building from scratch, so the
+  // backup's disk addresses are byte-identical to the pre-sharing layout.
+  auto data = layout->Allocate(primary.data_extent_.num_pages);
+  auto idx_b = layout->Allocate(primary.index_b_extent_.num_pages);
+  auto idx_a = layout->Allocate(primary.index_a_extent_.num_pages);
+  if (!data.ok() || !idx_b.ok() || !idx_a.ok()) {
+    status_ = Status::OutOfRange(
+        "backup fragment of " + std::to_string(tuple_count_) +
         " tuples does not fit the simulated disk (" +
         std::to_string(layout->capacity_pages()) + " pages; raise "
         "disk_cylinders)");
@@ -98,12 +127,12 @@ Status FragmentStore::ClusteredAccessInto(Value lo, Value hi,
   // The clustered path needs only the range's shape: count plus first/last
   // positions. RangeBounds walks the leaf chain without materialising the
   // entries, so this plan is built without touching the heap.
-  const auto range = clustered_b_.RangeBounds(lo, hi);
+  const auto range = clustered_b_->RangeBounds(lo, hi);
   out->tuples = range.count;
   const int64_t first_pos = range.count == 0 ? 0 : range.first.rid;
   const int64_t avg_per_leaf_b = std::max<int64_t>(
-      1, clustered_b_.size() / std::max<int64_t>(1, clustered_b_.leaf_count()));
-  DECLUST_RETURN_NOT_OK(DescentPages(index_b_extent_, clustered_b_.height(),
+      1, clustered_b_->size() / std::max<int64_t>(1, clustered_b_->leaf_count()));
+  DECLUST_RETURN_NOT_OK(DescentPages(index_b_extent_, clustered_b_->height(),
                                      first_pos / avg_per_leaf_b, layout,
                                      &out->index_pages));
   if (range.count > 0) {
@@ -126,18 +155,18 @@ Status FragmentStore::NonClusteredAccessInto(Value lo, Value hi,
   out->clear();
   std::vector<storage::BTreeEntry>& entries = scratch->entries;
   entries.clear();
-  nonclustered_a_.RangeSearchInto(lo, hi, &entries);
+  nonclustered_a_->RangeSearchInto(lo, hi, &entries);
   out->tuples = static_cast<int64_t>(entries.size());
 
   // Descent plus any extra leaves the range spans.
   const int64_t avg_per_leaf =
-      std::max<int64_t>(1, nonclustered_a_.size() /
-                               std::max<int64_t>(1, nonclustered_a_.leaf_count()));
+      std::max<int64_t>(1, nonclustered_a_->size() /
+                               std::max<int64_t>(1, nonclustered_a_->leaf_count()));
   DECLUST_RETURN_NOT_OK(
-      DescentPages(index_a_extent_, nonclustered_a_.height(),
+      DescentPages(index_a_extent_, nonclustered_a_->height(),
                    (entries.empty() ? 0 : entries.front().key) / avg_per_leaf,
                    layout, &out->index_pages));
-  const int64_t extra_leaves = nonclustered_a_.LeafPagesTouched(lo, hi) - 1;
+  const int64_t extra_leaves = nonclustered_a_->LeafPagesTouched(lo, hi) - 1;
   for (int64_t l = 0; l < extra_leaves; ++l) {
     DECLUST_ASSIGN_OR_RETURN(
         auto addr,
@@ -172,7 +201,7 @@ Status FragmentStore::ScanAccessInto(int attr, Value lo, Value hi,
     DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(data_extent_, p));
     out->data_pages.push_back(addr);
   }
-  const auto& tree = (attr == 1) ? clustered_b_ : nonclustered_a_;
+  const auto& tree = (attr == 1) ? *clustered_b_ : *nonclustered_a_;
   out->tuples = tree.RangeCount(lo, hi);
   return Status::OK();
 }
@@ -237,7 +266,9 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
           catalog->OwnerOf(slice))];
     }
     catalog->stores_.push_back(std::make_unique<FragmentStore>(
-        relation, partitioning->node_records()[static_cast<size_t>(slice)],
+        relation,
+        std::span<const RecordId>(
+            partitioning->node_records()[static_cast<size_t>(slice)]),
         attr_a, attr_b, opts, hw, layout));
     DECLUST_RETURN_NOT_OK(catalog->stores_.back()->status());
     if (catalog->berd_ != nullptr) {
@@ -258,9 +289,9 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
       storage::DiskLayout* layout =
           catalog
               ->layout_refs_[static_cast<size_t>(catalog->BackupNodeOf(slice))];
+      // Backups replicate the primary: shared index content, fresh extents.
       catalog->backup_stores_.push_back(std::make_unique<FragmentStore>(
-          relation, partitioning->node_records()[static_cast<size_t>(slice)],
-          attr_a, attr_b, opts, hw, layout));
+          *catalog->stores_[static_cast<size_t>(slice)], layout));
       DECLUST_RETURN_NOT_OK(catalog->backup_stores_.back()->status());
       if (catalog->berd_ != nullptr) {
         const auto full = catalog->berd_->AuxCost(
@@ -274,6 +305,19 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
     }
   }
   return catalog;
+}
+
+int64_t SystemCatalog::memory_bytes() const {
+  int64_t bytes = 0;
+  std::unordered_set<const void*> counted;
+  const auto add = [&](const FragmentStore& store) {
+    if (counted.insert(store.index_identity()).second) {
+      bytes += store.index_memory_bytes();
+    }
+  };
+  for (const auto& store : stores_) add(*store);
+  for (const auto& store : backup_stores_) add(*store);
+  return bytes;
 }
 
 Status SystemCatalog::PlanAccessInto(int node, const Predicate& q,

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/result.h"
@@ -82,18 +83,41 @@ struct CatalogOptions {
 /// \brief One node's fragment: clustered storage + both indexes + extents.
 class FragmentStore {
  public:
+  /// Builds the fragment's indexes and allocates its extents. `records` is
+  /// a read-only view (typically over Partitioning::node_records()) — the
+  /// store sorts a private copy transiently and keeps no per-tuple state,
+  /// so setup memory is O(1) per store beyond the shared index content.
   FragmentStore(const storage::Relation* relation,
-                std::vector<RecordId> records, storage::AttrId attr_a,
+                std::span<const RecordId> records, storage::AttrId attr_a,
                 storage::AttrId attr_b, const CatalogOptions& opts,
                 const hw::HwParams& hw, storage::DiskLayout* layout);
+
+  /// Builds a chained-backup replica of `primary` on `layout`. The backup
+  /// is content-identical by construction (same records, same options), so
+  /// it shares the primary's immutable index trees instead of rebuilding
+  /// them, and allocates extents of exactly the primary's sizes — the
+  /// allocation sequence (and thus every disk address) is unchanged.
+  FragmentStore(const FragmentStore& primary, storage::DiskLayout* layout);
 
   /// Whether extent allocation succeeded. A relation too large for the
   /// simulated disk used to trip a Release-mode silent-UB assert; callers
   /// (SystemCatalog::Build) now check and propagate this instead.
   const Status& status() const { return status_; }
 
-  int64_t tuple_count() const { return static_cast<int64_t>(by_b_.size()); }
+  int64_t tuple_count() const { return tuple_count_; }
   int64_t data_pages() const { return data_extent_.num_pages; }
+
+  /// Identity of the shared index content: a backup replica returns its
+  /// primary's pointer. Lets footprint accounting count shared trees once.
+  const void* index_identity() const { return clustered_b_.get(); }
+  /// Resident bytes of this store's index trees (shared content counted in
+  /// full — dedupe across stores with index_identity()).
+  int64_t index_memory_bytes() const {
+    int64_t bytes = 0;
+    if (clustered_b_ != nullptr) bytes += clustered_b_->memory_bytes();
+    if (nonclustered_a_ != nullptr) bytes += nonclustered_a_->memory_bytes();
+    return bytes;
+  }
   /// Simulated bytes of the data extent (pages * page size); 64-bit so
   /// 10M-tuple fragments do not wrap.
   int64_t data_bytes(const hw::HwParams& hw) const {
@@ -162,9 +186,12 @@ class FragmentStore {
 
  private:
   const storage::Relation* relation_;
-  std::vector<RecordId> by_b_;  // clustered order
-  storage::BPlusTree clustered_b_;
-  storage::BPlusTree nonclustered_a_;
+  int64_t tuple_count_ = 0;
+  // Immutable once built; a chained-backup replica shares its primary's
+  // trees (same records, same options → identical content), so backups add
+  // no index memory.
+  std::shared_ptr<const storage::BPlusTree> clustered_b_;
+  std::shared_ptr<const storage::BPlusTree> nonclustered_a_;
   storage::PageLayout page_layout_;
   storage::Extent data_extent_;
   storage::Extent index_b_extent_;
@@ -209,6 +236,11 @@ class SystemCatalog {
   /// Logical slice count (one fragment store per slice).
   int num_slices() const { return static_cast<int>(stores_.size()); }
   const FragmentStore& store(int slice) const { return *stores_[slice]; }
+  /// The chained-backup replica of `slice`'s fragment; requires
+  /// has_backups().
+  const FragmentStore& backup_store(int slice) const {
+    return *backup_stores_[static_cast<size_t>(slice)];
+  }
 
   /// The physical node currently serving `slice`'s primary copy.
   int OwnerOf(int slice) const {
@@ -245,6 +277,11 @@ class SystemCatalog {
 
   /// True when chained-declustering backups were built.
   bool has_backups() const { return !backup_stores_.empty(); }
+
+  /// Resident bytes of the catalog's index content, counting trees shared
+  /// between primary and backup stores exactly once. Setup-time footprint
+  /// accounting for the scale tests; O(total index nodes).
+  int64_t memory_bytes() const;
   /// The node holding the backup copy of `slice`'s fragment: the chained
   /// successor (slice + 1) mod N without a placement, else the placement
   /// table (the next member after the owner, re-chained on migration).

@@ -372,6 +372,43 @@ BPlusTree BPlusTree::BulkLoad(std::vector<BTreeEntry> sorted_entries,
   return tree;
 }
 
+int64_t BPlusTree::BulkLoadNodeCount(int64_t entries, int fanout) {
+  if (entries <= 0) return 1;  // the constructor always creates a root leaf
+  const int64_t cap = std::max(2, fanout * 9 / 10);
+  const int64_t leaves = (entries + cap - 1) / cap;
+  int64_t total = leaves;
+  int64_t level = leaves;
+  // Mirror BulkLoad's internal-level chunking exactly, including the
+  // "avoid a trailing parent with a single child" adjustment.
+  while (level > 1) {
+    int64_t parents = 0;
+    int64_t j = 0;
+    while (j < level) {
+      int64_t end = std::min(j + cap, level);
+      if (level - end == 1) --end;
+      ++parents;
+      j = end;
+    }
+    total += parents;
+    level = parents;
+  }
+  return total;
+}
+
+int64_t BPlusTree::memory_bytes() const {
+  return static_cast<int64_t>(sizeof(*this)) + NodeMemoryBytes(root_.get());
+}
+
+int64_t BPlusTree::NodeMemoryBytes(const Node* n) {
+  if (n == nullptr) return 0;
+  int64_t bytes = static_cast<int64_t>(
+      sizeof(*n) + n->keys.capacity() * sizeof(Value) +
+      n->children.capacity() * sizeof(std::unique_ptr<Node>) +
+      n->rids.capacity() * sizeof(RecordId));
+  for (const auto& child : n->children) bytes += NodeMemoryBytes(child.get());
+  return bytes;
+}
+
 Status BPlusTree::ValidateNode(const Node* n, int depth, int leaf_depth,
                                const Value* lower, const Value* upper) const {
   if (!std::is_sorted(n->keys.begin(), n->keys.end())) {

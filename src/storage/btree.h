@@ -100,6 +100,17 @@ class BPlusTree {
   /// balance). Used by property tests.
   Status Validate() const;
 
+  /// Approximate resident bytes of the tree (nodes + vector capacity).
+  /// O(node_count); meant for setup-time footprint accounting, not hot
+  /// paths.
+  int64_t memory_bytes() const;
+
+  /// Number of nodes BulkLoad produces for `entries` entries at `fanout` —
+  /// a pure function of the two, so extent sizes can be computed without
+  /// building the tree (the serial allocation pass of a parallel catalog
+  /// build relies on this).
+  static int64_t BulkLoadNodeCount(int64_t entries, int fanout);
+
  private:
   struct Node;
 
@@ -111,6 +122,7 @@ class BPlusTree {
   void FixChild(Node* parent, int child_idx);
   Status ValidateNode(const Node* n, int depth, int leaf_depth,
                       const Value* lower, const Value* upper) const;
+  static int64_t NodeMemoryBytes(const Node* n);
 
   int fanout_;
   std::unique_ptr<Node> root_;

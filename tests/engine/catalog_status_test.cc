@@ -113,5 +113,34 @@ TEST(CatalogStatusTest, BackupScanOverTruncatedBackupReturnsOutOfRange) {
   EXPECT_TRUE(f.catalog->PlanAccess(1, {1, 0, 1 << 30}, true).ok());
 }
 
+TEST(CatalogMemoryTest, BackupStoresShareIndexContent) {
+  Fixture plain;
+  CatalogOptions opts;
+  opts.chained_backups = true;
+  Fixture backed(opts);
+
+  // Chained backups double the stores but share the primaries' immutable
+  // trees, so the catalog's index footprint must stay (almost) flat.
+  const int64_t plain_bytes = plain.catalog->memory_bytes();
+  const int64_t backed_bytes = backed.catalog->memory_bytes();
+  EXPECT_GT(plain_bytes, 0);
+  EXPECT_EQ(backed_bytes, plain_bytes);
+  for (int n = 0; n < 8; ++n) {
+    EXPECT_EQ(backed.catalog->store(n).index_identity(),
+              backed.catalog->backup_store(n).index_identity());
+  }
+
+  // Sharing must not change what the backup plans: same pages relative to
+  // its own extents, same tuple counts as the primary.
+  for (int n = 0; n < 8; ++n) {
+    const auto p = backed.catalog->PlanAccess(n, {1, 0, 5000}).ValueOrDie();
+    const auto b =
+        backed.catalog->PlanBackupAccess(n, {1, 0, 5000}).ValueOrDie();
+    EXPECT_EQ(p.tuples, b.tuples);
+    EXPECT_EQ(p.data_pages.size(), b.data_pages.size());
+    EXPECT_EQ(p.index_pages.size(), b.index_pages.size());
+  }
+}
+
 }  // namespace
 }  // namespace declust::engine
