@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "src/common/thread_pool.h"
+
 namespace declust::engine {
 
 namespace {
@@ -37,15 +39,10 @@ Status DescentPages(const storage::Extent& extent, int64_t height,
 
 }  // namespace
 
-FragmentStore::FragmentStore(const storage::Relation* relation,
-                             std::span<const RecordId> records,
-                             storage::AttrId attr_a, storage::AttrId attr_b,
-                             const CatalogOptions& opts,
-                             const hw::HwParams& hw,
-                             storage::DiskLayout* layout)
-    : relation_(relation),
-      tuple_count_(static_cast<int64_t>(records.size())),
-      page_layout_(hw.tuples_per_page) {
+void FragmentStore::BuildIndexes(std::span<const RecordId> records,
+                                 storage::AttrId attr_a,
+                                 storage::AttrId attr_b,
+                                 const CatalogOptions& opts) {
   // Clustered order on B. The sorted order is scratch: once the indexes
   // are bulk-loaded, positions (not record ids) are all the store needs.
   std::vector<RecordId> by_b(records.begin(), records.end());
@@ -70,6 +67,18 @@ FragmentStore::FragmentStore(const storage::Relation* relation,
       storage::BPlusTree::BulkLoad(std::move(b_entries), opts.index_fanout));
   nonclustered_a_ = std::make_shared<const storage::BPlusTree>(
       storage::BPlusTree::BulkLoad(std::move(a_entries), opts.index_fanout));
+}
+
+FragmentStore::FragmentStore(const storage::Relation* relation,
+                             std::span<const RecordId> records,
+                             storage::AttrId attr_a, storage::AttrId attr_b,
+                             const CatalogOptions& opts,
+                             const hw::HwParams& hw,
+                             storage::DiskLayout* layout)
+    : relation_(relation),
+      tuple_count_(static_cast<int64_t>(records.size())),
+      page_layout_(hw.tuples_per_page) {
+  BuildIndexes(records, attr_a, attr_b, opts);
 
   // Allocate physical extents: data, then the two indexes. Allocation can
   // fail (simulated disk full) for relations the default geometry cannot
@@ -91,34 +100,46 @@ FragmentStore::FragmentStore(const storage::Relation* relation,
   index_a_extent_ = *idx_a;
 }
 
+FragmentStore::FragmentStore(const storage::Relation* relation,
+                             std::span<const RecordId> records,
+                             storage::AttrId attr_a, storage::AttrId attr_b,
+                             const CatalogOptions& opts,
+                             const hw::HwParams& hw,
+                             const storage::Extent& data,
+                             const storage::Extent& idx_b,
+                             const storage::Extent& idx_a)
+    : relation_(relation),
+      tuple_count_(static_cast<int64_t>(records.size())),
+      page_layout_(hw.tuples_per_page),
+      data_extent_(data),
+      index_b_extent_(idx_b),
+      index_a_extent_(idx_a) {
+  BuildIndexes(records, attr_a, attr_b, opts);
+  // The serial allocation pass sized these extents without building the
+  // trees (BulkLoadNodeCount); a mismatch here means that function drifted
+  // from BulkLoad and every address after this extent would be wrong.
+  if (page_layout_.PagesFor(tuple_count_) != data_extent_.num_pages ||
+      clustered_b_->node_count() != index_b_extent_.num_pages ||
+      nonclustered_a_->node_count() != index_a_extent_.num_pages) {
+    status_ = Status::Internal(
+        "preallocated extents do not match built index sizes (BulkLoad vs "
+        "BulkLoadNodeCount drift)");
+  }
+}
+
 FragmentStore::FragmentStore(const FragmentStore& primary,
-                             storage::DiskLayout* layout)
+                             const storage::Extent& data,
+                             const storage::Extent& idx_b,
+                             const storage::Extent& idx_a)
     : relation_(primary.relation_),
       tuple_count_(primary.tuple_count_),
       clustered_b_(primary.clustered_b_),
       nonclustered_a_(primary.nonclustered_a_),
-      page_layout_(primary.page_layout_) {
-  if (!primary.status_.ok()) {
-    status_ = primary.status_;
-    return;
-  }
-  // Same allocation sequence and sizes as building from scratch, so the
-  // backup's disk addresses are byte-identical to the pre-sharing layout.
-  auto data = layout->Allocate(primary.data_extent_.num_pages);
-  auto idx_b = layout->Allocate(primary.index_b_extent_.num_pages);
-  auto idx_a = layout->Allocate(primary.index_a_extent_.num_pages);
-  if (!data.ok() || !idx_b.ok() || !idx_a.ok()) {
-    status_ = Status::OutOfRange(
-        "backup fragment of " + std::to_string(tuple_count_) +
-        " tuples does not fit the simulated disk (" +
-        std::to_string(layout->capacity_pages()) + " pages; raise "
-        "disk_cylinders)");
-    return;
-  }
-  data_extent_ = *data;
-  index_b_extent_ = *idx_b;
-  index_a_extent_ = *idx_a;
-}
+      page_layout_(primary.page_layout_),
+      data_extent_(data),
+      index_b_extent_(idx_b),
+      index_a_extent_(idx_a),
+      status_(primary.status_) {}
 
 Status FragmentStore::ClusteredAccessInto(Value lo, Value hi,
                                           const storage::DiskLayout& layout,
@@ -251,9 +272,54 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
     }
   }
 
+  // --- Pass 1: serial extent allocation. --------------------------------
   // Allocation order matters (extent addresses): without a placement this
-  // loop must interleave layout creation with store construction exactly as
-  // the fixed-membership catalog always has, so addresses are unchanged.
+  // loop must interleave layout creation with per-slice allocations exactly
+  // as the single-pass build always has, so addresses are byte-identical.
+  // Extent sizes are pure functions of the slice's tuple count
+  // (PageLayout::PagesFor, BPlusTree::BulkLoadNodeCount — both trees index
+  // the same entries at the same fanout), so no tree needs to exist yet.
+  struct SliceExtents {
+    storage::Extent data, idx_b, idx_a;
+  };
+  const storage::PageLayout page_layout(hw.tuples_per_page);
+  const auto& node_records = partitioning->node_records();
+  const auto allocate_store = [&](int slice, storage::DiskLayout* layout,
+                                  SliceExtents* out) -> Status {
+    const int64_t count =
+        static_cast<int64_t>(node_records[static_cast<size_t>(slice)].size());
+    const int64_t index_nodes =
+        storage::BPlusTree::BulkLoadNodeCount(count, opts.index_fanout);
+    auto data = layout->Allocate(page_layout.PagesFor(count));
+    auto idx_b = layout->Allocate(index_nodes);
+    auto idx_a = layout->Allocate(index_nodes);
+    if (!data.ok() || !idx_b.ok() || !idx_a.ok()) {
+      return Status::OutOfRange(
+          "fragment of " + std::to_string(count) +
+          " tuples does not fit the simulated disk (" +
+          std::to_string(layout->capacity_pages()) + " pages; raise "
+          "disk_cylinders)");
+    }
+    *out = {*data, *idx_b, *idx_a};
+    return Status::OK();
+  };
+  const auto allocate_aux = [&](int slice, storage::DiskLayout* layout,
+                                std::vector<storage::Extent>* out) -> Status {
+    const auto full = catalog->berd_->AuxCost(
+        slice, std::numeric_limits<Value>::min(),
+        std::numeric_limits<Value>::max());
+    const int64_t aux_pages =
+        std::max<int64_t>(1, full.index_pages + full.leaf_pages);
+    DECLUST_ASSIGN_OR_RETURN(auto extent, layout->Allocate(aux_pages));
+    out->push_back(extent);
+    return Status::OK();
+  };
+
+  // Reserve the store slots up front: num_slices() (and so BackupNodeOf's
+  // modulus) must be valid during pass 1, before pass 2 fills them in.
+  catalog->stores_.resize(static_cast<size_t>(slices));
+
+  std::vector<SliceExtents> primary_extents(static_cast<size_t>(slices));
   for (int slice = 0; slice < slices; ++slice) {
     storage::DiskLayout* layout;
     if (placement == nullptr && share_disks_with == nullptr) {
@@ -265,43 +331,69 @@ Result<std::unique_ptr<SystemCatalog>> SystemCatalog::Build(
       layout = catalog->layout_refs_[static_cast<size_t>(
           catalog->OwnerOf(slice))];
     }
-    catalog->stores_.push_back(std::make_unique<FragmentStore>(
-        relation,
-        std::span<const RecordId>(
-            partitioning->node_records()[static_cast<size_t>(slice)]),
-        attr_a, attr_b, opts, hw, layout));
-    DECLUST_RETURN_NOT_OK(catalog->stores_.back()->status());
+    DECLUST_RETURN_NOT_OK(allocate_store(
+        slice, layout, &primary_extents[static_cast<size_t>(slice)]));
     if (catalog->berd_ != nullptr) {
       // Auxiliary-relation pages for this slice's aux fragment.
-      const auto full = catalog->berd_->AuxCost(
-          slice, std::numeric_limits<Value>::min(),
-          std::numeric_limits<Value>::max());
-      const int64_t aux_pages =
-          std::max<int64_t>(1, full.index_pages + full.leaf_pages);
-      DECLUST_ASSIGN_OR_RETURN(auto extent, layout->Allocate(aux_pages));
-      catalog->aux_extents_.push_back(extent);
+      DECLUST_RETURN_NOT_OK(allocate_aux(slice, layout,
+                                         &catalog->aux_extents_));
     }
   }
   // Chained declustering: backup copies go on disk AFTER all primary
   // extents, so primary physical addresses are unchanged by the option.
-  if (opts.chained_backups && slices > 1) {
+  const bool backups = opts.chained_backups && slices > 1;
+  std::vector<SliceExtents> backup_extents(
+      backups ? static_cast<size_t>(slices) : 0);
+  if (backups) {
     for (int slice = 0; slice < slices; ++slice) {
       storage::DiskLayout* layout =
           catalog
               ->layout_refs_[static_cast<size_t>(catalog->BackupNodeOf(slice))];
-      // Backups replicate the primary: shared index content, fresh extents.
-      catalog->backup_stores_.push_back(std::make_unique<FragmentStore>(
-          *catalog->stores_[static_cast<size_t>(slice)], layout));
-      DECLUST_RETURN_NOT_OK(catalog->backup_stores_.back()->status());
+      DECLUST_RETURN_NOT_OK(allocate_store(
+          slice, layout, &backup_extents[static_cast<size_t>(slice)]));
       if (catalog->berd_ != nullptr) {
-        const auto full = catalog->berd_->AuxCost(
-            slice, std::numeric_limits<Value>::min(),
-            std::numeric_limits<Value>::max());
-        const int64_t aux_pages =
-            std::max<int64_t>(1, full.index_pages + full.leaf_pages);
-        DECLUST_ASSIGN_OR_RETURN(auto extent, layout->Allocate(aux_pages));
-        catalog->aux_backup_extents_.push_back(extent);
+        DECLUST_RETURN_NOT_OK(allocate_aux(slice, layout,
+                                           &catalog->aux_backup_extents_));
       }
+    }
+  }
+
+  // --- Pass 2: index construction, parallel over slices. ----------------
+  // Each slice sorts and bulk-loads only its own trees into extents pass 1
+  // reserved — no shared mutable state, so the result is byte-identical
+  // for any job count.
+  const auto build_store = [&](int slice) {
+    const auto& ext = primary_extents[static_cast<size_t>(slice)];
+    catalog->stores_[static_cast<size_t>(slice)] =
+        std::make_unique<FragmentStore>(
+            relation,
+            std::span<const RecordId>(
+                node_records[static_cast<size_t>(slice)]),
+            attr_a, attr_b, opts, hw, ext.data, ext.idx_b, ext.idx_a);
+  };
+  const int jobs =
+      std::min(ThreadPool::ResolveJobs(opts.build_jobs), slices);
+  if (jobs <= 1) {
+    for (int slice = 0; slice < slices; ++slice) build_store(slice);
+  } else {
+    ThreadPool pool(jobs);
+    for (int slice = 0; slice < slices; ++slice) {
+      pool.Submit([&build_store, slice] { build_store(slice); });
+    }
+    pool.Wait();
+  }
+  for (const auto& store : catalog->stores_) {
+    DECLUST_RETURN_NOT_OK(store->status());
+  }
+
+  // --- Pass 3: backup replicas share the primaries' trees (cheap). ------
+  if (backups) {
+    for (int slice = 0; slice < slices; ++slice) {
+      const auto& ext = backup_extents[static_cast<size_t>(slice)];
+      catalog->backup_stores_.push_back(std::make_unique<FragmentStore>(
+          *catalog->stores_[static_cast<size_t>(slice)], ext.data, ext.idx_b,
+          ext.idx_a));
+      DECLUST_RETURN_NOT_OK(catalog->backup_stores_.back()->status());
     }
   }
   return catalog;

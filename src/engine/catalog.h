@@ -78,6 +78,11 @@ struct CatalogOptions {
   /// Backups are placed after every primary extent so primary disk
   /// addresses are identical with and without backups.
   bool chained_backups = false;
+  /// Worker threads for the catalog build's index-construction pass.
+  /// 0 resolves DECLUST_JOBS (absent -> 1); 1 builds serially. Extent
+  /// allocation is always serial, so disk addresses are byte-identical for
+  /// any value.
+  int build_jobs = 0;
 };
 
 /// \brief One node's fragment: clustered storage + both indexes + extents.
@@ -92,12 +97,25 @@ class FragmentStore {
                 storage::AttrId attr_b, const CatalogOptions& opts,
                 const hw::HwParams& hw, storage::DiskLayout* layout);
 
-  /// Builds a chained-backup replica of `primary` on `layout`. The backup
-  /// is content-identical by construction (same records, same options), so
-  /// it shares the primary's immutable index trees instead of rebuilding
-  /// them, and allocates extents of exactly the primary's sizes — the
-  /// allocation sequence (and thus every disk address) is unchanged.
-  FragmentStore(const FragmentStore& primary, storage::DiskLayout* layout);
+  /// Builds the fragment's indexes into extents a serial allocation pass
+  /// already reserved (sized via storage::BPlusTree::BulkLoadNodeCount, a
+  /// pure function of tuple count and fanout). This is the parallel-build
+  /// constructor: it touches no shared state, so slices can construct
+  /// concurrently while disk addresses stay byte-identical to the serial
+  /// build. status() is Internal if the built trees do not match the
+  /// reserved extent sizes.
+  FragmentStore(const storage::Relation* relation,
+                std::span<const RecordId> records, storage::AttrId attr_a,
+                storage::AttrId attr_b, const CatalogOptions& opts,
+                const hw::HwParams& hw, const storage::Extent& data,
+                const storage::Extent& idx_b, const storage::Extent& idx_a);
+
+  /// Builds a chained-backup replica of `primary` on extents the serial
+  /// allocation pass reserved. The backup is content-identical by
+  /// construction (same records, same options), so it shares the primary's
+  /// immutable index trees instead of rebuilding them.
+  FragmentStore(const FragmentStore& primary, const storage::Extent& data,
+                const storage::Extent& idx_b, const storage::Extent& idx_a);
 
   /// Whether extent allocation succeeded. A relation too large for the
   /// simulated disk used to trip a Release-mode silent-UB assert; callers
@@ -185,6 +203,12 @@ class FragmentStore {
   }
 
  private:
+  /// Sorts a transient copy of `records` into clustered order and bulk-
+  /// loads both index trees. Shared by the allocating and pre-allocated
+  /// constructors.
+  void BuildIndexes(std::span<const RecordId> records, storage::AttrId attr_a,
+                    storage::AttrId attr_b, const CatalogOptions& opts);
+
   const storage::Relation* relation_;
   int64_t tuple_count_ = 0;
   // Immutable once built; a chained-backup replica shares its primary's

@@ -142,5 +142,45 @@ TEST(CatalogMemoryTest, BackupStoresShareIndexContent) {
   }
 }
 
+TEST(CatalogBuildTest, ParallelBuildIsByteIdenticalToSerial) {
+  CatalogOptions serial_opts;
+  serial_opts.chained_backups = true;
+  serial_opts.build_jobs = 1;
+  CatalogOptions parallel_opts = serial_opts;
+  parallel_opts.build_jobs = 8;
+  Fixture serial(serial_opts);
+  Fixture parallel(parallel_opts);
+
+  const auto same_extent = [](const storage::Extent& a,
+                              const storage::Extent& b) {
+    return a.base_page == b.base_page && a.num_pages == b.num_pages;
+  };
+  for (int n = 0; n < 8; ++n) {
+    const auto& s = serial.catalog->store(n);
+    const auto& p = parallel.catalog->store(n);
+    EXPECT_TRUE(same_extent(s.data_extent(), p.data_extent())) << n;
+    EXPECT_TRUE(same_extent(s.index_b_extent(), p.index_b_extent())) << n;
+    EXPECT_TRUE(same_extent(s.index_a_extent(), p.index_a_extent())) << n;
+    const auto& sb = serial.catalog->backup_store(n);
+    const auto& pb = parallel.catalog->backup_store(n);
+    EXPECT_TRUE(same_extent(sb.data_extent(), pb.data_extent())) << n;
+    EXPECT_TRUE(same_extent(sb.index_b_extent(), pb.index_b_extent())) << n;
+    EXPECT_TRUE(same_extent(sb.index_a_extent(), pb.index_a_extent())) << n;
+
+    // Resolved plan addresses (index descent + data pages) agree too.
+    for (const Predicate q : {Predicate{1, 0, 3000}, Predicate{0, 100, 400}}) {
+      const auto sp = serial.catalog->PlanAccess(n, q).ValueOrDie();
+      const auto pp = parallel.catalog->PlanAccess(n, q).ValueOrDie();
+      ASSERT_EQ(sp.index_pages.size(), pp.index_pages.size());
+      ASSERT_EQ(sp.data_pages.size(), pp.data_pages.size());
+      EXPECT_EQ(sp.tuples, pp.tuples);
+      for (size_t i = 0; i < sp.data_pages.size(); ++i) {
+        EXPECT_EQ(sp.data_pages[i].cylinder, pp.data_pages[i].cylinder);
+        EXPECT_EQ(sp.data_pages[i].slot, pp.data_pages[i].slot);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace declust::engine
