@@ -157,14 +157,15 @@ Status FragmentStore::ClusteredAccessInto(Value lo, Value hi,
                                      first_pos / avg_per_leaf_b, layout,
                                      &out->index_pages));
   if (range.count > 0) {
-    // Qualifying tuples are contiguous in clustered order: sequential pages.
+    // Qualifying tuples are contiguous in clustered order: one sequential
+    // run of pages, however wide the range.
     const int64_t last_pos = range.last.rid;
     const int64_t first_page = page_layout_.PageOfPosition(first_pos);
     const int64_t last_page = page_layout_.PageOfPosition(last_pos);
-    for (int64_t p = first_page; p <= last_page; ++p) {
-      DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(data_extent_, p));
-      out->data_pages.push_back(addr);
-    }
+    DECLUST_ASSIGN_OR_RETURN(
+        auto run, layout.ResolveRun(data_extent_, first_page,
+                                    last_page - first_page + 1));
+    out->data_runs.push_back(run);
   }
   return Status::OK();
 }
@@ -217,10 +218,12 @@ Status FragmentStore::ScanAccessInto(int attr, Value lo, Value hi,
                                      const storage::DiskLayout& layout,
                                      AccessPlan* out) const {
   out->clear();
-  // Every data page, physically sequential; no index pages.
-  for (int64_t p = 0; p < data_extent_.num_pages; ++p) {
-    DECLUST_ASSIGN_OR_RETURN(auto addr, layout.Resolve(data_extent_, p));
-    out->data_pages.push_back(addr);
+  // Every data page, physically sequential; no index pages. One run covers
+  // the whole extent regardless of fragment size.
+  if (data_extent_.num_pages > 0) {
+    DECLUST_ASSIGN_OR_RETURN(
+        auto run, layout.ResolveRun(data_extent_, 0, data_extent_.num_pages));
+    out->data_runs.push_back(run);
   }
   const auto& tree = (attr == 1) ? *clustered_b_ : *nonclustered_a_;
   out->tuples = tree.RangeCount(lo, hi);

@@ -44,16 +44,42 @@ using storage::Value;
 struct AccessPlan {
   /// Physical index pages (random reads: B-tree descent, then leaves).
   std::vector<hw::PageAddress> index_pages;
-  /// Physical data pages; contiguous ascending for clustered scans.
+  /// Physical data pages read individually (non-clustered access: one
+  /// random page per qualifying tuple's page).
   std::vector<hw::PageAddress> data_pages;
+  /// Contiguous data-page ranges (clustered/scan access). One entry covers
+  /// an arbitrarily long sequential read, so a full-table scan's plan is
+  /// O(extents), not O(pages). The read path expands runs arithmetically
+  /// in the same order the per-page list used, so simulated timings are
+  /// unchanged.
+  std::vector<hw::PageRun> data_runs;
   /// Qualifying tuples found at this node.
   int64_t tuples = 0;
+
+  /// Data pages across both representations.
+  int64_t data_page_count() const {
+    int64_t n = static_cast<int64_t>(data_pages.size());
+    for (const auto& run : data_runs) n += run.count;
+    return n;
+  }
+
+  /// Invokes `fn(hw::PageAddress)` for every data page in read order:
+  /// explicit addresses first, then runs (plans populate only one of the
+  /// two, so the order matches the pre-run per-page plans exactly).
+  template <typename Fn>
+  void ForEachDataPage(Fn&& fn) const {
+    for (const auto& page : data_pages) fn(page);
+    for (const auto& run : data_runs) {
+      for (int64_t i = 0; i < run.count; ++i) fn(run.At(i));
+    }
+  }
 
   /// Empties the plan but keeps the vectors' capacity, so a pooled plan
   /// object stops allocating once it has warmed to the working-set size.
   void clear() {
     index_pages.clear();
     data_pages.clear();
+    data_runs.clear();
     tuples = 0;
   }
 };

@@ -119,10 +119,18 @@ sim::Task<Status> RunSelect(hw::Node* node, const AccessPlan& plan,
   }
 
   // Data pages (sequential for clustered scans, random otherwise: the
-  // addresses in the plan and the elevator model decide).
+  // addresses in the plan and the elevator model decide). Run entries are
+  // expanded arithmetically in the same order the per-page plans used, so
+  // the disk sees an identical address sequence.
   for (const auto& page : plan.data_pages) {
     DECLUST_CO_RETURN_NOT_OK_CLEANUP(
         co_await AccessPage(node, page, costs, pool, fc, qo), finish());
+  }
+  for (const auto& run : plan.data_runs) {
+    for (int64_t i = 0; i < run.count; ++i) {
+      DECLUST_CO_RETURN_NOT_OK_CLEANUP(
+          co_await AccessPage(node, run.At(i), costs, pool, fc, qo), finish());
+    }
   }
 
   // Predicate evaluation / tuple extraction.

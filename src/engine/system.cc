@@ -163,17 +163,15 @@ AccessPlan* System::AcquirePlan() {
   }
   plan_storage_.push_back(std::make_unique<AccessPlan>());
   AccessPlan* p = plan_storage_.back().get();
-  // Size the page vectors for the worst case up front (a full scan of the
-  // largest fragment, over every bound relation) so a pooled plan never
-  // reallocates mid-run.
-  int64_t max_pages = 0;
-  for (const RelationBinding& rb : bindings_) {
-    for (int s = 0; s < rb.catalog->num_slices(); ++s) {
-      max_pages = std::max(max_pages, rb.catalog->store(s).data_pages());
-    }
-  }
-  p->data_pages.reserve(static_cast<size_t>(max_pages) + 8);
-  p->index_pages.reserve(static_cast<size_t>(max_pages) + 8);
+  // Scans and clustered ranges emit O(1) page runs, so a pooled plan no
+  // longer needs a full-fragment page list up front (which made every plan
+  // O(pages) — the setup-memory bottleneck at 10M+ tuples). Start with a
+  // modest reserve; non-clustered page lists warm to the mix's high-water
+  // mark during warmup and ReleasePlan keeps the capacity, so the steady
+  // state stays heap-silent (tests/sim/alloc_count_test.cc).
+  p->data_pages.reserve(64);
+  p->index_pages.reserve(64);
+  p->data_runs.reserve(8);
   return p;
 }
 

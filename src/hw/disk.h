@@ -39,6 +39,28 @@ struct PageAddress {
   friend bool operator==(const PageAddress&, const PageAddress&) = default;
 };
 
+/// \brief A physically contiguous run of disk pages: first address plus
+/// count. At(i) reproduces the i-th page's address arithmetically, so a
+/// full-extent scan plan holds one run — O(extents) memory — instead of one
+/// PageAddress per page. Reading At(0..count) in order is byte-identical to
+/// the expanded per-page list (the disk model's sequential detection sees
+/// the same address sequence).
+struct PageRun {
+  PageAddress first;
+  int64_t count = 0;
+  int pages_per_cylinder = 0;
+
+  PageAddress At(int64_t i) const {
+    const int64_t abs =
+        static_cast<int64_t>(first.cylinder) * pages_per_cylinder +
+        first.slot + i;
+    return {static_cast<int>(abs / pages_per_cylinder),
+            static_cast<int>(abs % pages_per_cylinder)};
+  }
+
+  friend bool operator==(const PageRun&, const PageRun&) = default;
+};
+
 /// \brief One disk drive with a scheduled request queue.
 class Disk {
  public:

@@ -24,4 +24,15 @@ Result<hw::PageAddress> DiskLayout::Resolve(const Extent& extent,
   };
 }
 
+Result<hw::PageRun> DiskLayout::ResolveRun(const Extent& extent,
+                                           int64_t first,
+                                           int64_t count) const {
+  if (first < 0 || count < 0 || first + count > extent.num_pages) {
+    return Status::OutOfRange("page range outside extent");
+  }
+  if (count == 0) return hw::PageRun{{0, 0}, 0, pages_per_cylinder_};
+  DECLUST_ASSIGN_OR_RETURN(auto addr, Resolve(extent, first));
+  return hw::PageRun{addr, count, pages_per_cylinder_};
+}
+
 }  // namespace declust::storage

@@ -34,6 +34,13 @@ class DiskLayout {
   /// Physical address of page `index` within `extent`.
   Result<hw::PageAddress> Resolve(const Extent& extent, int64_t index) const;
 
+  /// Physical run of `count` pages starting at page `first` within
+  /// `extent`. Extents are contiguous, so one run covers any in-extent
+  /// page range; PageRun::At reproduces exactly the addresses Resolve
+  /// would return page by page.
+  Result<hw::PageRun> ResolveRun(const Extent& extent, int64_t first,
+                                 int64_t count) const;
+
   int64_t allocated_pages() const { return next_page_; }
   int64_t capacity_pages() const {
     return static_cast<int64_t>(pages_per_cylinder_) * cylinders_;

@@ -2,11 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/decluster/range.h"
 #include "src/workload/wisconsin.h"
 
 namespace declust::engine {
 namespace {
+
+std::vector<hw::PageAddress> ExpandDataPages(const AccessPlan& plan) {
+  std::vector<hw::PageAddress> pages;
+  plan.ForEachDataPage([&](hw::PageAddress p) { pages.push_back(p); });
+  return pages;
+}
 
 struct Fixture {
   storage::Relation rel;
@@ -47,10 +55,14 @@ TEST(CatalogTest, ClusteredAccessIsSequentialAndComplete) {
     found += plan.tuples;
     // Index descent pages present.
     EXPECT_GE(plan.index_pages.size(), 1u);
-    // Data pages are physically consecutive (sequential scan).
-    for (size_t i = 1; i < plan.data_pages.size(); ++i) {
-      const auto& prev = plan.data_pages[i - 1];
-      const auto& cur = plan.data_pages[i];
+    // Clustered access is one contiguous range: a single run entry, no
+    // per-page list, and the expanded addresses are physically consecutive.
+    EXPECT_TRUE(plan.data_pages.empty());
+    EXPECT_LE(plan.data_runs.size(), 1u);
+    const auto pages = ExpandDataPages(plan);
+    for (size_t i = 1; i < pages.size(); ++i) {
+      const auto& prev = pages[i - 1];
+      const auto& cur = pages[i];
       const bool consecutive =
           (cur.cylinder == prev.cylinder && cur.slot == prev.slot + 1) ||
           (cur.cylinder == prev.cylinder + 1 && cur.slot == 0);
@@ -103,13 +115,16 @@ TEST(CatalogTest, ScanAccessReadsWholeFragmentSequentially) {
   Fixture f;
   const auto plan = f.catalog->PlanAccess(0, {1, 2000, 2299},
                                           /*sequential_scan=*/true).ValueOrDie();
-  // No index pages; every data page of the fragment, in physical order.
+  // No index pages; every data page of the fragment as one run entry (the
+  // plan is O(extents), not O(pages)), expanding to physical order.
   EXPECT_TRUE(plan.index_pages.empty());
-  EXPECT_EQ(static_cast<int64_t>(plan.data_pages.size()),
-            f.catalog->store(0).data_pages());
-  for (size_t i = 1; i < plan.data_pages.size(); ++i) {
-    const auto& prev = plan.data_pages[i - 1];
-    const auto& cur = plan.data_pages[i];
+  EXPECT_TRUE(plan.data_pages.empty());
+  EXPECT_EQ(plan.data_runs.size(), 1u);
+  EXPECT_EQ(plan.data_page_count(), f.catalog->store(0).data_pages());
+  const auto pages = ExpandDataPages(plan);
+  for (size_t i = 1; i < pages.size(); ++i) {
+    const auto& prev = pages[i - 1];
+    const auto& cur = pages[i];
     const bool consecutive =
         (cur.cylinder == prev.cylinder && cur.slot == prev.slot + 1) ||
         (cur.cylinder == prev.cylinder + 1 && cur.slot == 0);
