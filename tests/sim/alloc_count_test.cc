@@ -89,18 +89,14 @@ TEST(AllocCountTest, WarmArenaAllocatesNothing) {
   EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
 }
 
-TEST(AllocCountTest, SteadyStateEngineEventLoopIsHeapSilent) {
-#ifdef DECLUST_ASAN_ACTIVE
-  GTEST_SKIP() << "FrameCache passes through the heap under ASan by design";
-#else
-  // A quick figure-8-style configuration: range partitioning, mixed
-  // resource classes, fault-free, probe/audit off — the default hot path.
+// Warms a small closed-loop engine run past its pool-population phase, then
+// walks fixed windows of simulated time until one is completely heap-silent.
+// Shared by the default mix and the scan-heavy variant below: heap silence
+// must hold for every access path the workload can reach.
+void ExpectSteadyStateHeapSilent(const workload::Workload& wl) {
   workload::WisconsinOptions wopts;
   wopts.cardinality = 10'000;
   const auto relation = workload::MakeWisconsin(wopts);
-  const auto wl =
-      workload::MakeMix(workload::ResourceClass::kLow,
-                        workload::ResourceClass::kModerate);
   auto part = exp::MakePartitioning("range", relation, wl, /*num_processors=*/8);
   ASSERT_TRUE(part.ok()) << part.status().message();
 
@@ -158,6 +154,36 @@ TEST(AllocCountTest, SteadyStateEngineEventLoopIsHeapSilent) {
   EXPECT_LE(windows_used, 10) << "pools still growing after "
                               << windows_used * kWindowMs << " simulated ms";
   EXPECT_GT(system.metrics().completed_total(), 0);
+}
+
+TEST(AllocCountTest, SteadyStateEngineEventLoopIsHeapSilent) {
+#ifdef DECLUST_ASAN_ACTIVE
+  GTEST_SKIP() << "FrameCache passes through the heap under ASan by design";
+#else
+  // A quick figure-8-style configuration: range partitioning, mixed
+  // resource classes, fault-free, probe/audit off — the default hot path.
+  ExpectSteadyStateHeapSilent(
+      workload::MakeMix(workload::ResourceClass::kLow,
+                        workload::ResourceClass::kModerate));
+#endif
+}
+
+TEST(AllocCountTest, ScanHeavySteadyStateIsHeapSilent) {
+#ifdef DECLUST_ASAN_ACTIVE
+  GTEST_SKIP() << "FrameCache passes through the heap under ASan by design";
+#else
+  // Same probe with the clustered class flipped to full fragment scans:
+  // every site then reads its whole extent each query. Scan plans are
+  // run-length (one entry per extent), so pooled plans must stay silent
+  // without the old max-fragment-pages pre-reserve — this is the access
+  // path an O(pages) plan regression would hit first.
+  auto wl = workload::MakeMix(workload::ResourceClass::kLow,
+                              workload::ResourceClass::kModerate);
+  for (auto& cls : wl.classes) {
+    if (cls.clustered_index) cls.sequential_scan = true;
+  }
+  wl.name += "+scan";
+  ExpectSteadyStateHeapSilent(wl);
 #endif
 }
 
