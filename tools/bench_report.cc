@@ -4,6 +4,8 @@
 // BENCH_kernel.json for CI tracking.
 //
 //   bench_report [--out FILE] [--jobs N]
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -14,11 +16,14 @@
 
 #include "src/common/atomic_file.h"
 #include "src/common/parse.h"
+#include "src/decluster/range.h"
+#include "src/engine/catalog.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
+#include "src/workload/wisconsin.h"
 
 namespace {
 
@@ -102,6 +107,61 @@ double MeasureCancelChurnRate() {
   const auto t1 = Clock::now();
   s.Run();
   return kPairs / Seconds(t0, t1);
+}
+
+/// One point of the setup-scale curve: the catalog built over `nodes`
+/// slices, serially and with `jobs` build threads.
+struct SetupScalePoint {
+  int nodes = 0;
+  double serial_build_ms = 0;
+  double parallel_build_ms = 0;
+  int64_t index_bytes = 0;
+  long peak_rss_kb = 0;
+  bool identical_extents = false;
+};
+
+/// Times the two-pass catalog build at `nodes` slices over `rel` and checks
+/// that the parallel pass lands every extent at the serial build's address.
+/// Peak RSS is getrusage's high-water mark — cumulative across the process,
+/// so the 1,024-node point (measured last) is the one that bounds the whole
+/// setup path.
+SetupScalePoint MeasureSetupScale(const storage::Relation& rel, int nodes,
+                                  int jobs) {
+  SetupScalePoint pt;
+  pt.nodes = nodes;
+  auto part = decluster::RangePartitioning::Create(rel, {0, 1}, nodes);
+  if (!part.ok()) return pt;
+  const hw::HwParams hw;
+  const auto build = [&](int build_jobs, double* ms) {
+    engine::CatalogOptions opts;
+    opts.build_jobs = build_jobs;
+    const auto t0 = Clock::now();
+    auto catalog = engine::SystemCatalog::Build(&rel, part->get(), 0, 1, hw,
+                                                opts);
+    *ms = Seconds(t0, Clock::now()) * 1e3;
+    return catalog;
+  };
+  auto serial = build(1, &pt.serial_build_ms);
+  auto parallel = build(jobs, &pt.parallel_build_ms);
+  if (!serial.ok() || !parallel.ok()) return pt;
+  pt.index_bytes = (*parallel)->memory_bytes();
+  pt.identical_extents = true;
+  const auto same = [](const storage::Extent& a, const storage::Extent& b) {
+    return a.base_page == b.base_page && a.num_pages == b.num_pages;
+  };
+  for (int s = 0; s < nodes; ++s) {
+    const auto& a = (*serial)->store(s);
+    const auto& b = (*parallel)->store(s);
+    if (!same(a.data_extent(), b.data_extent()) ||
+        !same(a.index_b_extent(), b.index_b_extent()) ||
+        !same(a.index_a_extent(), b.index_a_extent())) {
+      pt.identical_extents = false;
+      break;
+    }
+  }
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) pt.peak_rss_kb = ru.ru_maxrss;
+  return pt;
 }
 
 exp::ExperimentConfig QuickFig08() {
@@ -342,6 +402,22 @@ int main(int argc, char** argv) {
   }
   const double windowed_s = Seconds(w0, w1);
 
+  // Setup-scale curve: catalog build time and process peak RSS at 32, 256
+  // and 1,024 nodes over a 1M-tuple relation. Tracks the two-pass build's
+  // cost and proves (per snapshot) that the threaded tree-construction pass
+  // is byte-identical to the serial one at every scale.
+  std::cerr << "timing catalog builds at 32/256/1024 nodes...\n";
+  workload::WisconsinOptions setup_wopts;
+  setup_wopts.cardinality = 1'000'000;
+  const storage::Relation setup_rel = workload::MakeWisconsin(setup_wopts);
+  std::vector<SetupScalePoint> setup_points;
+  bool setup_identical = true;
+  for (const int nodes : {32, 256, 1024}) {
+    setup_points.push_back(
+        MeasureSetupScale(setup_rel, nodes, jobs > 1 ? jobs : 8));
+    setup_identical = setup_identical && setup_points.back().identical_extents;
+  }
+
   std::ostringstream a, b, c, d, e, f;
   exp::PrintCsv(a, *serial);
   exp::PrintCsv(b, *parallel);
@@ -444,6 +520,22 @@ int main(int argc, char** argv) {
       << "    \"identical_results\": "
       << (audit_identical ? "true" : "false") << "\n"
       << "  },\n"
+      << "  \"setup_scale\": {\n"
+      << "    \"config\": \"1M-tuple catalog build, serial vs jobs="
+      << (jobs > 1 ? jobs : 8) << "\",\n"
+      << "    \"points\": [\n";
+  for (size_t i = 0; i < setup_points.size(); ++i) {
+    const SetupScalePoint& pt = setup_points[i];
+    out << "      {\"nodes\": " << pt.nodes << ", \"serial_build_ms\": "
+        << pt.serial_build_ms << ", \"parallel_build_ms\": "
+        << pt.parallel_build_ms << ", \"index_bytes\": " << pt.index_bytes
+        << ", \"peak_rss_kb\": " << pt.peak_rss_kb
+        << ", \"identical_extents\": "
+        << (pt.identical_extents ? "true" : "false") << "}"
+        << (i + 1 < setup_points.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+      << "  },\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "\n"
       << "}\n";
@@ -455,7 +547,7 @@ int main(int argc, char** argv) {
   }
   std::cerr << "wrote " << out_path << "\n";
   return identical && audit_identical && audit_clean && psim_identical &&
-                 resize_quiescent && open_identical
+                 resize_quiescent && open_identical && setup_identical
              ? 0
              : 1;
 }

@@ -56,8 +56,11 @@ run_preset() {
   fi
 }
 
-run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize|open' \
-  fault_test audit_test recovery_test resize_test open_test
+# The scale label rides the ASAN pass: its 256-node x 1M-tuple smoke drives
+# the threaded catalog-build pass under the sanitizer (the 1,024-node
+# Release-only test self-skips there and runs in the relsmoke tree below).
+run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize|open|scale' \
+  fault_test audit_test recovery_test resize_test open_test scale_test
 run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery|resize|open' \
   fault_test audit_test recovery_test resize_test open_test
 # The windowed in-run scheduler is the only place the simulator runs on more
@@ -77,7 +80,8 @@ cmake -S "$ROOT" -B "$SMOKE_DIR" \
   -DCMAKE_BUILD_TYPE=Release \
   -DDECLUST_BUILD_BENCHMARKS=OFF \
   -DDECLUST_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$SMOKE_DIR" -j"$JOBS" --target run_experiment audit_sweep
+cmake --build "$SMOKE_DIR" -j"$JOBS" --target run_experiment audit_sweep \
+  scale_test
 SMOKE_ARGS=(--strategies range,hash --mpls 4 --repeats 1 --cardinality 20000
             --processors 8 --warmup 500 --measure 2000)
 echo "=== relsmoke: serial vs --sim-threads=4 digest ==="
@@ -131,6 +135,30 @@ else
     <(printf '%s\n' "$OPEN_THREADED") | head -40 >&2 || true
   FAILED=1
 fi
+# Parallel-catalog-build differential: the same quick sweep with the
+# two-pass build fanned out over 8 threads (DECLUST_JOBS drives the
+# tree-construction pass) must be byte-identical to the serial build —
+# extent allocation is serial by design, so any drift here is a bug in the
+# build split, not timing noise.
+echo "=== relsmoke: DECLUST_JOBS=8 catalog build digest ==="
+JOBS8_OUT="$(DECLUST_JOBS=8 "$SMOKE_DIR/tools/run_experiment" \
+  "${SMOKE_ARGS[@]}")"
+if [[ "$SERIAL_OUT" == "$JOBS8_OUT" ]]; then
+  echo "relsmoke: serial and DECLUST_JOBS=8 catalog builds are byte-identical"
+else
+  echo "*** relsmoke: FAILED — DECLUST_JOBS=8 changed the results" >&2
+  diff <(printf '%s\n' "$SERIAL_OUT") <(printf '%s\n' "$JOBS8_OUT") \
+    | head -40 >&2 || true
+  FAILED=1
+fi
+# The Release-only thousand-node test (byte-identical extents at 1,024
+# slices, footprint ceiling, run-length vs legacy page sequences) only runs
+# with NDEBUG and no sanitizer — exactly this tree.
+echo "=== relsmoke: ctest -L scale (thousand-node setup path) ==="
+if ! ctest --test-dir "$SMOKE_DIR" -L scale --output-on-failure; then
+  echo "*** relsmoke: scale suite FAILED" >&2
+  FAILED=1
+fi
 # audit_sweep's differential harness runs the same config through every
 # variant (jobs=1, jobs=N+audit, sim-threads=4, inactive fault plan) and
 # compares result digests — the invariant-level form of the check above.
@@ -144,5 +172,5 @@ if [[ "$FAILED" != 0 ]]; then
   echo "ci_check: sanitizer gate FAILED" >&2
   exit 1
 fi
-echo "ci_check: faults|audit|recovery|resize|open clean under ASAN/UBSAN," \
-  "parallel_sim|open clean under TSAN, release digest stable"
+echo "ci_check: faults|audit|recovery|resize|open|scale clean under" \
+  "ASAN/UBSAN, parallel_sim|open clean under TSAN, release digest stable"
