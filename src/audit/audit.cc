@@ -76,7 +76,10 @@ void Auditor::OnResourceTransition(const char* name, int capacity,
 
 void Auditor::OnQueryArrival() { ++arrivals_; }
 
-void Auditor::OnQueryShed() { ++shed_; }
+void Auditor::OnQueryShed(ShedClass cls) {
+  ++shed_;
+  ++shed_by_class_[static_cast<size_t>(cls)];
+}
 
 void Auditor::OnQuerySubmitted() {
   ++submitted_;
@@ -203,13 +206,22 @@ void Auditor::OnMigrationStart(int slice, int src_node, int dst_node,
     Violation(Fmt("migration: %s copy of slice %d started migrating twice",
                   backup_copy ? "backup" : "primary", slice));
   }
-  // The coordinator migrates one fragment at a time; overlap means the
-  // sequential driver broke.
+  // The coordinator migrates at most `migration_concurrency_bound_`
+  // fragments at a time (1 for the scripted sequential driver; the control
+  // plane declares its contention-budget concurrency). More overlap than
+  // declared means the driver broke, not that the budget grew.
   ++checks_;
-  if (open_migrations_.size() > 1) {
-    Violation(Fmt("migration: %zu concurrent migrations open at %.9g ms",
-                  open_migrations_.size(), at_ms));
+  if (open_migrations_.size() >
+      static_cast<size_t>(migration_concurrency_bound_)) {
+    Violation(Fmt("migration: %zu concurrent migrations open at %.9g ms "
+                  "(declared bound %d)",
+                  open_migrations_.size(), at_ms,
+                  migration_concurrency_bound_));
   }
+}
+
+void Auditor::SetMigrationConcurrencyBound(int bound) {
+  migration_concurrency_bound_ = bound < 1 ? 1 : bound;
 }
 
 void Auditor::OnMigrationFlip(int slice, int src_node, int dst_node,
@@ -325,11 +337,17 @@ void Auditor::Finalize(const sim::Simulation& sim) {
   Check(submitted_ == completed_ + failed_ + in_flight_,
         "queries: submitted != completed + failed + in-flight");
   // Open-system extension: every arrival the driver produced was either
-  // admitted (submitted) or shed at the cap — nothing vanishes between the
-  // arrival process and the admission gate.
+  // admitted (submitted) or shed at one of the gates — nothing vanishes
+  // between the arrival process and admission. The per-class counters must
+  // tile the total, so a shedding mechanism that forgot to report (or
+  // reported without a class) is caught here.
   if (arrivals_ > 0) {
     Check(arrivals_ == submitted_ + shed_,
           "queries: arrivals != submitted + shed");
+    int64_t class_sum = 0;
+    for (const int64_t c : shed_by_class_) class_sum += c;
+    Check(class_sum == shed_,
+          "queries: per-class shed counts do not sum to total shed");
   }
   ++checks_;
   if (in_flight_ < 0 || (mpl_ > 0 && in_flight_ > mpl_)) {

@@ -39,6 +39,16 @@
 
 namespace declust::audit {
 
+/// Why an open-system arrival was shed instead of submitted. Every class
+/// participates in the conservation identity
+///   arrivals = submitted + sum over classes of shed(class),
+/// so introducing a new shedding mechanism without its own class (or
+/// without reporting it at all) is a caught violation, not silent drift.
+enum class ShedClass {
+  kAdmissionCap = 0,  ///< the open plan's static in-flight cap
+  kController = 1,    ///< the control plane tightened admission below it
+};
+
 /// \brief Collects invariant checks and violations for one simulation run.
 ///
 /// Confined to one Simulation/System pair (one replication); parallel sweeps
@@ -68,11 +78,16 @@ class Auditor : public sim::AuditHook {
   /// arrival must either be submitted or shed, so Finalize checks
   /// arrivals = submitted + shed whenever any arrival was reported.
   void OnQueryArrival();
-  /// Open-system driver: an arrival was shed at the admission cap (never
-  /// submitted, so it does not enter the in-flight conservation identity).
-  void OnQueryShed();
+  /// Open-system driver: an arrival was shed (never submitted, so it does
+  /// not enter the in-flight conservation identity). The class says which
+  /// gate dropped it; Finalize checks the per-class counters sum to the
+  /// total and that arrivals = submitted + total shed.
+  void OnQueryShed(ShedClass cls = ShedClass::kAdmissionCap);
   int64_t queries_arrived() const { return arrivals_; }
   int64_t queries_shed() const { return shed_; }
+  int64_t queries_shed(ShedClass cls) const {
+    return shed_by_class_[static_cast<size_t>(cls)];
+  }
   void OnQuerySubmitted();
   /// The planner chose this query's processor set. Checks that every node id
   /// is in range and the activation is bounded by the machine size, and
@@ -104,6 +119,11 @@ class Auditor : public sim::AuditHook {
   /// copy is not already migrating.
   void OnMigrationStart(int slice, int src_node, int dst_node,
                         bool backup_copy, double at_ms);
+  /// Declares how many fragment copies may legitimately migrate at once
+  /// (default 1, the scripted sequential driver). The control plane raises
+  /// it to its contention-budget concurrency; more overlap than declared is
+  /// still a violation — a runaway coordinator, not a feature.
+  void SetMigrationConcurrencyBound(int bound);
   /// The migration committed (epoch flip) at `at_ms`. Page conservation:
   /// every planned page must have been copied before the flip
   /// (`pages_copied == pages_planned`), the flip must match an open
@@ -166,6 +186,7 @@ class Auditor : public sim::AuditHook {
   int mpl_ = 0;
   int64_t arrivals_ = 0;
   int64_t shed_ = 0;
+  int64_t shed_by_class_[2] = {0, 0};
   int64_t submitted_ = 0;
   int64_t completed_ = 0;
   int64_t failed_ = 0;
@@ -180,9 +201,10 @@ class Auditor : public sim::AuditHook {
   double last_flip_ms_ = 0.0;
 
   // Elastic-membership migration accounting. Key: slice * 2 + backup_copy;
-  // value: src_node * 65536 + dst_node of the open migration. The
-  // coordinator migrates sequentially, so the map stays tiny.
+  // value: src_node * 65536 + dst_node of the open migration. The map stays
+  // tiny: its size is bounded by the declared concurrency.
   std::unordered_map<int, int64_t> open_migrations_;
+  int migration_concurrency_bound_ = 1;
   int64_t migrations_started_ = 0;
   int64_t migration_flips_ = 0;
   double last_migration_flip_ms_ = 0.0;

@@ -1,0 +1,212 @@
+#include "src/control/controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace declust::control {
+
+const char* DecisionKindName(Decision::Kind kind) {
+  switch (kind) {
+    case Decision::Kind::kScaleOut: return "scale_out";
+    case Decision::Kind::kScaleIn: return "scale_in";
+    case Decision::Kind::kPause: return "pause";
+    case Decision::Kind::kResume: return "resume";
+    case Decision::Kind::kTighten: return "tighten";
+    case Decision::Kind::kRelax: return "relax";
+  }
+  return "?";
+}
+
+ControlCoordinator::ControlCoordinator(const ControlPlan* plan,
+                                       int initial_nodes)
+    : plan_(plan), initial_nodes_(initial_nodes), fresh_node_(initial_nodes) {
+  assert(plan != nullptr && !plan->empty());
+  window_.reserve(1024);
+}
+
+void ControlCoordinator::Arm(sim::Simulation* sim,
+                             resize::MigrationCoordinator* migrator,
+                             int base_admission_cap) {
+  sim_ = sim;
+  migrator_ = migrator;
+  base_cap_ = base_admission_cap;
+  cap_ = base_admission_cap;
+}
+
+void ControlCoordinator::Start() {
+  assert(sim_ != nullptr && migrator_ != nullptr &&
+         "Arm() must precede Start()");
+  sim_->Spawn(RunTickLoop());
+}
+
+void ControlCoordinator::OnQueryCompleted(double response_ms) {
+  window_.push_back(response_ms);
+}
+
+sim::Task<> ControlCoordinator::RunTickLoop() {
+  for (;;) {
+    co_await sim_->WaitFor(plan_->slo().every_ms);
+    Tick();
+  }
+}
+
+double ControlCoordinator::WindowQuantile() {
+  if (window_.empty()) return -1.0;
+  const double q = static_cast<double>(plan_->slo().quantile) / 100.0;
+  const auto idx = static_cast<size_t>(
+      std::llround(q * static_cast<double>(window_.size() - 1)));
+  std::nth_element(window_.begin(),
+                   window_.begin() + static_cast<ptrdiff_t>(idx),
+                   window_.end());
+  return window_[idx];
+}
+
+void ControlCoordinator::Tick() {
+  ++windows_;
+  const double observed = WindowQuantile();
+  window_.clear();
+  if (observed >= 0.0) last_observed_ms_ = observed;
+
+  const SloTarget& slo = plan_->slo();
+  if (observed < 0.0) {
+    // An empty window says nothing about latency; streaks hold.
+  } else if (observed > slo.bound_ms) {
+    ++slo_violation_windows_;
+    ++over_streak_;
+    under_streak_ = 0;
+    // Ratchet: this membership size demonstrably cannot hold the SLO under
+    // the current load; scale-in must never return to it.
+    violated_members_hwm_ =
+        std::max(violated_members_hwm_, migrator_->final_members());
+  } else if (observed < slo.low * slo.bound_ms) {
+    ++under_streak_;
+    over_streak_ = 0;
+  } else {
+    // Hysteresis band: healthy, no pressure either way.
+    over_streak_ = 0;
+    under_streak_ = 0;
+  }
+
+  if (sim_->now() < cooldown_until_ms_) return;
+  // A streak can settle across an empty window (an overload so deep that
+  // nothing completed); report the decision against the last real
+  // observation rather than the no-samples sentinel.
+  const double trigger = observed >= 0.0 ? observed : last_observed_ms_;
+  bool acted = false;
+  if (over_streak_ >= slo.settle) {
+    acted = ActOnViolation(trigger);
+  } else if (under_streak_ >= slo.settle) {
+    acted = ActOnRecovery(trigger);
+  }
+  if (acted) {
+    over_streak_ = 0;
+    under_streak_ = 0;
+    cooldown_until_ms_ = sim_->now() + plan_->cooldown_ms();
+  }
+}
+
+bool ControlCoordinator::ActOnViolation(double observed) {
+  // 1. Add capacity: the only action that fixes a real overload. Fresh
+  //    nodes only (the no-re-add ratchet) and one membership change at a
+  //    time (the coordinator serializes them).
+  if (plan_->has_scale() && !migrator_->membership_change_active()) {
+    const ScaleBounds& sc = plan_->scale();
+    const int members = migrator_->final_members();
+    const int physical = migrator_->num_physical_nodes();
+    int step = std::min(sc.step, sc.max_nodes - members);
+    step = std::min(step, physical - fresh_node_);
+    if (step > 0 &&
+        migrator_->RequestMembershipChange(
+            resize::ResizeEvent::Kind::kAdd, fresh_node_,
+            fresh_node_ + step - 1, sc.rate_mb_per_sec, sc.batch_pages)) {
+      fresh_node_ += step;
+      ++scale_outs_;
+      Record(Decision::Kind::kScaleOut, observed);
+      return true;
+    }
+  }
+  // 2. Migration I/O is contending with the very traffic we are trying to
+  //    protect: park the copies at their next batch boundary.
+  if (migrator_->membership_change_active() &&
+      !migrator_->migrations_paused()) {
+    migrator_->PauseMigrations();
+    ++pauses_;
+    Record(Decision::Kind::kPause, observed);
+    return true;
+  }
+  // 3. Overload-safe degradation: shed a bounded fraction at admission
+  //    instead of missing the SLO for every admitted query.
+  if (plan_->has_degrade() && cap_ > 0) {
+    const DegradePolicy& dg = plan_->degrade();
+    const int next = std::max(
+        dg.floor, static_cast<int>(static_cast<double>(cap_) * dg.factor));
+    if (next < cap_) {
+      cap_ = next;
+      ++cap_tightens_;
+      Record(Decision::Kind::kTighten, observed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ControlCoordinator::ActOnRecovery(double observed) {
+  // Unwind in reverse severity order: first let paused migrations finish,
+  // then give admitted load back, then (only once healthy at full
+  // admission) release capacity.
+  if (migrator_->migrations_paused()) {
+    migrator_->ResumeMigrations();
+    ++resumes_;
+    Record(Decision::Kind::kResume, observed);
+    return true;
+  }
+  if (cap_ >= 0 && cap_ < base_cap_) {
+    const double factor =
+        plan_->has_degrade() ? plan_->degrade().factor : 0.5;
+    const int next = std::min(
+        base_cap_,
+        std::max(cap_ + 1,
+                 static_cast<int>(static_cast<double>(cap_) / factor)));
+    cap_ = next;
+    ++cap_relaxes_;
+    Record(Decision::Kind::kRelax, observed);
+    return true;
+  }
+  if (plan_->has_scale() && !migrator_->membership_change_active()) {
+    const int members = migrator_->final_members();
+    // Both ratchets gate the shrink: stay above the plan's min and above
+    // every membership size that has violated the SLO.
+    if (members > plan_->scale().min_nodes &&
+        members - 1 > violated_members_hwm_) {
+      int highest = -1;
+      for (int n = migrator_->num_physical_nodes() - 1; n >= 0; --n) {
+        if (migrator_->IsMember(n)) {
+          highest = n;
+          break;
+        }
+      }
+      if (highest >= 0 &&
+          migrator_->RequestMembershipChange(
+              resize::ResizeEvent::Kind::kRemove, highest, highest,
+              plan_->scale().rate_mb_per_sec, plan_->scale().batch_pages)) {
+        ++scale_ins_;
+        Record(Decision::Kind::kScaleIn, observed);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ControlCoordinator::Record(Decision::Kind kind, double observed) {
+  Decision d;
+  d.kind = kind;
+  d.at_ms = sim_->now();
+  d.observed_ms = observed;
+  d.members = migrator_->final_members();
+  d.cap = cap_;
+  decisions_.push_back(d);
+}
+
+}  // namespace declust::control

@@ -81,6 +81,22 @@ class Metrics {
   }
   int64_t open_shed() const { return open_shed_ != nullptr ? *open_shed_ : 0; }
 
+  /// Registers the control-plane shed counter (arrivals dropped because the
+  /// controller tightened admission below the plan cap). Lazy for the same
+  /// reason as EnableOpen(): an unarmed run's registry bytes are untouched.
+  void EnableControl() {
+    if (control_shed_ != nullptr) return;
+    control_shed_ = &registry_.Counter("control.shed");
+  }
+  bool control_enabled() const { return control_shed_ != nullptr; }
+  /// One arrival was shed by the controller's tightened admission cap.
+  void RecordControlShed() {
+    if (measuring_) ++*control_shed_;
+  }
+  int64_t control_shed() const {
+    return control_shed_ != nullptr ? *control_shed_ : 0;
+  }
+
   /// Begins the measurement window (call after warm-up).
   void StartMeasurement(sim::SimTime now) {
     window_start_ = now;
@@ -89,6 +105,7 @@ class Metrics {
       *open_arrivals_ = 0;
       *open_shed_ = 0;
     }
+    if (control_shed_ != nullptr) *control_shed_ = 0;
     *completed_in_window_ = 0;
     response_ms_->Reset();
     *response_hist_ = Histogram(0.0, 10'000.0, 500);
@@ -230,6 +247,7 @@ class Metrics {
   std::vector<int64_t> slice_accesses_;
   int64_t* open_arrivals_ = nullptr;  // null until EnableOpen()
   int64_t* open_shed_ = nullptr;
+  int64_t* control_shed_ = nullptr;  // null until EnableControl()
 };
 
 }  // namespace declust::engine

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "src/control/controller.h"
 #include "src/recover/recovery.h"
 #include "src/resize/migrate.h"
 
@@ -91,12 +92,11 @@ Status System::Init() {
       RandomStream(config_.seed).Fork(0xABCD));
 
   const bool open_armed = config_.open != nullptr && !config_.open->empty();
+  if (config_.control != nullptr && config_.resize == nullptr) {
+    return Status::InvalidArgument(
+        "a control coordinator needs an elastic migration coordinator");
+  }
   if (open_armed) {
-    if (config_.resize != nullptr) {
-      return Status::InvalidArgument(
-          "open-system arrivals are incompatible with an elastic resize "
-          "plan");
-    }
     std::vector<int64_t> domains{relation_->cardinality()};
     std::vector<double> weights{1.0};
     const auto& specs = config_.open->extra_relations();
@@ -109,6 +109,7 @@ Status System::Init() {
         RandomStream(config_.seed).Fork(0xABCD));
     metrics_.EnableOpen();
   }
+  if (config_.control != nullptr) metrics_.EnableControl();
 
   if (config_.audit != nullptr) {
     // Slice ids and node ids share one id space; an elastic run may use
@@ -197,9 +198,24 @@ void System::ReleaseScratch(QueryScratch* scratch) {
 void System::AdmitArrival() {
   metrics_.RecordArrival();
   if (config_.audit != nullptr) config_.audit->OnQueryArrival();
-  if (open_in_flight_ >= config_.open->max_in_flight()) {
+  // The effective cap is the plan cap unless the controller has tightened
+  // admission below it; a shed the plan cap alone would not have caused is
+  // the controller's doing and is classified (and audited) as such.
+  const int plan_cap = config_.open->max_in_flight();
+  int cap = plan_cap;
+  if (config_.control != nullptr) {
+    const int ctl_cap = config_.control->effective_admission_cap();
+    if (ctl_cap >= 0 && ctl_cap < cap) cap = ctl_cap;
+  }
+  if (open_in_flight_ >= cap) {
     metrics_.RecordShed();
-    if (config_.audit != nullptr) config_.audit->OnQueryShed();
+    const bool by_controller = open_in_flight_ < plan_cap;
+    if (by_controller) metrics_.RecordControlShed();
+    if (config_.audit != nullptr) {
+      config_.audit->OnQueryShed(by_controller
+                                     ? audit::ShedClass::kController
+                                     : audit::ShedClass::kAdmissionCap);
+    }
     return;
   }
   ++open_in_flight_;
@@ -255,6 +271,12 @@ sim::Task<> System::OpenSession(workload::QueryInstance q) {
     if (config_.recovery != nullptr) {
       config_.recovery->OnQueryCompleted(sim_->now(), sim_->now() - start);
     }
+    if (config_.resize != nullptr) {
+      config_.resize->OnQueryCompleted(sim_->now(), sim_->now() - start);
+    }
+    if (config_.control != nullptr) {
+      config_.control->OnQueryCompleted(sim_->now() - start);
+    }
     if (config_.audit != nullptr) {
       config_.audit->OnQueryCompleted(
           qo.query, sim_->now() - start,
@@ -296,6 +318,9 @@ sim::Task<> System::TerminalLoop(RandomStream rng) {
       }
       if (config_.resize != nullptr) {
         config_.resize->OnQueryCompleted(sim_->now(), sim_->now() - start);
+      }
+      if (config_.control != nullptr) {
+        config_.control->OnQueryCompleted(sim_->now() - start);
       }
       if (config_.audit != nullptr) {
         config_.audit->OnQueryCompleted(

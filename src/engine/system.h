@@ -45,6 +45,10 @@ namespace declust::resize {
 class MigrationCoordinator;
 }  // namespace declust::resize
 
+namespace declust::control {
+class ControlCoordinator;
+}  // namespace declust::control
+
 namespace declust::engine {
 
 /// \brief Everything configurable about a run.
@@ -103,9 +107,18 @@ struct SystemConfig {
   /// Optional open-system plan (non-owning; must outlive the System). When
   /// set (and non-empty), Start() spawns a Poisson/burst arrival process
   /// instead of the closed terminals; multiprogramming_level is ignored and
-  /// the plan's admission cap bounds the in-flight queries. Incompatible
-  /// with `resize` (the elastic coordinator owns the closed loop's pacing).
+  /// the plan's admission cap bounds the in-flight queries. Combines with
+  /// `resize` (arrivals keep coming while slices migrate) but not with
+  /// `recovery` (the rebuild driver assumes the closed loop's pacing).
   const workload::OpenPlan* open = nullptr;
+  /// Optional closed-loop controller (non-owning; must outlive the System).
+  /// When set, the open driver sheds at the controller's effective
+  /// admission cap (sheds below the plan cap are controller sheds,
+  /// audit::ShedClass::kController) and every completed query's response
+  /// feeds the controller's observation window. Requires `resize` (the
+  /// plan-less migration coordinator is the controller's actuator). When
+  /// null, the default path pays one branch per hook site.
+  control::ControlCoordinator* control = nullptr;
   /// Additional relations for multi-relation open runs. Each gets its own
   /// catalog whose extents live on the SAME simulated disks as the base
   /// relation's, so their queries contend for the same spindles. Index i

@@ -1,0 +1,53 @@
+#include "src/exp/control.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "src/exp/experiment.h"
+
+namespace declust::exp {
+
+void PrintControlReport(std::ostream& os, const SweepResult& result) {
+  if (!result.has_control) return;
+  os << "control: " << result.config.control << "\n";
+  for (const auto& curve : result.curves) {
+    for (const auto& p : curve.points) {
+      os << "  " << curve.strategy;
+      if (result.has_open) {
+        os << " @ " << std::fixed << std::setprecision(1) << p.offered_qps
+           << " q/s offered";
+      } else {
+        os << " @ MPL " << p.mpl;
+      }
+      os << ": " << p.ctl_windows << " windows (" << p.ctl_slo_violations
+         << " over SLO), scale +" << p.ctl_scale_outs << "/-"
+         << p.ctl_scale_ins << " to " << p.ctl_final_members
+         << " members, pause/resume " << p.ctl_pauses << "/"
+         << p.ctl_resumes << ", cap -" << p.ctl_tightens << "/+"
+         << p.ctl_relaxes << " (" << p.ctl_shed
+         << " controller sheds), " << p.ctl_migrations
+         << " migrations / " << p.ctl_pages_migrated << " pages (peak "
+         << p.ctl_peak_concurrent << " concurrent, "
+         << p.ctl_budget_throttled << " budget-throttled, max budget delay "
+         << std::fixed << std::setprecision(1) << p.ctl_budget_max_delay_ms
+         << " ms)\n";
+      // Decisions carry rep 0's timeline (see SweepPoint::ctl_decisions):
+      // every actuation in simulated-time order with the observation that
+      // triggered it and the state it left behind.
+      for (const auto& d : p.ctl_decisions) {
+        os << "    " << std::fixed << std::setprecision(0) << std::setw(8)
+           << d.at_ms << " ms  " << std::setw(10) << std::left << d.kind
+           << std::right << " observed " << std::fixed
+           << std::setprecision(1) << std::setw(8) << d.observed_ms
+           << " ms -> " << d.members << " members";
+        if (d.cap >= 0) os << ", cap " << d.cap;
+        os << "\n";
+      }
+      if (p.ctl_decisions.empty()) {
+        os << "    (no actuations: the SLO held without intervention)\n";
+      }
+    }
+  }
+}
+
+}  // namespace declust::exp

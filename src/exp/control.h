@@ -1,0 +1,20 @@
+// Reporting for --control runs: the per-decision timeline of the closed
+// control loop (what the controller observed and which action it fired,
+// in simulated-time order) plus the contention-budget accounting. Only
+// ever printed when SweepResult::has_control — uncontrolled reports keep
+// their exact pre-control output.
+#pragma once
+
+#include <iosfwd>
+
+namespace declust::exp {
+
+struct SweepResult;
+
+/// Prints the control block of a sweep: per strategy and level, the
+/// decision timeline (time, action, observed quantile, membership and
+/// effective admission cap after) followed by the migration/budget
+/// counters. No-op when !result.has_control.
+void PrintControlReport(std::ostream& os, const SweepResult& result);
+
+}  // namespace declust::exp

@@ -1,5 +1,6 @@
 #include "src/exp/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -7,6 +8,7 @@
 #include "src/decluster/cmd.h"
 #include "src/decluster/hash.h"
 #include "src/decluster/magic.h"
+#include "src/control/plan.h"
 #include "src/decluster/range.h"
 #include "src/exp/runner.h"
 #include "src/recover/plan.h"
@@ -103,11 +105,41 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
     if (!zplan.ok()) {
       return invalid("resize spec: " + zplan.status().message());
     }
-    Status vs = zplan->Validate(config.num_processors);
+    // The horizon cross-check rejects hysteresis that can never trigger
+    // inside this run (settle * every past warmup + measure).
+    Status vs = zplan->Validate(config.num_processors,
+                                config.warmup_ms + config.measure_ms);
     if (!vs.ok()) {
       return invalid("resize spec: " + vs.message());
     }
     physical_nodes = zplan->NumPhysicalNodes(config.num_processors);
+  }
+  if (!config.control.empty()) {
+    auto cplan = control::ControlPlan::Parse(config.control);
+    if (!cplan.ok()) {
+      return invalid("control spec: " + cplan.status().message());
+    }
+    if (cplan->empty()) {
+      return invalid("control spec: a control plan needs an slo: item");
+    }
+    Status cs = cplan->Validate(config.num_processors,
+                                config.warmup_ms + config.measure_ms);
+    if (!cs.ok()) {
+      return invalid("control spec: " + cs.message());
+    }
+    // The controller owns membership end to end; a scripted resize plan
+    // would fight it for the same coordinator. Recovery assumes the closed
+    // loop's pacing around rebuilds.
+    if (!config.resize.empty()) {
+      return invalid("a control spec cannot combine with a resize spec "
+                     "(the controller owns membership)");
+    }
+    if (!config.recovery.empty()) {
+      return invalid("a control spec cannot combine with a recovery spec");
+    }
+    physical_nodes =
+        std::max(physical_nodes,
+                 cplan->NumPhysicalNodes(config.num_processors));
   }
   if (!config.faults.empty()) {
     auto plan = sim::FaultPlan::Parse(config.faults);
@@ -159,17 +191,28 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
     if (!os.ok()) {
       return invalid("open spec: " + os.message());
     }
-    // The recovery/resize coordinators assume the closed loop's pacing
-    // (terminals back off around failures; the migrator owns the load
-    // during drains); the open driver replaces that loop entirely.
-    if (!config.recovery.empty() || !config.resize.empty()) {
+    // The recovery coordinator assumes the closed loop's pacing (terminals
+    // back off around failures); the open driver replaces that loop
+    // entirely. Resize and control combine fine: arrivals keep coming
+    // while slices migrate.
+    if (!config.recovery.empty()) {
       return invalid("an open-system spec cannot combine with a recovery "
-                     "or resize spec");
+                     "spec");
     }
-    for (double load : config.offered_loads) {
+    for (size_t i = 0; i < config.offered_loads.size(); ++i) {
+      const double load = config.offered_loads[i];
       if (!(load > 0)) {  // also rejects NaN
         return invalid("every offered load must be > 0, got " +
                        std::to_string(load));
+      }
+      // A duplicate (or re-visited) load point would silently double-run
+      // the level and skew aggregate reports; reject it like the fault
+      // grammar rejects duplicate keys.
+      for (size_t j = 0; j < i; ++j) {
+        if (config.offered_loads[j] == load) {
+          return invalid("duplicate offered load " + std::to_string(load) +
+                         " (each --offered point runs once)");
+        }
       }
     }
   } else if (!config.offered_loads.empty()) {
@@ -179,6 +222,11 @@ Status ValidateExperimentConfig(const ExperimentConfig& config) {
 }
 
 Result<int> PartitioningSlices(const ExperimentConfig& config) {
+  if (!config.control.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(const control::ControlPlan plan,
+                             control::ControlPlan::Parse(config.control));
+    return plan.NumSlices(config.num_processors);
+  }
   if (config.resize.empty()) return config.num_processors;
   DECLUST_ASSIGN_OR_RETURN(const resize::ResizePlan plan,
                            resize::ResizePlan::Parse(config.resize));

@@ -55,10 +55,22 @@ struct ExperimentConfig {
   /// "rate:200;zipf:0.8;relation:card=50000,weight=0.5;cap:256"). When set,
   /// every replication drives the engine with Poisson/burst arrivals
   /// instead of the closed terminals, and the sweep levels are the entries
-  /// of `offered_loads` (the MPL list is ignored). Incompatible with a
-  /// recovery or resize spec. Empty = closed loop; reports and digests then
+  /// of `offered_loads` (the MPL list is ignored). Combines with a resize
+  /// or control spec (arrivals keep coming while slices migrate) but not
+  /// with a recovery spec. Empty = closed loop; reports and digests then
   /// keep their exact pre-open format.
   std::string open;
+  /// Closed-loop control spec (control::ControlPlan::Parse grammar, e.g.
+  /// "slo:p95<40ms,every=5s,settle=3;scale:min=32,max=48;budget:frac=0.25,
+  /// concurrent=2;degrade:floor=64"). When set, every replication arms a
+  /// plan-less migration coordinator plus the SLO controller that drives
+  /// membership, migration pacing and admission from observed response
+  /// quantiles. `num_processors` is the initial membership; the machine is
+  /// sized for scale:max. Incompatible with a resize or recovery spec (the
+  /// controller owns membership; the rebuild driver owns the closed loop's
+  /// pacing). Empty = no control plane armed; reports and digests then keep
+  /// their exact pre-control format.
+  std::string control;
   /// Offered arrival rates (queries/sec) swept when `open` is set: each
   /// level re-runs the plan with its rate schedule replaced by that constant
   /// rate (OpenPlan::OverrideConstantRate). Empty = a single sweep level
@@ -156,6 +168,39 @@ struct SweepPoint {
   int64_t arrivals = 0;
   int64_t shed = 0;
   double p99_response_ms = -1;
+  /// Control-plane columns, populated only for --control runs
+  /// (SweepResult::has_control). Windows/decisions are summed over the
+  /// run and averaged (rounded) across replications; `ctl_peak_concurrent`
+  /// and `ctl_budget_max_delay_ms` take the max across replications (a
+  /// budget breach in any replication must not be averaged away).
+  bool has_control = false;
+  int64_t ctl_windows = 0;
+  int64_t ctl_slo_violations = 0;  ///< observation windows over the bound
+  int64_t ctl_scale_outs = 0;
+  int64_t ctl_scale_ins = 0;
+  int64_t ctl_pauses = 0;
+  int64_t ctl_resumes = 0;
+  int64_t ctl_tightens = 0;
+  int64_t ctl_relaxes = 0;
+  int64_t ctl_shed = 0;  ///< arrivals shed by the controller's cap
+  int64_t ctl_migrations = 0;
+  int64_t ctl_pages_migrated = 0;
+  int ctl_final_members = 0;
+  int ctl_peak_concurrent = 0;  ///< max concurrently in-flight migrations
+  int64_t ctl_budget_throttled = 0;  ///< budget reservations that delayed
+  double ctl_budget_max_delay_ms = 0;
+  /// One controller actuation of the representative replication (rep 0);
+  /// reports print these as the per-decision timeline. Averaging decision
+  /// times across replications would fabricate timestamps no run produced,
+  /// so the timeline is representative, not aggregated.
+  struct ControlDecision {
+    std::string kind;        ///< control::DecisionKindName
+    double at_ms = 0;        ///< simulated actuation time
+    double observed_ms = 0;  ///< window quantile that triggered it
+    int members = 0;         ///< membership after the action
+    int cap = -1;            ///< effective admission cap after (-1 = closed)
+  };
+  std::vector<ControlDecision> ctl_decisions;
 };
 
 /// \brief One strategy's curve across the MPL sweep.
@@ -195,6 +240,10 @@ struct SweepResult {
   /// columns of every point are meaningful, reports print offered load in
   /// place of MPL, and the oracle validates every extra relation too.
   bool has_open = false;
+  /// True when the sweep ran with a closed-loop control plan armed; the
+  /// ctl_* columns of every point are meaningful (and reports print the
+  /// per-decision timeline).
+  bool has_control = false;
   /// True when a SIGINT/SIGTERM interrupt stopped the sweep early; only
   /// the sweep points whose replications all completed are present, and
   /// the manifest carries an `interrupted` marker.
@@ -206,7 +255,10 @@ struct SweepResult {
 /// measurement window, correlation outside [0, 1], empty or non-positive
 /// MPL list, empty strategy list, fault specs that do not parse or that
 /// target a node outside [0, num_processors), open specs that do not parse
-/// or combine with recovery/resize, and non-positive offered loads. Called
+/// or combine with recovery, control specs that do not parse or combine
+/// with resize/recovery, rebalance or SLO hysteresis that can never trigger
+/// inside the run horizon, and non-positive or duplicate offered loads.
+/// Called
 /// by RunThroughputSweep and RunExplain after quick-mode is applied, so
 /// every entry point fails fast with a diagnostic instead of dividing by
 /// zero mid-sweep.

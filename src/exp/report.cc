@@ -117,6 +117,7 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
   const bool recovery = result.has_recovery;
   const bool rz = result.has_resize;
   const bool open = result.has_open;
+  const bool ctl = result.has_control;
   // A resize plan with K membership events yields 2K+1 phases; every point
   // of a sweep shares the plan, so the first point fixes the column count.
   size_t rz_phases = 0;
@@ -156,6 +157,12 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
   }
   if (open) {
     os << ",offered_qps,arrivals,shed,p99_response_ms";
+  }
+  if (ctl) {
+    os << ",ctl_windows,ctl_slo_violations,ctl_scale_outs,ctl_scale_ins,"
+          "ctl_pauses,ctl_resumes,ctl_tightens,ctl_relaxes,ctl_shed,"
+          "ctl_migrations,ctl_pages_migrated,ctl_final_members,"
+          "ctl_peak_concurrent,ctl_budget_throttled,ctl_budget_max_delay_ms";
   }
   os << "\n";
   for (const auto& curve : result.curves) {
@@ -203,6 +210,16 @@ void PrintCsv(std::ostream& os, const SweepResult& result) {
         // An idle window has no p99: emit a well-defined blank field, never
         // the -1 sentinel or a fabricated quantile.
         if (p.p99_response_ms >= 0) os << p.p99_response_ms;
+      }
+      if (ctl) {
+        os << "," << p.ctl_windows << "," << p.ctl_slo_violations << ","
+           << p.ctl_scale_outs << "," << p.ctl_scale_ins << ","
+           << p.ctl_pauses << "," << p.ctl_resumes << ","
+           << p.ctl_tightens << "," << p.ctl_relaxes << ","
+           << p.ctl_shed << "," << p.ctl_migrations << ","
+           << p.ctl_pages_migrated << "," << p.ctl_final_members << ","
+           << p.ctl_peak_concurrent << "," << p.ctl_budget_throttled << ","
+           << p.ctl_budget_max_delay_ms;
       }
       os << "\n";
     }

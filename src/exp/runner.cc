@@ -19,6 +19,8 @@
 #include "src/common/atomic_file.h"
 #include "src/common/stats.h"
 #include "src/common/thread_pool.h"
+#include "src/control/controller.h"
+#include "src/control/plan.h"
 #include "src/exp/interrupt.h"
 #include "src/obs/manifest.h"
 #include "src/obs/trace.h"
@@ -26,6 +28,7 @@
 #include "src/resize/migrate.h"
 #include "src/resize/plan.h"
 #include "src/sim/fault.h"
+#include "src/sim/io_budget.h"
 #include "src/sim/parallel.h"
 #include "src/workload/open.h"
 
@@ -38,8 +41,6 @@ Result<RepMetrics> RunSweepPointRep(
     int mpl, int rep, obs::Probe* probe, std::string* metrics_json,
     audit::Auditor* auditor,
     const std::vector<engine::SystemConfig::ExtraRelation>* extra_relations) {
-  sim::Simulation sim;
-  if (auditor != nullptr) sim.SetAuditHook(auditor);
   engine::SystemConfig sys_config;
   sys_config.hw.num_processors = config.num_processors;
   sys_config.multiprogramming_level = mpl;
@@ -47,14 +48,6 @@ Result<RepMetrics> RunSweepPointRep(
                     static_cast<uint64_t>(rep) * 7'919;
   sys_config.probe = probe;
   sys_config.audit = auditor;
-  if (probe != nullptr && probe->tracer() != nullptr) {
-    // Count calendar dispatches in the trace (one indirect call per event;
-    // only ever paid on explicitly traced runs).
-    sim.SetTracer([tracer = probe->tracer()](sim::SimTime t, sim::EventId id,
-                                             bool resume) {
-      tracer->OnCalendarEvent(t, id, resume);
-    });
-  }
   // The plan lives on this frame; each replication parses it independently
   // so the function stays a pure function of its arguments.
   sim::FaultPlan fault_plan;
@@ -86,6 +79,34 @@ Result<RepMetrics> RunSweepPointRep(
     sys_config.hw.num_processors = migrator->num_physical_nodes();
     sys_config.resize = migrator.get();
   }
+  // The closed-loop controller reuses the resize machinery for actuation: a
+  // plan-less coordinator accepts its membership requests at runtime, and a
+  // per-node I/O budget caps migration traffic at the declared fraction of
+  // the simulated disk transfer rate. All three live on this frame, like
+  // the plans above, so the function stays pure.
+  control::ControlPlan control_plan;
+  std::unique_ptr<control::ControlCoordinator> controller;
+  std::unique_ptr<sim::IoBudget> io_budget;
+  if (!config.control.empty()) {
+    DECLUST_ASSIGN_OR_RETURN(control_plan,
+                             control::ControlPlan::Parse(config.control));
+    migrator = std::make_unique<resize::MigrationCoordinator>(
+        config.num_processors,
+        control_plan.NumPhysicalNodes(config.num_processors),
+        control_plan.NumSlices(config.num_processors));
+    // MB/s -> bytes/ms is *1000; the budget meters migration bytes per node.
+    io_budget = std::make_unique<sim::IoBudget>(
+        migrator->num_physical_nodes(),
+        control_plan.budget().frac *
+            sys_config.hw.disk_transfer_mb_per_sec * 1000.0);
+    migrator->set_io_budget(io_budget.get());
+    migrator->set_migration_concurrency(control_plan.budget().concurrent);
+    controller = std::make_unique<control::ControlCoordinator>(
+        &control_plan, config.num_processors);
+    sys_config.hw.num_processors = migrator->num_physical_nodes();
+    sys_config.resize = migrator.get();
+    sys_config.control = controller.get();
+  }
   // The open plan, like the fault/recovery/resize plans, is parsed on this
   // frame per replication; an offered-load sweep level replaces its rate
   // schedule with that level's constant rate. `mpl` is the level INDEX for
@@ -104,6 +125,20 @@ Result<RepMetrics> RunSweepPointRep(
     }
   }
   const int physical_nodes = sys_config.hw.num_processors;
+  // The Simulation is declared strictly after every coordinator above: its
+  // destructor tears down any coroutine frame still parked on the calendar
+  // (e.g. a migration copy the controller paused and never resumed), and
+  // those frames' guard destructors report back into the coordinators.
+  sim::Simulation sim;
+  if (auditor != nullptr) sim.SetAuditHook(auditor);
+  if (probe != nullptr && probe->tracer() != nullptr) {
+    // Count calendar dispatches in the trace (one indirect call per event;
+    // only ever paid on explicitly traced runs).
+    sim.SetTracer([tracer = probe->tracer()](sim::SimTime t, sim::EventId id,
+                                             bool resume) {
+      tracer->OnCalendarEvent(t, id, resume);
+    });
+  }
   engine::System system(&sim, sys_config, &relation, &partitioning,
                         &workload);
   DECLUST_RETURN_NOT_OK(system.Init());
@@ -111,6 +146,11 @@ Result<RepMetrics> RunSweepPointRep(
     migrator->Arm(&sim, &system.machine(), system.mutable_catalog(), auditor,
                   probe, &system.metrics().slice_accesses());
     migrator->Start();
+  }
+  if (controller != nullptr) {
+    controller->Arm(&sim, migrator.get(),
+                    config.open.empty() ? -1 : open_plan.max_in_flight());
+    controller->Start();
   }
   if (coordinator != nullptr) {
     double first_fault_ms = std::numeric_limits<double>::infinity();
@@ -234,7 +274,33 @@ Result<RepMetrics> RunSweepPointRep(
                             ? system.metrics().ResponseQuantileMs(0.99)
                             : -1;
   }
-  if (migrator != nullptr) {
+  if (controller != nullptr) {
+    m.has_control = true;
+    m.ctl_windows = controller->windows();
+    m.ctl_slo_violations = controller->slo_violation_windows();
+    m.ctl_scale_outs = controller->scale_outs();
+    m.ctl_scale_ins = controller->scale_ins();
+    m.ctl_pauses = controller->pauses();
+    m.ctl_resumes = controller->resumes();
+    m.ctl_tightens = controller->cap_tightens();
+    m.ctl_relaxes = controller->cap_relaxes();
+    m.ctl_shed = system.metrics().control_shed();
+    m.ctl_migrations = migrator->migrations_completed();
+    m.ctl_pages_migrated = migrator->pages_migrated();
+    m.ctl_final_members = migrator->final_members();
+    m.ctl_peak_concurrent = migrator->peak_concurrent_migrations();
+    m.ctl_budget_throttled = io_budget->throttled_reservations();
+    m.ctl_budget_max_delay_ms = io_budget->max_delay_ms();
+    m.ctl_decisions.reserve(controller->decisions().size());
+    for (const control::Decision& d : controller->decisions()) {
+      m.ctl_decisions.push_back(SweepPoint::ControlDecision{
+          control::DecisionKindName(d.kind), d.at_ms, d.observed_ms,
+          d.members, d.cap});
+    }
+  }
+  // Control runs share the migrator but report under ctl_* below; the
+  // scripted-resize phase columns stay a --resize exclusive.
+  if (migrator != nullptr && !config.resize.empty()) {
     m.has_resize = true;
     const std::vector<resize::ResizePhaseWindow> phases =
         migrator->Phases(sim.now());
@@ -302,10 +368,19 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
   // completed queries (-1 sentinels would poison the mean, exactly like the
   // recovery boundary timestamps above).
   Accumulator op_offered, op_arrivals, op_shed, op_p99;
+  // Controller columns: counters average like every other count; the
+  // concurrency peak and worst budget delay take the MAX across reps (a
+  // mean would understate the bound the acceptance criteria pin).
+  Accumulator ct_windows, ct_viol, ct_outs, ct_ins, ct_pauses, ct_resumes;
+  Accumulator ct_tightens, ct_relaxes, ct_shed, ct_migrations, ct_pages;
+  Accumulator ct_members, ct_throttled;
+  int ct_peak = 0;
+  double ct_max_delay = 0;
   bool has_components = false;
   bool has_recovery = false;
   bool has_resize = false;
   bool has_open = false;
+  bool has_control = false;
   for (int r = 0; r < num_reps; ++r) {
     qps.Add(reps[r].throughput_qps);
     mean_resp.Add(reps[r].mean_response_ms);
@@ -370,6 +445,24 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
         op_p99.Add(reps[r].p99_response_ms);
       }
     }
+    if (reps[r].has_control) {
+      has_control = true;
+      ct_windows.Add(static_cast<double>(reps[r].ctl_windows));
+      ct_viol.Add(static_cast<double>(reps[r].ctl_slo_violations));
+      ct_outs.Add(static_cast<double>(reps[r].ctl_scale_outs));
+      ct_ins.Add(static_cast<double>(reps[r].ctl_scale_ins));
+      ct_pauses.Add(static_cast<double>(reps[r].ctl_pauses));
+      ct_resumes.Add(static_cast<double>(reps[r].ctl_resumes));
+      ct_tightens.Add(static_cast<double>(reps[r].ctl_tightens));
+      ct_relaxes.Add(static_cast<double>(reps[r].ctl_relaxes));
+      ct_shed.Add(static_cast<double>(reps[r].ctl_shed));
+      ct_migrations.Add(static_cast<double>(reps[r].ctl_migrations));
+      ct_pages.Add(static_cast<double>(reps[r].ctl_pages_migrated));
+      ct_members.Add(static_cast<double>(reps[r].ctl_final_members));
+      ct_throttled.Add(static_cast<double>(reps[r].ctl_budget_throttled));
+      ct_peak = std::max(ct_peak, reps[r].ctl_peak_concurrent);
+      ct_max_delay = std::max(ct_max_delay, reps[r].ctl_budget_max_delay_ms);
+    }
   }
   SweepPoint point;
   point.mpl = mpl;
@@ -430,6 +523,27 @@ SweepPoint AggregatePoint(int mpl, const RepMetrics* reps, int num_reps) {
     point.arrivals = std::llround(op_arrivals.mean());
     point.shed = std::llround(op_shed.mean());
     point.p99_response_ms = op_p99.empty() ? -1 : op_p99.mean();
+  }
+  if (has_control) {
+    point.has_control = true;
+    point.ctl_windows = std::llround(ct_windows.mean());
+    point.ctl_slo_violations = std::llround(ct_viol.mean());
+    point.ctl_scale_outs = std::llround(ct_outs.mean());
+    point.ctl_scale_ins = std::llround(ct_ins.mean());
+    point.ctl_pauses = std::llround(ct_pauses.mean());
+    point.ctl_resumes = std::llround(ct_resumes.mean());
+    point.ctl_tightens = std::llround(ct_tightens.mean());
+    point.ctl_relaxes = std::llround(ct_relaxes.mean());
+    point.ctl_shed = std::llround(ct_shed.mean());
+    point.ctl_migrations = std::llround(ct_migrations.mean());
+    point.ctl_pages_migrated = std::llround(ct_pages.mean());
+    point.ctl_final_members = static_cast<int>(std::llround(ct_members.mean()));
+    point.ctl_peak_concurrent = ct_peak;
+    point.ctl_budget_throttled = std::llround(ct_throttled.mean());
+    point.ctl_budget_max_delay_ms = ct_max_delay;
+    // The timeline is rep 0's, not an aggregate: averaging decision times
+    // across replications would fabricate timestamps no run produced.
+    point.ctl_decisions = reps[0].ctl_decisions;
   }
   return point;
 }
@@ -498,6 +612,29 @@ std::string PointDigestKey(const std::string& strategy, const SweepPoint& p) {
                   static_cast<long long>(p.shed), p.p99_response_ms);
     key += obuf;
   }
+  if (p.has_control) {
+    // Controller fields join the digest only when a control plan is armed,
+    // so uncontrolled manifests keep their exact pre-control fingerprints.
+    char cbuf[320];
+    std::snprintf(cbuf, sizeof(cbuf),
+                  "|ctl=%lld/%lld|act=%lld/%lld/%lld/%lld/%lld/%lld|"
+                  "cshed=%lld|cmig=%lld/%lld/%d/%d|bud=%lld/%.17g",
+                  static_cast<long long>(p.ctl_windows),
+                  static_cast<long long>(p.ctl_slo_violations),
+                  static_cast<long long>(p.ctl_scale_outs),
+                  static_cast<long long>(p.ctl_scale_ins),
+                  static_cast<long long>(p.ctl_pauses),
+                  static_cast<long long>(p.ctl_resumes),
+                  static_cast<long long>(p.ctl_tightens),
+                  static_cast<long long>(p.ctl_relaxes),
+                  static_cast<long long>(p.ctl_shed),
+                  static_cast<long long>(p.ctl_migrations),
+                  static_cast<long long>(p.ctl_pages_migrated),
+                  p.ctl_final_members, p.ctl_peak_concurrent,
+                  static_cast<long long>(p.ctl_budget_throttled),
+                  p.ctl_budget_max_delay_ms);
+    key += cbuf;
+  }
   return key;
 }
 
@@ -545,6 +682,9 @@ obs::Manifest BuildSweepManifest(const SweepResult& result, int jobs) {
   }
   if (!cfg.resize.empty()) {
     manifest.params.push_back({"resize", '"' + cfg.resize + '"'});
+  }
+  if (!cfg.control.empty()) {
+    manifest.params.push_back({"control", '"' + cfg.control + '"'});
   }
   if (!cfg.open.empty()) {
     manifest.params.push_back({"open", '"' + cfg.open + '"'});
@@ -831,6 +971,7 @@ Result<SweepResult> RunThroughputSweep(const ExperimentConfig& raw_config,
   result.has_recovery = !config.recovery.empty();
   result.has_resize = !config.resize.empty();
   result.has_open = open_mode;
+  result.has_control = !config.control.empty();
   result.interrupted = interrupted;
   // On an interrupted run an MPL row joins the result only when every
   // replication of every strategy at that MPL finished: a partial aggregate

@@ -101,6 +101,27 @@ struct RepMetrics {
   int64_t arrivals = 0;
   int64_t shed = 0;
   double p99_response_ms = -1;
+  /// Closed-loop controller measurements; meaningful only when the rep ran
+  /// with a control plan armed (has_control). Migration counters reuse the
+  /// resize machinery's accounting but surface under ctl_* so a control run
+  /// never emits scripted-resize phase columns.
+  bool has_control = false;
+  int64_t ctl_windows = 0;
+  int64_t ctl_slo_violations = 0;
+  int64_t ctl_scale_outs = 0;
+  int64_t ctl_scale_ins = 0;
+  int64_t ctl_pauses = 0;
+  int64_t ctl_resumes = 0;
+  int64_t ctl_tightens = 0;
+  int64_t ctl_relaxes = 0;
+  int64_t ctl_shed = 0;
+  int64_t ctl_migrations = 0;
+  int64_t ctl_pages_migrated = 0;
+  int ctl_final_members = 0;
+  int ctl_peak_concurrent = 0;
+  int64_t ctl_budget_throttled = 0;
+  double ctl_budget_max_delay_ms = 0;
+  std::vector<SweepPoint::ControlDecision> ctl_decisions;
 };
 
 /// Runs one replication of one sweep point. Pure function of

@@ -19,6 +19,14 @@ sim::Task<Status> PageCopier::Copy(int src_node, hw::PageAddress src_page,
     if (probe_ != nullptr) probe_->ClearContext();
   };
   for (int attempt = 0;; ++attempt) {
+    // Contention budget: reserve the page's bytes on the source node before
+    // the read (retries reserve again — a retried read is real disk
+    // traffic), waiting out whatever delay keeps the node under its cap.
+    if (budget_ != nullptr) {
+      const double delay =
+          budget_->Reserve(src_node, sim_->now(), hp.disk_page_size_bytes);
+      if (delay > 0.0) co_await sim_->WaitFor(delay);
+    }
     // Read the source page off the surviving copy's disk, pay the SCSI DMA
     // interrupt on the source CPU...
     background();
@@ -50,6 +58,11 @@ sim::Task<Status> PageCopier::Copy(int src_node, hw::PageAddress src_page,
     if (st.ok()) {
       background();
       st = co_await dst.cpu().RunDma(hp.scsi_transfer_instructions);
+    }
+    if (st.ok() && budget_ != nullptr) {
+      const double delay =
+          budget_->Reserve(dst_node, sim_->now(), hp.disk_page_size_bytes);
+      if (delay > 0.0) co_await sim_->WaitFor(delay);
     }
     if (st.ok()) {
       background();

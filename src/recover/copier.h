@@ -5,6 +5,7 @@
 
 #include "src/hw/node.h"
 #include "src/obs/probe.h"
+#include "src/sim/io_budget.h"
 #include "src/sim/task.h"
 
 namespace declust::recover {
@@ -32,6 +33,12 @@ class PageCopier {
         max_io_retries_(max_io_retries),
         retry_backoff_ms_(retry_backoff_ms) {}
 
+  /// Caps this copier's disk traffic with a contention budget: each page
+  /// reserves its bytes on the source node before the read and on the
+  /// destination node before the write, waiting out the returned delay.
+  /// Null (the default) leaves copies unbudgeted. Non-owning.
+  void set_io_budget(sim::IoBudget* budget) { budget_ = budget; }
+
   /// Copies one page from `src` on `src_node`'s disk to `dst` on
   /// `dst_node`'s disk.
   sim::Task<Status> Copy(int src_node, hw::PageAddress src, int dst_node,
@@ -43,6 +50,7 @@ class PageCopier {
   obs::Probe* probe_;
   int max_io_retries_;
   double retry_backoff_ms_;
+  sim::IoBudget* budget_ = nullptr;
 };
 
 }  // namespace declust::recover

@@ -28,6 +28,27 @@ MigrationCoordinator::MigrationCoordinator(const ResizePlan* plan,
   phase_response_sum_ms_.assign(static_cast<size_t>(2 * k + 1), 0.0);
 }
 
+MigrationCoordinator::MigrationCoordinator(int initial_nodes,
+                                           int physical_nodes, int num_slices,
+                                           ResizeOptions opts)
+    : plan_(nullptr),
+      opts_(opts),
+      initial_nodes_(initial_nodes),
+      physical_nodes_(physical_nodes),
+      num_slices_(num_slices) {
+  assert(physical_nodes >= initial_nodes && num_slices >= physical_nodes);
+  members_.resize(static_cast<size_t>(initial_nodes));
+  for (int n = 0; n < initial_nodes; ++n) {
+    members_[static_cast<size_t>(n)] = n;
+  }
+  retired_.assign(static_cast<size_t>(physical_nodes_), 0);
+  active_reads_.assign(static_cast<size_t>(physical_nodes_), 0);
+  // Dynamic events carry no pre-sized reporting phase: the whole run is one
+  // phase; the control plane reports per-decision instead.
+  phase_completed_.assign(1, 0);
+  phase_response_sum_ms_.assign(1, 0.0);
+}
+
 engine::PlacementSpec MigrationCoordinator::InitialPlacement() const {
   engine::PlacementSpec spec;
   spec.num_physical_nodes = physical_nodes_;
@@ -54,16 +75,70 @@ void MigrationCoordinator::Arm(sim::Simulation* sim, hw::Machine* machine,
   audit_ = audit;
   probe_ = probe;
   slice_accesses_ = slice_accesses;
+  resume_trigger_ = std::make_unique<sim::Trigger>(sim);
+  if (audit_ != nullptr) {
+    audit_->SetMigrationConcurrencyBound(migration_concurrency_);
+  }
 }
 
 void MigrationCoordinator::Start() {
   assert(sim_ != nullptr && "Arm() must precede Start()");
+  if (plan_ == nullptr) return;  // dynamic-only: events arrive via requests
   sim_->Spawn(RunMembershipDriver());
   for (const ResizeEvent& ev : plan_->events()) {
     if (ev.kind == ResizeEvent::Kind::kRebalance) {
       sim_->Spawn(RunRebalanceLoop(ev));
     }
   }
+}
+
+void MigrationCoordinator::set_migration_concurrency(int n) {
+  assert(n >= 1);
+  migration_concurrency_ = n;
+  if (audit_ != nullptr) audit_->SetMigrationConcurrencyBound(n);
+}
+
+bool MigrationCoordinator::RequestMembershipChange(ResizeEvent::Kind kind,
+                                                   int lo, int hi,
+                                                   double rate_mb_per_sec,
+                                                   int batch_pages) {
+  assert(plan_ == nullptr && "dynamic events need the plan-less coordinator");
+  if (busy_ || pending_dynamic_) return false;
+  if (lo < 0 || hi < lo || hi >= physical_nodes_) return false;
+  if (kind == ResizeEvent::Kind::kRebalance) return false;
+  int delta = 0;
+  for (int n = lo; n <= hi; ++n) {
+    if (kind == ResizeEvent::Kind::kAdd) {
+      if (IsMember(n)) return false;
+      ++delta;
+    } else {
+      if (!IsMember(n)) return false;
+      --delta;
+    }
+  }
+  if (static_cast<int>(members_.size()) + delta < 2) return false;
+  ResizeEvent ev;
+  ev.kind = kind;
+  ev.lo = lo;
+  ev.hi = hi;
+  ev.at_ms = sim_->now();
+  ev.rate_mb_per_sec = rate_mb_per_sec;
+  ev.batch_pages = batch_pages;
+  pending_dynamic_ = true;
+  sim_->Spawn(RunDynamicEvent(ev));
+  return true;
+}
+
+void MigrationCoordinator::PauseMigrations() {
+  if (paused_) return;
+  paused_ = true;
+  resume_trigger_->Reset();
+}
+
+void MigrationCoordinator::ResumeMigrations() {
+  if (!paused_) return;
+  paused_ = false;
+  resume_trigger_->Fire();
 }
 
 bool MigrationCoordinator::IsMember(int node) const {
@@ -120,11 +195,18 @@ sim::Task<> MigrationCoordinator::RunMembershipDriver() {
   }
 }
 
+sim::Task<> MigrationCoordinator::RunDynamicEvent(ResizeEvent ev) {
+  pending_dynamic_ = false;  // Execute sets busy_ before its first suspend
+  co_await ExecuteMembershipEvent(ev, /*event_index=*/-1);
+}
+
 sim::Task<> MigrationCoordinator::ExecuteMembershipEvent(ResizeEvent ev,
                                                          int event_index) {
   busy_ = true;
-  boundary_ms_[static_cast<size_t>(2 * event_index)] = sim_->now();
-  cur_phase_ = 2 * event_index + 1;
+  if (event_index >= 0) {
+    boundary_ms_[static_cast<size_t>(2 * event_index)] = sim_->now();
+    cur_phase_ = 2 * event_index + 1;
+  }
 
   // Flip the member set first. Added nodes become coordinator-eligible and
   // migration targets immediately; removed nodes stop taking coordinator
@@ -142,22 +224,22 @@ sim::Task<> MigrationCoordinator::ExecuteMembershipEvent(ResizeEvent ev,
     }
   }
 
-  // Primary migrations: deterministic balanced moves over the new members.
-  for (const auto& [slice, dst] : PlanBalanceMoves()) {
-    co_await MigrateSlice(slice, dst, /*backup_copy=*/false,
-                          ev.rate_mb_per_sec, ev.batch_pages);
-  }
+  // Primary migrations: deterministic balanced moves over the new members,
+  // sequential by default or in joined waves when concurrency is raised.
+  co_await RunMoveList(PlanBalanceMoves(), /*backup_copy=*/false,
+                       ev.rate_mb_per_sec, ev.batch_pages);
   // Chained-backup re-chaining: every slice whose successor changed (or
   // whose backup sat on a removed node) gets its backup copy moved.
   if (catalog_->has_backups()) {
     const std::vector<int> desired = DesiredBackups();
+    std::vector<std::pair<int, int>> rechains;
     for (int s = 0; s < num_slices_; ++s) {
       if (desired[static_cast<size_t>(s)] != catalog_->BackupNodeOf(s)) {
-        co_await MigrateSlice(s, desired[static_cast<size_t>(s)],
-                              /*backup_copy=*/true, ev.rate_mb_per_sec,
-                              ev.batch_pages);
+        rechains.emplace_back(s, desired[static_cast<size_t>(s)]);
       }
     }
+    co_await RunMoveList(std::move(rechains), /*backup_copy=*/true,
+                         ev.rate_mb_per_sec, ev.batch_pages);
   }
   // Drain-then-remove: wait for reads already executing on the removed
   // nodes to finish (bounded by the per-query deadlines) before retiring.
@@ -170,9 +252,47 @@ sim::Task<> MigrationCoordinator::ExecuteMembershipEvent(ResizeEvent ev,
     }
   }
 
-  boundary_ms_[static_cast<size_t>(2 * event_index + 1)] = sim_->now();
-  cur_phase_ = 2 * event_index + 2;
+  if (event_index >= 0) {
+    boundary_ms_[static_cast<size_t>(2 * event_index + 1)] = sim_->now();
+    cur_phase_ = 2 * event_index + 2;
+  }
   busy_ = false;
+}
+
+sim::Task<> MigrationCoordinator::RunMoveList(
+    std::vector<std::pair<int, int>> moves, bool backup_copy,
+    double rate_mb_per_sec, int batch_pages) {
+  if (migration_concurrency_ <= 1) {
+    for (const auto& [slice, dst] : moves) {
+      co_await MigrateSlice(slice, dst, backup_copy, rate_mb_per_sec,
+                            batch_pages);
+    }
+    co_return;
+  }
+  // Waves of up to `migration_concurrency_` copies: every copy in a wave is
+  // spawned at the same instant (calendar order = list order, so the
+  // interleaving is deterministic) and the wave joins before the next
+  // starts. Moves within a wave touch distinct slices, so their commits are
+  // independent epoch flips.
+  const size_t wave_max = static_cast<size_t>(migration_concurrency_);
+  for (size_t base = 0; base < moves.size(); base += wave_max) {
+    const size_t wave = std::min(wave_max, moves.size() - base);
+    sim::JoinCounter join(sim_, static_cast<int>(wave));
+    for (size_t i = 0; i < wave; ++i) {
+      sim_->Spawn(MigrateSliceJoined(moves[base + i].first,
+                                     moves[base + i].second, backup_copy,
+                                     rate_mb_per_sec, batch_pages, &join));
+    }
+    co_await join.Wait();
+  }
+}
+
+sim::Task<> MigrationCoordinator::MigrateSliceJoined(
+    int slice, int dst, bool backup_copy, double rate_mb_per_sec,
+    int batch_pages, sim::JoinCounter* join) {
+  co_await MigrateSlice(slice, dst, backup_copy, rate_mb_per_sec,
+                        batch_pages);
+  join->CountDown();
 }
 
 std::vector<std::pair<int, int>> MigrationCoordinator::PlanBalanceMoves()
@@ -260,6 +380,17 @@ sim::Task<Status> MigrationCoordinator::MigrateSlice(int slice, int dst,
     co_return planned.status();
   }
   engine::SystemCatalog::MigrationJob job = std::move(*planned);
+  // In-flight window: from the start announcement to commit/abort (the
+  // guard lives on the coroutine frame, so every co_return closes it).
+  struct InFlight {
+    MigrationCoordinator* c;
+    explicit InFlight(MigrationCoordinator* mc) : c(mc) {
+      ++c->migrations_in_flight_;
+      c->peak_concurrent_migrations_ = std::max(
+          c->peak_concurrent_migrations_, c->migrations_in_flight_);
+    }
+    ~InFlight() { --c->migrations_in_flight_; }
+  } in_flight(this);
   if (audit_ != nullptr) {
     audit_->OnMigrationStart(slice, job.src_node, dst, backup_copy,
                              sim_->now());
@@ -318,6 +449,7 @@ sim::Task<Status> MigrationCoordinator::CopyJobPages(
     int batch_pages, int64_t* copied) {
   recover::PageCopier copier(sim_, machine_, probe_, opts_.max_io_retries,
                              opts_.retry_backoff_ms);
+  copier.set_io_budget(io_budget_);
   const double page_bytes =
       static_cast<double>(machine_->params().disk_page_size_bytes);
   // MB/s -> bytes per ms; 0 disables the throttle.
@@ -325,6 +457,10 @@ sim::Task<Status> MigrationCoordinator::CopyJobPages(
       rate_mb_per_sec > 0.0 ? rate_mb_per_sec * 1e6 / 1000.0 : 0.0;
   size_t i = 0;
   while (i < job.pages.size()) {
+    // Control-plane pause: park at the batch boundary until resumed (the
+    // trigger wakes every parked copy at the same instant; FIFO order keeps
+    // the interleaving deterministic).
+    while (paused_) co_await resume_trigger_->Wait();
     const double batch_begin = sim_->now();
     int in_batch = 0;
     for (; i < job.pages.size() && in_batch < batch_pages; ++i, ++in_batch) {

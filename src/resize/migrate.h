@@ -24,6 +24,12 @@
 // counts (engine::Metrics) and, with hysteresis, migrates hot slices from
 // overloaded members to cold ones.
 //
+// The control plane (src/control) drives the same machinery dynamically: a
+// plan-less coordinator accepts RequestMembershipChange at runtime, runs up
+// to a configured number of slice migrations concurrently (joined waves,
+// deterministic), caps their disk traffic with a sim::IoBudget, and can be
+// paused/resumed between copy batches when migration I/O threatens the SLO.
+//
 // Queries racing a migration take the engine's migration-aware failover
 // path: a failed primary read re-resolves the owner (redirecting to the new
 // node after the flip) before falling back to the chained backup, bounded
@@ -32,6 +38,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -40,7 +47,9 @@
 #include "src/hw/node.h"
 #include "src/obs/probe.h"
 #include "src/resize/plan.h"
+#include "src/sim/io_budget.h"
 #include "src/sim/task.h"
+#include "src/sim/trigger.h"
 
 namespace declust::resize {
 
@@ -78,6 +87,14 @@ class MigrationCoordinator {
   MigrationCoordinator(const ResizePlan* plan, int initial_nodes,
                        ResizeOptions opts = ResizeOptions());
 
+  /// Plan-less coordinator for dynamic membership (the control plane):
+  /// starts with nodes 0..initial-1 as members on a machine of
+  /// `physical_nodes` slots and `num_slices` logical slices. Membership
+  /// changes arrive through RequestMembershipChange instead of a scripted
+  /// plan; Start() is still required (it is a no-op without a plan).
+  MigrationCoordinator(int initial_nodes, int physical_nodes, int num_slices,
+                       ResizeOptions opts = ResizeOptions());
+
   /// Physical machine size the run needs (max membership the plan reaches).
   int num_physical_nodes() const { return physical_nodes_; }
   /// Logical slice count the partitioning must be built with.
@@ -100,6 +117,35 @@ class MigrationCoordinator {
   /// Spawns the membership driver (and the rebalance loop, if planned).
   /// Call after Arm(), before the simulation runs.
   void Start();
+
+  // --- dynamic membership (control plane) ---
+  /// Queues one add/remove of nodes lo..hi decided at runtime; it executes
+  /// with the same migration machinery (and epoch-flip discipline) as a
+  /// scripted event, throttled by `rate_mb_per_sec`/`batch_pages`. Returns
+  /// false — and does nothing — while another membership change is queued
+  /// or migrating, or when the targets are invalid for the current member
+  /// set (add of a member, remove of a non-member, membership below two).
+  bool RequestMembershipChange(ResizeEvent::Kind kind, int lo, int hi,
+                               double rate_mb_per_sec, int batch_pages);
+  /// True while a membership change (scripted or dynamic) is queued or
+  /// migrating slices.
+  bool membership_change_active() const { return busy_ || pending_dynamic_; }
+
+  /// Concurrent slice migrations: up to `n` fragment copies run at once
+  /// within one membership event (waves joined deterministically). The
+  /// default 1 preserves the scripted sequential order byte for byte; > 1
+  /// requires an I/O budget so the copies cannot monopolize any disk.
+  void set_migration_concurrency(int n);
+  /// Caps migration I/O per node (recover::PageCopier reserves each page's
+  /// bytes against it). Null (default) leaves copies unbudgeted. Non-owning.
+  void set_io_budget(sim::IoBudget* budget) { io_budget_ = budget; }
+
+  /// Parks page copying between batches (SLO pressure from migration I/O);
+  /// in-flight migrations suspend deterministically at their next batch
+  /// boundary until ResumeMigrations().
+  void PauseMigrations();
+  void ResumeMigrations();
+  bool migrations_paused() const { return paused_; }
 
   // --- engine hooks ---
   /// Round-robin coordinator placement over the *current* members.
@@ -141,10 +187,28 @@ class MigrationCoordinator {
   int64_t migration_redirects() const { return migration_redirects_; }
   int64_t rebalance_moves() const { return rebalance_moves_; }
   int final_members() const { return static_cast<int>(members_.size()); }
+  /// Fragment copies currently mid-migration.
+  int migrations_in_flight() const { return migrations_in_flight_; }
+  /// High-water mark of concurrently in-flight fragment copies.
+  int peak_concurrent_migrations() const {
+    return peak_concurrent_migrations_;
+  }
 
  private:
   sim::Task<> RunMembershipDriver();
   sim::Task<> RunRebalanceLoop(ResizeEvent ev);
+  sim::Task<> RunDynamicEvent(ResizeEvent ev);
+  /// Executes the (slice, dst) moves sequentially (concurrency 1, the
+  /// scripted default) or in deterministic waves of up to the configured
+  /// concurrency, each wave joined before the next starts.
+  sim::Task<> RunMoveList(std::vector<std::pair<int, int>> moves,
+                          bool backup_copy, double rate_mb_per_sec,
+                          int batch_pages);
+  sim::Task<> MigrateSliceJoined(int slice, int dst, bool backup_copy,
+                                 double rate_mb_per_sec, int batch_pages,
+                                 sim::JoinCounter* join);
+  /// `event_index` < 0 marks a dynamic (control-plane) event, which has no
+  /// pre-sized reporting phase to bucket into.
   sim::Task<> ExecuteMembershipEvent(ResizeEvent ev, int event_index);
   /// Moves `slice`'s primary (or backup copy) to `dst` with an epoch flip;
   /// a failure leaves the slice where it was (counted as aborted).
@@ -179,6 +243,14 @@ class MigrationCoordinator {
   std::vector<char> retired_;
   std::vector<int64_t> active_reads_;
   bool busy_ = false;  // a membership event or rebalance burst is running
+  bool pending_dynamic_ = false;  // a dynamic event is spawned, not yet busy
+
+  int migration_concurrency_ = 1;
+  sim::IoBudget* io_budget_ = nullptr;
+  bool paused_ = false;
+  std::unique_ptr<sim::Trigger> resume_trigger_;  // created in Arm()
+  int migrations_in_flight_ = 0;
+  int peak_concurrent_migrations_ = 0;
 
   int64_t epoch_ = 0;
   int64_t migrations_completed_ = 0;

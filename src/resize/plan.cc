@@ -227,7 +227,7 @@ Result<ResizePlan> ResizePlan::Parse(std::string_view spec) {
   return plan;
 }
 
-Status ResizePlan::Validate(int initial_nodes) const {
+Status ResizePlan::Validate(int initial_nodes, double horizon_ms) const {
   if (initial_nodes < 2) {
     return Status::InvalidArgument(
         "resize: needs at least 2 initial nodes, got " +
@@ -246,6 +246,18 @@ Status ResizePlan::Validate(int initial_nodes) const {
       if (++rebalances > 1) {
         return Status::InvalidArgument(
             "resize: at most one rebalance:auto item");
+      }
+      // Hysteresis vs run horizon: the first possible trigger is after
+      // `settle` consecutive `every` checks starting at t; a window that
+      // ends past the horizon means the rebalance silently never fires.
+      if (horizon_ms > 0.0 &&
+          ev.at_ms + static_cast<double>(ev.settle) * ev.every_ms >
+              horizon_ms) {
+        return Status::InvalidArgument(
+            "resize: rebalance:auto at " + FormatMs(ev.at_ms) +
+            " can never trigger: settle=" + std::to_string(ev.settle) +
+            " x every=" + FormatMs(ev.every_ms) + " exceeds the " +
+            FormatMs(horizon_ms) + " run horizon");
       }
       continue;
     }

@@ -79,8 +79,12 @@ class ResizePlan {
 
   /// Checks the membership timeline starting from nodes 0..initial-1:
   /// adds must target non-members, removes must target members, and the
-  /// membership may never drop below two nodes.
-  Status Validate(int initial_nodes) const;
+  /// membership may never drop below two nodes. When `horizon_ms` > 0 (the
+  /// run's warmup + measurement span), every rebalance item's hysteresis
+  /// must be able to trigger inside it: a plan whose `settle * every`
+  /// window ends past the horizon can never fire and is rejected instead
+  /// of silently doing nothing.
+  Status Validate(int initial_nodes, double horizon_ms = 0.0) const;
 
   /// Physical machine size: one node slot for every index that is ever a
   /// member (max over the timeline of max member index + 1).

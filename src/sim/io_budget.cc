@@ -1,0 +1,28 @@
+#include "src/sim/io_budget.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace declust::sim {
+
+IoBudget::IoBudget(int num_nodes, double bytes_per_ms)
+    : bytes_per_ms_(bytes_per_ms) {
+  assert(num_nodes > 0 && bytes_per_ms > 0.0);
+  next_free_ms_.assign(static_cast<size_t>(num_nodes), 0.0);
+}
+
+double IoBudget::Reserve(int node, double now_ms, int64_t bytes) {
+  assert(node >= 0 && node < num_nodes() && bytes >= 0);
+  double& next_free = next_free_ms_[static_cast<size_t>(node)];
+  const double start_ms = std::max(now_ms, next_free);
+  next_free = start_ms + static_cast<double>(bytes) / bytes_per_ms_;
+  reserved_bytes_ += bytes;
+  const double delay_ms = start_ms - now_ms;
+  if (delay_ms > 0.0) {
+    ++throttled_;
+    max_delay_ms_ = std::max(max_delay_ms_, delay_ms);
+  }
+  return delay_ms;
+}
+
+}  // namespace declust::sim

@@ -1,0 +1,357 @@
+// Integration tests for the ControlCoordinator against a full System run:
+// the violation action ladder, quiescence when the SLO holds, scale-in to
+// the floor on sustained recovery, the two anti-oscillation ratchets (no
+// scale-in to a violated membership size, no re-add of a removed node),
+// concurrent migrations under the contention budget, and run-to-run
+// determinism of the decision stream.
+#include "src/control/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/audit/audit.h"
+#include "src/control/plan.h"
+#include "src/decluster/range.h"
+#include "src/engine/system.h"
+#include "src/obs/probe.h"
+#include "src/resize/migrate.h"
+#include "src/sim/io_budget.h"
+#include "src/workload/wisconsin.h"
+
+namespace declust::control {
+namespace {
+
+using workload::MakeMix;
+using workload::ResourceClass;
+
+constexpr int kNodes = 4;
+
+struct ControlRun {
+  int64_t windows = 0;
+  int64_t violations = 0;
+  int64_t scale_outs = 0;
+  int64_t scale_ins = 0;
+  int64_t pauses = 0;
+  int64_t resumes = 0;
+  std::vector<Decision> decisions;
+  int final_members = 0;
+  int64_t migrations_completed = 0;
+  int64_t completed = 0;
+  int64_t audit_violations = 0;
+};
+
+// Runs a closed system with the controller wired exactly as the experiment
+// runner wires it: a plan-less migration coordinator sized for the scale
+// ceiling, the contention budget on every migration copy, and the System
+// feeding every completed response into the observation window.
+ControlRun RunControlled(const std::string& spec, int mpl,
+                         double measure_ms) {
+  const storage::Relation rel = [&] {
+    workload::WisconsinOptions o;
+    o.cardinality = 2'000;
+    o.seed = 31;
+    return workload::MakeWisconsin(o);
+  }();
+  const auto wl = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+
+  auto plan = ControlPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->Validate(kNodes, measure_ms).ok());
+  resize::MigrationCoordinator coordinator(
+      kNodes, plan->NumPhysicalNodes(kNodes), plan->NumSlices(kNodes));
+  ControlCoordinator controller(&*plan, kNodes);
+
+  auto part = decluster::RangePartitioning::Create(
+      rel, {0, 1}, coordinator.num_slices());
+  EXPECT_TRUE(part.ok());
+
+  sim::Simulation sim;
+  audit::Auditor auditor;
+  sim.SetAuditHook(&auditor);
+  obs::Probe probe;
+
+  engine::SystemConfig config;
+  config.hw.num_processors = coordinator.num_physical_nodes();
+  config.multiprogramming_level = mpl;
+  config.probe = &probe;
+  config.audit = &auditor;
+  config.resize = &coordinator;
+  config.control = &controller;
+  engine::System system(&sim, config, &rel, part->get(), &wl);
+  EXPECT_TRUE(system.Init().ok());
+
+  sim::IoBudget budget(coordinator.num_physical_nodes(),
+                       plan->budget().frac *
+                           config.hw.disk_transfer_mb_per_sec * 1000.0);
+  coordinator.set_io_budget(&budget);
+  coordinator.set_migration_concurrency(plan->budget().concurrent);
+  coordinator.Arm(&sim, &system.machine(), system.mutable_catalog(),
+                  &auditor, &probe, &system.metrics().slice_accesses());
+  controller.Arm(&sim, &coordinator, /*base_admission_cap=*/-1);
+  coordinator.Start();
+  controller.Start();
+  system.Start();
+  system.metrics().StartMeasurement(sim.now());
+  sim.RunUntil(measure_ms);
+  auditor.Finalize(sim);
+
+  ControlRun r;
+  r.windows = controller.windows();
+  r.violations = controller.slo_violation_windows();
+  r.scale_outs = controller.scale_outs();
+  r.scale_ins = controller.scale_ins();
+  r.pauses = controller.pauses();
+  r.resumes = controller.resumes();
+  r.decisions = controller.decisions();
+  r.final_members = coordinator.final_members();
+  r.migrations_completed = coordinator.migrations_completed();
+  r.completed = system.metrics().completed_in_window();
+  r.audit_violations = auditor.violations();
+  return r;
+}
+
+TEST(ControlCoordinatorTest, QuiescentWhenTheSloHolds) {
+  // A bound no closed run can miss: windows tick, streaks never settle,
+  // and not a single actuation fires — the property the unarmed-overhead
+  // bench gate (tools/bench_report) leans on.
+  const ControlRun r =
+      RunControlled("slo:p95<3600s,every=1s", /*mpl=*/4,
+                    /*measure_ms=*/6'000);
+  EXPECT_GE(r.windows, 5);
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_TRUE(r.decisions.empty());
+  EXPECT_EQ(r.final_members, kNodes);
+  EXPECT_GT(r.completed, 0);
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+TEST(ControlCoordinatorTest, SustainedViolationScalesOutFirst) {
+  // A 1 ms p95 bound is unmeetable, so every window violates; the cheapest
+  // corrective action — and therefore the first decision — is scale-out.
+  const ControlRun r = RunControlled(
+      "slo:p95<1ms,every=500ms,settle=2,cooldown=1s;scale:min=2,max=6",
+      /*mpl=*/8, /*measure_ms=*/10'000);
+  EXPECT_GT(r.violations, 0);
+  EXPECT_GE(r.scale_outs, 1);
+  EXPECT_EQ(r.scale_ins, 0);  // never releases capacity while violating
+  ASSERT_FALSE(r.decisions.empty());
+  EXPECT_EQ(r.decisions[0].kind, Decision::Kind::kScaleOut);
+  EXPECT_GT(r.final_members, kNodes);
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+TEST(ControlCoordinatorTest, SustainedRecoveryScalesInToTheFloorThenHolds) {
+  // An absurdly loose bound keeps the run below low * bound throughout:
+  // the controller releases capacity one node at a time down to min= and
+  // then stops — it never dips below the floor and never grows back.
+  const ControlRun r = RunControlled(
+      "slo:p95<3600s,every=500ms,settle=2,cooldown=500ms;scale:min=2,max=6",
+      /*mpl=*/2, /*measure_ms=*/14'000);
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_EQ(r.scale_outs, 0);
+  EXPECT_EQ(r.scale_ins, 2);  // 4 -> 3 -> 2, blocked at the floor
+  EXPECT_EQ(r.final_members, 2);
+  for (const Decision& d : r.decisions) {
+    EXPECT_EQ(d.kind, Decision::Kind::kScaleIn);
+  }
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+TEST(ControlCoordinatorTest, DecisionStreamIsDeterministic) {
+  const std::string spec =
+      "slo:p95<1ms,every=500ms,settle=2,cooldown=1s;scale:min=2,max=6";
+  const ControlRun a = RunControlled(spec, /*mpl=*/8, /*measure_ms=*/10'000);
+  const ControlRun b = RunControlled(spec, /*mpl=*/8, /*measure_ms=*/10'000);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].kind, b.decisions[i].kind);
+    EXPECT_DOUBLE_EQ(a.decisions[i].at_ms, b.decisions[i].at_ms);
+    EXPECT_DOUBLE_EQ(a.decisions[i].observed_ms, b.decisions[i].observed_ms);
+    EXPECT_EQ(a.decisions[i].members, b.decisions[i].members);
+    EXPECT_EQ(a.decisions[i].cap, b.decisions[i].cap);
+  }
+}
+
+// Drives the controller's observation window synthetically (the controller
+// is deliberately NOT wired into the System here) so the pressure schedule
+// is exact: recovery long enough to remove a node, then sustained
+// violation. The no-oscillation pin: the removed node must never come
+// back — scale-out draws from the fresh-id watermark instead.
+sim::Task<> FeedSchedule(sim::Simulation* sim, ControlCoordinator* ctl) {
+  for (;;) {
+    co_await sim->WaitFor(100.0);
+    // Under the recovery threshold until 2.6 s, then hard over the bound.
+    ctl->OnQueryCompleted(sim->now() < 2'600.0 ? 1.0 : 100.0);
+  }
+}
+
+TEST(ControlCoordinatorTest, RemovedNodeIsNeverReAddedUnderPressure) {
+  const storage::Relation rel = [&] {
+    workload::WisconsinOptions o;
+    o.cardinality = 2'000;
+    o.seed = 31;
+    return workload::MakeWisconsin(o);
+  }();
+  const auto wl = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+
+  // min=3 blocks a second scale-in, so exactly one node leaves before the
+  // violation phase demands capacity back.
+  auto plan = ControlPlan::Parse(
+      "slo:p95<50ms,every=500ms,settle=2,cooldown=2s;scale:min=3,max=6");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  resize::MigrationCoordinator coordinator(
+      kNodes, plan->NumPhysicalNodes(kNodes), plan->NumSlices(kNodes));
+  ControlCoordinator controller(&*plan, kNodes);
+
+  auto part = decluster::RangePartitioning::Create(
+      rel, {0, 1}, coordinator.num_slices());
+  ASSERT_TRUE(part.ok());
+
+  sim::Simulation sim;
+  audit::Auditor auditor;
+  sim.SetAuditHook(&auditor);
+  obs::Probe probe;
+  engine::SystemConfig config;
+  config.hw.num_processors = coordinator.num_physical_nodes();
+  config.multiprogramming_level = 2;
+  config.probe = &probe;
+  config.audit = &auditor;
+  config.resize = &coordinator;
+  engine::System system(&sim, config, &rel, part->get(), &wl);
+  ASSERT_TRUE(system.Init().ok());
+
+  coordinator.Arm(&sim, &system.machine(), system.mutable_catalog(),
+                  &auditor, &probe, &system.metrics().slice_accesses());
+  controller.Arm(&sim, &coordinator, /*base_admission_cap=*/-1);
+  coordinator.Start();
+  controller.Start();
+  sim.Spawn(FeedSchedule(&sim, &controller));
+  system.Start();
+  sim.RunUntil(8'000.0);
+  auditor.Finalize(sim);
+
+  // One recovery-driven removal (the highest member, node 3), then the
+  // violation phase scales out again — from fresh ids only.
+  EXPECT_EQ(controller.scale_ins(), 1);
+  EXPECT_GE(controller.scale_outs(), 1);
+  EXPECT_FALSE(coordinator.IsMember(3))
+      << "the removed node was re-added: the no-re-add ratchet is broken";
+  EXPECT_TRUE(coordinator.IsMember(4));
+  EXPECT_EQ(auditor.violations(), 0);
+}
+
+TEST(ControlCoordinatorTest, RatchetBlocksScaleInToAViolatedMembership) {
+  // Constant genuine overload: every window tags the current membership as
+  // violating, so even though recovery streaks can never form here, the
+  // stronger check is structural — the high-water ratchet admits no
+  // scale-in at all for the whole run.
+  const ControlRun r = RunControlled(
+      "slo:p95<1ms,every=500ms,settle=2,cooldown=500ms;scale:min=2,max=6",
+      /*mpl=*/8, /*measure_ms=*/12'000);
+  EXPECT_EQ(r.scale_ins, 0);
+  // Membership only ever grows across the decision stream.
+  int last_members = 0;
+  for (const Decision& d : r.decisions) {
+    EXPECT_GE(d.members, last_members);
+    last_members = d.members;
+  }
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+struct BudgetRun {
+  int64_t migrations = 0;
+  int64_t pages = 0;
+  int peak_concurrent = 0;
+  int64_t reserved_bytes = 0;
+  int64_t throttled = 0;
+  double max_delay_ms = 0;
+  int64_t audit_violations = 0;
+};
+
+// Two nodes join at once under a tight per-node budget: the slice copies
+// run concurrently (bounded by the declared concurrency) and every page
+// I/O reserves budget before touching a disk.
+BudgetRun RunBudgetedJoin(int concurrency, double bytes_per_ms) {
+  const storage::Relation rel = [&] {
+    workload::WisconsinOptions o;
+    o.cardinality = 2'000;
+    o.seed = 31;
+    return workload::MakeWisconsin(o);
+  }();
+  const auto wl = MakeMix(ResourceClass::kLow, ResourceClass::kLow);
+
+  resize::MigrationCoordinator coordinator(kNodes, /*physical_nodes=*/6,
+                                           /*num_slices=*/8);
+  auto part = decluster::RangePartitioning::Create(
+      rel, {0, 1}, coordinator.num_slices());
+  EXPECT_TRUE(part.ok());
+
+  sim::Simulation sim;
+  audit::Auditor auditor;
+  sim.SetAuditHook(&auditor);
+  obs::Probe probe;
+  engine::SystemConfig config;
+  config.hw.num_processors = coordinator.num_physical_nodes();
+  config.multiprogramming_level = 2;
+  config.probe = &probe;
+  config.audit = &auditor;
+  config.resize = &coordinator;
+  engine::System system(&sim, config, &rel, part->get(), &wl);
+  EXPECT_TRUE(system.Init().ok());
+
+  sim::IoBudget budget(coordinator.num_physical_nodes(), bytes_per_ms);
+  coordinator.set_io_budget(&budget);
+  coordinator.set_migration_concurrency(concurrency);
+  coordinator.Arm(&sim, &system.machine(), system.mutable_catalog(),
+                  &auditor, &probe, &system.metrics().slice_accesses());
+  coordinator.Start();
+  system.Start();
+  EXPECT_TRUE(coordinator.RequestMembershipChange(
+      resize::ResizeEvent::Kind::kAdd, 4, 5, /*rate_mb_per_sec=*/0.0,
+      /*batch_pages=*/4));
+  sim.RunUntil(20'000.0);
+  auditor.Finalize(sim);
+
+  BudgetRun r;
+  r.migrations = coordinator.migrations_completed();
+  r.pages = coordinator.pages_migrated();
+  r.peak_concurrent = coordinator.peak_concurrent_migrations();
+  r.reserved_bytes = budget.reserved_bytes();
+  r.throttled = budget.throttled_reservations();
+  r.max_delay_ms = budget.max_delay_ms();
+  r.audit_violations = auditor.violations();
+  return r;
+}
+
+TEST(ControlCoordinatorTest, ConcurrentMigrationsStayUnderBudgetAndBound) {
+  // ~100 bytes/ms: an 8 KB page drains in 80 ms, so the budget visibly
+  // throttles while both joining nodes' copies proceed in parallel.
+  const BudgetRun r = RunBudgetedJoin(/*concurrency=*/2,
+                                      /*bytes_per_ms=*/100.0);
+  EXPECT_GE(r.migrations, 2);
+  EXPECT_GT(r.pages, 0);
+  EXPECT_EQ(r.peak_concurrent, 2);
+  // Every migrated page reserved at least its own size (read + write sides
+  // both draw from the budget).
+  EXPECT_GE(r.reserved_bytes, r.pages * 8192);
+  EXPECT_GT(r.throttled, 0);
+  EXPECT_GT(r.max_delay_ms, 0.0);
+  // The auditor holds the live concurrency ledger against the bound.
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+TEST(ControlCoordinatorTest, ConcurrencyOfOneSerializesTheCopies) {
+  const BudgetRun r = RunBudgetedJoin(/*concurrency=*/1,
+                                      /*bytes_per_ms=*/1000.0);
+  EXPECT_GE(r.migrations, 2);
+  EXPECT_EQ(r.peak_concurrent, 1);
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+}  // namespace
+}  // namespace declust::control

@@ -1,0 +1,159 @@
+// ControlPlan grammar coverage: documented defaults, full-spec round-trips
+// through ToString, rejection of malformed/duplicate/out-of-range specs,
+// and the semantic Validate checks (bracketing scale bounds, the
+// settle-x-every vs run-horizon rule, machine sizing for the scale ceiling).
+#include "src/control/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace declust::control {
+namespace {
+
+TEST(ControlPlanTest, MinimalSpecCarriesTheDocumentedDefaults) {
+  auto plan = ControlPlan::Parse("slo:p95<40ms");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan->empty());
+  EXPECT_EQ(plan->slo().quantile, 95);
+  EXPECT_DOUBLE_EQ(plan->slo().bound_ms, 40.0);
+  EXPECT_DOUBLE_EQ(plan->slo().every_ms, 5000.0);
+  EXPECT_EQ(plan->slo().settle, 3);
+  EXPECT_DOUBLE_EQ(plan->cooldown_ms(), 20000.0);  // 4 * every
+  EXPECT_DOUBLE_EQ(plan->slo().low, 0.5);
+  EXPECT_FALSE(plan->has_scale());
+  EXPECT_FALSE(plan->has_degrade());
+  EXPECT_DOUBLE_EQ(plan->budget().frac, 0.25);
+  EXPECT_EQ(plan->budget().concurrent, 2);
+  EXPECT_EQ(plan->ToString(), "slo:p95<40ms");
+}
+
+TEST(ControlPlanTest, EmptySpecIsAnEmptyPlan) {
+  auto plan = ControlPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_TRUE(plan->Validate(1).ok());  // empty plans impose nothing
+  EXPECT_EQ(plan->ToString(), "");
+}
+
+TEST(ControlPlanTest, FullSpecParsesAndRoundTripsThroughToString) {
+  const std::string spec =
+      "slo:p99<120ms,every=2s,settle=4,cooldown=10s,low=0.3;"
+      "scale:min=4,max=12,step=2,rate=0.5,batch=16;"
+      "budget:frac=0.4,concurrent=3;degrade:floor=8,factor=0.25";
+  auto plan = ControlPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->slo().quantile, 99);
+  EXPECT_DOUBLE_EQ(plan->slo().bound_ms, 120.0);
+  EXPECT_DOUBLE_EQ(plan->slo().every_ms, 2000.0);
+  EXPECT_EQ(plan->slo().settle, 4);
+  EXPECT_DOUBLE_EQ(plan->cooldown_ms(), 10000.0);
+  EXPECT_DOUBLE_EQ(plan->slo().low, 0.3);
+  ASSERT_TRUE(plan->has_scale());
+  EXPECT_EQ(plan->scale().min_nodes, 4);
+  EXPECT_EQ(plan->scale().max_nodes, 12);
+  EXPECT_EQ(plan->scale().step, 2);
+  EXPECT_DOUBLE_EQ(plan->scale().rate_mb_per_sec, 0.5);
+  EXPECT_EQ(plan->scale().batch_pages, 16);
+  EXPECT_DOUBLE_EQ(plan->budget().frac, 0.4);
+  EXPECT_EQ(plan->budget().concurrent, 3);
+  ASSERT_TRUE(plan->has_degrade());
+  EXPECT_EQ(plan->degrade().floor, 8);
+  EXPECT_DOUBLE_EQ(plan->degrade().factor, 0.25);
+  // Canonical form re-parses to the same canonical form (a fixed point).
+  const std::string canonical = plan->ToString();
+  auto reparsed = ControlPlan::Parse(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToString(), canonical);
+}
+
+TEST(ControlPlanTest, WholeSecondBoundsRoundTripInSeconds) {
+  auto plan = ControlPlan::Parse("slo:p50<2s,every=1s");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->slo().quantile, 50);
+  EXPECT_DOUBLE_EQ(plan->slo().bound_ms, 2000.0);
+  EXPECT_EQ(plan->ToString(), "slo:p50<2s,every=1s");
+}
+
+TEST(ControlPlanTest, RejectsMalformedSpecs) {
+  // Unknown item kind / missing colon / unknown option.
+  EXPECT_TRUE(ControlPlan::Parse("elastic:yes").status().IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo p95<40ms").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ControlPlan::Parse("slo:p95<40ms,bogus=1").status().IsInvalidArgument());
+  // Objective head: quantile whitelist, positive bound, key=value tail.
+  EXPECT_TRUE(ControlPlan::Parse("slo:p90<40ms").status().IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<0ms").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ControlPlan::Parse("slo:p95<40ms junk").status().IsInvalidArgument());
+  // An slo item is mandatory once anything else appears.
+  EXPECT_TRUE(
+      ControlPlan::Parse("scale:min=2,max=4").status().IsInvalidArgument());
+  // Duplicate items and duplicate keys within an item.
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms;slo:p99<80ms")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms,every=1s,every=2s")
+                  .status()
+                  .IsInvalidArgument());
+  // Scale needs both bounds, ordered.
+  EXPECT_TRUE(
+      ControlPlan::Parse("slo:p95<40ms;scale:min=4").status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms;scale:min=8,max=4")
+                  .status()
+                  .IsInvalidArgument());
+  // Range checks: frac in (0, 1], low in [0, 1), factor in (0, 1).
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms;budget:frac=0")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms;budget:frac=1.5")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ControlPlan::Parse("slo:p95<40ms,low=1").status().IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms;degrade:floor=4,factor=1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ControlPlan::Parse("slo:p95<40ms;degrade:factor=0.5")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ControlPlanTest, ValidateChecksScaleBracketingAndInitialSize) {
+  auto plan = ControlPlan::Parse("slo:p95<40ms;scale:min=4,max=8");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(4).ok());
+  EXPECT_TRUE(plan->Validate(8).ok());
+  EXPECT_TRUE(plan->Validate(3).IsInvalidArgument());
+  EXPECT_TRUE(plan->Validate(9).IsInvalidArgument());
+  // A control plane over fewer than 2 nodes is meaningless even unscaled.
+  auto bare = ControlPlan::Parse("slo:p95<40ms");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->Validate(1).IsInvalidArgument());
+}
+
+TEST(ControlPlanTest, ValidateRejectsALoopThatCanNeverAct) {
+  // settle=3 x every=5s needs a 15 s horizon; 10 s would run open-loop.
+  auto plan = ControlPlan::Parse("slo:p95<40ms");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(4, /*horizon_ms=*/10'000.0).IsInvalidArgument());
+  EXPECT_TRUE(plan->Validate(4, /*horizon_ms=*/15'000.0).ok());
+  auto fast = ControlPlan::Parse("slo:p95<40ms,every=500ms,settle=2");
+  ASSERT_TRUE(fast.ok());
+  EXPECT_TRUE(fast->Validate(4, /*horizon_ms=*/10'000.0).ok());
+}
+
+TEST(ControlPlanTest, MachineSizingCoversTheScaleCeiling) {
+  auto bare = ControlPlan::Parse("slo:p95<40ms");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->NumPhysicalNodes(4), 4);
+  EXPECT_EQ(bare->NumSlices(4), 4);
+  auto scaled = ControlPlan::Parse("slo:p95<40ms;scale:min=2,max=12");
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->NumPhysicalNodes(4), 12);
+  EXPECT_EQ(scaled->NumSlices(4), 12);
+}
+
+}  // namespace
+}  // namespace declust::control

@@ -1,0 +1,61 @@
+// Regression coverage for controller-shed conservation: arrivals must tile
+// into submitted + shed with every shed carrying a class, and the
+// controller's tightened-cap drops get their own class (kController) so
+// they can never hide inside the plan-cap count. Both directions are
+// pinned: the balanced ledger passes, a dropped report is a violation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/audit/audit.h"
+#include "src/sim/simulation.h"
+
+namespace declust::audit {
+namespace {
+
+TEST(ShedAccountingTest, PerClassShedsTileTheConservationIdentity) {
+  sim::Simulation sim;
+  Auditor a;
+  // 10 arrivals: 7 admitted (all complete), 2 shed at the plan cap, 1 shed
+  // by the controller's tightened cap.
+  for (int i = 0; i < 10; ++i) a.OnQueryArrival();
+  for (int i = 0; i < 7; ++i) a.OnQuerySubmitted();
+  a.OnQueryShed(ShedClass::kAdmissionCap);
+  a.OnQueryShed(ShedClass::kAdmissionCap);
+  a.OnQueryShed(ShedClass::kController);
+  for (int i = 0; i < 7; ++i) a.OnQueryCompleted(i, 10.0, nullptr);
+  a.Finalize(sim);
+  EXPECT_TRUE(a.ok()) << [&] {
+    std::ostringstream os;
+    a.WriteReport(os);
+    return os.str();
+  }();
+  EXPECT_EQ(a.queries_arrived(), 10);
+  EXPECT_EQ(a.queries_shed(), 3);
+  EXPECT_EQ(a.queries_shed(ShedClass::kAdmissionCap), 2);
+  EXPECT_EQ(a.queries_shed(ShedClass::kController), 1);
+}
+
+TEST(ShedAccountingTest, UnreportedShedBreaksConservation) {
+  sim::Simulation sim;
+  Auditor a;
+  // A shedding mechanism that drops an arrival without reporting it — the
+  // bug class the identity exists to catch — must fail the audit.
+  for (int i = 0; i < 5; ++i) a.OnQueryArrival();
+  for (int i = 0; i < 3; ++i) a.OnQuerySubmitted();
+  a.OnQueryShed(ShedClass::kController);  // the 5th arrival just vanishes
+  for (int i = 0; i < 3; ++i) a.OnQueryCompleted(i, 10.0, nullptr);
+  a.Finalize(sim);
+  EXPECT_FALSE(a.ok());
+  EXPECT_GE(a.violations(), 1);
+  bool found = false;
+  for (const auto& m : a.messages()) {
+    if (m.find("arrivals != submitted + shed") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace declust::audit

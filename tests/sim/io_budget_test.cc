@@ -1,0 +1,84 @@
+// Unit tests for the per-node migration I/O budget: the spacing invariant
+// (budgeted bytes on a node never exceed bytes_per_ms over any interval,
+// by construction of the issue times), per-node independence, no banking
+// of idle time, and the accounting the control experiment reports.
+#include "src/sim/io_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace declust::sim {
+namespace {
+
+TEST(IoBudgetTest, BackToBackReservationsAreSpacedAtTheRate) {
+  IoBudget budget(/*num_nodes=*/2, /*bytes_per_ms=*/10.0);
+  // An idle node issues immediately; the bucket drains 100 bytes in 10 ms.
+  EXPECT_DOUBLE_EQ(budget.Reserve(0, 0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(budget.node_busy_until_ms(0), 10.0);
+  // A second reservation at the same instant waits out the full drain.
+  EXPECT_DOUBLE_EQ(budget.Reserve(0, 0.0, 100), 10.0);
+  EXPECT_DOUBLE_EQ(budget.node_busy_until_ms(0), 20.0);
+  // Partway through the drain, the delay is the remaining horizon.
+  EXPECT_DOUBLE_EQ(budget.Reserve(0, 15.0, 50), 5.0);
+  EXPECT_DOUBLE_EQ(budget.node_busy_until_ms(0), 25.0);
+}
+
+TEST(IoBudgetTest, IdleTimeIsNotBankedIntoABurst) {
+  IoBudget budget(/*num_nodes=*/1, /*bytes_per_ms=*/10.0);
+  budget.Reserve(0, 0.0, 100);
+  // Long after the bucket drained, a reservation starts fresh from `now`:
+  // unused budget does not accumulate into a later burst over the cap.
+  EXPECT_DOUBLE_EQ(budget.Reserve(0, 1000.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(budget.node_busy_until_ms(0), 1010.0);
+}
+
+TEST(IoBudgetTest, NodesAreIndependent) {
+  IoBudget budget(/*num_nodes=*/3, /*bytes_per_ms=*/10.0);
+  budget.Reserve(0, 0.0, 1000);  // node 0 backlogged for 100 ms
+  EXPECT_DOUBLE_EQ(budget.Reserve(1, 0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(budget.Reserve(2, 50.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(budget.node_busy_until_ms(0), 100.0);
+}
+
+TEST(IoBudgetTest, AccountingTracksBytesThrottlesAndMaxDelay) {
+  IoBudget budget(/*num_nodes=*/2, /*bytes_per_ms=*/10.0);
+  budget.Reserve(0, 0.0, 100);  // no delay
+  budget.Reserve(0, 0.0, 100);  // delayed 10 ms
+  budget.Reserve(0, 5.0, 100);  // delayed 15 ms
+  budget.Reserve(1, 0.0, 40);   // other node, no delay
+  EXPECT_EQ(budget.reserved_bytes(), 340);
+  EXPECT_EQ(budget.throttled_reservations(), 2);
+  EXPECT_DOUBLE_EQ(budget.max_delay_ms(), 15.0);
+  EXPECT_DOUBLE_EQ(budget.bytes_per_ms(), 10.0);
+  EXPECT_EQ(budget.num_nodes(), 2);
+}
+
+TEST(IoBudgetTest, RateCapHoldsOverEveryWindowUnderMixedTraffic) {
+  // Property: replay a deterministic mixed sequence of reservations with
+  // non-monotone per-node arrival gaps and check the structural invariant
+  // directly — each reservation's issue window [start, start + bytes/rate]
+  // begins no earlier than the previous one ended, so budgeted bytes in
+  // any interval can never exceed bytes_per_ms * length.
+  constexpr double kRate = 4.0;
+  IoBudget budget(/*num_nodes=*/2, kRate);
+  double now[2] = {0.0, 0.0};
+  double prev_end[2] = {0.0, 0.0};
+  uint64_t rng = 12345;
+  for (int i = 0; i < 500; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int node = static_cast<int>(rng >> 62) & 1;
+    const int64_t bytes = static_cast<int64_t>((rng >> 32) % 97) + 1;
+    now[node] += static_cast<double>((rng >> 16) % 11);
+    const double delay = budget.Reserve(node, now[node], bytes);
+    ASSERT_GE(delay, 0.0);
+    const double start = now[node] + delay;
+    ASSERT_GE(start, prev_end[node]) << "issue windows overlap on " << node;
+    prev_end[node] = start + static_cast<double>(bytes) / kRate;
+    ASSERT_DOUBLE_EQ(budget.node_busy_until_ms(node), prev_end[node]);
+  }
+  EXPECT_GT(budget.throttled_reservations(), 0);
+}
+
+}  // namespace
+}  // namespace declust::sim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/parse.h"
+#include "src/control/plan.h"
 #include "src/exp/report.h"
 #include "src/exp/runner.h"
 #include "src/recover/plan.h"
@@ -47,6 +48,9 @@ void Usage() {
       "  --resize SPEC      elastic-membership plan to audit under (same\n"
       "                     grammar as run_experiment --resize) — arms the\n"
       "                     migration conservation invariants\n"
+      "  --control SPEC     closed-loop control plan to audit under (same\n"
+      "                     grammar as run_experiment --control) — arms the\n"
+      "                     migration + per-class shed invariants\n"
       "  --skip-differential  only run the in-sweep invariants + oracle\n";
 }
 
@@ -187,6 +191,14 @@ int main(int argc, char** argv) {
       auto plan = resize::ResizePlan::Parse(cfg.resize);
       if (!plan.ok()) {
         std::cerr << "bad --resize spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
+    } else if (arg == "--control") {
+      cfg.control = next();
+      auto plan = control::ControlPlan::Parse(cfg.control);
+      if (!plan.ok()) {
+        std::cerr << "bad --control spec: " << plan.status().ToString()
                   << "\n";
         return 2;
       }

@@ -348,6 +348,38 @@ int main(int argc, char** argv) {
   const bool resize_quiescent =
       quiescent_migrations == 0 && quiescent_aborts == 0;
 
+  // Control overhead guard: the same sweep with the closed-loop controller
+  // armed by an SLO it can never violate (the bound sits an hour above any
+  // observed response, and a closed run disables admission actions). This
+  // prices the always-on control path — the per-completion window append,
+  // the per-window quantile, the armed plan-less migration coordinator's
+  // dispatch hooks — with zero actuations. Gated at 1.05x over the unarmed
+  // run, and a quiescent controller that actuates anything is a logic bug.
+  std::cerr << "timing quick fig08 sweep with a quiescent control plan...\n";
+  exp::ExperimentConfig control_cfg = cfg;
+  control_cfg.control = "slo:p95<3600s,every=1s";
+  const auto k0 = Clock::now();
+  auto controlled =
+      exp::RunThroughputSweep(control_cfg, exp::RunnerOptions{1});
+  const auto k1 = Clock::now();
+  if (!controlled.ok()) {
+    std::cerr << "control sweep failed: " << controlled.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const double controlled_s = Seconds(k0, k1);
+  int64_t control_actions = 0, control_windows = 0;
+  for (const auto& curve : controlled->curves) {
+    for (const auto& p : curve.points) {
+      control_windows += p.ctl_windows;
+      control_actions += p.ctl_scale_outs + p.ctl_scale_ins + p.ctl_pauses +
+                         p.ctl_resumes + p.ctl_tightens + p.ctl_relaxes;
+    }
+  }
+  const bool control_quiescent = control_actions == 0;
+  const double control_ratio = serial_s > 0 ? controlled_s / serial_s : 0;
+  const bool control_fast = control_ratio <= 1.05;
+
   // Open-system guard: the same machine driven by Poisson arrivals instead
   // of the closed terminal loop — a rate schedule, Zipf-skewed access and a
   // second relation. Prices the arrival/admission machinery against the
@@ -496,6 +528,16 @@ int main(int argc, char** argv) {
       << "    \"quiescent_migrations\": " << quiescent_migrations << ",\n"
       << "    \"quiescent_aborts\": " << quiescent_aborts << "\n"
       << "  },\n"
+      << "  \"control_overhead\": {\n"
+      << "    \"config\": \"fig08 quick, quiescent plan "
+         "slo:p95<3600s,every=1s\",\n"
+      << "    \"uncontrolled_wall_s\": " << serial_s << ",\n"
+      << "    \"armed_wall_s\": " << controlled_s << ",\n"
+      << "    \"armed_overhead_ratio\": " << control_ratio << ",\n"
+      << "    \"max_overhead_ratio\": 1.05,\n"
+      << "    \"windows\": " << control_windows << ",\n"
+      << "    \"quiescent_actions\": " << control_actions << "\n"
+      << "  },\n"
       << "  \"open_system\": {\n"
       << "    \"config\": \"fig08 quick, rate:150;zipf:0.8;"
          "relation:card=5000\",\n"
@@ -547,7 +589,8 @@ int main(int argc, char** argv) {
   }
   std::cerr << "wrote " << out_path << "\n";
   return identical && audit_identical && audit_clean && psim_identical &&
-                 resize_quiescent && open_identical && setup_identical
+                 resize_quiescent && control_quiescent && control_fast &&
+                 open_identical && setup_identical
              ? 0
              : 1;
 }

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the robustness subsystems: builds the repo under
 # AddressSanitizer and UndefinedBehaviorSanitizer and runs every test
-# labeled faults, audit, recovery, resize, or open under each. The
-# fault-injection, invariant-audit, online-recovery, elastic-membership and
-# open-system code paths are exactly the ones that
+# labeled faults, audit, recovery, resize, open, or control under each. The
+# fault-injection, invariant-audit, online-recovery, elastic-membership,
+# open-system and closed-loop-control code paths are exactly the ones that
 # exercise coroutine lifetimes, signal-driven interrupts and background I/O
 # racing foreground queries — the bugs sanitizers exist to catch.
 #
@@ -59,16 +59,18 @@ run_preset() {
 # The scale label rides the ASAN pass: its 256-node x 1M-tuple smoke drives
 # the threaded catalog-build pass under the sanitizer (the 1,024-node
 # Release-only test self-skips there and runs in the relsmoke tree below).
-run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize|open|scale' \
-  fault_test audit_test recovery_test resize_test open_test scale_test
-run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery|resize|open' \
-  fault_test audit_test recovery_test resize_test open_test
+run_preset asan DECLUST_ASAN 'faults|audit|recovery|resize|open|control|scale' \
+  fault_test audit_test recovery_test resize_test open_test control_test \
+  scale_test
+run_preset ubsan DECLUST_UBSAN 'faults|audit|recovery|resize|open|control' \
+  fault_test audit_test recovery_test resize_test open_test control_test
 # The windowed in-run scheduler is the only place the simulator runs on more
 # than one thread; TSAN over the parallel_sim label is the race gate for it
-# (the open sweep tests ride along: they run the windowed scheduler under an
-# arrival-driven load).
-run_preset tsan DECLUST_TSAN 'parallel_sim|resize|open' \
-  parallel_sim_test resize_test open_test
+# (the open/control sweep tests ride along: they run the windowed scheduler
+# under an arrival-driven load with the feedback controller actuating
+# migrations mid-run).
+run_preset tsan DECLUST_TSAN 'parallel_sim|resize|open|control' \
+  parallel_sim_test resize_test open_test control_test
 
 # Release differential smoke: serial vs --sim-threads=4 on a quick sweep must
 # be byte-identical. Release mode matters here — it is the configuration where
@@ -135,6 +137,26 @@ else
     <(printf '%s\n' "$OPEN_THREADED") | head -40 >&2 || true
   FAILED=1
 fi
+# Control-plane differential: the closed-loop controller (SLO windows,
+# elastic membership actions, budgeted concurrent migrations, admission
+# degradation) mutates shared state from calendar events mid-run; serial vs
+# --sim-threads=4 must replay its every decision byte-identically.
+echo "=== relsmoke: --control serial vs --sim-threads=4 digest ==="
+CONTROL_SPEC='slo:p95<40ms,every=250ms,settle=2;scale:min=4,max=10;budget:frac=0.3;degrade:floor=8'
+CONTROL_SERIAL="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --open "$OPEN_SPEC" --offered 120 --control "$CONTROL_SPEC")"
+CONTROL_THREADED="$("$SMOKE_DIR/tools/run_experiment" "${SMOKE_ARGS[@]}" \
+  --open "$OPEN_SPEC" --offered 120 --control "$CONTROL_SPEC" \
+  --sim-threads 4)"
+if [[ "$CONTROL_SERIAL" == "$CONTROL_THREADED" ]]; then
+  echo "relsmoke: --control serial and --sim-threads=4 results are" \
+    "byte-identical"
+else
+  echo "*** relsmoke: FAILED — --control --sim-threads=4 changed results" >&2
+  diff <(printf '%s\n' "$CONTROL_SERIAL") \
+    <(printf '%s\n' "$CONTROL_THREADED") | head -40 >&2 || true
+  FAILED=1
+fi
 # Parallel-catalog-build differential: the same quick sweep with the
 # two-pass build fanned out over 8 threads (DECLUST_JOBS drives the
 # tree-construction pass) must be byte-identical to the serial build —
@@ -172,5 +194,6 @@ if [[ "$FAILED" != 0 ]]; then
   echo "ci_check: sanitizer gate FAILED" >&2
   exit 1
 fi
-echo "ci_check: faults|audit|recovery|resize|open|scale clean under" \
-  "ASAN/UBSAN, parallel_sim|open clean under TSAN, release digest stable"
+echo "ci_check: faults|audit|recovery|resize|open|control|scale clean under" \
+  "ASAN/UBSAN, parallel_sim|open|control clean under TSAN, release digest" \
+  "stable"

@@ -12,6 +12,8 @@
 
 #include "src/common/atomic_file.h"
 #include "src/common/parse.h"
+#include "src/control/plan.h"
+#include "src/exp/control.h"
 #include "src/exp/degraded.h"
 #include "src/exp/interrupt.h"
 #include "src/exp/recovery.h"
@@ -76,6 +78,17 @@ void Usage() {
       "                     closed terminals with Poisson/burst arrivals;\n"
       "                     --mpls is ignored, the sweep levels come from\n"
       "                     --offered. Incompatible with --recovery/--resize\n"
+      "  --control SPEC     closed-loop control plan, ';'-separated items:\n"
+      "                     slo:pQQ<Bms[,every=D][,settle=K][,cooldown=C]\n"
+      "                     [,low=L] (QQ one of 50/95/99) |\n"
+      "                     scale:min=M,max=N[,step=S][,rate=R][,batch=P] |\n"
+      "                     budget:frac=F[,concurrent=C] |\n"
+      "                     degrade:floor=N[,factor=X].\n"
+      "                     A feedback controller samples the observed pQQ\n"
+      "                     response each window and scales out/in, pauses\n"
+      "                     migrations or tightens admission to hold the\n"
+      "                     SLO; adds per-decision report/CSV columns.\n"
+      "                     Incompatible with --resize/--recovery\n"
       "  --offered L1,L2    offered arrival rates (q/s) swept under --open;\n"
       "                     each level overrides the plan's rate schedule\n"
       "                     with that constant rate. Default: one level\n"
@@ -278,6 +291,14 @@ int main(int argc, char** argv) {
                   << "\n";
         return 2;
       }
+    } else if (arg == "--control") {
+      cfg.control = next();
+      auto plan = control::ControlPlan::Parse(cfg.control);
+      if (!plan.ok()) {
+        std::cerr << "bad --control spec: " << plan.status().ToString()
+                  << "\n";
+        return 2;
+      }
     } else if (arg == "--open") {
       cfg.open = next();
       auto plan = workload::OpenPlan::Parse(cfg.open);
@@ -429,6 +450,7 @@ int main(int argc, char** argv) {
       exp::PrintThroughputTable(os, *result);
       exp::PrintRecoveryReport(os, *result);
       exp::PrintResizeReport(os, *result);
+      exp::PrintControlReport(os, *result);
     }
   });
   if (!emitted) return 1;
